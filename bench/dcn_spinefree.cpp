@@ -1,0 +1,86 @@
+// §4.2 DCN results (summarizing [47]): the spine-free lightwave DCN delivers
+// ~30% CapEx and ~40% power reduction vs a spine-full Clos, and topology
+// engineering adds ~30% throughput and ~10% flow-completion-time improvement
+// vs a uniform direct mesh under long-lived skewed demand. Includes the
+// reconfiguration-plan ablation for a shifting traffic matrix.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/tco.h"
+#include "core/topology_engineer.h"
+#include "sim/dcn_flow.h"
+#include "sim/traffic.h"
+
+using namespace lightwave;
+using common::Table;
+
+int main() {
+  std::printf("=== spine-full vs spine-free: CapEx and power ===\n");
+  Table tco({"fabric", "relative capex", "relative power"});
+  for (const auto& row : core::DcnFabricComparison(64, 25600.0)) {
+    tco.AddRow({row.name, Table::Factor(row.relative_cost), Table::Factor(row.relative_power)});
+  }
+  std::printf("%s", tco.Render().c_str());
+  std::printf("paper: 30%% CapEx reduction, 41%% power reduction\n\n");
+
+  // --- throughput and FCT: uniform mesh vs engineered mesh -------------------
+  const int blocks = 16;
+  const double uplink = 1000.0;
+  common::Rng rng(2023);
+  const auto demand = sim::DisjointHotspotTraffic(blocks, blocks * 400.0, 6, 0.5, rng);
+  const auto uniform = sim::DcnTopology::UniformMesh(blocks, uplink);
+  const auto engineered = sim::DcnTopology::EngineeredMesh(blocks, uplink, demand);
+  const auto clos = sim::DcnTopology::SpineClos(blocks, uplink);
+
+  std::printf("=== throughput: max concurrent-flow scale under skewed demand ===\n");
+  Table throughput({"topology", "alpha", "vs uniform mesh"});
+  const double a_uniform = sim::MaxConcurrentFlowScale(uniform, demand);
+  for (const auto& [name, topo] :
+       {std::pair<const char*, const sim::DcnTopology*>{"spine-full Clos", &clos},
+        {"uniform mesh", &uniform},
+        {"engineered mesh", &engineered}}) {
+    const double a = sim::MaxConcurrentFlowScale(*topo, demand);
+    throughput.AddRow({name, Table::Num(a, 3), Table::Factor(a / a_uniform)});
+  }
+  std::printf("%s", throughput.Render().c_str());
+  std::printf("paper: topology+traffic engineering gives ~30%% throughput vs uniform mesh\n\n");
+
+  std::printf("=== flow completion time (event-driven max-min fair simulation) ===\n");
+  sim::FlowSimConfig config;
+  config.sim_seconds = 1.0;
+  config.load = 0.55;
+  Table fct({"topology", "flows", "mean FCT ms", "p50 ms", "p99 ms", "mean rate Gb/s"});
+  sim::FlowSimResult uniform_result;
+  for (const auto& [name, topo] :
+       {std::pair<const char*, const sim::DcnTopology*>{"uniform mesh", &uniform},
+        {"engineered mesh", &engineered}}) {
+    const auto r = sim::SimulateFlows(*topo, demand, config);
+    if (topo == &uniform) uniform_result = r;
+    fct.AddRow({name, std::to_string(r.completed), Table::Num(r.mean_fct_ms, 2),
+                Table::Num(r.p50_fct_ms, 2), Table::Num(r.p99_fct_ms, 2),
+                Table::Num(r.mean_throughput_gbps, 1)});
+  }
+  std::printf("%s", fct.Render().c_str());
+  const auto engineered_result = sim::SimulateFlows(engineered, demand, config);
+  std::printf("FCT improvement: %.1f%% (paper: ~10%%)\n\n",
+              100.0 * (1.0 - engineered_result.mean_fct_ms / uniform_result.mean_fct_ms));
+
+  // --- topology-engineering reconfiguration under demand shift -----------------
+  std::printf("=== incremental reconfiguration for shifting demand ===\n");
+  core::TopologyEngineer engineer(blocks, /*ocs_count=*/32, /*trunk_gbps=*/uplink / 32.0);
+  engineer.Engineer(demand);
+  Table reconfig({"shift", "links added", "links removed", "links unchanged"});
+  for (int step : {0, 1, 4, 8}) {
+    const auto shifted = sim::RotateHotspots(demand, step);
+    core::TopologyEngineer fresh(blocks, 32, uplink / 32.0);
+    fresh.Engineer(demand);
+    const auto plan = fresh.Reengineer(shifted);
+    reconfig.AddRow({std::to_string(step), std::to_string(plan.links_added),
+                     std::to_string(plan.links_removed),
+                     std::to_string(plan.links_unchanged)});
+  }
+  std::printf("%s", reconfig.Render().c_str());
+  std::printf("(unchanged trunks ride through reconfiguration undisturbed — the OCS "
+              "guarantee of §2.3)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 10: Palomar OCS optical performance. (a) insertion-loss histogram
+// over all 136x136 cross-connections of a sampled switch — typically < 2 dB
+// with a tail from splice/connector variation; (b) return loss vs port —
+// typically -46 dB, spec < -38 dB.
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "ocs/optical_core.h"
+
+using namespace lightwave;
+
+int main() {
+  ocs::OpticalCore core{common::Rng(2024)};
+  const int ports = core.port_count();
+
+  std::printf("=== Fig. 10a: insertion loss over all %dx%d cross-connections ===\n", ports,
+              ports);
+  common::SampleSet losses;
+  common::Histogram histogram(0.5, 3.5, 30);
+  common::SampleSet return_losses;
+  // Measure every (north, south) permutation pairing through the core.
+  // Alignment state is per-mirror; establishing each pairing once samples
+  // the full distribution.
+  for (int n = 0; n < ports; ++n) {
+    for (int s = 0; s < ports; ++s) {
+      // Establishing all 136^2 paths would re-align mirrors 18k times; the
+      // per-path loss depends on the two collimator ports plus residual
+      // alignment, so measure the established diagonal and synthesize the
+      // full matrix from MeasurePath.
+      const auto metrics = core.MeasurePath(n, s);
+      losses.Add(metrics.insertion_loss.value());
+      histogram.Add(metrics.insertion_loss.value());
+      if (n == 0) return_losses.Add(metrics.return_loss.value());
+    }
+    // Re-align this north mirror once against a rotating partner so the
+    // alignment-residual component varies realistically across the matrix.
+    (void)core.EstablishPath(n, (n * 31 + 7) % ports);
+  }
+
+  std::printf("%s", histogram.Render(50).c_str());
+  std::printf("samples=%zu mean=%.2f dB p50=%.2f p95=%.2f p99=%.2f max=%.2f dB\n",
+              losses.count(), losses.mean(), losses.Percentile(50), losses.Percentile(95),
+              losses.Percentile(99), losses.max());
+  std::printf("fraction under 2 dB: %.1f%% (paper: \"typically less than 2 dB\")\n",
+              100.0 * [&] {
+                int under = 0;
+                for (double x : losses.samples()) under += x < 2.0 ? 1 : 0;
+                return static_cast<double>(under) / losses.count();
+              }());
+
+  std::printf("\n=== Fig. 10b: return loss by port ===\n");
+  common::Histogram rl_hist(-52.0, -38.0, 14);
+  common::SampleSet rl;
+  for (int n = 0; n < ports; ++n) {
+    const auto metrics = core.MeasurePath(n, n);
+    rl_hist.Add(metrics.return_loss.value());
+    rl.Add(metrics.return_loss.value());
+  }
+  std::printf("%s", rl_hist.Render(50).c_str());
+  std::printf("mean=%.1f dB worst=%.1f dB spec=-38 dB (paper: typ -46 dB, spec < -38)\n",
+              rl.mean(), rl.max());
+  std::printf("ports violating spec: %d\n", [&] {
+    int bad = 0;
+    for (double x : rl.samples()) bad += x > -38.0 ? 1 : 0;
+    return bad;
+  }());
+  return 0;
+}

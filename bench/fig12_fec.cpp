@@ -1,0 +1,62 @@
+// Fig. 12: optical receiver sensitivity improvement from the concatenated
+// soft-decision inner FEC (without OIM compensation), under two MPI
+// conditions. Headline: at the KP4 outer-code threshold, the inner SFEC
+// buys ~1.6 dB of receiver sensitivity.
+#include <cstdio>
+#include <vector>
+
+#include "common/math.h"
+#include "common/table.h"
+#include "fec/concatenated.h"
+#include "phy/ber_model.h"
+
+using namespace lightwave;
+using common::DbmPower;
+using common::Decibel;
+using common::Table;
+
+int main() {
+  const phy::BerModel model(optics::Modulation::kPam4, DbmPower{-11.0});
+  const fec::ConcatenatedFec fec;
+
+  // With the inner code, the channel may run at a higher raw BER: the
+  // decoder output still meets the KP4 input threshold.
+  const double plain_threshold = phy::kKp4BerThreshold;
+  const double inner_threshold = fec.inner().MaxChannelBer(phy::kKp4BerThreshold);
+  std::printf("channel-BER threshold without inner SFEC: %.2e\n", plain_threshold);
+  std::printf("channel-BER threshold with inner SFEC:    %.2e\n\n", inner_threshold);
+
+  std::printf("=== Fig. 12: BER vs Rx power, two MPI conditions, +/- inner SFEC ===\n");
+  const std::vector<double> mpi_levels = {-36.0, -32.0};
+  Table table({"Rx dBm", "BER @MPI-36", "post-inner", "BER @MPI-32", "post-inner"});
+  for (double p : common::Linspace(-14.0, -8.0, 13)) {
+    std::vector<std::string> row = {Table::Num(p, 1)};
+    for (double m : mpi_levels) {
+      const double raw = model.PreFecBer(DbmPower{p}, Decibel{m});
+      row.push_back(Table::Sci(raw));
+      row.push_back(Table::Sci(fec.inner().Transfer(raw)));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::printf("\n--- sensitivity at the KP4 threshold (no OIM) ---\n");
+  Table sens({"MPI dB", "w/o inner SFEC", "w/ inner SFEC", "improvement dB"});
+  for (double m : mpi_levels) {
+    const auto without = model.SensitivityAt(plain_threshold, Decibel{m});
+    const auto with = model.SensitivityAt(inner_threshold, Decibel{m});
+    sens.AddRow({Table::Num(m, 0),
+                 without.value() >= 1e9 ? "floored" : Table::Num(without.value(), 2),
+                 with.value() >= 1e9 ? "floored" : Table::Num(with.value(), 2),
+                 (without.value() >= 1e9 || with.value() >= 1e9)
+                     ? "-"
+                     : Table::Num((without - with).value(), 2)});
+  }
+  std::printf("%s", sens.Render().c_str());
+  const auto gain = model.SensitivityAt(plain_threshold, Decibel{-32.0}) -
+                    model.SensitivityAt(inner_threshold, Decibel{-32.0});
+  std::printf("paper: 1.6 dB at -32 dB MPI | measured: %.2f dB\n", gain.value());
+  std::printf("inner SFEC latency at 200 Gb/s: %.1f ns (paper: < 20 ns)\n",
+              fec.inner().LatencyNs(200.0));
+  return 0;
+}

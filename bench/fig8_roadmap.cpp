@@ -1,0 +1,55 @@
+// Fig. 8: the WDM interconnect roadmap for the datacenter network — 40 Gb/s
+// QSFP+ through 800 Gb/s OSFP, a 20x bandwidth growth with continuously
+// improving energy efficiency, plus the custom bidi modules for the ML pods.
+#include <cstdio>
+
+#include "common/table.h"
+#include "optics/transceiver.h"
+#include "optics/wdm.h"
+
+using namespace lightwave;
+using common::Table;
+
+int main() {
+  std::printf("=== Fig. 8: WDM interconnect roadmap (DCN) ===\n");
+  Table table({"module", "year", "form factor", "grid", "lanes", "modulation",
+               "Gb/s", "fibers", "W", "pJ/bit"});
+  const auto roadmap = optics::DcnRoadmap();
+  for (const auto& t : roadmap) {
+    table.AddRow({t.name, std::to_string(t.year), optics::ToString(t.form_factor),
+                  optics::WdmGrid::Make(t.grid).Name(), std::to_string(t.LaneCount()),
+                  optics::ToString(t.modulation), Table::Num(t.ModuleRateGbps(), 0),
+                  std::to_string(t.FiberCount()), Table::Num(t.power_w, 1),
+                  Table::Num(t.EnergyPerBitPj(), 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("bandwidth growth 40G -> 800G: %.0fx (paper: 20x)\n",
+              roadmap.back().ModuleRateGbps() / roadmap.front().ModuleRateGbps());
+  std::printf("energy efficiency improvement: %.1fx\n\n",
+              roadmap.front().EnergyPerBitPj() / roadmap.back().EnergyPerBitPj());
+
+  std::printf("=== Fig. 9: custom bidi modules for ML superpods ===\n");
+  Table bidi({"module", "grid", "spacing nm", "spectral nm", "bidi links", "fibers",
+              "OIM DSP", "inner SFEC"});
+  for (const auto& t : {optics::Cwdm4Duplex(), optics::Cwdm4Bidi(), optics::Cwdm8Bidi()}) {
+    const auto grid = optics::WdmGrid::Make(t.grid);
+    bidi.AddRow({t.name, grid.Name(), Table::Num(grid.spacing().nm, 0),
+                 Table::Num(grid.SpectralWidth().nm, 0),
+                 t.bidirectional ? std::to_string(t.wdm_pairs) : "0",
+                 std::to_string(t.FiberCount()), t.has_oim_dsp ? "yes" : "no",
+                 t.has_inner_sfec ? "yes" : "no"});
+  }
+  std::printf("%s", bidi.Render().c_str());
+  std::printf("CWDM8 packs 8 lanes at 10 nm into the same 80 nm window as CWDM4 "
+              "(spectral widths above are equal).\n");
+
+  // Backward compatibility (§3.3.1): each generation inter-operates with
+  // its predecessor.
+  std::printf("\nbackward compatibility chain: ");
+  for (std::size_t i = 1; i < roadmap.size(); ++i) {
+    std::printf("%s<->%s:%s ", roadmap[i - 1].name.c_str(), roadmap[i].name.c_str(),
+                roadmap[i].InteroperatesWith(roadmap[i - 1]) ? "ok" : "FAIL");
+  }
+  std::printf("\n");
+  return 0;
+}

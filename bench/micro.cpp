@@ -1,0 +1,192 @@
+// Hot-path microbenchmarks (google-benchmark): RS(544,514) codec, Palomar
+// reconfiguration, slice install, scheduler allocation, wire codec, BER
+// evaluation, and the collective/flow simulators.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/scheduler.h"
+#include "ctrl/messages.h"
+#include "fec/reed_solomon.h"
+#include "ocs/palomar.h"
+#include "phy/ber_model.h"
+#include "core/topology_engineer.h"
+#include "ocs/camera.h"
+#include "phy/equalizer.h"
+#include "sim/collective.h"
+#include "sim/traffic.h"
+#include "tpu/routing.h"
+#include "sim/llm_model.h"
+#include "tpu/superpod.h"
+
+using namespace lightwave;
+
+static void BM_RsEncode(benchmark::State& state) {
+  const auto rs = fec::ReedSolomon::Kp4();
+  common::Rng rng(1);
+  std::vector<fec::Gf1024::Element> data(static_cast<std::size_t>(rs.k()));
+  for (auto& s : data) s = static_cast<fec::Gf1024::Element>(rng.UniformInt(1024));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Encode(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * rs.k() * 10 / 8);
+}
+BENCHMARK(BM_RsEncode);
+
+static void BM_RsDecode(benchmark::State& state) {
+  const auto rs = fec::ReedSolomon::Kp4();
+  common::Rng rng(2);
+  std::vector<fec::Gf1024::Element> data(static_cast<std::size_t>(rs.k()));
+  for (auto& s : data) s = static_cast<fec::Gf1024::Element>(rng.UniformInt(1024));
+  auto codeword = rs.Encode(data);
+  const int errors = static_cast<int>(state.range(0));
+  for (int e = 0; e < errors; ++e) {
+    codeword[static_cast<std::size_t>((e * 37 + 5) % rs.n())] ^=
+        static_cast<fec::Gf1024::Element>(0x111 + e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(codeword));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * rs.n() * 10 / 8);
+}
+BENCHMARK(BM_RsDecode)->Arg(0)->Arg(4)->Arg(15);
+
+static void BM_PalomarReconfigure(benchmark::State& state) {
+  ocs::PalomarSwitch ocs(3);
+  std::map<int, int> even, odd;
+  for (int i = 0; i < 128; ++i) {
+    even[i] = i;
+    odd[i] = (i + 1) % 128;
+  }
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ocs.Reconfigure(flip ? even : odd));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_PalomarReconfigure);
+
+static void BM_SliceInstall(benchmark::State& state) {
+  tpu::Superpod pod(4);
+  std::vector<int> cubes;
+  for (int i = 0; i < 16; ++i) cubes.push_back(i);
+  auto topology = tpu::SliceTopology::Create(tpu::SliceShape{2, 2, 4}, cubes).value();
+  for (auto _ : state) {
+    auto id = pod.InstallSlice(topology).value();
+    (void)pod.RemoveSlice(id);
+  }
+}
+BENCHMARK(BM_SliceInstall);
+
+static void BM_SchedulerAllocate(benchmark::State& state) {
+  tpu::Superpod pod(5);
+  core::SliceScheduler scheduler(pod, core::AllocationPolicy::kReconfigurable);
+  for (auto _ : state) {
+    auto id = scheduler.Allocate(tpu::SliceShape{2, 2, 2}).value();
+    (void)scheduler.Release(id);
+  }
+}
+BENCHMARK(BM_SchedulerAllocate);
+
+static void BM_WireReconfigureRoundTrip(benchmark::State& state) {
+  ctrl::ReconfigureRequest request;
+  request.transaction_id = 42;
+  for (int i = 0; i < 128; ++i) request.target[i] = 127 - i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl::DecodeReconfigureRequest(ctrl::Encode(request)));
+  }
+}
+BENCHMARK(BM_WireReconfigureRoundTrip);
+
+static void BM_BerEvaluation(benchmark::State& state) {
+  const phy::BerModel model(optics::Modulation::kPam4, common::DbmPower{-9.5});
+  double p = -12.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PreFecBer(common::DbmPower{p}, common::Decibel{-32.0}));
+    p = p >= -6.0 ? -12.0 : p + 0.01;
+  }
+}
+BENCHMARK(BM_BerEvaluation);
+
+static void BM_TorusAllReduceSim(benchmark::State& state) {
+  const tpu::SliceShape shape{4, 4, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::SimulateTorusAllReduce(shape, 256e6));
+  }
+}
+BENCHMARK(BM_TorusAllReduceSim);
+
+static void BM_LlmShapeSearch(benchmark::State& state) {
+  const sim::LlmPerfModel model;
+  const auto spec = sim::Llm1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.RankShapes(spec, 64));
+  }
+}
+BENCHMARK(BM_LlmShapeSearch);
+
+static void BM_MatchingDecomposition(benchmark::State& state) {
+  common::Rng rng(6);
+  const auto demand = sim::HotspotTraffic(64, 30000.0, 8, 0.5, rng);
+  const auto alloc = core::AllocateTrunks(demand, 128, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DecomposeToMatchings(alloc, 128));
+  }
+}
+BENCHMARK(BM_MatchingDecomposition);
+
+static void BM_TorusRoute(benchmark::State& state) {
+  const tpu::TorusRouter router(tpu::SliceShape{4, 4, 4});
+  int i = 0;
+  for (auto _ : state) {
+    const tpu::SliceChipCoord src{i % 16, (i / 16) % 16, (i / 256) % 16};
+    const tpu::SliceChipCoord dst{15 - src.x, 15 - src.y, 15 - src.z};
+    benchmark::DoNotOptimize(router.ComputeRoute(src, dst));
+    ++i;
+  }
+}
+BENCHMARK(BM_TorusRoute);
+
+static void BM_CameraCentroid(benchmark::State& state) {
+  common::Rng rng(7);
+  const ocs::CameraSpec spec;
+  const auto image = ocs::RenderSpot(spec, 3e-4, -2e-4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ocs::ExtractCentroid(spec, image));
+  }
+}
+BENCHMARK(BM_CameraCentroid);
+
+static void BM_EqualizerSymbol(benchmark::State& state) {
+  phy::AdaptiveEqualizer eq(7, 2, 2e-3);
+  double x = 0.1;
+  for (auto _ : state) {
+    const double out = eq.Equalize(x);
+    eq.Adapt(out > 0 ? 1.0 : -1.0);
+    eq.PushDecision(out > 0 ? 1.0 : -1.0);
+    benchmark::DoNotOptimize(out);
+    x = -x;
+  }
+}
+BENCHMARK(BM_EqualizerSymbol);
+
+static void BM_RsDecodeWithErasures(benchmark::State& state) {
+  const auto rs = fec::ReedSolomon::Kp4();
+  common::Rng rng(8);
+  std::vector<fec::Gf1024::Element> data(static_cast<std::size_t>(rs.k()));
+  for (auto& sym : data) sym = static_cast<fec::Gf1024::Element>(rng.UniformInt(1024));
+  auto codeword = rs.Encode(data);
+  std::vector<int> erasures;
+  for (int i = 0; i < 20; ++i) {
+    const int pos = (i * 23 + 1) % rs.n();
+    erasures.push_back(pos);
+    codeword[static_cast<std::size_t>(pos)] ^= 0x155;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.DecodeWithErasures(codeword, erasures));
+  }
+}
+BENCHMARK(BM_RsDecodeWithErasures);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// §4.2.4: scheduling-efficiency benefits of reconfigurability. The 64-chip
+// elemental cube + non-blocking lightwave fabric lets the scheduler compose
+// slices from ANY idle healthy cubes; the TPU v3-style baseline needs
+// contiguous blocks. Also the §4.2.2 repair ablation: cube swap under
+// failures keeps jobs alive on the reconfigurable fabric only.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/scheduler.h"
+#include "tpu/superpod.h"
+
+using namespace lightwave;
+using common::Table;
+
+namespace {
+
+void RunComparison(const char* title, const core::WorkloadConfig& config) {
+  std::printf("--- %s ---\n", title);
+  Table table({"policy", "submitted", "accepted", "acceptance", "utilization", "repaired",
+               "lost to failure"});
+  for (auto policy :
+       {core::AllocationPolicy::kReconfigurable, core::AllocationPolicy::kContiguous}) {
+    tpu::Superpod pod(99);
+    const auto result = core::SimulateWorkload(pod, policy, config);
+    table.AddRow({core::ToString(policy), std::to_string(result.submitted),
+                  std::to_string(result.accepted), Table::Percent(result.acceptance_rate, 1),
+                  Table::Percent(result.utilization, 1), std::to_string(result.repaired),
+                  std::to_string(result.lost_to_failure)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== scheduling efficiency: reconfigurable vs contiguous allocation ===\n");
+
+  core::WorkloadConfig moderate;
+  moderate.sim_hours = 3000.0;
+  moderate.arrival_rate_per_hour = 1.4;
+  moderate.mean_duration_hours = 8.0;
+  RunComparison("moderate load (~80% offered)", moderate);
+
+  core::WorkloadConfig heavy = moderate;
+  heavy.arrival_rate_per_hour = 2.5;
+  RunComparison("heavy load (oversubscribed)", heavy);
+
+  core::WorkloadConfig large_jobs = moderate;
+  large_jobs.size_menu_cubes = {4, 8, 8, 16, 16, 32};
+  large_jobs.arrival_rate_per_hour = 0.6;
+  RunComparison("large-slice mix (the 4x-larger-slices regime of TPU v4)", large_jobs);
+
+  core::WorkloadConfig with_failures = moderate;
+  with_failures.cube_mtbf_hours = 1500.0;
+  with_failures.cube_repair_hours = 24.0;
+  RunComparison("moderate load with cube failures (MTBF 1500 h/cube)", with_failures);
+
+  // Production behaviour: jobs queue instead of being rejected; the metric
+  // becomes wait time.
+  std::printf("\n--- queued jobs (production mode): wait-time comparison ---\n");
+  Table queued({"policy", "submitted", "ran", "from queue", "mean wait h", "max wait h",
+                "utilization"});
+  core::WorkloadConfig queue_config = heavy;
+  queue_config.queue_jobs = true;
+  for (auto policy :
+       {core::AllocationPolicy::kReconfigurable, core::AllocationPolicy::kContiguous}) {
+    tpu::Superpod pod(99);
+    const auto r = core::SimulateWorkload(pod, policy, queue_config);
+    queued.AddRow({core::ToString(policy), std::to_string(r.submitted),
+                   std::to_string(r.accepted), std::to_string(r.started_from_queue),
+                   Table::Num(r.mean_wait_hours, 1), Table::Num(r.max_wait_hours, 1),
+                   Table::Percent(r.utilization, 1)});
+  }
+  std::printf("%s", queued.Render().c_str());
+
+  std::printf("\npaper: TPU v4 fleet runs at > 98%% utilization despite 4x larger slices;\n"
+              "the reconfigurable policy's acceptance/utilization advantage and its\n"
+              "failure repairs (cube swap, impossible for the static fabric) are the\n"
+              "mechanisms behind that fleet-level result.\n");
+  return 0;
+}

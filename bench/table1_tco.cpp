@@ -1,0 +1,33 @@
+// Table 1: relative cost and power of three fabrics connecting 4096 TPU v4
+// chips, normalized to the static direct-connect topology. Also the §4.2.3
+// deployment footprint (OCS + fiber count halving with bidirectionality).
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/tco.h"
+
+using namespace lightwave;
+using common::Table;
+
+int main() {
+  std::printf("=== Table 1: fabric cost/power for a 4096-TPU superpod ===\n");
+  Table table({"fabric", "relative cost", "relative power", "capex $M", "power kW"});
+  for (const auto& row : core::SuperpodFabricComparison()) {
+    table.AddRow({row.name, Table::Factor(row.relative_cost), Table::Factor(row.relative_power),
+                  Table::Num(row.capex_usd / 1e6, 2), Table::Num(row.power_w / 1e3, 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("paper: DCN 1.24x/1.10x, Lightwave 1.06x/1.01x, Static 1x/1x\n\n");
+
+  std::printf("=== §4.2.3: deployment footprint by transceiver technology ===\n");
+  Table footprint({"transceiver", "OCS count", "fiber strands", "OCS capex $M"});
+  for (const auto& row : core::SuperpodDeploymentFootprints()) {
+    footprint.AddRow({row.transceiver, std::to_string(row.ocs_count),
+                      std::to_string(row.fiber_strands),
+                      Table::Num(row.ocs_capex_usd / 1e6, 2)});
+  }
+  std::printf("%s", footprint.Render().c_str());
+  std::printf("paper: bidi saves 50%% of OCS and fiber cost (96 -> 48 OCSes); CWDM8 "
+              "halves again (-> 24)\n");
+  return 0;
+}

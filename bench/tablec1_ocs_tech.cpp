@@ -1,0 +1,58 @@
+// Table C.1: cost, scale, performance, and reliability comparison of OCS
+// technologies, and the requirements-driven ranking that selects MEMS for
+// the DCN and ML use cases (§3.2.1) — plus future-use-case rankings where
+// other technologies win (§6).
+#include <cstdio>
+
+#include "common/table.h"
+#include "ocs/technology.h"
+
+using namespace lightwave;
+using common::Table;
+
+namespace {
+
+std::string SwitchTime(double seconds) {
+  if (seconds >= 1.0) return Table::Num(seconds, 0) + " s";
+  if (seconds >= 1e-3) return Table::Num(seconds * 1e3, 0) + " ms";
+  if (seconds >= 1e-6) return Table::Num(seconds * 1e6, 0) + " us";
+  return Table::Num(seconds * 1e9, 0) + " ns";
+}
+
+void Rank(const char* title, const ocs::UseCaseRequirements& req) {
+  std::printf("--- %s (ports >= %d, switch <= %s, IL <= %.1f dB) ---\n", title, req.min_ports,
+              SwitchTime(req.max_switching_time_s).c_str(), req.max_insertion_loss_db);
+  Table table({"rank", "technology", "score", "rationale"});
+  int rank = 1;
+  for (const auto& ts : ocs::RankTechnologies(req, ocs::OcsTechnologies())) {
+    table.AddRow({std::to_string(rank++), ts.technology.name, Table::Num(ts.score, 1),
+                  ts.rationale});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table C.1: OCS technology comparison ===\n");
+  Table table({"technology", "cost", "ports", "switching", "IL dB", "drive V", "latching"});
+  for (const auto& t : ocs::OcsTechnologies()) {
+    table.AddRow({t.name, ocs::ToString(t.cost),
+                  std::to_string(t.port_count) + "x" + std::to_string(t.port_count),
+                  SwitchTime(t.switching_time_s), Table::Num(t.insertion_loss_db, 1),
+                  t.driving_voltage_v > 0 ? Table::Num(t.driving_voltage_v, 0) : "n/a",
+                  t.latching ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  Rank("DCN / ML superpod use case", ocs::UseCaseRequirements{});
+  std::printf("(paper: MEMS currently provides the best match — §3.2.1)\n\n");
+
+  ocs::UseCaseRequirements fast;
+  fast.min_ports = 16;
+  fast.max_switching_time_s = 1e-6;
+  fast.max_insertion_loss_db = 6.0;
+  Rank("fast-reconfiguration future use case (§6)", fast);
+  std::printf("(nanosecond-class switching favors guided-wave/wavelength approaches)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Traffic-pattern ablation on the slice torus under deterministic routing
+// (§4.2.1): collective-style ring traffic uses the fabric perfectly, while
+// adversarial permutations concentrate load — the quantitative reason slice
+// shape is matched to the workload's communication pattern.
+#include <cstdio>
+
+#include "common/table.h"
+#include "sim/torus_traffic.h"
+
+using namespace lightwave;
+using common::Table;
+
+namespace {
+
+void Analyze(const tpu::SliceShape& shape, double bytes) {
+  std::printf("--- slice %s, %.0f MB per flow ---\n", shape.ToString().c_str(), bytes / 1e6);
+  Table table({"pattern", "mean hops", "peak link load", "mean link load",
+               "completion us", "link efficiency"});
+  struct Row {
+    const char* name;
+    sim::Pattern pattern;
+  };
+  const std::vector<Row> rows = {
+      {"ring shift x (collective)", sim::NeighborShift(shape, tpu::Dim::kX)},
+      {"ring shift z (collective)", sim::NeighborShift(shape, tpu::Dim::kZ)},
+      {"transpose", sim::Transpose(shape)},
+      {"opposite corner", sim::Opposite(shape)},
+      {"random permutation", sim::RandomPermutation(shape, 4242)},
+  };
+  for (const auto& row : rows) {
+    const auto a = sim::AnalyzePattern(shape, row.pattern, row.name, bytes);
+    table.AddRow({row.name, Table::Num(a.mean_hops_per_flow, 1),
+                  std::to_string(a.peak_link_load), Table::Num(a.mean_link_load, 2),
+                  Table::Num(a.completion_us, 0), Table::Percent(a.link_efficiency, 0)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== deterministic torus routing: traffic-pattern sensitivity ===\n");
+  Analyze(tpu::SliceShape{2, 2, 2}, 64e6);   // 8x8x8 (512 chips)
+  std::printf("\n");
+  Analyze(tpu::SliceShape{1, 1, 16}, 64e6);  // 4x4x64 (1024 chips, skinny)
+  std::printf("\nring-shift traffic (what the collectives generate) runs at 100%% link\n"
+              "efficiency on any shape; adversarial permutations pay peak-link\n"
+              "serialization — matching slice shape to the workload's pattern is what\n"
+              "keeps the fabric in the efficient regime (§4.2.1).\n");
+  return 0;
+}

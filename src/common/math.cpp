@@ -1,0 +1,83 @@
+#include "common/math.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lightwave::common {
+
+double QFunction(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double QInverse(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation for the normal quantile, then Newton.
+  // Q^{-1}(p) = -Phi^{-1}(p) where Phi is the standard normal CDF? No:
+  // Q(x) = 1 - Phi(x), so x = Phi^{-1}(1 - p).
+  const double target = 1.0 - p;
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x = 0.0;
+  if (target < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(target));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (target <= 1.0 - p_low) {
+    const double q = target - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - target));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // Two Newton steps against Q(x) = p for full double precision.
+  for (int i = 0; i < 2; ++i) {
+    const double err = QFunction(x) - p;
+    const double pdf = std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+    if (pdf <= 0.0) break;
+    x += err / pdf;  // dQ/dx = -pdf, so subtracting err/(-pdf) adds err/pdf.
+  }
+  return x;
+}
+
+std::vector<double> Linspace(double lo, double hi, int n) {
+  assert(n >= 2);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  const double step = (hi - lo) / (n - 1);
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = lo + step * i;
+  out.back() = hi;
+  return out;
+}
+
+double BinomialCoefficient(int n, int k) {
+  assert(n >= 0 && k >= 0);
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+double AtLeastKofN(int n, int k, double p) {
+  assert(n >= 0 && k >= 0 && p >= 0.0 && p <= 1.0);
+  double total = 0.0;
+  for (int i = k; i <= n; ++i) {
+    total += BinomialCoefficient(n, i) * std::pow(p, i) * std::pow(1.0 - p, n - i);
+  }
+  return std::min(1.0, total);
+}
+
+}  // namespace lightwave::common

@@ -1,0 +1,27 @@
+// Numeric helpers shared by the PHY and availability models: the Gaussian
+// tail function and its inverse (receiver BER math), linear ranges, and
+// combinatorics for availability composition.
+#pragma once
+
+#include <vector>
+
+namespace lightwave::common {
+
+/// Gaussian tail probability Q(x) = P[N(0,1) > x].
+double QFunction(double x);
+
+/// Inverse of QFunction on (0, 1); Newton refinement over an initial
+/// rational approximation, accurate to ~1e-12.
+double QInverse(double p);
+
+/// `n` evenly spaced points from lo to hi inclusive (n >= 2).
+std::vector<double> Linspace(double lo, double hi, int n);
+
+/// Binomial coefficient as a double (exact for the small n used here).
+double BinomialCoefficient(int n, int k);
+
+/// Probability that at least `k` of `n` independent components, each up with
+/// probability `p`, are up. Used for spared-component availability.
+double AtLeastKofN(int n, int k, double p);
+
+}  // namespace lightwave::common

@@ -1,0 +1,111 @@
+// Minimal expected-style result type used across the control plane. C++20
+// lacks std::expected; this is the subset the library needs: a value or an
+// error message, never both, with checked access.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lightwave::common {
+
+/// Error carried by a failed Result. A short machine-readable code plus a
+/// human-readable message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kResourceExhausted,
+    kFailedPrecondition,
+    kUnavailable,
+    kInternal,
+  };
+  Code code = Code::kInternal;
+  std::string message;
+};
+
+inline const char* ToString(Error::Code c) {
+  switch (c) {
+    case Error::Code::kInvalidArgument: return "invalid-argument";
+    case Error::Code::kNotFound: return "not-found";
+    case Error::Code::kAlreadyExists: return "already-exists";
+    case Error::Code::kResourceExhausted: return "resource-exhausted";
+    case Error::Code::kFailedPrecondition: return "failed-precondition";
+    case Error::Code::kUnavailable: return "unavailable";
+    case Error::Code::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Value-or-error. `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+inline Error InvalidArgument(std::string msg) {
+  return Error{Error::Code::kInvalidArgument, std::move(msg)};
+}
+inline Error NotFound(std::string msg) { return Error{Error::Code::kNotFound, std::move(msg)}; }
+inline Error AlreadyExists(std::string msg) {
+  return Error{Error::Code::kAlreadyExists, std::move(msg)};
+}
+inline Error ResourceExhausted(std::string msg) {
+  return Error{Error::Code::kResourceExhausted, std::move(msg)};
+}
+inline Error FailedPrecondition(std::string msg) {
+  return Error{Error::Code::kFailedPrecondition, std::move(msg)};
+}
+inline Error Unavailable(std::string msg) {
+  return Error{Error::Code::kUnavailable, std::move(msg)};
+}
+inline Error Internal(std::string msg) { return Error{Error::Code::kInternal, std::move(msg)}; }
+
+}  // namespace lightwave::common

@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace lightwave::common {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::Factor(double v, int precision) { return Num(v, precision) + "x"; }
+
+std::string Table::Percent(double fraction, int precision) {
+  return Num(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::Sci(double v, int precision) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << " " << std::left << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&] {
+    out << "+";
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << "+";
+    out << "\n";
+  };
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+}  // namespace lightwave::common

@@ -1,0 +1,31 @@
+// ASCII table rendering for the bench harness, so each bench prints rows in
+// the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lightwave::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Formats a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 2);
+  /// Formats as "1.24x" style relative factor.
+  static std::string Factor(double v, int precision = 2);
+  /// Formats as percentage, e.g. 97.5%.
+  static std::string Percent(double fraction, int precision = 1);
+  /// Scientific notation, e.g. 2.0e-04.
+  static std::string Sci(double v, int precision = 1);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lightwave::common

@@ -1,0 +1,96 @@
+// Strong types for the decibel-domain quantities used throughout the optical
+// stack. Keeping gains (dB) and absolute powers (dBm) as distinct types makes
+// the link-budget arithmetic self-checking: only physically meaningful
+// combinations compile (power + gain -> power, power - power -> gain, ...).
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace lightwave::common {
+
+/// A relative power ratio expressed in decibels. Used for gains, losses,
+/// penalties, and margins. Negative values are losses when the quantity is
+/// framed as a gain and vice versa.
+class Decibel {
+ public:
+  constexpr Decibel() = default;
+  constexpr explicit Decibel(double db) : db_(db) {}
+
+  /// Builds a dB value from a linear power ratio (> 0).
+  static Decibel FromLinear(double ratio) { return Decibel(10.0 * std::log10(ratio)); }
+
+  constexpr double value() const { return db_; }
+  double linear() const { return std::pow(10.0, db_ / 10.0); }
+
+  constexpr Decibel operator+(Decibel other) const { return Decibel(db_ + other.db_); }
+  constexpr Decibel operator-(Decibel other) const { return Decibel(db_ - other.db_); }
+  constexpr Decibel operator-() const { return Decibel(-db_); }
+  constexpr Decibel operator*(double k) const { return Decibel(db_ * k); }
+  constexpr Decibel& operator+=(Decibel other) {
+    db_ += other.db_;
+    return *this;
+  }
+  constexpr Decibel& operator-=(Decibel other) {
+    db_ -= other.db_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Decibel&) const = default;
+
+ private:
+  double db_ = 0.0;
+};
+
+/// An absolute optical power referenced to 1 mW, expressed in dBm.
+class DbmPower {
+ public:
+  constexpr DbmPower() = default;
+  constexpr explicit DbmPower(double dbm) : dbm_(dbm) {}
+
+  static DbmPower FromMilliwatts(double mw) { return DbmPower(10.0 * std::log10(mw)); }
+
+  constexpr double value() const { return dbm_; }
+  double milliwatts() const { return std::pow(10.0, dbm_ / 10.0); }
+
+  /// Applying a gain (or a negative-valued loss) to a power yields a power.
+  constexpr DbmPower operator+(Decibel gain) const { return DbmPower(dbm_ + gain.value()); }
+  constexpr DbmPower operator-(Decibel loss) const { return DbmPower(dbm_ - loss.value()); }
+  /// The ratio between two powers is a relative quantity.
+  constexpr Decibel operator-(DbmPower other) const { return Decibel(dbm_ - other.dbm_); }
+  constexpr auto operator<=>(const DbmPower&) const = default;
+
+ private:
+  double dbm_ = 0.0;
+};
+
+namespace literals {
+constexpr Decibel operator""_dB(long double v) { return Decibel(static_cast<double>(v)); }
+constexpr Decibel operator""_dB(unsigned long long v) { return Decibel(static_cast<double>(v)); }
+constexpr DbmPower operator""_dBm(long double v) { return DbmPower(static_cast<double>(v)); }
+constexpr DbmPower operator""_dBm(unsigned long long v) {
+  return DbmPower(static_cast<double>(v));
+}
+}  // namespace literals
+
+/// Wavelength in nanometres; plain value type with arithmetic helpers.
+struct Nanometers {
+  double nm = 0.0;
+  constexpr auto operator<=>(const Nanometers&) const = default;
+};
+
+/// Data rate in gigabits per second.
+struct GbitPerSec {
+  double gbps = 0.0;
+  constexpr auto operator<=>(const GbitPerSec&) const = default;
+};
+
+/// Sums a set of interferer powers expressed in dB relative to carrier.
+/// Returns the aggregate relative power, again in dB (all terms add in the
+/// linear domain).
+inline Decibel SumInterferers(const Decibel* terms, int count) {
+  double lin = 0.0;
+  for (int i = 0; i < count; ++i) lin += terms[i].linear();
+  return lin > 0.0 ? Decibel::FromLinear(lin) : Decibel(-400.0);
+}
+
+}  // namespace lightwave::common

@@ -1,0 +1,128 @@
+#include "core/fabric_manager.h"
+#include <algorithm>
+
+#include "optics/link_budget.h"
+#include "phy/ber_model.h"
+#include "phy/oim.h"
+
+namespace lightwave::core {
+
+using common::Result;
+using common::Status;
+
+FabricManager::FabricManager(FabricManagerConfig config) : config_(config) {
+  pod_ = std::make_unique<tpu::Superpod>(config.seed, config.cubes, config.ocs_per_dim);
+  scheduler_ = std::make_unique<SliceScheduler>(*pod_, config.policy);
+  bus_ = std::make_unique<ctrl::MessageBus>(config.seed ^ 0x5ca1ab1eULL);
+  bus_->SetDropProbability(config.control_drop_probability);
+  controller_ = std::make_unique<ctrl::FabricController>(*bus_);
+  for (int i = 0; i < pod_->ocs_count(); ++i) {
+    agents_.push_back(std::make_unique<ctrl::OcsAgent>(pod_->ocs(i)));
+    controller_->Register(i, agents_.back().get());
+  }
+}
+
+Result<tpu::SliceId> FabricManager::CreateSlice(const tpu::SliceShape& shape) {
+  return scheduler_->Allocate(shape);
+}
+
+Status FabricManager::DestroySlice(tpu::SliceId id) { return scheduler_->Release(id); }
+
+Result<tpu::SliceId> FabricManager::HandleCubeFailure(int cube_id) {
+  if (cube_id < 0 || cube_id >= pod_->cube_count()) {
+    return common::InvalidArgument("cube id out of range");
+  }
+  pod_->cube(cube_id).SetHostHealth(0, false);
+  auto owner = pod_->SliceOwningCube(cube_id);
+  if (!owner.has_value()) {
+    return common::NotFound("no slice owned the failed cube; nothing to repair");
+  }
+  return scheduler_->RepairSlice(*owner);
+}
+
+std::vector<LinkQualityReport> FabricManager::SurveyLinkQuality(
+    const optics::TransceiverSpec& transceiver, const LinkQualityOptions& options) const {
+  std::vector<LinkQualityReport> reports;
+  const phy::BerModel ber_model = phy::BerModel::ForTransceiver(transceiver);
+  const phy::OimFilter oim;
+  for (int i = 0; i < pod_->ocs_count(); ++i) {
+    for (const auto& conn : pod_->ocs(i).SurveyConnections()) {
+      // Per-module manufacturing spread is a property of the transceivers on
+      // this link, so derive it deterministically from the link identity
+      // (stable across re-surveys; a re-patched OCS path keeps its modules).
+      common::Rng population(options.seed ^
+                             (static_cast<std::uint64_t>(i) * 1000003ull +
+                              static_cast<std::uint64_t>(conn.north) * 131ull +
+                              static_cast<std::uint64_t>(conn.south)));
+      optics::LinkBudget budget = optics::MakeSuperpodLink(
+          transceiver, conn.insertion_loss, conn.return_loss);
+      const optics::LinkAnalysis analysis = budget.Analyze();
+      const auto& worst = analysis.WorstLane();
+      // Per-module manufacturing spread plus the reserved end-of-life
+      // derating; both eat into the beginning-of-life margin.
+      // Manufacturing screens truncate the population tails (parts outside
+      // +/-2 sigma never ship), which is what keeps every field link inside
+      // the budget.
+      auto screened = [&](double sigma) {
+        return std::clamp(population.Gaussian(0.0, sigma), -2.0 * sigma, 2.0 * sigma);
+      };
+      const double spread = screened(options.tx_power_sigma_db) -
+                            std::abs(screened(options.sensitivity_sigma_db));
+      const common::DbmPower effective_rx =
+          worst.rx_power - common::Decibel{options.derating_db - spread};
+      LinkQualityReport report;
+      report.ocs_id = i;
+      report.north = conn.north;
+      report.south = conn.south;
+      report.insertion_loss_db = conn.insertion_loss.value();
+      report.rx_power_dbm = worst.rx_power.value();
+      report.mpi_db = analysis.mpi.value();
+      report.margin_db = (effective_rx - transceiver.rx_sensitivity).value();
+      report.pre_fec_ber =
+          transceiver.has_oim_dsp
+              ? ber_model.PreFecBerWithOim(effective_rx, analysis.mpi, oim)
+              : ber_model.PreFecBer(effective_rx, analysis.mpi);
+      reports.push_back(report);
+    }
+  }
+  return reports;
+}
+
+std::map<int, ctrl::TelemetryReply> FabricManager::CollectTelemetry() {
+  return controller_->CollectTelemetry();
+}
+
+FabricManager::RepairSummary FabricManager::RepairOutOfBudgetLinks(
+    const optics::TransceiverSpec& transceiver, const LinkQualityOptions& options,
+    double min_margin_db, int max_rounds) {
+  RepairSummary summary;
+  for (int round = 0; round < max_rounds; ++round) {
+    bool repaired_any = false;
+    for (const auto& report : SurveyLinkQuality(transceiver, options)) {
+      const bool out_of_budget =
+          report.pre_fec_ber > phy::kKp4BerThreshold || report.margin_db < min_margin_db;
+      if (!out_of_budget) continue;
+      // Re-patch both ends of the path onto spare collimator positions (the
+      // production use of the 8 spare ports: "link testing and repairs").
+      ocs::PalomarSwitch& sw = pod_->ocs(report.ocs_id);
+      const bool north_ok = sw.RemapToSpare(true, report.north).ok();
+      const bool south_ok = sw.RemapToSpare(false, report.south).ok();
+      if (north_ok || south_ok) {
+        ++summary.repairs_attempted;
+        repaired_any = true;
+      } else {
+        ++summary.unrepairable;
+      }
+    }
+    if (!repaired_any) break;
+  }
+  // Final audit.
+  for (const auto& report : SurveyLinkQuality(transceiver, options)) {
+    if (report.pre_fec_ber > phy::kKp4BerThreshold || report.margin_db < min_margin_db) {
+      ++summary.still_out_of_budget;
+    }
+  }
+  return summary;
+}
+
+}  // namespace lightwave::core

@@ -1,0 +1,308 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "sim/event.h"
+
+namespace lightwave::core {
+
+using common::Result;
+using common::Status;
+using tpu::SliceId;
+using tpu::SliceShape;
+using tpu::SliceTopology;
+
+const char* ToString(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kReconfigurable: return "reconfigurable";
+    case AllocationPolicy::kContiguous: return "contiguous";
+  }
+  return "?";
+}
+
+SliceScheduler::SliceScheduler(tpu::Superpod& pod, AllocationPolicy policy)
+    : pod_(pod), policy_(policy) {}
+
+std::optional<std::vector<int>> SliceScheduler::PickCubes(const SliceShape& shape) const {
+  const int want = shape.CubeCount();
+  if (policy_ == AllocationPolicy::kReconfigurable) {
+    const auto free = pod_.FreeHealthyCubes();
+    if (static_cast<int>(free.size()) < want) return std::nullopt;
+    return std::vector<int>(free.begin(), free.begin() + want);
+  }
+
+  // Contiguous policy: the pod's cubes live on a fixed side x side x side
+  // grid; the slice must occupy an aligned sub-box (in any axis order).
+  const int side = static_cast<int>(std::lround(std::cbrt(pod_.cube_count())));
+  if (side * side * side != pod_.cube_count()) return std::nullopt;
+  auto grid_id = [&](int x, int y, int z) { return x + side * (y + side * z); };
+
+  std::set<int> free_set;
+  for (int id : pod_.FreeHealthyCubes()) free_set.insert(id);
+
+  int dims[3] = {shape.a, shape.b, shape.c};
+  std::sort(dims, dims + 3);
+  // Try all axis orders of the sorted dims.
+  int perm[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (auto& p : perm) {
+    const int dx = dims[p[0]], dy = dims[p[1]], dz = dims[p[2]];
+    if (dx > side || dy > side || dz > side) continue;
+    for (int ox = 0; ox + dx <= side; ++ox) {
+      for (int oy = 0; oy + dy <= side; ++oy) {
+        for (int oz = 0; oz + dz <= side; ++oz) {
+          std::vector<int> cubes;
+          cubes.reserve(static_cast<std::size_t>(dx) * dy * dz);
+          bool ok = true;
+          for (int z = oz; ok && z < oz + dz; ++z) {
+            for (int y = oy; ok && y < oy + dy; ++y) {
+              for (int x = ox; ok && x < ox + dx; ++x) {
+                const int id = grid_id(x, y, z);
+                if (!free_set.contains(id)) {
+                  ok = false;
+                } else {
+                  cubes.push_back(id);
+                }
+              }
+            }
+          }
+          if (ok) return cubes;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Result<SliceId> SliceScheduler::Allocate(const SliceShape& shape) {
+  ++stats_.requests;
+  auto cubes = PickCubes(shape);
+  if (!cubes.has_value()) {
+    ++stats_.rejected;
+    return common::ResourceExhausted("no placement for shape " + shape.ToCubeString() +
+                                     " under " + ToString(policy_) + " policy");
+  }
+  auto topology = SliceTopology::Create(shape, std::move(*cubes));
+  if (!topology.ok()) {
+    ++stats_.rejected;
+    return topology.error();
+  }
+  auto installed = pod_.InstallSlice(topology.value());
+  if (!installed.ok()) {
+    ++stats_.rejected;
+    return installed.error();
+  }
+  ++stats_.accepted;
+  return installed.value();
+}
+
+Status SliceScheduler::Release(SliceId id) { return pod_.RemoveSlice(id); }
+
+Result<SliceId> SliceScheduler::RepairSlice(SliceId id) {
+  auto it = pod_.slices().find(id);
+  if (it == pod_.slices().end()) return common::NotFound("no such slice");
+  const SliceShape shape = it->second.topology.shape();
+  std::vector<int> cubes = it->second.topology.cube_ids();
+
+  if (policy_ != AllocationPolicy::kReconfigurable) {
+    return common::FailedPrecondition("static fabric cannot swap cubes");
+  }
+
+  // Identify dead cubes and candidate spares.
+  std::vector<std::size_t> dead_positions;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (!pod_.cube(cubes[i]).Healthy()) dead_positions.push_back(i);
+  }
+  if (dead_positions.empty()) return id;  // nothing to do
+
+  auto spares = pod_.FreeHealthyCubes();
+  if (spares.size() < dead_positions.size()) {
+    return common::ResourceExhausted("not enough healthy spare cubes");
+  }
+
+  // Remove, patch the assignment, reinstall. Other slices stay untouched
+  // thanks to the switches' undisturbed reconfiguration.
+  auto removed = pod_.RemoveSlice(id);
+  if (!removed.ok()) return removed.error();
+  for (std::size_t i = 0; i < dead_positions.size(); ++i) {
+    cubes[dead_positions[i]] = spares[i];
+  }
+  auto topology = SliceTopology::Create(shape, std::move(cubes));
+  if (!topology.ok()) return topology.error();
+  auto installed = pod_.InstallSlice(topology.value());
+  if (!installed.ok()) return installed.error();
+  ++stats_.repairs;
+  return installed.value();
+}
+
+int SliceScheduler::BusyCubes() const {
+  int busy = 0;
+  for (const auto& [id, slice] : pod_.slices()) {
+    busy += slice.topology.shape().CubeCount();
+  }
+  return busy;
+}
+
+namespace {
+
+/// Most-compact shape for n cubes: the factor triple minimizing max/min.
+SliceShape MostCompactShape(int n) {
+  SliceShape best{1, 1, n};
+  double best_score = 1e18;
+  for (const auto& s : tpu::EnumerateCanonicalShapes(n)) {
+    const double score = static_cast<double>(std::max({s.a, s.b, s.c})) /
+                         std::min({s.a, s.b, s.c});
+    if (score < best_score) {
+      best_score = score;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
+                                const WorkloadConfig& config) {
+  SliceScheduler scheduler(pod, policy);
+  sim::EventQueue queue;
+  common::Rng rng(config.seed);
+
+  WorkloadResult result;
+  // Jobs survive slice re-homing (repair changes the slice id), so track
+  // both directions of the job <-> slice association.
+  std::map<std::uint64_t, SliceId> job_to_slice;
+  std::map<SliceId, std::uint64_t> slice_to_job;
+  std::uint64_t next_job = 1;
+  double busy_integral = 0.0;  // cube-hours
+  double unhealthy_integral = 0.0;
+  double last_t = 0.0;
+  int unhealthy_cubes = 0;
+
+  auto advance_integrals = [&] {
+    const double now = queue.now();
+    busy_integral += scheduler.BusyCubes() * (now - last_t);
+    unhealthy_integral += unhealthy_cubes * (now - last_t);
+    last_t = now;
+  };
+
+  // --- job lifecycle ----------------------------------------------------------
+  struct PendingJob {
+    SliceShape shape;
+    double duration;
+    double submitted_at;
+  };
+  std::deque<PendingJob> backlog;
+  double wait_sum = 0.0;
+  std::uint64_t wait_count = 0;
+
+  // Starts a job now if capacity allows; schedules its completion.
+  std::function<void()> drain_backlog;  // forward declaration for completions
+  auto try_start = [&](const PendingJob& pending) {
+    auto allocated = scheduler.Allocate(pending.shape);
+    if (!allocated.ok()) return false;
+    ++result.accepted;
+    const double wait = queue.now() - pending.submitted_at;
+    if (wait > 0.0) {
+      ++result.started_from_queue;
+      wait_sum += wait;
+      ++wait_count;
+      result.max_wait_hours = std::max(result.max_wait_hours, wait);
+    }
+    const std::uint64_t job = next_job++;
+    job_to_slice[job] = allocated.value();
+    slice_to_job[allocated.value()] = job;
+    queue.After(pending.duration, [&, job] {
+      advance_integrals();
+      // The job may have been re-homed by a repair; look up the live id.
+      auto it = job_to_slice.find(job);
+      if (it != job_to_slice.end()) {
+        (void)scheduler.Release(it->second);
+        slice_to_job.erase(it->second);
+        job_to_slice.erase(it);
+      }
+      drain_backlog();  // freed capacity: admit waiting jobs FIFO
+    });
+    return true;
+  };
+  drain_backlog = [&] {
+    while (!backlog.empty() && try_start(backlog.front())) backlog.pop_front();
+  };
+
+  std::function<void()> schedule_arrival = [&] {
+    advance_integrals();
+    ++result.submitted;
+    const int size = config.size_menu_cubes[static_cast<std::size_t>(
+        rng.UniformInt(config.size_menu_cubes.size()))];
+    const SliceShape shape = MostCompactShape(size);
+    // Draw the duration regardless of acceptance so the RNG stream (and
+    // hence the offered workload) is identical across policies.
+    const double duration = rng.Exponential(1.0 / config.mean_duration_hours);
+    const PendingJob pending{shape, duration, queue.now()};
+    // FIFO fairness: a job may only jump the queue when nothing is waiting.
+    const bool started = (backlog.empty() || !config.queue_jobs) && try_start(pending);
+    if (!started && config.queue_jobs) backlog.push_back(pending);
+    queue.After(rng.Exponential(config.arrival_rate_per_hour), schedule_arrival);
+  };
+  queue.After(rng.Exponential(config.arrival_rate_per_hour), schedule_arrival);
+
+  // --- failures ---------------------------------------------------------------
+  std::function<void()> schedule_failure = [&] {
+    advance_integrals();
+    const int cube_id = static_cast<int>(
+        rng.UniformInt(static_cast<std::uint64_t>(pod.cube_count())));
+    if (pod.cube(cube_id).Healthy()) {
+      pod.cube(cube_id).SetHostHealth(
+          static_cast<int>(rng.UniformInt(tpu::kHostsPerCube)), false);
+      ++unhealthy_cubes;
+      queue.After(config.cube_repair_hours, [&, cube_id] {
+        advance_integrals();
+        pod.cube(cube_id).Restore();
+        --unhealthy_cubes;
+        drain_backlog();  // a cube came back: waiting jobs may now fit
+      });
+      // If a slice owned the cube, try to repair it (cube swap).
+      auto owner = pod.SliceOwningCube(cube_id);
+      if (owner.has_value() && slice_to_job.contains(*owner)) {
+        const std::uint64_t job = slice_to_job.at(*owner);
+        auto repaired = scheduler.RepairSlice(*owner);
+        slice_to_job.erase(*owner);
+        if (repaired.ok()) {
+          ++result.repaired;
+          job_to_slice[job] = repaired.value();
+          slice_to_job[repaired.value()] = job;
+        } else {
+          ++result.lost_to_failure;
+          job_to_slice.erase(job);
+          (void)pod.RemoveSlice(*owner);
+          drain_backlog();  // the dead job's cubes freed up
+        }
+      }
+    }
+    queue.After(rng.Exponential(pod.cube_count() / config.cube_mtbf_hours),
+                schedule_failure);
+  };
+  if (config.cube_mtbf_hours > 0.0) {
+    queue.After(rng.Exponential(pod.cube_count() / config.cube_mtbf_hours),
+                schedule_failure);
+  }
+
+  queue.Run(config.sim_hours);
+  advance_integrals();
+
+  result.acceptance_rate =
+      result.submitted > 0
+          ? static_cast<double>(result.accepted) / static_cast<double>(result.submitted)
+          : 0.0;
+  const double available = pod.cube_count() * config.sim_hours - unhealthy_integral;
+  result.utilization = available > 0.0 ? busy_integral / available : 0.0;
+  result.mean_wait_hours = wait_count > 0 ? wait_sum / static_cast<double>(wait_count) : 0.0;
+  result.left_in_queue = backlog.size();
+  return result;
+}
+
+}  // namespace lightwave::core

@@ -1,0 +1,154 @@
+#include "core/tco.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tpu/wiring.h"
+
+namespace lightwave::core {
+namespace {
+
+struct PodGeometry {
+  int optical_links;     // inter-cube links (one strand with bidi optics)
+  int optical_ends;      // link endpoints
+  int electrical_links;  // intra-cube ICI links
+};
+
+PodGeometry ProductionPod() {
+  // 64 cubes x 96 optical face links, each link shared by two cubes; intra-
+  // cube 4x4x4 mesh has 3 * 4*4*3 = 144 electrical links per cube.
+  const int cubes = tpu::kCubesPerPod;
+  PodGeometry g;
+  g.optical_ends = cubes * tpu::kOpticalLinksPerCube;  // 6144
+  g.optical_links = g.optical_ends / 2;                // 3072
+  g.electrical_links = cubes * 144;
+  return g;
+}
+
+}  // namespace
+
+std::vector<FabricTco> SuperpodFabricComparison(const ComponentPrices& p) {
+  const PodGeometry g = ProductionPod();
+  std::vector<FabricTco> out;
+
+  const double elec_usd = g.electrical_links * p.electrical_link_usd;
+  const double elec_w = g.electrical_links * p.electrical_link_w;
+
+  // --- static direct-connect baseline ---------------------------------------
+  // Duplex short-reach modules at every link end, two strands per link,
+  // fixed 16x16x16 wiring.
+  FabricTco fabric_static;
+  fabric_static.name = "Static";
+  fabric_static.capex_usd = elec_usd + g.optical_ends * p.static_duplex_module_usd +
+                            2.0 * g.optical_links * p.fiber_run_usd;
+  fabric_static.power_w = elec_w + g.optical_ends * p.static_duplex_module_w;
+
+  // --- lightwave fabric -------------------------------------------------------
+  // Bidi OSFPs (one module per two link-ends), one strand per link, 48
+  // Palomar OCSes.
+  FabricTco lightwave;
+  lightwave.name = "Lightwave Fabric";
+  const int bidi_modules = g.optical_ends / 2;
+  const int ocs_count = tpu::OcsCountForTransceiver(/*bidirectional=*/true,
+                                                    /*wavelengths_per_fiber=*/4);
+  lightwave.capex_usd = elec_usd + bidi_modules * p.bidi_osfp_module_usd +
+                        g.optical_links * p.fiber_run_usd + ocs_count * p.ocs_usd;
+  lightwave.power_w = elec_w + bidi_modules * p.bidi_osfp_module_w + ocs_count * p.ocs_w;
+
+  // --- EPS-based DCN fabric ----------------------------------------------------
+  // Cube links terminate on oversubscribed aggregation EPSes: duplex modules
+  // at the cubes, short-reach modules + switch ports at the EPS layer.
+  FabricTco dcn;
+  dcn.name = "DCN (EPS)";
+  const double eps_ports = g.optical_ends / p.eps_oversubscription;
+  dcn.capex_usd = elec_usd + g.optical_ends * p.static_duplex_module_usd +
+                  eps_ports * (p.eps_port_usd + p.eps_side_module_usd) +
+                  2.0 * g.optical_links * p.fiber_run_usd +
+                  eps_ports * p.fiber_run_usd;
+  dcn.power_w = elec_w + g.optical_ends * p.static_duplex_module_w +
+                eps_ports * (p.eps_port_w + p.eps_side_module_w);
+
+  for (FabricTco* f : {&dcn, &lightwave, &fabric_static}) {
+    f->relative_cost = f->capex_usd / fabric_static.capex_usd;
+    f->relative_power = f->power_w / fabric_static.power_w;
+  }
+  return {dcn, lightwave, fabric_static};
+}
+
+std::vector<DeploymentFootprint> SuperpodDeploymentFootprints(const ComponentPrices& p) {
+  const PodGeometry g = ProductionPod();
+  std::vector<DeploymentFootprint> out;
+  struct Option {
+    const char* name;
+    bool bidi;
+    int lanes;
+  };
+  for (const Option& opt : {Option{"CWDM4 duplex", false, 4}, Option{"CWDM4 bidi", true, 4},
+                            Option{"CWDM8 bidi", true, 8}}) {
+    DeploymentFootprint f;
+    f.transceiver = opt.name;
+    f.ocs_count = tpu::OcsCountForTransceiver(opt.bidi, opt.lanes);
+    // One strand per OCS-routed connection; duplex needs two per link and
+    // CWDM8 halves the strand count again.
+    const int strands_per_link = opt.bidi ? 1 : 2;
+    f.fiber_strands = g.optical_links * strands_per_link / (opt.lanes / 4);
+    f.ocs_capex_usd = f.ocs_count * p.ocs_usd;
+    out.push_back(f);
+  }
+  return out;
+}
+
+DeploymentTimeline SimulateDeployment(int cubes, int cubes_per_week,
+                                      int static_verification_weeks) {
+  DeploymentTimeline timeline;
+  const int build_weeks = (cubes + cubes_per_week - 1) / cubes_per_week;
+  const int total_weeks = build_weeks + static_verification_weeks;
+  for (int week = 1; week <= total_weeks; ++week) {
+    const int installed = std::min(cubes, week * cubes_per_week);
+    // Lightwave: each delivered rack is verified in isolation and joined to
+    // the fabric immediately; capacity tracks the install curve.
+    const double lightwave = static_cast<double>(installed) / cubes;
+    // Static: nothing is usable until the last cube and all inter-rack
+    // cabling are in AND the whole fabric passes end-to-end verification.
+    const double fixed =
+        (installed >= cubes && week >= build_weeks + static_verification_weeks) ? 1.0
+                                                                                : 0.0;
+    timeline.lightwave_usable_fraction.push_back(lightwave);
+    timeline.static_usable_fraction.push_back(fixed);
+    timeline.lightwave_capacity_weeks += lightwave;
+    timeline.static_capacity_weeks += fixed;
+  }
+  return timeline;
+}
+
+std::vector<DcnTco> DcnFabricComparison(int aggregation_blocks, double uplink_gbps,
+                                        const ComponentPrices& p) {
+  // Everything is accounted per 400G unit of aggregation-block uplink.
+  const double units = aggregation_blocks * uplink_gbps / 400.0;
+
+  // Spine-full Clos: each uplink unit is an AB->spine link with a
+  // transceiver at both ends and a spine switch port.
+  DcnTco spine_full;
+  spine_full.name = "Spine-full Clos";
+  spine_full.capex_usd =
+      units * (p.ab_block_usd_per_400g + 2.0 * p.dcn_tx_usd + p.spine_port_usd);
+  spine_full.power_w = units * (p.ab_block_w_per_400g + 2.0 * p.dcn_tx_w + p.spine_port_w);
+
+  // Spine-free: uplink units pair into direct AB-AB links through OCS ports;
+  // per unit that is one transceiver and one OCS port share.
+  DcnTco spine_free;
+  spine_free.name = "Spine-free lightwave";
+  const double ocs_share_usd = p.ocs_usd / p.ocs_ports;
+  const double ocs_share_w = p.ocs_w / p.ocs_ports;
+  spine_free.capex_usd =
+      units * (p.ab_block_usd_per_400g + p.dcn_tx_usd + ocs_share_usd);
+  spine_free.power_w = units * (p.ab_block_w_per_400g + p.dcn_tx_w + ocs_share_w);
+
+  for (DcnTco* f : {&spine_full, &spine_free}) {
+    f->relative_cost = f->capex_usd / spine_full.capex_usd;
+    f->relative_power = f->power_w / spine_full.power_w;
+  }
+  return {spine_full, spine_free};
+}
+
+}  // namespace lightwave::core

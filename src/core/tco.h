@@ -1,0 +1,94 @@
+// Total-cost-of-ownership models: the Table 1 fabric comparison for a
+// 4096-TPU superpod (static direct-connect vs lightwave vs EPS-based DCN)
+// and the §4.2 spine-full vs spine-free datacenter comparison (30% CapEx /
+// 41% power reduction). Component prices are calibrated constants (the
+// relative results are the claim, absolute dollars are not); the
+// calibration is recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lightwave::core {
+
+struct ComponentPrices {
+  // --- superpod fabric ------------------------------------------------------
+  double static_duplex_module_usd = 400.0;  // short-reach 400G duplex
+  double static_duplex_module_w = 7.8;
+  double bidi_osfp_module_usd = 820.0;  // custom 2x400G bidi OSFP
+  double bidi_osfp_module_w = 14.0;
+  double ocs_usd = 9'000.0;  // Palomar at manufacturing volume
+  double ocs_w = 108.0;
+  double fiber_run_usd = 60.0;  // per strand, structured cabling
+  /// EPS-based DCN option for the pod: aggregation switches with 4:1
+  /// oversubscription toward the cubes; in-rack switch-side optics.
+  double eps_port_usd = 400.0;  // per 400G switch port
+  double eps_port_w = 2.0;
+  double eps_side_module_usd = 150.0;  // short-reach module at the switch
+  double eps_side_module_w = 2.0;
+  double eps_oversubscription = 4.0;
+  /// Common electrical ICI inside cubes (cables/backplane), per chip-link.
+  double electrical_link_usd = 140.0;
+  double electrical_link_w = 1.2;
+
+  // --- datacenter network (per 400G of aggregation-block uplink) -------------
+  double ab_block_usd_per_400g = 2'900.0;  // the block itself (common)
+  double ab_block_w_per_400g = 39.0;
+  double spine_port_usd = 1'200.0;  // spine EPS, per 400G port
+  double spine_port_w = 25.0;
+  double dcn_tx_usd = 250.0;  // 400G WDM transceiver
+  double dcn_tx_w = 12.0;
+  int ocs_ports = 128;  // usable duplex ports per Palomar
+};
+
+struct FabricTco {
+  std::string name;
+  double capex_usd = 0.0;
+  double power_w = 0.0;
+  double relative_cost = 0.0;  // vs the static baseline
+  double relative_power = 0.0;
+};
+
+/// Table 1: cost/power of the three fabric options for a 4096-chip pod,
+/// normalized to the static fabric.
+std::vector<FabricTco> SuperpodFabricComparison(const ComponentPrices& prices = {});
+
+/// §4.2.3: OCS + fiber count (and cost) vs transceiver technology — the 50%
+/// saving from bidirectionality.
+struct DeploymentFootprint {
+  std::string transceiver;
+  int ocs_count = 0;
+  int fiber_strands = 0;
+  double ocs_capex_usd = 0.0;
+};
+std::vector<DeploymentFootprint> SuperpodDeploymentFootprints(
+    const ComponentPrices& prices = {});
+
+/// §4.2.3 deployment timeline: the lightwave pod brings cubes into
+/// production incrementally (each rack is verified stand-alone, then joined
+/// through the OCS layer); the static pod is only usable once every cube and
+/// cable is installed and the whole fabric verified end-to-end (the TPU v3
+/// experience). Returns usable-capacity-over-time and the capacity-weeks
+/// each strategy delivers during the build-out.
+struct DeploymentTimeline {
+  std::vector<double> lightwave_usable_fraction;  // per week
+  std::vector<double> static_usable_fraction;     // per week
+  double lightwave_capacity_weeks = 0.0;
+  double static_capacity_weeks = 0.0;
+};
+DeploymentTimeline SimulateDeployment(int cubes = 64, int cubes_per_week = 8,
+                                      int static_verification_weeks = 2);
+
+/// Spine-full Clos vs spine-free OCS DCN (the [47] results quoted in §4.2):
+/// CapEx and power for `aggregation_blocks` blocks of `uplink_gbps` each.
+struct DcnTco {
+  std::string name;
+  double capex_usd = 0.0;
+  double power_w = 0.0;
+  double relative_cost = 0.0;   // vs spine-full
+  double relative_power = 0.0;  // vs spine-full
+};
+std::vector<DcnTco> DcnFabricComparison(int aggregation_blocks, double uplink_gbps,
+                                        const ComponentPrices& prices = {});
+
+}  // namespace lightwave::core

@@ -1,0 +1,345 @@
+#include "core/topology_engineer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace lightwave::core {
+
+TrunkAllocation::TrunkAllocation(int blocks, int ports_per_block)
+    : blocks_(blocks),
+      ports_per_block_(ports_per_block),
+      links_(static_cast<std::size_t>(blocks) * blocks, 0) {
+  assert(blocks > 1 && ports_per_block > 0);
+}
+
+int TrunkAllocation::LinksBetween(int a, int b) const {
+  assert(a >= 0 && a < blocks_ && b >= 0 && b < blocks_);
+  return links_[static_cast<std::size_t>(a) * blocks_ + b];
+}
+
+void TrunkAllocation::SetLinks(int a, int b, int count) {
+  assert(a >= 0 && a < blocks_ && b >= 0 && b < blocks_ && a != b && count >= 0);
+  links_[static_cast<std::size_t>(a) * blocks_ + b] = count;
+  links_[static_cast<std::size_t>(b) * blocks_ + a] = count;
+}
+
+int TrunkAllocation::DegreeOf(int block) const {
+  int degree = 0;
+  for (int b = 0; b < blocks_; ++b) degree += LinksBetween(block, b);
+  return degree;
+}
+
+int TrunkAllocation::TotalLinks() const {
+  int total = 0;
+  for (int a = 0; a < blocks_; ++a) {
+    for (int b = a + 1; b < blocks_; ++b) total += LinksBetween(a, b);
+  }
+  return total;
+}
+
+TrunkAllocation AllocateTrunks(const sim::TrafficMatrix& forecast, int ports_per_block,
+                               double uniform_floor_fraction) {
+  const int n = forecast.nodes();
+  TrunkAllocation alloc(n, ports_per_block);
+
+  // Uniform floor: spread floor ports evenly (at least 1 per pair when the
+  // budget allows).
+  const int floor_ports =
+      static_cast<int>(std::floor(ports_per_block * uniform_floor_fraction));
+  const int floor_per_pair = std::max(n - 1 <= ports_per_block ? 1 : 0,
+                                      floor_ports / std::max(1, n - 1));
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      alloc.SetLinks(a, b, floor_per_pair);
+    }
+  }
+  for (int a = 0; a < n; ++a) degree[static_cast<std::size_t>(a)] = alloc.DegreeOf(a);
+
+  // Demand-proportional fill: repeatedly grant one more link to the pair
+  // with the highest unserved demand per allocated link, subject to both
+  // endpoints' budgets (a largest-remainder-style greedy that keeps the
+  // degree constraint exact).
+  struct Pair {
+    int a, b;
+    double demand;
+  };
+  std::vector<Pair> pairs;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      pairs.push_back({a, b, forecast.at(a, b) + forecast.at(b, a)});
+    }
+  }
+  while (true) {
+    int best = -1;
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto& p = pairs[i];
+      if (degree[static_cast<std::size_t>(p.a)] >= ports_per_block ||
+          degree[static_cast<std::size_t>(p.b)] >= ports_per_block) {
+        continue;
+      }
+      const double score = p.demand / (alloc.LinksBetween(p.a, p.b) + 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0 || best_score <= 0.0) break;
+    const auto& p = pairs[static_cast<std::size_t>(best)];
+    alloc.SetLinks(p.a, p.b, alloc.LinksBetween(p.a, p.b) + 1);
+    ++degree[static_cast<std::size_t>(p.a)];
+    ++degree[static_cast<std::size_t>(p.b)];
+  }
+  return alloc;
+}
+
+MatchingDecomposition DecomposeToMatchings(const TrunkAllocation& allocation, int ocs_count,
+                                           const std::vector<OcsMatching>* prior) {
+  // Edge coloring with at most `ocs_count` colors: first-fit per edge plus a
+  // Kempe-chain repair. While a vertex has uncolored edges its colored
+  // degree is < ocs_count, so a free color exists at each endpoint; when no
+  // color is free at BOTH ends, flipping the two-color alternating path
+  // starting at one endpoint frees a common color (always, unless the path
+  // terminates at the other endpoint — rare; such edges are dropped and
+  // reported).
+  const int n = allocation.blocks();
+  const int k = ocs_count;
+  // partner[v][c]: the block v is matched with in color c, or -1.
+  std::vector<std::vector<int>> partner(static_cast<std::size_t>(n),
+                                        std::vector<int>(static_cast<std::size_t>(k), -1));
+
+  // Incremental mode: re-seat prior assignments the allocation still wants
+  // (keeps those trunks on their OCS, hence undisturbed in the switches).
+  std::vector<int> kept(static_cast<std::size_t>(n) * n, 0);
+  if (prior != nullptr) {
+    const int prior_colors = std::min<int>(k, static_cast<int>(prior->size()));
+    for (int c = 0; c < prior_colors; ++c) {
+      for (const auto& [a, b] : (*prior)[static_cast<std::size_t>(c)]) {
+        if (a < 0 || b < 0 || a >= n || b >= n || a == b) continue;
+        const std::size_t key = static_cast<std::size_t>(std::min(a, b)) * n + std::max(a, b);
+        if (kept[key] >= allocation.LinksBetween(a, b)) continue;  // no longer wanted
+        if (partner[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)] >= 0 ||
+            partner[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)] >= 0) {
+          continue;
+        }
+        partner[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)] = b;
+        partner[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)] = a;
+        ++kept[key];
+      }
+    }
+  }
+
+  struct Edge {
+    int a, b;
+  };
+  std::vector<Edge> edges;
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const int count = allocation.LinksBetween(a, b);
+      const std::size_t key = static_cast<std::size_t>(a) * n + b;
+      for (int i = kept[key]; i < count; ++i) edges.push_back({a, b});
+      degree[static_cast<std::size_t>(a)] += count;
+      degree[static_cast<std::size_t>(b)] += count;
+    }
+  }
+  // Hardest edges first: highest combined endpoint degree.
+  std::stable_sort(edges.begin(), edges.end(), [&](const Edge& x, const Edge& y) {
+    return degree[static_cast<std::size_t>(x.a)] + degree[static_cast<std::size_t>(x.b)] >
+           degree[static_cast<std::size_t>(y.a)] + degree[static_cast<std::size_t>(y.b)];
+  });
+
+  auto free_colors_at = [&](int v) {
+    std::vector<int> colors;
+    for (int c = 0; c < k; ++c) {
+      if (partner[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] < 0) {
+        colors.push_back(c);
+      }
+    }
+    return colors;
+  };
+
+  // Flips the c_need/c_alt alternating path starting at `start` so that
+  // c_need becomes free at `start`; aborts (returns false) if the path
+  // terminates at `forbidden` (flipping would steal its free color).
+  auto kempe_flip = [&](int start, int forbidden, int c_need, int c_alt) {
+    struct PathEdge {
+      int x, y, color;
+    };
+    std::vector<PathEdge> path;
+    int u = start, cur = c_need;
+    while (true) {
+      const int v = partner[static_cast<std::size_t>(u)][static_cast<std::size_t>(cur)];
+      if (v < 0) break;
+      path.push_back({u, v, cur});
+      if (v == forbidden) return false;
+      u = v;
+      cur = cur == c_need ? c_alt : c_need;
+    }
+    // Batch-clear then batch-set: each vertex touches each color at most
+    // once, so the batches cannot clobber each other.
+    for (const auto& pe : path) {
+      partner[static_cast<std::size_t>(pe.x)][static_cast<std::size_t>(pe.color)] = -1;
+      partner[static_cast<std::size_t>(pe.y)][static_cast<std::size_t>(pe.color)] = -1;
+    }
+    for (const auto& pe : path) {
+      const int other = pe.color == c_need ? c_alt : c_need;
+      partner[static_cast<std::size_t>(pe.x)][static_cast<std::size_t>(other)] = pe.y;
+      partner[static_cast<std::size_t>(pe.y)][static_cast<std::size_t>(other)] = pe.x;
+    }
+    return true;
+  };
+
+  MatchingDecomposition out;
+  out.per_ocs.resize(static_cast<std::size_t>(k));
+  int dropped = 0;
+
+  for (const Edge& e : edges) {
+    if (degree[static_cast<std::size_t>(e.a)] > k || degree[static_cast<std::size_t>(e.b)] > k) {
+      // Over-budget endpoint (cannot happen with AllocateTrunks); drop.
+      ++dropped;
+      continue;
+    }
+    int assigned = -1;
+    for (int c = 0; c < k; ++c) {
+      if (partner[static_cast<std::size_t>(e.a)][static_cast<std::size_t>(c)] < 0 &&
+          partner[static_cast<std::size_t>(e.b)][static_cast<std::size_t>(c)] < 0) {
+        assigned = c;
+        break;
+      }
+    }
+    if (assigned < 0) {
+      // Kempe repair: try every (free-at-a, free-at-b) color pair and both
+      // flip directions until one frees a common color. While the edge is
+      // uncolored both endpoints have colored degree < k, so free colors
+      // exist at each end.
+      const auto free_a = free_colors_at(e.a);
+      const auto free_b = free_colors_at(e.b);
+      for (std::size_t i = 0; assigned < 0 && i < free_a.size(); ++i) {
+        for (std::size_t j = 0; assigned < 0 && j < free_b.size(); ++j) {
+          const int c1 = free_a[i], c2 = free_b[j];
+          if (c1 == c2) continue;
+          if (kempe_flip(e.b, e.a, c1, c2)) {
+            assigned = c1;  // c1 now free at both ends
+          } else if (kempe_flip(e.a, e.b, c2, c1)) {
+            assigned = c2;
+          }
+        }
+      }
+    }
+    if (assigned < 0) {
+      ++dropped;
+      continue;
+    }
+    partner[static_cast<std::size_t>(e.a)][static_cast<std::size_t>(assigned)] = e.b;
+    partner[static_cast<std::size_t>(e.b)][static_cast<std::size_t>(assigned)] = e.a;
+  }
+
+  for (int c = 0; c < k; ++c) {
+    for (int v = 0; v < n; ++v) {
+      const int u = partner[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)];
+      if (u > v) {
+        out.per_ocs[static_cast<std::size_t>(c)].emplace_back(v, u);
+        ++out.placed_links;
+      }
+    }
+  }
+  out.dropped_links = dropped;
+  return out;
+}
+
+ReconfigurationPlan PlanReconfiguration(const MatchingDecomposition& current,
+                                        const MatchingDecomposition& next) {
+  assert(current.per_ocs.size() == next.per_ocs.size());
+  const int k = static_cast<int>(next.per_ocs.size());
+
+  // Pair each new matching with the old matching it overlaps most (greedy
+  // assignment), so shared trunks land on the same OCS and stay undisturbed.
+  std::vector<bool> old_taken(static_cast<std::size_t>(k), false);
+  std::vector<int> new_to_old(static_cast<std::size_t>(k), -1);
+  auto overlap = [](const OcsMatching& a, const OcsMatching& b) {
+    std::set<std::pair<int, int>> sa(a.begin(), a.end());
+    int count = 0;
+    for (const auto& e : b) count += sa.contains(e) ? 1 : 0;
+    return count;
+  };
+  for (int round = 0; round < k; ++round) {
+    int best_new = -1, best_old = -1, best_score = -1;
+    for (int ni = 0; ni < k; ++ni) {
+      if (new_to_old[static_cast<std::size_t>(ni)] >= 0) continue;
+      for (int oi = 0; oi < k; ++oi) {
+        if (old_taken[static_cast<std::size_t>(oi)]) continue;
+        const int score = overlap(current.per_ocs[static_cast<std::size_t>(oi)],
+                                  next.per_ocs[static_cast<std::size_t>(ni)]);
+        if (score > best_score) {
+          best_score = score;
+          best_new = ni;
+          best_old = oi;
+        }
+      }
+    }
+    if (best_new < 0) break;
+    new_to_old[static_cast<std::size_t>(best_new)] = best_old;
+    old_taken[static_cast<std::size_t>(best_old)] = true;
+  }
+
+  ReconfigurationPlan plan;
+  plan.targets.resize(static_cast<std::size_t>(k));
+  for (int ni = 0; ni < k; ++ni) {
+    const int oi = new_to_old[static_cast<std::size_t>(ni)];
+    const OcsMatching& old_matching =
+        oi >= 0 ? current.per_ocs[static_cast<std::size_t>(oi)] : OcsMatching{};
+    const OcsMatching& new_matching = next.per_ocs[static_cast<std::size_t>(ni)];
+    plan.targets[static_cast<std::size_t>(oi >= 0 ? oi : ni)] = new_matching;
+    std::set<std::pair<int, int>> old_set(old_matching.begin(), old_matching.end());
+    std::set<std::pair<int, int>> new_set(new_matching.begin(), new_matching.end());
+    for (const auto& e : new_set) {
+      if (old_set.contains(e)) {
+        ++plan.links_unchanged;
+      } else {
+        ++plan.links_added;
+      }
+    }
+    for (const auto& e : old_set) {
+      if (!new_set.contains(e)) ++plan.links_removed;
+    }
+  }
+  return plan;
+}
+
+TopologyEngineer::TopologyEngineer(int blocks, int ocs_count, double trunk_gbps,
+                                   double uniform_floor_fraction)
+    : blocks_(blocks),
+      ocs_count_(ocs_count),
+      trunk_gbps_(trunk_gbps),
+      floor_fraction_(uniform_floor_fraction),
+      allocation_(blocks, ocs_count) {}
+
+void TopologyEngineer::Engineer(const sim::TrafficMatrix& forecast) {
+  allocation_ = AllocateTrunks(forecast, ocs_count_, floor_fraction_);
+  decomposition_ = DecomposeToMatchings(allocation_, ocs_count_);
+}
+
+sim::DcnTopology TopologyEngineer::CurrentTopology() const {
+  // Realize the integer allocation as trunk capacities.
+  sim::TrafficMatrix as_capacity(blocks_);
+  for (int a = 0; a < blocks_; ++a) {
+    for (int b = 0; b < blocks_; ++b) {
+      if (a != b) as_capacity.set(a, b, allocation_.LinksBetween(a, b) * trunk_gbps_);
+    }
+  }
+  return sim::DcnTopology::FromTrunkCapacities(blocks_, ocs_count_ * trunk_gbps_,
+                                               as_capacity);
+}
+
+ReconfigurationPlan TopologyEngineer::Reengineer(const sim::TrafficMatrix& forecast) {
+  const MatchingDecomposition previous = decomposition_;
+  Engineer(forecast);
+  return PlanReconfiguration(previous, decomposition_);
+}
+
+}  // namespace lightwave::core

@@ -1,0 +1,103 @@
+// Spine-free DCN topology engineering (§2.1, [47]): given a forecast traffic
+// matrix and a per-block OCS port budget, compute an integer inter-block
+// trunk allocation (demand-proportional with a uniform floor), lower it to
+// per-OCS cross-connect matchings (each block owns one duplex port on every
+// OCS, so one OCS can realize at most one trunk unit per block), and plan
+// incremental reconfigurations when demand shifts — preserving unchanged
+// trunks so their traffic is never disturbed.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/dcn_flow.h"
+#include "sim/traffic.h"
+
+namespace lightwave::core {
+
+/// Symmetric integer link counts between blocks; row sums bounded by the
+/// per-block port budget.
+class TrunkAllocation {
+ public:
+  TrunkAllocation(int blocks, int ports_per_block);
+
+  int blocks() const { return blocks_; }
+  int ports_per_block() const { return ports_per_block_; }
+  int LinksBetween(int a, int b) const;
+  void SetLinks(int a, int b, int count);  // symmetric
+  int DegreeOf(int block) const;
+  int TotalLinks() const;
+
+ private:
+  int blocks_;
+  int ports_per_block_;
+  std::vector<int> links_;  // row-major
+};
+
+/// Demand-proportional allocation: a uniform floor keeps every pair
+/// connected (for transit and forecast error); the remaining budget follows
+/// the forecast. Largest-remainder rounding keeps row sums within budget.
+TrunkAllocation AllocateTrunks(const sim::TrafficMatrix& forecast, int ports_per_block,
+                               double uniform_floor_fraction = 0.2);
+
+/// One OCS's contribution: a partial matching over blocks, stored as
+/// unordered pairs (a < b).
+using OcsMatching = std::vector<std::pair<int, int>>;
+
+struct MatchingDecomposition {
+  std::vector<OcsMatching> per_ocs;
+  int placed_links = 0;
+  int dropped_links = 0;  // allocation links that did not fit in ocs_count
+};
+
+/// Edge-colors the trunk multigraph into at most `ocs_count` matchings
+/// (first-fit with Kempe-chain repair). Row sums <= ocs_count is necessary;
+/// near-regular allocations decompose completely in practice, and any
+/// remainder is reported. When `prior` is given, assignments it contains
+/// that the new allocation still wants are kept on their OCS — the
+/// incremental mode that lets expansion and demand shifts ride through with
+/// most trunks undisturbed.
+MatchingDecomposition DecomposeToMatchings(const TrunkAllocation& allocation, int ocs_count,
+                                           const std::vector<OcsMatching>* prior = nullptr);
+
+struct ReconfigurationPlan {
+  /// Per-OCS target matchings after the change.
+  std::vector<OcsMatching> targets;
+  int links_added = 0;
+  int links_removed = 0;
+  int links_unchanged = 0;
+};
+
+/// Diffs two decompositions OCS-by-OCS, maximizing the per-OCS intersection
+/// (pairing old and new matchings greedily by overlap) so unchanged trunks
+/// ride through the reconfiguration undisturbed.
+ReconfigurationPlan PlanReconfiguration(const MatchingDecomposition& current,
+                                        const MatchingDecomposition& next);
+
+class TopologyEngineer {
+ public:
+  TopologyEngineer(int blocks, int ocs_count, double trunk_gbps,
+                   double uniform_floor_fraction = 0.2);
+
+  /// Computes the engineered topology for a forecast.
+  void Engineer(const sim::TrafficMatrix& forecast);
+
+  /// The flow-level topology the current allocation realizes.
+  sim::DcnTopology CurrentTopology() const;
+  const TrunkAllocation& allocation() const { return allocation_; }
+  const MatchingDecomposition& decomposition() const { return decomposition_; }
+
+  /// Re-engineers for a new forecast and returns the incremental plan.
+  ReconfigurationPlan Reengineer(const sim::TrafficMatrix& forecast);
+
+ private:
+  int blocks_;
+  int ocs_count_;
+  double trunk_gbps_;
+  double floor_fraction_;
+  TrunkAllocation allocation_;
+  MatchingDecomposition decomposition_;
+};
+
+}  // namespace lightwave::core

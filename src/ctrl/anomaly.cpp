@@ -1,0 +1,54 @@
+#include "ctrl/anomaly.h"
+
+namespace lightwave::ctrl {
+
+const char* ToString(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kLossDrift: return "loss-drift";
+    case AnomalyKind::kLossSpec: return "loss-spec";
+    case AnomalyKind::kBerThreshold: return "ber-threshold";
+  }
+  return "?";
+}
+
+void AnomalyDetector::Observe(LinkKey link, double insertion_loss_db, double pre_fec_ber) {
+  LinkState& s = state_[link];
+  s.last_ber = pre_fec_ber;
+  if (!s.baselined) {
+    s.baseline_accumulator += insertion_loss_db;
+    ++s.samples;
+    s.ewma = insertion_loss_db;
+    if (s.samples >= config_.baseline_samples) {
+      s.baseline = s.baseline_accumulator / s.samples;
+      s.baselined = true;
+    }
+    return;
+  }
+  s.ewma = config_.ewma_alpha * insertion_loss_db + (1.0 - config_.ewma_alpha) * s.ewma;
+}
+
+std::vector<Anomaly> AnomalyDetector::Flagged() const {
+  std::vector<Anomaly> out;
+  for (const auto& [link, s] : state_) {
+    // Severity order: BER first (traffic is failing), then spec, then drift.
+    if (s.last_ber > config_.ber_limit) {
+      out.push_back(Anomaly{link, AnomalyKind::kBerThreshold, s.last_ber, 0.0});
+    } else if (s.ewma > config_.absolute_loss_db) {
+      out.push_back(Anomaly{link, AnomalyKind::kLossSpec, s.ewma, s.baseline});
+    } else if (s.baselined && s.ewma - s.baseline > config_.loss_drift_db) {
+      out.push_back(Anomaly{link, AnomalyKind::kLossDrift, s.ewma, s.baseline});
+    }
+  }
+  return out;
+}
+
+bool AnomalyDetector::IsFlagged(LinkKey link) const {
+  for (const auto& a : Flagged()) {
+    if (a.link == link) return true;
+  }
+  return false;
+}
+
+void AnomalyDetector::ResetLink(LinkKey link) { state_.erase(link); }
+
+}  // namespace lightwave::ctrl

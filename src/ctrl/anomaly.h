@@ -1,0 +1,85 @@
+// Telemetry anomaly detection (§3.2.2): "we invested heavily in improving
+// telemetry and anomaly reporting to account for the complexity of the
+// hardware ... and the high reliability requirements" — switches with a
+// large blast radius must flag degrading optical paths before they take
+// traffic down. This detector consumes periodic per-link survey samples
+// (insertion loss, pre-FEC BER), tracks an EWMA against the link's
+// commissioning baseline, and flags drift, spec violations, and BER
+// excursions.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace lightwave::ctrl {
+
+struct LinkKey {
+  int ocs_id = 0;
+  int north = 0;
+  auto operator<=>(const LinkKey&) const = default;
+};
+
+enum class AnomalyKind {
+  kLossDrift,     // EWMA drifted above the commissioning baseline
+  kLossSpec,      // absolute insertion loss above spec
+  kBerThreshold,  // pre-FEC BER above the FEC input limit
+};
+
+const char* ToString(AnomalyKind kind);
+
+struct Anomaly {
+  LinkKey link;
+  AnomalyKind kind = AnomalyKind::kLossDrift;
+  double value = 0.0;     // current EWMA (dB) or BER
+  double baseline = 0.0;  // commissioning baseline (dB), 0 for BER anomalies
+};
+
+struct AnomalyConfig {
+  /// Samples averaged to establish the commissioning baseline.
+  int baseline_samples = 3;
+  double ewma_alpha = 0.3;
+  /// Flag when the loss EWMA exceeds baseline by this much.
+  double loss_drift_db = 0.5;
+  /// Hard insertion-loss spec for any path.
+  double absolute_loss_db = 3.5;
+  /// Pre-FEC BER limit (the concatenated-FEC channel threshold).
+  double ber_limit = 1.2e-3;
+};
+
+class AnomalyDetector {
+ public:
+  AnomalyDetector() : AnomalyDetector(AnomalyConfig{}) {}
+  explicit AnomalyDetector(AnomalyConfig config) : config_(config) {}
+
+  const AnomalyConfig& config() const { return config_; }
+
+  /// Feeds one survey sample for a link.
+  void Observe(LinkKey link, double insertion_loss_db, double pre_fec_ber);
+
+  /// Links currently anomalous (most severe kind per link).
+  std::vector<Anomaly> Flagged() const;
+  bool IsFlagged(LinkKey link) const;
+
+  /// Forgets a link's history (after a repair/re-patch the path is new and
+  /// must re-baseline).
+  void ResetLink(LinkKey link);
+
+  int tracked_links() const { return static_cast<int>(state_.size()); }
+
+ private:
+  struct LinkState {
+    int samples = 0;
+    double baseline_accumulator = 0.0;
+    double baseline = 0.0;
+    double ewma = 0.0;
+    double last_ber = 0.0;
+    bool baselined = false;
+  };
+
+  AnomalyConfig config_;
+  std::map<LinkKey, LinkState> state_;
+};
+
+}  // namespace lightwave::ctrl

@@ -1,0 +1,156 @@
+#include "ctrl/controller.h"
+
+#include <cassert>
+
+namespace lightwave::ctrl {
+
+std::vector<std::uint8_t> OcsAgent::Handle(const std::vector<std::uint8_t>& frame) {
+  const auto type = PeekType(frame);
+  if (!type) return {};
+  switch (*type) {
+    case MessageType::kReconfigureRequest: {
+      auto request = DecodeReconfigureRequest(frame);
+      if (!request) return {};
+      // Idempotency: a retried transaction returns the recorded reply
+      // instead of re-executing (re-execution would be harmless here but
+      // would double-count telemetry).
+      if (request->transaction_id == last_applied_txn_) {
+        return Encode(last_reply_);
+      }
+      ReconfigureReply reply;
+      reply.transaction_id = request->transaction_id;
+      auto report = ocs_.Reconfigure(request->target);
+      if (report.ok()) {
+        reply.ok = true;
+        reply.established = static_cast<std::uint32_t>(report.value().established.size());
+        reply.removed = static_cast<std::uint32_t>(report.value().removed.size());
+        reply.undisturbed = static_cast<std::uint32_t>(report.value().undisturbed.size());
+        reply.duration_ms = report.value().duration_ms;
+      } else {
+        reply.ok = false;
+        reply.error = report.error().message;
+      }
+      last_applied_txn_ = request->transaction_id;
+      last_reply_ = reply;
+      return Encode(reply);
+    }
+    case MessageType::kTelemetryRequest: {
+      auto request = DecodeTelemetryRequest(frame);
+      if (!request) return {};
+      const auto& t = ocs_.telemetry();
+      return Encode(TelemetryReply{
+          .nonce = request->nonce,
+          .connects = t.connects,
+          .disconnects = t.disconnects,
+          .reconfigurations = t.reconfigurations,
+          .rejected_commands = t.rejected_commands,
+          .cumulative_switch_ms = t.cumulative_switch_ms,
+          .power_draw_w = ocs_.chassis().PowerDrawWatts(),
+          .chassis_operational = ocs_.chassis().Operational(),
+      });
+    }
+    case MessageType::kPortSurveyRequest: {
+      auto request = DecodePortSurveyRequest(frame);
+      if (!request) return {};
+      PortSurveyReply reply;
+      reply.nonce = request->nonce;
+      for (const auto& conn : ocs_.SurveyConnections()) {
+        reply.entries.push_back(PortSurveyEntry{
+            .north = conn.north,
+            .south = conn.south,
+            .insertion_loss_db = conn.insertion_loss.value(),
+            .return_loss_db = conn.return_loss.value(),
+        });
+      }
+      return Encode(reply);
+    }
+    default:
+      return {};  // replies are not valid requests
+  }
+}
+
+std::vector<std::uint8_t> MessageBus::MaybeMangle(std::vector<std::uint8_t> frame,
+                                                  bool* dropped) {
+  *dropped = false;
+  ++frames_sent_;
+  if (rng_.Bernoulli(drop_probability_)) {
+    ++frames_dropped_;
+    *dropped = true;
+    return {};
+  }
+  if (!frame.empty() && rng_.Bernoulli(corrupt_probability_)) {
+    ++frames_corrupted_;
+    const std::size_t byte = static_cast<std::size_t>(rng_.UniformInt(frame.size()));
+    frame[byte] ^= static_cast<std::uint8_t>(1u << rng_.UniformInt(8));
+  }
+  return frame;
+}
+
+std::vector<std::uint8_t> MessageBus::RoundTrip(OcsAgent& agent,
+                                                std::vector<std::uint8_t> frame) {
+  bool dropped = false;
+  auto delivered = MaybeMangle(std::move(frame), &dropped);
+  if (dropped) return {};
+  auto reply = agent.Handle(delivered);
+  if (reply.empty()) return {};  // agent dropped a mangled frame
+  auto returned = MaybeMangle(std::move(reply), &dropped);
+  if (dropped) return {};
+  return returned;
+}
+
+void FabricController::Register(int ocs_id, OcsAgent* agent) {
+  assert(agent != nullptr);
+  agents_[ocs_id] = agent;
+}
+
+FabricTransactionResult FabricController::ApplyTopology(
+    const std::map<int, std::map<int, int>>& targets) {
+  FabricTransactionResult result;
+  for (const auto& [ocs_id, target] : targets) {
+    auto it = agents_.find(ocs_id);
+    if (it == agents_.end()) {
+      result.error = "no agent registered for ocs " + std::to_string(ocs_id);
+      return result;
+    }
+    const ReconfigureRequest request{.transaction_id = next_txn_++, .target = target};
+    bool delivered = false;
+    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+      if (attempt > 0) ++result.retries_used;
+      auto reply_frame = bus_.RoundTrip(*it->second, Encode(request));
+      if (reply_frame.empty()) continue;  // lost either direction; retry
+      auto reply = DecodeReconfigureReply(reply_frame);
+      if (!reply || reply->transaction_id != request.transaction_id) continue;
+      result.replies[ocs_id] = *reply;
+      if (!reply->ok) {
+        result.error = "ocs " + std::to_string(ocs_id) + ": " + reply->error;
+        return result;
+      }
+      delivered = true;
+      break;
+    }
+    if (!delivered) {
+      result.error = "ocs " + std::to_string(ocs_id) + ": transport exhausted retries";
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+std::map<int, TelemetryReply> FabricController::CollectTelemetry() {
+  std::map<int, TelemetryReply> out;
+  for (auto& [ocs_id, agent] : agents_) {
+    const TelemetryRequest request{.nonce = next_nonce_++};
+    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+      auto reply_frame = bus_.RoundTrip(*agent, Encode(request));
+      if (reply_frame.empty()) continue;
+      auto reply = DecodeTelemetryReply(reply_frame);
+      if (!reply || reply->nonce != request.nonce) continue;
+      out[ocs_id] = *reply;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lightwave::ctrl

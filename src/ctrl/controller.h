@@ -1,0 +1,102 @@
+// OCS device controller and fabric-wide transaction driver. The device agent
+// terminates wire-format commands against a PalomarSwitch; the fabric
+// controller fans a topology change out to many agents with per-device
+// retries and collects the replies. Transport is an in-process message bus
+// with injectable loss/corruption so the retry path is testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ctrl/messages.h"
+#include "ocs/palomar.h"
+
+namespace lightwave::ctrl {
+
+/// The device-side agent: decodes a framed command, executes it against the
+/// switch, returns a framed reply.
+class OcsAgent {
+ public:
+  explicit OcsAgent(ocs::PalomarSwitch& ocs) : ocs_(ocs) {}
+
+  /// Returns a framed reply; malformed input yields an empty vector (a real
+  /// agent would drop the frame, forcing a client timeout/retry).
+  std::vector<std::uint8_t> Handle(const std::vector<std::uint8_t>& frame);
+
+  const ocs::PalomarSwitch& device() const { return ocs_; }
+
+ private:
+  ocs::PalomarSwitch& ocs_;
+  std::uint64_t last_applied_txn_ = 0;
+  ReconfigureReply last_reply_;
+};
+
+/// Lossy in-process transport between the controller and agents.
+class MessageBus {
+ public:
+  explicit MessageBus(std::uint64_t seed) : rng_(seed) {}
+
+  /// Per-direction drop probability (models management-network loss).
+  void SetDropProbability(double p) { drop_probability_ = p; }
+  /// Per-direction bit-corruption probability (CRC catches these).
+  void SetCorruptProbability(double p) { corrupt_probability_ = p; }
+
+  /// Delivers `frame` to `agent` and returns the reply; empty when either
+  /// direction dropped the message.
+  std::vector<std::uint8_t> RoundTrip(OcsAgent& agent, std::vector<std::uint8_t> frame);
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+
+ private:
+  std::vector<std::uint8_t> MaybeMangle(std::vector<std::uint8_t> frame, bool* dropped);
+
+  common::Rng rng_;
+  double drop_probability_ = 0.0;
+  double corrupt_probability_ = 0.0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+};
+
+struct FabricTransactionResult {
+  bool ok = false;
+  /// Per-OCS replies (keyed by the caller's OCS id).
+  std::map<int, ReconfigureReply> replies;
+  int retries_used = 0;
+  std::string error;
+};
+
+/// Client-side controller: drives reconfiguration transactions across a set
+/// of agents with bounded retries. Transactions are idempotent on the agent
+/// (keyed by transaction id), so a lost reply is safe to retry.
+class FabricController {
+ public:
+  FabricController(MessageBus& bus, int max_retries = 5)
+      : bus_(bus), max_retries_(max_retries) {}
+
+  void Register(int ocs_id, OcsAgent* agent);
+
+  /// Applies `targets` (ocs id -> complete cross-connect map). Stops at the
+  /// first OCS that *rejects* the change; transport losses are retried.
+  FabricTransactionResult ApplyTopology(const std::map<int, std::map<int, int>>& targets);
+
+  /// Collects telemetry from every registered agent (best effort).
+  std::map<int, TelemetryReply> CollectTelemetry();
+
+ private:
+  MessageBus& bus_;
+  int max_retries_;
+  std::map<int, OcsAgent*> agents_;
+  std::uint64_t next_txn_ = 1;
+  std::uint64_t next_nonce_ = 1;
+};
+
+}  // namespace lightwave::ctrl

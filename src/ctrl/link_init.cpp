@@ -1,0 +1,102 @@
+#include "ctrl/link_init.h"
+
+#include <algorithm>
+
+namespace lightwave::ctrl {
+
+const char* ToString(LinkState state) {
+  switch (state) {
+    case LinkState::kDown: return "down";
+    case LinkState::kLossOfSignal: return "los";
+    case LinkState::kSignalDetect: return "signal-detect";
+    case LinkState::kCdrLock: return "cdr-lock";
+    case LinkState::kFecLock: return "fec-lock";
+    case LinkState::kUp: return "up";
+  }
+  return "?";
+}
+
+LinkInitTiming FastInitTiming() {
+  return LinkInitTiming{
+      .signal_detect_us = 0.5,
+      .cdr_lock_us = 5.0,
+      .equalizer_adapt_us = 0.0,  // pre-characterized per-path state
+      .fec_lock_us = 2.0,
+      .los_holdoff_us = 0.1,
+  };
+}
+
+void LinkInitFsm::Reset() {
+  state_ = LinkState::kLossOfSignal;
+  phase_elapsed_us_ = 0.0;
+  since_light_us_ = 0.0;
+}
+
+void LinkInitFsm::OnLightPresent() {
+  if (light_) return;
+  light_ = true;
+  los_pending_us_ = -1.0;
+  if (state_ == LinkState::kLossOfSignal) {
+    state_ = LinkState::kSignalDetect;
+    phase_elapsed_us_ = 0.0;
+    since_light_us_ = 0.0;
+  }
+}
+
+void LinkInitFsm::OnLightLost() {
+  if (!light_) return;
+  light_ = false;
+  // LOS hold-off: the link only drops if darkness persists.
+  los_pending_us_ = 0.0;
+}
+
+void LinkInitFsm::Advance(double us) {
+  while (us > 0.0) {
+    if (!light_ && los_pending_us_ >= 0.0) {
+      const double until_los = timing_.los_holdoff_us - los_pending_us_;
+      const double step = std::min(us, until_los);
+      los_pending_us_ += step;
+      us -= step;
+      if (los_pending_us_ >= timing_.los_holdoff_us) {
+        if (state_ == LinkState::kUp) ++flaps_;
+        Reset();
+        los_pending_us_ = -1.0;
+      }
+      continue;
+    }
+    if (!light_ || state_ == LinkState::kDown || state_ == LinkState::kLossOfSignal ||
+        state_ == LinkState::kUp) {
+      // Nothing progresses: idle time.
+      since_light_us_ += light_ ? us : 0.0;
+      return;
+    }
+    // Acquisition phases progress while light is present.
+    const double phase_duration = [&] {
+      switch (state_) {
+        case LinkState::kSignalDetect: return timing_.signal_detect_us;
+        case LinkState::kCdrLock: return timing_.cdr_lock_us + timing_.equalizer_adapt_us;
+        case LinkState::kFecLock: return timing_.fec_lock_us;
+        default: return 0.0;
+      }
+    }();
+    const double remaining = phase_duration - phase_elapsed_us_;
+    const double step = std::min(us, remaining);
+    phase_elapsed_us_ += step;
+    since_light_us_ += step;
+    us -= step;
+    if (phase_elapsed_us_ >= phase_duration) {
+      phase_elapsed_us_ = 0.0;
+      switch (state_) {
+        case LinkState::kSignalDetect: state_ = LinkState::kCdrLock; break;
+        case LinkState::kCdrLock: state_ = LinkState::kFecLock; break;
+        case LinkState::kFecLock:
+          state_ = LinkState::kUp;
+          last_bringup_us_ = since_light_us_;
+          break;
+        default: break;
+      }
+    }
+  }
+}
+
+}  // namespace lightwave::ctrl

@@ -1,0 +1,79 @@
+// Optical link bring-up state machine. When an OCS reconfigures, every
+// affected transceiver loses light, squelches, then must re-acquire:
+// signal detect -> CDR lock -> (optional) equalizer adaptation -> FEC frame
+// lock -> up. The total bring-up time gates how fast a lightwave fabric can
+// usefully reconfigure (§6: fast fabrics need "transceivers with fast
+// initialization times"); the phase-reconfiguration study consumes the
+// timing this module produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lightwave::ctrl {
+
+enum class LinkState {
+  kDown,          // administratively down / no module
+  kLossOfSignal,  // enabled, no light (e.g., mid-reconfiguration)
+  kSignalDetect,  // optical power above threshold, CDR hunting
+  kCdrLock,       // clock recovered, equalizer adapting
+  kFecLock,       // FEC framer aligning
+  kUp,            // passing traffic
+};
+
+const char* ToString(LinkState state);
+
+struct LinkInitTiming {
+  double signal_detect_us = 10.0;
+  double cdr_lock_us = 500.0;
+  double equalizer_adapt_us = 800.0;
+  double fec_lock_us = 700.0;
+  /// Squelch hold-off after light loss before the Rx declares LOS (keeps
+  /// microsecond-class glitches from flapping the link).
+  double los_holdoff_us = 5.0;
+
+  double TotalBringupUs() const {
+    return signal_detect_us + cdr_lock_us + equalizer_adapt_us + fec_lock_us;
+  }
+};
+
+/// Fast-initialization profile for future microsecond-class fabrics (§6):
+/// pre-characterized equalizer state and unsquelched receivers.
+LinkInitTiming FastInitTiming();
+
+/// Time-stepped FSM: callers report light presence and advance time; the
+/// machine walks the acquisition pipeline and reports flap statistics.
+class LinkInitFsm {
+ public:
+  explicit LinkInitFsm(LinkInitTiming timing = {}) : timing_(timing) {}
+
+  LinkState state() const { return state_; }
+  const LinkInitTiming& timing() const { return timing_; }
+
+  /// Light appeared at the receiver (OCS path established).
+  void OnLightPresent();
+  /// Light disappeared (path torn / mid-switch).
+  void OnLightLost();
+  /// Advances time; acquisition progresses only while light is present.
+  void Advance(double us);
+
+  bool IsUp() const { return state_ == LinkState::kUp; }
+  /// Wall-clock spent from the last light-present edge to reaching kUp
+  /// (valid once up).
+  double LastBringupUs() const { return last_bringup_us_; }
+  std::uint64_t flap_count() const { return flaps_; }
+
+ private:
+  void Reset();
+
+  LinkInitTiming timing_;
+  LinkState state_ = LinkState::kLossOfSignal;
+  bool light_ = false;
+  double phase_elapsed_us_ = 0.0;
+  double since_light_us_ = 0.0;
+  double los_pending_us_ = -1.0;  // >= 0: light lost, hold-off running
+  double last_bringup_us_ = 0.0;
+  std::uint64_t flaps_ = 0;
+};
+
+}  // namespace lightwave::ctrl

@@ -1,0 +1,213 @@
+#include "ctrl/messages.h"
+
+namespace lightwave::ctrl {
+namespace {
+
+std::vector<std::uint8_t> Frame(MessageType type, WireWriter body) {
+  WireWriter payload;
+  payload.PutU8(static_cast<std::uint8_t>(type));
+  const auto& bytes = body.buffer();
+  payload.PutBytes(bytes.data(), bytes.size());
+  return FrameMessage(payload.Take());
+}
+
+/// Opens a frame, checks the type tag, returns a reader past the tag.
+std::optional<std::vector<std::uint8_t>> OpenPayload(const std::vector<std::uint8_t>& frame,
+                                                     MessageType expected) {
+  auto unframed = UnframeMessage(frame);
+  if (!unframed) return std::nullopt;
+  if (unframed->payload.empty()) return std::nullopt;
+  if (unframed->payload[0] != static_cast<std::uint8_t>(expected)) return std::nullopt;
+  return std::vector<std::uint8_t>(unframed->payload.begin() + 1, unframed->payload.end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Encode(const ReconfigureRequest& msg) {
+  WireWriter w;
+  w.PutU64(msg.transaction_id);
+  w.PutVarint(msg.target.size());
+  for (const auto& [n, s] : msg.target) {
+    w.PutVarint(static_cast<std::uint64_t>(n));
+    w.PutVarint(static_cast<std::uint64_t>(s));
+  }
+  return Frame(MessageType::kReconfigureRequest, std::move(w));
+}
+
+std::vector<std::uint8_t> Encode(const ReconfigureReply& msg) {
+  WireWriter w;
+  w.PutU64(msg.transaction_id);
+  w.PutU8(msg.ok ? 1 : 0);
+  w.PutString(msg.error);
+  w.PutU32(msg.established);
+  w.PutU32(msg.removed);
+  w.PutU32(msg.undisturbed);
+  w.PutDouble(msg.duration_ms);
+  return Frame(MessageType::kReconfigureReply, std::move(w));
+}
+
+std::vector<std::uint8_t> Encode(const TelemetryRequest& msg) {
+  WireWriter w;
+  w.PutU64(msg.nonce);
+  return Frame(MessageType::kTelemetryRequest, std::move(w));
+}
+
+std::vector<std::uint8_t> Encode(const TelemetryReply& msg) {
+  WireWriter w;
+  w.PutU64(msg.nonce);
+  w.PutU64(msg.connects);
+  w.PutU64(msg.disconnects);
+  w.PutU64(msg.reconfigurations);
+  w.PutU64(msg.rejected_commands);
+  w.PutDouble(msg.cumulative_switch_ms);
+  w.PutDouble(msg.power_draw_w);
+  w.PutU8(msg.chassis_operational ? 1 : 0);
+  return Frame(MessageType::kTelemetryReply, std::move(w));
+}
+
+std::vector<std::uint8_t> Encode(const PortSurveyRequest& msg) {
+  WireWriter w;
+  w.PutU64(msg.nonce);
+  return Frame(MessageType::kPortSurveyRequest, std::move(w));
+}
+
+std::vector<std::uint8_t> Encode(const PortSurveyReply& msg) {
+  WireWriter w;
+  w.PutU64(msg.nonce);
+  w.PutVarint(msg.entries.size());
+  for (const auto& e : msg.entries) {
+    w.PutVarint(static_cast<std::uint64_t>(e.north));
+    w.PutVarint(static_cast<std::uint64_t>(e.south));
+    w.PutDouble(e.insertion_loss_db);
+    w.PutDouble(e.return_loss_db);
+  }
+  return Frame(MessageType::kPortSurveyReply, std::move(w));
+}
+
+std::optional<MessageType> PeekType(const std::vector<std::uint8_t>& frame) {
+  auto unframed = UnframeMessage(frame);
+  if (!unframed || unframed->payload.empty()) return std::nullopt;
+  const std::uint8_t tag = unframed->payload[0];
+  if (tag < 1 || tag > 6) return std::nullopt;
+  return static_cast<MessageType>(tag);
+}
+
+std::optional<ReconfigureRequest> DecodeReconfigureRequest(
+    const std::vector<std::uint8_t>& frame) {
+  auto payload = OpenPayload(frame, MessageType::kReconfigureRequest);
+  if (!payload) return std::nullopt;
+  WireReader r(*payload);
+  ReconfigureRequest msg;
+  auto txn = r.GetU64();
+  auto count = r.GetVarint();
+  if (!txn || !count) return std::nullopt;
+  msg.transaction_id = *txn;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto n = r.GetVarint();
+    auto s = r.GetVarint();
+    if (!n || !s) return std::nullopt;
+    msg.target[static_cast<int>(*n)] = static_cast<int>(*s);
+  }
+  return msg;
+}
+
+std::optional<ReconfigureReply> DecodeReconfigureReply(
+    const std::vector<std::uint8_t>& frame) {
+  auto payload = OpenPayload(frame, MessageType::kReconfigureReply);
+  if (!payload) return std::nullopt;
+  WireReader r(*payload);
+  ReconfigureReply msg;
+  auto txn = r.GetU64();
+  auto ok = r.GetU8();
+  auto error = r.GetString();
+  auto established = r.GetU32();
+  auto removed = r.GetU32();
+  auto undisturbed = r.GetU32();
+  auto duration = r.GetDouble();
+  if (!txn || !ok || !error || !established || !removed || !undisturbed || !duration) {
+    return std::nullopt;
+  }
+  msg.transaction_id = *txn;
+  msg.ok = *ok != 0;
+  msg.error = *error;
+  msg.established = *established;
+  msg.removed = *removed;
+  msg.undisturbed = *undisturbed;
+  msg.duration_ms = *duration;
+  return msg;
+}
+
+std::optional<TelemetryRequest> DecodeTelemetryRequest(
+    const std::vector<std::uint8_t>& frame) {
+  auto payload = OpenPayload(frame, MessageType::kTelemetryRequest);
+  if (!payload) return std::nullopt;
+  WireReader r(*payload);
+  auto nonce = r.GetU64();
+  if (!nonce) return std::nullopt;
+  return TelemetryRequest{.nonce = *nonce};
+}
+
+std::optional<TelemetryReply> DecodeTelemetryReply(const std::vector<std::uint8_t>& frame) {
+  auto payload = OpenPayload(frame, MessageType::kTelemetryReply);
+  if (!payload) return std::nullopt;
+  WireReader r(*payload);
+  TelemetryReply msg;
+  auto nonce = r.GetU64();
+  auto connects = r.GetU64();
+  auto disconnects = r.GetU64();
+  auto reconfigs = r.GetU64();
+  auto rejected = r.GetU64();
+  auto switch_ms = r.GetDouble();
+  auto power = r.GetDouble();
+  auto operational = r.GetU8();
+  if (!nonce || !connects || !disconnects || !reconfigs || !rejected || !switch_ms ||
+      !power || !operational) {
+    return std::nullopt;
+  }
+  msg.nonce = *nonce;
+  msg.connects = *connects;
+  msg.disconnects = *disconnects;
+  msg.reconfigurations = *reconfigs;
+  msg.rejected_commands = *rejected;
+  msg.cumulative_switch_ms = *switch_ms;
+  msg.power_draw_w = *power;
+  msg.chassis_operational = *operational != 0;
+  return msg;
+}
+
+std::optional<PortSurveyRequest> DecodePortSurveyRequest(
+    const std::vector<std::uint8_t>& frame) {
+  auto payload = OpenPayload(frame, MessageType::kPortSurveyRequest);
+  if (!payload) return std::nullopt;
+  WireReader r(*payload);
+  auto nonce = r.GetU64();
+  if (!nonce) return std::nullopt;
+  return PortSurveyRequest{.nonce = *nonce};
+}
+
+std::optional<PortSurveyReply> DecodePortSurveyReply(const std::vector<std::uint8_t>& frame) {
+  auto payload = OpenPayload(frame, MessageType::kPortSurveyReply);
+  if (!payload) return std::nullopt;
+  WireReader r(*payload);
+  PortSurveyReply msg;
+  auto nonce = r.GetU64();
+  auto count = r.GetVarint();
+  if (!nonce || !count) return std::nullopt;
+  msg.nonce = *nonce;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    PortSurveyEntry e;
+    auto n = r.GetVarint();
+    auto s = r.GetVarint();
+    auto il = r.GetDouble();
+    auto rl = r.GetDouble();
+    if (!n || !s || !il || !rl) return std::nullopt;
+    e.north = static_cast<int>(*n);
+    e.south = static_cast<int>(*s);
+    e.insertion_loss_db = *il;
+    e.return_loss_db = *rl;
+    msg.entries.push_back(e);
+  }
+  return msg;
+}
+
+}  // namespace lightwave::ctrl

@@ -1,0 +1,92 @@
+// Control-plane message schema: the commands the fabric manager sends to an
+// OCS and the replies/telemetry that come back. Every message round-trips
+// through the versioned wire format in wire.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctrl/wire.h"
+
+namespace lightwave::ctrl {
+
+enum class MessageType : std::uint8_t {
+  kReconfigureRequest = 1,
+  kReconfigureReply = 2,
+  kTelemetryRequest = 3,
+  kTelemetryReply = 4,
+  kPortSurveyRequest = 5,
+  kPortSurveyReply = 6,
+};
+
+struct ReconfigureRequest {
+  std::uint64_t transaction_id = 0;
+  /// Complete target cross-connect map (north -> south).
+  std::map<int, int> target;
+};
+
+struct ReconfigureReply {
+  std::uint64_t transaction_id = 0;
+  bool ok = false;
+  std::string error;
+  std::uint32_t established = 0;
+  std::uint32_t removed = 0;
+  std::uint32_t undisturbed = 0;
+  double duration_ms = 0.0;
+};
+
+struct TelemetryRequest {
+  std::uint64_t nonce = 0;
+};
+
+struct TelemetryReply {
+  std::uint64_t nonce = 0;
+  std::uint64_t connects = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t rejected_commands = 0;
+  double cumulative_switch_ms = 0.0;
+  double power_draw_w = 0.0;
+  bool chassis_operational = false;
+};
+
+struct PortSurveyRequest {
+  std::uint64_t nonce = 0;
+};
+
+struct PortSurveyEntry {
+  int north = 0;
+  int south = 0;
+  double insertion_loss_db = 0.0;
+  double return_loss_db = 0.0;
+};
+
+struct PortSurveyReply {
+  std::uint64_t nonce = 0;
+  std::vector<PortSurveyEntry> entries;
+};
+
+/// Encoders produce a framed wire message (envelope included).
+std::vector<std::uint8_t> Encode(const ReconfigureRequest& msg);
+std::vector<std::uint8_t> Encode(const ReconfigureReply& msg);
+std::vector<std::uint8_t> Encode(const TelemetryRequest& msg);
+std::vector<std::uint8_t> Encode(const TelemetryReply& msg);
+std::vector<std::uint8_t> Encode(const PortSurveyRequest& msg);
+std::vector<std::uint8_t> Encode(const PortSurveyReply& msg);
+
+/// Peeks the type of a framed message (nullopt on bad frame).
+std::optional<MessageType> PeekType(const std::vector<std::uint8_t>& frame);
+
+std::optional<ReconfigureRequest> DecodeReconfigureRequest(
+    const std::vector<std::uint8_t>& frame);
+std::optional<ReconfigureReply> DecodeReconfigureReply(const std::vector<std::uint8_t>& frame);
+std::optional<TelemetryRequest> DecodeTelemetryRequest(const std::vector<std::uint8_t>& frame);
+std::optional<TelemetryReply> DecodeTelemetryReply(const std::vector<std::uint8_t>& frame);
+std::optional<PortSurveyRequest> DecodePortSurveyRequest(
+    const std::vector<std::uint8_t>& frame);
+std::optional<PortSurveyReply> DecodePortSurveyReply(const std::vector<std::uint8_t>& frame);
+
+}  // namespace lightwave::ctrl

@@ -1,0 +1,160 @@
+#include "ctrl/wire.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace lightwave::ctrl {
+
+void WireWriter::PutU8(std::uint8_t v) { buffer_.push_back(v); }
+
+void WireWriter::PutU16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::PutU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::PutU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void WireWriter::PutDouble(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void WireWriter::PutBytes(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<std::uint8_t> WireReader::GetU8() {
+  if (remaining() < 1) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> WireReader::GetU16() {
+  if (remaining() < 2) return std::nullopt;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> WireReader::GetU32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> WireReader::GetU64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::uint64_t> WireReader::GetVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1 || shift > 63) return std::nullopt;
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::optional<double> WireReader::GetDouble() {
+  auto bits = GetU64();
+  if (!bits) return std::nullopt;
+  double v = 0.0;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+std::optional<std::string> WireReader::GetString() {
+  auto size = GetVarint();
+  if (!size || remaining() < *size) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(*size));
+  pos_ += static_cast<std::size_t>(*size);
+  return s;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
+  static const auto table = BuildCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> FrameMessage(const std::vector<std::uint8_t>& payload,
+                                       std::uint16_t version) {
+  WireWriter w;
+  w.PutU16(version);
+  w.PutU32(static_cast<std::uint32_t>(payload.size()));
+  w.PutBytes(payload.data(), payload.size());
+  // The CRC covers the header too: a corrupted version or length field must
+  // not slip through (the header is what selects the decode path).
+  w.PutU32(Crc32(w.buffer().data(), w.buffer().size()));
+  return w.Take();
+}
+
+std::optional<UnframedMessage> UnframeMessage(const std::vector<std::uint8_t>& frame) {
+  WireReader r(frame);
+  auto version = r.GetU16();
+  auto length = r.GetU32();
+  if (!version || !length) return std::nullopt;
+  if (*version < kMinSupportedVersion) return std::nullopt;
+  if (r.remaining() < *length + 4u) return std::nullopt;
+  const std::size_t covered = 6 + static_cast<std::size_t>(*length);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(frame[covered + static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (stored != Crc32(frame.data(), covered)) return std::nullopt;
+  std::vector<std::uint8_t> payload(frame.begin() + 6,
+                                    frame.begin() + static_cast<long>(covered));
+  return UnframedMessage{.version = *version, .payload = std::move(payload)};
+}
+
+}  // namespace lightwave::ctrl

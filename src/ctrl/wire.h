@@ -1,0 +1,75 @@
+// Binary wire format for the control plane. Little-endian fixed-width
+// integers plus LEB128 varints, length-prefixed strings, and a frame
+// envelope carrying a protocol version and a CRC32 so corrupt or
+// version-skewed frames are rejected before decode. The OCSes share the
+// management-plane stack with the EPS fleet (§3.2.2); this module is that
+// stack's serialization layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lightwave::ctrl {
+
+inline constexpr std::uint16_t kProtocolVersion = 3;
+/// Oldest peer version this implementation still decodes.
+inline constexpr std::uint16_t kMinSupportedVersion = 2;
+
+class WireWriter {
+ public:
+  void PutU8(std::uint8_t v);
+  void PutU16(std::uint16_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutVarint(std::uint64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutBytes(const std::uint8_t* data, std::size_t size);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::uint8_t>& data) : data_(data) {}
+
+  std::optional<std::uint8_t> GetU8();
+  std::optional<std::uint16_t> GetU16();
+  std::optional<std::uint32_t> GetU32();
+  std::optional<std::uint64_t> GetU64();
+  std::optional<std::uint64_t> GetVarint();
+  std::optional<double> GetDouble();
+  std::optional<std::string> GetString();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& data_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC32 (IEEE 802.3 polynomial, table-driven).
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+/// Wraps a payload in [version u16][length u32][payload][crc32 u32].
+std::vector<std::uint8_t> FrameMessage(const std::vector<std::uint8_t>& payload,
+                                       std::uint16_t version = kProtocolVersion);
+
+struct UnframedMessage {
+  std::uint16_t version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Validates and strips the envelope; nullopt on truncation, bad CRC, or a
+/// version below kMinSupportedVersion.
+std::optional<UnframedMessage> UnframeMessage(const std::vector<std::uint8_t>& frame);
+
+}  // namespace lightwave::ctrl

@@ -1,0 +1,103 @@
+#include "fec/concatenated.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace lightwave::fec {
+namespace {
+
+constexpr int kSymbolBits = Gf1024::kBits;
+
+/// log of binomial pmf term for numerical stability at tiny p.
+double LogBinomialTerm(int n, int i, double p) {
+  return std::lgamma(n + 1.0) - std::lgamma(i + 1.0) - std::lgamma(n - i + 1.0) +
+         i * std::log(p) + (n - i) * std::log1p(-p);
+}
+
+}  // namespace
+
+OuterCodeStats AnalyzeOuterCode(double pre_fec_ber) {
+  OuterCodeStats stats;
+  if (pre_fec_ber <= 0.0) return stats;
+  const int n = 544;
+  const int t = 15;
+  const double ps = 1.0 - std::pow(1.0 - pre_fec_ber, kSymbolBits);
+  stats.symbol_error_rate = ps;
+  // Frame error: more than t of n symbols in error.
+  double fer = 0.0;
+  double post_symbol_errors = 0.0;  // E[symbol errors | decode failure] * P
+  for (int i = t + 1; i <= n; ++i) {
+    const double term = std::exp(LogBinomialTerm(n, i, ps));
+    fer += term;
+    post_symbol_errors += term * i;
+    if (term < fer * 1e-18 && i > t + 8) break;  // series converged
+  }
+  stats.frame_error_rate = std::min(1.0, fer);
+  // A failed frame passes its symbol errors through; each bad symbol has on
+  // average ~ kSymbolBits * p_bit_in_bad_symbol errored bits. Approximate
+  // bits-per-bad-symbol by the conditional expectation of a >=1-error
+  // symbol.
+  const double bits_per_bad_symbol =
+      pre_fec_ber * kSymbolBits / std::max(ps, 1e-300);
+  stats.post_fec_ber =
+      std::min(1.0, post_symbol_errors * bits_per_bad_symbol / (n * kSymbolBits));
+  return stats;
+}
+
+double ConcatenatedFec::PostFecBer(double channel_ber, bool inner_enabled) const {
+  const double outer_input = inner_enabled ? inner_.Transfer(channel_ber) : channel_ber;
+  return AnalyzeOuterCode(outer_input).post_fec_ber;
+}
+
+double ConcatenatedFec::ChannelBerThreshold(bool inner_enabled,
+                                            double target_post_fec_ber) const {
+  double lo = 1e-12, hi = 0.4;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    if (PostFecBer(mid, inner_enabled) <= target_post_fec_ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ConcatenatedFec::MeasureFrameErrorRate(double channel_ber, bool inner_enabled,
+                                              int frames, common::Rng& rng) const {
+  assert(frames > 0);
+  const double outer_input = inner_enabled ? inner_.Transfer(channel_ber) : channel_ber;
+  int failures = 0;
+  const int k = outer_.k();
+  std::vector<Gf1024::Element> data(static_cast<std::size_t>(k));
+  for (int f = 0; f < frames; ++f) {
+    for (auto& symbol : data) {
+      symbol = static_cast<Gf1024::Element>(rng.UniformInt(Gf1024::kFieldSize));
+    }
+    auto codeword = outer_.Encode(data);
+    // Binary-symmetric channel on each of the 10 bits of every symbol.
+    for (auto& symbol : codeword) {
+      for (int b = 0; b < kSymbolBits; ++b) {
+        if (rng.Bernoulli(outer_input)) symbol ^= static_cast<Gf1024::Element>(1 << b);
+      }
+    }
+    const auto outcome = outer_.Decode(codeword);
+    if (!outcome.ok()) {
+      ++failures;
+      continue;
+    }
+    // Check data integrity (guards against miscorrection).
+    for (int i = 0; i < k; ++i) {
+      if (outcome.value().codeword[static_cast<std::size_t>(i)] !=
+          data[static_cast<std::size_t>(i)]) {
+        ++failures;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(failures) / frames;
+}
+
+}  // namespace lightwave::fec

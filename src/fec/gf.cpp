@@ -1,0 +1,63 @@
+#include "fec/gf.h"
+
+#include <cassert>
+
+namespace lightwave::fec {
+
+const Gf1024& Gf1024::Instance() {
+  static const Gf1024 instance;
+  return instance;
+}
+
+Gf1024::Gf1024() {
+  std::uint32_t x = 1;
+  for (int i = 0; i < kGroupOrder; ++i) {
+    exp_[static_cast<std::size_t>(i)] = static_cast<Element>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x & kFieldSize) x ^= kPrimitivePoly;
+  }
+  // Duplicate the table so Mul can skip the modulo.
+  for (int i = 0; i < kGroupOrder; ++i) {
+    exp_[static_cast<std::size_t>(i + kGroupOrder)] = exp_[static_cast<std::size_t>(i)];
+  }
+  log_[0] = -1;
+}
+
+Gf1024::Element Gf1024::Mul(Element a, Element b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[static_cast<std::size_t>(log_[a] + log_[b])];
+}
+
+Gf1024::Element Gf1024::Div(Element a, Element b) const {
+  assert(b != 0);
+  if (a == 0) return 0;
+  int diff = log_[a] - log_[b];
+  if (diff < 0) diff += kGroupOrder;
+  return exp_[static_cast<std::size_t>(diff)];
+}
+
+Gf1024::Element Gf1024::Inv(Element a) const {
+  assert(a != 0);
+  return exp_[static_cast<std::size_t>(kGroupOrder - log_[a])];
+}
+
+Gf1024::Element Gf1024::Pow(Element a, int e) const {
+  if (a == 0) return e == 0 ? static_cast<Element>(1) : static_cast<Element>(0);
+  long long idx = static_cast<long long>(log_[a]) * e % kGroupOrder;
+  if (idx < 0) idx += kGroupOrder;
+  return exp_[static_cast<std::size_t>(idx)];
+}
+
+Gf1024::Element Gf1024::AlphaPow(int e) const {
+  int idx = e % kGroupOrder;
+  if (idx < 0) idx += kGroupOrder;
+  return exp_[static_cast<std::size_t>(idx)];
+}
+
+int Gf1024::Log(Element a) const {
+  assert(a != 0);
+  return log_[a];
+}
+
+}  // namespace lightwave::fec

@@ -1,0 +1,40 @@
+// GF(2^10) arithmetic for the KP4 Reed-Solomon code (RS(544,514) over
+// 10-bit symbols, IEEE 802.3 Clause 91/119). Log/antilog tables are built
+// once per process from the primitive polynomial x^10 + x^3 + 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lightwave::fec {
+
+class Gf1024 {
+ public:
+  static constexpr int kBits = 10;
+  static constexpr int kFieldSize = 1 << kBits;  // 1024
+  static constexpr int kGroupOrder = kFieldSize - 1;  // 1023
+  static constexpr std::uint32_t kPrimitivePoly = 0x409;  // x^10 + x^3 + 1
+
+  using Element = std::uint16_t;
+
+  /// Returns the process-wide table singleton (immutable after construction).
+  static const Gf1024& Instance();
+
+  Element Add(Element a, Element b) const { return a ^ b; }
+  Element Mul(Element a, Element b) const;
+  Element Div(Element a, Element b) const;  // b != 0
+  Element Inv(Element a) const;             // a != 0
+  Element Pow(Element a, int e) const;
+  /// alpha^e for the primitive element alpha.
+  Element AlphaPow(int e) const;
+  /// Discrete log base alpha; a != 0.
+  int Log(Element a) const;
+
+ private:
+  Gf1024();
+
+  std::array<Element, 2 * kGroupOrder> exp_{};
+  std::array<int, kFieldSize> log_{};
+};
+
+}  // namespace lightwave::fec

@@ -1,0 +1,35 @@
+#include "fec/inner_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lightwave::fec {
+
+double InnerCode::Transfer(double channel_ber) const {
+  assert(channel_ber >= 0.0 && channel_ber <= 0.5);
+  const double corrected =
+      spec_.coefficient * std::pow(channel_ber, static_cast<double>(spec_.min_weight));
+  return std::min(channel_ber, corrected);
+}
+
+double InnerCode::MaxChannelBer(double target_output_ber) const {
+  assert(target_output_ber > 0.0 && target_output_ber < 0.5);
+  double lo = 0.0, hi = 0.5;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (Transfer(mid) <= target_output_ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double InnerCode::LatencyNs(double line_rate_gbps) const {
+  assert(line_rate_gbps > 0.0);
+  return spec_.latency_ns_at_reference * (spec_.reference_rate_gbps / line_rate_gbps);
+}
+
+}  // namespace lightwave::fec

@@ -1,0 +1,55 @@
+// The proprietary ultra-low-latency soft-decision inner FEC (§3.3.2): a
+// short code decoded with soft information and concatenated inside the
+// standard KP4 outer code. A variant was adopted by IEEE 802.3dj. We model
+// it as a BER transfer function calibrated to the published operating point:
+// a 1.6 dB receiver-sensitivity improvement at the KP4 threshold (Fig. 12)
+// and < 20 ns of added latency at 200 Gb/s.
+#pragma once
+
+namespace lightwave::fec {
+
+struct InnerCodeSpec {
+  /// Code rate (overhead steals line rate; the custom transceivers absorb it
+  /// in the lane rate budget).
+  double rate = 0.94;
+  /// Dominant error-correcting behaviour: residual errors require at least
+  /// `min_weight` channel errors inside one inner block.
+  int min_weight = 2;
+  /// Multiplicity coefficient of the transfer function (see Transfer()):
+  /// roughly the number of minimum-weight error patterns per block that the
+  /// soft decoder confuses. Calibrated so the concatenated code reproduces
+  /// the published 1.6 dB sensitivity gain at -32 dB MPI (Fig. 12).
+  double coefficient = 140.0;
+  /// Decode latency in ns when running at the reference rate.
+  double latency_ns_at_reference = 18.0;
+  double reference_rate_gbps = 200.0;
+};
+
+class InnerCode {
+ public:
+  InnerCode() : InnerCode(InnerCodeSpec{}) {}
+  explicit InnerCode(InnerCodeSpec spec) : spec_(spec) {}
+
+  const InnerCodeSpec& spec() const { return spec_; }
+
+  /// Output BER as a function of channel (input) BER:
+  ///   p_out = min(p_in, coefficient * p_in^min_weight)
+  /// The quadratic regime is what produces the published 1.6 dB gain at the
+  /// KP4 threshold; at very high channel BER the code saturates and passes
+  /// errors through.
+  double Transfer(double channel_ber) const;
+
+  /// Largest channel BER for which the inner decoder output meets
+  /// `target_output_ber` (inverse of Transfer, bisection).
+  double MaxChannelBer(double target_output_ber) const;
+
+  /// Added latency at the given line rate; scales inversely with rate
+  /// (deeper parallelism at higher rates keeps the wall-clock similar, so we
+  /// model latency as constant-per-block with block time ~ 1/rate).
+  double LatencyNs(double line_rate_gbps) const;
+
+ private:
+  InnerCodeSpec spec_;
+};
+
+}  // namespace lightwave::fec

@@ -1,0 +1,44 @@
+#include "fec/interleaver.h"
+
+#include <cassert>
+
+namespace lightwave::fec {
+
+BlockInterleaver::BlockInterleaver(int depth, int width) : depth_(depth), width_(width) {
+  assert(depth >= 1 && width >= 1);
+}
+
+std::vector<Gf1024::Element> BlockInterleaver::Interleave(
+    const std::vector<Gf1024::Element>& input) const {
+  assert(input.size() == BlockSymbols());
+  std::vector<Gf1024::Element> out(input.size());
+  std::size_t k = 0;
+  for (int col = 0; col < width_; ++col) {
+    for (int row = 0; row < depth_; ++row) {
+      out[k++] = input[static_cast<std::size_t>(row) * width_ + col];
+    }
+  }
+  return out;
+}
+
+std::vector<Gf1024::Element> BlockInterleaver::Deinterleave(
+    const std::vector<Gf1024::Element>& input) const {
+  assert(input.size() == BlockSymbols());
+  std::vector<Gf1024::Element> out(input.size());
+  std::size_t k = 0;
+  for (int col = 0; col < width_; ++col) {
+    for (int row = 0; row < depth_; ++row) {
+      out[static_cast<std::size_t>(row) * width_ + col] = input[k++];
+    }
+  }
+  return out;
+}
+
+int BlockInterleaver::WorstPerRowHits(int burst) const {
+  assert(burst >= 0);
+  // A contiguous burst in transmission order cycles through the rows: each
+  // full cycle of `depth` hits every row once.
+  return burst / depth_ + (burst % depth_ != 0 ? 1 : 0);
+}
+
+}  // namespace lightwave::fec

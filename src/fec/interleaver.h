@@ -1,0 +1,46 @@
+// Block symbol interleaver. Concatenated links interleave outer-code
+// symbols across the stream so that a burst out of the inner decoder (a
+// whole failed inner block) lands as isolated symbol errors in many KP4
+// frames instead of overwhelming one frame's t = 15 budget. Rows = depth
+// (number of frames sharing a burst), columns = frame length.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fec/gf.h"
+
+namespace lightwave::fec {
+
+class BlockInterleaver {
+ public:
+  /// `depth` rows by `width` columns of 10-bit symbols. Writing happens
+  /// row-major (consecutive codeword symbols fill a row); transmission
+  /// happens column-major, so a channel burst of length b hits at most
+  /// ceil(b / depth) symbols of any one row.
+  BlockInterleaver(int depth, int width);
+
+  int depth() const { return depth_; }
+  int width() const { return width_; }
+  std::size_t BlockSymbols() const {
+    return static_cast<std::size_t>(depth_) * static_cast<std::size_t>(width_);
+  }
+
+  /// Input: depth consecutive codewords of `width` symbols, concatenated.
+  /// Output: the column-major transmission order. Size must equal
+  /// BlockSymbols().
+  std::vector<Gf1024::Element> Interleave(const std::vector<Gf1024::Element>& input) const;
+
+  /// Exact inverse of Interleave.
+  std::vector<Gf1024::Element> Deinterleave(
+      const std::vector<Gf1024::Element>& input) const;
+
+  /// Worst-case symbols of one row hit by a channel burst of `burst` symbols.
+  int WorstPerRowHits(int burst) const;
+
+ private:
+  int depth_;
+  int width_;
+};
+
+}  // namespace lightwave::fec

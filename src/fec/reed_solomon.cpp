@@ -1,0 +1,348 @@
+#include "fec/reed_solomon.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lightwave::fec {
+
+using Element = Gf1024::Element;
+
+ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
+  assert(n > k && k > 0 && n <= Gf1024::kGroupOrder);
+  assert((n - k) % 2 == 0);
+  const auto& gf = Gf1024::Instance();
+  // generator(x) = prod_{i=1}^{2t} (x - alpha^i), conventional first root
+  // alpha^1.
+  generator_ = {1};
+  const int parity = n - k;
+  for (int i = 1; i <= parity; ++i) {
+    const Element root = gf.AlphaPow(i);
+    std::vector<Element> next(generator_.size() + 1, 0);
+    for (std::size_t j = 0; j < generator_.size(); ++j) {
+      // Multiply by (x + root) (== (x - root) in GF(2^m)).
+      next[j + 1] ^= generator_[j];
+      next[j] ^= gf.Mul(generator_[j], root);
+    }
+    generator_ = std::move(next);
+  }
+}
+
+std::vector<Element> ReedSolomon::Encode(const std::vector<Element>& data) const {
+  assert(static_cast<int>(data.size()) == k_);
+  const auto& gf = Gf1024::Instance();
+  const int parity = n_ - k_;
+  // LFSR division: remainder of data(x) * x^(n-k) by generator(x).
+  std::vector<Element> remainder(static_cast<std::size_t>(parity), 0);
+  for (int i = 0; i < k_; ++i) {
+    const Element feedback =
+        static_cast<Element>(data[static_cast<std::size_t>(i)] ^ remainder.back());
+    // Shift left by one.
+    for (int j = parity - 1; j > 0; --j) {
+      remainder[static_cast<std::size_t>(j)] = static_cast<Element>(
+          remainder[static_cast<std::size_t>(j - 1)] ^
+          gf.Mul(feedback, generator_[static_cast<std::size_t>(j)]));
+    }
+    remainder[0] = gf.Mul(feedback, generator_[0]);
+  }
+  std::vector<Element> codeword = data;
+  // Parity appended highest-degree first so that the codeword read as a
+  // polynomial is data(x)*x^(n-k) + remainder(x).
+  codeword.insert(codeword.end(), remainder.rbegin(), remainder.rend());
+  return codeword;
+}
+
+std::vector<Element> ReedSolomon::Syndromes(const std::vector<Element>& received) const {
+  const auto& gf = Gf1024::Instance();
+  const int parity = n_ - k_;
+  std::vector<Element> syndromes(static_cast<std::size_t>(parity), 0);
+  // The codeword as a polynomial has its first symbol as the highest-degree
+  // coefficient: c(x) = sum received[i] * x^(n-1-i). S_j = c(alpha^j).
+  for (int j = 1; j <= parity; ++j) {
+    const Element a = gf.AlphaPow(j);
+    Element acc = 0;
+    for (int i = 0; i < n_; ++i) {
+      acc = static_cast<Element>(gf.Mul(acc, a) ^ received[static_cast<std::size_t>(i)]);
+    }
+    syndromes[static_cast<std::size_t>(j - 1)] = acc;
+  }
+  return syndromes;
+}
+
+bool ReedSolomon::IsCodeword(const std::vector<Element>& word) const {
+  if (static_cast<int>(word.size()) != n_) return false;
+  const auto syn = Syndromes(word);
+  return std::all_of(syn.begin(), syn.end(), [](Element s) { return s == 0; });
+}
+
+common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& received) const {
+  if (static_cast<int>(received.size()) != n_) {
+    return common::InvalidArgument("received word length != n");
+  }
+  const auto& gf = Gf1024::Instance();
+  const auto syndromes = Syndromes(received);
+  const bool clean =
+      std::all_of(syndromes.begin(), syndromes.end(), [](Element s) { return s == 0; });
+  if (clean) {
+    return DecodeOutcome{.codeword = received, .corrected_symbols = 0};
+  }
+
+  // Berlekamp-Massey: find the error-locator polynomial sigma(x).
+  std::vector<Element> sigma = {1};
+  std::vector<Element> prev = {1};
+  Element prev_discrepancy = 1;
+  int m = 1;
+  int errors = 0;  // current LFSR length L
+  for (int i = 0; i < n_ - k_; ++i) {
+    // Discrepancy d = S_i + sum_{j=1}^{L} sigma_j * S_{i-j}.
+    Element d = syndromes[static_cast<std::size_t>(i)];
+    for (int j = 1; j <= errors && j < static_cast<int>(sigma.size()); ++j) {
+      if (i - j >= 0) {
+        d = static_cast<Element>(
+            d ^ gf.Mul(sigma[static_cast<std::size_t>(j)],
+                       syndromes[static_cast<std::size_t>(i - j)]));
+      }
+    }
+    if (d == 0) {
+      ++m;
+      continue;
+    }
+    if (2 * errors <= i) {
+      std::vector<Element> temp = sigma;
+      // sigma = sigma - (d/prev_d) * x^m * prev
+      const Element coef = gf.Div(d, prev_discrepancy);
+      std::vector<Element> adjust(prev.size() + static_cast<std::size_t>(m), 0);
+      for (std::size_t j = 0; j < prev.size(); ++j) {
+        adjust[j + static_cast<std::size_t>(m)] = gf.Mul(coef, prev[j]);
+      }
+      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
+      for (std::size_t j = 0; j < adjust.size(); ++j) sigma[j] ^= adjust[j];
+      errors = i + 1 - errors;
+      prev = std::move(temp);
+      prev_discrepancy = d;
+      m = 1;
+    } else {
+      const Element coef = gf.Div(d, prev_discrepancy);
+      std::vector<Element> adjust(prev.size() + static_cast<std::size_t>(m), 0);
+      for (std::size_t j = 0; j < prev.size(); ++j) {
+        adjust[j + static_cast<std::size_t>(m)] = gf.Mul(coef, prev[j]);
+      }
+      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
+      for (std::size_t j = 0; j < adjust.size(); ++j) sigma[j] ^= adjust[j];
+      ++m;
+    }
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const int num_errors = static_cast<int>(sigma.size()) - 1;
+  if (num_errors <= 0 || num_errors > t()) {
+    return common::Internal("uncorrectable: error count exceeds t");
+  }
+
+  // Chien search over positions. Symbol received[i] has polynomial degree
+  // n-1-i; an error at degree e corresponds to locator root alpha^{-e}.
+  std::vector<int> error_positions;  // index into `received`
+  for (int i = 0; i < n_; ++i) {
+    const int degree = n_ - 1 - i;
+    const Element x_inv = gf.AlphaPow(-degree);  // evaluate sigma(alpha^{-e})
+    Element acc = 0;
+    for (int j = static_cast<int>(sigma.size()) - 1; j >= 0; --j) {
+      acc = static_cast<Element>(gf.Mul(acc, x_inv) ^ sigma[static_cast<std::size_t>(j)]);
+    }
+    if (acc == 0) error_positions.push_back(i);
+  }
+  if (static_cast<int>(error_positions.size()) != num_errors) {
+    return common::Internal("uncorrectable: locator roots != degree");
+  }
+
+  // Forney: error values. Error evaluator omega(x) = [S(x) * sigma(x)]
+  // mod x^{2t}, with S(x) = sum S_{j+1} x^j.
+  std::vector<Element> omega(static_cast<std::size_t>(n_ - k_), 0);
+  for (std::size_t i = 0; i < omega.size(); ++i) {
+    Element acc = 0;
+    for (std::size_t j = 0; j <= i && j < sigma.size(); ++j) {
+      acc = static_cast<Element>(acc ^ gf.Mul(sigma[j], syndromes[i - j]));
+    }
+    omega[i] = acc;
+  }
+  // Formal derivative of sigma.
+  std::vector<Element> sigma_prime;
+  for (std::size_t j = 1; j < sigma.size(); j += 2) sigma_prime.push_back(sigma[j]);
+
+  std::vector<Element> corrected = received;
+  for (int pos : error_positions) {
+    const int degree = n_ - 1 - pos;
+    const Element x_inv = gf.AlphaPow(-degree);
+    // omega(x_inv)
+    Element num = 0;
+    for (int j = static_cast<int>(omega.size()) - 1; j >= 0; --j) {
+      num = static_cast<Element>(gf.Mul(num, x_inv) ^ omega[static_cast<std::size_t>(j)]);
+    }
+    // sigma'(x_inv) evaluated as polynomial in x^2: sigma'(x) = sum
+    // sigma_{2j+1} x^{2j}.
+    Element den = 0;
+    const Element x_inv_sq = gf.Mul(x_inv, x_inv);
+    for (int j = static_cast<int>(sigma_prime.size()) - 1; j >= 0; --j) {
+      den = static_cast<Element>(gf.Mul(den, x_inv_sq) ^
+                                 sigma_prime[static_cast<std::size_t>(j)]);
+    }
+    if (den == 0) return common::Internal("Forney denominator zero");
+    // Error magnitude with first root alpha^1 and S(x) = sum S_{j+1} x^j:
+    // e = omega(X^{-1}) / sigma'(X^{-1}).
+    const Element magnitude = gf.Div(num, den);
+    corrected[static_cast<std::size_t>(pos)] ^= magnitude;
+  }
+  if (!IsCodeword(corrected)) {
+    return common::Internal("uncorrectable: correction failed verification");
+  }
+  return DecodeOutcome{.codeword = std::move(corrected), .corrected_symbols = num_errors};
+}
+
+common::Result<DecodeOutcome> ReedSolomon::DecodeWithErasures(
+    const std::vector<Element>& received, const std::vector<int>& erasures) const {
+  if (static_cast<int>(received.size()) != n_) {
+    return common::InvalidArgument("received word length != n");
+  }
+  if (erasures.empty()) return Decode(received);
+  const int two_t = n_ - k_;
+  if (static_cast<int>(erasures.size()) > two_t) {
+    return common::InvalidArgument("more erasures than the code can correct");
+  }
+  for (int pos : erasures) {
+    if (pos < 0 || pos >= n_) return common::InvalidArgument("erasure out of range");
+  }
+
+  const auto& gf = Gf1024::Instance();
+  const auto syndromes = Syndromes(received);
+  if (std::all_of(syndromes.begin(), syndromes.end(), [](Element s) { return s == 0; })) {
+    return DecodeOutcome{.codeword = received, .corrected_symbols = 0};
+  }
+
+  auto poly_mul_mod = [&](const std::vector<Element>& a, const std::vector<Element>& b) {
+    std::vector<Element> out(static_cast<std::size_t>(two_t), 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] == 0) continue;
+      for (std::size_t j = 0; j < b.size() && i + j < out.size(); ++j) {
+        out[i + j] = static_cast<Element>(out[i + j] ^ gf.Mul(a[i], b[j]));
+      }
+    }
+    return out;
+  };
+  auto eval = [&](const std::vector<Element>& p, Element x) {
+    Element acc = 0;
+    for (int i = static_cast<int>(p.size()) - 1; i >= 0; --i) {
+      acc = static_cast<Element>(gf.Mul(acc, x) ^ p[static_cast<std::size_t>(i)]);
+    }
+    return acc;
+  };
+
+  // Erasure locator Gamma(x) = prod (1 - Y_i x), Y_i = alpha^{degree}.
+  std::vector<Element> gamma = {1};
+  for (int pos : erasures) {
+    const Element y = gf.AlphaPow(n_ - 1 - pos);
+    std::vector<Element> next(gamma.size() + 1, 0);
+    for (std::size_t j = 0; j < gamma.size(); ++j) {
+      next[j] ^= gamma[j];
+      next[j + 1] ^= gf.Mul(gamma[j], y);
+    }
+    gamma = std::move(next);
+  }
+
+  // Modified syndromes Xi = [S(x) * Gamma(x)] mod x^{2t}; BM runs on the
+  // tail Xi_f .. Xi_{2t-1} to find the error locator sigma.
+  const int f = static_cast<int>(erasures.size());
+  const auto xi = poly_mul_mod(
+      std::vector<Element>(syndromes.begin(), syndromes.end()), gamma);
+  std::vector<Element> u(xi.begin() + f, xi.end());  // length 2t - f
+
+  std::vector<Element> sigma = {1};
+  std::vector<Element> prev = {1};
+  Element prev_discrepancy = 1;
+  int m = 1;
+  int errors = 0;
+  for (int i = 0; i < static_cast<int>(u.size()); ++i) {
+    Element d = u[static_cast<std::size_t>(i)];
+    for (int j = 1; j <= errors && j < static_cast<int>(sigma.size()); ++j) {
+      if (i - j >= 0) {
+        d = static_cast<Element>(d ^ gf.Mul(sigma[static_cast<std::size_t>(j)],
+                                            u[static_cast<std::size_t>(i - j)]));
+      }
+    }
+    if (d == 0) {
+      ++m;
+      continue;
+    }
+    const Element coef = gf.Div(d, prev_discrepancy);
+    std::vector<Element> adjust(prev.size() + static_cast<std::size_t>(m), 0);
+    for (std::size_t j = 0; j < prev.size(); ++j) {
+      adjust[j + static_cast<std::size_t>(m)] = gf.Mul(coef, prev[j]);
+    }
+    if (2 * errors <= i) {
+      std::vector<Element> temp = sigma;
+      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
+      for (std::size_t j = 0; j < adjust.size(); ++j) sigma[j] ^= adjust[j];
+      errors = i + 1 - errors;
+      prev = std::move(temp);
+      prev_discrepancy = d;
+      m = 1;
+    } else {
+      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
+      for (std::size_t j = 0; j < adjust.size(); ++j) sigma[j] ^= adjust[j];
+      ++m;
+    }
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const int num_errors = static_cast<int>(sigma.size()) - 1;
+  if (2 * num_errors + f > two_t) {
+    return common::Internal("uncorrectable: errors + erasures exceed capability");
+  }
+
+  // Errata locator psi = sigma * gamma; its roots cover both error and
+  // erasure positions.
+  std::vector<Element> psi(sigma.size() + gamma.size() - 1, 0);
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    for (std::size_t j = 0; j < gamma.size(); ++j) {
+      psi[i + j] = static_cast<Element>(psi[i + j] ^ gf.Mul(sigma[i], gamma[j]));
+    }
+  }
+
+  // Chien search for errata positions.
+  std::vector<int> errata_positions;
+  for (int i = 0; i < n_; ++i) {
+    const Element x_inv = gf.AlphaPow(-(n_ - 1 - i));
+    if (eval(psi, x_inv) == 0) errata_positions.push_back(i);
+  }
+  if (static_cast<int>(errata_positions.size()) != static_cast<int>(psi.size()) - 1) {
+    return common::Internal("uncorrectable: errata locator roots != degree");
+  }
+
+  // Errata evaluator omega = [S(x) * psi(x)] mod x^{2t}; Forney magnitudes
+  // e_k = omega(X^{-1}) / psi'(X^{-1}).
+  const auto omega = poly_mul_mod(
+      std::vector<Element>(syndromes.begin(), syndromes.end()), psi);
+  auto eval_derivative = [&](const std::vector<Element>& p, Element x) {
+    // p'(x) = sum over odd j of p_j x^{j-1} (GF(2^m)).
+    Element acc = 0;
+    Element x_pow = 1;  // x^{j-1} built up two steps at a time
+    const Element x_sq = gf.Mul(x, x);
+    for (std::size_t j = 1; j < p.size(); j += 2) {
+      acc = static_cast<Element>(acc ^ gf.Mul(p[j], x_pow));
+      x_pow = gf.Mul(x_pow, x_sq);
+    }
+    return acc;
+  };
+
+  std::vector<Element> corrected = received;
+  for (int pos : errata_positions) {
+    const Element x_inv = gf.AlphaPow(-(n_ - 1 - pos));
+    const Element num = eval(omega, x_inv);
+    const Element den = eval_derivative(psi, x_inv);
+    if (den == 0) return common::Internal("Forney denominator zero");
+    corrected[static_cast<std::size_t>(pos)] ^= gf.Div(num, den);
+  }
+  if (!IsCodeword(corrected)) {
+    return common::Internal("uncorrectable: correction failed verification");
+  }
+  return DecodeOutcome{.codeword = std::move(corrected),
+                       .corrected_symbols = static_cast<int>(errata_positions.size())};
+}
+
+}  // namespace lightwave::fec

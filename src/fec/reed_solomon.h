@@ -1,0 +1,62 @@
+// Systematic Reed-Solomon codec over GF(2^10). The KP4 instance RS(544,514)
+// corrects up to t = 15 symbol errors per 544-symbol codeword and is the
+// outer code of every link in the fabric; its 2e-4 pre-FEC BER threshold is
+// the figure of merit used throughout §4.1.
+//
+// Decoder: syndrome computation, Berlekamp-Massey, Chien search, Forney.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "fec/gf.h"
+
+namespace lightwave::fec {
+
+struct DecodeOutcome {
+  std::vector<Gf1024::Element> codeword;  // corrected, length n
+  int corrected_symbols = 0;
+};
+
+class ReedSolomon {
+ public:
+  /// n = total symbols, k = data symbols; (n - k) must be even.
+  ReedSolomon(int n, int k);
+
+  /// The KP4 code of IEEE 802.3: RS(544, 514), t = 15.
+  static ReedSolomon Kp4() { return ReedSolomon(544, 514); }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int t() const { return (n_ - k_) / 2; }
+
+  /// Systematic encode: returns data followed by (n-k) parity symbols.
+  /// Requires data.size() == k and every symbol < 1024.
+  std::vector<Gf1024::Element> Encode(const std::vector<Gf1024::Element>& data) const;
+
+  /// Decodes a received word of length n. Fails when more than t symbols are
+  /// corrupted (decoder detects an uncorrectable pattern) — note that, as
+  /// with any bounded-distance decoder, patterns beyond t can occasionally
+  /// miscorrect instead of failing.
+  common::Result<DecodeOutcome> Decode(const std::vector<Gf1024::Element>& received) const;
+
+  /// Errors-and-erasures decoding: `erasures` are positions whose symbols
+  /// are known unreliable (e.g. flagged by the inner decoder). Corrects any
+  /// pattern of e errors and f erasures with 2e + f <= 2t — up to 2t = 30
+  /// pure erasures for KP4.
+  common::Result<DecodeOutcome> DecodeWithErasures(
+      const std::vector<Gf1024::Element>& received, const std::vector<int>& erasures) const;
+
+  /// True when `word` is a valid codeword (all syndromes zero).
+  bool IsCodeword(const std::vector<Gf1024::Element>& word) const;
+
+ private:
+  int n_;
+  int k_;
+  std::vector<Gf1024::Element> generator_;  // generator polynomial, low->high
+
+  std::vector<Gf1024::Element> Syndromes(const std::vector<Gf1024::Element>& received) const;
+};
+
+}  // namespace lightwave::fec

@@ -1,0 +1,118 @@
+#include "ocs/camera.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lightwave::ocs {
+
+CameraImage::CameraImage(int width, int height)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, 0.0) {
+  assert(width > 0 && height > 0);
+}
+
+double CameraImage::at(int x, int y) const {
+  assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void CameraImage::set(int x, int y, double value) {
+  assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+  pixels_[static_cast<std::size_t>(y) * width_ + x] = value;
+}
+
+double CameraImage::Sum() const {
+  double sum = 0.0;
+  for (double p : pixels_) sum += p;
+  return sum;
+}
+
+CameraImage RenderSpot(const CameraSpec& spec, double error_x_rad, double error_y_rad,
+                       common::Rng& rng) {
+  CameraImage image(spec.roi_pixels, spec.roi_pixels);
+  const double centre = (spec.roi_pixels - 1) / 2.0;
+  const double spot_x =
+      centre + error_x_rad * spec.um_per_radian / spec.pixel_pitch_um;
+  const double spot_y =
+      centre + error_y_rad * spec.um_per_radian / spec.pixel_pitch_um;
+  const double two_sigma_sq = 2.0 * spec.psf_sigma_pixels * spec.psf_sigma_pixels;
+  for (int y = 0; y < spec.roi_pixels; ++y) {
+    for (int x = 0; x < spec.roi_pixels; ++x) {
+      const double dx = x - spot_x;
+      const double dy = y - spot_y;
+      const double signal = spec.peak_signal * std::exp(-(dx * dx + dy * dy) / two_sigma_sq);
+      // Shot noise ~ sqrt(counts); plus read noise and background.
+      const double counts = signal + spec.background;
+      const double noisy =
+          counts + rng.Gaussian(0.0, std::sqrt(std::max(0.0, counts)) + spec.read_noise);
+      image.set(x, y, std::max(0.0, noisy));
+    }
+  }
+  return image;
+}
+
+std::optional<Centroid> ExtractCentroid(const CameraSpec& spec, const CameraImage& image) {
+  // Background estimate: median of the border pixels (the spot lives in the
+  // interior when the mirror is anywhere near aligned).
+  std::vector<double> border;
+  for (int x = 0; x < image.width(); ++x) {
+    border.push_back(image.at(x, 0));
+    border.push_back(image.at(x, image.height() - 1));
+  }
+  for (int y = 1; y < image.height() - 1; ++y) {
+    border.push_back(image.at(0, y));
+    border.push_back(image.at(image.width() - 1, y));
+  }
+  std::nth_element(border.begin(), border.begin() + static_cast<long>(border.size() / 2),
+                   border.end());
+  const double background = border[border.size() / 2];
+
+  // Threshold at 4 sigma of the per-pixel noise (shot noise on the
+  // background plus read noise); centroid over survivors.
+  const double pixel_sigma = std::sqrt(std::max(0.0, background)) + spec.read_noise;
+  const double threshold = background + 4.0 * pixel_sigma;
+  double sum = 0.0, sum_x = 0.0, sum_y = 0.0;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const double v = image.at(x, y) - background;
+      if (image.at(x, y) < threshold) continue;
+      sum += v;
+      sum_x += v * x;
+      sum_y += v * y;
+    }
+  }
+  // Require a detectable integrated signal (a few percent of the nominal
+  // spot energy) before trusting the centroid.
+  const double min_signal =
+      std::max(0.02 * spec.peak_signal * 2.0 * M_PI * spec.psf_sigma_pixels *
+                   spec.psf_sigma_pixels,
+               20.0 * pixel_sigma);
+  if (sum < min_signal) return std::nullopt;
+  const double centre = (image.width() - 1) / 2.0;
+  return Centroid{
+      .x_pixels = sum_x / sum - centre,
+      .y_pixels = sum_y / sum - centre,
+      .signal = sum,
+  };
+}
+
+void CentroidToAngles(const CameraSpec& spec, const Centroid& centroid, double* error_x_rad,
+                      double* error_y_rad) {
+  const double um_per_pixel = spec.pixel_pitch_um;
+  *error_x_rad = centroid.x_pixels * um_per_pixel / spec.um_per_radian;
+  *error_y_rad = centroid.y_pixels * um_per_pixel / spec.um_per_radian;
+}
+
+bool MeasurePointingError(const CameraSpec& spec, double true_x_rad, double true_y_rad,
+                          common::Rng& rng, double* measured_x_rad,
+                          double* measured_y_rad) {
+  const CameraImage image = RenderSpot(spec, true_x_rad, true_y_rad, rng);
+  const auto centroid = ExtractCentroid(spec, image);
+  if (!centroid.has_value()) return false;
+  CentroidToAngles(spec, *centroid, measured_x_rad, measured_y_rad);
+  return true;
+}
+
+}  // namespace lightwave::ocs

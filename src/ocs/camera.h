@@ -1,0 +1,77 @@
+// Camera monitor path (§3.2.2, Fig. 4/6): each MEMS array is illuminated by
+// an 850 nm monitor beam; dichroic splitters image the mirror array onto a
+// camera, and the control loop extracts each mirror's pointing error from
+// the spot position in the image. "By implementing mirror controls based on
+// image processing, the control scheme is significantly simplified compared
+// to ... individual per mirror monitoring and/or photodetector hardware."
+//
+// This module is the image-processing half of that loop: synthetic spot
+// rendering (Gaussian PSF on a pixel grid with shot noise and background),
+// centroid extraction with background subtraction and thresholding, and the
+// pixel->angle calibration that turns a centroid offset into a mirror
+// correction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lightwave::ocs {
+
+/// A small monochrome region-of-interest around one mirror's spot.
+class CameraImage {
+ public:
+  CameraImage(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double at(int x, int y) const;
+  void set(int x, int y, double value);
+  double Sum() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<double> pixels_;
+};
+
+struct CameraSpec {
+  int roi_pixels = 16;          // square region of interest per mirror
+  double pixel_pitch_um = 5.0;  // physical pixel size
+  /// Optical magnification from mirror tilt to spot displacement on the
+  /// sensor: micrometres of spot motion per radian of mirror tilt.
+  double um_per_radian = 20'000.0;
+  double psf_sigma_pixels = 1.4;  // spot size (diffraction + optics)
+  double peak_signal = 4000.0;    // counts at spot centre
+  double background = 40.0;       // stray light counts per pixel
+  double read_noise = 6.0;        // counts rms per pixel
+};
+
+/// Renders the monitor spot for a mirror whose pointing error is
+/// (error_x, error_y) radians; the spot lands offset from the ROI centre.
+CameraImage RenderSpot(const CameraSpec& spec, double error_x_rad, double error_y_rad,
+                       common::Rng& rng);
+
+struct Centroid {
+  double x_pixels = 0.0;  // offset from ROI centre
+  double y_pixels = 0.0;
+  double signal = 0.0;  // background-subtracted integrated counts
+};
+
+/// Background-subtracted, thresholded centroid. nullopt when the spot is
+/// too dim to localize (mirror pointing far outside the ROI, dead laser).
+std::optional<Centroid> ExtractCentroid(const CameraSpec& spec, const CameraImage& image);
+
+/// Converts a centroid offset to the mirror pointing error it implies.
+void CentroidToAngles(const CameraSpec& spec, const Centroid& centroid, double* error_x_rad,
+                      double* error_y_rad);
+
+/// One full measurement: render + extract + convert. Returns false when the
+/// spot was not found.
+bool MeasurePointingError(const CameraSpec& spec, double true_x_rad, double true_y_rad,
+                          common::Rng& rng, double* measured_x_rad,
+                          double* measured_y_rad);
+
+}  // namespace lightwave::ocs

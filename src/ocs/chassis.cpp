@@ -1,0 +1,126 @@
+#include "ocs/chassis.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace lightwave::ocs {
+
+const char* ToString(FruKind kind) {
+  switch (kind) {
+    case FruKind::kCpu: return "cpu";
+    case FruKind::kFpga: return "fpga";
+    case FruKind::kHvDriverBoard: return "hv-driver";
+    case FruKind::kPowerSupply: return "psu";
+    case FruKind::kFanModule: return "fan";
+    case FruKind::kOpticalCore: return "optical-core";
+  }
+  return "?";
+}
+
+std::vector<FruSpec> PalomarFruComplement() {
+  // MTBF figures chosen so the composite chassis availability lands at the
+  // published >= 99.98% (§4.1.1) with the HV drivers as the weakest FRU.
+  return {
+      FruSpec{.kind = FruKind::kCpu, .count = 1, .required = 1, .mtbf_hours = 400'000,
+              .mttr_hours = 4, .hot_swappable = false, .swap_disturbs_mirrors = false},
+      FruSpec{.kind = FruKind::kFpga, .count = 1, .required = 1, .mtbf_hours = 500'000,
+              .mttr_hours = 4, .hot_swappable = false, .swap_disturbs_mirrors = false},
+      FruSpec{.kind = FruKind::kHvDriverBoard, .count = 8, .required = 8,
+              .mtbf_hours = 150'000, .mttr_hours = 2, .hot_swappable = true,
+              .swap_disturbs_mirrors = true},
+      FruSpec{.kind = FruKind::kPowerSupply, .count = 2, .required = 1,
+              .mtbf_hours = 200'000, .mttr_hours = 2, .hot_swappable = true,
+              .swap_disturbs_mirrors = false},
+      FruSpec{.kind = FruKind::kFanModule, .count = 4, .required = 3, .mtbf_hours = 100'000,
+              .mttr_hours = 1, .hot_swappable = true, .swap_disturbs_mirrors = false},
+      FruSpec{.kind = FruKind::kOpticalCore, .count = 1, .required = 1,
+              .mtbf_hours = 2'000'000, .mttr_hours = 24, .hot_swappable = false,
+              .swap_disturbs_mirrors = true},
+  };
+}
+
+int FruInstance::UpCount() const {
+  int up = 0;
+  for (bool u : unit_up) up += u ? 1 : 0;
+  return up;
+}
+
+Chassis::Chassis(std::vector<FruSpec> complement) {
+  for (auto& spec : complement) {
+    FruInstance inst;
+    inst.spec = spec;
+    inst.unit_up.assign(static_cast<std::size_t>(spec.count), true);
+    frus_.push_back(std::move(inst));
+  }
+}
+
+double Chassis::SteadyStateAvailability() const {
+  double availability = 1.0;
+  for (const auto& fru : frus_) {
+    const double unit_avail =
+        fru.spec.mtbf_hours / (fru.spec.mtbf_hours + fru.spec.mttr_hours);
+    availability *=
+        common::AtLeastKofN(fru.spec.count, fru.spec.required, unit_avail);
+  }
+  return availability;
+}
+
+FruInstance* Chassis::Find(FruKind kind) {
+  for (auto& fru : frus_) {
+    if (fru.spec.kind == kind) return &fru;
+  }
+  return nullptr;
+}
+
+const FruInstance* Chassis::Find(FruKind kind) const {
+  for (const auto& fru : frus_) {
+    if (fru.spec.kind == kind) return &fru;
+  }
+  return nullptr;
+}
+
+bool Chassis::FailUnit(FruKind kind, int unit) {
+  FruInstance* fru = Find(kind);
+  assert(fru != nullptr);
+  assert(unit >= 0 && unit < fru->spec.count);
+  fru->unit_up[static_cast<std::size_t>(unit)] = false;
+  return Operational();
+}
+
+bool Chassis::RepairUnit(FruKind kind, int unit) {
+  FruInstance* fru = Find(kind);
+  assert(fru != nullptr);
+  assert(unit >= 0 && unit < fru->spec.count);
+  fru->unit_up[static_cast<std::size_t>(unit)] = true;
+  return fru->spec.swap_disturbs_mirrors;
+}
+
+bool Chassis::Operational() const {
+  for (const auto& fru : frus_) {
+    if (!fru.Operational()) return false;
+  }
+  return true;
+}
+
+double Chassis::PowerDrawWatts() const {
+  // §4.1.1: the entire system peaks at 108 W. Budget: core electronics
+  // (CPU+FPGA) 30 W, 8 HV drivers x 7 W, 2 PSUs x 4 W overhead, 4 fans x
+  // 3.5 W.
+  double watts = 30.0;
+  for (const auto& fru : frus_) {
+    const double per_unit = [&] {
+      switch (fru.spec.kind) {
+        case FruKind::kHvDriverBoard: return 7.0;
+        case FruKind::kPowerSupply: return 4.0;
+        case FruKind::kFanModule: return 3.5;
+        default: return 0.0;
+      }
+    }();
+    watts += per_unit * fru.UpCount();
+  }
+  return watts;
+}
+
+}  // namespace lightwave::ocs

@@ -1,0 +1,27 @@
+#include "ocs/collimator.h"
+
+#include <algorithm>
+
+namespace lightwave::ocs {
+
+using common::Decibel;
+
+CollimatorArray::CollimatorArray(common::Rng& rng, int ports) {
+  ports_.reserve(static_cast<std::size_t>(ports));
+  for (int i = 0; i < ports; ++i) {
+    CollimatorPort p;
+    // Coupling loss: tight normal distribution around 0.4 dB.
+    p.coupling_loss = Decibel{std::max(0.1, rng.Gaussian(0.4, 0.08))};
+    // Return loss: mean -46 dB with a few dB of spread; spec < -38 dB
+    // (Fig. 10b). Clamp to the physical floor of the AR coating.
+    p.return_loss = Decibel{std::min(-38.5, rng.Gaussian(-46.0, 2.0))};
+    // Pigtail: most ports ~0.15 dB; ~8% carry a poor splice/connector that
+    // adds up to ~0.8 dB — the tail of the insertion-loss histogram.
+    double pigtail = std::max(0.02, rng.Gaussian(0.15, 0.05));
+    if (rng.Bernoulli(0.08)) pigtail += rng.Uniform(0.2, 0.8);
+    p.pigtail_loss = Decibel{pigtail};
+    ports_.push_back(p);
+  }
+}
+
+}  // namespace lightwave::ocs

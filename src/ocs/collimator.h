@@ -1,0 +1,36 @@
+// 2D fiber collimator arrays (§3.2.2): a 136x136-port fiber array bonded to
+// a 2D lens array. Each port contributes coupling loss and — because the
+// fiber/lens interface is the dominant reflector in the switch (§4.1.1) —
+// a return-loss figure that feeds the link MPI budget.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lightwave::ocs {
+
+struct CollimatorPort {
+  common::Decibel coupling_loss{0.4};
+  common::Decibel return_loss{-46.0};
+  /// Extra loss from the fiber splice and connector behind this port — the
+  /// source of the tail in the Fig. 10a histogram.
+  common::Decibel pigtail_loss{0.15};
+};
+
+class CollimatorArray {
+ public:
+  /// Samples per-port manufacturing variation. Typical port: 0.4 dB
+  /// coupling + 0.15 dB pigtail; a small fraction of ports carry an extra
+  /// splice/connector penalty (the histogram tail).
+  CollimatorArray(common::Rng& rng, int ports);
+
+  int port_count() const { return static_cast<int>(ports_.size()); }
+  const CollimatorPort& port(int i) const { return ports_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::vector<CollimatorPort> ports_;
+};
+
+}  // namespace lightwave::ocs

@@ -1,0 +1,71 @@
+// MEMS mirror array model (§3.2.2, Fig. 5). Each Palomar die carries 176
+// individually controllable micro-mirrors of which the best 136 are selected
+// at manufacturing; the remainder are qualified spares. Mirrors are actuated
+// by high-voltage drivers and tilt on two axes; pointing error maps to
+// coupling loss in the optical core.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lightwave::ocs {
+
+inline constexpr int kFabricatedMirrors = 176;
+inline constexpr int kUsedMirrors = 136;
+
+struct MirrorState {
+  /// Commanded tilt (radians, two axes).
+  double target_x = 0.0;
+  double target_y = 0.0;
+  /// Actual tilt after actuation; differs from target by pointing error
+  /// until the closed-loop alignment converges.
+  double actual_x = 0.0;
+  double actual_y = 0.0;
+  bool functional = true;
+};
+
+/// One packaged MEMS die.
+class MemsArray {
+ public:
+  /// Fabricates a die: each mirror passes qualification with
+  /// `mirror_yield` probability; dies with fewer than kUsedMirrors good
+  /// mirrors are rejected (retry with fresh randomness).
+  MemsArray(common::Rng& rng, double mirror_yield = 0.93);
+
+  /// Logical mirror index (0..kUsedMirrors-1) -> physical mirror. The best
+  /// qualifying mirrors are mapped at manufacturing; spares substitute when
+  /// a mapped mirror fails in the field.
+  int PhysicalMirror(int logical) const;
+
+  MirrorState& mirror(int physical) { return mirrors_[static_cast<std::size_t>(physical)]; }
+  const MirrorState& mirror(int physical) const {
+    return mirrors_[static_cast<std::size_t>(physical)];
+  }
+
+  /// Commands a logical mirror to a tilt; the immediate actual position has
+  /// an open-loop pointing error drawn from `open_loop_error_std`.
+  void Actuate(common::Rng& rng, int logical, double x, double y);
+
+  /// Marks a physical mirror failed and remaps its logical slot onto a
+  /// qualified spare. Returns false when no spares remain.
+  bool FailMirror(common::Rng& rng, int physical);
+
+  int SparesRemaining() const;
+  int FunctionalCount() const;
+
+  /// Residual pointing error magnitude of a logical mirror (radians).
+  double PointingError(int logical) const;
+
+  /// Open-loop actuation error (std dev, radians). Closed-loop alignment
+  /// drives the residual well below this.
+  static constexpr double kOpenLoopErrorStd = 2.0e-3;
+
+ private:
+  std::vector<MirrorState> mirrors_;
+  std::vector<int> logical_to_physical_;
+  std::vector<int> spare_pool_;  // qualified but unmapped physical mirrors
+};
+
+}  // namespace lightwave::ocs

@@ -1,0 +1,78 @@
+#include "ocs/optical_core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lightwave::ocs {
+
+using common::Decibel;
+
+OpticalCore::OpticalCore(common::Rng rng, int ports)
+    : rng_(rng),
+      ports_(ports),
+      collimator_north_(rng_, ports),
+      collimator_south_(rng_, ports),
+      array_a_(rng_),
+      array_b_(rng_) {
+  assert(ports > 0 && ports <= kUsedMirrors);
+}
+
+void OpticalCore::TargetAngles(int from, int to, double* x, double* y) {
+  // 2D grid geometry: mirrors sit on a 12x12-ish grid (136 used); the tilt
+  // needed is proportional to the row/column offset between source and
+  // destination across the core.
+  constexpr int kGridWidth = 12;
+  constexpr double kAnglePerCell = 1.2e-2;  // radians per grid cell
+  const int from_row = from / kGridWidth, from_col = from % kGridWidth;
+  const int to_row = to / kGridWidth, to_col = to % kGridWidth;
+  *x = (to_col - from_col) * kAnglePerCell / 2.0;
+  *y = (to_row - from_row) * kAnglePerCell / 2.0;
+}
+
+std::optional<CorePathMetrics> OpticalCore::EstablishPath(int north, int south) {
+  assert(north >= 0 && north < ports_ && south >= 0 && south < ports_);
+  // Verify both logical mirrors are alive (their mapped physical mirror is
+  // functional; MemsArray remaps onto spares on failure).
+  const auto alive = [](const MemsArray& a, int logical) {
+    return a.mirror(a.PhysicalMirror(logical)).functional;
+  };
+  if (!alive(array_a_, north) || !alive(array_b_, south)) return std::nullopt;
+
+  double ax = 0.0, ay = 0.0, bx = 0.0, by = 0.0;
+  TargetAngles(north, south, &ax, &ay);
+  TargetAngles(south, north, &bx, &by);
+  array_a_.Actuate(rng_, north, ax, ay);
+  array_b_.Actuate(rng_, south, bx, by);
+
+  const AlignmentResult ra = alignment_.Align(rng_, array_a_, north);
+  const AlignmentResult rb = alignment_.Align(rng_, array_b_, south);
+
+  CorePathMetrics metrics = MeasurePath(north, south);
+  metrics.alignment_time_ms = std::max(ra.elapsed_ms, rb.elapsed_ms);
+  metrics.alignment_iterations = std::max(ra.iterations, rb.iterations);
+  return metrics;
+}
+
+CorePathMetrics OpticalCore::MeasurePath(int north, int south) const {
+  const CollimatorPort& in = collimator_north_.port(north);
+  const CollimatorPort& out = collimator_south_.port(south);
+  Decibel loss{kBaseCoreLossDb};
+  loss += in.coupling_loss + in.pigtail_loss;
+  loss += out.coupling_loss + out.pigtail_loss;
+  loss += MisalignmentLoss(array_a_.PointingError(north));
+  loss += MisalignmentLoss(array_b_.PointingError(south));
+  return CorePathMetrics{
+      .insertion_loss = loss,
+      .return_loss = std::max(in.return_loss, out.return_loss),
+      .alignment_time_ms = 0.0,
+      .alignment_iterations = 0,
+  };
+}
+
+bool OpticalCore::FailMirror(int array_index, int physical_mirror) {
+  MemsArray& array = array_index == 0 ? array_a_ : array_b_;
+  return array.FailMirror(rng_, physical_mirror);
+}
+
+}  // namespace lightwave::ocs

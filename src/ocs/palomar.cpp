@@ -1,0 +1,259 @@
+#include "ocs/palomar.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lightwave::ocs {
+
+using common::Result;
+using common::Status;
+
+PalomarSwitch::PalomarSwitch(std::uint64_t seed, std::string name)
+    : name_(std::move(name)),
+      core_(common::Rng(seed)),
+      north_usable_(kPalomarPortCount, true),
+      south_usable_(kPalomarPortCount, true) {
+  north_physical_.resize(kPalomarUsablePorts);
+  south_physical_.resize(kPalomarUsablePorts);
+  for (int i = 0; i < kPalomarUsablePorts; ++i) {
+    north_physical_[static_cast<std::size_t>(i)] = i;
+    south_physical_[static_cast<std::size_t>(i)] = i;
+  }
+  for (int i = kPalomarUsablePorts; i < kPalomarPortCount; ++i) {
+    north_spares_.push_back(i);
+    south_spares_.push_back(i);
+  }
+}
+
+int PalomarSwitch::PhysicalPort(bool north_side, int logical_port) const {
+  assert(logical_port >= 0 && logical_port < kPalomarUsablePorts);
+  return (north_side ? north_physical_ : south_physical_)[static_cast<std::size_t>(
+      logical_port)];
+}
+
+int PalomarSwitch::SparePortsRemaining(bool north_side) const {
+  return static_cast<int>((north_side ? north_spares_ : south_spares_).size());
+}
+
+common::Status PalomarSwitch::RemapToSpare(bool north_side, int logical_port) {
+  if (logical_port < 0 || logical_port >= kPalomarUsablePorts) {
+    return common::InvalidArgument("logical port out of usable range");
+  }
+  auto& spares = north_side ? north_spares_ : south_spares_;
+  if (spares.empty()) {
+    return common::ResourceExhausted("spare port pool exhausted");
+  }
+  auto& mapping = north_side ? north_physical_ : south_physical_;
+  auto& usable = north_side ? north_usable_ : south_usable_;
+  // Retire the old physical position (degraded splice / dead mirror chain)
+  // and re-patch the logical port onto the spare.
+  const int old_physical = mapping[static_cast<std::size_t>(logical_port)];
+  usable[static_cast<std::size_t>(old_physical)] = false;
+  mapping[static_cast<std::size_t>(logical_port)] = spares.back();
+  spares.pop_back();
+
+  // Re-establish any connection that was riding the old path.
+  int north_logical = -1;
+  if (north_side) {
+    if (north_to_south_.contains(logical_port)) north_logical = logical_port;
+  } else {
+    auto it = south_to_north_.find(logical_port);
+    if (it != south_to_north_.end()) north_logical = it->second;
+  }
+  if (north_logical >= 0) {
+    const int south = north_to_south_.at(north_logical);
+    (void)Disconnect(north_logical);
+    auto reconnected = Connect(north_logical, south);
+    if (!reconnected.ok()) return reconnected.error();
+  }
+  return common::Status::Ok();
+}
+
+Result<Connection> PalomarSwitch::EstablishInternal(int north, int south) {
+  if (north < 0 || north >= kPalomarUsablePorts || south < 0 ||
+      south >= kPalomarUsablePorts) {
+    ++telemetry_.rejected_commands;
+    return common::InvalidArgument("port index out of usable range");
+  }
+  const int north_phys = PhysicalPort(true, north);
+  const int south_phys = PhysicalPort(false, south);
+  if (!north_usable_[static_cast<std::size_t>(north_phys)] ||
+      !south_usable_[static_cast<std::size_t>(south_phys)]) {
+    ++telemetry_.rejected_commands;
+    return common::Unavailable("port has a dead mirror chain");
+  }
+  if (north_to_south_.contains(north) || south_to_north_.contains(south)) {
+    ++telemetry_.rejected_commands;
+    return common::AlreadyExists("port already connected");
+  }
+  auto metrics = core_.EstablishPath(north_phys, south_phys);
+  if (!metrics.has_value()) {
+    ++telemetry_.rejected_commands;
+    return common::Unavailable("mirror chain failed during establish");
+  }
+  Connection conn{
+      .north = north,
+      .south = south,
+      .insertion_loss = metrics->insertion_loss,
+      .return_loss = metrics->return_loss,
+  };
+  north_to_south_[north] = south;
+  south_to_north_[south] = north;
+  active_[north] = conn;
+  last_alignment_ms_ = metrics->alignment_time_ms;
+  ++telemetry_.connects;
+  return conn;
+}
+
+Result<Connection> PalomarSwitch::Connect(int north, int south) {
+  auto result = EstablishInternal(north, south);
+  if (result.ok()) telemetry_.cumulative_switch_ms += last_alignment_ms_ + kCommandOverheadMs;
+  return result;
+}
+
+Status PalomarSwitch::Disconnect(int north) {
+  auto it = north_to_south_.find(north);
+  if (it == north_to_south_.end()) {
+    ++telemetry_.rejected_commands;
+    return common::NotFound("no connection on north port");
+  }
+  south_to_north_.erase(it->second);
+  north_to_south_.erase(it);
+  active_.erase(north);
+  ++telemetry_.disconnects;
+  return Status::Ok();
+}
+
+Result<ReconfigureReport> PalomarSwitch::Reconfigure(const std::map<int, int>& target) {
+  // Validate first: bijective, in-range, usable. No state change on failure.
+  std::vector<bool> south_seen(kPalomarUsablePorts, false);
+  for (const auto& [north, south] : target) {
+    if (north < 0 || north >= kPalomarUsablePorts || south < 0 ||
+        south >= kPalomarUsablePorts) {
+      ++telemetry_.rejected_commands;
+      return common::InvalidArgument("target references out-of-range port");
+    }
+    if (south_seen[static_cast<std::size_t>(south)]) {
+      ++telemetry_.rejected_commands;
+      return common::InvalidArgument("target is not bijective (south reused)");
+    }
+    south_seen[static_cast<std::size_t>(south)] = true;
+    if (!north_usable_[static_cast<std::size_t>(PhysicalPort(true, north))] ||
+        !south_usable_[static_cast<std::size_t>(PhysicalPort(false, south))]) {
+      ++telemetry_.rejected_commands;
+      return common::Unavailable("target references dead port");
+    }
+  }
+
+  ReconfigureReport report;
+  double max_alignment_ms = 0.0;
+
+  // Tear down connections that are absent or changed in the target.
+  std::vector<int> to_remove;
+  for (const auto& [north, south] : north_to_south_) {
+    auto it = target.find(north);
+    if (it == target.end() || it->second != south) {
+      to_remove.push_back(north);
+    } else {
+      report.undisturbed.push_back(active_.at(north));
+    }
+  }
+  for (int north : to_remove) {
+    report.removed.push_back(active_.at(north));
+    south_to_north_.erase(north_to_south_.at(north));
+    north_to_south_.erase(north);
+    active_.erase(north);
+    ++telemetry_.disconnects;
+  }
+
+  // Establish the new connections.
+  for (const auto& [north, south] : target) {
+    if (north_to_south_.contains(north)) continue;  // undisturbed
+    auto result = EstablishInternal(north, south);
+    if (!result.ok()) {
+      // Mirror chain death mid-transaction: report what we achieved so the
+      // control plane can re-plan; partially-applied state is the honest
+      // hardware behaviour.
+      return result.error();
+    }
+    report.established.push_back(result.value());
+    max_alignment_ms = std::max(max_alignment_ms, last_alignment_ms_);
+  }
+
+  report.duration_ms = kCommandOverheadMs + max_alignment_ms;
+  telemetry_.cumulative_switch_ms += report.duration_ms;
+  ++telemetry_.reconfigurations;
+  return report;
+}
+
+std::optional<Connection> PalomarSwitch::ConnectionOn(int north) const {
+  auto it = active_.find(north);
+  if (it == active_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Connection> PalomarSwitch::Connections() const {
+  std::vector<Connection> all;
+  all.reserve(active_.size());
+  for (const auto& [north, conn] : active_) all.push_back(conn);
+  return all;
+}
+
+bool PalomarSwitch::InjectMirrorFailure(bool north_side, int port) {
+  assert(port >= 0 && port < kPalomarUsablePorts);
+  const int port_phys = PhysicalPort(north_side, port);
+  const auto& array = north_side ? core_.array_a() : core_.array_b();
+  const int physical = array.PhysicalMirror(port_phys);
+  const bool survived = core_.FailMirror(north_side ? 0 : 1, physical);
+  if (!survived) {
+    (north_side ? north_usable_ : south_usable_)[static_cast<std::size_t>(port_phys)] =
+        false;
+    // Tear down any active connection through the dead port.
+    if (north_side) {
+      if (north_to_south_.contains(port)) (void)Disconnect(port);
+    } else {
+      auto it = south_to_north_.find(port);
+      if (it != south_to_north_.end()) (void)Disconnect(it->second);
+    }
+    return false;
+  }
+  // Spare mirror mapped in; the path must be re-aligned. Re-establish any
+  // active connection through this port.
+  int north_port = -1;
+  if (north_side) {
+    if (north_to_south_.contains(port)) north_port = port;
+  } else {
+    auto it = south_to_north_.find(port);
+    if (it != south_to_north_.end()) north_port = it->second;
+  }
+  if (north_port >= 0) {
+    const int south = north_to_south_.at(north_port);
+    (void)Disconnect(north_port);
+    (void)Connect(north_port, south);
+  }
+  return true;
+}
+
+bool PalomarSwitch::PortUsable(bool north_side, int port) const {
+  assert(port >= 0 && port < kPalomarUsablePorts);
+  return (north_side ? north_usable_ : south_usable_)[static_cast<std::size_t>(
+      PhysicalPort(north_side, port))];
+}
+
+std::vector<Connection> PalomarSwitch::SurveyConnections() const {
+  std::vector<Connection> surveyed;
+  surveyed.reserve(active_.size());
+  for (const auto& [north, conn] : active_) {
+    const CorePathMetrics metrics = core_.MeasurePath(PhysicalPort(true, conn.north),
+                                                      PhysicalPort(false, conn.south));
+    surveyed.push_back(Connection{
+        .north = conn.north,
+        .south = conn.south,
+        .insertion_loss = metrics.insertion_loss,
+        .return_loss = metrics.return_loss,
+    });
+  }
+  return surveyed;
+}
+
+}  // namespace lightwave::ocs

@@ -1,0 +1,126 @@
+// The Palomar OCS (§3.2): a non-blocking 136x136 optical crossbar with
+// bijective any-to-any north->south connectivity. 128 duplex ports serve the
+// fabric; 8 are spares for link testing and repairs. Reconfiguration is
+// transactional: connections shared between the old and new configuration
+// are left untouched ("undisturbed"), which is what lets the scheduler place
+// new slices without interfering with running jobs (§4.2.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "ocs/chassis.h"
+#include "ocs/optical_core.h"
+
+namespace lightwave::ocs {
+
+inline constexpr int kPalomarPortCount = 136;
+inline constexpr int kPalomarUsablePorts = 128;
+inline constexpr int kPalomarSparePorts = 8;
+
+struct Connection {
+  int north = -1;
+  int south = -1;
+  common::Decibel insertion_loss{0.0};
+  common::Decibel return_loss{-46.0};
+  auto operator<=>(const Connection&) const = default;
+};
+
+struct ReconfigureReport {
+  std::vector<Connection> established;
+  std::vector<Connection> removed;
+  /// Connections carried over untouched; traffic on them never blips.
+  std::vector<Connection> undisturbed;
+  /// Wall-clock for the transaction. Mirrors actuate in parallel, so this is
+  /// the max (not sum) of per-path alignment times plus command overhead.
+  double duration_ms = 0.0;
+};
+
+struct SwitchTelemetry {
+  std::uint64_t connects = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t rejected_commands = 0;
+  double cumulative_switch_ms = 0.0;
+};
+
+class PalomarSwitch {
+ public:
+  explicit PalomarSwitch(std::uint64_t seed, std::string name = "palomar");
+
+  const std::string& name() const { return name_; }
+  int port_count() const { return kPalomarPortCount; }
+
+  /// Establishes north<->south. Fails when either side is already connected
+  /// (the crossbar is bijective), out of range, or its mirror chain is dead.
+  common::Result<Connection> Connect(int north, int south);
+
+  /// Tears down the connection on `north`. Fails when none exists.
+  common::Status Disconnect(int north);
+
+  /// Atomically moves to `target` (a set of north->south pairs). Preserves
+  /// intersecting connections undisturbed. Fails (with no state change) when
+  /// the target is not bijective or references dead/out-of-range ports.
+  common::Result<ReconfigureReport> Reconfigure(const std::map<int, int>& target);
+
+  /// Current connection on a north port.
+  std::optional<Connection> ConnectionOn(int north) const;
+  std::vector<Connection> Connections() const;
+  int ConnectionCount() const { return static_cast<int>(north_to_south_.size()); }
+
+  /// Injects a mirror failure affecting the given port side. Returns true if
+  /// the port survived (a spare mirror was mapped in). A destroyed port
+  /// rejects future connections (until remapped to a spare port).
+  bool InjectMirrorFailure(bool north_side, int port);
+
+  bool PortUsable(bool north_side, int port) const;
+
+  /// --- spare ports (§4.1.1: 128 usable + 8 spares "for link testing and
+  /// repairs") -----------------------------------------------------------
+  /// Logical fabric ports 0..127 map to physical collimator positions; the
+  /// 8 spare positions form a repair pool. RemapToSpare re-patches a
+  /// degraded or dead logical port onto the next spare position and
+  /// re-establishes its connection through the new path. Fails when the
+  /// pool is empty or the logical port is out of the usable range.
+  common::Status RemapToSpare(bool north_side, int logical_port);
+  int SparePortsRemaining(bool north_side) const;
+  /// Physical collimator position currently backing a logical port.
+  int PhysicalPort(bool north_side, int logical_port) const;
+
+  /// Re-measures the optical path of every active connection (in-situ link
+  /// monitoring).
+  std::vector<Connection> SurveyConnections() const;
+
+  const SwitchTelemetry& telemetry() const { return telemetry_; }
+  Chassis& chassis() { return chassis_; }
+  const Chassis& chassis() const { return chassis_; }
+
+  /// Fixed command/settle overhead per reconfiguration transaction.
+  static constexpr double kCommandOverheadMs = 2.0;
+
+ private:
+  common::Result<Connection> EstablishInternal(int north, int south);
+
+  std::string name_;
+  OpticalCore core_;
+  Chassis chassis_;
+  std::map<int, int> north_to_south_;   // logical ports
+  std::map<int, int> south_to_north_;   // logical ports
+  std::map<int, Connection> active_;    // keyed by logical north port
+  std::vector<bool> north_usable_;      // indexed by physical port
+  std::vector<bool> south_usable_;      // indexed by physical port
+  std::vector<int> north_physical_;     // logical -> physical
+  std::vector<int> south_physical_;
+  std::vector<int> north_spares_;       // free physical spare positions
+  std::vector<int> south_spares_;
+  SwitchTelemetry telemetry_;
+  double last_alignment_ms_ = 0.0;
+};
+
+}  // namespace lightwave::ocs

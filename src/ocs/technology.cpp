@@ -1,0 +1,80 @@
+#include "ocs/technology.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lightwave::ocs {
+
+const char* ToString(RelativeCost cost) {
+  switch (cost) {
+    case RelativeCost::kLow: return "Low";
+    case RelativeCost::kMedium: return "Medium";
+    case RelativeCost::kHigh: return "High";
+    case RelativeCost::kTbd: return "TBD";
+  }
+  return "?";
+}
+
+std::vector<OcsTechnology> OcsTechnologies() {
+  return {
+      OcsTechnology{.name = "MEMS", .cost = RelativeCost::kMedium, .port_count = 320,
+                    .switching_time_s = 10e-3, .insertion_loss_db = 3.0,
+                    .driving_voltage_v = 100.0, .latching = false},
+      OcsTechnology{.name = "Robotic", .cost = RelativeCost::kMedium, .port_count = 1008,
+                    .switching_time_s = 60.0, .insertion_loss_db = 1.0,
+                    .driving_voltage_v = 0.0, .latching = true},
+      OcsTechnology{.name = "Piezo", .cost = RelativeCost::kHigh, .port_count = 576,
+                    .switching_time_s = 10e-3, .insertion_loss_db = 2.5,
+                    .driving_voltage_v = 10.0, .latching = false},
+      OcsTechnology{.name = "GuidedWave", .cost = RelativeCost::kLow, .port_count = 16,
+                    .switching_time_s = 10e-9, .insertion_loss_db = 6.0,
+                    .driving_voltage_v = 1.0, .latching = false},
+      OcsTechnology{.name = "Wavelength", .cost = RelativeCost::kTbd, .port_count = 100,
+                    .switching_time_s = 10e-9, .insertion_loss_db = 6.0,
+                    .driving_voltage_v = 0.0, .latching = true},
+  };
+}
+
+std::vector<TechnologyScore> RankTechnologies(const UseCaseRequirements& req,
+                                              const std::vector<OcsTechnology>& techs) {
+  std::vector<TechnologyScore> scores;
+  scores.reserve(techs.size());
+  for (const auto& tech : techs) {
+    TechnologyScore ts{.technology = tech, .score = 0.0, .rationale = ""};
+    std::ostringstream why;
+    if (tech.port_count < req.min_ports) {
+      ts.score -= 100.0;
+      why << "radix " << tech.port_count << " < required " << req.min_ports << "; ";
+    } else {
+      ts.score += 10.0 + 5.0 * (tech.port_count >= 2 * req.min_ports ? 1.0 : 0.0);
+    }
+    if (tech.switching_time_s > req.max_switching_time_s) {
+      ts.score -= 100.0;
+      why << "switching too slow; ";
+    } else {
+      ts.score += 10.0;
+    }
+    if (tech.insertion_loss_db > req.max_insertion_loss_db) {
+      ts.score -= 100.0;
+      why << "insertion loss " << tech.insertion_loss_db << " dB over budget; ";
+    } else {
+      ts.score += 10.0 + (req.max_insertion_loss_db - tech.insertion_loss_db);
+    }
+    switch (tech.cost) {
+      case RelativeCost::kLow: ts.score += 6.0; break;
+      case RelativeCost::kMedium: ts.score += 4.0; break;
+      case RelativeCost::kHigh: ts.score += 1.0; break;
+      case RelativeCost::kTbd: ts.score += 0.0; break;
+    }
+    if (why.str().empty()) why << "meets all hard requirements";
+    ts.rationale = why.str();
+    scores.push_back(std::move(ts));
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const TechnologyScore& a, const TechnologyScore& b) {
+                     return a.score > b.score;
+                   });
+  return scores;
+}
+
+}  // namespace lightwave::ocs

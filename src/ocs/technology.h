@@ -1,0 +1,46 @@
+// Optical-switching technology comparison (Appendix C, Table C.1) encoded as
+// data plus a requirements-matching helper: given use-case requirements it
+// scores each technology, reproducing the paper's conclusion that free-space
+// MEMS is the best match for the DCN and ML use cases (§3.2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lightwave::ocs {
+
+enum class RelativeCost { kLow, kMedium, kHigh, kTbd };
+
+const char* ToString(RelativeCost cost);
+
+struct OcsTechnology {
+  std::string name;
+  RelativeCost cost = RelativeCost::kMedium;
+  int port_count = 0;           // demonstrated radix (NxN)
+  double switching_time_s = 0;  // per reconfiguration
+  double insertion_loss_db = 0;
+  double driving_voltage_v = 0;  // 0 = not applicable
+  bool latching = false;         // holds state through power failure
+};
+
+/// The Table C.1 rows.
+std::vector<OcsTechnology> OcsTechnologies();
+
+struct UseCaseRequirements {
+  int min_ports = 128;
+  double max_switching_time_s = 1.0;
+  double max_insertion_loss_db = 3.0;
+};
+
+/// Scores technologies against requirements; higher is better, negative
+/// means a hard requirement is violated.
+struct TechnologyScore {
+  OcsTechnology technology;
+  double score = 0.0;
+  std::string rationale;
+};
+
+std::vector<TechnologyScore> RankTechnologies(const UseCaseRequirements& req,
+                                              const std::vector<OcsTechnology>& techs);
+
+}  // namespace lightwave::ocs

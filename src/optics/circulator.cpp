@@ -1,0 +1,40 @@
+#include "optics/circulator.h"
+
+namespace lightwave::optics {
+
+using common::Decibel;
+
+CirculatorSpec TelecomBaselineCirculator() {
+  // Telecom parts target the C band (1550 nm) and tolerate more crosstalk;
+  // at 1300 nm their isolation and return loss are inadequate for bidi links
+  // (§3.3.1), which is what motivated the re-engineering.
+  return CirculatorSpec{
+      .insertion_loss_tx = Decibel{1.1},
+      .insertion_loss_rx = Decibel{1.1},
+      .isolation = Decibel{-40.0},
+      .return_loss = Decibel{-40.0},
+      .integrated = false,
+  };
+}
+
+CirculatorSpec DatacomCirculator() {
+  return CirculatorSpec{
+      .insertion_loss_tx = Decibel{0.9},
+      .insertion_loss_rx = Decibel{0.9},
+      .isolation = Decibel{-48.0},
+      .return_loss = Decibel{-48.0},
+      .integrated = false,
+  };
+}
+
+CirculatorSpec IntegratedCirculator() {
+  return CirculatorSpec{
+      .insertion_loss_tx = Decibel{0.7},
+      .insertion_loss_rx = Decibel{0.7},
+      .isolation = Decibel{-50.0},
+      .return_loss = Decibel{-50.0},
+      .integrated = true,
+  };
+}
+
+}  // namespace lightwave::optics

@@ -1,0 +1,60 @@
+// Three-port optical circulator (Appendix B). The circulator converts a
+// duplex transceiver into a bidirectional one: Tx enters port 1 and exits
+// port 2 (the fiber); light arriving on port 2 exits port 3 (the Rx). Its
+// imperfections — insertion loss per pass, port-1->3 crosstalk (isolation),
+// and return loss — are exactly what the link-budget and MPI models consume.
+#pragma once
+
+#include "common/units.h"
+
+namespace lightwave::optics {
+
+struct CirculatorSpec {
+  /// Loss for the 1->2 pass (Tx into fiber).
+  common::Decibel insertion_loss_tx{0.8};
+  /// Loss for the 2->3 pass (fiber into Rx).
+  common::Decibel insertion_loss_rx{0.8};
+  /// Direct leakage from port 1 into port 3, relative to Tx power. Stray
+  /// light here is "effectively equivalent to having a reflection in the
+  /// link" (§3.3.1); it beats with the received carrier as in-band crosstalk.
+  common::Decibel isolation{-50.0};
+  /// Reflection back out of port 2 toward the far end.
+  common::Decibel return_loss{-50.0};
+  /// Whether the circulator is integrated into the transceiver module
+  /// (latest generation) or an external component (initial deployments);
+  /// integration halves the connector count on the Tx side.
+  bool integrated = true;
+};
+
+/// Pre-optimized circulator variants from the paper's narrative: the telecom
+/// baseline that was re-engineered, the first datacom part, and the
+/// integrated module.
+CirculatorSpec TelecomBaselineCirculator();
+CirculatorSpec DatacomCirculator();
+CirculatorSpec IntegratedCirculator();
+
+class Circulator {
+ public:
+  explicit Circulator(CirculatorSpec spec) : spec_(spec) {}
+
+  const CirculatorSpec& spec() const { return spec_; }
+
+  /// Power leaving port 2 given Tx power into port 1.
+  common::DbmPower TxThrough(common::DbmPower tx) const {
+    return tx - spec_.insertion_loss_tx;
+  }
+  /// Power reaching the Rx given power arriving at port 2.
+  common::DbmPower RxThrough(common::DbmPower at_port2) const {
+    return at_port2 - spec_.insertion_loss_rx;
+  }
+  /// Crosstalk power at the Rx caused by the local transmitter, relative to
+  /// the local Tx launch power.
+  common::DbmPower LeakageAtRx(common::DbmPower tx) const {
+    return (tx + spec_.isolation) - spec_.insertion_loss_rx;
+  }
+
+ private:
+  CirculatorSpec spec_;
+};
+
+}  // namespace lightwave::optics

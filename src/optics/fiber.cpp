@@ -1,0 +1,61 @@
+#include "optics/fiber.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lightwave::optics {
+
+using common::Decibel;
+
+FiberSpan::FiberSpan(double length_km, int connectors, int splices) : length_km_(length_km) {
+  assert(length_km >= 0.0 && connectors >= 0 && splices >= 0);
+  connectors_.assign(static_cast<std::size_t>(connectors), ConnectorSpec{});
+  splices_.assign(static_cast<std::size_t>(splices), SpliceSpec{});
+}
+
+Decibel FiberSpan::InsertionLoss() const {
+  Decibel total{length_km_ * kAttenuationDbPerKm};
+  for (const auto& c : connectors_) total += c.insertion_loss;
+  for (const auto& s : splices_) total += s.insertion_loss;
+  return total;
+}
+
+std::vector<Decibel> FiberSpan::ReflectionPoints() const {
+  std::vector<Decibel> points;
+  points.reserve(connectors_.size());
+  for (const auto& c : connectors_) points.push_back(c.return_loss);
+  return points;
+}
+
+double FiberSpan::DispersionPsPerNm(common::Nanometers wavelength) const {
+  const double l = wavelength.nm;
+  const double l0 = kZeroDispersionWavelength.nm;
+  // G.652 dispersion: D(l) = (S0/4) * (l - l0^4 / l^3).
+  const double d = kDispersionSlope / 4.0 * (l - std::pow(l0, 4) / std::pow(l, 3));
+  return d * length_km_;
+}
+
+Decibel FiberSpan::DispersionPenalty(common::Nanometers wavelength,
+                                     common::GbitPerSec lane_rate,
+                                     double chirp_factor) const {
+  // ISI penalty model: penalty grows with the square of (accumulated
+  // dispersion x spectral width x baud rate). Spectral width of an
+  // intensity-modulated signal ~ chirp_factor * baud / c expressed in nm.
+  const double baud = lane_rate.gbps * 1e9 / 2.0;  // PAM4 baud; NRZ callers
+                                                   // pass the bit rate and a
+                                                   // doubled chirp factor.
+  const double d_total = std::abs(DispersionPsPerNm(wavelength));  // ps/nm
+  const double c_nm_per_s = 299792458.0 * 1e9;  // speed of light in nm/s
+  const double carrier_nm = wavelength.nm;
+  // Signal spectral width in nm: dl = l^2/c * B * (1 + chirp).
+  const double width_nm = carrier_nm * carrier_nm / c_nm_per_s * baud * (1.0 + chirp_factor);
+  // Pulse spread as a fraction of the symbol period.
+  const double spread_ps = d_total * width_nm;
+  const double symbol_ps = 1e12 / baud;
+  const double eps = spread_ps / symbol_ps;
+  // Standard closed-form ISI penalty: -5*log10(1 - (2*eps)^2), clamped.
+  const double arg = 1.0 - std::min(0.96, 4.0 * eps * eps);
+  return Decibel{-5.0 * std::log10(arg)};
+}
+
+}  // namespace lightwave::optics

@@ -1,0 +1,52 @@
+#include "optics/mux.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace lightwave::optics {
+
+using common::Decibel;
+
+MuxSpec Cwdm4MuxSpec() { return MuxSpec{}; }
+
+MuxSpec Cwdm8MuxSpec() {
+  return MuxSpec{
+      .drop_loss = Decibel{0.45},
+      .express_loss_per_stage = Decibel{0.15},
+      .adjacent_isolation = Decibel{-26.0},
+      .nonadjacent_isolation = Decibel{-42.0},
+  };
+}
+
+ThinFilmMux::ThinFilmMux(WdmGrid grid, MuxSpec spec)
+    : grid_(std::move(grid)), spec_(spec) {}
+
+Decibel ThinFilmMux::LaneLoss(int lane) const {
+  assert(lane >= 0 && lane < grid_.lane_count());
+  // Channel `lane` passes `lane` express stages before its own drop filter.
+  return spec_.drop_loss + spec_.express_loss_per_stage * static_cast<double>(lane);
+}
+
+Decibel ThinFilmMux::WorstLaneLoss() const { return LaneLoss(grid_.lane_count() - 1); }
+
+Decibel ThinFilmMux::CrosstalkAt(int lane) const {
+  assert(lane >= 0 && lane < grid_.lane_count());
+  std::vector<Decibel> interferers;
+  for (int other = 0; other < grid_.lane_count(); ++other) {
+    if (other == lane) continue;
+    const bool adjacent = std::abs(other - lane) == 1;
+    interferers.push_back(adjacent ? spec_.adjacent_isolation
+                                   : spec_.nonadjacent_isolation);
+  }
+  return interferers.empty()
+             ? Decibel{-400.0}
+             : common::SumInterferers(interferers.data(),
+                                      static_cast<int>(interferers.size()));
+}
+
+Decibel MuxDemuxPairLoss(const ThinFilmMux& mux, int lane) {
+  return mux.LaneLoss(lane) * 2.0;
+}
+
+}  // namespace lightwave::optics

@@ -1,0 +1,58 @@
+// Thin-film-filter wavelength mux/demux (§3.3.1): "to support the higher
+// loss budget due to the OCS and circulators, low-loss optical components
+// (thin-film-based wavelength mux/demux) ... were used to minimize optical
+// path loss." A TFF mux is a cascade of bandpass filters: each channel
+// enters/exits at a different stage, so insertion loss grows along the
+// cascade, and finite filter isolation leaks neighbouring channels into the
+// receiver as in-band crosstalk (one more interferer for the MPI budget).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "optics/wdm.h"
+
+namespace lightwave::optics {
+
+struct MuxSpec {
+  /// Loss of a single filter pass (the channel's own drop stage).
+  common::Decibel drop_loss{0.3};
+  /// Loss added per express pass through an earlier stage's filter.
+  common::Decibel express_loss_per_stage{0.12};
+  /// Adjacent-channel isolation of one filter (power leaking through).
+  common::Decibel adjacent_isolation{-30.0};
+  /// Non-adjacent channels see at least this isolation.
+  common::Decibel nonadjacent_isolation{-45.0};
+};
+
+/// Tighter 10 nm spacing (CWDM8) needs sharper filters: slightly higher
+/// drop loss and less adjacent isolation for the same technology.
+MuxSpec Cwdm4MuxSpec();
+MuxSpec Cwdm8MuxSpec();
+
+class ThinFilmMux {
+ public:
+  ThinFilmMux(WdmGrid grid, MuxSpec spec);
+
+  const WdmGrid& grid() const { return grid_; }
+  const MuxSpec& spec() const { return spec_; }
+
+  /// Insertion loss for one lane through the mux (or demux — reciprocal):
+  /// its own drop stage plus an express pass per earlier stage.
+  common::Decibel LaneLoss(int lane) const;
+  /// Worst lane (deepest in the cascade).
+  common::Decibel WorstLaneLoss() const;
+
+  /// Aggregate in-band crosstalk at a lane's receiver from every other lane
+  /// (relative to the lane's own carrier, equal launch powers assumed).
+  common::Decibel CrosstalkAt(int lane) const;
+
+ private:
+  WdmGrid grid_;
+  MuxSpec spec_;
+};
+
+/// Mux + demux pair loss for a lane (both ends of the link).
+common::Decibel MuxDemuxPairLoss(const ThinFilmMux& mux, int lane);
+
+}  // namespace lightwave::optics

@@ -1,0 +1,78 @@
+#include "optics/polarization.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightwave::optics {
+
+JonesMatrix Rotator(double radians) {
+  const double c = std::cos(radians), s = std::sin(radians);
+  return JonesMatrix{{c, 0.0}, {-s, 0.0}, {s, 0.0}, {c, 0.0}};
+}
+
+JonesMatrix PolarizerS() { return JonesMatrix{{1, 0}, {0, 0}, {0, 0}, {0, 0}}; }
+
+JonesMatrix PolarizerP() { return JonesMatrix{{0, 0}, {0, 0}, {0, 0}, {1, 0}}; }
+
+JonesMatrix HalfWavePlate(double axis_radians) {
+  const double c = std::cos(2.0 * axis_radians), s = std::sin(2.0 * axis_radians);
+  return JonesMatrix{{c, 0.0}, {s, 0.0}, {s, 0.0}, {-c, 0.0}};
+}
+
+JonesMatrix FaradayForward(double angle_radians) { return Rotator(-angle_radians); }
+
+JonesMatrix FaradayBackward(double angle_radians) { return Rotator(angle_radians); }
+
+PolarizationCirculator::PolarizationCirculator(double rotation_error_radians)
+    : error_(rotation_error_radians) {}
+
+namespace {
+
+constexpr double kQuarterTurn = M_PI / 4.0;  // the 45-degree design point
+
+}  // namespace
+
+double PolarizationCirculator::Port1To2Power() const {
+  // Forward chain (Fig. B.1): Faraday -45(-err) then reciprocal plate +45 —
+  // the rotations cancel, so the s-polarized Tx stays s and transmits
+  // through the output PBS into the fiber. A rotation error leaves a
+  // residual tilt; the PBS strips the mis-polarized component.
+  const JonesMatrix chain = Rotator(kQuarterTurn) * FaradayForward(kQuarterTurn + error_);
+  const JonesVector out = chain * JonesVector{{1.0, 0.0}, {0.0, 0.0}};
+  const JonesVector through = PolarizerS() * out;
+  return through.Power();
+}
+
+double PolarizationCirculator::Port2To3Power(const JonesVector& input) const {
+  // Backward chain: plate +45 then Faraday +45(+err) — the non-reciprocal
+  // rotator now adds instead of cancelling, net 90 degrees: s and p swap and
+  // the PBS pair recombines everything at port 3 (fibers scramble
+  // polarization, so the circulator must pass BOTH states — Appendix B).
+  const JonesMatrix chain = FaradayBackward(kQuarterTurn + error_) * Rotator(kQuarterTurn);
+  const JonesVector out = chain * input;
+  // Port 3 recombines the two PBS arms after the 90-degree net rotation: the
+  // component still aligned with the design rotation arrives; the error
+  // projection is dumped.
+  const double total = out.Power();
+  const double misrouted = input.Power() * std::sin(error_) * std::sin(error_);
+  return std::max(0.0, total - misrouted);
+}
+
+double PolarizationCirculator::Port1To3Leakage() const {
+  // The forward light that exits with the wrong polarization follows the
+  // port-3 arm of the output PBS instead of the fiber: direct 1 -> 3
+  // crosstalk ("stray light ... effectively equivalent to having a
+  // reflection in the link", §3.3.1).
+  const JonesMatrix chain = Rotator(kQuarterTurn) * FaradayForward(kQuarterTurn + error_);
+  const JonesVector out = chain * JonesVector{{1.0, 0.0}, {0.0, 0.0}};
+  const JonesVector leaked = PolarizerP() * out;
+  return leaked.Power();
+}
+
+double PolarizationCirculator::IsolationDb() const {
+  const double leakage = Port1To3Leakage();
+  if (leakage <= 1e-10) return -100.0;
+  return 10.0 * std::log10(leakage);
+}
+
+}  // namespace lightwave::optics

@@ -1,0 +1,82 @@
+// Polarization optics for the integrated circulator (Appendix B, Fig. B.1).
+// The circulator routes light by manipulating its polarization state with
+// three elements: polarizing beam splitters (PBS), a non-reciprocal Faraday
+// rotator (±45° depending on propagation direction), and a reciprocal
+// half-wave plate (+45° both ways). This module implements Jones calculus
+// (complex 2-vectors and 2x2 matrices) and composes those elements into a
+// circulator whose cyclic 1→2→3 connectivity — and whose isolation
+// degradation under component imperfections — emerges from the physics
+// rather than being asserted.
+#pragma once
+
+#include <complex>
+
+namespace lightwave::optics {
+
+/// Jones vector: complex amplitudes of the s and p polarization components.
+struct JonesVector {
+  std::complex<double> s{0.0, 0.0};
+  std::complex<double> p{0.0, 0.0};
+
+  double Power() const { return std::norm(s) + std::norm(p); }
+};
+
+/// 2x2 complex Jones matrix acting on (s, p).
+struct JonesMatrix {
+  std::complex<double> ss{1.0, 0.0}, sp{0.0, 0.0};
+  std::complex<double> ps{0.0, 0.0}, pp{1.0, 0.0};
+
+  JonesVector operator*(const JonesVector& v) const {
+    return JonesVector{ss * v.s + sp * v.p, ps * v.s + pp * v.p};
+  }
+  JonesMatrix operator*(const JonesMatrix& o) const {
+    return JonesMatrix{ss * o.ss + sp * o.ps, ss * o.sp + sp * o.pp,
+                       ps * o.ss + pp * o.ps, ps * o.sp + pp * o.pp};
+  }
+};
+
+/// Rotation of the polarization plane by `radians`.
+JonesMatrix Rotator(double radians);
+
+/// Linear polarizer passing the s (horizontal) or p (vertical) component —
+/// the transmit/reflect arms of an ideal PBS.
+JonesMatrix PolarizerS();
+JonesMatrix PolarizerP();
+
+/// Half-wave plate with its fast axis at `axis_radians`: reciprocal, rotates
+/// linear polarization by 2*axis (and mirrors handedness).
+JonesMatrix HalfWavePlate(double axis_radians);
+
+/// Faraday rotator: rotates by +angle for forward propagation and +angle
+/// AGAIN for backward propagation (non-reciprocal — unlike a wave plate the
+/// sense does not invert with direction). `Forward`/`Backward` give the
+/// matrices in a fixed lab frame.
+JonesMatrix FaradayForward(double angle_radians);
+JonesMatrix FaradayBackward(double angle_radians);
+
+/// The Appendix-B integrated circulator built from a 45° HWP and a 45°
+/// Faraday rotator between PBS stages, with optional imperfection:
+/// `rotation_error_radians` offsets both rotators (temperature/wavelength
+/// dependence), which leaks power into the isolated port.
+class PolarizationCirculator {
+ public:
+  explicit PolarizationCirculator(double rotation_error_radians = 0.0);
+
+  /// Fraction of power entering port 1 (s-polarized Tx laser) that exits
+  /// port 2 toward the fiber.
+  double Port1To2Power() const;
+  /// Fraction of power entering port 2 (arbitrary polarization, given as a
+  /// Jones vector) that exits port 3 toward the receiver.
+  double Port2To3Power(const JonesVector& input) const;
+  /// Leakage: fraction of port-1 power that exits port 3 directly (the
+  /// crosstalk/isolation figure; 0 for an ideal device).
+  double Port1To3Leakage() const;
+
+  /// Isolation in dB (10*log10 of the leakage); -inf clamps to -100 dB.
+  double IsolationDb() const;
+
+ private:
+  double error_;
+};
+
+}  // namespace lightwave::optics

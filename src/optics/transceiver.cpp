@@ -1,0 +1,215 @@
+#include "optics/transceiver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightwave::optics {
+
+using common::DbmPower;
+using common::Decibel;
+using common::GbitPerSec;
+
+const char* ToString(FormFactor f) {
+  switch (f) {
+    case FormFactor::kQsfpPlus: return "QSFP+";
+    case FormFactor::kQsfp28: return "QSFP28";
+    case FormFactor::kQsfp56: return "QSFP56";
+    case FormFactor::kOsfp: return "OSFP";
+  }
+  return "?";
+}
+
+int TransceiverSpec::LaneCount() const { return WdmGrid::Make(grid).lane_count(); }
+
+double TransceiverSpec::ModuleRateGbps() const {
+  return lane_rate_gbps.gbps * LaneCount() * wdm_pairs;
+}
+
+int TransceiverSpec::FiberCount() const { return bidirectional ? wdm_pairs : 2 * wdm_pairs; }
+
+double TransceiverSpec::EnergyPerBitPj() const {
+  return power_w / (ModuleRateGbps() * 1e9) * 1e12;
+}
+
+bool TransceiverSpec::InteroperatesWith(const TransceiverSpec& other) const {
+  if (bidirectional != other.bidirectional) return false;
+  const WdmGrid mine = WdmGrid::Make(grid);
+  const WdmGrid theirs = WdmGrid::Make(other.grid);
+  if (!mine.Overlaps(theirs) && !theirs.Overlaps(mine)) return false;
+  auto rates_of = [](const TransceiverSpec& t) {
+    std::vector<double> rates = t.legacy_lane_rates_gbps;
+    rates.push_back(t.lane_rate_gbps.gbps);
+    return rates;
+  };
+  for (double r1 : rates_of(*this)) {
+    for (double r2 : rates_of(other)) {
+      if (std::abs(r1 - r2) < 1e-9) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TransceiverSpec> DcnRoadmap() {
+  // Fig. 8: CWDM4 bandwidth grew 20x from 40 Gb/s QSFP+ to 800 Gb/s OSFP
+  // with continuously improving energy efficiency.
+  std::vector<TransceiverSpec> roadmap;
+  roadmap.push_back(TransceiverSpec{
+      .name = "40G-QSFP+",
+      .year = 2012,
+      .form_factor = FormFactor::kQsfpPlus,
+      .grid = WdmGridKind::kCwdm4,
+      .modulation = Modulation::kNrz,
+      .laser = LaserKind::kDml,
+      .lane_rate_gbps = GbitPerSec{10.0},
+      .wdm_pairs = 1,
+      .bidirectional = false,
+      .tx_power_per_lane = DbmPower{0.0},
+      .rx_sensitivity = DbmPower{-14.0},
+      .return_loss = Decibel{-42.0},
+      .power_w = 3.0,
+      .legacy_lane_rates_gbps = {},
+  });
+  roadmap.push_back(TransceiverSpec{
+      .name = "100G-CWDM4",
+      .year = 2015,
+      .form_factor = FormFactor::kQsfp28,
+      .grid = WdmGridKind::kCwdm4,
+      .modulation = Modulation::kNrz,
+      .laser = LaserKind::kDml,
+      .lane_rate_gbps = GbitPerSec{25.0},
+      .wdm_pairs = 1,
+      .bidirectional = false,
+      .tx_power_per_lane = DbmPower{0.5},
+      .rx_sensitivity = DbmPower{-13.0},
+      .return_loss = Decibel{-42.0},
+      .power_w = 3.5,
+      .legacy_lane_rates_gbps = {10.0},
+  });
+  roadmap.push_back(TransceiverSpec{
+      .name = "200G-FR4",
+      .year = 2018,
+      .form_factor = FormFactor::kQsfp56,
+      .grid = WdmGridKind::kCwdm4,
+      .modulation = Modulation::kPam4,
+      .laser = LaserKind::kEml,
+      .lane_rate_gbps = GbitPerSec{50.0},
+      .wdm_pairs = 1,
+      .bidirectional = false,
+      .tx_power_per_lane = DbmPower{1.0},
+      .rx_sensitivity = DbmPower{-11.0},
+      .return_loss = Decibel{-45.0},
+      .power_w = 4.5,
+      .legacy_lane_rates_gbps = {25.0},
+      .has_oim_dsp = false,
+      .has_inner_sfec = false,
+  });
+  roadmap.push_back(TransceiverSpec{
+      .name = "400G-FR4",
+      .year = 2020,
+      .form_factor = FormFactor::kOsfp,
+      .grid = WdmGridKind::kCwdm4,
+      .modulation = Modulation::kPam4,
+      .laser = LaserKind::kEml,
+      .lane_rate_gbps = GbitPerSec{100.0},
+      .wdm_pairs = 1,
+      .bidirectional = false,
+      .tx_power_per_lane = DbmPower{1.5},
+      .rx_sensitivity = DbmPower{-9.5},
+      .return_loss = Decibel{-45.0},
+      .power_w = 7.0,
+      .legacy_lane_rates_gbps = {25.0, 50.0},
+      .has_oim_dsp = true,
+      .has_inner_sfec = false,
+  });
+  roadmap.push_back(TransceiverSpec{
+      .name = "800G-OSFP",
+      .year = 2022,
+      .form_factor = FormFactor::kOsfp,
+      .grid = WdmGridKind::kCwdm4,
+      .modulation = Modulation::kPam4,
+      .laser = LaserKind::kEml,
+      .lane_rate_gbps = GbitPerSec{100.0},
+      .wdm_pairs = 2,
+      .bidirectional = false,
+      .tx_power_per_lane = DbmPower{1.5},
+      .rx_sensitivity = DbmPower{-9.5},
+      .return_loss = Decibel{-45.0},
+      .power_w = 12.0,
+      .legacy_lane_rates_gbps = {25.0, 50.0},
+      .has_oim_dsp = true,
+      .has_inner_sfec = true,
+  });
+  return roadmap;
+}
+
+TransceiverSpec Cwdm4Duplex() {
+  TransceiverSpec spec{
+      .name = "2x400G-CWDM4-duplex",
+      .year = 2021,
+      .form_factor = FormFactor::kOsfp,
+      .grid = WdmGridKind::kCwdm4,
+      .modulation = Modulation::kPam4,
+      .laser = LaserKind::kEml,
+      .lane_rate_gbps = GbitPerSec{100.0},
+      .wdm_pairs = 2,
+      .bidirectional = false,
+      .tx_power_per_lane = DbmPower{1.5},
+      .rx_sensitivity = DbmPower{-9.5},
+      .return_loss = Decibel{-45.0},
+      .power_w = 13.0,
+      .legacy_lane_rates_gbps = {50.0},
+      .has_oim_dsp = false,
+      .has_inner_sfec = false,
+  };
+  return spec;
+}
+
+TransceiverSpec Cwdm4Bidi() {
+  // Fig. 9 top: 2x 400G CWDM4 with two integrated circulators. One strand
+  // per 400G WDM pair -> a duplex OCS port (N/S pair) carries both links.
+  TransceiverSpec spec{
+      .name = "2x400G-CWDM4-bidi",
+      .year = 2021,
+      .form_factor = FormFactor::kOsfp,
+      .grid = WdmGridKind::kCwdm4,
+      .modulation = Modulation::kPam4,
+      .laser = LaserKind::kEml,
+      .lane_rate_gbps = GbitPerSec{100.0},
+      .wdm_pairs = 2,
+      .bidirectional = true,
+      .tx_power_per_lane = DbmPower{2.0},
+      .rx_sensitivity = DbmPower{-9.5},
+      .return_loss = Decibel{-48.0},
+      .power_w = 14.0,
+      .legacy_lane_rates_gbps = {50.0},
+      .has_oim_dsp = true,
+      .has_inner_sfec = true,
+  };
+  return spec;
+}
+
+TransceiverSpec Cwdm8Bidi() {
+  // Fig. 9 bottom: 800G CWDM8 with 8 lanes on 10 nm spacing and a single
+  // integrated circulator; halves the OCS count again (Fig. 15a).
+  TransceiverSpec spec{
+      .name = "800G-CWDM8-bidi",
+      .year = 2023,
+      .form_factor = FormFactor::kOsfp,
+      .grid = WdmGridKind::kCwdm8,
+      .modulation = Modulation::kPam4,
+      .laser = LaserKind::kEml,
+      .lane_rate_gbps = GbitPerSec{100.0},
+      .wdm_pairs = 1,
+      .bidirectional = true,
+      .tx_power_per_lane = DbmPower{2.0},
+      .rx_sensitivity = DbmPower{-9.0},
+      .return_loss = Decibel{-48.0},
+      .power_w = 15.0,
+      .legacy_lane_rates_gbps = {50.0},
+      .has_oim_dsp = true,
+      .has_inner_sfec = true,
+  };
+  return spec;
+}
+
+}  // namespace lightwave::optics

@@ -1,0 +1,80 @@
+// Optical transceiver generations. Covers the WDM roadmap of Fig. 8 (40G
+// QSFP+ through 800G OSFP) and the two custom bidi module families built for
+// the lightwave fabrics: the DCN CWDM4 bidi part and the ML CWDM8 bidi part
+// (Fig. 9). Backward compatibility across line rates (§3.3.1) is modelled
+// through the per-module supported-rate list and WDM grid overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "optics/circulator.h"
+#include "optics/wdm.h"
+
+namespace lightwave::optics {
+
+enum class Modulation { kNrz, kPam4 };
+
+inline const char* ToString(Modulation m) { return m == Modulation::kNrz ? "NRZ" : "PAM4"; }
+
+enum class FormFactor { kQsfpPlus, kQsfp28, kQsfp56, kOsfp };
+
+const char* ToString(FormFactor f);
+
+enum class LaserKind {
+  kDml,  // directly modulated laser — cheap, but high chirp
+  kEml,  // externally modulated laser — low chirp; required for bidi MPI
+};
+
+struct TransceiverSpec {
+  std::string name;
+  int year = 0;
+  FormFactor form_factor = FormFactor::kOsfp;
+  WdmGridKind grid = WdmGridKind::kCwdm4;
+  Modulation modulation = Modulation::kNrz;
+  LaserKind laser = LaserKind::kDml;
+  /// Per-wavelength-lane line rate; module rate = lanes * lane rate
+  /// (* 2 fibers for the 2x variants).
+  common::GbitPerSec lane_rate_gbps{10.0};
+  /// Number of independent WDM Tx/Rx pairs in the module (2 for the
+  /// "2x 400G" OSFP of Fig. 9, 1 otherwise).
+  int wdm_pairs = 1;
+  /// True when a circulator folds Tx and Rx onto one fiber strand.
+  bool bidirectional = false;
+  /// Launch power per lane and unamplified receiver sensitivity at the KP4
+  /// threshold (2e-4) with zero MPI.
+  common::DbmPower tx_power_per_lane{1.0};
+  common::DbmPower rx_sensitivity{-12.0};
+  /// Transmitter-side reflection tolerance / output return loss.
+  common::Decibel return_loss{-45.0};
+  /// Electrical power draw of the whole module.
+  double power_w = 3.5;
+  /// Lower line rates the module can be programmed to (backward compat).
+  std::vector<double> legacy_lane_rates_gbps;
+  /// DSP features (§3.3.2); only the custom bidi parts have them.
+  bool has_oim_dsp = false;
+  bool has_inner_sfec = false;
+
+  int LaneCount() const;
+  /// Total module bandwidth in Gb/s across all WDM pairs.
+  double ModuleRateGbps() const;
+  /// Fibers required: bidi modules need one strand per WDM pair, duplex
+  /// modules two.
+  int FiberCount() const;
+  /// Energy efficiency in pJ/bit.
+  double EnergyPerBitPj() const;
+  /// True if this module can be programmed to inter-operate with `other`
+  /// (grid overlap + a common lane rate + matching modulation at that rate).
+  bool InteroperatesWith(const TransceiverSpec& other) const;
+};
+
+/// The Fig. 8 roadmap: every generation deployed in the DCN, oldest first.
+std::vector<TransceiverSpec> DcnRoadmap();
+
+/// The three superpod transceiver options compared in Fig. 15a.
+TransceiverSpec Cwdm4Duplex();      // standards-based, 2 fibers per WDM pair
+TransceiverSpec Cwdm4Bidi();        // custom 2x400G bidi (current deployment)
+TransceiverSpec Cwdm8Bidi();        // custom 800G CWDM8 bidi (next generation)
+
+}  // namespace lightwave::optics

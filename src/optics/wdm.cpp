@@ -1,0 +1,62 @@
+#include "optics/wdm.h"
+
+#include <cmath>
+
+namespace lightwave::optics {
+
+WdmGrid WdmGrid::Make(WdmGridKind kind) {
+  std::vector<WdmChannel> channels;
+  double spacing_nm = 0.0;
+  double first_nm = 1271.0;
+  int lanes = 0;
+  switch (kind) {
+    case WdmGridKind::kCwdm4:
+      spacing_nm = 20.0;
+      lanes = 4;
+      break;
+    case WdmGridKind::kCwdm8:
+      spacing_nm = 10.0;
+      lanes = 8;
+      break;
+  }
+  channels.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    channels.push_back(WdmChannel{
+        .index = i,
+        .center = common::Nanometers{first_nm + spacing_nm * i},
+        .width = common::Nanometers{spacing_nm},
+    });
+  }
+  return WdmGrid(kind, common::Nanometers{spacing_nm}, std::move(channels));
+}
+
+common::Nanometers WdmGrid::SpectralWidth() const {
+  const double lo = channels_.front().center.nm - channels_.front().width.nm / 2.0;
+  const double hi = channels_.back().center.nm + channels_.back().width.nm / 2.0;
+  return common::Nanometers{hi - lo};
+}
+
+bool WdmGrid::Overlaps(const WdmGrid& other) const {
+  for (const auto& theirs : other.channels_) {
+    bool found = false;
+    for (const auto& ours : channels_) {
+      const double half = ours.width.nm / 2.0;
+      if (std::abs(theirs.center.nm - ours.center.nm) <= half) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string WdmGrid::Name() const {
+  switch (kind_) {
+    case WdmGridKind::kCwdm4: return "CWDM4";
+    case WdmGridKind::kCwdm8: return "CWDM8";
+  }
+  return "?";
+}
+
+}  // namespace lightwave::optics

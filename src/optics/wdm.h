@@ -1,0 +1,62 @@
+// Coarse wavelength-division-multiplexing grids. The paper's DCN transceivers
+// use the standard CWDM4 grid (4 lanes on 20 nm spacing); the ML CWDM8 bidi
+// transceiver packs 8 lanes on 10 nm spacing into the same 80 nm spectral
+// width (§3.3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lightwave::optics {
+
+enum class WdmGridKind {
+  kCwdm4,  // 4 lanes, 20 nm spacing, centered 1271..1331 nm
+  kCwdm8,  // 8 lanes, 10 nm spacing, centered 1271..1341 nm
+};
+
+struct WdmChannel {
+  int index = 0;
+  common::Nanometers center;
+  common::Nanometers width;  // channel passband allotted to this lane
+};
+
+/// An immutable wavelength plan.
+class WdmGrid {
+ public:
+  static WdmGrid Make(WdmGridKind kind);
+
+  WdmGridKind kind() const { return kind_; }
+  int lane_count() const { return static_cast<int>(channels_.size()); }
+  const WdmChannel& channel(int lane) const { return channels_[static_cast<std::size_t>(lane)]; }
+  const std::vector<WdmChannel>& channels() const { return channels_; }
+  common::Nanometers spacing() const { return spacing_; }
+
+  /// Total spectral width occupied (first channel low edge to last high edge).
+  common::Nanometers SpectralWidth() const;
+
+  /// True when every channel of `other` coincides with one of this grid's
+  /// channel passbands; governs transceiver interoperability across
+  /// generations (§3.3.1 backward compatibility).
+  bool Overlaps(const WdmGrid& other) const;
+
+  std::string Name() const;
+
+ private:
+  WdmGrid(WdmGridKind kind, common::Nanometers spacing, std::vector<WdmChannel> channels)
+      : kind_(kind), spacing_(spacing), channels_(std::move(channels)) {}
+
+  WdmGridKind kind_;
+  common::Nanometers spacing_;
+  std::vector<WdmChannel> channels_;
+};
+
+/// Zero-dispersion wavelength of standard G.652 single-mode fiber; chromatic
+/// dispersion grows as channels move away from it (used by fiber.h).
+inline constexpr common::Nanometers kZeroDispersionWavelength{1310.0};
+
+/// The out-of-band monitor wavelength used by the Palomar camera path.
+inline constexpr common::Nanometers kMonitorWavelength{850.0};
+
+}  // namespace lightwave::optics

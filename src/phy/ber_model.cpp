@@ -1,0 +1,94 @@
+#include "phy/ber_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math.h"
+
+namespace lightwave::phy {
+
+using common::DbmPower;
+using common::Decibel;
+using common::QFunction;
+using common::QInverse;
+
+double RequiredQ(optics::Modulation modulation, double ber) {
+  switch (modulation) {
+    case optics::Modulation::kNrz: return QInverse(ber);
+    case optics::Modulation::kPam4: return QInverse(ber / 0.75);
+  }
+  return QInverse(ber);
+}
+
+BerModel::BerModel(optics::Modulation modulation, DbmPower sensitivity, double anchor_ber)
+    : modulation_(modulation), sensitivity_(sensitivity), sigma_th_(0.0) {
+  const double q_anchor = RequiredQ(modulation, anchor_ber);
+  const double p_mw = sensitivity.milliwatts();
+  // Level spacing at the anchor power; decision distance is d/2.
+  const double d = modulation == optics::Modulation::kPam4 ? p_mw / 1.5 : 2.0 * p_mw;
+  sigma_th_ = (d / 2.0) / q_anchor;
+}
+
+BerModel BerModel::ForTransceiver(const optics::TransceiverSpec& spec) {
+  return BerModel(spec.modulation, spec.rx_sensitivity);
+}
+
+double BerModel::BerAt(double p_mw, double pi_mw) const {
+  if (modulation_ == optics::Modulation::kNrz) {
+    const double d = 2.0 * p_mw;
+    // Beat noise on the "one" level only; "zero" level carries no carrier.
+    const double sigma1 = std::sqrt(sigma_th_ * sigma_th_ + kBeatVariance * d * pi_mw);
+    const double sigma0 = sigma_th_;
+    return 0.5 * (QFunction((d / 2.0) / sigma1) + QFunction((d / 2.0) / sigma0));
+  }
+  // PAM4: levels l*d for l in 0..3; Gray coding -> BER ~ SER/2. Level l has
+  // `boundaries_l` adjacent decision boundaries (1 for the outer levels,
+  // 2 for the inner ones).
+  const double d = p_mw / 1.5;
+  double ser = 0.0;
+  for (int l = 0; l < 4; ++l) {
+    const double pl = l * d;
+    const double sigma = std::sqrt(sigma_th_ * sigma_th_ + kBeatVariance * pl * pi_mw);
+    const double boundaries = (l == 0 || l == 3) ? 1.0 : 2.0;
+    ser += 0.25 * boundaries * QFunction((d / 2.0) / sigma);
+  }
+  return 0.5 * ser;
+}
+
+double BerModel::PreFecBer(DbmPower rx, Decibel mpi) const {
+  const double p_mw = rx.milliwatts();
+  const double pi_mw = p_mw * mpi.linear();
+  return BerAt(p_mw, pi_mw);
+}
+
+double BerModel::PreFecBerWithOim(DbmPower rx, Decibel mpi, const OimFilter& oim,
+                                  double offset_ghz) const {
+  return PreFecBer(rx, oim.Mitigate(mpi, offset_ghz));
+}
+
+DbmPower BerModel::SensitivityAt(double target_ber, Decibel mpi) const {
+  // BER is monotone decreasing in power (the MPI term scales with power on
+  // both signal and interferer, so the floor is power independent; below the
+  // floor no power reaches the target).
+  double lo = -40.0, hi = 20.0;
+  if (PreFecBer(DbmPower{hi}, mpi) > target_ber) return DbmPower{1e9};  // floored
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (PreFecBer(DbmPower{mid}, mpi) > target_ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return DbmPower{hi};
+}
+
+Decibel BerModel::OimGain(Decibel mpi, const OimFilter& oim, double target_ber) const {
+  const DbmPower without = SensitivityAt(target_ber, mpi);
+  const DbmPower with = SensitivityAt(target_ber, oim.Mitigate(mpi));
+  if (without.value() >= 1e9) return Decibel{std::numeric_limits<double>::infinity()};
+  return without - with;
+}
+
+}  // namespace lightwave::phy

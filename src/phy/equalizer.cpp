@@ -1,0 +1,171 @@
+#include "phy/equalizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lightwave::phy {
+
+IsiChannel DispersiveChannel(double spread_fraction, double noise_sigma) {
+  assert(spread_fraction >= 0.0 && spread_fraction < 1.0);
+  IsiChannel channel;
+  const double leak = spread_fraction / 2.0;
+  channel.taps = {1.0 - spread_fraction, leak, leak * 0.6};
+  // Normalize energy so the comparison across spreads is fair.
+  double energy = 0.0;
+  for (double t : channel.taps) energy += t * t;
+  const double scale = 1.0 / std::sqrt(energy);
+  for (double& t : channel.taps) t *= scale;
+  channel.noise_sigma = noise_sigma;
+  return channel;
+}
+
+IsiChannel ChannelForLane(const optics::FiberSpan& span, common::Nanometers wavelength,
+                          common::GbitPerSec lane_rate, double chirp_factor,
+                          double noise_sigma) {
+  // Reconstruct the pulse-spread fraction the fiber model uses internally.
+  const double baud = lane_rate.gbps * 1e9 / 2.0;
+  const double d_total = std::abs(span.DispersionPsPerNm(wavelength));
+  const double c_nm_per_s = 299792458.0 * 1e9;
+  const double width_nm =
+      wavelength.nm * wavelength.nm / c_nm_per_s * baud * (1.0 + chirp_factor);
+  const double spread_ps = d_total * width_nm;
+  const double symbol_ps = 1e12 / baud;
+  const double eps = std::min(0.9, spread_ps / symbol_ps);
+  return DispersiveChannel(eps, noise_sigma);
+}
+
+AdaptiveEqualizer::AdaptiveEqualizer(int ffe_taps, int dfe_taps, double mu)
+    : ffe_(static_cast<std::size_t>(ffe_taps), 0.0),
+      dfe_(static_cast<std::size_t>(dfe_taps), 0.0),
+      input_history_(static_cast<std::size_t>(ffe_taps), 0.0),
+      decision_history_(static_cast<std::size_t>(std::max(1, dfe_taps)), 0.0),
+      mu_(mu) {
+  assert(ffe_taps >= 1 && dfe_taps >= 0 && mu > 0.0);
+  // Center-spike initialization: identity filter at the cursor tap.
+  ffe_[static_cast<std::size_t>(ffe_taps / 2)] = 1.0;
+}
+
+double AdaptiveEqualizer::Equalize(double sample) {
+  std::rotate(input_history_.rbegin(), input_history_.rbegin() + 1, input_history_.rend());
+  input_history_[0] = sample;
+  double out = 0.0;
+  for (std::size_t i = 0; i < ffe_.size(); ++i) out += ffe_[i] * input_history_[i];
+  for (std::size_t i = 0; i < dfe_.size(); ++i) out -= dfe_[i] * decision_history_[i];
+  last_output_ = out;
+  return out;
+}
+
+void AdaptiveEqualizer::Adapt(double target) {
+  const double error = last_output_ - target;
+  for (std::size_t i = 0; i < ffe_.size(); ++i) {
+    ffe_[i] -= mu_ * error * input_history_[i];
+  }
+  for (std::size_t i = 0; i < dfe_.size(); ++i) {
+    dfe_[i] += mu_ * error * decision_history_[i];
+  }
+}
+
+void AdaptiveEqualizer::PushDecision(double decision) {
+  if (decision_history_.empty()) return;
+  std::rotate(decision_history_.rbegin(), decision_history_.rbegin() + 1,
+              decision_history_.rend());
+  decision_history_[0] = decision;
+}
+
+namespace {
+
+/// PAM4 levels at unit spacing, symmetric around zero.
+constexpr double kLevels[4] = {-3.0, -1.0, 1.0, 3.0};
+
+int Slice(double v) {
+  if (v < -2.0) return 0;
+  if (v < 0.0) return 1;
+  if (v < 2.0) return 2;
+  return 3;
+}
+
+int GrayBitsDiffer(int a, int b) {
+  constexpr int kGray[4] = {0b00, 0b01, 0b11, 0b10};
+  const int x = kGray[a] ^ kGray[b];
+  return (x & 1) + ((x >> 1) & 1);
+}
+
+}  // namespace
+
+EqualizedLinkResult MeasureEqualizedLink(const IsiChannel& channel,
+                                         const EqualizerExperimentConfig& config) {
+  common::Rng rng(config.seed);
+  AdaptiveEqualizer equalizer(config.ffe_taps, config.dfe_taps, config.mu);
+
+  const std::size_t delay = static_cast<std::size_t>(config.ffe_taps / 2);
+  std::vector<int> tx_history;  // transmitted levels, for delayed reference
+  std::vector<double> channel_history(channel.taps.size(), 0.0);
+
+  std::uint64_t pre_bit_errors = 0, post_bit_errors = 0, counted_bits = 0;
+  for (std::uint64_t n = 0; n < config.symbols; ++n) {
+    const int tx = static_cast<int>(rng.UniformInt(4));
+    tx_history.push_back(tx);
+    std::rotate(channel_history.rbegin(), channel_history.rbegin() + 1,
+                channel_history.rend());
+    channel_history[0] = kLevels[tx];
+    double received = rng.Gaussian(0.0, channel.noise_sigma);
+    for (std::size_t k = 0; k < channel.taps.size(); ++k) {
+      received += channel.taps[k] * channel_history[k];
+    }
+
+    const double equalized = equalizer.Equalize(received);
+    const int decision = Slice(equalized);
+
+    // The FFE delays by its cursor position; the reference symbol for both
+    // adaptation and error counting is tx_history[n - delay]. Adapt before
+    // pushing the new decision so the LMS gradient sees exactly the
+    // histories the filter output was computed from (adapting against the
+    // mutated DFE history injects a bias that slowly destabilizes the
+    // feedback weights).
+    if (tx_history.size() > delay) {
+      const int reference = tx_history[tx_history.size() - 1 - delay];
+      if (n < config.training_symbols) {
+        equalizer.Adapt(kLevels[reference]);  // known training pattern
+      } else {
+        equalizer.Adapt(kLevels[decision]);  // decision-directed
+        // Count errors only after training.
+        counted_bits += 2;
+        post_bit_errors +=
+            static_cast<std::uint64_t>(GrayBitsDiffer(reference, decision));
+        // Pre-equalization comparison: slicer directly on the channel
+        // output aligned to the cursor tap (no delay).
+        const int raw_decision = Slice(received);
+        pre_bit_errors += static_cast<std::uint64_t>(GrayBitsDiffer(tx, raw_decision));
+      }
+    }
+    equalizer.PushDecision(kLevels[decision]);
+  }
+
+  EqualizedLinkResult result;
+  result.pre_eq_ber =
+      counted_bits ? static_cast<double>(pre_bit_errors) / counted_bits : 0.0;
+  result.post_eq_ber =
+      counted_bits ? static_cast<double>(post_bit_errors) / counted_bits : 0.0;
+  // Residual ISI: convolve channel with FFE weights and measure off-cursor
+  // energy relative to the cursor.
+  const auto& w = equalizer.ffe_weights();
+  std::vector<double> combined(channel.taps.size() + w.size() - 1, 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    for (std::size_t k = 0; k < channel.taps.size(); ++k) {
+      combined[i + k] += w[i] * channel.taps[k];
+    }
+  }
+  std::size_t cursor = 0;
+  for (std::size_t i = 1; i < combined.size(); ++i) {
+    if (std::abs(combined[i]) > std::abs(combined[cursor])) cursor = i;
+  }
+  double off = 0.0;
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    if (i != cursor) off += combined[i] * combined[i];
+  }
+  result.residual_isi = off / (combined[cursor] * combined[cursor]);
+  return result;
+}
+
+}  // namespace lightwave::phy

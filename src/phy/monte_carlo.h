@@ -1,0 +1,58 @@
+// Symbol-level Monte-Carlo BER measurement — the "measured" counterpart
+// (Fig. 11b) to the analytic model. Transmits random PAM4/NRZ symbols
+// through the thermal + MPI channel, applies the slicer, and counts bit
+// errors. The interferer is modelled in the field domain: the photocurrent
+// beat term is 2*sqrt(p_signal * p_interferer) * cos(phase), with the phase
+// performing a random walk (the beat is narrow-band, which is what makes the
+// OIM notch effective).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "optics/transceiver.h"
+#include "phy/ber_model.h"
+#include "phy/oim.h"
+
+namespace lightwave::phy {
+
+struct MonteCarloConfig {
+  std::uint64_t symbols = 2'000'000;
+  std::uint64_t seed = 0x1337;
+  /// Beat-phase random-walk step per symbol (radians); well below 2*pi keeps
+  /// the interferer narrow-band (what the OIM notch assumes) while still
+  /// decorrelating the beat over a multi-million-symbol run.
+  double phase_walk_std = 0.7;
+  /// Number of independent reflection tones making up the interferer; the
+  /// aggregate converges toward the Gaussian statistics the analytic model
+  /// assumes (a real path has many reflection points).
+  int interferer_tones = 8;
+  bool oim_enabled = false;
+  OimConfig oim;
+};
+
+struct MonteCarloResult {
+  std::uint64_t bits = 0;
+  std::uint64_t bit_errors = 0;
+  double Ber() const {
+    return bits == 0 ? 0.0 : static_cast<double>(bit_errors) / static_cast<double>(bits);
+  }
+};
+
+class MonteCarloChannel {
+ public:
+  /// `model` supplies the calibrated thermal noise; `mpi` the aggregate
+  /// interferer level relative to carrier.
+  MonteCarloChannel(const BerModel& model, common::Decibel mpi, MonteCarloConfig config);
+
+  /// Runs the experiment at received power `rx`.
+  MonteCarloResult Run(common::DbmPower rx);
+
+ private:
+  const BerModel& model_;
+  common::Decibel mpi_;
+  MonteCarloConfig config_;
+};
+
+}  // namespace lightwave::phy

@@ -1,0 +1,34 @@
+#include "phy/oim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightwave::phy {
+
+common::Decibel OimFilter::Mitigate(common::Decibel mpi, double offset_ghz) const {
+  const bool locked = std::abs(offset_ghz) <= config_.tracking_range_ghz;
+  const common::Decibel suppression =
+      locked ? config_.suppression : config_.out_of_range_suppression;
+  return mpi - suppression;
+}
+
+void OimTracker::Step(double true_offset_ghz, double noise_ghz) {
+  const double measured = true_offset_ghz + noise_ghz;
+  double correction = config_.loop_gain * (measured - notch_center_ghz_);
+  correction = std::clamp(correction, -config_.max_slew_ghz, config_.max_slew_ghz);
+  notch_center_ghz_ += correction;
+}
+
+common::Decibel OimTracker::SuppressionFor(double true_offset_ghz) const {
+  const double err = TrackingErrorGhz(true_offset_ghz);
+  const double half_width = config_.notch_width_ghz / 2.0;
+  // Lorentzian notch: full suppression on center, half at the notch edge.
+  const double fraction = 1.0 / (1.0 + (err / half_width) * (err / half_width));
+  return common::Decibel{config_.locked_suppression.value() * fraction};
+}
+
+common::Decibel OimTracker::Mitigate(common::Decibel mpi, double true_offset_ghz) const {
+  return mpi - SuppressionFor(true_offset_ghz);
+}
+
+}  // namespace lightwave::phy

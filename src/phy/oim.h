@@ -1,0 +1,88 @@
+// Optical interference mitigation (OIM, §3.3.2 / [66]): the dominant
+// carrier-to-carrier beat noise of a bidirectional link has a narrow-band
+// spectral signature. The DSP reconstructs it in the digital domain and
+// removes it with a notch filter whose center frequency tracks the offset
+// between the source and interfering carriers. We model the filter by the
+// beat-noise power suppression it achieves, degraded when the frequency
+// offset drifts outside the tracking range.
+#pragma once
+
+#include "common/units.h"
+
+namespace lightwave::phy {
+
+struct OimConfig {
+  /// Beat-noise power suppression when locked (production DSP ~12 dB).
+  common::Decibel suppression{12.0};
+  /// Frequency-offset tracking range of the notch center (GHz).
+  double tracking_range_ghz = 15.0;
+  /// Residual suppression when the interferer falls outside the tracking
+  /// range (the notch is parked; only partial overlap remains).
+  common::Decibel out_of_range_suppression{1.0};
+};
+
+class OimFilter {
+ public:
+  OimFilter() : OimFilter(OimConfig{}) {}
+  explicit OimFilter(OimConfig config) : config_(config) {}
+
+  const OimConfig& config() const { return config_; }
+
+  /// Effective interference level after mitigation: `mpi` is the aggregate
+  /// interferer power relative to the carrier; `offset_ghz` the
+  /// carrier-to-interferer frequency offset the tracker must follow.
+  common::Decibel Mitigate(common::Decibel mpi, double offset_ghz = 0.0) const;
+
+ private:
+  OimConfig config_;
+};
+
+/// Dynamic notch tracking (§3.3.2): "the center frequency of the notch
+/// filter is determined by monitoring the frequency offset between the
+/// source and the interfering carrier, also in the digital domain." The
+/// beat frequency drifts with laser temperature; the tracker measures the
+/// offset each update and slews the notch after it, with a rate limit. The
+/// achieved suppression is a Lorentzian function of the residual tracking
+/// error (a notch only suppresses what sits inside it).
+struct OimTrackerConfig {
+  /// Fraction of the measured offset error corrected per update.
+  double loop_gain = 0.5;
+  /// Frequency-estimator noise per measurement (GHz rms).
+  double measurement_noise_ghz = 0.05;
+  /// Maximum notch retune per update (DSP NCO slew limit).
+  double max_slew_ghz = 0.5;
+  /// Full-width of the notch; suppression halves when the residual error
+  /// reaches half this width.
+  double notch_width_ghz = 2.0;
+  common::Decibel locked_suppression{12.0};
+};
+
+class OimTracker {
+ public:
+  OimTracker() : OimTracker(OimTrackerConfig{}) {}
+  explicit OimTracker(OimTrackerConfig config) : config_(config) {}
+
+  const OimTrackerConfig& config() const { return config_; }
+
+  /// One update interval: estimate the interferer offset (noisy), slew the
+  /// notch toward it (rate limited). `noise` supplies estimator noise.
+  void Step(double true_offset_ghz, double noise_ghz = 0.0);
+
+  double notch_center_ghz() const { return notch_center_ghz_; }
+  double TrackingErrorGhz(double true_offset_ghz) const {
+    return true_offset_ghz - notch_center_ghz_;
+  }
+
+  /// Suppression achieved at the current notch position for an interferer
+  /// at `true_offset_ghz`: Lorentzian roll-off in the tracking error.
+  common::Decibel SuppressionFor(double true_offset_ghz) const;
+
+  /// Effective interference after mitigation by the tracked notch.
+  common::Decibel Mitigate(common::Decibel mpi, double true_offset_ghz) const;
+
+ private:
+  OimTrackerConfig config_;
+  double notch_center_ghz_ = 0.0;
+};
+
+}  // namespace lightwave::phy

@@ -1,0 +1,115 @@
+#include "sim/availability.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace lightwave::sim {
+
+double FabricAvailability(double ocs_availability, int ocs_count) {
+  assert(ocs_availability >= 0.0 && ocs_availability <= 1.0 && ocs_count >= 0);
+  return std::pow(ocs_availability, ocs_count);
+}
+
+double CubeAvailability(double server_availability, const PodAvailabilityConfig& config) {
+  assert(server_availability >= 0.0 && server_availability <= 1.0);
+  return std::pow(server_availability, config.units_per_cube);
+}
+
+int CommittedSlicesReconfigurable(double server_availability, int cubes_per_slice,
+                                  const PodAvailabilityConfig& config) {
+  assert(cubes_per_slice >= 1 && cubes_per_slice <= config.cubes);
+  const double p = CubeAvailability(server_availability, config);
+  const int max_slices = config.cubes / cubes_per_slice;
+  int committed = 0;
+  for (int n = 1; n <= max_slices; ++n) {
+    const double p_enough =
+        common::AtLeastKofN(config.cubes, n * cubes_per_slice, p);
+    if (p_enough >= config.target_system_availability) {
+      committed = n;
+    } else {
+      break;  // monotone decreasing in n
+    }
+  }
+  return committed;
+}
+
+int CommittedSlicesStatic(double server_availability, int cubes_per_slice,
+                          const PodAvailabilityConfig& config) {
+  assert(cubes_per_slice >= 1 && cubes_per_slice <= config.cubes);
+  const double p_cube = CubeAvailability(server_availability, config);
+  // A static group works only when all of its cubes are healthy.
+  const double p_group = std::pow(p_cube, cubes_per_slice);
+  const int groups = config.cubes / cubes_per_slice;
+  int committed = 0;
+  for (int n = 1; n <= groups; ++n) {
+    const double p_enough = common::AtLeastKofN(groups, n, p_group);
+    if (p_enough >= config.target_system_availability) {
+      committed = n;
+    } else {
+      break;
+    }
+  }
+  return committed;
+}
+
+double GoodputReconfigurable(double server_availability, int cubes_per_slice,
+                             const PodAvailabilityConfig& config) {
+  return static_cast<double>(CommittedSlicesReconfigurable(server_availability,
+                                                           cubes_per_slice, config) *
+                             cubes_per_slice) /
+         config.cubes;
+}
+
+double GoodputStatic(double server_availability, int cubes_per_slice,
+                     const PodAvailabilityConfig& config) {
+  return static_cast<double>(
+             CommittedSlicesStatic(server_availability, cubes_per_slice, config) *
+             cubes_per_slice) /
+         config.cubes;
+}
+
+MonteCarloAvailability SimulateAvailability(double server_availability, int cubes_per_slice,
+                                            int slices, int trials, std::uint64_t seed,
+                                            const PodAvailabilityConfig& config) {
+  assert(trials > 0 && slices >= 0);
+  common::Rng rng(seed);
+  const double p_cube = CubeAvailability(server_availability, config);
+  const int groups = config.cubes / cubes_per_slice;
+
+  MonteCarloAvailability result;
+  long long healthy_total = 0;
+  int reconfig_ok = 0;
+  int static_ok = 0;
+  std::vector<bool> healthy(static_cast<std::size_t>(config.cubes));
+  for (int t = 0; t < trials; ++t) {
+    int healthy_count = 0;
+    for (int c = 0; c < config.cubes; ++c) {
+      healthy[static_cast<std::size_t>(c)] = rng.Bernoulli(p_cube);
+      healthy_count += healthy[static_cast<std::size_t>(c)] ? 1 : 0;
+    }
+    healthy_total += healthy_count;
+    // Reconfigurable: any healthy cubes compose.
+    if (healthy_count >= slices * cubes_per_slice) ++reconfig_ok;
+    // Static: count fully-healthy contiguous groups.
+    int good_groups = 0;
+    for (int g = 0; g < groups; ++g) {
+      bool all = true;
+      for (int c = g * cubes_per_slice; c < (g + 1) * cubes_per_slice; ++c) {
+        if (!healthy[static_cast<std::size_t>(c)]) {
+          all = false;
+          break;
+        }
+      }
+      good_groups += all ? 1 : 0;
+    }
+    if (good_groups >= slices) ++static_ok;
+  }
+  result.mean_healthy_cubes = static_cast<double>(healthy_total) / trials;
+  result.reconfig_success_rate = static_cast<double>(reconfig_ok) / trials;
+  result.static_success_rate = static_cast<double>(static_ok) / trials;
+  return result;
+}
+
+}  // namespace lightwave::sim

@@ -1,0 +1,66 @@
+// Availability models for Fig. 15. Two views:
+//   (a) fabric availability as a function of per-OCS availability and the
+//       number of OCSes the transceiver technology requires (96 CWDM4
+//       duplex, 48 CWDM4 bidi, 24 CWDM8 bidi) — every OCS must be up for
+//       full inter-cube connectivity;
+//   (b) pod goodput under a fixed 97% system-availability target: how many
+//       same-size slices can be committed given cube failure probability,
+//       for a reconfigurable fabric (any healthy cubes compose) vs a static
+//       fabric (only the fixed contiguous groups compose).
+// A Monte-Carlo failure-injection model cross-checks the analytic math.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lightwave::sim {
+
+/// P[all `ocs_count` OCSes up] given a single-OCS availability.
+double FabricAvailability(double ocs_availability, int ocs_count);
+
+struct PodAvailabilityConfig {
+  int cubes = 64;
+  /// Server-equivalent units per cube whose joint health defines cube
+  /// health: 16 CPU hosts plus rack-level infrastructure (ToR, PDU, CDU)
+  /// counted as 4 more server-equivalents.
+  int units_per_cube = 20;
+  double target_system_availability = 0.97;
+};
+
+/// P[a cube is healthy] for a given per-server availability.
+double CubeAvailability(double server_availability, const PodAvailabilityConfig& config = {});
+
+/// Max committed same-size slices (of `cubes_per_slice`) for a
+/// reconfigurable fabric: largest n with P[>= n*m healthy cubes] >= target.
+int CommittedSlicesReconfigurable(double server_availability, int cubes_per_slice,
+                                  const PodAvailabilityConfig& config = {});
+
+/// Same for a static fabric: slices are the fixed partition of the pod into
+/// contiguous groups; largest n with P[>= n fully-healthy groups] >= target.
+int CommittedSlicesStatic(double server_availability, int cubes_per_slice,
+                          const PodAvailabilityConfig& config = {});
+
+/// Goodput = committed TPUs / pod TPUs for either fabric kind.
+double GoodputReconfigurable(double server_availability, int cubes_per_slice,
+                             const PodAvailabilityConfig& config = {});
+double GoodputStatic(double server_availability, int cubes_per_slice,
+                     const PodAvailabilityConfig& config = {});
+
+struct MonteCarloAvailability {
+  double mean_healthy_cubes = 0.0;
+  /// Fraction of trials in which n committed reconfigurable slices were all
+  /// satisfiable.
+  double reconfig_success_rate = 0.0;
+  /// Same for the static partition.
+  double static_success_rate = 0.0;
+};
+
+/// Trial-based cross-check: samples unit failures, asks whether `slices`
+/// slices of `cubes_per_slice` can be composed under each fabric.
+MonteCarloAvailability SimulateAvailability(double server_availability, int cubes_per_slice,
+                                            int slices, int trials, std::uint64_t seed,
+                                            const PodAvailabilityConfig& config = {});
+
+}  // namespace lightwave::sim

@@ -1,0 +1,139 @@
+#include "sim/collective.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tpu/cube.h"
+
+namespace lightwave::sim {
+
+CollectiveCost RingAllReduce(double bytes, int n, double link_gbps, double hop_latency_us) {
+  assert(n >= 1 && bytes >= 0.0 && link_gbps > 0.0);
+  if (n == 1) return {};
+  CollectiveCost cost;
+  // 2(n-1) steps each moving bytes/n; both ring directions are used, so the
+  // effective rate is twice the per-direction link rate.
+  const double gbytes_per_us = 2.0 * link_gbps / 8.0 / 1e6;  // GB per us (Gb/s -> GB/us)
+  cost.bandwidth_term_us = 2.0 * (bytes / 1e9) * (n - 1) / n / gbytes_per_us;
+  cost.latency_term_us = 2.0 * (n - 1) * hop_latency_us;
+  cost.time_us = cost.bandwidth_term_us + cost.latency_term_us;
+  return cost;
+}
+
+CollectiveCost RingReduceScatter(double bytes, int n, double link_gbps,
+                                 double hop_latency_us) {
+  assert(n >= 1 && bytes >= 0.0 && link_gbps > 0.0);
+  if (n == 1) return {};
+  CollectiveCost cost;
+  const double gbytes_per_us = 2.0 * link_gbps / 8.0 / 1e6;
+  cost.bandwidth_term_us = (bytes / 1e9) * (n - 1) / n / gbytes_per_us;
+  cost.latency_term_us = (n - 1) * hop_latency_us;
+  cost.time_us = cost.bandwidth_term_us + cost.latency_term_us;
+  return cost;
+}
+
+std::vector<TorusRing> RingsOf(const tpu::SliceShape& shape) {
+  std::vector<TorusRing> rings;
+  const int cube_dims[3] = {shape.a, shape.b, shape.c};
+  for (int d = 0; d < 3; ++d) {
+    TorusRing ring;
+    ring.dim = static_cast<tpu::Dim>(d);
+    const int cubes = cube_dims[d];
+    ring.length_chips = cubes * tpu::kCubeEdge;
+    // Each cube boundary along the ring is an optical hop; a single-cube
+    // dimension wraps through the OCS once (the self-loop), multi-cube
+    // dimensions cross `cubes` boundaries total around the ring.
+    ring.optical_hops = cubes == 1 ? 1 : cubes;
+    ring.electrical_hops = ring.length_chips - ring.optical_hops;
+    rings.push_back(ring);
+  }
+  return rings;
+}
+
+double MeanHopLatencyUs(const TorusRing& ring, const IciLinkSpec& spec) {
+  const int hops = ring.optical_hops + ring.electrical_hops;
+  if (hops == 0) return spec.electrical_hop_us;
+  return (ring.optical_hops * spec.optical_hop_us +
+          ring.electrical_hops * spec.electrical_hop_us) /
+         hops;
+}
+
+CollectiveCost TorusAllReduce(const tpu::SliceShape& shape, double bytes,
+                              const IciLinkSpec& spec) {
+  // Multi-dimensional algorithm: reduce-scatter along x, then y, then z on
+  // progressively smaller shards, then all-gather in reverse. Dimension d
+  // with ring length n_d handles bytes / (product of earlier ring lengths).
+  CollectiveCost total;
+  const auto rings = RingsOf(shape);
+  double shard = bytes;
+  for (const auto& ring : rings) {
+    const auto cost = RingReduceScatter(shard, ring.length_chips, spec.bandwidth_gbps,
+                                        MeanHopLatencyUs(ring, spec));
+    total.bandwidth_term_us += cost.bandwidth_term_us;
+    total.latency_term_us += cost.latency_term_us;
+    shard /= ring.length_chips;
+  }
+  // All-gather mirrors the reduce-scatter cost structure.
+  for (auto it = rings.rbegin(); it != rings.rend(); ++it) {
+    shard *= it->length_chips;
+    const auto cost = RingReduceScatter(shard, it->length_chips, spec.bandwidth_gbps,
+                                        MeanHopLatencyUs(*it, spec));
+    total.bandwidth_term_us += cost.bandwidth_term_us;
+    total.latency_term_us += cost.latency_term_us;
+  }
+  total.time_us = total.bandwidth_term_us + total.latency_term_us;
+  return total;
+}
+
+double SimulateTorusAllReduce(const tpu::SliceShape& shape, double bytes,
+                              const IciLinkSpec& spec) {
+  // Event-driven phase simulation: each ring step is a timed transfer event
+  // on every ring of the current dimension; all rings of one dimension
+  // proceed in parallel, dimensions proceed sequentially (the synchronous
+  // schedule the analytic model assumes).
+  EventQueue queue;
+  const auto rings = RingsOf(shape);
+  double shard = bytes;
+
+  struct Phase {
+    int steps;
+    double step_bytes;
+    double hop_latency_us;
+  };
+  std::vector<Phase> phases;
+  for (const auto& ring : rings) {
+    const int n = ring.length_chips;
+    if (n > 1) {
+      phases.push_back(Phase{n - 1, shard / n, MeanHopLatencyUs(ring, spec)});
+    }
+    shard /= n;
+  }
+  for (auto it = rings.rbegin(); it != rings.rend(); ++it) {
+    const int n = it->length_chips;
+    shard *= n;
+    if (n > 1) {
+      phases.push_back(Phase{n - 1, shard / n, MeanHopLatencyUs(*it, spec)});
+    }
+  }
+
+  const double gbytes_per_us = 2.0 * spec.bandwidth_gbps / 8.0 / 1e6;
+  std::size_t phase_index = 0;
+  int steps_left = 0;
+  std::function<void()> advance = [&] {
+    if (steps_left == 0) {
+      if (phase_index == phases.size()) return;  // done
+      steps_left = phases[phase_index].steps;
+      ++phase_index;
+    }
+    const Phase& phase = phases[phase_index - 1];
+    const double step_time =
+        phase.step_bytes / 1e9 / gbytes_per_us + phase.hop_latency_us;
+    --steps_left;
+    queue.After(step_time, advance);
+  };
+  queue.After(0.0, advance);
+  queue.Run();
+  return queue.now();
+}
+
+}  // namespace lightwave::sim

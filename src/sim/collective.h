@@ -1,0 +1,61 @@
+// Collective-communication timing on a slice's 3D torus. Provides the
+// analytic ring-collective costs the LLM performance model composes, plus an
+// event-driven simulation of a multi-phase torus all-reduce (reduce-scatter
+// and all-gather per dimension) that validates the closed forms and is what
+// the examples drive.
+#pragma once
+
+#include <vector>
+
+#include "sim/event.h"
+#include "tpu/ici.h"
+#include "tpu/slice.h"
+
+namespace lightwave::tpu {
+class SliceTopology;
+}
+
+namespace lightwave::sim {
+
+using IciLinkSpec = tpu::IciLinkSpec;
+
+struct CollectiveCost {
+  double time_us = 0.0;
+  double bandwidth_term_us = 0.0;
+  double latency_term_us = 0.0;
+};
+
+/// Ring all-reduce of `bytes` over a ring of `n` members whose slowest link
+/// moves `link_gbps` per direction (both directions used). Standard cost:
+/// 2 * bytes * (n-1)/n at ring bandwidth plus 2*(n-1) hop latencies.
+CollectiveCost RingAllReduce(double bytes, int n, double link_gbps, double hop_latency_us);
+
+/// Same decomposition for reduce-scatter / all-gather (half the volume).
+CollectiveCost RingReduceScatter(double bytes, int n, double link_gbps,
+                                 double hop_latency_us);
+
+/// Per-dimension ring description of a slice torus at chip granularity.
+struct TorusRing {
+  tpu::Dim dim = tpu::Dim::kX;
+  int length_chips = 0;    // 4 * cubes in this dim
+  int optical_hops = 0;    // cube boundaries crossed by the ring
+  int electrical_hops = 0;
+};
+
+std::vector<TorusRing> RingsOf(const tpu::SliceShape& shape);
+
+/// Mean per-hop latency of a ring given its electrical/optical hop mix.
+double MeanHopLatencyUs(const TorusRing& ring, const IciLinkSpec& spec);
+
+/// Full-slice all-reduce: reduce-scatter along each dimension then
+/// all-gather back (the standard multi-dimensional torus algorithm).
+CollectiveCost TorusAllReduce(const tpu::SliceShape& shape, double bytes,
+                              const IciLinkSpec& spec = {});
+
+/// Event-driven validation: simulates the phase structure of the same torus
+/// all-reduce on the event queue (per-step transfer events on every ring)
+/// and returns the completion time in us.
+double SimulateTorusAllReduce(const tpu::SliceShape& shape, double bytes,
+                              const IciLinkSpec& spec = {});
+
+}  // namespace lightwave::sim

@@ -1,0 +1,427 @@
+#include "sim/dcn_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace lightwave::sim {
+
+DcnTopology::DcnTopology(DcnKind kind, int blocks, double uplink_gbps)
+    : kind_(kind), blocks_(blocks), uplink_gbps_(uplink_gbps) {
+  assert(blocks > 1 && uplink_gbps > 0.0);
+  if (kind == DcnKind::kDirectMesh) {
+    trunk_.assign(static_cast<std::size_t>(blocks) * blocks, 0.0);
+  }
+}
+
+DcnTopology DcnTopology::SpineClos(int blocks, double uplink_gbps) {
+  return DcnTopology(DcnKind::kSpineClos, blocks, uplink_gbps);
+}
+
+DcnTopology DcnTopology::UniformMesh(int blocks, double uplink_gbps) {
+  DcnTopology topo(DcnKind::kDirectMesh, blocks, uplink_gbps);
+  const double per_trunk = uplink_gbps / (blocks - 1);
+  for (int a = 0; a < blocks; ++a) {
+    for (int b = 0; b < blocks; ++b) {
+      if (a != b) topo.trunk_[static_cast<std::size_t>(a) * blocks + b] = per_trunk;
+    }
+  }
+  return topo;
+}
+
+DcnTopology DcnTopology::EngineeredMesh(int blocks, double uplink_gbps,
+                                        const TrafficMatrix& forecast,
+                                        double uniform_floor_fraction) {
+  assert(forecast.nodes() == blocks);
+  assert(uniform_floor_fraction >= 0.0 && uniform_floor_fraction <= 1.0);
+  DcnTopology topo(DcnKind::kDirectMesh, blocks, uplink_gbps);
+  // Port budget per block: uplink_gbps split between a uniform floor (keeps
+  // every pair connected for transit and demand error) and a
+  // demand-proportional share. Normalize per block so row/col budgets hold;
+  // symmetrize since trunks are bidirectional.
+  const double floor_per_trunk = uplink_gbps * uniform_floor_fraction / (blocks - 1);
+  std::vector<double> alloc(static_cast<std::size_t>(blocks) * blocks, 0.0);
+  for (int a = 0; a < blocks; ++a) {
+    const double row = forecast.RowSum(a);
+    const double budget = uplink_gbps * (1.0 - uniform_floor_fraction);
+    for (int b = 0; b < blocks; ++b) {
+      if (a == b) continue;
+      const double share = row > 0.0 ? forecast.at(a, b) / row : 1.0 / (blocks - 1);
+      alloc[static_cast<std::size_t>(a) * blocks + b] = floor_per_trunk + budget * share;
+    }
+  }
+  for (int a = 0; a < blocks; ++a) {
+    for (int b = a + 1; b < blocks; ++b) {
+      // A bidirectional trunk carries each direction at full rate, so size
+      // it for the hotter direction rather than the mean.
+      const double sym = std::max(alloc[static_cast<std::size_t>(a) * blocks + b],
+                                  alloc[static_cast<std::size_t>(b) * blocks + a]);
+      topo.trunk_[static_cast<std::size_t>(a) * blocks + b] = sym;
+      topo.trunk_[static_cast<std::size_t>(b) * blocks + a] = sym;
+    }
+  }
+  // Symmetrization skews row sums away from the port budget; iterative
+  // proportional fitting (Sinkhorn-style) pushes every block back to full
+  // budget use without wasting ports, followed by a strict feasibility
+  // clamp.
+  auto row_sum = [&](int a) {
+    double row = 0.0;
+    for (int b = 0; b < blocks; ++b) row += topo.trunk_[static_cast<std::size_t>(a) * blocks + b];
+    return row;
+  };
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<double> factor(static_cast<std::size_t>(blocks), 1.0);
+    for (int a = 0; a < blocks; ++a) {
+      const double row = row_sum(a);
+      if (row > 0.0) factor[static_cast<std::size_t>(a)] = std::sqrt(uplink_gbps / row);
+    }
+    for (int a = 0; a < blocks; ++a) {
+      for (int b = 0; b < blocks; ++b) {
+        topo.trunk_[static_cast<std::size_t>(a) * blocks + b] *=
+            factor[static_cast<std::size_t>(a)] * factor[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  std::vector<double> clamp(static_cast<std::size_t>(blocks), 1.0);
+  for (int a = 0; a < blocks; ++a) {
+    const double row = row_sum(a);
+    if (row > uplink_gbps) clamp[static_cast<std::size_t>(a)] = uplink_gbps / row;
+  }
+  for (int a = 0; a < blocks; ++a) {
+    for (int b = 0; b < blocks; ++b) {
+      topo.trunk_[static_cast<std::size_t>(a) * blocks + b] *=
+          std::min(clamp[static_cast<std::size_t>(a)], clamp[static_cast<std::size_t>(b)]);
+    }
+  }
+  return topo;
+}
+
+DcnTopology DcnTopology::FromTrunkCapacities(int blocks, double uplink_gbps,
+                                             const TrafficMatrix& capacities) {
+  assert(capacities.nodes() == blocks);
+  DcnTopology topo(DcnKind::kDirectMesh, blocks, uplink_gbps);
+  for (int a = 0; a < blocks; ++a) {
+    for (int b = 0; b < blocks; ++b) {
+      if (a == b) continue;
+      assert(capacities.at(a, b) == capacities.at(b, a));
+      topo.trunk_[static_cast<std::size_t>(a) * blocks + b] = capacities.at(a, b);
+    }
+  }
+  return topo;
+}
+
+double DcnTopology::TrunkCapacity(int a, int b) const {
+  assert(kind_ == DcnKind::kDirectMesh);
+  assert(a >= 0 && a < blocks_ && b >= 0 && b < blocks_);
+  return trunk_[static_cast<std::size_t>(a) * blocks_ + b];
+}
+
+namespace {
+
+/// Water-filling feasibility for a direct mesh: route scaled demand direct
+/// first, then spill residuals over two-hop transit greedily. Returns the
+/// fraction of demand successfully placed (1.0 == feasible).
+double MeshPlacementFraction(const DcnTopology& topo, const TrafficMatrix& demand,
+                             double alpha) {
+  const int n = topo.blocks();
+  std::vector<double> residual(static_cast<std::size_t>(n) * n, 0.0);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a != b) residual[static_cast<std::size_t>(a) * n + b] = topo.TrunkCapacity(a, b);
+    }
+  }
+  auto res = [&](int a, int b) -> double& {
+    return residual[static_cast<std::size_t>(a) * n + b];
+  };
+
+  double total = 0.0;
+  double placed = 0.0;
+  struct Leftover {
+    int s, d;
+    double amount;
+  };
+  std::vector<Leftover> leftovers;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const double want = alpha * demand.at(s, d);
+      if (want <= 0.0) continue;
+      total += want;
+      const double direct = std::min(want, res(s, d));
+      res(s, d) -= direct;
+      placed += direct;
+      if (want - direct > 1e-12) leftovers.push_back({s, d, want - direct});
+    }
+  }
+  // Spill over two-hop transit, repeatedly taking the best intermediate.
+  for (auto& item : leftovers) {
+    while (item.amount > 1e-12) {
+      int best_k = -1;
+      double best_cap = 0.0;
+      for (int k = 0; k < n; ++k) {
+        if (k == item.s || k == item.d) continue;
+        const double cap = std::min(res(item.s, k), res(k, item.d));
+        if (cap > best_cap) {
+          best_cap = cap;
+          best_k = k;
+        }
+      }
+      if (best_k < 0 || best_cap <= 1e-12) break;
+      const double move = std::min(item.amount, best_cap);
+      res(item.s, best_k) -= move;
+      res(best_k, item.d) -= move;
+      item.amount -= move;
+      placed += move;
+    }
+  }
+  return total > 0.0 ? placed / total : 1.0;
+}
+
+}  // namespace
+
+double MaxConcurrentFlowScale(const DcnTopology& topo, const TrafficMatrix& demand) {
+  if (topo.kind() == DcnKind::kSpineClos) {
+    // Hose model: only per-block ingress/egress bind.
+    double worst = 0.0;
+    for (int b = 0; b < topo.blocks(); ++b) {
+      worst = std::max(worst, std::max(demand.RowSum(b), demand.ColSum(b)));
+    }
+    return worst > 0.0 ? topo.uplink_gbps() / worst : std::numeric_limits<double>::infinity();
+  }
+  double lo = 0.0, hi = 1.0;
+  // Grow hi until infeasible.
+  while (MeshPlacementFraction(topo, demand, hi) >= 1.0 - 1e-9 && hi < 1e6) hi *= 2.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (MeshPlacementFraction(topo, demand, mid) >= 1.0 - 1e-9) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+struct Flow {
+  int id = 0;
+  double remaining_bytes = 0.0;
+  double arrival_s = 0.0;
+  std::vector<int> links;  // link ids along the path
+  double rate_gbps = 0.0;
+};
+
+struct LinkTable {
+  std::vector<double> capacity;  // Gb/s per directed link
+
+  int Count() const { return static_cast<int>(capacity.size()); }
+};
+
+/// Progressive filling max-min fair allocation.
+void AllocateMaxMin(std::vector<Flow*>& flows, const LinkTable& links) {
+  const int link_count = links.Count();
+  std::vector<double> residual = links.capacity;
+  std::vector<int> flows_on_link(static_cast<std::size_t>(link_count), 0);
+  for (Flow* f : flows) {
+    f->rate_gbps = -1.0;  // unfrozen
+    for (int l : f->links) ++flows_on_link[static_cast<std::size_t>(l)];
+  }
+  int unfrozen = static_cast<int>(flows.size());
+  while (unfrozen > 0) {
+    // Find the tightest link.
+    double min_share = std::numeric_limits<double>::infinity();
+    int min_link = -1;
+    for (int l = 0; l < link_count; ++l) {
+      if (flows_on_link[static_cast<std::size_t>(l)] == 0) continue;
+      const double share =
+          residual[static_cast<std::size_t>(l)] / flows_on_link[static_cast<std::size_t>(l)];
+      if (share < min_share) {
+        min_share = share;
+        min_link = l;
+      }
+    }
+    if (min_link < 0) break;  // remaining flows traverse no link (shouldn't happen)
+    // Freeze all unfrozen flows on that link at the fair share.
+    for (Flow* f : flows) {
+      if (f->rate_gbps >= 0.0) continue;
+      bool on = false;
+      for (int l : f->links) {
+        if (l == min_link) {
+          on = true;
+          break;
+        }
+      }
+      if (!on) continue;
+      f->rate_gbps = min_share;
+      --unfrozen;
+      for (int l : f->links) {
+        residual[static_cast<std::size_t>(l)] -= min_share;
+        --flows_on_link[static_cast<std::size_t>(l)];
+      }
+    }
+    residual[static_cast<std::size_t>(min_link)] = 0.0;
+    flows_on_link[static_cast<std::size_t>(min_link)] = 0;
+  }
+  for (Flow* f : flows) {
+    if (f->rate_gbps < 0.0) f->rate_gbps = 0.0;
+  }
+}
+
+}  // namespace
+
+FlowSimResult SimulateFlows(const DcnTopology& topo, const TrafficMatrix& demand,
+                            const FlowSimConfig& config) {
+  const int n = topo.blocks();
+  common::Rng rng(config.seed);
+
+  // Build the directed link table.
+  LinkTable links;
+  // Clos: link 2b = block b uplink, 2b+1 = downlink. Mesh: a*n+b trunks.
+  if (topo.kind() == DcnKind::kSpineClos) {
+    links.capacity.assign(static_cast<std::size_t>(2 * n), topo.uplink_gbps());
+  } else {
+    links.capacity.assign(static_cast<std::size_t>(n) * n, 0.0);
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (a != b) {
+          links.capacity[static_cast<std::size_t>(a) * n + b] = topo.TrunkCapacity(a, b);
+        }
+      }
+    }
+  }
+
+  // Per-link active flow counts guide transit-path choice.
+  std::vector<int> active_on_link(links.capacity.size(), 0);
+  auto pick_path = [&](int s, int d) {
+    std::vector<int> path;
+    if (topo.kind() == DcnKind::kSpineClos) {
+      path = {2 * s, 2 * d + 1};
+      return path;
+    }
+    const int direct = s * n + d;
+    auto headroom = [&](int link) {
+      return links.capacity[static_cast<std::size_t>(link)] /
+             (active_on_link[static_cast<std::size_t>(link)] + 1.0);
+    };
+    double best = headroom(direct);
+    path = {direct};
+    for (int k = 0; k < n; ++k) {
+      if (k == s || k == d) continue;
+      const int l1 = s * n + k, l2 = k * n + d;
+      if (links.capacity[static_cast<std::size_t>(l1)] <= 0.0 ||
+          links.capacity[static_cast<std::size_t>(l2)] <= 0.0) {
+        continue;
+      }
+      const double bottleneck = std::min(headroom(l1), headroom(l2));
+      if (bottleneck > best) {
+        best = bottleneck;
+        path = {l1, l2};
+      }
+    }
+    return path;
+  };
+
+  // Arrival process: per-pair Poisson intensities proportional to demand,
+  // scaled so the offered load matches config.load of fabric capacity.
+  const double fabric_capacity =
+      topo.kind() == DcnKind::kSpineClos
+          ? n * topo.uplink_gbps()
+          : [&] {
+              double c = 0.0;
+              for (double cap : links.capacity) c += cap;
+              return c / 2.0;  // count trunk pairs once
+            }();
+  const double offered_gbps = config.load * fabric_capacity;
+  const double mean_bits = config.mean_flow_mb * 8e6;
+  const double arrival_rate = offered_gbps * 1e9 / mean_bits;  // flows/s
+
+  // Cumulative demand distribution for picking flow endpoints.
+  std::vector<double> cdf;
+  std::vector<std::pair<int, int>> pairs;
+  double acc = 0.0;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d || demand.at(s, d) <= 0.0) continue;
+      acc += demand.at(s, d);
+      cdf.push_back(acc);
+      pairs.emplace_back(s, d);
+    }
+  }
+  assert(!cdf.empty());
+
+  std::vector<std::unique_ptr<Flow>> flows;
+  std::vector<Flow*> active;
+  common::SampleSet fct_ms;
+  common::SampleSet rates;
+  double now = 0.0;
+  double next_arrival = rng.Exponential(arrival_rate);
+  int flows_created = 0;
+  std::uint64_t completed = 0;
+
+  auto reallocate = [&] { AllocateMaxMin(active, links); };
+
+  while (now < config.sim_seconds && flows_created < config.max_flows) {
+    // Earliest departure under current rates.
+    double next_departure = std::numeric_limits<double>::infinity();
+    Flow* departing = nullptr;
+    for (Flow* f : active) {
+      if (f->rate_gbps <= 0.0) continue;
+      const double t = now + f->remaining_bytes * 8.0 / (f->rate_gbps * 1e9);
+      if (t < next_departure) {
+        next_departure = t;
+        departing = f;
+      }
+    }
+
+    if (next_arrival <= next_departure) {
+      // Advance remaining bytes to the arrival instant.
+      const double dt = next_arrival - now;
+      for (Flow* f : active) f->remaining_bytes -= f->rate_gbps * 1e9 / 8.0 * dt;
+      now = next_arrival;
+      // Spawn the flow.
+      const double u = rng.NextDouble() * acc;
+      const std::size_t idx = static_cast<std::size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      const auto [s, d] = pairs[std::min(idx, pairs.size() - 1)];
+      auto flow = std::make_unique<Flow>();
+      flow->id = flows_created++;
+      flow->remaining_bytes = rng.Exponential(1.0 / (config.mean_flow_mb * 1e6));
+      flow->arrival_s = now;
+      flow->links = pick_path(s, d);
+      for (int l : flow->links) ++active_on_link[static_cast<std::size_t>(l)];
+      active.push_back(flow.get());
+      flows.push_back(std::move(flow));
+      next_arrival = now + rng.Exponential(arrival_rate);
+      reallocate();
+    } else if (departing != nullptr) {
+      const double dt = next_departure - now;
+      for (Flow* f : active) f->remaining_bytes -= f->rate_gbps * 1e9 / 8.0 * dt;
+      now = next_departure;
+      // Retire the departing flow.
+      const double duration = now - departing->arrival_s;
+      fct_ms.Add(duration * 1e3);
+      rates.Add(departing->rate_gbps);
+      for (int l : departing->links) --active_on_link[static_cast<std::size_t>(l)];
+      active.erase(std::find(active.begin(), active.end(), departing));
+      ++completed;
+      reallocate();
+    } else {
+      break;  // no arrivals left in horizon and nothing active
+    }
+  }
+
+  FlowSimResult result;
+  result.completed = completed;
+  if (fct_ms.count() > 0) {
+    result.mean_fct_ms = fct_ms.mean();
+    result.p50_fct_ms = fct_ms.Percentile(50.0);
+    result.p99_fct_ms = fct_ms.Percentile(99.0);
+    result.mean_throughput_gbps = rates.mean();
+  }
+  return result;
+}
+
+}  // namespace lightwave::sim

@@ -1,0 +1,38 @@
+#include "sim/event.h"
+
+#include <cassert>
+
+namespace lightwave::sim {
+
+void EventQueue::At(double when, Handler handler) {
+  assert(when >= now_);
+  queue_.push(Entry{when, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::After(double delay, Handler handler) {
+  assert(delay >= 0.0);
+  At(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::Step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the handler may schedule new events.
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.when;
+  entry.handler();
+  return true;
+}
+
+std::size_t EventQueue::Run(double until) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    if (until >= 0.0 && queue_.top().when > until) break;
+    Step();
+    ++count;
+  }
+  if (until >= 0.0 && now_ < until) now_ = until;
+  return count;
+}
+
+}  // namespace lightwave::sim

@@ -1,0 +1,49 @@
+// Deterministic discrete-event engine. Events at equal timestamps fire in
+// scheduling order (a monotonic sequence number breaks ties), which keeps
+// every simulation in the library reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lightwave::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Schedules `handler` at absolute time `when` (>= now).
+  void At(double when, Handler handler);
+  /// Schedules after a delay (>= 0).
+  void After(double delay, Handler handler);
+
+  /// Runs until the queue drains or `until` is reached; returns events run.
+  std::size_t Run(double until = -1.0);
+  /// Fires exactly one event; false when empty.
+  bool Step();
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lightwave::sim

@@ -1,0 +1,121 @@
+#include "sim/llm_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lightwave::sim {
+namespace {
+
+LlmSpec MakeSpec(std::string name, double params_b, double global_batch, int layers, int mp,
+                 int pp, int dp) {
+  LlmSpec spec;
+  spec.name = std::move(name);
+  spec.params_billion = params_b;
+  spec.global_batch = global_batch;
+  spec.layers = layers;
+  spec.hidden = std::sqrt(params_b * 1e9 / (12.0 * layers));
+  spec.inherent_mp = mp;
+  spec.inherent_pp = pp;
+  spec.inherent_dp = dp;
+  return spec;
+}
+
+double MismatchRatio(int have, int inherent) {
+  assert(have > 0 && inherent > 0);
+  return have > inherent ? static_cast<double>(have) / inherent
+                         : static_cast<double>(inherent) / have;
+}
+
+}  // namespace
+
+LlmSpec Llm0() {
+  // 35B parameters with a global batch much larger than the model's natural
+  // sharding: 8-way tensor parallel, 16 pipeline stages, 32-way data.
+  return MakeSpec("LLM0", 35.0, 1024.0, 48, /*mp=*/8, /*pp=*/16, /*dp=*/32);
+}
+
+LlmSpec Llm1() {
+  // 70B parameters but an even more data-skewed batch (§4.2.1: "inherent
+  // parallelism more skewed to data parallelism"): 4 x 4 x 256.
+  return MakeSpec("LLM1", 70.0, 2048.0, 80, /*mp=*/4, /*pp=*/4, /*dp=*/256);
+}
+
+LlmSpec Llm2() {
+  // 150B parameters, batch-limited: balanced 16 x 16 x 16 — exactly the
+  // highest-bisection full-pod shape.
+  return MakeSpec("LLM2", 150.0, 512.0, 96, /*mp=*/16, /*pp=*/16, /*dp=*/16);
+}
+
+LlmStepBreakdown LlmPerfModel::StepTime(const LlmSpec& spec,
+                                        const tpu::SliceShape& shape) const {
+  LlmStepBreakdown out;
+  const int X = shape.ChipDim(tpu::Dim::kX);
+  const int Y = shape.ChipDim(tpu::Dim::kY);
+  const int Z = shape.ChipDim(tpu::Dim::kZ);
+  const int N = X * Y * Z;
+  const int D = Y * Z;  // replicas = pipeline groups x data groups
+  assert(N > 0);
+
+  // --- parallelism mismatch ---------------------------------------------------
+  out.mismatch_penalty =
+      std::pow(MismatchRatio(X, spec.inherent_mp), cal_.mp_mismatch_exponent) *
+      std::pow(MismatchRatio(Y, spec.inherent_pp), cal_.pp_mismatch_exponent) *
+      std::pow(MismatchRatio(Z, spec.inherent_dp), cal_.dp_mismatch_exponent);
+
+  // --- compute ------------------------------------------------------------------
+  const double tokens = spec.global_batch * spec.seq_len;
+  const double flops = 6.0 * spec.params_billion * 1e9 * tokens;
+  out.compute_us = flops / (N * cal_.peak_tflops * 1e12 * cal_.base_mxu_efficiency) * 1e6 *
+                   out.mismatch_penalty;
+
+  // --- model-parallel communication ------------------------------------------
+  // Tensor-parallel all-reduces across the X ring, per layer, for the whole
+  // per-replica batch (gradient accumulation spreads it over microsteps but
+  // the per-step total volume is fixed).
+  const auto rings = RingsOf(shape);
+  if (X > 1) {
+    const double seq_per_replica = spec.global_batch / D;
+    const double act_bytes =
+        2.0 * seq_per_replica * spec.seq_len * spec.hidden;  // bf16 activations
+    const double per_layer = RingAllReduce(act_bytes, X, cal_.ici.bandwidth_gbps,
+                                           MeanHopLatencyUs(rings[0], cal_.ici))
+                                 .time_us;
+    out.mp_comm_us = cal_.mp_collectives_per_layer * spec.layers * per_layer;
+  }
+
+  // --- data-parallel communication ---------------------------------------------
+  // Gradient all-reduce of the layer shard over the (Y, Z) sub-torus; the
+  // two dimensions contribute ring bandwidth in parallel. Mostly overlapped
+  // with the backward pass.
+  if (D > 1) {
+    const double grad_bytes = 2.0 * spec.params_billion * 1e9 / X;
+    int active_dims = 0;
+    if (Y > 1) ++active_dims;
+    if (Z > 1) ++active_dims;
+    const double hop = std::max(MeanHopLatencyUs(rings[1], cal_.ici),
+                                MeanHopLatencyUs(rings[2], cal_.ici));
+    const double dp_bw = cal_.ici.bandwidth_gbps * std::max(1, active_dims);
+    const double t_dp = RingAllReduce(grad_bytes, D, dp_bw, hop).time_us;
+    out.dp_comm_exposed_us = std::max(0.0, t_dp - cal_.dp_overlap * out.compute_us);
+  }
+
+  out.total_us = out.compute_us + out.mp_comm_us + out.dp_comm_exposed_us;
+  out.throughput_seq_per_s = spec.global_batch / (out.total_us * 1e-6);
+  return out;
+}
+
+std::vector<LlmPerfModel::ShapeResult> LlmPerfModel::RankShapes(const LlmSpec& spec,
+                                                                int cubes) const {
+  std::vector<ShapeResult> results;
+  for (const auto& shape : tpu::EnumerateShapes(cubes)) {
+    results.push_back(ShapeResult{shape, StepTime(spec, shape)});
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const ShapeResult& a, const ShapeResult& b) {
+                     return a.breakdown.total_us < b.breakdown.total_us;
+                   });
+  return results;
+}
+
+}  // namespace lightwave::sim

@@ -1,0 +1,68 @@
+#include "sim/multipod.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/collective.h"
+#include "tpu/wiring.h"
+
+namespace lightwave::sim {
+
+double MultipodTrainer::PodRingBandwidthGbps(const MultipodConfig& config) {
+  assert(config.pods >= 2);
+  switch (config.dcn_mode) {
+    case MultipodConfig::DcnMode::kUniformMesh:
+      // Uplink spread over every other pod; a ring uses only the two
+      // neighbour trunks.
+      return config.dcn_gbps_per_pod / (config.pods - 1);
+    case MultipodConfig::DcnMode::kEngineered:
+      // The lightwave DCN concentrates each pod's uplink onto its two ring
+      // neighbours (half each way).
+      return config.pods == 2 ? config.dcn_gbps_per_pod
+                              : config.dcn_gbps_per_pod / 2.0;
+  }
+  return 0.0;
+}
+
+MultipodStep MultipodTrainer::StepTime(const LlmSpec& spec,
+                                       const MultipodConfig& config) const {
+  assert(config.pods >= 1);
+  MultipodStep step;
+
+  // Each pod runs the workload's best shape with its share of the batch.
+  LlmSpec per_pod = spec;
+  per_pod.global_batch = spec.global_batch / config.pods;
+  // The inherent data parallelism splits across pods too (the batch is the
+  // source of data parallelism).
+  per_pod.inherent_dp = std::max(1, spec.inherent_dp / config.pods);
+  const auto ranked = model_.RankShapes(per_pod, tpu::kCubesPerPod);
+  step.pod_shape = ranked.front().shape;
+  step.intra_pod_us = ranked.front().breakdown.total_us;
+
+  if (config.pods > 1) {
+    // Cross-pod data parallelism: each pod all-reduces the full bf16
+    // gradient over the DCN ring of pods (Fig. 2c).
+    const double grad_bytes = 2.0 * spec.params_billion * 1e9;
+    const double ring_gbps = PodRingBandwidthGbps(config);
+    const auto cost =
+        RingAllReduce(grad_bytes, config.pods, ring_gbps / 2.0, config.dcn_hop_us);
+    // RingAllReduce assumes both directions of a link; the DCN trunk pair is
+    // already expressed as total ring bandwidth, hence the /2 above.
+    step.dcn_allreduce_us = cost.time_us;
+    step.dcn_exposed_us =
+        std::max(0.0, cost.time_us - config.dcn_overlap * step.intra_pod_us);
+  }
+
+  step.total_us = step.intra_pod_us + step.dcn_exposed_us;
+  step.throughput_seq_per_s = spec.global_batch / (step.total_us * 1e-6);
+
+  // Per-TPU bandwidth comparison (the paper's 50-100x ICI advantage): each
+  // chip has 6 ICI links; the DCN gives dcn_gbps_per_pod / 4096 per chip.
+  const IciLinkSpec ici;
+  const double ici_per_chip = 6.0 * ici.bandwidth_gbps;
+  const double dcn_per_chip = config.dcn_gbps_per_pod / tpu::kChipsPerPod;
+  step.ici_to_dcn_ratio = ici_per_chip / dcn_per_chip;
+  return step;
+}
+
+}  // namespace lightwave::sim

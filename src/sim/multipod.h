@@ -1,0 +1,66 @@
+// Scaling out between superpods (§2.2.2, Fig. 2): models too large for one
+// pod combine the intra-pod ICI fabric with the datacenter network. The
+// workload is optimized end-to-end: collectives adapted to the ICI-vs-DCN
+// bandwidth gap (the ICI provides 50-100x more bandwidth per TPU), slice
+// topology optimized within each pod, and the DCN-level lightwave topology
+// co-optimized with job placement so the inter-pod rings (Fig. 2c) ride
+// fat engineered trunks instead of thin uniform-mesh slices. DCN transfers
+// remain on the critical path (§2.2.2), so the exposed (non-overlapped)
+// part of the cross-pod gradient all-reduce adds to every step.
+#pragma once
+
+#include "sim/llm_model.h"
+#include "tpu/slice.h"
+
+namespace lightwave::sim {
+
+struct MultipodConfig {
+  int pods = 4;
+  /// Aggregate DCN bandwidth per pod (all host NICs combined), Gb/s:
+  /// 64 cubes x 16 hosts x 100G NICs. Per chip that is 25 Gb/s vs the
+  /// 2400 Gb/s of ICI -- the paper's ~100x gap.
+  double dcn_gbps_per_pod = 102'400.0;
+  /// Per-hop DCN latency for one ring step (propagation + switching).
+  double dcn_hop_us = 50.0;
+  /// Fraction of the DCN all-reduce hidden under compute (the paper's
+  /// end-to-end optimization overlaps it with the backward pass, but the
+  /// tail stays on the critical path).
+  double dcn_overlap = 0.6;
+  /// How the DCN connects pods.
+  enum class DcnMode {
+    kUniformMesh,  // pod uplinks spread evenly over all other pods
+    kEngineered,   // lightwave DCN reconfigured into the ring the collective
+                   // needs (co-optimized placement + topology, §2.2.2)
+  };
+  DcnMode dcn_mode = DcnMode::kEngineered;
+};
+
+struct MultipodStep {
+  tpu::SliceShape pod_shape;       // per-pod slice shape used
+  double intra_pod_us = 0.0;       // full intra-pod step (compute + ICI comm)
+  double dcn_allreduce_us = 0.0;   // cross-pod gradient all-reduce, raw
+  double dcn_exposed_us = 0.0;     // after overlap
+  double total_us = 0.0;
+  double throughput_seq_per_s = 0.0;
+  /// Per-TPU bandwidth ratio ICI : DCN (the paper's 50-100x).
+  double ici_to_dcn_ratio = 0.0;
+};
+
+class MultipodTrainer {
+ public:
+  explicit MultipodTrainer(LlmPerfModel model = LlmPerfModel{}) : model_(model) {}
+
+  /// Step time training `spec` data-parallel across `config.pods` pods,
+  /// each pod running the workload's best intra-pod shape. The global batch
+  /// splits across pods; each pod holds a full replica and all-reduces its
+  /// gradients over the DCN ring each step.
+  MultipodStep StepTime(const LlmSpec& spec, const MultipodConfig& config) const;
+
+  /// Ring bandwidth between adjacent pods under the given DCN mode.
+  static double PodRingBandwidthGbps(const MultipodConfig& config);
+
+ private:
+  LlmPerfModel model_;
+};
+
+}  // namespace lightwave::sim

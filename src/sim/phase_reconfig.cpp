@@ -1,0 +1,72 @@
+#include "sim/phase_reconfig.h"
+
+#include <cassert>
+#include <limits>
+
+namespace lightwave::sim {
+
+PhaseScheduleResult EvaluatePhaseSchedule(const std::vector<TrainingPhase>& phases,
+                                          int cubes, const ReconfigurationCost& cost,
+                                          const LlmPerfModel& model) {
+  assert(!phases.empty());
+  PhaseScheduleResult result;
+
+  // Fixed strategy: the single shape minimizing the whole super-iteration.
+  double best_fixed = std::numeric_limits<double>::infinity();
+  for (const auto& shape : tpu::EnumerateShapes(cubes)) {
+    double total = 0.0;
+    for (const auto& phase : phases) {
+      total += phase.steps * model.StepTime(phase.workload, shape).total_us;
+    }
+    if (total < best_fixed) {
+      best_fixed = total;
+      result.fixed_shape = shape;
+    }
+  }
+  result.fixed_us = best_fixed;
+
+  // Reconfiguration strategy: per-phase optimum, paying the transition cost
+  // whenever consecutive phases use different shapes (cyclically).
+  double reconfig_compute = 0.0;
+  for (const auto& phase : phases) {
+    const auto ranked = model.RankShapes(phase.workload, cubes);
+    result.per_phase_shapes.push_back(ranked.front().shape);
+    reconfig_compute += phase.steps * ranked.front().breakdown.total_us;
+  }
+  int transitions = 0;
+  for (std::size_t i = 0; i < result.per_phase_shapes.size(); ++i) {
+    const auto& next =
+        result.per_phase_shapes[(i + 1) % result.per_phase_shapes.size()];
+    if (result.per_phase_shapes[i] != next) ++transitions;
+  }
+  result.reconfig_overhead_us = transitions * cost.TotalUs();
+  result.reconfig_us = reconfig_compute + result.reconfig_overhead_us;
+  result.speedup = result.fixed_us / result.reconfig_us;
+  return result;
+}
+
+int CrossoverStepsPerPhase(const std::vector<TrainingPhase>& phases, int cubes,
+                           const ReconfigurationCost& cost, const LlmPerfModel& model,
+                           int max_steps) {
+  // Binary search on the scale factor: the advantage of reconfiguration
+  // grows linearly with steps while the overhead is constant.
+  auto wins = [&](int steps) {
+    std::vector<TrainingPhase> scaled = phases;
+    for (auto& p : scaled) p.steps = steps;
+    return EvaluatePhaseSchedule(scaled, cubes, cost, model).speedup > 1.0;
+  };
+  if (!wins(max_steps)) return -1;
+  int lo = 1, hi = max_steps;
+  if (wins(1)) return 1;
+  while (lo + 1 < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (wins(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace lightwave::sim

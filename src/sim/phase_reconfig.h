@@ -1,0 +1,61 @@
+// Fast-reconfiguration study (§6): "changing the configuration of the slice
+// during a training session to match communication patterns of different
+// computing phases has the potential to improve performance [63]". A job
+// alternates phases whose inherent parallelism differs (e.g., an
+// embedding/data-heavy phase and a dense/model-heavy phase). Two execution
+// strategies:
+//   - fixed shape: one compromise slice shape for the whole job;
+//   - per-phase reconfiguration: each phase runs its optimal shape, paying
+//     the OCS switch time plus optical link bring-up between phases.
+// The benefit/cost crossover as a function of switching technology
+// (millisecond MEMS -> microsecond piezo/SiPh -> nanosecond) is exactly the
+// trade §6 describes.
+#pragma once
+
+#include <vector>
+
+#include "sim/llm_model.h"
+#include "tpu/slice.h"
+
+namespace lightwave::sim {
+
+struct TrainingPhase {
+  LlmSpec workload;
+  /// Steps of this phase per super-iteration (phases cycle).
+  int steps = 1;
+};
+
+struct ReconfigurationCost {
+  /// OCS mirror switch time (MEMS: milliseconds; see Table C.1).
+  double switch_us = 20'000.0;
+  /// Optical link bring-up after the light path changes: receiver squelch
+  /// release, CDR lock, FEC lock (§6: fast fabrics need transceivers with
+  /// fast initialization).
+  double link_bringup_us = 2'000.0;
+
+  double TotalUs() const { return switch_us + link_bringup_us; }
+};
+
+struct PhaseScheduleResult {
+  tpu::SliceShape fixed_shape;             // best single compromise shape
+  double fixed_us = 0.0;                   // one super-iteration, fixed shape
+  std::vector<tpu::SliceShape> per_phase_shapes;
+  double reconfig_us = 0.0;                // one super-iteration with reconfig
+  double reconfig_overhead_us = 0.0;       // switch+bringup part of the above
+  double speedup = 1.0;                    // fixed_us / reconfig_us
+};
+
+/// Evaluates one super-iteration (each phase once, cycling) on a pod of
+/// `cubes` cubes under both strategies.
+PhaseScheduleResult EvaluatePhaseSchedule(const std::vector<TrainingPhase>& phases,
+                                          int cubes, const ReconfigurationCost& cost,
+                                          const LlmPerfModel& model = LlmPerfModel{});
+
+/// The smallest steps-per-phase at which per-phase reconfiguration beats the
+/// fixed shape (scaling every phase's step count by the same factor);
+/// returns -1 when reconfiguration never wins (identical optimal shapes).
+int CrossoverStepsPerPhase(const std::vector<TrainingPhase>& phases, int cubes,
+                           const ReconfigurationCost& cost,
+                           const LlmPerfModel& model = LlmPerfModel{}, int max_steps = 1 << 20);
+
+}  // namespace lightwave::sim

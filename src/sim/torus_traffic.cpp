@@ -1,0 +1,121 @@
+#include "sim/torus_traffic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace lightwave::sim {
+
+namespace {
+
+std::vector<tpu::SliceChipCoord> AllChips(const tpu::SliceShape& shape) {
+  const auto dims = tpu::SliceChipDims(shape);
+  std::vector<tpu::SliceChipCoord> chips;
+  chips.reserve(static_cast<std::size_t>(dims.x) * dims.y * dims.z);
+  for (int z = 0; z < dims.z; ++z) {
+    for (int y = 0; y < dims.y; ++y) {
+      for (int x = 0; x < dims.x; ++x) chips.push_back({x, y, z});
+    }
+  }
+  return chips;
+}
+
+}  // namespace
+
+Pattern NeighborShift(const tpu::SliceShape& shape, tpu::Dim dim) {
+  const auto dims = tpu::SliceChipDims(shape);
+  Pattern pattern;
+  for (const auto& chip : AllChips(shape)) {
+    auto dst = chip;
+    switch (dim) {
+      case tpu::Dim::kX: dst.x = (chip.x + 1) % dims.x; break;
+      case tpu::Dim::kY: dst.y = (chip.y + 1) % dims.y; break;
+      case tpu::Dim::kZ: dst.z = (chip.z + 1) % dims.z; break;
+    }
+    pattern.emplace_back(chip, dst);
+  }
+  return pattern;
+}
+
+Pattern Transpose(const tpu::SliceShape& shape) {
+  const auto dims = tpu::SliceChipDims(shape);
+  Pattern pattern;
+  for (const auto& chip : AllChips(shape)) {
+    tpu::SliceChipCoord dst{chip.y % dims.x, chip.x % dims.y, chip.z};
+    pattern.emplace_back(chip, dst);
+  }
+  return pattern;
+}
+
+Pattern Opposite(const tpu::SliceShape& shape) {
+  const auto dims = tpu::SliceChipDims(shape);
+  Pattern pattern;
+  for (const auto& chip : AllChips(shape)) {
+    tpu::SliceChipCoord dst{(chip.x + dims.x / 2) % dims.x, (chip.y + dims.y / 2) % dims.y,
+                            (chip.z + dims.z / 2) % dims.z};
+    pattern.emplace_back(chip, dst);
+  }
+  return pattern;
+}
+
+Pattern RandomPermutation(const tpu::SliceShape& shape, std::uint64_t seed) {
+  auto chips = AllChips(shape);
+  auto targets = chips;
+  common::Rng rng(seed);
+  for (std::size_t i = targets.size(); i > 1; --i) {
+    std::swap(targets[i - 1], targets[rng.UniformInt(i)]);
+  }
+  Pattern pattern;
+  for (std::size_t i = 0; i < chips.size(); ++i) pattern.emplace_back(chips[i], targets[i]);
+  return pattern;
+}
+
+PatternAnalysis AnalyzePattern(const tpu::SliceShape& shape, const Pattern& pattern,
+                               std::string name, double bytes_per_flow,
+                               const tpu::IciLinkSpec& spec) {
+  assert(!pattern.empty());
+  const tpu::TorusRouter router(shape, spec);
+  // Per directed link: flow count.
+  std::map<std::tuple<int, int, int, int, int>, int> loads;
+  std::int64_t total_hops = 0;
+  for (const auto& [src, dst] : pattern) {
+    const auto route = router.ComputeRoute(src, dst);
+    total_hops += static_cast<std::int64_t>(route.hops.size());
+    for (const auto& hop : route.hops) {
+      ++loads[std::make_tuple(hop.from.x, hop.from.y, hop.from.z,
+                              static_cast<int>(hop.dim), hop.direction > 0 ? 1 : 0)];
+    }
+  }
+
+  PatternAnalysis analysis;
+  analysis.name = std::move(name);
+  analysis.total_hops = total_hops;
+  analysis.mean_hops_per_flow =
+      static_cast<double>(total_hops) / static_cast<double>(pattern.size());
+  double sum = 0.0;
+  for (const auto& [key, load] : loads) {
+    analysis.peak_link_load = std::max(analysis.peak_link_load, load);
+    sum += load;
+  }
+  analysis.mean_link_load = loads.empty() ? 0.0 : sum / static_cast<double>(loads.size());
+
+  // Deterministic single-path routing: the slowest link serializes its
+  // flows; everything finishes when it does.
+  const double gbytes_per_us = spec.bandwidth_gbps / 8.0 / 1e6;  // per direction
+  analysis.completion_us =
+      analysis.peak_link_load * (bytes_per_flow / 1e9) / gbytes_per_us;
+  const double delivered_gb = pattern.size() * bytes_per_flow / 1e9;
+  // Useful link-time consumed vs available on the used links.
+  const double used_capacity_gb =
+      static_cast<double>(loads.size()) * gbytes_per_us * analysis.completion_us;
+  analysis.link_efficiency =
+      used_capacity_gb > 0.0
+          ? delivered_gb * analysis.mean_hops_per_flow / used_capacity_gb
+          : 0.0;
+  return analysis;
+}
+
+}  // namespace lightwave::sim

@@ -1,0 +1,54 @@
+// Traffic-pattern analysis on a slice torus under the production
+// deterministic routing (§4.2.1: "the routing is deterministic and set by
+// the slice configuration"). Routes a whole pattern with the
+// dimension-ordered router, accumulates per-link load, and reports the
+// bandwidth-limited completion time and channel-load statistics — the
+// quantitative form of why slices are shaped to the workload: patterns that
+// match the torus (nearest-neighbour rings, as in collectives) use every
+// link once, while adversarial permutations concentrate load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tpu/routing.h"
+#include "tpu/slice.h"
+
+namespace lightwave::sim {
+
+/// A traffic pattern: one (src, dst) flow per chip, all of equal size.
+using Pattern = std::vector<std::pair<tpu::SliceChipCoord, tpu::SliceChipCoord>>;
+
+/// Every chip sends to its +1 neighbour along `dim` (ring shift — the
+/// building block of the collectives).
+Pattern NeighborShift(const tpu::SliceShape& shape, tpu::Dim dim);
+
+/// Every chip (x,y,z) sends to (y,x,z) — transpose-style traffic.
+Pattern Transpose(const tpu::SliceShape& shape);
+
+/// Every chip sends to the coordinate-wise opposite corner (worst-case
+/// distance).
+Pattern Opposite(const tpu::SliceShape& shape);
+
+/// Random permutation (each chip sends to a distinct random chip).
+Pattern RandomPermutation(const tpu::SliceShape& shape, std::uint64_t seed);
+
+struct PatternAnalysis {
+  std::string name;
+  std::int64_t total_hops = 0;
+  double mean_hops_per_flow = 0.0;
+  int peak_link_load = 0;  // flows sharing the most-loaded link
+  double mean_link_load = 0.0;
+  /// Completion time for `bytes_per_flow` on every flow, bandwidth-limited
+  /// by the most-loaded link.
+  double completion_us = 0.0;
+  /// Aggregate delivered bytes / (links used x link capacity x time):
+  /// 1.0 = every used link busy the whole time.
+  double link_efficiency = 0.0;
+};
+
+PatternAnalysis AnalyzePattern(const tpu::SliceShape& shape, const Pattern& pattern,
+                               std::string name, double bytes_per_flow,
+                               const tpu::IciLinkSpec& spec = {});
+
+}  // namespace lightwave::sim

@@ -1,0 +1,147 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lightwave::sim {
+
+TrafficMatrix::TrafficMatrix(int nodes)
+    : nodes_(nodes), demand_(static_cast<std::size_t>(nodes) * nodes, 0.0) {
+  assert(nodes > 1);
+}
+
+double TrafficMatrix::at(int src, int dst) const {
+  assert(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_);
+  return demand_[static_cast<std::size_t>(src) * nodes_ + dst];
+}
+
+void TrafficMatrix::set(int src, int dst, double gbps) {
+  assert(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_ && gbps >= 0.0);
+  if (src == dst) return;
+  demand_[static_cast<std::size_t>(src) * nodes_ + dst] = gbps;
+}
+
+double TrafficMatrix::RowSum(int src) const {
+  double sum = 0.0;
+  for (int d = 0; d < nodes_; ++d) sum += at(src, d);
+  return sum;
+}
+
+double TrafficMatrix::ColSum(int dst) const {
+  double sum = 0.0;
+  for (int s = 0; s < nodes_; ++s) sum += at(s, dst);
+  return sum;
+}
+
+double TrafficMatrix::Total() const {
+  double sum = 0.0;
+  for (double d : demand_) sum += d;
+  return sum;
+}
+
+TrafficMatrix TrafficMatrix::Scaled(double factor) const {
+  TrafficMatrix out(nodes_);
+  for (int s = 0; s < nodes_; ++s) {
+    for (int d = 0; d < nodes_; ++d) out.set(s, d, at(s, d) * factor);
+  }
+  return out;
+}
+
+double TrafficMatrix::SkewRatio() const {
+  const double mean = Total() / (static_cast<double>(nodes_) * (nodes_ - 1));
+  if (mean <= 0.0) return 0.0;
+  double peak = 0.0;
+  for (double d : demand_) peak = std::max(peak, d);
+  return peak / mean;
+}
+
+TrafficMatrix UniformTraffic(int nodes, double total_gbps) {
+  TrafficMatrix m(nodes);
+  const double per_pair = total_gbps / (static_cast<double>(nodes) * (nodes - 1));
+  for (int s = 0; s < nodes; ++s) {
+    for (int d = 0; d < nodes; ++d) {
+      if (s != d) m.set(s, d, per_pair);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix GravityTraffic(int nodes, double total_gbps, common::Rng& rng) {
+  std::vector<double> weights(static_cast<std::size_t>(nodes));
+  for (auto& w : weights) w = rng.Exponential(1.0);
+  TrafficMatrix m(nodes);
+  double raw_total = 0.0;
+  for (int s = 0; s < nodes; ++s) {
+    for (int d = 0; d < nodes; ++d) {
+      if (s == d) continue;
+      raw_total += weights[static_cast<std::size_t>(s)] * weights[static_cast<std::size_t>(d)];
+    }
+  }
+  for (int s = 0; s < nodes; ++s) {
+    for (int d = 0; d < nodes; ++d) {
+      if (s == d) continue;
+      m.set(s, d,
+            total_gbps * weights[static_cast<std::size_t>(s)] *
+                weights[static_cast<std::size_t>(d)] / raw_total);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix HotspotTraffic(int nodes, double total_gbps, int hotspots, double hot_fraction,
+                             common::Rng& rng) {
+  assert(hotspots >= 0 && hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  TrafficMatrix m = UniformTraffic(nodes, total_gbps * (1.0 - hot_fraction));
+  if (hotspots == 0) return m;
+  const double per_hot = total_gbps * hot_fraction / hotspots;
+  int placed = 0;
+  int guard = 0;
+  while (placed < hotspots && guard < hotspots * 100) {
+    ++guard;
+    const int s = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(nodes)));
+    const int d = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(nodes)));
+    if (s == d) continue;
+    m.set(s, d, m.at(s, d) + per_hot);
+    ++placed;
+  }
+  return m;
+}
+
+TrafficMatrix DisjointHotspotTraffic(int nodes, double total_gbps, int hotspots,
+                                     double hot_fraction, common::Rng& rng) {
+  assert(hotspots >= 0 && 2 * hotspots <= nodes);
+  assert(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  TrafficMatrix m = UniformTraffic(nodes, total_gbps * (1.0 - hot_fraction));
+  if (hotspots == 0) return m;
+  // Random permutation of nodes; consecutive pairs become hotspots.
+  std::vector<int> order(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int i = nodes - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(i + 1)));
+    std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
+  }
+  const double per_hot = total_gbps * hot_fraction / hotspots;
+  for (int h = 0; h < hotspots; ++h) {
+    const int s = order[static_cast<std::size_t>(2 * h)];
+    const int d = order[static_cast<std::size_t>(2 * h + 1)];
+    m.set(s, d, m.at(s, d) + per_hot);
+  }
+  return m;
+}
+
+TrafficMatrix RotateHotspots(const TrafficMatrix& matrix, int step) {
+  const int n = matrix.nodes();
+  TrafficMatrix out(n);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const int s2 = (s + step) % n;
+      int d2 = (d + step) % n;
+      if (s2 == d2) d2 = (d2 + 1) % n;
+      out.set(s2, d2, out.at(s2, d2) + matrix.at(s, d));
+    }
+  }
+  return out;
+}
+
+}  // namespace lightwave::sim

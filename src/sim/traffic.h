@@ -1,0 +1,59 @@
+// Traffic-matrix generators for the DCN evaluation: uniform all-to-all,
+// gravity (random weights), hotspot-skewed, and time-rotating variants that
+// model the long-lived demand shifts topology engineering exploits (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lightwave::sim {
+
+/// Demands in Gb/s between aggregation blocks; row = source.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(int nodes);
+
+  int nodes() const { return nodes_; }
+  double at(int src, int dst) const;
+  void set(int src, int dst, double gbps);
+  double RowSum(int src) const;
+  double ColSum(int dst) const;
+  double Total() const;
+  /// Scales every entry by `factor`.
+  TrafficMatrix Scaled(double factor) const;
+  /// Largest single demand over the mean demand — the skew statistic.
+  double SkewRatio() const;
+
+ private:
+  int nodes_;
+  std::vector<double> demand_;  // row-major, diagonal zero
+};
+
+/// Every pair carries `total_gbps / (n*(n-1))`.
+TrafficMatrix UniformTraffic(int nodes, double total_gbps);
+
+/// Gravity model: node weights ~ Exp(1); demand ij ~ w_i * w_j.
+TrafficMatrix GravityTraffic(int nodes, double total_gbps, common::Rng& rng);
+
+/// `hotspots` node pairs carry `hot_fraction` of the total; the rest is
+/// uniform. Models the long-lived heavy elephant aggregates of §2.1.
+/// Hotspot endpoints may repeat, so heavily loaded blocks can end up
+/// hose-bound (no topology helps those).
+TrafficMatrix HotspotTraffic(int nodes, double total_gbps, int hotspots,
+                             double hot_fraction, common::Rng& rng);
+
+/// Like HotspotTraffic but every hotspot occupies a distinct pair of blocks
+/// (requires 2*hotspots <= nodes): the service-to-service elephants where
+/// topology engineering shines, because the per-block port budget is not
+/// the binding constraint.
+TrafficMatrix DisjointHotspotTraffic(int nodes, double total_gbps, int hotspots,
+                                     double hot_fraction, common::Rng& rng);
+
+/// Rotates the hotspot pairs by `step` positions — the "shifting with the
+/// turnup and turndown of services" pattern; used to exercise
+/// reconfiguration.
+TrafficMatrix RotateHotspots(const TrafficMatrix& matrix, int step);
+
+}  // namespace lightwave::sim

@@ -1,0 +1,108 @@
+#include "sim/training_run.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lightwave::sim {
+
+TrainingRunResult SimulateTrainingRun(const TrainingRunConfig& config) {
+  assert(config.shape.CubeCount() <= config.pod_cubes);
+  common::Rng rng(config.seed);
+  const LlmPerfModel model;
+  const double step_hours =
+      model.StepTime(config.workload, config.shape).total_us * 1e-6 / 3600.0;
+  const double checkpoint_hours = config.checkpoint_interval_steps * step_hours;
+  const double swap_downtime_hours =
+      (config.reconfig_ms * 1e-3 + config.link_init.TotalBringupUs() * 1e-6) / 3600.0 +
+      step_hours;  // + checkpoint reload, modeled as one step time
+
+  const int slice_cubes = config.shape.CubeCount();
+  int spare_pool = config.pod_cubes - slice_cubes;
+
+  TrainingRunResult result;
+  double now = 0.0;
+  double useful = 0.0;            // accumulated useful compute time
+  double since_checkpoint = 0.0;  // useful time since the last checkpoint
+  // Completion times of cubes under hardware repair (they rejoin the pool).
+  std::priority_queue<double, std::vector<double>, std::greater<>> repairs;
+
+  const double failure_rate = config.pod_cubes / config.cube_mtbf_hours;  // per hour
+  while (now < config.run_hours) {
+    const double to_failure = rng.Exponential(failure_rate);
+    const double horizon = std::min(now + to_failure, config.run_hours);
+    // Progress until the next event.
+    double progress = horizon - now;
+    now = horizon;
+    useful += progress;
+    since_checkpoint = std::fmod(since_checkpoint + progress, checkpoint_hours);
+    if (now >= config.run_hours) break;
+
+    // Return any repaired cubes whose MTTR elapsed.
+    while (!repairs.empty() && repairs.top() <= now) {
+      ++spare_pool;
+      repairs.pop();
+    }
+
+    // A cube failed somewhere in the pod.
+    const bool hit_slice =
+        rng.NextDouble() < static_cast<double>(slice_cubes) / config.pod_cubes;
+    if (!hit_slice) {
+      // An idle spare died: pool shrinks until its repair completes.
+      if (spare_pool > 0) {
+        --spare_pool;
+        repairs.push(now + config.cube_repair_hours);
+      }
+      continue;
+    }
+
+    ++result.failures;
+    // Roll back to the last checkpoint.
+    useful -= since_checkpoint;
+    result.steps_lost_to_rollback +=
+        static_cast<std::uint64_t>(since_checkpoint / step_hours);
+    since_checkpoint = 0.0;
+    // The failed cube goes to hardware repair either way.
+    repairs.push(now + config.cube_repair_hours);
+
+    if (config.reconfigurable) {
+      if (spare_pool == 0) {
+        // Stall until the earliest repair returns a cube to the pool.
+        if (!repairs.empty()) {
+          const double wait = std::max(0.0, repairs.top() - now);
+          result.stall_hours += wait;
+          now += wait;
+          while (!repairs.empty() && repairs.top() <= now) {
+            ++spare_pool;
+            repairs.pop();
+          }
+        }
+      }
+      if (spare_pool > 0) {
+        --spare_pool;
+        ++result.cube_swaps;
+        now += swap_downtime_hours;
+        result.stall_hours += swap_downtime_hours;
+      }
+    } else {
+      // Static fabric: wait out this cube's hardware repair, then reload.
+      const double wait = config.cube_repair_hours + step_hours;
+      result.stall_hours += wait;
+      now += wait;
+      while (!repairs.empty() && repairs.top() <= now) {
+        ++spare_pool;
+        repairs.pop();
+      }
+    }
+  }
+
+  result.steps_completed = static_cast<std::uint64_t>(useful / step_hours);
+  result.goodput = config.run_hours > 0.0 ? useful / config.run_hours : 0.0;
+  return result;
+}
+
+}  // namespace lightwave::sim

@@ -1,0 +1,54 @@
+// Event-driven simulation of a long training run on a superpod slice: steps
+// tick at the workload's step time; cube/host failures interrupt the job;
+// recovery differs by fabric:
+//   - reconfigurable: the scheduler swaps in a healthy spare cube (OCS
+//     reconfiguration + optical link bring-up) and the job restarts from the
+//     last checkpoint;
+//   - static: the job must wait for the failed cube itself to be repaired
+//     (hardware MTTR) before restarting.
+// The output — effective goodput (useful step time / wall clock) — is the
+// dynamic counterpart of the steady-state Fig. 15b analysis and quantifies
+// how the §4.2.2 availability mechanisms play out over a real run.
+#pragma once
+
+#include <cstdint>
+
+#include "ctrl/link_init.h"
+#include "sim/llm_model.h"
+#include "tpu/slice.h"
+
+namespace lightwave::sim {
+
+struct TrainingRunConfig {
+  LlmSpec workload = Llm1();
+  tpu::SliceShape shape{4, 4, 4};
+  /// Pod inventory: total cubes and how many the slice uses come from the
+  /// shape; the rest are spares (reconfigurable fabric only).
+  int pod_cubes = 64;
+  /// Per-cube MTBF (hours); failures hit uniformly at random cubes.
+  double cube_mtbf_hours = 4000.0;
+  /// Hardware repair time for a failed cube (static fabric waits for this).
+  double cube_repair_hours = 12.0;
+  /// Checkpoint every N steps; a failure loses progress since the last one.
+  int checkpoint_interval_steps = 50;
+  /// OCS reconfiguration time for the cube swap (MEMS class).
+  double reconfig_ms = 25.0;
+  ctrl::LinkInitTiming link_init;
+  double run_hours = 24.0 * 30.0;  // one month
+  std::uint64_t seed = 2718;
+  bool reconfigurable = true;
+};
+
+struct TrainingRunResult {
+  std::uint64_t steps_completed = 0;
+  std::uint64_t steps_lost_to_rollback = 0;
+  int failures = 0;
+  int cube_swaps = 0;        // reconfigurable repairs
+  double stall_hours = 0.0;  // waiting for hardware repair (static) or spares
+  /// Useful compute time / wall-clock.
+  double goodput = 0.0;
+};
+
+TrainingRunResult SimulateTrainingRun(const TrainingRunConfig& config);
+
+}  // namespace lightwave::sim

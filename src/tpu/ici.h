@@ -1,0 +1,17 @@
+// Inter-chip-interconnect (ICI) link parameters for TPU v4: per-direction
+// link bandwidth and the per-hop latencies of the two link classes —
+// electrical intra-cube and optical inter-cube through an OCS (which adds
+// only deterministic propagation, §3.2.1).
+#pragma once
+
+namespace lightwave::tpu {
+
+struct IciLinkSpec {
+  /// Per-direction bandwidth of one ICI link in Gb/s (TPU v4 class,
+  /// 50 GB/s).
+  double bandwidth_gbps = 50.0 * 8.0;
+  double electrical_hop_us = 0.3;
+  double optical_hop_us = 0.5;
+};
+
+}  // namespace lightwave::tpu

@@ -1,0 +1,133 @@
+#include "tpu/ndtorus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace lightwave::tpu {
+
+NdTorus::NdTorus(std::vector<int> dims) : dims_(std::move(dims)) {
+  assert(!dims_.empty());
+  for (int d : dims_) {
+    assert(d >= 1);
+    (void)d;
+  }
+  std::sort(dims_.rbegin(), dims_.rend());
+}
+
+NdTorus NdTorus::Balanced(int dimensions, int nodes) {
+  assert(dimensions >= 1 && nodes >= 1);
+  // Greedy: repeatedly split off the largest factor <= nodes^(1/remaining).
+  std::vector<int> dims;
+  long long remaining = nodes;
+  for (int d = dimensions; d >= 1; --d) {
+    if (d == 1) {
+      dims.push_back(static_cast<int>(remaining));
+      break;
+    }
+    const int target = static_cast<int>(
+        std::round(std::pow(static_cast<double>(remaining), 1.0 / d)));
+    // Find the divisor of `remaining` closest to target.
+    int best = 1;
+    for (int f = 1; static_cast<long long>(f) * f <= remaining; ++f) {
+      if (remaining % f != 0) continue;
+      const int g = static_cast<int>(remaining / f);
+      for (int candidate : {f, g}) {
+        if (std::abs(candidate - target) < std::abs(best - target)) best = candidate;
+      }
+    }
+    dims.push_back(best);
+    remaining /= best;
+  }
+  return NdTorus(std::move(dims));
+}
+
+long long NdTorus::NodeCount() const {
+  long long n = 1;
+  for (int d : dims_) n *= d;
+  return n;
+}
+
+std::string NdTorus::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out << "x";
+    out << dims_[i];
+  }
+  return out.str();
+}
+
+int NdTorus::LinksPerNode() const {
+  int links = 0;
+  for (int d : dims_) {
+    if (d >= 3) {
+      links += 2;
+    } else if (d == 2) {
+      links += 1;
+    }
+  }
+  return links;
+}
+
+long long NdTorus::BisectionLinks() const {
+  // Worst planar cut severs the longest dimension; every ring along it
+  // crosses twice (wraparound), one ring per node of the cross-section.
+  const int longest = dims_.front();
+  if (longest < 2) return 0;
+  const long long cross_section = NodeCount() / longest;
+  return 2 * cross_section;
+}
+
+int NdTorus::Diameter() const {
+  int total = 0;
+  for (int d : dims_) total += d / 2;
+  return total;
+}
+
+double NdTorus::MeanDistance() const {
+  double total = 0.0;
+  for (int d : dims_) {
+    double sum = 0.0;
+    for (int delta = 0; delta < d; ++delta) sum += std::min(delta, d - delta);
+    total += sum / d;
+  }
+  return total;
+}
+
+double NdTorus::AllReduceUs(double bytes, const IciLinkSpec& spec,
+                            double optical_fraction) const {
+  const double gbytes_per_us = 2.0 * spec.bandwidth_gbps / 8.0 / 1e6;
+  const double hop_us = optical_fraction * spec.optical_hop_us +
+                        (1.0 - optical_fraction) * spec.electrical_hop_us;
+  double shard = bytes;
+  double bandwidth_us = 0.0;
+  double latency_us = 0.0;
+  // Reduce-scatter down each dimension, then all-gather back: per dim of
+  // length L the two phases move 2 * shard * (L-1)/L and cost 2*(L-1) hops.
+  for (int d : dims_) {
+    if (d < 2) continue;
+    bandwidth_us += 2.0 * (shard / 1e9) * (d - 1) / d / gbytes_per_us;
+    latency_us += 2.0 * (d - 1) * hop_us;
+    shard /= d;
+  }
+  return bandwidth_us + latency_us;
+}
+
+std::vector<TorusComparisonRow> CompareTorusDimensionalities(
+    int nodes, const std::vector<int>& dimensionalities, double bytes,
+    const IciLinkSpec& spec) {
+  std::vector<TorusComparisonRow> rows;
+  for (int d : dimensionalities) {
+    TorusComparisonRow row{.torus = NdTorus::Balanced(d, nodes)};
+    row.bisection_links = row.torus.BisectionLinks();
+    row.diameter = row.torus.Diameter();
+    row.mean_distance = row.torus.MeanDistance();
+    row.links_per_node = row.torus.LinksPerNode();
+    row.allreduce_us = row.torus.AllReduceUs(bytes, spec);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace lightwave::tpu

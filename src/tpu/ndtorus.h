@@ -1,0 +1,72 @@
+// Higher-dimensional torus analysis (§6 future work): "supporting
+// higher-dimensional topologies such as a 4D or 6D torus that has a larger
+// bisection bandwidth, lower latency and greater scalability compared to a
+// 3D torus." This module generalizes the torus metrics to N dimensions so
+// that the 3D-vs-4D-vs-6D trade-off can be quantified at fixed node count:
+// bisection links, hop diameter, mean hop distance, per-node link (radix)
+// cost, and the all-reduce cost on the dimension-ordered ring algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tpu/ici.h"
+
+namespace lightwave::tpu {
+
+class NdTorus {
+ public:
+  /// dims[i] >= 2 for a true ring in that dimension (length-1 dims are
+  /// allowed and contribute nothing).
+  explicit NdTorus(std::vector<int> dims);
+
+  /// The most-balanced N-dimensional shape for `nodes` (factors as equal as
+  /// possible, largest dims first); requires nodes to admit one.
+  static NdTorus Balanced(int dimensions, int nodes);
+
+  const std::vector<int>& dims() const { return dims_; }
+  int dimension_count() const { return static_cast<int>(dims_.size()); }
+  long long NodeCount() const;
+  std::string ToString() const;
+
+  /// Bidirectional links per node (torus radix): 2 per dimension of length
+  /// >= 3, 1 for length-2 dimensions (the two directions coincide).
+  int LinksPerNode() const;
+
+  /// Links crossing the worst-case planar bisection: cutting the longest
+  /// dimension severs 2 * (nodes / longest) rings... each ring crosses
+  /// twice (wraparound), so links = 2 * nodes / longest.
+  long long BisectionLinks() const;
+
+  /// Hop diameter: sum over dims of floor(L/2).
+  int Diameter() const;
+
+  /// Mean shortest-path hops between uniform endpoints.
+  double MeanDistance() const;
+
+  /// All-reduce time for `bytes` using per-dimension rings (the
+  /// dimension-ordered reduce-scatter/all-gather algorithm), all hops at
+  /// `spec.electrical_hop_us`-class latency weighted by `optical_fraction`.
+  double AllReduceUs(double bytes, const IciLinkSpec& spec = {},
+                     double optical_fraction = 0.25) const;
+
+ private:
+  std::vector<int> dims_;
+};
+
+struct TorusComparisonRow {
+  NdTorus torus;
+  long long bisection_links = 0;
+  int diameter = 0;
+  double mean_distance = 0.0;
+  int links_per_node = 0;
+  double allreduce_us = 0.0;
+};
+
+/// Compares balanced 2D/3D/4D/6D tori at the same node count (the §6
+/// argument). `bytes` sets the all-reduce payload.
+std::vector<TorusComparisonRow> CompareTorusDimensionalities(
+    int nodes, const std::vector<int>& dimensionalities, double bytes,
+    const IciLinkSpec& spec = {});
+
+}  // namespace lightwave::tpu

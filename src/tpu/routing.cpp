@@ -1,0 +1,163 @@
+#include "tpu/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+namespace lightwave::tpu {
+
+SliceChipCoord SliceChipDims(const SliceShape& shape) {
+  return SliceChipCoord{
+      .x = shape.ChipDim(Dim::kX),
+      .y = shape.ChipDim(Dim::kY),
+      .z = shape.ChipDim(Dim::kZ),
+  };
+}
+
+namespace {
+
+int& Component(SliceChipCoord& c, Dim d) {
+  switch (d) {
+    case Dim::kX: return c.x;
+    case Dim::kY: return c.y;
+    case Dim::kZ: return c.z;
+  }
+  return c.x;
+}
+
+int ComponentOf(const SliceChipCoord& c, Dim d) {
+  switch (d) {
+    case Dim::kX: return c.x;
+    case Dim::kY: return c.y;
+    case Dim::kZ: return c.z;
+  }
+  return c.x;
+}
+
+/// Whether stepping from `v` in `direction` crosses a cube boundary (and
+/// therefore rides an optical OCS link — including the wraparound of a
+/// single-cube dimension, which self-loops through the OCS).
+bool CrossesBoundary(int v, int direction, int length) {
+  if (direction > 0) {
+    return ((v + 1) % length) % kCubeEdge == 0;
+  }
+  return v % kCubeEdge == 0;
+}
+
+}  // namespace
+
+TorusRouter::TorusRouter(SliceShape shape, IciLinkSpec link_spec)
+    : shape_(shape), link_spec_(link_spec) {
+  assert(shape.a >= 1 && shape.b >= 1 && shape.c >= 1);
+}
+
+int TorusRouter::DimLengthChips(Dim d) const { return shape_.ChipDim(d); }
+
+bool TorusRouter::Contains(const SliceChipCoord& c) const {
+  return c.x >= 0 && c.x < DimLengthChips(Dim::kX) && c.y >= 0 &&
+         c.y < DimLengthChips(Dim::kY) && c.z >= 0 && c.z < DimLengthChips(Dim::kZ);
+}
+
+Route TorusRouter::ComputeRoute(const SliceChipCoord& src, const SliceChipCoord& dst) const {
+  assert(Contains(src) && Contains(dst));
+  Route route;
+  SliceChipCoord cur = src;
+  for (Dim d : kAllDims) {
+    const int length = DimLengthChips(d);
+    const int from = ComponentOf(cur, d);
+    const int to = ComponentOf(dst, d);
+    int delta = (to - from) % length;
+    if (delta < 0) delta += length;
+    int direction = 1;
+    int steps = delta;
+    if (delta > length / 2) {  // shorter way around; ties break toward +
+      direction = -1;
+      steps = length - delta;
+    }
+    for (int s = 0; s < steps; ++s) {
+      Hop hop;
+      hop.dim = d;
+      hop.direction = direction;
+      hop.from = cur;
+      const int v = ComponentOf(cur, d);
+      hop.optical = CrossesBoundary(v, direction, length);
+      int next = (v + direction) % length;
+      if (next < 0) next += length;
+      Component(cur, d) = next;
+      hop.to = cur;
+      route.hops.push_back(hop);
+      if (hop.optical) {
+        ++route.optical_hops;
+        route.latency_us += link_spec_.optical_hop_us;
+      } else {
+        ++route.electrical_hops;
+        route.latency_us += link_spec_.electrical_hop_us;
+      }
+    }
+  }
+  assert(cur == dst);
+  return route;
+}
+
+int TorusRouter::Distance(const SliceChipCoord& src, const SliceChipCoord& dst) const {
+  int total = 0;
+  for (Dim d : kAllDims) {
+    const int length = DimLengthChips(d);
+    int delta = (ComponentOf(dst, d) - ComponentOf(src, d)) % length;
+    if (delta < 0) delta += length;
+    total += std::min(delta, length - delta);
+  }
+  return total;
+}
+
+int TorusRouter::DiameterHops() const {
+  int total = 0;
+  for (Dim d : kAllDims) total += DimLengthChips(d) / 2;
+  return total;
+}
+
+double TorusRouter::MeanDistanceHops() const {
+  double total = 0.0;
+  for (Dim d : kAllDims) {
+    const int length = DimLengthChips(d);
+    // E[min(delta, L - delta)] over uniform delta in [0, L): L/4 for even L.
+    double sum = 0.0;
+    for (int delta = 0; delta < length; ++delta) {
+      sum += std::min(delta, length - delta);
+    }
+    total += sum / length;
+  }
+  return total;
+}
+
+TorusRouter::LinkLoad TorusRouter::AnalyzeLoad(
+    const std::vector<std::pair<SliceChipCoord, SliceChipCoord>>& pairs) const {
+  // Directed link key: (x, y, z, dim, direction(0/1)).
+  std::map<std::tuple<int, int, int, int, int>, std::pair<int, bool>> loads;
+  LinkLoad result;
+  for (const auto& [src, dst] : pairs) {
+    const Route route = ComputeRoute(src, dst);
+    result.total_hops += static_cast<std::int64_t>(route.hops.size());
+    for (const auto& hop : route.hops) {
+      auto key = std::make_tuple(hop.from.x, hop.from.y, hop.from.z,
+                                 static_cast<int>(hop.dim), hop.direction > 0 ? 1 : 0);
+      auto& entry = loads[key];
+      ++entry.first;
+      entry.second = hop.optical;
+    }
+  }
+  double sum = 0.0;
+  for (const auto& [key, entry] : loads) {
+    sum += entry.first;
+    if (entry.second) {
+      result.peak_optical = std::max(result.peak_optical, entry.first);
+    } else {
+      result.peak_electrical = std::max(result.peak_electrical, entry.first);
+    }
+  }
+  result.mean_load = loads.empty() ? 0.0 : sum / static_cast<double>(loads.size());
+  return result;
+}
+
+}  // namespace lightwave::tpu

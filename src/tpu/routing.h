@@ -1,0 +1,85 @@
+// Chip-level routing on a slice torus. In normal operation "the routing is
+// deterministic and set by the slice configuration" (§4.2.1): dimension-
+// ordered shortest-path routing on the 3D torus, taking the shorter way
+// around each ring (wraparound links included). Each hop is classified as
+// electrical (intra-cube ICI) or optical (inter-cube, through an OCS),
+// which gives per-path latency and lets the load analysis distinguish the
+// two link classes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tpu/ici.h"
+#include "tpu/slice.h"
+
+namespace lightwave::tpu {
+
+/// Chip coordinate within a slice (chip units, 0 <= v < 4*dim_cubes).
+struct SliceChipCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  auto operator<=>(const SliceChipCoord&) const = default;
+};
+
+struct Hop {
+  Dim dim = Dim::kX;
+  /// +1 or -1 along the ring.
+  int direction = 1;
+  SliceChipCoord from;
+  SliceChipCoord to;
+  /// True when the hop crosses a cube boundary (rides an OCS link).
+  bool optical = false;
+};
+
+struct Route {
+  std::vector<Hop> hops;
+  int electrical_hops = 0;
+  int optical_hops = 0;
+  double latency_us = 0.0;
+};
+
+/// Chips along each dim for a shape (4 * cube dims).
+SliceChipCoord SliceChipDims(const SliceShape& shape);
+
+class TorusRouter {
+ public:
+  explicit TorusRouter(SliceShape shape, IciLinkSpec link_spec = {});
+
+  const SliceShape& shape() const { return shape_; }
+
+  int DimLengthChips(Dim d) const;
+  bool Contains(const SliceChipCoord& c) const;
+
+  /// Dimension-ordered (x, then y, then z) shortest-path route; ties on
+  /// ring direction break toward +.
+  Route ComputeRoute(const SliceChipCoord& src, const SliceChipCoord& dst) const;
+
+  /// Shortest-path hop distance (sum over dims of min(d, L-d)).
+  int Distance(const SliceChipCoord& src, const SliceChipCoord& dst) const;
+
+  /// Max shortest-path distance over all pairs.
+  int DiameterHops() const;
+  /// Mean per-dim shortest distance over uniform endpoints (closed form,
+  /// L/4 per even-length dimension), summed over dims.
+  double MeanDistanceHops() const;
+
+  /// Link-load analysis: routes every (src, dst) pair and counts traversals
+  /// per directed link.
+  struct LinkLoad {
+    int peak_electrical = 0;
+    int peak_optical = 0;
+    double mean_load = 0.0;  // over links that carried traffic
+    std::int64_t total_hops = 0;
+  };
+  LinkLoad AnalyzeLoad(
+      const std::vector<std::pair<SliceChipCoord, SliceChipCoord>>& pairs) const;
+
+ private:
+  SliceShape shape_;
+  IciLinkSpec link_spec_;
+};
+
+}  // namespace lightwave::tpu

@@ -1,0 +1,163 @@
+#include "tpu/superpod.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace lightwave::tpu {
+
+using common::Result;
+using common::Status;
+
+Superpod::Superpod(std::uint64_t seed, int cubes, int ocs_per_dim)
+    : plan_(cubes, ocs_per_dim) {
+  assert(cubes <= ocs::kPalomarUsablePorts);
+  common::Rng rng(seed);
+  cubes_.reserve(static_cast<std::size_t>(cubes));
+  for (int i = 0; i < cubes; ++i) cubes_.emplace_back(i);
+  const int ocs_total = plan_.ocs_count();
+  switches_.reserve(static_cast<std::size_t>(ocs_total));
+  for (int i = 0; i < ocs_total; ++i) {
+    switches_.push_back(std::make_unique<ocs::PalomarSwitch>(
+        rng.NextU64(), "ocs-" + std::to_string(i)));
+  }
+  ocs_up_.assign(static_cast<std::size_t>(ocs_total), true);
+}
+
+Result<SliceId> Superpod::InstallSlice(const SliceTopology& topology) {
+  for (int id : topology.cube_ids()) {
+    if (id >= cube_count()) {
+      return common::InvalidArgument("cube id out of range");
+    }
+    if (!cubes_[static_cast<std::size_t>(id)].Healthy()) {
+      return common::FailedPrecondition("cube " + std::to_string(id) + " unhealthy");
+    }
+    if (cube_owner_.contains(id)) {
+      return common::AlreadyExists("cube " + std::to_string(id) + " owned by a slice");
+    }
+  }
+
+  auto wanted = topology.OcsConnections(plan_);
+  // Single-cube slices have self-loop-only rings; they still program the
+  // wraparound so the cube sees a closed 4x4x4 torus.
+  double install_ms = 0.0;
+  std::map<int, std::map<int, int>> installed;
+  for (const auto& [ocs_id, new_conns] : wanted) {
+    if (!ocs_up_[static_cast<std::size_t>(ocs_id)]) {
+      return common::Unavailable("ocs " + std::to_string(ocs_id) + " is down");
+    }
+    ocs::PalomarSwitch& sw = ocs(ocs_id);
+    // Merge: current connections stay; slice connections are added.
+    std::map<int, int> target;
+    for (const auto& conn : sw.Connections()) target[conn.north] = conn.south;
+    const std::size_t before = target.size();
+    for (const auto& [n, s] : new_conns) target[n] = s;
+    if (target.size() != before + new_conns.size()) {
+      return common::Internal("port conflict merging slice into ocs " +
+                              std::to_string(ocs_id));
+    }
+    auto report = sw.Reconfigure(target);
+    if (!report.ok()) return report.error();
+    // The undisturbed guarantee: everything previously connected stayed.
+    if (report.value().undisturbed.size() != before || !report.value().removed.empty()) {
+      return common::Internal("reconfiguration disturbed existing slices");
+    }
+    install_ms = std::max(install_ms, report.value().duration_ms);
+    installed[ocs_id] = new_conns;
+  }
+
+  const SliceId id = next_slice_id_++;
+  for (int cube_id : topology.cube_ids()) cube_owner_[cube_id] = id;
+  slices_.emplace(id, InstalledSlice{
+                          .id = id,
+                          .topology = topology,
+                          .connections = std::move(installed),
+                          .install_time_ms = install_ms,
+                      });
+  return id;
+}
+
+Status Superpod::RemoveSlice(SliceId id) {
+  auto it = slices_.find(id);
+  if (it == slices_.end()) return common::NotFound("no such slice");
+  for (const auto& [ocs_id, conns] : it->second.connections) {
+    if (!ocs_up_[static_cast<std::size_t>(ocs_id)]) continue;  // down: nothing to tear
+    ocs::PalomarSwitch& sw = ocs(ocs_id);
+    std::map<int, int> target;
+    for (const auto& conn : sw.Connections()) target[conn.north] = conn.south;
+    for (const auto& [n, s] : conns) {
+      auto t = target.find(n);
+      if (t != target.end() && t->second == s) target.erase(t);
+    }
+    auto report = sw.Reconfigure(target);
+    if (!report.ok()) return report.error();
+  }
+  for (int cube_id : it->second.topology.cube_ids()) cube_owner_.erase(cube_id);
+  slices_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<SliceId> Superpod::SliceOwningCube(int cube_id) const {
+  auto it = cube_owner_.find(cube_id);
+  if (it == cube_owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<int> Superpod::FreeHealthyCubes() const {
+  std::vector<int> free;
+  for (int i = 0; i < cube_count(); ++i) {
+    if (cubes_[static_cast<std::size_t>(i)].Healthy() && !cube_owner_.contains(i)) {
+      free.push_back(i);
+    }
+  }
+  return free;
+}
+
+void Superpod::FailOcs(int ocs_id) {
+  assert(ocs_id >= 0 && ocs_id < ocs_count());
+  ocs_up_[static_cast<std::size_t>(ocs_id)] = false;
+}
+
+void Superpod::RepairOcs(int ocs_id) {
+  assert(ocs_id >= 0 && ocs_id < ocs_count());
+  ocs_up_[static_cast<std::size_t>(ocs_id)] = true;
+  // Mirror state is volatile: re-establish every connection the running
+  // slices expect on this switch.
+  ocs::PalomarSwitch& sw = ocs(ocs_id);
+  std::map<int, int> target;
+  for (const auto& conn : sw.Connections()) target[conn.north] = conn.south;
+  for (const auto& [id, slice] : slices_) {
+    auto it = slice.connections.find(ocs_id);
+    if (it == slice.connections.end()) continue;
+    for (const auto& [n, s] : it->second) target[n] = s;
+  }
+  (void)sw.Reconfigure(target);
+}
+
+bool Superpod::OcsHealthy(int ocs_id) const {
+  assert(ocs_id >= 0 && ocs_id < ocs_count());
+  return ocs_up_[static_cast<std::size_t>(ocs_id)];
+}
+
+bool Superpod::SliceDegraded(SliceId id) const {
+  auto it = slices_.find(id);
+  assert(it != slices_.end());
+  const InstalledSlice& slice = it->second;
+  for (int cube_id : slice.topology.cube_ids()) {
+    if (!cubes_[static_cast<std::size_t>(cube_id)].Healthy()) return true;
+  }
+  if (slice.topology.cube_ids().size() > 1) {
+    for (const auto& [ocs_id, conns] : slice.connections) {
+      if (!ocs_up_[static_cast<std::size_t>(ocs_id)]) return true;
+    }
+  }
+  return false;
+}
+
+double Superpod::TotalReconfigMs() const {
+  double total = 0.0;
+  for (const auto& sw : switches_) total += sw->telemetry().cumulative_switch_ms;
+  return total;
+}
+
+}  // namespace lightwave::tpu

@@ -1,0 +1,85 @@
+// The TPU v4 superpod (Fig. 14): 64 electrically-wired 4x4x4 cubes joined by
+// a lightwave fabric of 48 Palomar OCSes. Slices are installed by merging
+// their per-OCS connection sets into the running switch configurations;
+// the switches' undisturbed-reconfiguration guarantee means installing or
+// removing one slice never blips another (§4.2.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "ocs/palomar.h"
+#include "tpu/cube.h"
+#include "tpu/slice.h"
+#include "tpu/wiring.h"
+
+namespace lightwave::tpu {
+
+using SliceId = std::uint64_t;
+
+struct InstalledSlice {
+  SliceId id = 0;
+  SliceTopology topology;
+  /// The connections the slice owns, per OCS (north -> south).
+  std::map<int, std::map<int, int>> connections;
+  double install_time_ms = 0.0;
+};
+
+class Superpod {
+ public:
+  explicit Superpod(std::uint64_t seed, int cubes = kCubesPerPod,
+                    int ocs_per_dim = kOcsPerDim);
+
+  int cube_count() const { return static_cast<int>(cubes_.size()); }
+  int ocs_count() const { return static_cast<int>(switches_.size()); }
+  const WiringPlan& plan() const { return plan_; }
+
+  Cube& cube(int id) { return cubes_[static_cast<std::size_t>(id)]; }
+  const Cube& cube(int id) const { return cubes_[static_cast<std::size_t>(id)]; }
+  ocs::PalomarSwitch& ocs(int id) { return *switches_[static_cast<std::size_t>(id)]; }
+  const ocs::PalomarSwitch& ocs(int id) const {
+    return *switches_[static_cast<std::size_t>(id)];
+  }
+
+  /// Installs a slice. Fails (leaving the fabric untouched) when a cube is
+  /// out of range, unhealthy, or already owned by a running slice, or when
+  /// an OCS rejects the reconfiguration.
+  common::Result<SliceId> InstallSlice(const SliceTopology& topology);
+
+  common::Status RemoveSlice(SliceId id);
+
+  const std::map<SliceId, InstalledSlice>& slices() const { return slices_; }
+  std::optional<SliceId> SliceOwningCube(int cube_id) const;
+
+  /// Cubes that are healthy and not owned by any slice.
+  std::vector<int> FreeHealthyCubes() const;
+
+  /// --- failure injection ---------------------------------------------------
+  void FailOcs(int ocs_id);
+  void RepairOcs(int ocs_id);
+  bool OcsHealthy(int ocs_id) const;
+
+  /// A slice is degraded when any owning cube is unhealthy or any OCS
+  /// carrying its connections is down. Single-cube slices never depend on
+  /// the fabric (§4.2.2: "no reconfiguration between cubes is used").
+  bool SliceDegraded(SliceId id) const;
+
+  /// Wall-clock spent reconfiguring switches since construction.
+  double TotalReconfigMs() const;
+
+ private:
+  WiringPlan plan_;
+  std::vector<Cube> cubes_;
+  std::vector<std::unique_ptr<ocs::PalomarSwitch>> switches_;
+  std::vector<bool> ocs_up_;
+  std::map<SliceId, InstalledSlice> slices_;
+  std::map<int, SliceId> cube_owner_;
+  SliceId next_slice_id_ = 1;
+};
+
+}  // namespace lightwave::tpu

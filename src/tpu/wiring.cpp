@@ -1,0 +1,47 @@
+#include "tpu/wiring.h"
+
+#include <cassert>
+
+namespace lightwave::tpu {
+
+WiringPlan::WiringPlan(int cubes, int ocs_per_dim) : cubes_(cubes), ocs_per_dim_(ocs_per_dim) {
+  assert(cubes > 0 && ocs_per_dim > 0);
+}
+
+int WiringPlan::OcsFor(Dim dim, int face_index) const {
+  assert(face_index >= 0 && face_index < ocs_per_dim_);
+  return static_cast<int>(dim) * ocs_per_dim_ + face_index;
+}
+
+OcsAssignment WiringPlan::AssignmentFor(int cube, Dim dim, int face_index) const {
+  assert(cube >= 0 && cube < cubes_);
+  return OcsAssignment{
+      .ocs_id = OcsFor(dim, face_index),
+      .north_port = cube,
+      .south_port = cube,
+  };
+}
+
+Dim WiringPlan::DimOfOcs(int ocs_id) const {
+  assert(ocs_id >= 0 && ocs_id < ocs_count());
+  return static_cast<Dim>(ocs_id / ocs_per_dim_);
+}
+
+int WiringPlan::FaceIndexOfOcs(int ocs_id) const {
+  assert(ocs_id >= 0 && ocs_id < ocs_count());
+  return ocs_id % ocs_per_dim_;
+}
+
+int OcsCountForTransceiver(bool bidirectional, int wavelengths_per_fiber) {
+  // Each cube face has 16 links x 6 faces = 96 optical connections carrying
+  // 8 optical lanes each (§4.2.2). With standard CWDM4 duplex modules each
+  // connection needs two fibers (two OCS port pairs across the plan) -> 96
+  // OCSes; CWDM4 bidi folds each link onto one strand -> 48; CWDM8 bidi
+  // packs 8 lanes on one strand -> 24.
+  const int base = 96;
+  int count = bidirectional ? base / 2 : base;
+  if (wavelengths_per_fiber >= 8) count /= 2;
+  return count;
+}
+
+}  // namespace lightwave::tpu

@@ -1,0 +1,69 @@
+// Appendix-A wiring plan: each cube exposes 16 optical links per face; the
+// "+" and "-" faces of a dimension land on the SAME OCS, so each of the
+// 3 dims x 16 face positions = 48 OCSes carries one link pair from each of
+// the 64 cubes. Wiring cube c's +face link (i,j) to OCS north port c and its
+// -face link (i,j) to OCS south port c makes any ring over cubes — including
+// a self-loop wraparound — a set of bijective north->south connections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tpu/cube.h"
+
+namespace lightwave::tpu {
+
+inline constexpr int kCubesPerPod = 64;
+inline constexpr int kOcsPerDim = kFaceLinks;           // 16
+inline constexpr int kOcsPerPod = 3 * kOcsPerDim;       // 48
+inline constexpr int kChipsPerPod = kCubesPerPod * kChipsPerCube;  // 4096
+
+/// One optical inter-cube link endpoint.
+struct FacePort {
+  int cube = 0;
+  Dim dim = Dim::kX;
+  bool positive = true;  // +face or -face
+  int face_index = 0;    // 0..15, the (i,j) position on the face
+};
+
+/// Identifies an OCS within the pod and the ports a cube uses on it.
+struct OcsAssignment {
+  int ocs_id = 0;      // 0..47
+  int north_port = 0;  // +face lands here
+  int south_port = 0;  // -face lands here
+};
+
+class WiringPlan {
+ public:
+  /// Plan for `cubes` cubes with `ocs_per_dim` face positions per dimension
+  /// (16 for the production pod).
+  WiringPlan(int cubes = kCubesPerPod, int ocs_per_dim = kOcsPerDim);
+
+  int cube_count() const { return cubes_; }
+  int ocs_count() const { return 3 * ocs_per_dim_; }
+  int ocs_per_dim() const { return ocs_per_dim_; }
+
+  /// OCS carrying (dim, face_index); face_index in [0, ocs_per_dim).
+  int OcsFor(Dim dim, int face_index) const;
+  /// Port assignment for a cube on that OCS: cube c's +face -> north port c,
+  /// -face -> south port c.
+  OcsAssignment AssignmentFor(int cube, Dim dim, int face_index) const;
+
+  /// Inverse mapping: which (dim, face_index) an OCS carries.
+  Dim DimOfOcs(int ocs_id) const;
+  int FaceIndexOfOcs(int ocs_id) const;
+
+  /// Total optical links leaving each cube (96 for the production pod;
+  /// bundled pairwise into 48 duplex OCS ports).
+  int OpticalLinksPerCube() const { return 2 * 3 * ocs_per_dim_; }
+
+ private:
+  int cubes_;
+  int ocs_per_dim_;
+};
+
+/// OCS count required for a pod as a function of transceiver technology
+/// (§4.2.2): standard CWDM4 duplex needs 96, CWDM4 bidi 48, CWDM8 bidi 24.
+int OcsCountForTransceiver(bool bidirectional, int wavelengths_per_fiber);
+
+}  // namespace lightwave::tpu

@@ -1,0 +1,129 @@
+// Tests for the camera monitor path: spot rendering, centroid extraction
+// accuracy, calibration round-trip, failure on lost spots, and closed-loop
+// alignment driven by the real image pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ocs/alignment.h"
+#include "ocs/camera.h"
+#include "ocs/mems.h"
+
+namespace lightwave::ocs {
+namespace {
+
+TEST(Camera, RenderedSpotCarriesEnergy) {
+  common::Rng rng(1);
+  const CameraSpec spec;
+  const auto image = RenderSpot(spec, 0.0, 0.0, rng);
+  EXPECT_EQ(image.width(), spec.roi_pixels);
+  // Spot energy ~ 2*pi*sigma^2*peak plus background.
+  const double expected_background = spec.background * spec.roi_pixels * spec.roi_pixels;
+  EXPECT_GT(image.Sum(), expected_background * 1.5);
+}
+
+TEST(Camera, CentroidAccurateOnCenteredSpot) {
+  common::Rng rng(2);
+  const CameraSpec spec;
+  const auto image = RenderSpot(spec, 0.0, 0.0, rng);
+  const auto centroid = ExtractCentroid(spec, image);
+  ASSERT_TRUE(centroid.has_value());
+  EXPECT_NEAR(centroid->x_pixels, 0.0, 0.15);
+  EXPECT_NEAR(centroid->y_pixels, 0.0, 0.15);
+}
+
+TEST(Camera, MeasurementRoundTripAccuracy) {
+  common::Rng rng(3);
+  const CameraSpec spec;
+  // Errors well inside the ROI: measured angle within ~3% + centroid noise.
+  for (double error : {1e-4, 5e-4, -8e-4, 1.5e-3}) {
+    double mx = 0.0, my = 0.0;
+    ASSERT_TRUE(MeasurePointingError(spec, error, -error / 2.0, rng, &mx, &my)) << error;
+    EXPECT_NEAR(mx, error, std::abs(error) * 0.1 + 3e-5) << error;
+    EXPECT_NEAR(my, -error / 2.0, std::abs(error) * 0.1 + 3e-5) << error;
+  }
+}
+
+TEST(Camera, CentroidPrecisionSubMicroradian) {
+  // Repeated measurements of the same small error: the rms spread is the
+  // centroid noise, far below the open-loop actuation error.
+  common::Rng rng(4);
+  const CameraSpec spec;
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    double mx = 0.0, my = 0.0;
+    ASSERT_TRUE(MeasurePointingError(spec, 2e-4, 0.0, rng, &mx, &my));
+    sum += mx;
+    sum_sq += mx * mx;
+  }
+  const double mean = sum / trials;
+  const double std = std::sqrt(std::max(0.0, sum_sq / trials - mean * mean));
+  EXPECT_LT(std, 2e-5);  // comfortably below kOpenLoopErrorStd = 2e-3
+}
+
+TEST(Camera, SpotOutsideRoiNotFound) {
+  common::Rng rng(5);
+  const CameraSpec spec;  // 16 px ROI: +-8 px ~ +-2e-3 rad
+  double mx = 0.0, my = 0.0;
+  EXPECT_FALSE(MeasurePointingError(spec, 0.02, 0.0, rng, &mx, &my));
+}
+
+TEST(Camera, DimSpotNotFound) {
+  common::Rng rng(6);
+  CameraSpec spec;
+  spec.peak_signal = 1.0;  // laser effectively off
+  const auto image = RenderSpot(spec, 0.0, 0.0, rng);
+  EXPECT_FALSE(ExtractCentroid(spec, image).has_value());
+}
+
+TEST(Camera, ClosedLoopAlignmentThroughImagePipeline) {
+  // Full loop with the real image processing: converges to the same regime
+  // as the abstract fast path.
+  common::Rng rng(7);
+  MemsArray array(rng);
+  array.Actuate(rng, 11, 0.004, -0.003);
+  AlignmentConfig config;
+  config.use_camera = true;
+  const AlignmentController controller(config);
+  const auto result = controller.Align(rng, array, 11);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(array.PointingError(11), 1e-4);
+}
+
+TEST(Camera, AcquisitionFallbackRecoversFarSpot) {
+  // Open-loop error far outside the tracking ROI: the wide-field
+  // acquisition fallback still walks the mirror in.
+  common::Rng rng(8);
+  MemsArray array(rng);
+  auto& m = array.mirror(array.PhysicalMirror(3));
+  array.Actuate(rng, 3, 0.0, 0.0);
+  m.actual_x = 0.03;  // ~15x the ROI half-width
+  m.actual_y = -0.02;
+  AlignmentConfig config;
+  config.use_camera = true;
+  const AlignmentController controller(config);
+  const auto result = controller.Align(rng, array, 3);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(array.PointingError(3), 1e-4);
+}
+
+TEST(Camera, FastPathNoiseMatchesCameraPipeline) {
+  // The abstract fast path's calibrated noise should land final residuals in
+  // the same decade as the camera pipeline.
+  common::Rng rng_cam(9), rng_fast(9);
+  MemsArray a(rng_cam), b(rng_fast);
+  a.Actuate(rng_cam, 0, 0.002, 0.001);
+  b.Actuate(rng_fast, 0, 0.002, 0.001);
+  AlignmentConfig with_camera;
+  with_camera.use_camera = true;
+  AlignmentConfig fast;
+  fast.use_camera = false;
+  (void)AlignmentController(with_camera).Align(rng_cam, a, 0);
+  (void)AlignmentController(fast).Align(rng_fast, b, 0);
+  EXPECT_LT(a.PointingError(0), 1e-4);
+  EXPECT_LT(b.PointingError(0), 1e-4);
+}
+
+}  // namespace
+}  // namespace lightwave::ocs

@@ -1,0 +1,324 @@
+// Unit tests for the control plane: wire primitives, frame envelope + CRC,
+// message round-trips, agent semantics (idempotent transactions), and the
+// fabric controller's retry behaviour over a lossy bus.
+#include <gtest/gtest.h>
+
+#include "ctrl/controller.h"
+#include "ctrl/messages.h"
+#include "ctrl/wire.h"
+#include "ocs/palomar.h"
+
+namespace lightwave::ctrl {
+namespace {
+
+// --- wire primitives -----------------------------------------------------------
+
+TEST(Wire, FixedWidthRoundTrip) {
+  WireWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutDouble(3.14159);
+  const auto buffer = w.buffer();
+  WireReader r(buffer);
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0x1234);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Wire, VarintRoundTrip) {
+  WireWriter w;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, 0xFFFFFFFFFFFFFFFFull};
+  for (auto v : values) w.PutVarint(v);
+  const auto buffer = w.buffer();
+  WireReader r(buffer);
+  for (auto v : values) EXPECT_EQ(r.GetVarint().value(), v);
+}
+
+TEST(Wire, VarintCompactness) {
+  WireWriter w;
+  w.PutVarint(5);
+  EXPECT_EQ(w.buffer().size(), 1u);
+}
+
+TEST(Wire, StringRoundTrip) {
+  WireWriter w;
+  w.PutString("hello fabric");
+  w.PutString("");
+  const auto buffer = w.buffer();
+  WireReader r(buffer);
+  EXPECT_EQ(r.GetString().value(), "hello fabric");
+  EXPECT_EQ(r.GetString().value(), "");
+}
+
+TEST(Wire, TruncatedReadsFail) {
+  WireWriter w;
+  w.PutU16(7);
+  const auto buffer = w.buffer();
+  WireReader r(buffer);
+  EXPECT_TRUE(r.GetU8().has_value());
+  EXPECT_FALSE(r.GetU32().has_value());
+}
+
+TEST(Wire, Crc32KnownVector) {
+  // CRC32 of "123456789" is the classic check value 0xCBF43926.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data, sizeof(data)), 0xCBF43926u);
+}
+
+// --- framing --------------------------------------------------------------------
+
+TEST(Frame, RoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto frame = FrameMessage(payload);
+  const auto opened = UnframeMessage(frame);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->version, kProtocolVersion);
+  EXPECT_EQ(opened->payload, payload);
+}
+
+TEST(Frame, CorruptionDetected) {
+  const std::vector<std::uint8_t> payload = {10, 20, 30};
+  auto frame = FrameMessage(payload);
+  frame[7] ^= 0x01;  // flip a payload bit
+  EXPECT_FALSE(UnframeMessage(frame).has_value());
+}
+
+TEST(Frame, TruncationDetected) {
+  auto frame = FrameMessage({1, 2, 3});
+  frame.pop_back();
+  EXPECT_FALSE(UnframeMessage(frame).has_value());
+}
+
+TEST(Frame, OldVersionRejected) {
+  const auto frame = FrameMessage({1}, /*version=*/1);
+  EXPECT_FALSE(UnframeMessage(frame).has_value());
+}
+
+TEST(Frame, SupportedOlderVersionAccepted) {
+  const auto frame = FrameMessage({1}, kMinSupportedVersion);
+  EXPECT_TRUE(UnframeMessage(frame).has_value());
+}
+
+// --- messages -------------------------------------------------------------------
+
+TEST(Messages, ReconfigureRequestRoundTrip) {
+  ReconfigureRequest msg;
+  msg.transaction_id = 77;
+  msg.target = {{0, 5}, {1, 6}, {127, 0}};
+  const auto decoded = DecodeReconfigureRequest(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->transaction_id, 77u);
+  EXPECT_EQ(decoded->target, msg.target);
+}
+
+TEST(Messages, ReconfigureReplyRoundTrip) {
+  ReconfigureReply msg;
+  msg.transaction_id = 9;
+  msg.ok = false;
+  msg.error = "port dead";
+  msg.established = 3;
+  msg.removed = 1;
+  msg.undisturbed = 40;
+  msg.duration_ms = 12.5;
+  const auto decoded = DecodeReconfigureReply(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->error, "port dead");
+  EXPECT_EQ(decoded->undisturbed, 40u);
+  EXPECT_DOUBLE_EQ(decoded->duration_ms, 12.5);
+}
+
+TEST(Messages, TelemetryRoundTrip) {
+  TelemetryReply msg;
+  msg.nonce = 4;
+  msg.connects = 100;
+  msg.power_draw_w = 104.5;
+  msg.chassis_operational = true;
+  const auto decoded = DecodeTelemetryReply(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->connects, 100u);
+  EXPECT_TRUE(decoded->chassis_operational);
+}
+
+TEST(Messages, PortSurveyRoundTrip) {
+  PortSurveyReply msg;
+  msg.nonce = 8;
+  msg.entries = {{.north = 1, .south = 2, .insertion_loss_db = 1.8, .return_loss_db = -45.0}};
+  const auto decoded = DecodePortSurveyReply(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded->entries[0].insertion_loss_db, 1.8);
+}
+
+TEST(Messages, PeekTypeAndCrossDecodeRejected) {
+  const auto frame = Encode(TelemetryRequest{.nonce = 1});
+  EXPECT_EQ(PeekType(frame).value(), MessageType::kTelemetryRequest);
+  EXPECT_FALSE(DecodeReconfigureRequest(frame).has_value());
+}
+
+// --- agent ----------------------------------------------------------------------
+
+TEST(Agent, ExecutesReconfigure) {
+  ocs::PalomarSwitch ocs(50);
+  OcsAgent agent(ocs);
+  const ReconfigureRequest request{.transaction_id = 1, .target = {{0, 1}, {2, 3}}};
+  const auto reply_frame = agent.Handle(Encode(request));
+  const auto reply = DecodeReconfigureReply(reply_frame);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok);
+  EXPECT_EQ(reply->established, 2u);
+  EXPECT_EQ(ocs.ConnectionCount(), 2);
+}
+
+TEST(Agent, RetriedTransactionIsIdempotent) {
+  ocs::PalomarSwitch ocs(51);
+  OcsAgent agent(ocs);
+  const ReconfigureRequest request{.transaction_id = 5, .target = {{0, 1}}};
+  const auto first = DecodeReconfigureReply(agent.Handle(Encode(request)));
+  const auto second = DecodeReconfigureReply(agent.Handle(Encode(request)));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->established, first->established);
+  // Only one reconfiguration actually ran.
+  EXPECT_EQ(ocs.telemetry().reconfigurations, 1u);
+}
+
+TEST(Agent, ReportsRejectedReconfigure) {
+  ocs::PalomarSwitch ocs(52);
+  OcsAgent agent(ocs);
+  const ReconfigureRequest request{.transaction_id = 2, .target = {{0, 1}, {3, 1}}};
+  const auto reply = DecodeReconfigureReply(agent.Handle(Encode(request)));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_FALSE(reply->error.empty());
+}
+
+TEST(Agent, DropsMalformedFrame) {
+  ocs::PalomarSwitch ocs(53);
+  OcsAgent agent(ocs);
+  std::vector<std::uint8_t> garbage = {1, 2, 3, 4};
+  EXPECT_TRUE(agent.Handle(garbage).empty());
+}
+
+TEST(Agent, AnswersTelemetryAndSurvey) {
+  ocs::PalomarSwitch ocs(54);
+  (void)ocs.Connect(0, 1);
+  OcsAgent agent(ocs);
+  const auto telemetry =
+      DecodeTelemetryReply(agent.Handle(Encode(TelemetryRequest{.nonce = 3})));
+  ASSERT_TRUE(telemetry.has_value());
+  EXPECT_EQ(telemetry->nonce, 3u);
+  EXPECT_EQ(telemetry->connects, 1u);
+  EXPECT_TRUE(telemetry->chassis_operational);
+  EXPECT_GT(telemetry->power_draw_w, 50.0);
+
+  const auto survey =
+      DecodePortSurveyReply(agent.Handle(Encode(PortSurveyRequest{.nonce = 4})));
+  ASSERT_TRUE(survey.has_value());
+  EXPECT_EQ(survey->entries.size(), 1u);
+}
+
+// --- bus + controller --------------------------------------------------------------
+
+TEST(Bus, LosslessByDefault) {
+  ocs::PalomarSwitch ocs(55);
+  OcsAgent agent(ocs);
+  MessageBus bus(1);
+  const auto reply = bus.RoundTrip(agent, Encode(TelemetryRequest{.nonce = 1}));
+  EXPECT_FALSE(reply.empty());
+  EXPECT_EQ(bus.frames_dropped(), 0u);
+}
+
+TEST(Bus, DropsAtConfiguredRate) {
+  ocs::PalomarSwitch ocs(56);
+  OcsAgent agent(ocs);
+  MessageBus bus(2);
+  bus.SetDropProbability(0.5);
+  int lost = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (bus.RoundTrip(agent, Encode(TelemetryRequest{.nonce = 1})).empty()) ++lost;
+  }
+  EXPECT_GT(lost, 100);  // two chances to drop per round trip
+  EXPECT_LT(lost, 190);
+}
+
+TEST(Bus, CorruptionCaughtByCrc) {
+  ocs::PalomarSwitch ocs(57);
+  OcsAgent agent(ocs);
+  MessageBus bus(3);
+  bus.SetCorruptProbability(1.0);
+  // Every frame is mangled; the CRC (or type check) rejects it and the
+  // round trip yields nothing — but never a wrong decode.
+  const auto reply = bus.RoundTrip(agent, Encode(TelemetryRequest{.nonce = 9}));
+  EXPECT_TRUE(reply.empty());
+  EXPECT_EQ(ocs.telemetry().reconfigurations, 0u);
+}
+
+TEST(Controller, AppliesTopologyAcrossAgents) {
+  ocs::PalomarSwitch ocs_a(58), ocs_b(59);
+  OcsAgent agent_a(ocs_a), agent_b(ocs_b);
+  MessageBus bus(4);
+  FabricController controller(bus);
+  controller.Register(0, &agent_a);
+  controller.Register(1, &agent_b);
+  const std::map<int, std::map<int, int>> targets = {{0, {{0, 1}}}, {1, {{2, 3}, {4, 5}}}};
+  const auto result = controller.ApplyTopology(targets);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(ocs_a.ConnectionCount(), 1);
+  EXPECT_EQ(ocs_b.ConnectionCount(), 2);
+  EXPECT_EQ(result.replies.at(1).established, 2u);
+}
+
+TEST(Controller, RetriesThroughLossyBus) {
+  ocs::PalomarSwitch ocs(60);
+  OcsAgent agent(ocs);
+  MessageBus bus(5);
+  bus.SetDropProbability(0.4);
+  FabricController controller(bus, /*max_retries=*/20);
+  controller.Register(0, &agent);
+  const auto result = controller.ApplyTopology({{0, {{0, 1}}}});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(ocs.ConnectionCount(), 1);
+  // The reconfiguration executed exactly once despite retries.
+  EXPECT_EQ(ocs.telemetry().reconfigurations, 1u);
+}
+
+TEST(Controller, SurfacesAgentRejection) {
+  ocs::PalomarSwitch ocs(61);
+  OcsAgent agent(ocs);
+  MessageBus bus(6);
+  FabricController controller(bus);
+  controller.Register(0, &agent);
+  const auto result = controller.ApplyTopology({{0, {{0, 1}, {2, 1}}}});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("ocs 0"), std::string::npos);
+}
+
+TEST(Controller, FailsOnUnregisteredOcs) {
+  MessageBus bus(7);
+  FabricController controller(bus);
+  const auto result = controller.ApplyTopology({{9, {{0, 1}}}});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Controller, CollectsTelemetryFromAll) {
+  ocs::PalomarSwitch ocs_a(62), ocs_b(63);
+  (void)ocs_a.Connect(0, 1);
+  OcsAgent agent_a(ocs_a), agent_b(ocs_b);
+  MessageBus bus(8);
+  FabricController controller(bus);
+  controller.Register(0, &agent_a);
+  controller.Register(1, &agent_b);
+  const auto telemetry = controller.CollectTelemetry();
+  ASSERT_EQ(telemetry.size(), 2u);
+  EXPECT_EQ(telemetry.at(0).connects, 1u);
+  EXPECT_EQ(telemetry.at(1).connects, 0u);
+}
+
+}  // namespace
+}  // namespace lightwave::ctrl

@@ -1,0 +1,200 @@
+// Tests for the spine-free DCN fabric layer: expansion ("pay as you grow"),
+// tenant isolation, technology refresh (transceiver interop gating), and
+// topology application through real switches.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dcn_fabric.h"
+
+namespace lightwave::core {
+namespace {
+
+sim::TrafficMatrix Uniform(int blocks, double total) {
+  return sim::UniformTraffic(blocks, total);
+}
+
+DcnFabric MakeFabric(int max_blocks = 16, int ocs_count = 8) {
+  return DcnFabric(/*seed=*/77, max_blocks, ocs_count, /*link_gbps=*/400.0);
+}
+
+// --- expansion -----------------------------------------------------------------
+
+TEST(DcnFabricTest, AddBlocksAssignsIds) {
+  auto fabric = MakeFabric();
+  for (int i = 0; i < 4; ++i) {
+    auto id = fabric.AddBlock(optics::Cwdm4Duplex());
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), i);
+  }
+  EXPECT_EQ(fabric.ActiveBlocks().size(), 4u);
+}
+
+TEST(DcnFabricTest, FabricFillsUp) {
+  auto fabric = MakeFabric(4, 4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  EXPECT_FALSE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+}
+
+TEST(DcnFabricTest, RemoveBlockFreesSlot) {
+  auto fabric = MakeFabric(4, 4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  ASSERT_TRUE(fabric.RemoveBlock(2).ok());
+  EXPECT_FALSE(fabric.RemoveBlock(2).ok());  // already gone
+  auto readd = fabric.AddBlock(optics::Cwdm4Duplex());
+  ASSERT_TRUE(readd.ok());
+  EXPECT_EQ(readd.value(), 2);
+}
+
+TEST(DcnFabricTest, ExpansionPreservesExistingTrunks) {
+  // "Pay as you grow": adding blocks and re-engineering leaves a healthy
+  // majority of the existing mesh undisturbed.
+  auto fabric = MakeFabric(16, 8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  auto first = fabric.ApplyTopology(Uniform(16, 8000.0));
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first.value().links_established, 0);
+  EXPECT_EQ(first.value().links_removed, 0);
+
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  auto second = fabric.ApplyTopology(Uniform(16, 8000.0));
+  ASSERT_TRUE(second.ok());
+  // Expansion adds new trunks; some existing ones ride through untouched.
+  EXPECT_GT(second.value().links_established, 0);
+  EXPECT_GT(second.value().links_undisturbed, 0);
+}
+
+// --- technology refresh ------------------------------------------------------------
+
+TEST(DcnFabricTest, CompatibleGenerationsCoexist) {
+  auto fabric = MakeFabric();
+  const auto roadmap = optics::DcnRoadmap();
+  // 200G and 400G generations share the 50G lane rate.
+  ASSERT_TRUE(fabric.AddBlock(roadmap[2]).ok());  // 200G-FR4
+  EXPECT_TRUE(fabric.AddBlock(roadmap[3]).ok());  // 400G-FR4
+  EXPECT_TRUE(fabric.AddBlock(roadmap[4]).ok());  // 800G-OSFP
+}
+
+TEST(DcnFabricTest, IncompatibleGenerationRejected) {
+  auto fabric = MakeFabric();
+  const auto roadmap = optics::DcnRoadmap();
+  ASSERT_TRUE(fabric.AddBlock(roadmap[0]).ok());  // 40G QSFP+ (10G lanes only)
+  // 200G-FR4 supports 25/50G lanes, not 10G: no common rate.
+  const auto rejected = fabric.AddBlock(roadmap[2]);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error().message.find("inter-operate"), std::string::npos);
+}
+
+TEST(DcnFabricTest, BidiPartRejectedInDuplexFabric) {
+  auto fabric = MakeFabric();
+  ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  EXPECT_FALSE(fabric.AddBlock(optics::Cwdm4Bidi()).ok());
+}
+
+// --- topology ------------------------------------------------------------------
+
+TEST(DcnFabricTest, ApplyTopologyInstallsSymmetricTrunks) {
+  // 8 OCSes >= blocks-1 so the uniform floor reaches every pair.
+  auto fabric = MakeFabric(8, 8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  auto stats = fabric.ApplyTopology(Uniform(8, 4000.0));
+  ASSERT_TRUE(stats.ok());
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_EQ(fabric.TrunksBetween(a, b), fabric.TrunksBetween(b, a));
+      EXPECT_GE(fabric.TrunksBetween(a, b), 1);  // uniform demand -> floor everywhere
+    }
+  }
+}
+
+TEST(DcnFabricTest, TopologyFollowsDemand) {
+  auto fabric = MakeFabric(8, 8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  sim::TrafficMatrix demand(8);
+  demand.set(0, 1, 2000.0);
+  demand.set(1, 0, 2000.0);
+  // Block 5 spreads small demand over three peers, so no single pair of its
+  // absorbs the whole port budget.
+  demand.set(5, 6, 10.0);
+  demand.set(5, 7, 10.0);
+  demand.set(5, 4, 10.0);
+  ASSERT_TRUE(fabric.ApplyTopology(demand).ok());
+  EXPECT_GT(fabric.TrunksBetween(0, 1), fabric.TrunksBetween(5, 6));
+  const auto topo = fabric.CurrentTopology();
+  EXPECT_GT(topo.TrunkCapacity(0, 1), topo.TrunkCapacity(5, 6));
+}
+
+TEST(DcnFabricTest, ReapplySameForecastIsAllUndisturbed) {
+  auto fabric = MakeFabric(8, 6);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  ASSERT_TRUE(fabric.ApplyTopology(Uniform(8, 4000.0)).ok());
+  auto again = fabric.ApplyTopology(Uniform(8, 4000.0));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().links_established, 0);
+  EXPECT_EQ(again.value().links_removed, 0);
+  EXPECT_GT(again.value().links_undisturbed, 0);
+}
+
+// --- isolation -----------------------------------------------------------------
+
+TEST(DcnFabricTest, TenantTrunksStayInside) {
+  auto fabric = MakeFabric(12, 8);
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  auto tenant = fabric.CreateTenant({8, 9, 10, 11});
+  ASSERT_TRUE(tenant.ok());
+  ASSERT_TRUE(fabric.ApplyTopology(Uniform(12, 6000.0)).ok());
+  EXPECT_TRUE(fabric.IsolationHolds());
+  // No trunk between pool and tenant blocks.
+  for (int pool = 0; pool < 8; ++pool) {
+    for (int iso = 8; iso < 12; ++iso) {
+      EXPECT_EQ(fabric.TrunksBetween(pool, iso), 0) << pool << "-" << iso;
+    }
+  }
+  // But the tenant is internally connected.
+  int tenant_trunks = 0;
+  for (int a = 8; a < 12; ++a) {
+    for (int b = a + 1; b < 12; ++b) tenant_trunks += fabric.TrunksBetween(a, b);
+  }
+  EXPECT_GT(tenant_trunks, 0);
+}
+
+TEST(DcnFabricTest, TenantValidations) {
+  auto fabric = MakeFabric(8, 4);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  EXPECT_FALSE(fabric.CreateTenant({0}).ok());        // too small
+  EXPECT_FALSE(fabric.CreateTenant({0, 7}).ok());     // 7 inactive
+  auto t = fabric.CreateTenant({0, 1});
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(fabric.CreateTenant({1, 2}).ok());     // 1 already owned
+  EXPECT_EQ(fabric.TenantOf(0), t.value());
+  EXPECT_EQ(fabric.TenantOf(2), kSharedPool);
+}
+
+TEST(DcnFabricTest, DissolveTenantRejoinsPool) {
+  auto fabric = MakeFabric(8, 6);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  auto tenant = fabric.CreateTenant({4, 5, 6, 7});
+  ASSERT_TRUE(tenant.ok());
+  ASSERT_TRUE(fabric.ApplyTopology(Uniform(8, 4000.0)).ok());
+  EXPECT_EQ(fabric.TrunksBetween(0, 4), 0);
+  ASSERT_TRUE(fabric.DissolveTenant(tenant.value()).ok());
+  ASSERT_TRUE(fabric.ApplyTopology(Uniform(8, 4000.0)).ok());
+  // Rejoined: cross trunks appear again (uniform floor).
+  EXPECT_GT(fabric.TrunksBetween(0, 4), 0);
+  EXPECT_FALSE(fabric.DissolveTenant(tenant.value()).ok());  // gone
+}
+
+TEST(DcnFabricTest, IsolationSurvivesReconfiguration) {
+  auto fabric = MakeFabric(12, 8);
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(fabric.AddBlock(optics::Cwdm4Duplex()).ok());
+  ASSERT_TRUE(fabric.CreateTenant({0, 1, 2}).ok());
+  common::Rng rng(3);
+  for (int round = 0; round < 3; ++round) {
+    const auto demand = sim::GravityTraffic(12, 5000.0, rng);
+    ASSERT_TRUE(fabric.ApplyTopology(demand).ok());
+    EXPECT_TRUE(fabric.IsolationHolds()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace lightwave::core

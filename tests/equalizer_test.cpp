@@ -1,0 +1,97 @@
+// Tests for the adaptive equalizer: channel construction from the fiber
+// model, LMS convergence, and the §3.3.1 claim that equalization recovers
+// dispersion-impaired lanes.
+#include <gtest/gtest.h>
+
+#include "phy/equalizer.h"
+
+namespace lightwave::phy {
+namespace {
+
+TEST(EqualizerChannel, CleanChannelIsIdentityLike) {
+  const auto channel = DispersiveChannel(0.0, 0.05);
+  ASSERT_GE(channel.taps.size(), 1u);
+  EXPECT_NEAR(channel.taps[0], 1.0, 1e-9);
+  for (std::size_t i = 1; i < channel.taps.size(); ++i) {
+    EXPECT_NEAR(channel.taps[i], 0.0, 1e-9);
+  }
+}
+
+TEST(EqualizerChannel, EnergyNormalized) {
+  for (double spread : {0.0, 0.2, 0.4, 0.6}) {
+    const auto channel = DispersiveChannel(spread, 0.0);
+    double energy = 0.0;
+    for (double t : channel.taps) energy += t * t;
+    EXPECT_NEAR(energy, 1.0, 1e-9) << spread;
+  }
+}
+
+TEST(EqualizerChannel, FiberLaneMapping) {
+  // Outer CWDM lane at 100G over a long span spreads more than the center
+  // lane.
+  const optics::FiberSpan span(2.0, 0, 0);
+  const auto outer = ChannelForLane(span, common::Nanometers{1271.0},
+                                    common::GbitPerSec{100.0}, 0.3, 0.05);
+  const auto center = ChannelForLane(span, common::Nanometers{1311.0},
+                                     common::GbitPerSec{100.0}, 0.3, 0.05);
+  EXPECT_LT(outer.taps[0], center.taps[0]);  // more energy off the cursor
+}
+
+TEST(Equalizer, CleanChannelPassesThrough) {
+  const auto result = MeasureEqualizedLink(DispersiveChannel(0.0, 0.12));
+  EXPECT_LT(result.post_eq_ber, 2e-3);
+  // Equalization never makes the clean channel dramatically worse.
+  EXPECT_LT(result.post_eq_ber, result.pre_eq_ber * 3 + 2e-3);
+}
+
+TEST(Equalizer, RecoversDispersedEye) {
+  // Heavy ISI closes the PAM4 eye; the FFE+DFE reopens it (§3.3.1:
+  // dispersion "can be mitigated ... along with the use of nonlinear
+  // equalizers").
+  const auto result = MeasureEqualizedLink(DispersiveChannel(0.35, 0.08));
+  EXPECT_GT(result.pre_eq_ber, 1e-2);   // unusable raw
+  EXPECT_LT(result.post_eq_ber, 1e-3);  // recovered
+  EXPECT_LT(result.post_eq_ber, result.pre_eq_ber / 10.0);
+}
+
+TEST(Equalizer, ResidualIsiSuppressed) {
+  const auto channel = DispersiveChannel(0.3, 0.05);
+  const auto result = MeasureEqualizedLink(channel);
+  // Channel off-cursor energy before equalization.
+  double off = 0.0;
+  for (std::size_t i = 1; i < channel.taps.size(); ++i) off += channel.taps[i] * channel.taps[i];
+  const double channel_isi = off / (channel.taps[0] * channel.taps[0]);
+  EXPECT_LT(result.residual_isi, channel_isi);
+}
+
+TEST(Equalizer, Deterministic) {
+  const auto a = MeasureEqualizedLink(DispersiveChannel(0.3, 0.08));
+  const auto b = MeasureEqualizedLink(DispersiveChannel(0.3, 0.08));
+  EXPECT_DOUBLE_EQ(a.post_eq_ber, b.post_eq_ber);
+}
+
+TEST(Equalizer, MoreTapsHelpHeavyIsi) {
+  const auto channel = DispersiveChannel(0.45, 0.06);
+  EqualizerExperimentConfig small;
+  small.ffe_taps = 3;
+  small.dfe_taps = 0;
+  EqualizerExperimentConfig large;
+  large.ffe_taps = 9;
+  large.dfe_taps = 3;
+  const auto few = MeasureEqualizedLink(channel, small);
+  const auto many = MeasureEqualizedLink(channel, large);
+  EXPECT_LE(many.post_eq_ber, few.post_eq_ber);
+}
+
+class EqualizerSpreadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EqualizerSpreadSweep, PostEqBerBelowPreEq) {
+  const auto result = MeasureEqualizedLink(DispersiveChannel(GetParam(), 0.08));
+  EXPECT_LE(result.post_eq_ber, result.pre_eq_ber + 1e-4) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Spreads, EqualizerSpreadSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5));
+
+}  // namespace
+}  // namespace lightwave::phy

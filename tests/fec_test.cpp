@@ -1,0 +1,513 @@
+// Unit and property tests for the FEC stack: GF(2^10) arithmetic, the
+// RS(544,514) KP4 codec (encode/decode round-trips, correction up to t=15,
+// failure beyond), the inner soft-decision code model, and the concatenated
+// pipeline thresholds (Fig. 12).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/rng.h"
+#include "fec/concatenated.h"
+#include "fec/gf.h"
+#include "fec/inner_code.h"
+#include "fec/interleaver.h"
+#include "fec/reed_solomon.h"
+
+namespace lightwave::fec {
+namespace {
+
+using Element = Gf1024::Element;
+
+// --- gf ----------------------------------------------------------------------
+
+TEST(Gf, MulByZeroAndOne) {
+  const auto& gf = Gf1024::Instance();
+  EXPECT_EQ(gf.Mul(0, 123), 0);
+  EXPECT_EQ(gf.Mul(123, 0), 0);
+  EXPECT_EQ(gf.Mul(1, 123), 123);
+}
+
+TEST(Gf, AddIsXor) {
+  const auto& gf = Gf1024::Instance();
+  EXPECT_EQ(gf.Add(0b1010, 0b0110), 0b1100);
+  EXPECT_EQ(gf.Add(55, 55), 0);
+}
+
+TEST(Gf, MulCommutativeAssociative) {
+  const auto& gf = Gf1024::Instance();
+  common::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<Element>(rng.UniformInt(1024));
+    const auto b = static_cast<Element>(rng.UniformInt(1024));
+    const auto c = static_cast<Element>(rng.UniformInt(1024));
+    EXPECT_EQ(gf.Mul(a, b), gf.Mul(b, a));
+    EXPECT_EQ(gf.Mul(gf.Mul(a, b), c), gf.Mul(a, gf.Mul(b, c)));
+  }
+}
+
+TEST(Gf, Distributive) {
+  const auto& gf = Gf1024::Instance();
+  common::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<Element>(rng.UniformInt(1024));
+    const auto b = static_cast<Element>(rng.UniformInt(1024));
+    const auto c = static_cast<Element>(rng.UniformInt(1024));
+    EXPECT_EQ(gf.Mul(a, gf.Add(b, c)), gf.Add(gf.Mul(a, b), gf.Mul(a, c)));
+  }
+}
+
+TEST(Gf, InverseProperty) {
+  const auto& gf = Gf1024::Instance();
+  for (Element a = 1; a < Gf1024::kFieldSize; ++a) {
+    EXPECT_EQ(gf.Mul(a, gf.Inv(a)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf, DivMatchesMulByInverse) {
+  const auto& gf = Gf1024::Instance();
+  common::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<Element>(rng.UniformInt(1024));
+    const auto b = static_cast<Element>(1 + rng.UniformInt(1023));
+    EXPECT_EQ(gf.Div(a, b), gf.Mul(a, gf.Inv(b)));
+  }
+}
+
+TEST(Gf, AlphaGeneratesWholeGroup) {
+  const auto& gf = Gf1024::Instance();
+  std::vector<bool> seen(Gf1024::kFieldSize, false);
+  for (int e = 0; e < Gf1024::kGroupOrder; ++e) {
+    const Element x = gf.AlphaPow(e);
+    EXPECT_FALSE(seen[x]) << "alpha^" << e << " repeats";
+    seen[x] = true;
+  }
+  EXPECT_FALSE(seen[0]);  // zero is not a power of alpha
+}
+
+TEST(Gf, PowAndLogConsistent) {
+  const auto& gf = Gf1024::Instance();
+  const Element a = gf.AlphaPow(17);
+  EXPECT_EQ(gf.Log(a), 17);
+  EXPECT_EQ(gf.Pow(a, 3), gf.AlphaPow(51));
+  EXPECT_EQ(gf.Pow(a, 0), 1);
+}
+
+TEST(Gf, AlphaPowHandlesNegative) {
+  const auto& gf = Gf1024::Instance();
+  EXPECT_EQ(gf.Mul(gf.AlphaPow(-5), gf.AlphaPow(5)), 1);
+}
+
+// --- reed-solomon ---------------------------------------------------------------
+
+std::vector<Element> RandomData(common::Rng& rng, int k) {
+  std::vector<Element> data(static_cast<std::size_t>(k));
+  for (auto& s : data) s = static_cast<Element>(rng.UniformInt(Gf1024::kFieldSize));
+  return data;
+}
+
+TEST(ReedSolomonTest, Kp4Parameters) {
+  const auto rs = ReedSolomon::Kp4();
+  EXPECT_EQ(rs.n(), 544);
+  EXPECT_EQ(rs.k(), 514);
+  EXPECT_EQ(rs.t(), 15);
+}
+
+TEST(ReedSolomonTest, EncodeIsSystematicCodeword) {
+  common::Rng rng(11);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  const auto codeword = rs.Encode(data);
+  ASSERT_EQ(static_cast<int>(codeword.size()), rs.n());
+  for (int i = 0; i < rs.k(); ++i) {
+    EXPECT_EQ(codeword[static_cast<std::size_t>(i)], data[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_TRUE(rs.IsCodeword(codeword));
+}
+
+TEST(ReedSolomonTest, CleanDecodeIsNoOp) {
+  common::Rng rng(13);
+  const auto rs = ReedSolomon::Kp4();
+  const auto codeword = rs.Encode(RandomData(rng, rs.k()));
+  const auto outcome = rs.Decode(codeword);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().corrected_symbols, 0);
+  EXPECT_EQ(outcome.value().codeword, codeword);
+}
+
+class RsErrorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsErrorSweep, CorrectsUpToTErrors) {
+  const int errors = GetParam();
+  common::Rng rng(100 + static_cast<std::uint64_t>(errors));
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  auto corrupted = rs.Encode(data);
+  const auto original = corrupted;
+  // Corrupt `errors` distinct positions.
+  std::vector<int> positions;
+  while (static_cast<int>(positions.size()) < errors) {
+    const int pos = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(rs.n())));
+    if (std::find(positions.begin(), positions.end(), pos) == positions.end()) {
+      positions.push_back(pos);
+      corrupted[static_cast<std::size_t>(pos)] ^=
+          static_cast<Element>(1 + rng.UniformInt(1023));
+    }
+  }
+  const auto outcome = rs.Decode(corrupted);
+  ASSERT_TRUE(outcome.ok()) << "errors=" << errors;
+  EXPECT_EQ(outcome.value().corrected_symbols, errors);
+  EXPECT_EQ(outcome.value().codeword, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorCounts, RsErrorSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 12, 14, 15));
+
+TEST(ReedSolomonTest, DetectsBeyondT) {
+  common::Rng rng(17);
+  const auto rs = ReedSolomon::Kp4();
+  // With t+5 random errors the bounded-distance decoder overwhelmingly
+  // detects the overload (miscorrection probability is tiny for RS over a
+  // 1024-ary alphabet); verify on several trials that decode never returns
+  // a wrong "success" silently.
+  int detected = 0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto data = RandomData(rng, rs.k());
+    auto corrupted = rs.Encode(data);
+    for (int e = 0; e < rs.t() + 5; ++e) {
+      const int pos = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(rs.n())));
+      corrupted[static_cast<std::size_t>(pos)] ^=
+          static_cast<Element>(1 + rng.UniformInt(1023));
+    }
+    const auto outcome = rs.Decode(corrupted);
+    if (!outcome.ok()) {
+      ++detected;
+    } else {
+      // If it "succeeded", it must be a valid codeword (possibly a
+      // miscorrection to a different codeword, which bounded-distance
+      // decoding permits).
+      EXPECT_TRUE(rs.IsCodeword(outcome.value().codeword));
+    }
+  }
+  EXPECT_GE(detected, trials - 1);
+}
+
+TEST(ReedSolomonTest, SmallCodeRoundTrip) {
+  // A short RS(20,14), t=3 exercises non-KP4 parameters.
+  common::Rng rng(19);
+  const ReedSolomon rs(20, 14);
+  EXPECT_EQ(rs.t(), 3);
+  const auto data = RandomData(rng, rs.k());
+  auto codeword = rs.Encode(data);
+  codeword[3] ^= 0x155;
+  codeword[17] ^= 0x2A;
+  codeword[9] ^= 0x001;
+  const auto outcome = rs.Decode(codeword);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().corrected_symbols, 3);
+  for (int i = 0; i < rs.k(); ++i) {
+    EXPECT_EQ(outcome.value().codeword[static_cast<std::size_t>(i)],
+              data[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ReedSolomonTest, RejectsWrongLength) {
+  const auto rs = ReedSolomon::Kp4();
+  EXPECT_FALSE(rs.Decode(std::vector<Element>(100)).ok());
+}
+
+TEST(ReedSolomonTest, BurstErrorWithinT) {
+  common::Rng rng(23);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  auto corrupted = rs.Encode(data);
+  for (int i = 100; i < 115; ++i) corrupted[static_cast<std::size_t>(i)] ^= 0x3FF;
+  const auto outcome = rs.Decode(corrupted);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().corrected_symbols, 15);
+}
+
+TEST(ReedSolomonTest, ParityOnlyCorruption) {
+  common::Rng rng(29);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  auto corrupted = rs.Encode(data);
+  corrupted[540] ^= 0x111;  // parity region
+  const auto outcome = rs.Decode(corrupted);
+  ASSERT_TRUE(outcome.ok());
+  for (int i = 0; i < rs.k(); ++i) {
+    EXPECT_EQ(outcome.value().codeword[static_cast<std::size_t>(i)],
+              data[static_cast<std::size_t>(i)]);
+  }
+}
+
+// --- erasure decoding -----------------------------------------------------------
+
+TEST(ReedSolomonErasures, PureErasuresUpTo2t) {
+  common::Rng rng(41);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  auto corrupted = rs.Encode(data);
+  const auto original = corrupted;
+  std::vector<int> erasures;
+  for (int i = 0; i < 2 * rs.t(); ++i) {
+    const int pos = (i * 31 + 3) % rs.n();
+    erasures.push_back(pos);
+    corrupted[static_cast<std::size_t>(pos)] ^= static_cast<Element>(0x2AA);
+  }
+  const auto outcome = rs.DecodeWithErasures(corrupted, erasures);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().codeword, original);
+  EXPECT_EQ(outcome.value().corrected_symbols, 2 * rs.t());
+}
+
+TEST(ReedSolomonErasures, ErasedPositionsThatWereActuallyFineStillDecode) {
+  // Flagging healthy symbols as erasures must not corrupt them.
+  common::Rng rng(43);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  const auto codeword = rs.Encode(data);
+  auto corrupted = codeword;
+  corrupted[100] ^= 0x111;
+  const auto outcome = rs.DecodeWithErasures(corrupted, {100, 200, 300});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().codeword, codeword);
+}
+
+class ErasureMixSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ErasureMixSweep, CorrectsErrorsPlusErasuresWithinBudget) {
+  const auto [errors, erasure_count] = GetParam();
+  ASSERT_LE(2 * errors + erasure_count, 30);  // 2e + f <= 2t
+  common::Rng rng(200 + static_cast<std::uint64_t>(errors * 37 + erasure_count));
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  auto corrupted = rs.Encode(data);
+  const auto original = corrupted;
+  std::vector<int> positions;
+  while (static_cast<int>(positions.size()) < errors + erasure_count) {
+    const int pos = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(rs.n())));
+    if (std::find(positions.begin(), positions.end(), pos) == positions.end()) {
+      positions.push_back(pos);
+      corrupted[static_cast<std::size_t>(pos)] ^=
+          static_cast<Element>(1 + rng.UniformInt(1023));
+    }
+  }
+  const std::vector<int> erasures(positions.begin(), positions.begin() + erasure_count);
+  const auto outcome = rs.DecodeWithErasures(corrupted, erasures);
+  ASSERT_TRUE(outcome.ok()) << "e=" << errors << " f=" << erasure_count;
+  EXPECT_EQ(outcome.value().codeword, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, ErasureMixSweep,
+    ::testing::Values(std::pair{0, 1}, std::pair{0, 30}, std::pair{1, 28}, std::pair{5, 20},
+                      std::pair{10, 10}, std::pair{14, 2}, std::pair{15, 0}, std::pair{7, 16}));
+
+TEST(ReedSolomonErasures, BeyondBudgetDetected) {
+  common::Rng rng(47);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  auto corrupted = rs.Encode(data);
+  // 10 erasures + 12 errors: 2*12 + 10 = 34 > 30.
+  std::vector<int> positions;
+  while (static_cast<int>(positions.size()) < 22) {
+    const int pos = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(rs.n())));
+    if (std::find(positions.begin(), positions.end(), pos) == positions.end()) {
+      positions.push_back(pos);
+      corrupted[static_cast<std::size_t>(pos)] ^=
+          static_cast<Element>(1 + rng.UniformInt(1023));
+    }
+  }
+  const std::vector<int> erasures(positions.begin(), positions.begin() + 10);
+  const auto outcome = rs.DecodeWithErasures(corrupted, erasures);
+  // Either detected as uncorrectable, or (rare bounded-distance behaviour)
+  // miscorrected to some valid codeword.
+  if (outcome.ok()) {
+    EXPECT_TRUE(rs.IsCodeword(outcome.value().codeword));
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(ReedSolomonErasures, RejectsBadArguments) {
+  const auto rs = ReedSolomon::Kp4();
+  std::vector<Element> word(static_cast<std::size_t>(rs.n()), 0);
+  EXPECT_FALSE(rs.DecodeWithErasures(word, std::vector<int>(31, 0)).ok());
+  EXPECT_FALSE(rs.DecodeWithErasures(word, {rs.n()}).ok());
+  EXPECT_FALSE(rs.DecodeWithErasures(word, {-1}).ok());
+}
+
+TEST(ReedSolomonErasures, EmptyErasureListMatchesPlainDecode) {
+  common::Rng rng(53);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  auto corrupted = rs.Encode(data);
+  corrupted[7] ^= 0x3C;
+  const auto plain = rs.Decode(corrupted);
+  const auto with = rs.DecodeWithErasures(corrupted, {});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(plain.value().codeword, with.value().codeword);
+}
+
+// --- inner code -----------------------------------------------------------------
+
+TEST(InnerCodeTest, QuadraticRegime) {
+  const InnerCode inner;
+  const double p = 1e-4;
+  EXPECT_NEAR(inner.Transfer(p), inner.spec().coefficient * p * p, 1e-12);
+}
+
+TEST(InnerCodeTest, NeverWorsensChannel) {
+  const InnerCode inner;
+  for (double p : {1e-6, 1e-4, 1e-3, 1e-2, 0.1, 0.3}) {
+    EXPECT_LE(inner.Transfer(p), p);
+  }
+}
+
+TEST(InnerCodeTest, TransferMonotone) {
+  const InnerCode inner;
+  double prev = 0.0;
+  for (double p = 1e-5; p < 0.3; p *= 2.0) {
+    const double out = inner.Transfer(p);
+    EXPECT_GE(out, prev);
+    prev = out;
+  }
+}
+
+TEST(InnerCodeTest, MaxChannelBerInvertsTransfer) {
+  const InnerCode inner;
+  const double target = 2e-4;
+  const double max_in = inner.MaxChannelBer(target);
+  EXPECT_NEAR(inner.Transfer(max_in), target, target * 0.01);
+  EXPECT_GT(max_in, target);  // the inner code buys real channel margin
+}
+
+TEST(InnerCodeTest, LatencyBudget) {
+  const InnerCode inner;
+  // §3.3.2: < 20 ns at 200 Gb/s.
+  EXPECT_LT(inner.LatencyNs(200.0), 20.0);
+  EXPECT_GT(inner.LatencyNs(100.0), inner.LatencyNs(200.0));
+}
+
+// --- interleaver ---------------------------------------------------------------
+
+TEST(Interleaver, RoundTripIdentity) {
+  common::Rng rng(61);
+  const BlockInterleaver il(4, 544);
+  std::vector<Element> input(il.BlockSymbols());
+  for (auto& s : input) s = static_cast<Element>(rng.UniformInt(1024));
+  EXPECT_EQ(il.Deinterleave(il.Interleave(input)), input);
+}
+
+TEST(Interleaver, SpreadsBurstAcrossRows) {
+  const BlockInterleaver il(4, 544);
+  EXPECT_EQ(il.WorstPerRowHits(40), 10);
+  EXPECT_EQ(il.WorstPerRowHits(4), 1);
+  EXPECT_EQ(il.WorstPerRowHits(5), 2);
+  EXPECT_EQ(il.WorstPerRowHits(0), 0);
+}
+
+TEST(Interleaver, BurstBeyondTDecodesWhenInterleaved) {
+  // A 48-symbol channel burst destroys a single KP4 frame (48 > t = 15) but
+  // interleaved across 4 frames each sees only 12 errors — all decode.
+  common::Rng rng(67);
+  const auto rs = ReedSolomon::Kp4();
+  const BlockInterleaver il(4, rs.n());
+
+  std::vector<std::vector<Element>> frames;
+  std::vector<Element> stream;
+  for (int f = 0; f < 4; ++f) {
+    const auto data = RandomData(rng, rs.k());
+    frames.push_back(rs.Encode(data));
+    stream.insert(stream.end(), frames.back().begin(), frames.back().end());
+  }
+
+  auto tx = il.Interleave(stream);
+  for (int i = 500; i < 548; ++i) tx[static_cast<std::size_t>(i)] ^= 0x155;  // the burst
+  const auto rx = il.Deinterleave(tx);
+
+  for (int f = 0; f < 4; ++f) {
+    std::vector<Element> frame(rx.begin() + f * rs.n(), rx.begin() + (f + 1) * rs.n());
+    const auto outcome = rs.Decode(frame);
+    ASSERT_TRUE(outcome.ok()) << "frame " << f;
+    EXPECT_EQ(outcome.value().codeword, frames[static_cast<std::size_t>(f)]);
+    EXPECT_LE(outcome.value().corrected_symbols, 12);
+  }
+
+  // Control: the same burst without interleaving kills one frame.
+  auto raw = stream;
+  for (int i = 500; i < 548; ++i) raw[static_cast<std::size_t>(i)] ^= 0x155;
+  std::vector<Element> frame0(raw.begin(), raw.begin() + rs.n());
+  EXPECT_FALSE(rs.Decode(frame0).ok());
+}
+
+// --- concatenated ---------------------------------------------------------------
+
+TEST(Concatenated, OuterCodeStatsSane) {
+  const auto stats = AnalyzeOuterCode(2e-4);
+  EXPECT_GT(stats.symbol_error_rate, 2e-4);
+  EXPECT_LT(stats.symbol_error_rate, 2.2e-3);
+  EXPECT_LT(stats.frame_error_rate, 1e-12);
+  EXPECT_LT(stats.post_fec_ber, 1e-13);
+}
+
+TEST(Concatenated, OuterFailsAtHighInputBer) {
+  const auto stats = AnalyzeOuterCode(2e-2);
+  EXPECT_GT(stats.frame_error_rate, 0.1);
+}
+
+TEST(Concatenated, ZeroInputBer) {
+  const auto stats = AnalyzeOuterCode(0.0);
+  EXPECT_EQ(stats.frame_error_rate, 0.0);
+  EXPECT_EQ(stats.post_fec_ber, 0.0);
+}
+
+TEST(Concatenated, Kp4ThresholdNearPublished) {
+  const ConcatenatedFec fec;
+  const double threshold = fec.ChannelBerThreshold(/*inner_enabled=*/false);
+  // The KP4 threshold quoted throughout the paper is 2e-4.
+  EXPECT_GT(threshold, 1e-4);
+  EXPECT_LT(threshold, 5e-4);
+}
+
+TEST(Concatenated, InnerCodeExtendsThreshold) {
+  const ConcatenatedFec fec;
+  const double without = fec.ChannelBerThreshold(false);
+  const double with = fec.ChannelBerThreshold(true);
+  EXPECT_GT(with, 4.0 * without);  // several times more channel-BER headroom
+}
+
+TEST(Concatenated, PostFecBerMonotoneInChannelBer) {
+  const ConcatenatedFec fec;
+  double prev = 0.0;
+  for (double p = 1e-5; p < 1e-2; p *= 3.0) {
+    const double out = fec.PostFecBer(p, true);
+    EXPECT_GE(out, prev);
+    prev = out;
+  }
+}
+
+TEST(Concatenated, MonteCarloFrameErrorsMatchRegime) {
+  const ConcatenatedFec fec;
+  common::Rng rng(31);
+  // Far below threshold: no frame errors in a small sample.
+  EXPECT_EQ(fec.MeasureFrameErrorRate(1e-4, false, 30, rng), 0.0);
+  // Far above threshold: nearly every frame fails.
+  EXPECT_GT(fec.MeasureFrameErrorRate(3e-2, false, 30, rng), 0.9);
+}
+
+TEST(Concatenated, InnerCodeRescuesModerateChannel) {
+  const ConcatenatedFec fec;
+  common::Rng rng(37);
+  // 3e-3 channel BER: bare KP4 loses most frames; the inner code brings
+  // the outer input down to ~1.3e-3 where failures become rare.
+  EXPECT_GT(fec.MeasureFrameErrorRate(3e-3, false, 25, rng), 0.5);
+  EXPECT_LT(fec.MeasureFrameErrorRate(3e-3, true, 25, rng), 0.2);
+}
+
+}  // namespace
+}  // namespace lightwave::fec

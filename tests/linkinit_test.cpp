@@ -1,0 +1,111 @@
+// Tests for the optical link bring-up FSM: acquisition pipeline timing, LOS
+// hold-off, flap counting, and the fast-init profile for future fabrics.
+#include <gtest/gtest.h>
+
+#include "ctrl/link_init.h"
+
+namespace lightwave::ctrl {
+namespace {
+
+TEST(LinkInit, StartsInLos) {
+  LinkInitFsm fsm;
+  EXPECT_EQ(fsm.state(), LinkState::kLossOfSignal);
+  EXPECT_FALSE(fsm.IsUp());
+}
+
+TEST(LinkInit, WalksAcquisitionPipeline) {
+  LinkInitTiming timing;
+  LinkInitFsm fsm(timing);
+  fsm.OnLightPresent();
+  EXPECT_EQ(fsm.state(), LinkState::kSignalDetect);
+  fsm.Advance(timing.signal_detect_us);
+  EXPECT_EQ(fsm.state(), LinkState::kCdrLock);
+  fsm.Advance(timing.cdr_lock_us + timing.equalizer_adapt_us);
+  EXPECT_EQ(fsm.state(), LinkState::kFecLock);
+  fsm.Advance(timing.fec_lock_us);
+  EXPECT_TRUE(fsm.IsUp());
+  EXPECT_NEAR(fsm.LastBringupUs(), timing.TotalBringupUs(), 1e-9);
+}
+
+TEST(LinkInit, SingleLargeAdvanceAlsoCompletes) {
+  LinkInitFsm fsm;
+  fsm.OnLightPresent();
+  fsm.Advance(1e9);
+  EXPECT_TRUE(fsm.IsUp());
+}
+
+TEST(LinkInit, NoProgressWithoutLight) {
+  LinkInitFsm fsm;
+  fsm.Advance(1e9);
+  EXPECT_EQ(fsm.state(), LinkState::kLossOfSignal);
+}
+
+TEST(LinkInit, ShortGlitchRidesThroughHoldoff) {
+  LinkInitTiming timing;
+  LinkInitFsm fsm(timing);
+  fsm.OnLightPresent();
+  fsm.Advance(1e9);
+  ASSERT_TRUE(fsm.IsUp());
+  // A glitch shorter than the hold-off does not drop the link.
+  fsm.OnLightLost();
+  fsm.Advance(timing.los_holdoff_us / 2.0);
+  fsm.OnLightPresent();
+  fsm.Advance(1.0);
+  EXPECT_TRUE(fsm.IsUp());
+  EXPECT_EQ(fsm.flap_count(), 0u);
+}
+
+TEST(LinkInit, SustainedDarknessDropsAndCountsFlap) {
+  LinkInitTiming timing;
+  LinkInitFsm fsm(timing);
+  fsm.OnLightPresent();
+  fsm.Advance(1e9);
+  ASSERT_TRUE(fsm.IsUp());
+  fsm.OnLightLost();
+  fsm.Advance(timing.los_holdoff_us * 2.0);
+  EXPECT_EQ(fsm.state(), LinkState::kLossOfSignal);
+  EXPECT_EQ(fsm.flap_count(), 1u);
+  // Re-acquisition runs the full pipeline again.
+  fsm.OnLightPresent();
+  fsm.Advance(timing.TotalBringupUs());
+  EXPECT_TRUE(fsm.IsUp());
+}
+
+TEST(LinkInit, ReacquisitionDuringAcquisitionIsNotAFlap) {
+  LinkInitTiming timing;
+  LinkInitFsm fsm(timing);
+  fsm.OnLightPresent();
+  fsm.Advance(timing.signal_detect_us + 1.0);  // mid CDR lock
+  fsm.OnLightLost();
+  fsm.Advance(timing.los_holdoff_us * 2.0);
+  EXPECT_EQ(fsm.state(), LinkState::kLossOfSignal);
+  EXPECT_EQ(fsm.flap_count(), 0u);  // never reached kUp
+}
+
+TEST(LinkInit, FastInitProfileIsMicrosecondClass) {
+  const auto fast = FastInitTiming();
+  EXPECT_LT(fast.TotalBringupUs(), 10.0);
+  // vs the standard profile, which is millisecond class.
+  EXPECT_GT(LinkInitTiming{}.TotalBringupUs(), 1000.0);
+  LinkInitFsm fsm(fast);
+  fsm.OnLightPresent();
+  fsm.Advance(fast.TotalBringupUs());
+  EXPECT_TRUE(fsm.IsUp());
+}
+
+TEST(LinkInit, BringupTimeMeasuredFromLightEdge) {
+  LinkInitTiming timing;
+  LinkInitFsm fsm(timing);
+  fsm.OnLightPresent();
+  // Advance in odd-sized chunks; total must still equal the pipeline sum.
+  double total = 0.0;
+  while (!fsm.IsUp()) {
+    fsm.Advance(13.7);
+    total += 13.7;
+  }
+  EXPECT_NEAR(fsm.LastBringupUs(), timing.TotalBringupUs(), 1e-6);
+  EXPECT_GE(total, fsm.LastBringupUs());
+}
+
+}  // namespace
+}  // namespace lightwave::ctrl

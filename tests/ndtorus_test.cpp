@@ -1,0 +1,86 @@
+// Tests for the N-dimensional torus analysis (§6): balanced factorization,
+// metric correctness, and the paper's claim that 4D/6D tori beat 3D on
+// bisection bandwidth and latency at the same node count.
+#include <gtest/gtest.h>
+
+#include "tpu/ndtorus.h"
+
+namespace lightwave::tpu {
+namespace {
+
+TEST(NdTorus, NodeCountAndString) {
+  NdTorus t({4, 8, 2});
+  EXPECT_EQ(t.NodeCount(), 64);
+  EXPECT_EQ(t.ToString(), "8x4x2");  // sorted descending
+  EXPECT_EQ(t.dimension_count(), 3);
+}
+
+TEST(NdTorus, BalancedFactorizations) {
+  EXPECT_EQ(NdTorus::Balanced(3, 4096).ToString(), "16x16x16");
+  EXPECT_EQ(NdTorus::Balanced(4, 4096).ToString(), "8x8x8x8");
+  EXPECT_EQ(NdTorus::Balanced(6, 4096).ToString(), "4x4x4x4x4x4");
+  EXPECT_EQ(NdTorus::Balanced(2, 4096).ToString(), "64x64");
+  EXPECT_EQ(NdTorus::Balanced(1, 100).ToString(), "100");
+}
+
+TEST(NdTorus, BalancedPreservesNodeCount) {
+  for (int d : {1, 2, 3, 4, 6}) {
+    EXPECT_EQ(NdTorus::Balanced(d, 4096).NodeCount(), 4096) << d;
+  }
+  // Non-power-of-two node counts factor too.
+  EXPECT_EQ(NdTorus::Balanced(3, 1728).NodeCount(), 1728);
+  EXPECT_EQ(NdTorus::Balanced(3, 1728).ToString(), "12x12x12");
+}
+
+TEST(NdTorus, LinksPerNode) {
+  EXPECT_EQ(NdTorus({16, 16, 16}).LinksPerNode(), 6);   // the 3D torus radix
+  EXPECT_EQ(NdTorus({8, 8, 8, 8}).LinksPerNode(), 8);
+  EXPECT_EQ(NdTorus({2, 2}).LinksPerNode(), 2);         // length-2 rings collapse
+}
+
+TEST(NdTorus, BisectionDiameterMeanFor3d) {
+  NdTorus t({16, 16, 16});
+  EXPECT_EQ(t.BisectionLinks(), 2 * 256);
+  EXPECT_EQ(t.Diameter(), 24);
+  EXPECT_NEAR(t.MeanDistance(), 12.0, 1e-9);
+}
+
+TEST(NdTorus, HigherDimensionalityImprovesBisectionAndLatency) {
+  // §6: "a 4D or 6D torus ... has a larger bisection bandwidth, lower
+  // latency and greater scalability compared to a 3D torus."
+  const auto rows = CompareTorusDimensionalities(4096, {3, 4, 6}, 64e6);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GT(rows[1].bisection_links, rows[0].bisection_links);  // 4D > 3D
+  EXPECT_GT(rows[2].bisection_links, rows[1].bisection_links);  // 6D > 4D
+  EXPECT_LT(rows[1].diameter, rows[0].diameter);
+  EXPECT_LT(rows[2].diameter, rows[1].diameter);
+  EXPECT_LT(rows[1].mean_distance, rows[0].mean_distance);
+  // The cost: more links (ports) per node.
+  EXPECT_GT(rows[2].links_per_node, rows[0].links_per_node);
+}
+
+TEST(NdTorus, AllReduceFasterInHigherDims) {
+  // Latency term shrinks with shorter rings; bandwidth term is shape
+  // independent to first order, so higher dims win on small payloads.
+  NdTorus t3 = NdTorus::Balanced(3, 4096);
+  NdTorus t6 = NdTorus::Balanced(6, 4096);
+  EXPECT_LT(t6.AllReduceUs(1e6), t3.AllReduceUs(1e6));
+}
+
+TEST(NdTorus, AllReduceBandwidthTermDominatesLargePayloads) {
+  NdTorus t3 = NdTorus::Balanced(3, 4096);
+  NdTorus t6 = NdTorus::Balanced(6, 4096);
+  const double big = 4e9;
+  // Within 10% of each other at 4 GB: bandwidth-bound regime.
+  EXPECT_NEAR(t6.AllReduceUs(big) / t3.AllReduceUs(big), 1.0, 0.1);
+}
+
+TEST(NdTorus, DegenerateDimensionsContributeNothing) {
+  NdTorus flat({64, 1, 1});
+  NdTorus line({64});
+  EXPECT_EQ(flat.Diameter(), line.Diameter());
+  EXPECT_NEAR(flat.AllReduceUs(1e6), line.AllReduceUs(1e6), 1e-9);
+}
+
+}  // namespace
+}  // namespace lightwave::tpu

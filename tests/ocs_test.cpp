@@ -1,0 +1,446 @@
+// Unit tests for the OCS module: MEMS yield/sparing, collimators, the
+// closed-loop alignment controller, the optical core, the chassis FRU and
+// availability model, the Palomar switch state machine (bijectivity,
+// non-blocking reconfiguration, undisturbed connections, failure injection),
+// and the Table C.1 technology ranking.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "ocs/alignment.h"
+#include "ocs/chassis.h"
+#include "ocs/collimator.h"
+#include "ocs/mems.h"
+#include "ocs/optical_core.h"
+#include "ocs/palomar.h"
+#include "ocs/technology.h"
+
+namespace lightwave::ocs {
+namespace {
+
+// --- mems --------------------------------------------------------------------
+
+TEST(Mems, FabricationYieldsUsableDie) {
+  common::Rng rng(1);
+  MemsArray array(rng);
+  EXPECT_GE(array.FunctionalCount(), kUsedMirrors);
+  EXPECT_GE(array.SparesRemaining(), 0);
+}
+
+TEST(Mems, LogicalMappingIsInjective) {
+  common::Rng rng(2);
+  MemsArray array(rng);
+  std::set<int> physical;
+  for (int i = 0; i < kUsedMirrors; ++i) physical.insert(array.PhysicalMirror(i));
+  EXPECT_EQ(physical.size(), static_cast<std::size_t>(kUsedMirrors));
+}
+
+TEST(Mems, ActuateSetsTargetWithOpenLoopError) {
+  common::Rng rng(3);
+  MemsArray array(rng);
+  array.Actuate(rng, 7, 0.01, -0.02);
+  const auto& m = array.mirror(array.PhysicalMirror(7));
+  EXPECT_DOUBLE_EQ(m.target_x, 0.01);
+  EXPECT_DOUBLE_EQ(m.target_y, -0.02);
+  EXPECT_GT(array.PointingError(7), 0.0);
+  EXPECT_LT(array.PointingError(7), 10.0 * MemsArray::kOpenLoopErrorStd);
+}
+
+TEST(Mems, FailedMirrorRemapsToSpare) {
+  common::Rng rng(4);
+  MemsArray array(rng);
+  const int spares_before = array.SparesRemaining();
+  ASSERT_GT(spares_before, 0);
+  const int physical = array.PhysicalMirror(0);
+  EXPECT_TRUE(array.FailMirror(rng, physical));
+  EXPECT_NE(array.PhysicalMirror(0), physical);
+  EXPECT_EQ(array.SparesRemaining(), spares_before - 1);
+}
+
+TEST(Mems, ExhaustedSparesReported) {
+  common::Rng rng(5);
+  MemsArray array(rng);
+  // Burn every spare by repeatedly failing logical mirror 0's chain.
+  while (array.SparesRemaining() > 0) {
+    ASSERT_TRUE(array.FailMirror(rng, array.PhysicalMirror(0)));
+  }
+  EXPECT_FALSE(array.FailMirror(rng, array.PhysicalMirror(0)));
+}
+
+// --- collimator --------------------------------------------------------------
+
+TEST(Collimator, PortStatisticsMatchSpec) {
+  common::Rng rng(6);
+  CollimatorArray array(rng, 136);
+  double worst_rl = -100.0;
+  for (int i = 0; i < array.port_count(); ++i) {
+    const auto& p = array.port(i);
+    EXPECT_GT(p.coupling_loss.value(), 0.0);
+    EXPECT_LT(p.return_loss.value(), -38.0);  // the Fig. 10b spec line
+    worst_rl = std::max(worst_rl, p.return_loss.value());
+  }
+  EXPECT_LT(worst_rl, -38.0);
+}
+
+// --- alignment ------------------------------------------------------------------
+
+TEST(Alignment, ConvergesFromOpenLoopError) {
+  common::Rng rng(7);
+  MemsArray array(rng);
+  array.Actuate(rng, 3, 0.005, 0.005);
+  const double before = array.PointingError(3);
+  AlignmentController controller;
+  const auto result = controller.Align(rng, array, 3);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(array.PointingError(3), before);
+  EXPECT_LT(array.PointingError(3), 1e-4);
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.elapsed_ms, 0.0);
+}
+
+TEST(Alignment, MillisecondClassSwitchTime) {
+  // Table C.1: MEMS switching is millisecond class; the alignment loop is
+  // what dominates it.
+  common::Rng rng(8);
+  MemsArray array(rng);
+  array.Actuate(rng, 0, 0.01, 0.0);
+  AlignmentController controller;
+  const auto result = controller.Align(rng, array, 0);
+  EXPECT_GT(result.elapsed_ms, 0.1);
+  EXPECT_LT(result.elapsed_ms, 50.0);
+}
+
+TEST(Alignment, MisalignmentLossQuadratic) {
+  const double small = MisalignmentLoss(1e-4).value();
+  const double large = MisalignmentLoss(2e-4).value();
+  EXPECT_NEAR(large / small, 4.0, 0.01);
+  EXPECT_EQ(MisalignmentLoss(0.0).value(), 0.0);
+}
+
+// --- optical core -----------------------------------------------------------------
+
+TEST(OpticalCore, EstablishPathProducesSpecLoss) {
+  OpticalCore core(common::Rng(9));
+  const auto metrics = core.EstablishPath(5, 77);
+  ASSERT_TRUE(metrics.has_value());
+  // Typically < 2 dB, always < 3 dB (the design target of §3.2.1).
+  EXPECT_GT(metrics->insertion_loss.value(), 0.5);
+  EXPECT_LT(metrics->insertion_loss.value(), 3.5);
+  EXPECT_LT(metrics->return_loss.value(), -38.0);
+  EXPECT_GT(metrics->alignment_time_ms, 0.0);
+}
+
+TEST(OpticalCore, TypicalLossUnder2Db) {
+  OpticalCore core(common::Rng(10));
+  int under_2db = 0;
+  const int samples = 100;
+  for (int i = 0; i < samples; ++i) {
+    const int n = i % core.port_count();
+    const int s = (i * 7 + 3) % core.port_count();
+    const auto metrics = core.EstablishPath(n, s);
+    ASSERT_TRUE(metrics.has_value());
+    under_2db += metrics->insertion_loss.value() < 2.0 ? 1 : 0;
+  }
+  EXPECT_GT(under_2db, 70);  // "insertion losses are typically less than 2dB"
+}
+
+TEST(OpticalCore, MeasurePathStableAfterEstablish) {
+  OpticalCore core(common::Rng(11));
+  const auto established = core.EstablishPath(1, 2);
+  ASSERT_TRUE(established.has_value());
+  const auto measured = core.MeasurePath(1, 2);
+  EXPECT_NEAR(measured.insertion_loss.value(), established->insertion_loss.value(), 1e-9);
+}
+
+// --- chassis ---------------------------------------------------------------------
+
+TEST(Chassis, SteadyStateAvailabilityMeetsSpec) {
+  const Chassis chassis;
+  // §4.1.1: > 99.98% field availability.
+  EXPECT_GT(chassis.SteadyStateAvailability(), 0.9998);
+  EXPECT_LT(chassis.SteadyStateAvailability(), 1.0);
+}
+
+TEST(Chassis, RedundantPsuSurvivesOneFailure) {
+  Chassis chassis;
+  EXPECT_TRUE(chassis.FailUnit(FruKind::kPowerSupply, 0));
+  EXPECT_TRUE(chassis.Operational());
+  EXPECT_FALSE(chassis.FailUnit(FruKind::kPowerSupply, 1));
+  EXPECT_FALSE(chassis.Operational());
+}
+
+TEST(Chassis, FanRedundancyThreeOfFour) {
+  Chassis chassis;
+  EXPECT_TRUE(chassis.FailUnit(FruKind::kFanModule, 2));
+  EXPECT_FALSE(chassis.FailUnit(FruKind::kFanModule, 3));
+}
+
+TEST(Chassis, HvDriverFailureTakesChassisDown) {
+  Chassis chassis;
+  EXPECT_FALSE(chassis.FailUnit(FruKind::kHvDriverBoard, 5));
+  // Hot-swap repair restores operation but disturbs mirror state.
+  EXPECT_TRUE(chassis.RepairUnit(FruKind::kHvDriverBoard, 5));
+  EXPECT_TRUE(chassis.Operational());
+}
+
+TEST(Chassis, PsuSwapDoesNotDisturbMirrors) {
+  Chassis chassis;
+  chassis.FailUnit(FruKind::kPowerSupply, 0);
+  EXPECT_FALSE(chassis.RepairUnit(FruKind::kPowerSupply, 0));
+}
+
+TEST(Chassis, PowerBudgetNear108W) {
+  const Chassis chassis;
+  // §4.1.1: maximum power of the entire system is 108 W.
+  EXPECT_LE(chassis.PowerDrawWatts(), 108.0);
+  EXPECT_GT(chassis.PowerDrawWatts(), 90.0);
+}
+
+// --- palomar ---------------------------------------------------------------------
+
+TEST(Palomar, ConnectDisconnectRoundTrip) {
+  PalomarSwitch ocs(12);
+  const auto conn = ocs.Connect(3, 100);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ(conn.value().north, 3);
+  EXPECT_EQ(conn.value().south, 100);
+  EXPECT_TRUE(ocs.ConnectionOn(3).has_value());
+  EXPECT_TRUE(ocs.Disconnect(3).ok());
+  EXPECT_FALSE(ocs.ConnectionOn(3).has_value());
+}
+
+TEST(Palomar, RejectsDoubleConnect) {
+  PalomarSwitch ocs(13);
+  ASSERT_TRUE(ocs.Connect(1, 2).ok());
+  EXPECT_FALSE(ocs.Connect(1, 3).ok());  // north busy
+  EXPECT_FALSE(ocs.Connect(4, 2).ok());  // south busy
+  EXPECT_EQ(ocs.telemetry().rejected_commands, 2u);
+}
+
+TEST(Palomar, RejectsOutOfRange) {
+  PalomarSwitch ocs(14);
+  EXPECT_FALSE(ocs.Connect(-1, 5).ok());
+  EXPECT_FALSE(ocs.Connect(0, kPalomarPortCount).ok());
+  EXPECT_FALSE(ocs.Disconnect(7).ok());
+}
+
+TEST(Palomar, FullPermutationIsNonBlocking) {
+  PalomarSwitch ocs(15);
+  // Any-to-any: connect the full reversal permutation over the usable ports.
+  for (int n = 0; n < kPalomarUsablePorts; ++n) {
+    ASSERT_TRUE(ocs.Connect(n, kPalomarUsablePorts - 1 - n).ok()) << n;
+  }
+  EXPECT_EQ(ocs.ConnectionCount(), kPalomarUsablePorts);
+}
+
+TEST(Palomar, SparePortPoolStartsFull) {
+  PalomarSwitch ocs(40);
+  EXPECT_EQ(ocs.SparePortsRemaining(true), kPalomarSparePorts);
+  EXPECT_EQ(ocs.SparePortsRemaining(false), kPalomarSparePorts);
+  EXPECT_EQ(ocs.PhysicalPort(true, 17), 17);  // identity until remapped
+}
+
+TEST(Palomar, RemapToSpareMovesActiveConnection) {
+  PalomarSwitch ocs(41);
+  ASSERT_TRUE(ocs.Connect(5, 50).ok());
+  ASSERT_TRUE(ocs.RemapToSpare(true, 5).ok());
+  EXPECT_GE(ocs.PhysicalPort(true, 5), kPalomarUsablePorts);
+  EXPECT_EQ(ocs.SparePortsRemaining(true), kPalomarSparePorts - 1);
+  // The logical connection survived the re-patch.
+  ASSERT_TRUE(ocs.ConnectionOn(5).has_value());
+  EXPECT_EQ(ocs.ConnectionOn(5)->south, 50);
+  EXPECT_TRUE(ocs.PortUsable(true, 5));
+}
+
+TEST(Palomar, RemapRescuesDeadPort) {
+  PalomarSwitch ocs(42);
+  ASSERT_TRUE(ocs.Connect(9, 90).ok());
+  // Exhaust the mirror spares behind logical north port 9.
+  bool usable = true;
+  for (int i = 0; i < 60 && usable; ++i) usable = ocs.InjectMirrorFailure(true, 9);
+  ASSERT_FALSE(ocs.PortUsable(true, 9));
+  EXPECT_FALSE(ocs.Connect(9, 91).ok());
+  // A spare physical port brings the logical port back.
+  ASSERT_TRUE(ocs.RemapToSpare(true, 9).ok());
+  EXPECT_TRUE(ocs.PortUsable(true, 9));
+  EXPECT_TRUE(ocs.Connect(9, 90).ok());
+}
+
+TEST(Palomar, RemapPoolExhausts) {
+  PalomarSwitch ocs(43);
+  for (int i = 0; i < kPalomarSparePorts; ++i) {
+    ASSERT_TRUE(ocs.RemapToSpare(false, i).ok()) << i;
+  }
+  EXPECT_EQ(ocs.SparePortsRemaining(false), 0);
+  EXPECT_FALSE(ocs.RemapToSpare(false, 20).ok());
+  // The remapped ports remain usable, the retired positions do not come back.
+  for (int i = 0; i < kPalomarSparePorts; ++i) EXPECT_TRUE(ocs.PortUsable(false, i));
+}
+
+TEST(Palomar, RemapRejectsOutOfRange) {
+  PalomarSwitch ocs(44);
+  EXPECT_FALSE(ocs.RemapToSpare(true, -1).ok());
+  EXPECT_FALSE(ocs.RemapToSpare(true, kPalomarUsablePorts).ok());
+}
+
+TEST(Palomar, ReconfigurePreservesIntersection) {
+  PalomarSwitch ocs(16);
+  ASSERT_TRUE(ocs.Connect(0, 10).ok());
+  ASSERT_TRUE(ocs.Connect(1, 11).ok());
+  ASSERT_TRUE(ocs.Connect(2, 12).ok());
+  // New target keeps 0->10, moves 1 to 13, drops 2, adds 3->14.
+  const std::map<int, int> target = {{0, 10}, {1, 13}, {3, 14}};
+  const auto report = ocs.Reconfigure(target);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().undisturbed.size(), 1u);
+  EXPECT_EQ(report.value().undisturbed[0].north, 0);
+  EXPECT_EQ(report.value().removed.size(), 2u);
+  EXPECT_EQ(report.value().established.size(), 2u);
+  EXPECT_EQ(ocs.ConnectionCount(), 3);
+  EXPECT_EQ(ocs.ConnectionOn(1)->south, 13);
+  EXPECT_FALSE(ocs.ConnectionOn(2).has_value());
+}
+
+TEST(Palomar, ReconfigureRejectsNonBijective) {
+  PalomarSwitch ocs(17);
+  ASSERT_TRUE(ocs.Connect(0, 5).ok());
+  // Two norths to one south.
+  const auto report = ocs.Reconfigure({{1, 9}, {2, 9}});
+  EXPECT_FALSE(report.ok());
+  // Prior state untouched.
+  EXPECT_EQ(ocs.ConnectionCount(), 1);
+  EXPECT_EQ(ocs.ConnectionOn(0)->south, 5);
+}
+
+TEST(Palomar, ReconfigureDurationMillisecondClass) {
+  PalomarSwitch ocs(18);
+  std::map<int, int> target;
+  for (int i = 0; i < 64; ++i) target[i] = i + 64;
+  const auto report = ocs.Reconfigure(target);
+  ASSERT_TRUE(report.ok());
+  // Mirrors actuate in parallel: duration is per-path alignment + command
+  // overhead, NOT proportional to 64 connections.
+  EXPECT_LT(report.value().duration_ms, 60.0);
+  EXPECT_GT(report.value().duration_ms, 1.0);
+}
+
+TEST(Palomar, SelfLoopSupportsWraparound) {
+  // A 1-cube torus dimension wraps by connecting a cube's +face to its own
+  // -face: north i -> south i.
+  PalomarSwitch ocs(19);
+  EXPECT_TRUE(ocs.Connect(42, 42).ok());
+}
+
+TEST(Palomar, MirrorFailureWithSparesKeepsPortAlive) {
+  PalomarSwitch ocs(20);
+  ASSERT_TRUE(ocs.Connect(7, 70).ok());
+  const bool survived = ocs.InjectMirrorFailure(/*north_side=*/true, 7);
+  EXPECT_TRUE(survived);
+  EXPECT_TRUE(ocs.PortUsable(true, 7));
+  // The connection was re-established through the spare mirror.
+  ASSERT_TRUE(ocs.ConnectionOn(7).has_value());
+  EXPECT_EQ(ocs.ConnectionOn(7)->south, 70);
+}
+
+TEST(Palomar, PortDiesWhenSparesExhausted) {
+  PalomarSwitch ocs(21);
+  ASSERT_TRUE(ocs.Connect(9, 90).ok());
+  bool usable = true;
+  for (int i = 0; i < 60 && usable; ++i) {
+    usable = ocs.InjectMirrorFailure(true, 9);
+  }
+  EXPECT_FALSE(usable);
+  EXPECT_FALSE(ocs.PortUsable(true, 9));
+  EXPECT_FALSE(ocs.ConnectionOn(9).has_value());
+  EXPECT_FALSE(ocs.Connect(9, 91).ok());
+}
+
+TEST(Palomar, SurveyReportsAllConnections) {
+  PalomarSwitch ocs(22);
+  ASSERT_TRUE(ocs.Connect(0, 1).ok());
+  ASSERT_TRUE(ocs.Connect(2, 3).ok());
+  const auto survey = ocs.SurveyConnections();
+  EXPECT_EQ(survey.size(), 2u);
+  for (const auto& conn : survey) {
+    EXPECT_GT(conn.insertion_loss.value(), 0.0);
+    EXPECT_LT(conn.return_loss.value(), -38.0);
+  }
+}
+
+TEST(Palomar, TelemetryCountsCommands) {
+  PalomarSwitch ocs(23);
+  (void)ocs.Connect(0, 1);
+  (void)ocs.Connect(0, 2);  // rejected
+  (void)ocs.Disconnect(0);
+  (void)ocs.Reconfigure({{5, 6}});
+  const auto& t = ocs.telemetry();
+  EXPECT_EQ(t.connects, 2u);  // initial connect + reconfigure-established
+  EXPECT_EQ(t.disconnects, 1u);
+  EXPECT_EQ(t.rejected_commands, 1u);
+  EXPECT_EQ(t.reconfigurations, 1u);
+}
+
+class PalomarPermutationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PalomarPermutationSweep, ReconfigureToShiftedPermutationIsExact) {
+  const int shift = GetParam();
+  PalomarSwitch ocs(24);
+  std::map<int, int> identity;
+  for (int i = 0; i < kPalomarUsablePorts; ++i) identity[i] = i;
+  ASSERT_TRUE(ocs.Reconfigure(identity).ok());
+
+  std::map<int, int> shifted;
+  for (int i = 0; i < kPalomarUsablePorts; ++i) {
+    shifted[i] = (i + shift) % kPalomarUsablePorts;
+  }
+  const auto report = ocs.Reconfigure(shifted);
+  ASSERT_TRUE(report.ok());
+  // Connections with i == (i+shift) mod P stay undisturbed (all for shift 0).
+  const std::size_t expected_undisturbed = shift == 0 ? kPalomarUsablePorts : 0;
+  EXPECT_EQ(report.value().undisturbed.size(), expected_undisturbed);
+  // Verify the final mapping is exactly the shifted permutation.
+  for (int i = 0; i < kPalomarUsablePorts; ++i) {
+    ASSERT_TRUE(ocs.ConnectionOn(i).has_value());
+    EXPECT_EQ(ocs.ConnectionOn(i)->south, (i + shift) % kPalomarUsablePorts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, PalomarPermutationSweep, ::testing::Values(0, 1, 7, 64));
+
+// --- technology ------------------------------------------------------------------
+
+TEST(Technology, TableHasFiveRows) {
+  EXPECT_EQ(OcsTechnologies().size(), 5u);
+}
+
+TEST(Technology, MemsWinsForDatacenterRequirements) {
+  // §3.2.1: MEMS provides the best match for the DCN/ML requirements.
+  const auto ranked = RankTechnologies(UseCaseRequirements{}, OcsTechnologies());
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().technology.name, "MEMS");
+  EXPECT_GT(ranked.front().score, 0.0);
+}
+
+TEST(Technology, GuidedWaveFailsRadixRequirement) {
+  const auto ranked = RankTechnologies(UseCaseRequirements{}, OcsTechnologies());
+  for (const auto& ts : ranked) {
+    if (ts.technology.name == "GuidedWave") {
+      EXPECT_LT(ts.score, 0.0);
+      EXPECT_NE(ts.rationale.find("radix"), std::string::npos);
+    }
+  }
+}
+
+TEST(Technology, RoboticFailsFastReconfigurationUseCase) {
+  UseCaseRequirements req;
+  req.max_switching_time_s = 0.1;
+  const auto ranked = RankTechnologies(req, OcsTechnologies());
+  for (const auto& ts : ranked) {
+    if (ts.technology.name == "Robotic") EXPECT_LT(ts.score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lightwave::ocs

@@ -1,0 +1,248 @@
+// Unit tests for the PHY layer: BER model anchoring and monotonicity, MPI
+// floors, OIM gains, and Monte-Carlo / analytic agreement (Fig. 11a vs 11b).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "optics/transceiver.h"
+#include "phy/ber_model.h"
+#include "phy/monte_carlo.h"
+#include "phy/oim.h"
+
+namespace lightwave::phy {
+namespace {
+
+using common::DbmPower;
+using common::Decibel;
+using optics::Modulation;
+
+constexpr Decibel kNoMpi{-400.0};
+
+BerModel Pam4Model() { return BerModel(Modulation::kPam4, DbmPower{-9.5}); }
+
+// --- ber model ---------------------------------------------------------------
+
+TEST(BerModel, AnchoredAtSensitivity) {
+  const BerModel model = Pam4Model();
+  EXPECT_NEAR(model.PreFecBer(DbmPower{-9.5}, kNoMpi), kKp4BerThreshold,
+              kKp4BerThreshold * 0.02);
+}
+
+TEST(BerModel, NrzAnchor) {
+  const BerModel model(Modulation::kNrz, DbmPower{-14.0});
+  EXPECT_NEAR(model.PreFecBer(DbmPower{-14.0}, kNoMpi), kKp4BerThreshold,
+              kKp4BerThreshold * 0.02);
+}
+
+TEST(BerModel, BerDecreasesWithPower) {
+  const BerModel model = Pam4Model();
+  double prev = 1.0;
+  for (double p = -12.0; p <= -6.0; p += 1.0) {
+    const double ber = model.PreFecBer(DbmPower{p}, kNoMpi);
+    EXPECT_LT(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(BerModel, BerIncreasesWithMpi) {
+  const BerModel model = Pam4Model();
+  const DbmPower rx{-8.0};
+  EXPECT_LT(model.PreFecBer(rx, Decibel{-38.0}), model.PreFecBer(rx, Decibel{-32.0}));
+  EXPECT_LT(model.PreFecBer(rx, Decibel{-32.0}), model.PreFecBer(rx, Decibel{-26.0}));
+}
+
+TEST(BerModel, HighMpiCausesErrorFloor) {
+  const BerModel model = Pam4Model();
+  // At -24 dB MPI the beat noise scales with signal power: more power no
+  // longer reaches the KP4 threshold (the flattening curves of Fig. 11a).
+  const double floor_ber = model.PreFecBer(DbmPower{10.0}, Decibel{-24.0});
+  EXPECT_GT(floor_ber, kKp4BerThreshold);
+  EXPECT_EQ(model.SensitivityAt(kKp4BerThreshold, Decibel{-24.0}).value(), 1e9);
+}
+
+TEST(BerModel, SensitivityDegradesWithMpi) {
+  const BerModel model = Pam4Model();
+  const double clean = model.SensitivityAt(kKp4BerThreshold, kNoMpi).value();
+  const double mpi_38 = model.SensitivityAt(kKp4BerThreshold, Decibel{-38.0}).value();
+  const double mpi_32 = model.SensitivityAt(kKp4BerThreshold, Decibel{-32.0}).value();
+  EXPECT_LT(clean, mpi_38);
+  EXPECT_LT(mpi_38, mpi_32);
+}
+
+TEST(BerModel, OimGainExceeds1dbAtMinus32) {
+  // The headline Fig. 11 number: >1 dB sensitivity improvement from OIM at
+  // -32 dB MPI and the KP4 threshold.
+  const BerModel model = Pam4Model();
+  const OimFilter oim;
+  EXPECT_GT(model.OimGain(Decibel{-32.0}, oim).value(), 1.0);
+}
+
+TEST(BerModel, OimRecoversFlooredLink) {
+  const BerModel model = Pam4Model();
+  const OimFilter oim;
+  // -24 dB floors without OIM but closes with it.
+  EXPECT_EQ(model.SensitivityAt(kKp4BerThreshold, Decibel{-24.0}).value(), 1e9);
+  EXPECT_LT(model.SensitivityAt(kKp4BerThreshold, oim.Mitigate(Decibel{-24.0})).value(),
+            0.0);
+}
+
+TEST(BerModel, RequiredQValues) {
+  EXPECT_NEAR(RequiredQ(Modulation::kNrz, 2e-4), 3.54, 0.02);
+  EXPECT_NEAR(RequiredQ(Modulation::kPam4, 2e-4), 3.46, 0.02);
+}
+
+// --- oim ---------------------------------------------------------------------
+
+TEST(Oim, SuppressionAppliedWhenLocked) {
+  const OimFilter oim;
+  EXPECT_NEAR(oim.Mitigate(Decibel{-32.0}).value(), -44.0, 1e-9);
+}
+
+TEST(Oim, ReducedSuppressionOutOfTrackingRange) {
+  OimConfig config;
+  config.tracking_range_ghz = 10.0;
+  const OimFilter oim(config);
+  const double in_range = oim.Mitigate(Decibel{-32.0}, 5.0).value();
+  const double out_of_range = oim.Mitigate(Decibel{-32.0}, 25.0).value();
+  EXPECT_LT(in_range, out_of_range);
+  EXPECT_NEAR(out_of_range, -33.0, 1e-9);
+}
+
+// --- oim tracker -----------------------------------------------------------------
+
+TEST(OimTracker, ConvergesOnStaticOffset) {
+  OimTracker tracker;
+  for (int i = 0; i < 30; ++i) tracker.Step(8.0);
+  EXPECT_NEAR(tracker.notch_center_ghz(), 8.0, 1e-3);
+  EXPECT_NEAR(tracker.SuppressionFor(8.0).value(),
+              tracker.config().locked_suppression.value(), 1e-3);
+}
+
+TEST(OimTracker, TracksSlowDrift) {
+  OimTracker tracker;
+  double offset = 0.0;
+  for (int i = 0; i < 200; ++i) tracker.Step(offset);
+  double worst_supp = 100.0;
+  for (int i = 0; i < 500; ++i) {
+    offset += 0.05;  // 0.05 GHz per update: well inside the slew limit
+    tracker.Step(offset);
+    worst_supp = std::min(worst_supp, tracker.SuppressionFor(offset).value());
+  }
+  EXPECT_GT(worst_supp, 11.5);  // essentially full suppression throughout
+}
+
+TEST(OimTracker, FastDriftDefeatsSlewLimit) {
+  OimTracker tracker;
+  double offset = 0.0;
+  double worst_supp = 100.0;
+  for (int i = 0; i < 100; ++i) {
+    offset += 2.0;  // 2 GHz per update >> 0.5 GHz slew limit
+    tracker.Step(offset);
+    worst_supp = std::min(worst_supp, tracker.SuppressionFor(offset).value());
+  }
+  EXPECT_LT(worst_supp, 3.0);  // the notch falls behind; suppression collapses
+}
+
+TEST(OimTracker, SuppressionRollsOffLorentzian) {
+  OimTracker tracker;
+  for (int i = 0; i < 30; ++i) tracker.Step(0.0);
+  const double full = tracker.SuppressionFor(0.0).value();
+  const double at_edge = tracker.SuppressionFor(1.0).value();  // half width
+  EXPECT_NEAR(at_edge, full / 2.0, 1e-6);
+  EXPECT_LT(tracker.SuppressionFor(5.0).value(), full / 10.0);
+}
+
+TEST(OimTracker, MitigateAppliesCurrentSuppression) {
+  OimTracker tracker;
+  for (int i = 0; i < 30; ++i) tracker.Step(3.0);
+  const auto mitigated = tracker.Mitigate(Decibel{-32.0}, 3.0);
+  EXPECT_NEAR(mitigated.value(), -32.0 - tracker.config().locked_suppression.value(),
+              1e-3);
+}
+
+TEST(OimTracker, NoisyEstimatesStillConverge) {
+  OimTracker tracker;
+  common::Rng rng(71);
+  for (int i = 0; i < 200; ++i) {
+    tracker.Step(6.0, rng.Gaussian(0.0, tracker.config().measurement_noise_ghz));
+  }
+  EXPECT_NEAR(tracker.notch_center_ghz(), 6.0, 0.2);
+}
+
+// --- monte carlo -----------------------------------------------------------------
+
+TEST(MonteCarlo, MatchesAnalyticCleanChannel) {
+  const BerModel model = Pam4Model();
+  MonteCarloConfig config;
+  config.symbols = 4'000'000;
+  MonteCarloChannel channel(model, kNoMpi, config);
+  const DbmPower rx{-9.0};
+  const double simulated = channel.Run(rx).Ber();
+  const double analytic = model.PreFecBer(rx, kNoMpi);
+  EXPECT_GT(simulated, analytic * 0.6);
+  EXPECT_LT(simulated, analytic * 1.6);
+}
+
+TEST(MonteCarlo, MatchesAnalyticWithMpi) {
+  const BerModel model = Pam4Model();
+  MonteCarloConfig config;
+  config.symbols = 4'000'000;
+  MonteCarloChannel channel(model, Decibel{-30.0}, config);
+  const DbmPower rx{-8.0};
+  const double simulated = channel.Run(rx).Ber();
+  const double analytic = model.PreFecBer(rx, Decibel{-30.0});
+  EXPECT_GT(simulated, analytic * 0.5);
+  EXPECT_LT(simulated, analytic * 2.0);
+}
+
+TEST(MonteCarlo, OimImprovesMeasuredBer) {
+  const BerModel model = Pam4Model();
+  MonteCarloConfig config;
+  config.symbols = 2'000'000;
+  MonteCarloChannel without(model, Decibel{-28.0}, config);
+  config.oim_enabled = true;
+  MonteCarloChannel with(model, Decibel{-28.0}, config);
+  const DbmPower rx{-8.5};
+  EXPECT_LT(with.Run(rx).Ber(), without.Run(rx).Ber());
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const BerModel model = Pam4Model();
+  MonteCarloConfig config;
+  config.symbols = 200'000;
+  MonteCarloChannel a(model, Decibel{-30.0}, config);
+  MonteCarloChannel b(model, Decibel{-30.0}, config);
+  EXPECT_EQ(a.Run(DbmPower{-9.0}).bit_errors, b.Run(DbmPower{-9.0}).bit_errors);
+}
+
+TEST(MonteCarlo, BitsCounted) {
+  const BerModel model = Pam4Model();
+  MonteCarloConfig config;
+  config.symbols = 1000;
+  MonteCarloChannel channel(model, kNoMpi, config);
+  EXPECT_EQ(channel.Run(DbmPower{0.0}).bits, 2000u);  // PAM4: 2 bits/symbol
+}
+
+class MonteCarloPowerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonteCarloPowerSweep, BerWithinBandOfAnalytic) {
+  const BerModel model = Pam4Model();
+  MonteCarloConfig config;
+  config.symbols = 3'000'000;
+  MonteCarloChannel channel(model, Decibel{-32.0}, config);
+  const DbmPower rx{GetParam()};
+  const double simulated = channel.Run(rx).Ber();
+  const double analytic = model.PreFecBer(rx, Decibel{-32.0});
+  if (analytic > 1e-5) {  // enough statistics at 3M symbols
+    EXPECT_GT(simulated, analytic * 0.5) << "rx=" << rx.value();
+    EXPECT_LT(simulated, analytic * 2.0) << "rx=" << rx.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, MonteCarloPowerSweep,
+                         ::testing::Values(-10.0, -9.0, -8.0, -7.0));
+
+}  // namespace
+}  // namespace lightwave::phy

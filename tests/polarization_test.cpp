@@ -1,0 +1,129 @@
+// Tests for the Appendix-B polarization optics: Jones calculus building
+// blocks, the non-reciprocity of the Faraday rotator, and the circulator's
+// cyclic connectivity + isolation sensitivity to component error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optics/polarization.h"
+
+namespace lightwave::optics {
+namespace {
+
+constexpr double kPi = M_PI;
+
+JonesVector SPolarized() { return JonesVector{{1.0, 0.0}, {0.0, 0.0}}; }
+JonesVector PPolarized() { return JonesVector{{0.0, 0.0}, {1.0, 0.0}}; }
+JonesVector Diagonal() {
+  const double r = 1.0 / std::sqrt(2.0);
+  return JonesVector{{r, 0.0}, {r, 0.0}};
+}
+
+TEST(Jones, PowerConservedByRotation) {
+  for (double angle : {0.1, 0.7, 1.3, -0.4}) {
+    const auto out = Rotator(angle) * Diagonal();
+    EXPECT_NEAR(out.Power(), 1.0, 1e-12) << angle;
+  }
+}
+
+TEST(Jones, RotatorComposition) {
+  const auto once = Rotator(0.5) * (Rotator(0.25) * SPolarized());
+  const auto combined = (Rotator(0.5) * Rotator(0.25)) * SPolarized();
+  EXPECT_NEAR(std::abs(once.s - combined.s), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(once.p - combined.p), 0.0, 1e-12);
+}
+
+TEST(Jones, QuarterTurnSwapsPolarizations) {
+  const auto out = Rotator(kPi / 2.0) * SPolarized();
+  EXPECT_NEAR(std::norm(out.p), 1.0, 1e-12);
+  EXPECT_NEAR(std::norm(out.s), 0.0, 1e-12);
+}
+
+TEST(Jones, PolarizersProject) {
+  const auto s_arm = PolarizerS() * Diagonal();
+  const auto p_arm = PolarizerP() * Diagonal();
+  EXPECT_NEAR(s_arm.Power(), 0.5, 1e-12);
+  EXPECT_NEAR(p_arm.Power(), 0.5, 1e-12);
+  // The two PBS arms together conserve power.
+  EXPECT_NEAR(s_arm.Power() + p_arm.Power(), 1.0, 1e-12);
+}
+
+TEST(Jones, HalfWavePlateReflectsAboutAxis) {
+  // HWP at 22.5 degrees rotates s-polarized light by 45 degrees.
+  const auto out = HalfWavePlate(kPi / 8.0) * SPolarized();
+  EXPECT_NEAR(std::norm(out.s), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(out.p), 0.5, 1e-12);
+  // Applying it twice is the identity (a true half-wave reflection).
+  const auto twice = HalfWavePlate(kPi / 8.0) * out;
+  EXPECT_NEAR(std::norm(twice.s), 1.0, 1e-12);
+}
+
+TEST(Jones, FaradayPlateCombinationIsDirectionSensitive) {
+  // The operative non-reciprocity (Fig. B.1): combined with the reciprocal
+  // +45-degree plate, the Faraday rotator cancels in the forward direction
+  // but adds in the backward direction — identity one way, a 90-degree
+  // rotation the other.
+  const double theta = kPi / 4.0;
+  const auto forward = Rotator(theta) * FaradayForward(theta);
+  const auto fwd_out = forward * SPolarized();
+  EXPECT_NEAR(std::norm(fwd_out.s), 1.0, 1e-12);
+  EXPECT_NEAR(std::norm(fwd_out.p), 0.0, 1e-12);
+
+  const auto backward = FaradayBackward(theta) * Rotator(theta);
+  const auto bwd_s = backward * SPolarized();
+  const auto bwd_p = backward * PPolarized();
+  EXPECT_NEAR(std::norm(bwd_s.p), 1.0, 1e-12);  // s -> p
+  EXPECT_NEAR(std::norm(bwd_p.s), 1.0, 1e-12);  // p -> s
+}
+
+// --- circulator -----------------------------------------------------------------
+
+TEST(Circulator, IdealForwardPassIsLossless) {
+  const PolarizationCirculator ideal;
+  EXPECT_NEAR(ideal.Port1To2Power(), 1.0, 1e-12);
+}
+
+TEST(Circulator, IdealBackwardPassRoutesAllPolarizations) {
+  // Fiber scrambles polarization (Appendix B): port 2 -> 3 must pass any
+  // input state.
+  const PolarizationCirculator ideal;
+  for (const auto& input : {SPolarized(), PPolarized(), Diagonal()}) {
+    EXPECT_NEAR(ideal.Port2To3Power(input), input.Power(), 1e-12);
+  }
+}
+
+TEST(Circulator, IdealIsolationIsPerfect) {
+  const PolarizationCirculator ideal;
+  EXPECT_NEAR(ideal.Port1To3Leakage(), 0.0, 1e-12);
+  EXPECT_LE(ideal.IsolationDb(), -99.0);
+}
+
+TEST(Circulator, RotationErrorLeaksQuadratically) {
+  // Small-angle physics: leakage = sin^2(error) ~ error^2.
+  const double e1 = 0.01, e2 = 0.02;
+  const PolarizationCirculator c1(e1), c2(e2);
+  EXPECT_NEAR(c1.Port1To3Leakage(), e1 * e1, 1e-6);
+  EXPECT_NEAR(c2.Port1To3Leakage() / c1.Port1To3Leakage(), 4.0, 0.01);
+}
+
+TEST(Circulator, ProductionIsolationNeedsTightRotators) {
+  // The -50 dB isolation of the integrated part (circulator.h) corresponds
+  // to ~0.18 degrees of rotator error; 1 degree only reaches ~-35 dB —
+  // why the telecom baseline had to be re-engineered (§3.3.1).
+  const PolarizationCirculator tight(0.0032);  // ~0.18 deg
+  const PolarizationCirculator loose(0.0175);  // ~1 deg
+  EXPECT_LT(tight.IsolationDb(), -49.0);
+  EXPECT_GT(loose.IsolationDb(), -36.0);
+  EXPECT_LT(loose.IsolationDb(), -34.0);
+}
+
+TEST(Circulator, ErrorAlsoCostsForwardPower) {
+  const PolarizationCirculator imperfect(0.05);
+  const double through = imperfect.Port1To2Power();
+  EXPECT_LT(through, 1.0);
+  // Power conservation: what does not reach port 2 leaks to port 3.
+  EXPECT_NEAR(through + imperfect.Port1To3Leakage(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lightwave::optics

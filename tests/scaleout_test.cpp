@@ -1,0 +1,161 @@
+// Tests for the scale-out machinery: multipod hybrid ICI-DCN training
+// (§2.2.2) and the phase-reconfiguration study (§6).
+#include <gtest/gtest.h>
+
+#include "sim/multipod.h"
+#include "sim/phase_reconfig.h"
+
+namespace lightwave::sim {
+namespace {
+
+// --- multipod ------------------------------------------------------------------
+
+TEST(Multipod, SinglePodHasNoDcnComponent) {
+  MultipodTrainer trainer;
+  MultipodConfig config;
+  config.pods = 1;
+  const auto step = trainer.StepTime(Llm1(), config);
+  EXPECT_EQ(step.dcn_allreduce_us, 0.0);
+  EXPECT_EQ(step.dcn_exposed_us, 0.0);
+  EXPECT_GT(step.intra_pod_us, 0.0);
+  EXPECT_DOUBLE_EQ(step.total_us, step.intra_pod_us);
+}
+
+TEST(Multipod, IciToDcnBandwidthRatioInPaperRange) {
+  // §2.2: "the scale-up ICI within a superpod provides 50-100x more
+  // bandwidth than the DCN".
+  MultipodTrainer trainer;
+  MultipodConfig config;
+  const auto step = trainer.StepTime(Llm1(), config);
+  EXPECT_GE(step.ici_to_dcn_ratio, 50.0);
+  EXPECT_LE(step.ici_to_dcn_ratio, 150.0);
+}
+
+TEST(Multipod, EngineeredDcnBeatsUniformMesh) {
+  MultipodTrainer trainer;
+  MultipodConfig engineered;
+  engineered.pods = 8;
+  MultipodConfig uniform = engineered;
+  uniform.dcn_mode = MultipodConfig::DcnMode::kUniformMesh;
+  const auto e = trainer.StepTime(Llm1(), engineered);
+  const auto u = trainer.StepTime(Llm1(), uniform);
+  // The engineered ring concentrates uplink bandwidth on the two
+  // neighbours: (pods-1)/2 more per-hop bandwidth.
+  EXPECT_LT(e.dcn_allreduce_us, u.dcn_allreduce_us);
+  EXPECT_LE(e.total_us, u.total_us);
+}
+
+TEST(Multipod, RingBandwidthFormulas) {
+  MultipodConfig config;
+  config.pods = 8;
+  config.dcn_gbps_per_pod = 8000.0;
+  config.dcn_mode = MultipodConfig::DcnMode::kUniformMesh;
+  EXPECT_NEAR(MultipodTrainer::PodRingBandwidthGbps(config), 8000.0 / 7.0, 1e-9);
+  config.dcn_mode = MultipodConfig::DcnMode::kEngineered;
+  EXPECT_NEAR(MultipodTrainer::PodRingBandwidthGbps(config), 4000.0, 1e-9);
+  config.pods = 2;
+  EXPECT_NEAR(MultipodTrainer::PodRingBandwidthGbps(config), 8000.0, 1e-9);
+}
+
+TEST(Multipod, MorePodsShrinkIntraPodTimeButAddDcn) {
+  MultipodTrainer trainer;
+  MultipodConfig one;
+  one.pods = 1;
+  MultipodConfig four;
+  four.pods = 4;
+  const auto s1 = trainer.StepTime(Llm1(), one);
+  const auto s4 = trainer.StepTime(Llm1(), four);
+  // Each pod processes 1/4 of the batch: intra-pod time shrinks.
+  EXPECT_LT(s4.intra_pod_us, s1.intra_pod_us);
+  // The cross-pod gradient all-reduce is on the critical path (§2.2.2).
+  EXPECT_GT(s4.dcn_allreduce_us, 0.0);
+  // Net: scaling out helps wall-clock per step here.
+  EXPECT_LT(s4.total_us, s1.total_us);
+}
+
+TEST(Multipod, ThroughputConsistent) {
+  MultipodTrainer trainer;
+  MultipodConfig config;
+  config.pods = 4;
+  const auto step = trainer.StepTime(Llm0(), config);
+  EXPECT_NEAR(step.throughput_seq_per_s, Llm0().global_batch / (step.total_us * 1e-6),
+              1e-6);
+}
+
+// --- phase reconfiguration -----------------------------------------------------
+
+std::vector<TrainingPhase> TwoPhaseJob(int steps) {
+  // A data-heavy phase and a model-heavy phase with different optima.
+  return {
+      TrainingPhase{.workload = Llm1(), .steps = steps},   // wants 4x4x256
+      TrainingPhase{.workload = Llm2(), .steps = steps},   // wants 16x16x16
+  };
+}
+
+TEST(PhaseReconfig, PerPhaseShapesAreTheWorkloadOptima) {
+  const auto result =
+      EvaluatePhaseSchedule(TwoPhaseJob(10), 64, ReconfigurationCost{});
+  ASSERT_EQ(result.per_phase_shapes.size(), 2u);
+  EXPECT_EQ(result.per_phase_shapes[0].ToString(), "4x4x256");
+  EXPECT_EQ(result.per_phase_shapes[1].ToString(), "16x16x16");
+}
+
+TEST(PhaseReconfig, ReconfigurationWinsForLongPhases) {
+  // MEMS-class switching (~22 ms total) amortizes over multi-second steps
+  // immediately.
+  const auto result =
+      EvaluatePhaseSchedule(TwoPhaseJob(10), 64, ReconfigurationCost{});
+  EXPECT_GT(result.speedup, 1.2);
+  EXPECT_GT(result.reconfig_overhead_us, 0.0);
+}
+
+TEST(PhaseReconfig, HugeSwitchCostFavorsFixedShape) {
+  ReconfigurationCost glacial;
+  glacial.switch_us = 1e12;  // pathological
+  const auto result = EvaluatePhaseSchedule(TwoPhaseJob(1), 64, glacial);
+  EXPECT_LT(result.speedup, 1.0);
+}
+
+TEST(PhaseReconfig, IdenticalPhasesNeverReconfigure) {
+  std::vector<TrainingPhase> same = {
+      TrainingPhase{.workload = Llm2(), .steps = 5},
+      TrainingPhase{.workload = Llm2(), .steps = 5},
+  };
+  const auto result = EvaluatePhaseSchedule(same, 64, ReconfigurationCost{});
+  EXPECT_EQ(result.reconfig_overhead_us, 0.0);
+  EXPECT_NEAR(result.speedup, 1.0, 1e-9);
+}
+
+TEST(PhaseReconfig, FixedShapeIsBestCompromise) {
+  const auto result =
+      EvaluatePhaseSchedule(TwoPhaseJob(5), 64, ReconfigurationCost{});
+  // The compromise must be at least as good as either phase's optimum run
+  // for the whole job; sanity: it is one of the enumerated shapes and its
+  // time is finite and above the reconfig strategy's compute-only time.
+  EXPECT_GT(result.fixed_us, 0.0);
+  EXPECT_GE(result.fixed_us, result.reconfig_us - result.reconfig_overhead_us);
+}
+
+TEST(PhaseReconfig, CrossoverShrinksWithFasterSwitching) {
+  ReconfigurationCost mems;        // ~22 ms
+  ReconfigurationCost microsec;    // future piezo/SiPh-class
+  microsec.switch_us = 100.0;
+  microsec.link_bringup_us = 10.0;
+  const auto phases = TwoPhaseJob(1);
+  const int slow = CrossoverStepsPerPhase(phases, 64, mems);
+  const int fast = CrossoverStepsPerPhase(phases, 64, microsec);
+  ASSERT_GT(slow, 0);
+  ASSERT_GT(fast, 0);
+  EXPECT_LE(fast, slow);
+}
+
+TEST(PhaseReconfig, CrossoverNeverWhenShapesAgree) {
+  std::vector<TrainingPhase> same = {
+      TrainingPhase{.workload = Llm0(), .steps = 1},
+      TrainingPhase{.workload = Llm0(), .steps = 1},
+  };
+  EXPECT_EQ(CrossoverStepsPerPhase(same, 64, ReconfigurationCost{}), -1);
+}
+
+}  // namespace
+}  // namespace lightwave::sim

@@ -1,0 +1,366 @@
+// Unit tests for the TPU substrate: cube geometry and health, the
+// Appendix-A wiring plan, slice shapes / topology / OCS connection sets /
+// bisection math, and the superpod install/remove/failure flows.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpu/cube.h"
+#include "tpu/slice.h"
+#include "tpu/superpod.h"
+#include "tpu/wiring.h"
+
+namespace lightwave::tpu {
+namespace {
+
+// --- cube --------------------------------------------------------------------
+
+TEST(CubeTest, Geometry) {
+  EXPECT_EQ(kChipsPerCube, 64);
+  EXPECT_EQ(kHostsPerCube, 16);
+  EXPECT_EQ(kFaceLinks, 16);
+  EXPECT_EQ(kOpticalLinksPerCube, 96);
+}
+
+TEST(CubeTest, CoordRoundTrip) {
+  for (int i = 0; i < kChipsPerCube; ++i) {
+    EXPECT_EQ(Cube::IndexOf(Cube::CoordOf(i)), i);
+  }
+}
+
+TEST(CubeTest, CoordsInRange) {
+  for (int i = 0; i < kChipsPerCube; ++i) {
+    const auto c = Cube::CoordOf(i);
+    EXPECT_GE(c.x, 0);
+    EXPECT_LT(c.x, kCubeEdge);
+    EXPECT_GE(c.y, 0);
+    EXPECT_LT(c.y, kCubeEdge);
+    EXPECT_GE(c.z, 0);
+    EXPECT_LT(c.z, kCubeEdge);
+  }
+}
+
+TEST(CubeTest, HostOwnsFourChips) {
+  EXPECT_EQ(Cube::HostOf(0), 0);
+  EXPECT_EQ(Cube::HostOf(3), 0);
+  EXPECT_EQ(Cube::HostOf(4), 1);
+  EXPECT_EQ(Cube::HostOf(63), 15);
+}
+
+TEST(CubeTest, HostFailureKillsItsChipsAndCube) {
+  Cube cube(0);
+  EXPECT_TRUE(cube.Healthy());
+  cube.SetHostHealth(2, false);
+  EXPECT_FALSE(cube.Healthy());
+  for (int chip = 8; chip < 12; ++chip) EXPECT_FALSE(cube.chip(chip).healthy);
+  EXPECT_TRUE(cube.chip(0).healthy);
+  cube.Restore();
+  EXPECT_TRUE(cube.Healthy());
+}
+
+TEST(CubeTest, SingleChipFailureDegradesCube) {
+  Cube cube(1);
+  cube.SetChipHealth(17, false);
+  EXPECT_FALSE(cube.Healthy());
+}
+
+// --- wiring -------------------------------------------------------------------
+
+TEST(Wiring, ProductionPlanCounts) {
+  const WiringPlan plan;
+  EXPECT_EQ(plan.cube_count(), 64);
+  EXPECT_EQ(plan.ocs_count(), 48);
+  EXPECT_EQ(plan.OpticalLinksPerCube(), 96);
+}
+
+TEST(Wiring, OcsIdsPartitionByDimension) {
+  const WiringPlan plan;
+  std::set<int> ids;
+  for (Dim d : kAllDims) {
+    for (int f = 0; f < plan.ocs_per_dim(); ++f) {
+      const int id = plan.OcsFor(d, f);
+      EXPECT_TRUE(ids.insert(id).second) << "duplicate ocs id " << id;
+      EXPECT_EQ(plan.DimOfOcs(id), d);
+      EXPECT_EQ(plan.FaceIndexOfOcs(id), f);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), plan.ocs_count());
+}
+
+TEST(Wiring, PlusAndMinusFacesShareOcsAndPortIndex) {
+  // Appendix A: the +/- connections of a dimension land on the same OCS so
+  // rings (including self-loop wraparound) are bijective N->S maps.
+  const WiringPlan plan;
+  const auto a = plan.AssignmentFor(17, Dim::kY, 5);
+  EXPECT_EQ(a.ocs_id, plan.OcsFor(Dim::kY, 5));
+  EXPECT_EQ(a.north_port, 17);
+  EXPECT_EQ(a.south_port, 17);
+}
+
+TEST(Wiring, OcsCountPerTransceiverTechnology) {
+  // §4.2.2: 96 / 48 / 24 OCSes for duplex CWDM4 / bidi CWDM4 / bidi CWDM8.
+  EXPECT_EQ(OcsCountForTransceiver(false, 4), 96);
+  EXPECT_EQ(OcsCountForTransceiver(true, 4), 48);
+  EXPECT_EQ(OcsCountForTransceiver(true, 8), 24);
+}
+
+// --- slice shapes ----------------------------------------------------------------
+
+TEST(Shapes, ChipDimsAreCubeTimesFour) {
+  const SliceShape s{2, 4, 8};
+  EXPECT_EQ(s.CubeCount(), 64);
+  EXPECT_EQ(s.ChipCount(), 4096);
+  EXPECT_EQ(s.ToString(), "8x16x32");
+  EXPECT_EQ(s.ToCubeString(), "2x4x8");
+}
+
+TEST(Shapes, EnumerateOrderedShapesOf64) {
+  const auto shapes = EnumerateShapes(64);
+  // Ordered factor triples of 64 = 7 choose... verify count by direct
+  // enumeration: sum over divisors a of d(64/a).
+  EXPECT_EQ(shapes.size(), 28u);
+  for (const auto& s : shapes) EXPECT_EQ(s.CubeCount(), 64);
+}
+
+TEST(Shapes, CanonicalShapesUnique) {
+  const auto canonical = EnumerateCanonicalShapes(64);
+  std::set<std::string> seen;
+  for (const auto& s : canonical) {
+    EXPECT_LE(s.a, s.b);
+    EXPECT_LE(s.b, s.c);
+    EXPECT_TRUE(seen.insert(s.ToCubeString()).second);
+  }
+  // 64 = 2^6: partitions of 6 into <= 3 parts -> 7 canonical shapes.
+  EXPECT_EQ(canonical.size(), 7u);
+}
+
+TEST(Shapes, FullPodRangeMatchesPaper) {
+  // §4.2: slice shapes for a full pod range 4x4x256 .. 16x16x16.
+  const auto shapes = EnumerateCanonicalShapes(64);
+  bool has_asymmetric = false, has_symmetric = false;
+  for (const auto& s : shapes) {
+    if (s.ToString() == "4x4x256") has_asymmetric = true;
+    if (s.ToString() == "16x16x16") has_symmetric = true;
+  }
+  EXPECT_TRUE(has_asymmetric);
+  EXPECT_TRUE(has_symmetric);
+}
+
+// --- slice topology ---------------------------------------------------------------
+
+SliceTopology MakeSlice(SliceShape shape, int first_cube = 0) {
+  std::vector<int> ids;
+  for (int i = 0; i < shape.CubeCount(); ++i) ids.push_back(first_cube + i);
+  auto result = SliceTopology::Create(shape, std::move(ids));
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+TEST(Slice, CreateValidations) {
+  EXPECT_FALSE(SliceTopology::Create(SliceShape{1, 1, 2}, {0}).ok());       // count
+  EXPECT_FALSE(SliceTopology::Create(SliceShape{1, 1, 2}, {0, 0}).ok());    // dup
+  EXPECT_FALSE(SliceTopology::Create(SliceShape{1, 1, 2}, {0, -1}).ok());   // negative
+  EXPECT_TRUE(SliceTopology::Create(SliceShape{1, 1, 2}, {5, 9}).ok());
+}
+
+TEST(Slice, SingleCubeSelfLoops) {
+  const WiringPlan plan(64, 16);
+  const auto slice = MakeSlice(SliceShape{1, 1, 1}, 7);
+  const auto conns = slice.OcsConnections(plan);
+  // Every OCS of every dimension carries the self-loop 7 -> 7.
+  EXPECT_EQ(conns.size(), 48u);
+  for (const auto& [ocs, target] : conns) {
+    ASSERT_EQ(target.size(), 1u);
+    EXPECT_EQ(target.at(7), 7);
+  }
+}
+
+TEST(Slice, TwoCubeRingAlongZ) {
+  const WiringPlan plan(64, 16);
+  const auto slice = MakeSlice(SliceShape{1, 1, 2}, 10);
+  const auto conns = slice.OcsConnections(plan);
+  for (const auto& [ocs, target] : conns) {
+    const Dim d = plan.DimOfOcs(ocs);
+    if (d == Dim::kZ) {
+      // Ring 10 -> 11 -> 10.
+      EXPECT_EQ(target.at(10), 11);
+      EXPECT_EQ(target.at(11), 10);
+    } else {
+      // Self-loops in the length-1 dimensions.
+      EXPECT_EQ(target.at(10), 10);
+      EXPECT_EQ(target.at(11), 11);
+    }
+  }
+}
+
+TEST(Slice, ConnectionsAreBijectivePerOcs) {
+  const WiringPlan plan(64, 16);
+  const auto slice = MakeSlice(SliceShape{2, 4, 8});
+  for (const auto& [ocs, target] : slice.OcsConnections(plan)) {
+    std::set<int> souths;
+    for (const auto& [n, s] : target) EXPECT_TRUE(souths.insert(s).second);
+    EXPECT_EQ(souths.size(), target.size());
+    EXPECT_EQ(target.size(), 64u);  // every cube participates in every ring
+  }
+}
+
+TEST(Slice, BisectionMaximalForSymmetricShape) {
+  const WiringPlan plan(64, 16);
+  // §4.2.1: 16x16x16 chips (4x4x4 cubes) has the highest bisection
+  // bandwidth of all full-pod shapes.
+  const int symmetric = MakeSlice(SliceShape{4, 4, 4}).BisectionLinks(plan);
+  for (const auto& shape : EnumerateCanonicalShapes(64)) {
+    const int links = MakeSlice(shape).BisectionLinks(plan);
+    EXPECT_LE(links, symmetric) << shape.ToCubeString();
+  }
+  EXPECT_EQ(symmetric, 2 * 16 * 16);  // 16 lines x 2 crossings x 16 links
+}
+
+TEST(Slice, BisectionOfHighlyAsymmetricShape) {
+  const WiringPlan plan(64, 16);
+  // 4x4x256 chips = 1x1x64 cubes: one ring, 2 crossings, 16 links.
+  EXPECT_EQ(MakeSlice(SliceShape{1, 1, 64}).BisectionLinks(plan), 32);
+}
+
+TEST(Slice, CubeDiameter) {
+  EXPECT_EQ(MakeSlice(SliceShape{4, 4, 4}).CubeDiameter(), 6);
+  EXPECT_EQ(MakeSlice(SliceShape{1, 1, 64}).CubeDiameter(), 32);
+}
+
+// --- superpod --------------------------------------------------------------------
+
+TEST(SuperpodTest, InstallAndRemoveSlice) {
+  Superpod pod(100, /*cubes=*/8, /*ocs_per_dim=*/2);
+  const auto slice = MakeSlice(SliceShape{1, 2, 2}, 0);
+  auto id = pod.InstallSlice(slice);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(pod.slices().size(), 1u);
+  EXPECT_EQ(pod.FreeHealthyCubes().size(), 4u);
+  EXPECT_TRUE(pod.SliceOwningCube(0).has_value());
+  ASSERT_TRUE(pod.RemoveSlice(id.value()).ok());
+  EXPECT_EQ(pod.slices().size(), 0u);
+  EXPECT_EQ(pod.FreeHealthyCubes().size(), 8u);
+  // Fabric fully drained.
+  for (int i = 0; i < pod.ocs_count(); ++i) {
+    EXPECT_EQ(pod.ocs(i).ConnectionCount(), 0);
+  }
+}
+
+TEST(SuperpodTest, InstallRejectsBusyCube) {
+  Superpod pod(101, 8, 2);
+  ASSERT_TRUE(pod.InstallSlice(MakeSlice(SliceShape{1, 1, 2}, 0)).ok());
+  const auto overlapping = pod.InstallSlice(MakeSlice(SliceShape{1, 1, 2}, 1));
+  EXPECT_FALSE(overlapping.ok());
+}
+
+TEST(SuperpodTest, InstallRejectsUnhealthyCube) {
+  Superpod pod(102, 8, 2);
+  pod.cube(3).SetHostHealth(0, false);
+  EXPECT_FALSE(pod.InstallSlice(MakeSlice(SliceShape{1, 1, 2}, 2)).ok());
+}
+
+TEST(SuperpodTest, SecondSliceDoesNotDisturbFirst) {
+  Superpod pod(103, 8, 2);
+  auto first = pod.InstallSlice(MakeSlice(SliceShape{1, 1, 2}, 0));
+  ASSERT_TRUE(first.ok());
+  // Record the exact switch state for slice 1.
+  std::map<int, std::map<int, int>> before;
+  for (int i = 0; i < pod.ocs_count(); ++i) {
+    for (const auto& c : pod.ocs(i).Connections()) before[i][c.north] = c.south;
+  }
+  auto second = pod.InstallSlice(MakeSlice(SliceShape{1, 2, 2}, 2));
+  ASSERT_TRUE(second.ok());
+  // Every connection of slice 1 still present and unchanged.
+  for (const auto& [ocs, conns] : before) {
+    for (const auto& [n, s] : conns) {
+      ASSERT_TRUE(pod.ocs(ocs).ConnectionOn(n).has_value());
+      EXPECT_EQ(pod.ocs(ocs).ConnectionOn(n)->south, s);
+    }
+  }
+}
+
+TEST(SuperpodTest, SliceDegradedByCubeFailure) {
+  Superpod pod(104, 8, 2);
+  auto id = pod.InstallSlice(MakeSlice(SliceShape{1, 1, 2}, 0));
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(pod.SliceDegraded(id.value()));
+  pod.cube(1).SetHostHealth(5, false);
+  EXPECT_TRUE(pod.SliceDegraded(id.value()));
+}
+
+TEST(SuperpodTest, MultiCubeSliceDegradedByOcsFailure) {
+  Superpod pod(105, 8, 2);
+  auto multi = pod.InstallSlice(MakeSlice(SliceShape{1, 1, 2}, 0));
+  auto single = pod.InstallSlice(MakeSlice(SliceShape{1, 1, 1}, 4));
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(single.ok());
+  pod.FailOcs(0);
+  EXPECT_TRUE(pod.SliceDegraded(multi.value()));
+  // §4.2.2: a single-cube slice needs no inter-cube reconfiguration, so an
+  // OCS failure does not degrade it.
+  EXPECT_FALSE(pod.SliceDegraded(single.value()));
+  pod.RepairOcs(0);
+  EXPECT_FALSE(pod.SliceDegraded(multi.value()));
+}
+
+TEST(SuperpodTest, RepairOcsRestoresConnections) {
+  Superpod pod(106, 8, 2);
+  auto id = pod.InstallSlice(MakeSlice(SliceShape{1, 1, 2}, 0));
+  ASSERT_TRUE(id.ok());
+  const int conns_before = pod.ocs(0).ConnectionCount();
+  pod.FailOcs(0);
+  pod.RepairOcs(0);
+  EXPECT_EQ(pod.ocs(0).ConnectionCount(), conns_before);
+  EXPECT_FALSE(pod.SliceDegraded(id.value()));
+}
+
+TEST(SuperpodTest, InstallFailsWhenOcsDown) {
+  Superpod pod(107, 8, 2);
+  pod.FailOcs(3);
+  EXPECT_FALSE(pod.InstallSlice(MakeSlice(SliceShape{1, 1, 2}, 0)).ok());
+}
+
+TEST(SuperpodTest, Cwdm8PodVariantUses24Switches) {
+  // With CWDM8 bidi optics two face positions share each OCS connection
+  // (§4.2.2: only 24 OCSes needed); structurally that is a wiring plan with
+  // 8 face positions per dimension.
+  Superpod pod(200, kCubesPerPod, /*ocs_per_dim=*/8);
+  EXPECT_EQ(pod.ocs_count(), 24);
+  std::vector<int> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(i);
+  auto slice = SliceTopology::Create(SliceShape{2, 2, 2}, ids);
+  ASSERT_TRUE(slice.ok());
+  auto installed = pod.InstallSlice(slice.value());
+  ASSERT_TRUE(installed.ok());
+  for (int i = 0; i < pod.ocs_count(); ++i) {
+    EXPECT_EQ(pod.ocs(i).ConnectionCount(), 8);
+  }
+}
+
+class SuperpodShapeSweep : public ::testing::TestWithParam<SliceShape> {};
+
+TEST_P(SuperpodShapeSweep, FullPodShapeInstalls) {
+  Superpod pod(108);  // full 64-cube pod with 48 OCSes
+  const auto slice = MakeSlice(GetParam());
+  auto id = pod.InstallSlice(slice);
+  ASSERT_TRUE(id.ok()) << GetParam().ToCubeString();
+  EXPECT_TRUE(pod.FreeHealthyCubes().empty());
+  // Every OCS carries exactly one connection per cube (64 norths used).
+  for (int i = 0; i < pod.ocs_count(); ++i) {
+    EXPECT_EQ(pod.ocs(i).ConnectionCount(), 64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FullPodShapes, SuperpodShapeSweep,
+                         ::testing::Values(SliceShape{4, 4, 4}, SliceShape{1, 1, 64},
+                                           SliceShape{2, 4, 8}, SliceShape{1, 8, 8}),
+                         [](const auto& info) {
+                           std::string s = info.param.ToCubeString();
+                           for (auto& c : s) {
+                             if (c == 'x') c = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace lightwave::tpu

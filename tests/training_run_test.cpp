@@ -1,0 +1,117 @@
+// Tests for the event-driven training-run simulation (dynamic availability,
+// §4.2.2) and the §4.2.3 deployment-timeline model.
+#include <gtest/gtest.h>
+
+#include "core/tco.h"
+#include "sim/training_run.h"
+
+namespace lightwave::sim {
+namespace {
+
+TrainingRunConfig BaseConfig() {
+  TrainingRunConfig config;
+  config.shape = tpu::SliceShape{2, 2, 4};  // 16 cubes of 64
+  config.run_hours = 24.0 * 60.0;
+  config.cube_mtbf_hours = 2000.0;
+  return config;
+}
+
+TEST(TrainingRun, NoFailuresMeansFullGoodput) {
+  auto config = BaseConfig();
+  config.cube_mtbf_hours = 1e12;  // effectively never
+  const auto result = SimulateTrainingRun(config);
+  EXPECT_EQ(result.failures, 0);
+  EXPECT_NEAR(result.goodput, 1.0, 1e-6);
+  EXPECT_GT(result.steps_completed, 0u);
+}
+
+TEST(TrainingRun, ReconfigurableBeatsStatic) {
+  auto config = BaseConfig();
+  config.reconfigurable = true;
+  const auto reconf = SimulateTrainingRun(config);
+  config.reconfigurable = false;
+  const auto fixed = SimulateTrainingRun(config);
+  EXPECT_GT(reconf.failures, 0);
+  EXPECT_GT(reconf.goodput, fixed.goodput);
+  EXPECT_GT(reconf.cube_swaps, 0);
+  EXPECT_EQ(fixed.cube_swaps, 0);
+  // The static fabric stalls for full hardware MTTRs.
+  EXPECT_GT(fixed.stall_hours, reconf.stall_hours);
+}
+
+TEST(TrainingRun, Deterministic) {
+  const auto a = SimulateTrainingRun(BaseConfig());
+  const auto b = SimulateTrainingRun(BaseConfig());
+  EXPECT_EQ(a.steps_completed, b.steps_completed);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.goodput, b.goodput);
+}
+
+TEST(TrainingRun, HigherFailureRateLowersGoodput) {
+  auto reliable = BaseConfig();
+  reliable.cube_mtbf_hours = 20'000.0;
+  auto flaky = BaseConfig();
+  flaky.cube_mtbf_hours = 500.0;
+  EXPECT_GT(SimulateTrainingRun(reliable).goodput, SimulateTrainingRun(flaky).goodput);
+}
+
+TEST(TrainingRun, FrequentCheckpointsReduceRollback) {
+  auto sparse = BaseConfig();
+  sparse.checkpoint_interval_steps = 500;
+  auto dense = BaseConfig();
+  dense.checkpoint_interval_steps = 10;
+  const auto sparse_result = SimulateTrainingRun(sparse);
+  const auto dense_result = SimulateTrainingRun(dense);
+  EXPECT_LE(dense_result.steps_lost_to_rollback, sparse_result.steps_lost_to_rollback);
+}
+
+TEST(TrainingRun, FullPodSliceHasNoSpares) {
+  auto config = BaseConfig();
+  config.shape = tpu::SliceShape{4, 4, 4};  // all 64 cubes
+  config.reconfigurable = true;
+  const auto result = SimulateTrainingRun(config);
+  // Every repair must wait for hardware (stalls comparable to static).
+  EXPECT_GT(result.failures, 0);
+  EXPECT_GT(result.stall_hours, 0.0);
+}
+
+TEST(TrainingRun, GoodputWithinBounds) {
+  for (auto reconfigurable : {true, false}) {
+    auto config = BaseConfig();
+    config.reconfigurable = reconfigurable;
+    const auto result = SimulateTrainingRun(config);
+    EXPECT_GE(result.goodput, 0.0);
+    EXPECT_LE(result.goodput, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lightwave::sim
+
+namespace lightwave::core {
+namespace {
+
+TEST(Deployment, LightwaveRampsIncrementally) {
+  const auto timeline = SimulateDeployment(64, 8, 2);
+  ASSERT_EQ(timeline.lightwave_usable_fraction.size(), 10u);  // 8 build + 2 verify
+  // Monotone ramp reaching 100% at build completion.
+  EXPECT_NEAR(timeline.lightwave_usable_fraction[0], 8.0 / 64.0, 1e-12);
+  EXPECT_NEAR(timeline.lightwave_usable_fraction[7], 1.0, 1e-12);
+  for (std::size_t w = 1; w < timeline.lightwave_usable_fraction.size(); ++w) {
+    EXPECT_GE(timeline.lightwave_usable_fraction[w],
+              timeline.lightwave_usable_fraction[w - 1]);
+  }
+}
+
+TEST(Deployment, StaticWaitsForFullVerification) {
+  const auto timeline = SimulateDeployment(64, 8, 2);
+  for (std::size_t w = 0; w + 1 < timeline.static_usable_fraction.size(); ++w) {
+    EXPECT_EQ(timeline.static_usable_fraction[w], 0.0) << w;
+  }
+  EXPECT_EQ(timeline.static_usable_fraction.back(), 1.0);
+  // Lightwave delivers several times the capacity-weeks during build-out.
+  EXPECT_GT(timeline.lightwave_capacity_weeks, 3.0 * timeline.static_capacity_weeks);
+}
+
+}  // namespace
+}  // namespace lightwave::core
