@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcn_lifecycle.dir/dcn_lifecycle.cpp.o"
+  "CMakeFiles/bench_dcn_lifecycle.dir/dcn_lifecycle.cpp.o.d"
+  "bench_dcn_lifecycle"
+  "bench_dcn_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcn_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcn_spinefree.dir/dcn_spinefree.cpp.o"
+  "CMakeFiles/bench_dcn_spinefree.dir/dcn_spinefree.cpp.o.d"
+  "bench_dcn_spinefree"
+  "bench_dcn_spinefree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcn_spinefree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dcn_spinefree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dispersion_eq.dir/dispersion_eq.cpp.o"
+  "CMakeFiles/bench_dispersion_eq.dir/dispersion_eq.cpp.o.d"
+  "bench_dispersion_eq"
+  "bench_dispersion_eq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispersion_eq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_oim.dir/fig11_oim.cpp.o"
+  "CMakeFiles/bench_fig11_oim.dir/fig11_oim.cpp.o.d"
+  "bench_fig11_oim"
+  "bench_fig11_oim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_oim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

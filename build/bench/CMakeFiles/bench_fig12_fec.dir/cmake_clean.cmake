@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fec.dir/fig12_fec.cpp.o"
+  "CMakeFiles/bench_fig12_fec.dir/fig12_fec.cpp.o.d"
+  "bench_fig12_fec"
+  "bench_fig12_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

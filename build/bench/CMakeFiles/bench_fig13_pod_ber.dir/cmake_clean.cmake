@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pod_ber.dir/fig13_pod_ber.cpp.o"
+  "CMakeFiles/bench_fig13_pod_ber.dir/fig13_pod_ber.cpp.o.d"
+  "bench_fig13_pod_ber"
+  "bench_fig13_pod_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pod_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_multipod.dir/fig2_multipod.cpp.o"
+  "CMakeFiles/bench_fig2_multipod.dir/fig2_multipod.cpp.o.d"
+  "bench_fig2_multipod"
+  "bench_fig2_multipod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_multipod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

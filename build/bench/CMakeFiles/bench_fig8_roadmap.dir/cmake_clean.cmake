@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_roadmap.dir/fig8_roadmap.cpp.o"
+  "CMakeFiles/bench_fig8_roadmap.dir/fig8_roadmap.cpp.o.d"
+  "bench_fig8_roadmap"
+  "bench_fig8_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ndtorus.dir/ndtorus.cpp.o"
+  "CMakeFiles/bench_ndtorus.dir/ndtorus.cpp.o.d"
+  "bench_ndtorus"
+  "bench_ndtorus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ndtorus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

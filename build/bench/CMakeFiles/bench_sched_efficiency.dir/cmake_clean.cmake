@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_efficiency.dir/sched_efficiency.cpp.o"
+  "CMakeFiles/bench_sched_efficiency.dir/sched_efficiency.cpp.o.d"
+  "bench_sched_efficiency"
+  "bench_sched_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

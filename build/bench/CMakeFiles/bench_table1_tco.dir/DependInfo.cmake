@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_tco.cpp" "bench/CMakeFiles/bench_table1_tco.dir/table1_tco.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_tco.dir/table1_tco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/lw_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/lw_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocs/CMakeFiles/lw_ocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/lw_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lw_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lw_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

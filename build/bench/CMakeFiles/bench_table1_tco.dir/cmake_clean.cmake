@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tco.dir/table1_tco.cpp.o"
+  "CMakeFiles/bench_table1_tco.dir/table1_tco.cpp.o.d"
+  "bench_table1_tco"
+  "bench_table1_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

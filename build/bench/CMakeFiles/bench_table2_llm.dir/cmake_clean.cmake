@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_llm.dir/table2_llm.cpp.o"
+  "CMakeFiles/bench_table2_llm.dir/table2_llm.cpp.o.d"
+  "bench_table2_llm"
+  "bench_table2_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

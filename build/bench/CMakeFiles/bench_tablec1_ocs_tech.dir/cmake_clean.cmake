@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tablec1_ocs_tech.dir/tablec1_ocs_tech.cpp.o"
+  "CMakeFiles/bench_tablec1_ocs_tech.dir/tablec1_ocs_tech.cpp.o.d"
+  "bench_tablec1_ocs_tech"
+  "bench_tablec1_ocs_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tablec1_ocs_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tablec1_ocs_tech.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_torus_traffic.dir/torus_traffic.cpp.o"
+  "CMakeFiles/bench_torus_traffic.dir/torus_traffic.cpp.o.d"
+  "bench_torus_traffic"
+  "bench_torus_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_torus_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

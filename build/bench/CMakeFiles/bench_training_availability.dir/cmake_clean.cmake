@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_training_availability.dir/training_availability.cpp.o"
+  "CMakeFiles/bench_training_availability.dir/training_availability.cpp.o.d"
+  "bench_training_availability"
+  "bench_training_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_training_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_topology_engineering.dir/dcn_topology_engineering.cpp.o"
+  "CMakeFiles/dcn_topology_engineering.dir/dcn_topology_engineering.cpp.o.d"
+  "dcn_topology_engineering"
+  "dcn_topology_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_topology_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

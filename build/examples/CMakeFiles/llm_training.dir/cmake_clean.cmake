@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_training.dir/llm_training.cpp.o"
+  "CMakeFiles/llm_training.dir/llm_training.cpp.o.d"
+  "llm_training"
+  "llm_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipod_training.dir/multipod_training.cpp.o"
+  "CMakeFiles/multipod_training.dir/multipod_training.cpp.o.d"
+  "multipod_training"
+  "multipod_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipod_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_operations.dir/pod_operations.cpp.o"
+  "CMakeFiles/pod_operations.dir/pod_operations.cpp.o.d"
+  "pod_operations"
+  "pod_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

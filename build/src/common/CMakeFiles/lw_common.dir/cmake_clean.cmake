@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_common.dir/histogram.cpp.o"
+  "CMakeFiles/lw_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/lw_common.dir/math.cpp.o"
+  "CMakeFiles/lw_common.dir/math.cpp.o.d"
+  "CMakeFiles/lw_common.dir/rng.cpp.o"
+  "CMakeFiles/lw_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lw_common.dir/table.cpp.o"
+  "CMakeFiles/lw_common.dir/table.cpp.o.d"
+  "liblw_common.a"
+  "liblw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dcn_fabric.cpp" "src/core/CMakeFiles/lw_core.dir/dcn_fabric.cpp.o" "gcc" "src/core/CMakeFiles/lw_core.dir/dcn_fabric.cpp.o.d"
+  "/root/repo/src/core/fabric_manager.cpp" "src/core/CMakeFiles/lw_core.dir/fabric_manager.cpp.o" "gcc" "src/core/CMakeFiles/lw_core.dir/fabric_manager.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/lw_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/lw_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/tco.cpp" "src/core/CMakeFiles/lw_core.dir/tco.cpp.o" "gcc" "src/core/CMakeFiles/lw_core.dir/tco.cpp.o.d"
+  "/root/repo/src/core/topology_engineer.cpp" "src/core/CMakeFiles/lw_core.dir/topology_engineer.cpp.o" "gcc" "src/core/CMakeFiles/lw_core.dir/topology_engineer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocs/CMakeFiles/lw_ocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/lw_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/lw_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lw_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lw_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

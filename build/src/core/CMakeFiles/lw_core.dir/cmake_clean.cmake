@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_core.dir/dcn_fabric.cpp.o"
+  "CMakeFiles/lw_core.dir/dcn_fabric.cpp.o.d"
+  "CMakeFiles/lw_core.dir/fabric_manager.cpp.o"
+  "CMakeFiles/lw_core.dir/fabric_manager.cpp.o.d"
+  "CMakeFiles/lw_core.dir/scheduler.cpp.o"
+  "CMakeFiles/lw_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/lw_core.dir/tco.cpp.o"
+  "CMakeFiles/lw_core.dir/tco.cpp.o.d"
+  "CMakeFiles/lw_core.dir/topology_engineer.cpp.o"
+  "CMakeFiles/lw_core.dir/topology_engineer.cpp.o.d"
+  "liblw_core.a"
+  "liblw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/anomaly.cpp" "src/ctrl/CMakeFiles/lw_ctrl.dir/anomaly.cpp.o" "gcc" "src/ctrl/CMakeFiles/lw_ctrl.dir/anomaly.cpp.o.d"
+  "/root/repo/src/ctrl/controller.cpp" "src/ctrl/CMakeFiles/lw_ctrl.dir/controller.cpp.o" "gcc" "src/ctrl/CMakeFiles/lw_ctrl.dir/controller.cpp.o.d"
+  "/root/repo/src/ctrl/link_init.cpp" "src/ctrl/CMakeFiles/lw_ctrl.dir/link_init.cpp.o" "gcc" "src/ctrl/CMakeFiles/lw_ctrl.dir/link_init.cpp.o.d"
+  "/root/repo/src/ctrl/messages.cpp" "src/ctrl/CMakeFiles/lw_ctrl.dir/messages.cpp.o" "gcc" "src/ctrl/CMakeFiles/lw_ctrl.dir/messages.cpp.o.d"
+  "/root/repo/src/ctrl/wire.cpp" "src/ctrl/CMakeFiles/lw_ctrl.dir/wire.cpp.o" "gcc" "src/ctrl/CMakeFiles/lw_ctrl.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocs/CMakeFiles/lw_ocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lw_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

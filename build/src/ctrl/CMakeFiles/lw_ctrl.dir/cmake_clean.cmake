@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_ctrl.dir/anomaly.cpp.o"
+  "CMakeFiles/lw_ctrl.dir/anomaly.cpp.o.d"
+  "CMakeFiles/lw_ctrl.dir/controller.cpp.o"
+  "CMakeFiles/lw_ctrl.dir/controller.cpp.o.d"
+  "CMakeFiles/lw_ctrl.dir/link_init.cpp.o"
+  "CMakeFiles/lw_ctrl.dir/link_init.cpp.o.d"
+  "CMakeFiles/lw_ctrl.dir/messages.cpp.o"
+  "CMakeFiles/lw_ctrl.dir/messages.cpp.o.d"
+  "CMakeFiles/lw_ctrl.dir/wire.cpp.o"
+  "CMakeFiles/lw_ctrl.dir/wire.cpp.o.d"
+  "liblw_ctrl.a"
+  "liblw_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fec/concatenated.cpp" "src/fec/CMakeFiles/lw_fec.dir/concatenated.cpp.o" "gcc" "src/fec/CMakeFiles/lw_fec.dir/concatenated.cpp.o.d"
+  "/root/repo/src/fec/gf.cpp" "src/fec/CMakeFiles/lw_fec.dir/gf.cpp.o" "gcc" "src/fec/CMakeFiles/lw_fec.dir/gf.cpp.o.d"
+  "/root/repo/src/fec/inner_code.cpp" "src/fec/CMakeFiles/lw_fec.dir/inner_code.cpp.o" "gcc" "src/fec/CMakeFiles/lw_fec.dir/inner_code.cpp.o.d"
+  "/root/repo/src/fec/interleaver.cpp" "src/fec/CMakeFiles/lw_fec.dir/interleaver.cpp.o" "gcc" "src/fec/CMakeFiles/lw_fec.dir/interleaver.cpp.o.d"
+  "/root/repo/src/fec/reed_solomon.cpp" "src/fec/CMakeFiles/lw_fec.dir/reed_solomon.cpp.o" "gcc" "src/fec/CMakeFiles/lw_fec.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

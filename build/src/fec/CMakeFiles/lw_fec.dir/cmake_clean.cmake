@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_fec.dir/concatenated.cpp.o"
+  "CMakeFiles/lw_fec.dir/concatenated.cpp.o.d"
+  "CMakeFiles/lw_fec.dir/gf.cpp.o"
+  "CMakeFiles/lw_fec.dir/gf.cpp.o.d"
+  "CMakeFiles/lw_fec.dir/inner_code.cpp.o"
+  "CMakeFiles/lw_fec.dir/inner_code.cpp.o.d"
+  "CMakeFiles/lw_fec.dir/interleaver.cpp.o"
+  "CMakeFiles/lw_fec.dir/interleaver.cpp.o.d"
+  "CMakeFiles/lw_fec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/lw_fec.dir/reed_solomon.cpp.o.d"
+  "liblw_fec.a"
+  "liblw_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

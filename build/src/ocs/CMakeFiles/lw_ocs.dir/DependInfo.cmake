@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocs/alignment.cpp" "src/ocs/CMakeFiles/lw_ocs.dir/alignment.cpp.o" "gcc" "src/ocs/CMakeFiles/lw_ocs.dir/alignment.cpp.o.d"
+  "/root/repo/src/ocs/camera.cpp" "src/ocs/CMakeFiles/lw_ocs.dir/camera.cpp.o" "gcc" "src/ocs/CMakeFiles/lw_ocs.dir/camera.cpp.o.d"
+  "/root/repo/src/ocs/chassis.cpp" "src/ocs/CMakeFiles/lw_ocs.dir/chassis.cpp.o" "gcc" "src/ocs/CMakeFiles/lw_ocs.dir/chassis.cpp.o.d"
+  "/root/repo/src/ocs/collimator.cpp" "src/ocs/CMakeFiles/lw_ocs.dir/collimator.cpp.o" "gcc" "src/ocs/CMakeFiles/lw_ocs.dir/collimator.cpp.o.d"
+  "/root/repo/src/ocs/mems.cpp" "src/ocs/CMakeFiles/lw_ocs.dir/mems.cpp.o" "gcc" "src/ocs/CMakeFiles/lw_ocs.dir/mems.cpp.o.d"
+  "/root/repo/src/ocs/optical_core.cpp" "src/ocs/CMakeFiles/lw_ocs.dir/optical_core.cpp.o" "gcc" "src/ocs/CMakeFiles/lw_ocs.dir/optical_core.cpp.o.d"
+  "/root/repo/src/ocs/palomar.cpp" "src/ocs/CMakeFiles/lw_ocs.dir/palomar.cpp.o" "gcc" "src/ocs/CMakeFiles/lw_ocs.dir/palomar.cpp.o.d"
+  "/root/repo/src/ocs/technology.cpp" "src/ocs/CMakeFiles/lw_ocs.dir/technology.cpp.o" "gcc" "src/ocs/CMakeFiles/lw_ocs.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lw_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

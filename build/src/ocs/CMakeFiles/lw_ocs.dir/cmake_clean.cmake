@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_ocs.dir/alignment.cpp.o"
+  "CMakeFiles/lw_ocs.dir/alignment.cpp.o.d"
+  "CMakeFiles/lw_ocs.dir/camera.cpp.o"
+  "CMakeFiles/lw_ocs.dir/camera.cpp.o.d"
+  "CMakeFiles/lw_ocs.dir/chassis.cpp.o"
+  "CMakeFiles/lw_ocs.dir/chassis.cpp.o.d"
+  "CMakeFiles/lw_ocs.dir/collimator.cpp.o"
+  "CMakeFiles/lw_ocs.dir/collimator.cpp.o.d"
+  "CMakeFiles/lw_ocs.dir/mems.cpp.o"
+  "CMakeFiles/lw_ocs.dir/mems.cpp.o.d"
+  "CMakeFiles/lw_ocs.dir/optical_core.cpp.o"
+  "CMakeFiles/lw_ocs.dir/optical_core.cpp.o.d"
+  "CMakeFiles/lw_ocs.dir/palomar.cpp.o"
+  "CMakeFiles/lw_ocs.dir/palomar.cpp.o.d"
+  "CMakeFiles/lw_ocs.dir/technology.cpp.o"
+  "CMakeFiles/lw_ocs.dir/technology.cpp.o.d"
+  "liblw_ocs.a"
+  "liblw_ocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_ocs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lw_ocs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optics/circulator.cpp" "src/optics/CMakeFiles/lw_optics.dir/circulator.cpp.o" "gcc" "src/optics/CMakeFiles/lw_optics.dir/circulator.cpp.o.d"
+  "/root/repo/src/optics/fiber.cpp" "src/optics/CMakeFiles/lw_optics.dir/fiber.cpp.o" "gcc" "src/optics/CMakeFiles/lw_optics.dir/fiber.cpp.o.d"
+  "/root/repo/src/optics/link_budget.cpp" "src/optics/CMakeFiles/lw_optics.dir/link_budget.cpp.o" "gcc" "src/optics/CMakeFiles/lw_optics.dir/link_budget.cpp.o.d"
+  "/root/repo/src/optics/mux.cpp" "src/optics/CMakeFiles/lw_optics.dir/mux.cpp.o" "gcc" "src/optics/CMakeFiles/lw_optics.dir/mux.cpp.o.d"
+  "/root/repo/src/optics/polarization.cpp" "src/optics/CMakeFiles/lw_optics.dir/polarization.cpp.o" "gcc" "src/optics/CMakeFiles/lw_optics.dir/polarization.cpp.o.d"
+  "/root/repo/src/optics/transceiver.cpp" "src/optics/CMakeFiles/lw_optics.dir/transceiver.cpp.o" "gcc" "src/optics/CMakeFiles/lw_optics.dir/transceiver.cpp.o.d"
+  "/root/repo/src/optics/wdm.cpp" "src/optics/CMakeFiles/lw_optics.dir/wdm.cpp.o" "gcc" "src/optics/CMakeFiles/lw_optics.dir/wdm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_optics.dir/circulator.cpp.o"
+  "CMakeFiles/lw_optics.dir/circulator.cpp.o.d"
+  "CMakeFiles/lw_optics.dir/fiber.cpp.o"
+  "CMakeFiles/lw_optics.dir/fiber.cpp.o.d"
+  "CMakeFiles/lw_optics.dir/link_budget.cpp.o"
+  "CMakeFiles/lw_optics.dir/link_budget.cpp.o.d"
+  "CMakeFiles/lw_optics.dir/mux.cpp.o"
+  "CMakeFiles/lw_optics.dir/mux.cpp.o.d"
+  "CMakeFiles/lw_optics.dir/polarization.cpp.o"
+  "CMakeFiles/lw_optics.dir/polarization.cpp.o.d"
+  "CMakeFiles/lw_optics.dir/transceiver.cpp.o"
+  "CMakeFiles/lw_optics.dir/transceiver.cpp.o.d"
+  "CMakeFiles/lw_optics.dir/wdm.cpp.o"
+  "CMakeFiles/lw_optics.dir/wdm.cpp.o.d"
+  "liblw_optics.a"
+  "liblw_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lw_optics.
+# This may be replaced when dependencies are built.

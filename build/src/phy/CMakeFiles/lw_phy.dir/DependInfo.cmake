@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/ber_model.cpp" "src/phy/CMakeFiles/lw_phy.dir/ber_model.cpp.o" "gcc" "src/phy/CMakeFiles/lw_phy.dir/ber_model.cpp.o.d"
+  "/root/repo/src/phy/equalizer.cpp" "src/phy/CMakeFiles/lw_phy.dir/equalizer.cpp.o" "gcc" "src/phy/CMakeFiles/lw_phy.dir/equalizer.cpp.o.d"
+  "/root/repo/src/phy/monte_carlo.cpp" "src/phy/CMakeFiles/lw_phy.dir/monte_carlo.cpp.o" "gcc" "src/phy/CMakeFiles/lw_phy.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/phy/oim.cpp" "src/phy/CMakeFiles/lw_phy.dir/oim.cpp.o" "gcc" "src/phy/CMakeFiles/lw_phy.dir/oim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lw_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_phy.dir/ber_model.cpp.o"
+  "CMakeFiles/lw_phy.dir/ber_model.cpp.o.d"
+  "CMakeFiles/lw_phy.dir/equalizer.cpp.o"
+  "CMakeFiles/lw_phy.dir/equalizer.cpp.o.d"
+  "CMakeFiles/lw_phy.dir/monte_carlo.cpp.o"
+  "CMakeFiles/lw_phy.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/lw_phy.dir/oim.cpp.o"
+  "CMakeFiles/lw_phy.dir/oim.cpp.o.d"
+  "liblw_phy.a"
+  "liblw_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

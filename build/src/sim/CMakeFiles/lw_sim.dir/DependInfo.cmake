@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/availability.cpp" "src/sim/CMakeFiles/lw_sim.dir/availability.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/availability.cpp.o.d"
+  "/root/repo/src/sim/collective.cpp" "src/sim/CMakeFiles/lw_sim.dir/collective.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/collective.cpp.o.d"
+  "/root/repo/src/sim/dcn_flow.cpp" "src/sim/CMakeFiles/lw_sim.dir/dcn_flow.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/dcn_flow.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/lw_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/llm_model.cpp" "src/sim/CMakeFiles/lw_sim.dir/llm_model.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/llm_model.cpp.o.d"
+  "/root/repo/src/sim/multipod.cpp" "src/sim/CMakeFiles/lw_sim.dir/multipod.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/multipod.cpp.o.d"
+  "/root/repo/src/sim/phase_reconfig.cpp" "src/sim/CMakeFiles/lw_sim.dir/phase_reconfig.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/phase_reconfig.cpp.o.d"
+  "/root/repo/src/sim/torus_traffic.cpp" "src/sim/CMakeFiles/lw_sim.dir/torus_traffic.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/torus_traffic.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/lw_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/traffic.cpp.o.d"
+  "/root/repo/src/sim/training_run.cpp" "src/sim/CMakeFiles/lw_sim.dir/training_run.cpp.o" "gcc" "src/sim/CMakeFiles/lw_sim.dir/training_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/lw_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocs/CMakeFiles/lw_ocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lw_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_sim.dir/availability.cpp.o"
+  "CMakeFiles/lw_sim.dir/availability.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/collective.cpp.o"
+  "CMakeFiles/lw_sim.dir/collective.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/dcn_flow.cpp.o"
+  "CMakeFiles/lw_sim.dir/dcn_flow.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/event.cpp.o"
+  "CMakeFiles/lw_sim.dir/event.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/llm_model.cpp.o"
+  "CMakeFiles/lw_sim.dir/llm_model.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/multipod.cpp.o"
+  "CMakeFiles/lw_sim.dir/multipod.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/phase_reconfig.cpp.o"
+  "CMakeFiles/lw_sim.dir/phase_reconfig.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/torus_traffic.cpp.o"
+  "CMakeFiles/lw_sim.dir/torus_traffic.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/traffic.cpp.o"
+  "CMakeFiles/lw_sim.dir/traffic.cpp.o.d"
+  "CMakeFiles/lw_sim.dir/training_run.cpp.o"
+  "CMakeFiles/lw_sim.dir/training_run.cpp.o.d"
+  "liblw_sim.a"
+  "liblw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpu/cube.cpp" "src/tpu/CMakeFiles/lw_tpu.dir/cube.cpp.o" "gcc" "src/tpu/CMakeFiles/lw_tpu.dir/cube.cpp.o.d"
+  "/root/repo/src/tpu/ndtorus.cpp" "src/tpu/CMakeFiles/lw_tpu.dir/ndtorus.cpp.o" "gcc" "src/tpu/CMakeFiles/lw_tpu.dir/ndtorus.cpp.o.d"
+  "/root/repo/src/tpu/routing.cpp" "src/tpu/CMakeFiles/lw_tpu.dir/routing.cpp.o" "gcc" "src/tpu/CMakeFiles/lw_tpu.dir/routing.cpp.o.d"
+  "/root/repo/src/tpu/slice.cpp" "src/tpu/CMakeFiles/lw_tpu.dir/slice.cpp.o" "gcc" "src/tpu/CMakeFiles/lw_tpu.dir/slice.cpp.o.d"
+  "/root/repo/src/tpu/superpod.cpp" "src/tpu/CMakeFiles/lw_tpu.dir/superpod.cpp.o" "gcc" "src/tpu/CMakeFiles/lw_tpu.dir/superpod.cpp.o.d"
+  "/root/repo/src/tpu/wiring.cpp" "src/tpu/CMakeFiles/lw_tpu.dir/wiring.cpp.o" "gcc" "src/tpu/CMakeFiles/lw_tpu.dir/wiring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocs/CMakeFiles/lw_ocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lw_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

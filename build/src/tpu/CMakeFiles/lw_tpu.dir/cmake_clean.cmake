@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_tpu.dir/cube.cpp.o"
+  "CMakeFiles/lw_tpu.dir/cube.cpp.o.d"
+  "CMakeFiles/lw_tpu.dir/ndtorus.cpp.o"
+  "CMakeFiles/lw_tpu.dir/ndtorus.cpp.o.d"
+  "CMakeFiles/lw_tpu.dir/routing.cpp.o"
+  "CMakeFiles/lw_tpu.dir/routing.cpp.o.d"
+  "CMakeFiles/lw_tpu.dir/slice.cpp.o"
+  "CMakeFiles/lw_tpu.dir/slice.cpp.o.d"
+  "CMakeFiles/lw_tpu.dir/superpod.cpp.o"
+  "CMakeFiles/lw_tpu.dir/superpod.cpp.o.d"
+  "CMakeFiles/lw_tpu.dir/wiring.cpp.o"
+  "CMakeFiles/lw_tpu.dir/wiring.cpp.o.d"
+  "liblw_tpu.a"
+  "liblw_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_fabric_test.dir/dcn_fabric_test.cpp.o"
+  "CMakeFiles/dcn_fabric_test.dir/dcn_fabric_test.cpp.o.d"
+  "dcn_fabric_test"
+  "dcn_fabric_test.pdb"
+  "dcn_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equalizer_test.dir/equalizer_test.cpp.o"
+  "CMakeFiles/equalizer_test.dir/equalizer_test.cpp.o.d"
+  "equalizer_test"
+  "equalizer_test.pdb"
+  "equalizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

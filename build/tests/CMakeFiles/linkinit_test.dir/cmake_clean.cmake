@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkinit_test.dir/linkinit_test.cpp.o"
+  "CMakeFiles/linkinit_test.dir/linkinit_test.cpp.o.d"
+  "linkinit_test"
+  "linkinit_test.pdb"
+  "linkinit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkinit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

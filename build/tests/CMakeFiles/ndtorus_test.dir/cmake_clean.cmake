@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndtorus_test.dir/ndtorus_test.cpp.o"
+  "CMakeFiles/ndtorus_test.dir/ndtorus_test.cpp.o.d"
+  "ndtorus_test"
+  "ndtorus_test.pdb"
+  "ndtorus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndtorus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polarization_test.dir/polarization_test.cpp.o"
+  "CMakeFiles/polarization_test.dir/polarization_test.cpp.o.d"
+  "polarization_test"
+  "polarization_test.pdb"
+  "polarization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polarization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

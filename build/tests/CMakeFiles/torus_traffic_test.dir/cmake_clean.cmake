@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_traffic_test.dir/torus_traffic_test.cpp.o"
+  "CMakeFiles/torus_traffic_test.dir/torus_traffic_test.cpp.o.d"
+  "torus_traffic_test"
+  "torus_traffic_test.pdb"
+  "torus_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

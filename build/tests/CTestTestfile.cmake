@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/optics_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_test[1]_include.cmake")
+include("/root/repo/build/tests/fec_test[1]_include.cmake")
+include("/root/repo/build/tests/ocs_test[1]_include.cmake")
+include("/root/repo/build/tests/tpu_test[1]_include.cmake")
+include("/root/repo/build/tests/ctrl_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/ndtorus_test[1]_include.cmake")
+include("/root/repo/build/tests/scaleout_test[1]_include.cmake")
+include("/root/repo/build/tests/linkinit_test[1]_include.cmake")
+include("/root/repo/build/tests/equalizer_test[1]_include.cmake")
+include("/root/repo/build/tests/repair_test[1]_include.cmake")
+include("/root/repo/build/tests/dcn_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/training_run_test[1]_include.cmake")
+include("/root/repo/build/tests/camera_test[1]_include.cmake")
+include("/root/repo/build/tests/torus_traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/polarization_test[1]_include.cmake")
