@@ -47,7 +47,9 @@ double SampleSet::stddev() const {
 }
 
 double SampleSet::Percentile(double p) const {
-  assert(!samples_.empty());
+  // Empty sets answer 0.0 instead of asserting: the telemetry exporters
+  // query percentiles of histograms that may never have observed a sample.
+  if (samples_.empty()) return 0.0;
   EnsureSorted();
   const double clamped = std::clamp(p, 0.0, 100.0);
   const auto rank = static_cast<std::size_t>(

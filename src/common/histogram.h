@@ -21,7 +21,8 @@ class SampleSet {
   double max() const;
   double mean() const;
   double stddev() const;
-  /// Exact percentile by nearest-rank; p in [0, 100].
+  /// Exact percentile by nearest-rank; p clamped to [0, 100]. Returns 0.0
+  /// for an empty set (safe for never-observed telemetry histograms).
   double Percentile(double p) const;
 
   const std::vector<double>& samples() const { return samples_; }

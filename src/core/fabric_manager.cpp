@@ -1,9 +1,12 @@
 #include "core/fabric_manager.h"
 #include <algorithm>
 
+#include <cmath>
+
 #include "optics/link_budget.h"
 #include "phy/ber_model.h"
 #include "phy/oim.h"
+#include "telemetry/hub.h"
 
 namespace lightwave::core {
 
@@ -22,13 +25,29 @@ FabricManager::FabricManager(FabricManagerConfig config) : config_(config) {
   }
 }
 
+void FabricManager::AttachTelemetry(telemetry::Hub* hub) {
+  hub_ = hub;
+  scheduler_->AttachTelemetry(hub);
+  bus_->AttachTelemetry(hub);
+  controller_->AttachTelemetry(hub);
+  for (auto& agent : agents_) agent->AttachTelemetry(hub);
+  for (int i = 0; i < pod_->ocs_count(); ++i) pod_->ocs(i).AttachTelemetry(hub);
+}
+
 Result<tpu::SliceId> FabricManager::CreateSlice(const tpu::SliceShape& shape) {
+  telemetry::TraceSpan span(hub_, "create_slice");
+  span.Annotate("shape", shape.ToCubeString());
   return scheduler_->Allocate(shape);
 }
 
 Status FabricManager::DestroySlice(tpu::SliceId id) { return scheduler_->Release(id); }
 
 Result<tpu::SliceId> FabricManager::HandleCubeFailure(int cube_id) {
+  telemetry::TraceSpan span(hub_, "handle_cube_failure");
+  span.Annotate("cube", std::to_string(cube_id));
+  if (hub_ != nullptr) {
+    hub_->metrics().GetCounter("lightwave_core_cube_failures_total").Inc();
+  }
   if (cube_id < 0 || cube_id >= pod_->cube_count()) {
     return common::InvalidArgument("cube id out of range");
   }
@@ -42,6 +61,16 @@ Result<tpu::SliceId> FabricManager::HandleCubeFailure(int cube_id) {
 
 std::vector<LinkQualityReport> FabricManager::SurveyLinkQuality(
     const optics::TransceiverSpec& transceiver, const LinkQualityOptions& options) const {
+  telemetry::TraceSpan span(hub_, "link_quality_survey");
+  telemetry::HistogramMetric* margin_hist = nullptr;
+  telemetry::HistogramMetric* ber_hist = nullptr;
+  telemetry::HistogramMetric* loss_hist = nullptr;
+  if (hub_ != nullptr) {
+    auto& metrics = hub_->metrics();
+    margin_hist = &metrics.GetHistogram("lightwave_fabric_link_margin_db");
+    ber_hist = &metrics.GetHistogram("lightwave_fabric_link_ber_log10");
+    loss_hist = &metrics.GetHistogram("lightwave_fabric_link_insertion_loss_db");
+  }
   std::vector<LinkQualityReport> reports;
   const phy::BerModel ber_model = phy::BerModel::ForTransceiver(transceiver);
   const phy::OimFilter oim;
@@ -82,9 +111,15 @@ std::vector<LinkQualityReport> FabricManager::SurveyLinkQuality(
           transceiver.has_oim_dsp
               ? ber_model.PreFecBerWithOim(effective_rx, analysis.mpi, oim)
               : ber_model.PreFecBer(effective_rx, analysis.mpi);
+      if (margin_hist != nullptr) margin_hist->Observe(report.margin_db);
+      if (ber_hist != nullptr && report.pre_fec_ber > 0.0) {
+        ber_hist->Observe(std::log10(report.pre_fec_ber));
+      }
+      if (loss_hist != nullptr) loss_hist->Observe(report.insertion_loss_db);
       reports.push_back(report);
     }
   }
+  span.Annotate("links", std::to_string(reports.size()));
   return reports;
 }
 
@@ -95,6 +130,7 @@ std::map<int, ctrl::TelemetryReply> FabricManager::CollectTelemetry() {
 FabricManager::RepairSummary FabricManager::RepairOutOfBudgetLinks(
     const optics::TransceiverSpec& transceiver, const LinkQualityOptions& options,
     double min_margin_db, int max_rounds) {
+  telemetry::TraceSpan span(hub_, "repair_out_of_budget_links");
   RepairSummary summary;
   for (int round = 0; round < max_rounds; ++round) {
     bool repaired_any = false;
@@ -122,6 +158,13 @@ FabricManager::RepairSummary FabricManager::RepairOutOfBudgetLinks(
       ++summary.still_out_of_budget;
     }
   }
+  if (hub_ != nullptr) {
+    hub_->metrics()
+        .GetCounter("lightwave_fabric_link_repairs_total")
+        .Inc(static_cast<std::uint64_t>(summary.repairs_attempted));
+  }
+  span.Annotate("repairs_attempted", std::to_string(summary.repairs_attempted));
+  span.Annotate("still_out_of_budget", std::to_string(summary.still_out_of_budget));
   return summary;
 }
 

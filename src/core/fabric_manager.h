@@ -16,6 +16,10 @@
 #include "optics/transceiver.h"
 #include "tpu/superpod.h"
 
+namespace lightwave::telemetry {
+class Hub;
+}  // namespace lightwave::telemetry
+
 namespace lightwave::core {
 
 struct FabricManagerConfig {
@@ -90,8 +94,17 @@ class FabricManager {
                                        const LinkQualityOptions& options = {},
                                        double min_margin_db = 0.2, int max_rounds = 3);
 
+  /// Wires `hub` through every layer the manager owns: the scheduler, the
+  /// control bus, the fabric controller, every OCS agent, and every Palomar
+  /// switch. Link-quality surveys additionally record pod-wide margin /
+  /// BER / insertion-loss histograms (the Fig. 13 population). Pass nullptr
+  /// to detach everything (the default no-op sink).
+  void AttachTelemetry(telemetry::Hub* hub);
+  telemetry::Hub* telemetry_hub() const { return hub_; }
+
  private:
   FabricManagerConfig config_;
+  telemetry::Hub* hub_ = nullptr;
   std::unique_ptr<tpu::Superpod> pod_;
   std::unique_ptr<SliceScheduler> scheduler_;
   std::unique_ptr<ctrl::MessageBus> bus_;

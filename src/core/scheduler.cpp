@@ -8,6 +8,7 @@
 #include <set>
 
 #include "sim/event.h"
+#include "telemetry/hub.h"
 
 namespace lightwave::core {
 
@@ -27,6 +28,26 @@ const char* ToString(AllocationPolicy policy) {
 
 SliceScheduler::SliceScheduler(tpu::Superpod& pod, AllocationPolicy policy)
     : pod_(pod), policy_(policy) {}
+
+void SliceScheduler::AttachTelemetry(telemetry::Hub* hub) {
+  if (hub == nullptr) {
+    request_counter_ = accepted_counter_ = rejected_counter_ = repair_counter_ = nullptr;
+    busy_gauge_ = nullptr;
+    return;
+  }
+  auto& metrics = hub->metrics();
+  const telemetry::LabelSet labels{{"policy", ToString(policy_)}};
+  request_counter_ = &metrics.GetCounter("lightwave_core_slice_requests_total", labels);
+  accepted_counter_ = &metrics.GetCounter("lightwave_core_slices_accepted_total", labels);
+  rejected_counter_ = &metrics.GetCounter("lightwave_core_slices_rejected_total", labels);
+  repair_counter_ = &metrics.GetCounter("lightwave_core_slice_repairs_total", labels);
+  busy_gauge_ = &metrics.GetGauge("lightwave_core_busy_cubes", labels);
+  UpdateBusyGauge();
+}
+
+void SliceScheduler::UpdateBusyGauge() {
+  if (busy_gauge_ != nullptr) busy_gauge_->Set(BusyCubes());
+}
 
 std::optional<std::vector<int>> SliceScheduler::PickCubes(const SliceShape& shape) const {
   const int want = shape.CubeCount();
@@ -80,27 +101,38 @@ std::optional<std::vector<int>> SliceScheduler::PickCubes(const SliceShape& shap
 
 Result<SliceId> SliceScheduler::Allocate(const SliceShape& shape) {
   ++stats_.requests;
+  if (request_counter_ != nullptr) request_counter_->Inc();
+  auto reject = [this] {
+    ++stats_.rejected;
+    if (rejected_counter_ != nullptr) rejected_counter_->Inc();
+  };
   auto cubes = PickCubes(shape);
   if (!cubes.has_value()) {
-    ++stats_.rejected;
+    reject();
     return common::ResourceExhausted("no placement for shape " + shape.ToCubeString() +
                                      " under " + ToString(policy_) + " policy");
   }
   auto topology = SliceTopology::Create(shape, std::move(*cubes));
   if (!topology.ok()) {
-    ++stats_.rejected;
+    reject();
     return topology.error();
   }
   auto installed = pod_.InstallSlice(topology.value());
   if (!installed.ok()) {
-    ++stats_.rejected;
+    reject();
     return installed.error();
   }
   ++stats_.accepted;
+  if (accepted_counter_ != nullptr) accepted_counter_->Inc();
+  UpdateBusyGauge();
   return installed.value();
 }
 
-Status SliceScheduler::Release(SliceId id) { return pod_.RemoveSlice(id); }
+Status SliceScheduler::Release(SliceId id) {
+  auto released = pod_.RemoveSlice(id);
+  UpdateBusyGauge();
+  return released;
+}
 
 Result<SliceId> SliceScheduler::RepairSlice(SliceId id) {
   auto it = pod_.slices().find(id);
@@ -136,6 +168,7 @@ Result<SliceId> SliceScheduler::RepairSlice(SliceId id) {
   auto installed = pod_.InstallSlice(topology.value());
   if (!installed.ok()) return installed.error();
   ++stats_.repairs;
+  if (repair_counter_ != nullptr) repair_counter_->Inc();
   return installed.value();
 }
 
@@ -171,6 +204,17 @@ WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
   SliceScheduler scheduler(pod, policy);
   sim::EventQueue queue;
   common::Rng rng(config.seed);
+
+  // Optional observability: spans and time series are stamped with the
+  // simulation clock, so instrumented runs stay deterministic.
+  telemetry::Hub* hub = config.hub;
+  telemetry::TimeSeries* busy_series = nullptr;
+  if (hub != nullptr) {
+    hub->SetClock([&queue] { return queue.now(); });
+    scheduler.AttachTelemetry(hub);
+    busy_series = &hub->metrics().GetTimeSeries(
+        "lightwave_core_busy_cubes_series", {{"policy", ToString(policy)}});
+  }
 
   WorkloadResult result;
   // Jobs survive slice re-homing (repair changes the slice id), so track
@@ -246,6 +290,7 @@ WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
     // FIFO fairness: a job may only jump the queue when nothing is waiting.
     const bool started = (backlog.empty() || !config.queue_jobs) && try_start(pending);
     if (!started && config.queue_jobs) backlog.push_back(pending);
+    if (busy_series != nullptr) busy_series->Record(queue.now(), scheduler.BusyCubes());
     queue.After(rng.Exponential(config.arrival_rate_per_hour), schedule_arrival);
   };
   queue.After(rng.Exponential(config.arrival_rate_per_hour), schedule_arrival);
@@ -293,6 +338,8 @@ WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
 
   queue.Run(config.sim_hours);
   advance_integrals();
+  // The hub outlives the local queue the clock captured; unbind it.
+  if (hub != nullptr) hub->SetClock({});
 
   result.acceptance_rate =
       result.submitted > 0

@@ -16,6 +16,12 @@
 #include "common/rng.h"
 #include "tpu/superpod.h"
 
+namespace lightwave::telemetry {
+class Counter;
+class Gauge;
+class Hub;
+}  // namespace lightwave::telemetry
+
 namespace lightwave::core {
 
 enum class AllocationPolicy { kReconfigurable, kContiguous };
@@ -50,13 +56,23 @@ class SliceScheduler {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Starts mirroring allocation outcomes and the busy-cube gauge into
+  /// `hub` (nullptr detaches). Series carry a `policy=<name>` label.
+  void AttachTelemetry(telemetry::Hub* hub);
+
  private:
   /// Picks cube ids for the shape; nullopt when the policy cannot place it.
   std::optional<std::vector<int>> PickCubes(const tpu::SliceShape& shape) const;
+  void UpdateBusyGauge();
 
   tpu::Superpod& pod_;
   AllocationPolicy policy_;
   Stats stats_;
+  telemetry::Counter* request_counter_ = nullptr;
+  telemetry::Counter* accepted_counter_ = nullptr;
+  telemetry::Counter* rejected_counter_ = nullptr;
+  telemetry::Counter* repair_counter_ = nullptr;
+  telemetry::Gauge* busy_gauge_ = nullptr;
 };
 
 /// Workload simulation: Poisson job arrivals with a shape mix and
@@ -77,6 +93,10 @@ struct WorkloadConfig {
   /// Mean time between cube-host failures across the pod (0 disables).
   double cube_mtbf_hours = 0.0;
   double cube_repair_hours = 12.0;
+  /// Optional telemetry sink: the simulation binds the hub clock to its
+  /// event queue, attaches the scheduler, and records a sim-clock time
+  /// series of busy cubes. nullptr (the default) records nothing.
+  telemetry::Hub* hub = nullptr;
 };
 
 struct WorkloadResult {

@@ -2,15 +2,32 @@
 
 #include <cassert>
 
+#include "telemetry/hub.h"
+
 namespace lightwave::ctrl {
 
+void OcsAgent::AttachTelemetry(telemetry::Hub* hub) {
+  malformed_counter_ =
+      hub == nullptr
+          ? nullptr
+          : &hub->metrics().GetCounter("lightwave_ctrl_agent_malformed_frames_total");
+}
+
 std::vector<std::uint8_t> OcsAgent::Handle(const std::vector<std::uint8_t>& frame) {
+  // A real agent silently drops undecodable frames and lets the client time
+  // out; counting them keeps protocol damage distinguishable from transport
+  // loss in tests and in the exported metrics.
+  auto drop_malformed = [this]() -> std::vector<std::uint8_t> {
+    ++malformed_frames_;
+    if (malformed_counter_ != nullptr) malformed_counter_->Inc();
+    return {};
+  };
   const auto type = PeekType(frame);
-  if (!type) return {};
+  if (!type) return drop_malformed();
   switch (*type) {
     case MessageType::kReconfigureRequest: {
       auto request = DecodeReconfigureRequest(frame);
-      if (!request) return {};
+      if (!request) return drop_malformed();
       // Idempotency: a retried transaction returns the recorded reply
       // instead of re-executing (re-execution would be harmless here but
       // would double-count telemetry).
@@ -36,7 +53,7 @@ std::vector<std::uint8_t> OcsAgent::Handle(const std::vector<std::uint8_t>& fram
     }
     case MessageType::kTelemetryRequest: {
       auto request = DecodeTelemetryRequest(frame);
-      if (!request) return {};
+      if (!request) return drop_malformed();
       const auto& t = ocs_.telemetry();
       return Encode(TelemetryReply{
           .nonce = request->nonce,
@@ -51,7 +68,7 @@ std::vector<std::uint8_t> OcsAgent::Handle(const std::vector<std::uint8_t>& fram
     }
     case MessageType::kPortSurveyRequest: {
       auto request = DecodePortSurveyRequest(frame);
-      if (!request) return {};
+      if (!request) return drop_malformed();
       PortSurveyReply reply;
       reply.nonce = request->nonce;
       for (const auto& conn : ocs_.SurveyConnections()) {
@@ -65,21 +82,35 @@ std::vector<std::uint8_t> OcsAgent::Handle(const std::vector<std::uint8_t>& fram
       return Encode(reply);
     }
     default:
-      return {};  // replies are not valid requests
+      return drop_malformed();  // replies are not valid requests
   }
+}
+
+void MessageBus::AttachTelemetry(telemetry::Hub* hub) {
+  if (hub == nullptr) {
+    sent_counter_ = dropped_counter_ = corrupted_counter_ = nullptr;
+    return;
+  }
+  auto& metrics = hub->metrics();
+  sent_counter_ = &metrics.GetCounter("lightwave_ctrl_frames_sent_total");
+  dropped_counter_ = &metrics.GetCounter("lightwave_ctrl_frames_dropped_total");
+  corrupted_counter_ = &metrics.GetCounter("lightwave_ctrl_frames_corrupted_total");
 }
 
 std::vector<std::uint8_t> MessageBus::MaybeMangle(std::vector<std::uint8_t> frame,
                                                   bool* dropped) {
   *dropped = false;
   ++frames_sent_;
+  if (sent_counter_ != nullptr) sent_counter_->Inc();
   if (rng_.Bernoulli(drop_probability_)) {
     ++frames_dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->Inc();
     *dropped = true;
     return {};
   }
   if (!frame.empty() && rng_.Bernoulli(corrupt_probability_)) {
     ++frames_corrupted_;
+    if (corrupted_counter_ != nullptr) corrupted_counter_->Inc();
     const std::size_t byte = static_cast<std::size_t>(rng_.UniformInt(frame.size()));
     frame[byte] ^= static_cast<std::uint8_t>(1u << rng_.UniformInt(8));
   }
@@ -103,19 +134,44 @@ void FabricController::Register(int ocs_id, OcsAgent* agent) {
   agents_[ocs_id] = agent;
 }
 
+void FabricController::AttachTelemetry(telemetry::Hub* hub) {
+  hub_ = hub;
+  if (hub == nullptr) {
+    txn_counter_ = txn_failure_counter_ = retry_counter_ = nullptr;
+    txn_duration_hist_ = nullptr;
+    return;
+  }
+  auto& metrics = hub->metrics();
+  txn_counter_ = &metrics.GetCounter("lightwave_ctrl_transactions_total");
+  txn_failure_counter_ = &metrics.GetCounter("lightwave_ctrl_transaction_failures_total");
+  retry_counter_ = &metrics.GetCounter("lightwave_ctrl_retries_total");
+  txn_duration_hist_ = &metrics.GetHistogram("lightwave_ctrl_transaction_duration_ms");
+}
+
 FabricTransactionResult FabricController::ApplyTopology(
     const std::map<int, std::map<int, int>>& targets) {
+  telemetry::TraceSpan txn_span(hub_, "apply_topology");
+  if (hub_ != nullptr) txn_span.Annotate("ocs_count", std::to_string(targets.size()));
+  if (txn_counter_ != nullptr) txn_counter_->Inc();
   FabricTransactionResult result;
   for (const auto& [ocs_id, target] : targets) {
+    telemetry::TraceSpan ocs_span(hub_, "reconfigure_ocs");
+    if (hub_ != nullptr) ocs_span.Annotate("ocs", std::to_string(ocs_id));
     auto it = agents_.find(ocs_id);
     if (it == agents_.end()) {
       result.error = "no agent registered for ocs " + std::to_string(ocs_id);
+      if (txn_failure_counter_ != nullptr) txn_failure_counter_->Inc();
       return result;
     }
     const ReconfigureRequest request{.transaction_id = next_txn_++, .target = target};
     bool delivered = false;
+    int attempts_used = 0;
     for (int attempt = 0; attempt <= max_retries_; ++attempt) {
-      if (attempt > 0) ++result.retries_used;
+      attempts_used = attempt + 1;
+      if (attempt > 0) {
+        ++result.retries_used;
+        if (retry_counter_ != nullptr) retry_counter_->Inc();
+      }
       auto reply_frame = bus_.RoundTrip(*it->second, Encode(request));
       if (reply_frame.empty()) continue;  // lost either direction; retry
       auto reply = DecodeReconfigureReply(reply_frame);
@@ -123,17 +179,28 @@ FabricTransactionResult FabricController::ApplyTopology(
       result.replies[ocs_id] = *reply;
       if (!reply->ok) {
         result.error = "ocs " + std::to_string(ocs_id) + ": " + reply->error;
+        if (txn_failure_counter_ != nullptr) txn_failure_counter_->Inc();
         return result;
       }
+      // The duration lands in the latency histogram; annotating every span
+      // with it too would double the hot-path tracer cost for no new data.
+      if (txn_duration_hist_ != nullptr) txn_duration_hist_->Observe(reply->duration_ms);
       delivered = true;
       break;
     }
+    // Retries are the anomaly worth reading off a trace; the clean case
+    // stays annotation-free to keep the instrumented path cheap.
+    if (hub_ != nullptr && attempts_used > 1) {
+      ocs_span.Annotate("attempts", std::to_string(attempts_used));
+    }
     if (!delivered) {
       result.error = "ocs " + std::to_string(ocs_id) + ": transport exhausted retries";
+      if (txn_failure_counter_ != nullptr) txn_failure_counter_->Inc();
       return result;
     }
   }
   result.ok = true;
+  txn_span.Annotate("ok", "true");
   return result;
 }
 

@@ -17,6 +17,12 @@
 #include "ctrl/messages.h"
 #include "ocs/palomar.h"
 
+namespace lightwave::telemetry {
+class Counter;
+class HistogramMetric;
+class Hub;
+}  // namespace lightwave::telemetry
+
 namespace lightwave::ctrl {
 
 /// The device-side agent: decodes a framed command, executes it against the
@@ -31,9 +37,20 @@ class OcsAgent {
 
   const ocs::PalomarSwitch& device() const { return ocs_; }
 
+  /// Frames this agent dropped as undecodable. Distinguishes protocol
+  /// damage (corruption that survived transport) from transport loss, which
+  /// the MessageBus counts separately.
+  std::uint64_t malformed_frames() const { return malformed_frames_; }
+
+  /// Starts mirroring the malformed-frame count into `hub` (nullptr
+  /// detaches; the default no-op sink).
+  void AttachTelemetry(telemetry::Hub* hub);
+
  private:
   ocs::PalomarSwitch& ocs_;
   std::uint64_t last_applied_txn_ = 0;
+  std::uint64_t malformed_frames_ = 0;
+  telemetry::Counter* malformed_counter_ = nullptr;
   ReconfigureReply last_reply_;
 };
 
@@ -55,9 +72,16 @@ class MessageBus {
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t frames_corrupted() const { return frames_corrupted_; }
 
+  /// Mirrors the frame counters into `hub` (nullptr detaches). Handles are
+  /// resolved once here, so the per-frame cost is one pointer test.
+  void AttachTelemetry(telemetry::Hub* hub);
+
  private:
   std::vector<std::uint8_t> MaybeMangle(std::vector<std::uint8_t> frame, bool* dropped);
 
+  telemetry::Counter* sent_counter_ = nullptr;
+  telemetry::Counter* dropped_counter_ = nullptr;
+  telemetry::Counter* corrupted_counter_ = nullptr;
   common::Rng rng_;
   double drop_probability_ = 0.0;
   double corrupt_probability_ = 0.0;
@@ -91,12 +115,21 @@ class FabricController {
   /// Collects telemetry from every registered agent (best effort).
   std::map<int, TelemetryReply> CollectTelemetry();
 
+  /// Starts recording transaction spans (one per ApplyTopology, one child
+  /// per OCS fan-out) and latency/retry metrics into `hub`.
+  void AttachTelemetry(telemetry::Hub* hub);
+
  private:
   MessageBus& bus_;
   int max_retries_;
   std::map<int, OcsAgent*> agents_;
   std::uint64_t next_txn_ = 1;
   std::uint64_t next_nonce_ = 1;
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::Counter* txn_counter_ = nullptr;
+  telemetry::Counter* txn_failure_counter_ = nullptr;
+  telemetry::Counter* retry_counter_ = nullptr;
+  telemetry::HistogramMetric* txn_duration_hist_ = nullptr;
 };
 
 }  // namespace lightwave::ctrl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/hub.h"
+
 namespace lightwave::ocs {
 
 using common::Result;
@@ -23,6 +25,26 @@ PalomarSwitch::PalomarSwitch(std::uint64_t seed, std::string name)
     north_spares_.push_back(i);
     south_spares_.push_back(i);
   }
+}
+
+void PalomarSwitch::AttachTelemetry(telemetry::Hub* hub) {
+  if (hub == nullptr) {
+    reconfig_counter_ = connect_counter_ = rejected_counter_ = nullptr;
+    insertion_loss_hist_ = switch_duration_hist_ = nullptr;
+    return;
+  }
+  auto& metrics = hub->metrics();
+  const telemetry::LabelSet labels{{"switch", name_}};
+  reconfig_counter_ = &metrics.GetCounter("lightwave_ocs_reconfigurations_total", labels);
+  connect_counter_ = &metrics.GetCounter("lightwave_ocs_connects_total", labels);
+  rejected_counter_ = &metrics.GetCounter("lightwave_ocs_rejected_commands_total", labels);
+  insertion_loss_hist_ = &metrics.GetHistogram("lightwave_ocs_insertion_loss_db", labels);
+  switch_duration_hist_ = &metrics.GetHistogram("lightwave_ocs_switch_duration_ms", labels);
+}
+
+void PalomarSwitch::NoteRejected() {
+  ++telemetry_.rejected_commands;
+  if (rejected_counter_ != nullptr) rejected_counter_->Inc();
 }
 
 int PalomarSwitch::PhysicalPort(bool north_side, int logical_port) const {
@@ -72,23 +94,23 @@ common::Status PalomarSwitch::RemapToSpare(bool north_side, int logical_port) {
 Result<Connection> PalomarSwitch::EstablishInternal(int north, int south) {
   if (north < 0 || north >= kPalomarUsablePorts || south < 0 ||
       south >= kPalomarUsablePorts) {
-    ++telemetry_.rejected_commands;
+    NoteRejected();
     return common::InvalidArgument("port index out of usable range");
   }
   const int north_phys = PhysicalPort(true, north);
   const int south_phys = PhysicalPort(false, south);
   if (!north_usable_[static_cast<std::size_t>(north_phys)] ||
       !south_usable_[static_cast<std::size_t>(south_phys)]) {
-    ++telemetry_.rejected_commands;
+    NoteRejected();
     return common::Unavailable("port has a dead mirror chain");
   }
   if (north_to_south_.contains(north) || south_to_north_.contains(south)) {
-    ++telemetry_.rejected_commands;
+    NoteRejected();
     return common::AlreadyExists("port already connected");
   }
   auto metrics = core_.EstablishPath(north_phys, south_phys);
   if (!metrics.has_value()) {
-    ++telemetry_.rejected_commands;
+    NoteRejected();
     return common::Unavailable("mirror chain failed during establish");
   }
   Connection conn{
@@ -102,6 +124,10 @@ Result<Connection> PalomarSwitch::EstablishInternal(int north, int south) {
   active_[north] = conn;
   last_alignment_ms_ = metrics->alignment_time_ms;
   ++telemetry_.connects;
+  if (connect_counter_ != nullptr) connect_counter_->Inc();
+  if (insertion_loss_hist_ != nullptr) {
+    insertion_loss_hist_->Observe(conn.insertion_loss.value());
+  }
   return conn;
 }
 
@@ -114,7 +140,7 @@ Result<Connection> PalomarSwitch::Connect(int north, int south) {
 Status PalomarSwitch::Disconnect(int north) {
   auto it = north_to_south_.find(north);
   if (it == north_to_south_.end()) {
-    ++telemetry_.rejected_commands;
+    NoteRejected();
     return common::NotFound("no connection on north port");
   }
   south_to_north_.erase(it->second);
@@ -130,17 +156,17 @@ Result<ReconfigureReport> PalomarSwitch::Reconfigure(const std::map<int, int>& t
   for (const auto& [north, south] : target) {
     if (north < 0 || north >= kPalomarUsablePorts || south < 0 ||
         south >= kPalomarUsablePorts) {
-      ++telemetry_.rejected_commands;
+      NoteRejected();
       return common::InvalidArgument("target references out-of-range port");
     }
     if (south_seen[static_cast<std::size_t>(south)]) {
-      ++telemetry_.rejected_commands;
+      NoteRejected();
       return common::InvalidArgument("target is not bijective (south reused)");
     }
     south_seen[static_cast<std::size_t>(south)] = true;
     if (!north_usable_[static_cast<std::size_t>(PhysicalPort(true, north))] ||
         !south_usable_[static_cast<std::size_t>(PhysicalPort(false, south))]) {
-      ++telemetry_.rejected_commands;
+      NoteRejected();
       return common::Unavailable("target references dead port");
     }
   }
@@ -183,6 +209,8 @@ Result<ReconfigureReport> PalomarSwitch::Reconfigure(const std::map<int, int>& t
   report.duration_ms = kCommandOverheadMs + max_alignment_ms;
   telemetry_.cumulative_switch_ms += report.duration_ms;
   ++telemetry_.reconfigurations;
+  if (reconfig_counter_ != nullptr) reconfig_counter_->Inc();
+  if (switch_duration_hist_ != nullptr) switch_duration_hist_->Observe(report.duration_ms);
   return report;
 }
 

@@ -18,6 +18,12 @@
 #include "ocs/chassis.h"
 #include "ocs/optical_core.h"
 
+namespace lightwave::telemetry {
+class Counter;
+class HistogramMetric;
+class Hub;
+}  // namespace lightwave::telemetry
+
 namespace lightwave::ocs {
 
 inline constexpr int kPalomarPortCount = 136;
@@ -101,11 +107,19 @@ class PalomarSwitch {
   Chassis& chassis() { return chassis_; }
   const Chassis& chassis() const { return chassis_; }
 
+  /// Starts mirroring switch activity into `hub` (nullptr detaches): counts
+  /// of reconfigurations / connects / rejected commands, the per-path
+  /// insertion-loss histogram of every established connection (the Fig. 10
+  /// distribution), and per-transaction switch durations. Series carry a
+  /// `switch=<name>` label.
+  void AttachTelemetry(telemetry::Hub* hub);
+
   /// Fixed command/settle overhead per reconfiguration transaction.
   static constexpr double kCommandOverheadMs = 2.0;
 
  private:
   common::Result<Connection> EstablishInternal(int north, int south);
+  void NoteRejected();
 
   std::string name_;
   OpticalCore core_;
@@ -121,6 +135,11 @@ class PalomarSwitch {
   std::vector<int> south_spares_;
   SwitchTelemetry telemetry_;
   double last_alignment_ms_ = 0.0;
+  telemetry::Counter* reconfig_counter_ = nullptr;
+  telemetry::Counter* connect_counter_ = nullptr;
+  telemetry::Counter* rejected_counter_ = nullptr;
+  telemetry::HistogramMetric* insertion_loss_hist_ = nullptr;
+  telemetry::HistogramMetric* switch_duration_hist_ = nullptr;
 };
 
 }  // namespace lightwave::ocs

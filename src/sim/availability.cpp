@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math.h"
+#include "telemetry/hub.h"
 
 namespace lightwave::sim {
 
@@ -72,11 +73,26 @@ double GoodputStatic(double server_availability, int cubes_per_slice,
 
 MonteCarloAvailability SimulateAvailability(double server_availability, int cubes_per_slice,
                                             int slices, int trials, std::uint64_t seed,
-                                            const PodAvailabilityConfig& config) {
+                                            const PodAvailabilityConfig& config,
+                                            telemetry::Hub* hub) {
   assert(trials > 0 && slices >= 0);
   common::Rng rng(seed);
   const double p_cube = CubeAvailability(server_availability, config);
   const int groups = config.cubes / cubes_per_slice;
+
+  telemetry::Counter* trial_counter = nullptr;
+  telemetry::Counter* downtime_counter = nullptr;
+  telemetry::HistogramMetric* healthy_hist = nullptr;
+  telemetry::TimeSeries* healthy_series = nullptr;
+  if (hub != nullptr) {
+    auto& metrics = hub->metrics();
+    trial_counter = &metrics.GetCounter("lightwave_availability_trials_total");
+    // A trial in which the committed reconfigurable slices cannot all be
+    // composed is a pod-level downtime event (the Fig. 15b failure mode).
+    downtime_counter = &metrics.GetCounter("lightwave_availability_downtime_events_total");
+    healthy_hist = &metrics.GetHistogram("lightwave_availability_healthy_cubes");
+    healthy_series = &metrics.GetTimeSeries("lightwave_availability_healthy_cubes_series");
+  }
 
   MonteCarloAvailability result;
   long long healthy_total = 0;
@@ -90,8 +106,17 @@ MonteCarloAvailability SimulateAvailability(double server_availability, int cube
       healthy_count += healthy[static_cast<std::size_t>(c)] ? 1 : 0;
     }
     healthy_total += healthy_count;
+    if (hub != nullptr) {
+      trial_counter->Inc();
+      healthy_hist->Observe(healthy_count);
+      healthy_series->Record(static_cast<double>(t), healthy_count);
+    }
     // Reconfigurable: any healthy cubes compose.
-    if (healthy_count >= slices * cubes_per_slice) ++reconfig_ok;
+    if (healthy_count >= slices * cubes_per_slice) {
+      ++reconfig_ok;
+    } else if (downtime_counter != nullptr) {
+      downtime_counter->Inc();
+    }
     // Static: count fully-healthy contiguous groups.
     int good_groups = 0;
     for (int g = 0; g < groups; ++g) {

@@ -15,6 +15,10 @@
 
 #include "common/rng.h"
 
+namespace lightwave::telemetry {
+class Hub;
+}  // namespace lightwave::telemetry
+
 namespace lightwave::sim {
 
 /// P[all `ocs_count` OCSes up] given a single-OCS availability.
@@ -58,9 +62,13 @@ struct MonteCarloAvailability {
 };
 
 /// Trial-based cross-check: samples unit failures, asks whether `slices`
-/// slices of `cubes_per_slice` can be composed under each fabric.
+/// slices of `cubes_per_slice` can be composed under each fabric. When a
+/// telemetry hub is given, records trial/downtime-event counters and the
+/// per-trial healthy-cube histogram (timestamps are the trial index — the
+/// model has no clock — keeping exports deterministic).
 MonteCarloAvailability SimulateAvailability(double server_availability, int cubes_per_slice,
                                             int slices, int trials, std::uint64_t seed,
-                                            const PodAvailabilityConfig& config = {});
+                                            const PodAvailabilityConfig& config = {},
+                                            telemetry::Hub* hub = nullptr);
 
 }  // namespace lightwave::sim

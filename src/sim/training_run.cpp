@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "telemetry/hub.h"
 
 namespace lightwave::sim {
 
@@ -20,6 +21,24 @@ TrainingRunResult SimulateTrainingRun(const TrainingRunConfig& config) {
   const double swap_downtime_hours =
       (config.reconfig_ms * 1e-3 + config.link_init.TotalBringupUs() * 1e-6) / 3600.0 +
       step_hours;  // + checkpoint reload, modeled as one step time
+
+  // Telemetry (optional): timestamps below are the sim loop's own clock
+  // (`now`, in hours), never wall-clock, so recordings are deterministic.
+  telemetry::Hub* hub = config.hub;
+  const char* fabric_label = config.reconfigurable ? "reconfigurable" : "static";
+  telemetry::Counter* failure_counter = nullptr;
+  telemetry::Counter* swap_counter = nullptr;
+  telemetry::HistogramMetric* stall_hist = nullptr;
+  telemetry::TimeSeries* goodput_series = nullptr;
+  if (hub != nullptr) {
+    auto& metrics = hub->metrics();
+    const telemetry::LabelSet labels{{"fabric", fabric_label}};
+    metrics.GetGauge("lightwave_training_step_time_hours", labels).Set(step_hours);
+    failure_counter = &metrics.GetCounter("lightwave_training_failures_total", labels);
+    swap_counter = &metrics.GetCounter("lightwave_training_cube_swaps_total", labels);
+    stall_hist = &metrics.GetHistogram("lightwave_training_stall_hours", labels);
+    goodput_series = &metrics.GetTimeSeries("lightwave_training_goodput_series", labels);
+  }
 
   const int slice_cubes = config.shape.CubeCount();
   int spare_pool = config.pod_cubes - slice_cubes;
@@ -61,6 +80,8 @@ TrainingRunResult SimulateTrainingRun(const TrainingRunConfig& config) {
     }
 
     ++result.failures;
+    if (failure_counter != nullptr) failure_counter->Inc();
+    const double downtime_started = now;
     // Roll back to the last checkpoint.
     useful -= since_checkpoint;
     result.steps_lost_to_rollback +=
@@ -85,6 +106,7 @@ TrainingRunResult SimulateTrainingRun(const TrainingRunConfig& config) {
       if (spare_pool > 0) {
         --spare_pool;
         ++result.cube_swaps;
+        if (swap_counter != nullptr) swap_counter->Inc();
         now += swap_downtime_hours;
         result.stall_hours += swap_downtime_hours;
       }
@@ -98,10 +120,26 @@ TrainingRunResult SimulateTrainingRun(const TrainingRunConfig& config) {
         repairs.pop();
       }
     }
+
+    if (hub != nullptr) {
+      // One downtime span per failure (checkpoint rollback through restart),
+      // plus running goodput sampled at the recovery point.
+      const std::uint64_t span =
+          hub->tracer().Begin("training_downtime", downtime_started);
+      hub->tracer().Annotate(span, "fabric", fabric_label);
+      hub->tracer().End(span, now);
+      stall_hist->Observe(now - downtime_started);
+      goodput_series->Record(now, now > 0.0 ? useful / now : 0.0);
+    }
   }
 
   result.steps_completed = static_cast<std::uint64_t>(useful / step_hours);
   result.goodput = config.run_hours > 0.0 ? useful / config.run_hours : 0.0;
+  if (hub != nullptr) {
+    hub->metrics()
+        .GetGauge("lightwave_training_goodput", {{"fabric", fabric_label}})
+        .Set(result.goodput);
+  }
   return result;
 }
 

@@ -17,6 +17,10 @@
 #include "sim/llm_model.h"
 #include "tpu/slice.h"
 
+namespace lightwave::telemetry {
+class Hub;
+}  // namespace lightwave::telemetry
+
 namespace lightwave::sim {
 
 struct TrainingRunConfig {
@@ -37,6 +41,11 @@ struct TrainingRunConfig {
   double run_hours = 24.0 * 30.0;  // one month
   std::uint64_t seed = 2718;
   bool reconfigurable = true;
+  /// Optional telemetry sink. Records step-time and failure/swap counters,
+  /// a stall-duration histogram, a goodput time series keyed by the
+  /// simulation clock (hours), and one trace span per downtime event.
+  /// nullptr (the default) records nothing.
+  telemetry::Hub* hub = nullptr;
 };
 
 struct TrainingRunResult {

@@ -1,0 +1,30 @@
+// Exporters: render a MetricsRegistry (and optionally the trace spans) as
+// Prometheus text exposition format or JSON. Output is deterministic —
+// series iterate in sorted (name, labels) order, spans in Begin() order,
+// and numbers format via a fixed locale-independent rule — so a fixed-seed
+// simulation exports byte-exact across repeat runs.
+#pragma once
+
+#include <string>
+
+#include "telemetry/hub.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace lightwave::telemetry {
+
+/// Prometheus text format. Counters as `counter`, gauges and time-series
+/// latest values as `gauge`, histograms as `summary` (q0.5/q0.9/q0.99 plus
+/// `_sum`/`_count`).
+std::string ToPrometheus(const MetricsRegistry& registry);
+
+/// JSON document with `counters`, `gauges`, `histograms`, `timeseries`,
+/// and (when a tracer is given) `spans` sections.
+std::string ToJson(const MetricsRegistry& registry, const Tracer* tracer = nullptr);
+inline std::string ToJson(const Hub& hub) { return ToJson(hub.metrics(), &hub.tracer()); }
+
+/// Deterministic number rendering shared by both exporters: integers print
+/// with no fraction, everything else as %.9g.
+std::string FormatNumber(double v);
+
+}  // namespace lightwave::telemetry

@@ -1,0 +1,64 @@
+// The injection point for the telemetry subsystem. A Hub bundles the
+// metrics registry, the tracer, and the clock that spans and time series
+// read. Instrumented classes hold a `Hub*` defaulting to nullptr — the
+// no-op sink: with a null hub every record reduces to one pointer test, so
+// existing call sites keep compiling and the un-instrumented hot paths keep
+// their performance.
+//
+// The clock is pluggable and defaults to 0.0 (no clock). Bind it to a
+// simulation clock for deterministic timestamps:
+//   hub.SetClock([&queue] { return queue.now(); });
+// Never bind wall-clock time if exports must be reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace lightwave::telemetry {
+
+class Hub {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Installs (or clears, with an empty function) the time source.
+  void SetClock(std::function<double()> clock) { clock_ = std::move(clock); }
+  double Now() const { return clock_ ? clock_() : 0.0; }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  std::function<double()> clock_;
+};
+
+/// RAII span: opens on construction (at hub->Now()), closes when it leaves
+/// scope. A null hub makes every member a no-op.
+class TraceSpan {
+ public:
+  TraceSpan(Hub* hub, std::string name) : hub_(hub) {
+    if (hub_ != nullptr) id_ = hub_->tracer().Begin(std::move(name), hub_->Now());
+  }
+  ~TraceSpan() {
+    if (hub_ != nullptr) hub_->tracer().End(id_, hub_->Now());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Annotate(std::string key, std::string value) {
+    if (hub_ != nullptr) hub_->tracer().Annotate(id_, std::move(key), std::move(value));
+  }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  Hub* hub_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace lightwave::telemetry

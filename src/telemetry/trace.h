@@ -1,0 +1,50 @@
+// Structured trace spans for fabric reconfiguration transactions: the
+// controller's fan-out, per-agent retries, MEMS settle, camera alignment.
+// Spans nest: Begin() parents the new span under the innermost still-open
+// span, mirroring how ApplyTopology wraps per-OCS reconfigure calls. Times
+// are supplied by the caller (simulation clock or a domain quantity like a
+// transaction's duration_ms) so traces replay byte-exact.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lightwave::telemetry {
+
+struct SpanRecord {
+  std::uint64_t id = 0;         // 1-based; 0 is reserved for "no span"
+  std::uint64_t parent_id = 0;  // 0 = root span
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+  bool open = true;
+  /// Key/value annotations in insertion order (deterministic export).
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+class Tracer {
+ public:
+  /// Opens a span parented under the innermost open span (or as a root).
+  /// Returns its id for End()/Annotate().
+  std::uint64_t Begin(std::string name, double start_time);
+  void Annotate(std::uint64_t id, std::string key, std::string value);
+  /// Closes the span. Out-of-order ends are tolerated (the span is removed
+  /// from wherever it sits on the open stack).
+  void End(std::uint64_t id, double end_time);
+
+  /// All spans in Begin() order. Call once recording has quiesced.
+  std::vector<SpanRecord> spans() const;
+  std::size_t span_count() const;
+  std::size_t open_count() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;   // index = id - 1
+  std::vector<std::uint64_t> open_stack_;
+};
+
+}  // namespace lightwave::telemetry

@@ -175,6 +175,34 @@ TEST(SampleSet, PercentileNearestRank) {
   EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
 }
 
+TEST(SampleSet, PercentileBoundaries) {
+  // p = 0 is the minimum, p = 100 the maximum; out-of-range p clamps.
+  SampleSet s;
+  for (double x : {7.0, 3.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 9.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(-5.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(250.0), 9.0);
+}
+
+TEST(SampleSet, PercentileSingleSample) {
+  SampleSet s;
+  s.Add(42.0);
+  for (double p : {0.0, 1.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.Percentile(p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(SampleSet, PercentileEmptySetIsZero) {
+  // Never-observed telemetry histograms query percentiles at export time;
+  // an empty set answers 0.0 instead of asserting.
+  SampleSet s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 0.0);
+}
+
 TEST(SampleSet, PercentileUnsortedInput) {
   SampleSet s;
   for (double x : {5.0, 1.0, 4.0, 2.0, 3.0}) s.Add(x);

@@ -130,7 +130,9 @@ TEST(Fuzz, PalomarInvariantsUnderRandomOps) {
       const int n = static_cast<int>(rng.UniformInt(ocs::kPalomarUsablePorts));
       const auto conn = ocs.ConnectionOn(n);
       EXPECT_EQ(conn.has_value(), model.contains(n));
-      if (conn.has_value()) EXPECT_EQ(conn->south, model.at(n));
+      if (conn.has_value()) {
+        EXPECT_EQ(conn->south, model.at(n));
+      }
     }
     if (op % 500 == 0) {
       // Full-state audit: bijectivity + agreement with the shadow model.

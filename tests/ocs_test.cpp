@@ -438,7 +438,9 @@ TEST(Technology, RoboticFailsFastReconfigurationUseCase) {
   req.max_switching_time_s = 0.1;
   const auto ranked = RankTechnologies(req, OcsTechnologies());
   for (const auto& ts : ranked) {
-    if (ts.technology.name == "Robotic") EXPECT_LT(ts.score, 0.0);
+    if (ts.technology.name == "Robotic") {
+      EXPECT_LT(ts.score, 0.0);
+    }
   }
 }
 

@@ -61,6 +61,59 @@ TEST(EventQueueTest, RunUntilStopsEarly) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(EventQueueTest, EqualTimestampsInterleavedWithHandlersStayFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  // A handler that schedules more work at the *same* timestamp must still
+  // run after everything already queued there (sequence numbers, not
+  // insertion luck, break the tie).
+  q.At(1.0, [&] {
+    fired.push_back(0);
+    q.At(1.0, [&] { fired.push_back(3); });
+  });
+  q.At(1.0, [&] { fired.push_back(1); });
+  q.At(1.0, [&] { fired.push_back(2); });
+  q.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueueTest, RunUntilIncludesEventExactlyAtBound) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.At(1.0, [&] { fired.push_back(1.0); });
+  q.At(5.0, [&] { fired.push_back(5.0); });
+  q.At(5.5, [&] { fired.push_back(5.5); });
+  EXPECT_EQ(q.Run(5.0), 2u);  // the event *at* the bound fires
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 5.0}));
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenNothingFires) {
+  EventQueue q;
+  EXPECT_EQ(q.Run(3.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);  // clock lands on the bound even when idle
+}
+
+TEST(EventQueueTest, StepOnEmptyQueueReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Step());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, AfterZeroFiresAtCurrentTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.At(2.0, [&] {
+    q.After(0.0, [&] { seen = q.now(); });
+  });
+  q.Run();
+  EXPECT_DOUBLE_EQ(seen, 2.0);  // zero delay fires at now, not before/after
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
 // --- collectives -----------------------------------------------------------------
 
 TEST(Collective, RingAllReduceClosedForm) {
