@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Unit-suffix lint for the optical layers.
+
+The optics/ocs code mixes decibels, dBm, watts, and nanometers; a silent
+unit mix-up there is exactly the class of bug a type system or a naming
+convention must catch. The typed wrappers (common::Decibel, DbmPower,
+Nanometers) are preferred, but raw `double` identifiers are allowed when
+their name carries the unit:
+
+    insertion_loss_db, launch_power_dbm, power_w, wavelength_nm, ...
+
+This lint walks declarations in src/optics and src/ocs and flags raw
+double/float identifiers whose stem names a physical quantity
+(loss/power/wavelength/...) without a recognised unit suffix.
+
+Exit status: 0 clean, 1 violations found. stdlib only; no pip deps.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src/optics", "src/ocs")
+
+# Quantity stems that demand a unit suffix when typed as a raw double.
+QUANTITY_STEMS = (
+    "loss",
+    "gain",
+    "power",
+    "attenuation",
+    "penalty",
+    "budget",
+    "wavelength",
+    "lambda",
+    "sensitivity",
+    "crosstalk",
+)
+
+UNIT_SUFFIXES = (
+    "_db",
+    "_dbm",
+    "_w",
+    "_mw",
+    "_uw",
+    "_nm",
+    "_um",
+    "_ghz",
+    "_thz",
+    "_db_per_km",
+)
+
+# `double insertion_loss_db = ...` declarations; the negative lookahead
+# skips function declarations (`double Power() const`), whose return-unit
+# conventions are out of scope for this lint.
+DECL_RE = re.compile(r"\b(?:double|float)\s+(?:const\s+)?([A-Za-z_][A-Za-z0-9_]*)\s*(?!\()")
+
+# Trailing `// units: <why>` suppresses the lint for that line — for
+# genuinely dimensionless quantities (control-loop gains, fractions).
+SUPPRESS_RE = re.compile(r"//\s*units:")
+
+# Lines the lint must not read: comments, strings are stripped coarsely.
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def needs_suffix(identifier: str) -> bool:
+    name = identifier.lower().rstrip("_")  # members use a trailing underscore
+    if any(name.endswith(suffix) for suffix in UNIT_SUFFIXES):
+        return False
+    # A stem match anywhere in the final word of the identifier: `total_loss`
+    # matches, `glossary` must not.
+    words = name.split("_")
+    return any(word in QUANTITY_STEMS for word in words)
+
+
+def lint_file(path: Path) -> list[str]:
+    violations = []
+    in_block_comment = False
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        if SUPPRESS_RE.search(raw):
+            continue
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                in_block_comment = True
+                line = line[:start]
+            else:
+                line = line[:start] + line[end + 2 :]
+        line = LINE_COMMENT_RE.sub("", line)
+        line = STRING_RE.sub('""', line)
+        for match in DECL_RE.finditer(line):
+            identifier = match.group(1)
+            if needs_suffix(identifier):
+                violations.append(
+                    f"{path}:{lineno}: raw double '{identifier}' names a physical "
+                    f"quantity without a unit suffix ({', '.join(UNIT_SUFFIXES)}); "
+                    f"rename it or use a typed unit from common/units.h"
+                )
+    return violations
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    violations: list[str] = []
+    checked = 0
+    for lint_dir in LINT_DIRS:
+        for path in sorted((repo_root / lint_dir).rglob("*.h")) + sorted(
+            (repo_root / lint_dir).rglob("*.cpp")
+        ):
+            checked += 1
+            violations.extend(lint_file(path))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"lint_units: {len(violations)} violation(s) in {checked} files", file=sys.stderr)
+        return 1
+    print(f"lint_units: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

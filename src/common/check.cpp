@@ -1,0 +1,129 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace lightwave::common {
+
+namespace {
+
+std::mutex g_handler_mu;
+CheckHandler g_handler;  // empty = default behaviour
+
+std::atomic<std::uint64_t> g_fatal_failures{0};
+std::atomic<std::uint64_t> g_ensure_failures{0};
+
+/// Validation mode: -1 = not yet resolved, else 0/1.
+std::atomic<int> g_validation{-1};
+
+bool DefaultValidationEnabled() {
+  if (const char* env = std::getenv("LIGHTWAVE_VALIDATE")) {
+    return env[0] != '\0' && env[0] != '0';
+  }
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Default policy: log every fatal failure and abort; for kEnsure (expected
+/// malformed input) log only the first few so a fuzz corpus cannot flood
+/// stderr, and keep running.
+void DefaultHandler(const CheckFailure& failure) {
+  if (failure.kind == CheckKind::kEnsure) {
+    static std::atomic<int> logged{0};
+    constexpr int kMaxEnsureLogs = 8;
+    const int n = logged.fetch_add(1, std::memory_order_relaxed);
+    if (n < kMaxEnsureLogs) {
+      std::fprintf(stderr, "%s\n", FormatCheckFailure(failure).c_str());
+      if (n == kMaxEnsureLogs - 1) {
+        std::fprintf(stderr, "lightwave: further LW_ENSURE failures suppressed "
+                             "(see GetCheckStats())\n");
+      }
+    }
+    return;
+  }
+  std::fprintf(stderr, "%s\n", FormatCheckFailure(failure).c_str());
+  std::abort();
+}
+
+void Report(const CheckFailure& failure) {
+  if (failure.kind == CheckKind::kEnsure) {
+    g_ensure_failures.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_fatal_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  CheckHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mu);
+    handler = g_handler;
+  }
+  if (handler) {
+    handler(failure);
+  } else {
+    DefaultHandler(failure);
+  }
+}
+
+}  // namespace
+
+const char* ToString(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kCheck: return "check";
+    case CheckKind::kDcheck: return "dcheck";
+    case CheckKind::kEnsure: return "ensure";
+    case CheckKind::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+std::string FormatCheckFailure(const CheckFailure& failure) {
+  std::ostringstream out;
+  out << failure.where.file << ":" << failure.where.line << " ("
+      << failure.where.function << "): LW_" << ToString(failure.kind)
+      << " failed: " << failure.condition;
+  if (!failure.message.empty()) out << ": " << failure.message;
+  return out.str();
+}
+
+CheckHandler SetCheckHandler(CheckHandler handler) {
+  std::lock_guard<std::mutex> lock(g_handler_mu);
+  std::swap(g_handler, handler);
+  return handler;
+}
+
+CheckStats GetCheckStats() {
+  return CheckStats{g_fatal_failures.load(std::memory_order_relaxed),
+                    g_ensure_failures.load(std::memory_order_relaxed)};
+}
+
+bool ValidationEnabled() {
+  int state = g_validation.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = DefaultValidationEnabled() ? 1 : 0;
+    g_validation.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetValidationEnabled(bool enabled) {
+  g_validation.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace check_internal {
+
+FailureStream::~FailureStream() {
+  Report(CheckFailure{kind_, condition_, where_, stream_.str()});
+}
+
+bool ReportEnsureFailure(const char* condition, SourceLocation where) {
+  Report(CheckFailure{CheckKind::kEnsure, condition, where, {}});
+  return false;
+}
+
+}  // namespace check_internal
+}  // namespace lightwave::common

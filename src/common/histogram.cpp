@@ -1,9 +1,10 @@
 #include "common/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "common/check.h"
 
 namespace lightwave::common {
 
@@ -22,24 +23,24 @@ void SampleSet::EnsureSorted() const {
 }
 
 double SampleSet::min() const {
-  assert(!samples_.empty());
+  LW_CHECK(!samples_.empty()) << "min() of an empty sample set";
   EnsureSorted();
   return samples_.front();
 }
 
 double SampleSet::max() const {
-  assert(!samples_.empty());
+  LW_CHECK(!samples_.empty()) << "max() of an empty sample set";
   EnsureSorted();
   return samples_.back();
 }
 
 double SampleSet::mean() const {
-  assert(!samples_.empty());
+  LW_CHECK(!samples_.empty()) << "mean() of an empty sample set";
   return sum_ / static_cast<double>(samples_.size());
 }
 
 double SampleSet::stddev() const {
-  assert(!samples_.empty());
+  LW_CHECK(!samples_.empty()) << "stddev() of an empty sample set";
   const double n = static_cast<double>(samples_.size());
   const double m = sum_ / n;
   const double var = std::max(0.0, sum_sq_ / n - m * m);
@@ -60,7 +61,7 @@ double SampleSet::Percentile(double p) const {
 
 Histogram::Histogram(double lo, double hi, int bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / bins), counts_(static_cast<std::size_t>(bins), 0) {
-  assert(hi > lo && bins > 0);
+  LW_CHECK(hi > lo && bins > 0) << "lo=" << lo << " hi=" << hi << " bins=" << bins;
 }
 
 void Histogram::Add(double x) {

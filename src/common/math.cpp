@@ -1,14 +1,15 @@
 #include "common/math.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace lightwave::common {
 
 double QFunction(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
 
 double QInverse(double p) {
-  assert(p > 0.0 && p < 1.0);
+  LW_CHECK(p > 0.0 && p < 1.0) << "QInverse needs a probability in (0,1), got " << p;
   // Acklam's rational approximation for the normal quantile, then Newton.
   // Q^{-1}(p) = -Phi^{-1}(p) where Phi is the standard normal CDF? No:
   // Q(x) = 1 - Phi(x), so x = Phi^{-1}(1 - p).
@@ -51,7 +52,7 @@ double QInverse(double p) {
 }
 
 std::vector<double> Linspace(double lo, double hi, int n) {
-  assert(n >= 2);
+  LW_CHECK(n >= 2) << "Linspace needs at least 2 points, got " << n;
   std::vector<double> out(static_cast<std::size_t>(n));
   const double step = (hi - lo) / (n - 1);
   for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = lo + step * i;
@@ -60,7 +61,7 @@ std::vector<double> Linspace(double lo, double hi, int n) {
 }
 
 double BinomialCoefficient(int n, int k) {
-  assert(n >= 0 && k >= 0);
+  LW_CHECK(n >= 0 && k >= 0) << "n=" << n << " k=" << k;
   if (k > n) return 0.0;
   k = std::min(k, n - k);
   double result = 1.0;
@@ -72,7 +73,8 @@ double BinomialCoefficient(int n, int k) {
 }
 
 double AtLeastKofN(int n, int k, double p) {
-  assert(n >= 0 && k >= 0 && p >= 0.0 && p <= 1.0);
+  LW_CHECK(n >= 0 && k >= 0 && p >= 0.0 && p <= 1.0)
+      << "n=" << n << " k=" << k << " p=" << p;
   double total = 0.0;
   for (int i = k; i <= n; ++i) {
     total += BinomialCoefficient(n, i) * std::pow(p, i) * std::pow(1.0 - p, n - i);

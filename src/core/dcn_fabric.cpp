@@ -3,6 +3,8 @@
 #include <cassert>
 #include <set>
 
+#include "common/check.h"
+
 namespace lightwave::core {
 
 using common::Result;
@@ -177,7 +179,40 @@ Result<DcnReconfigStats> DcnFabric::ApplyTopology(const sim::TrafficMatrix& fore
     stats.links_removed += static_cast<int>(reply.removed);
     stats.links_undisturbed += static_cast<int>(reply.undisturbed);
   }
+  if (common::ValidationEnabled()) {
+    LW_CHECK_OK(ValidateInvariants()) << "after ApplyTopology";
+  }
   return stats;
+}
+
+common::Status DcnFabric::ValidateInvariants() const {
+  for (std::size_t c = 0; c < switches_.size(); ++c) {
+    const auto& sw = *switches_[c];
+    for (const auto& conn : sw.Connections()) {
+      if (conn.north >= max_blocks_ || conn.south >= max_blocks_) {
+        return common::Internal("OCS " + std::to_string(c) +
+                                " cross-connect terminates outside the block range");
+      }
+      if (!blocks_[static_cast<std::size_t>(conn.north)].active ||
+          !blocks_[static_cast<std::size_t>(conn.south)].active) {
+        return common::Internal("OCS " + std::to_string(c) +
+                                " cross-connect terminates on a retired block");
+      }
+      // Link-state symmetry: a trunk (a, b) occupies both a->b and b->a on
+      // the same switch; a one-sided connect is a corrupted trunk.
+      const auto reverse = sw.ConnectionOn(conn.south);
+      if (!reverse.has_value() || reverse->south != conn.north) {
+        return common::Internal("OCS " + std::to_string(c) + " trunk " +
+                                std::to_string(conn.north) + "->" +
+                                std::to_string(conn.south) + " has no reverse direction");
+      }
+      if (TenantOf(conn.north) != TenantOf(conn.south)) {
+        return common::Internal("trunk crosses a tenant boundary on OCS " +
+                                std::to_string(c));
+      }
+    }
+  }
+  return common::Status::Ok();
 }
 
 int DcnFabric::TrunksBetween(int a, int b) const {

@@ -81,6 +81,13 @@ class DcnFabric {
   /// Audit: true when no installed trunk crosses a tenant boundary.
   bool IsolationHolds() const;
 
+  /// Structural audit of the installed link state: every cross-connect
+  /// terminates on active blocks, carries its reverse direction on the same
+  /// OCS (link-state symmetry — a trunk is always the pair a->b and b->a),
+  /// and never crosses a tenant boundary. Runs automatically after
+  /// ApplyTopology when validation mode is on.
+  common::Status ValidateInvariants() const;
+
   ocs::PalomarSwitch& ocs(int i) { return *switches_[static_cast<std::size_t>(i)]; }
   const std::optional<optics::TransceiverSpec>& BlockTransceiver(int block) const;
 

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "common/check.h"
 #include "sim/event.h"
 #include "telemetry/hub.h"
 
@@ -125,12 +126,14 @@ Result<SliceId> SliceScheduler::Allocate(const SliceShape& shape) {
   ++stats_.accepted;
   if (accepted_counter_ != nullptr) accepted_counter_->Inc();
   UpdateBusyGauge();
+  MaybeValidate("Allocate");
   return installed.value();
 }
 
 Status SliceScheduler::Release(SliceId id) {
   auto released = pod_.RemoveSlice(id);
   UpdateBusyGauge();
+  MaybeValidate("Release");
   return released;
 }
 
@@ -169,7 +172,47 @@ Result<SliceId> SliceScheduler::RepairSlice(SliceId id) {
   if (!installed.ok()) return installed.error();
   ++stats_.repairs;
   if (repair_counter_ != nullptr) repair_counter_->Inc();
+  MaybeValidate("RepairSlice");
   return installed.value();
+}
+
+common::Status SliceScheduler::ValidateInvariants() const {
+  std::map<int, SliceId> owner;
+  for (const auto& [id, slice] : pod_.slices()) {
+    const auto& cubes = slice.topology.cube_ids();
+    if (static_cast<int>(cubes.size()) != slice.topology.shape().CubeCount()) {
+      return common::Internal("slice " + std::to_string(id) +
+                              " cube list disagrees with its shape");
+    }
+    for (int cube : cubes) {
+      if (cube < 0 || cube >= pod_.cube_count()) {
+        return common::Internal("slice " + std::to_string(id) +
+                                " references out-of-range cube " + std::to_string(cube));
+      }
+      auto [it, inserted] = owner.emplace(cube, id);
+      if (!inserted) {
+        return common::Internal("cube " + std::to_string(cube) +
+                                " double-booked by slices " + std::to_string(it->second) +
+                                " and " + std::to_string(id));
+      }
+    }
+  }
+  // Ownership index must agree with the slice tables in both directions.
+  for (int cube = 0; cube < pod_.cube_count(); ++cube) {
+    const auto indexed = pod_.SliceOwningCube(cube);
+    const auto it = owner.find(cube);
+    if (indexed.has_value() != (it != owner.end()) ||
+        (indexed.has_value() && *indexed != it->second)) {
+      return common::Internal("ownership index disagrees with slice tables at cube " +
+                              std::to_string(cube));
+    }
+  }
+  return common::Status::Ok();
+}
+
+void SliceScheduler::MaybeValidate(const char* boundary) const {
+  if (!common::ValidationEnabled()) return;
+  LW_CHECK_OK(ValidateInvariants()) << ToString(policy_) << " scheduler after " << boundary;
 }
 
 int SliceScheduler::BusyCubes() const {

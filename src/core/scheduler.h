@@ -60,10 +60,19 @@ class SliceScheduler {
   /// `hub` (nullptr detaches). Series carry a `policy=<name>` label.
   void AttachTelemetry(telemetry::Hub* hub);
 
+  /// Structural audit of slice accounting: every installed slice's cube
+  /// list matches its shape, no cube is owned by two slices
+  /// (double-booked), and the pod's ownership index agrees with the slice
+  /// tables in both directions. Runs automatically after
+  /// Allocate/Release/RepairSlice when validation mode is on.
+  common::Status ValidateInvariants() const;
+
  private:
   /// Picks cube ids for the shape; nullopt when the policy cannot place it.
   std::optional<std::vector<int>> PickCubes(const tpu::SliceShape& shape) const;
   void UpdateBusyGauge();
+  /// Runs ValidateInvariants through LW_CHECK_OK when validation mode is on.
+  void MaybeValidate(const char* boundary) const;
 
   tpu::Superpod& pod_;
   AllocationPolicy policy_;

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/check.h"
+
 namespace lightwave::ctrl {
 
 void WireWriter::PutU8(std::uint8_t v) { buffer_.push_back(v); }
@@ -139,19 +141,26 @@ std::vector<std::uint8_t> FrameMessage(const std::vector<std::uint8_t>& payload,
 }
 
 std::optional<UnframedMessage> UnframeMessage(const std::vector<std::uint8_t>& frame) {
+  // Each rejection is an LW_ENSURE contract: malformed input is expected at
+  // runtime (never fatal), but every violation fires the failure handler so
+  // corrupt frames surface in counters instead of vanishing silently.
   WireReader r(frame);
   auto version = r.GetU16();
   auto length = r.GetU32();
-  if (!version || !length) return std::nullopt;
-  if (*version < kMinSupportedVersion) return std::nullopt;
-  if (r.remaining() < *length + 4u) return std::nullopt;
+  if (!LW_ENSURE(version.has_value() && length.has_value())) return std::nullopt;
+  if (!LW_ENSURE(*version >= kMinSupportedVersion)) return std::nullopt;
+  // size_t arithmetic: `*length + 4u` in uint32 would wrap for a hostile
+  // length field and let the bounds check pass.
+  if (!LW_ENSURE(r.remaining() >= static_cast<std::size_t>(*length) + 4)) {
+    return std::nullopt;
+  }
   const std::size_t covered = 6 + static_cast<std::size_t>(*length);
   std::uint32_t stored = 0;
   for (int i = 0; i < 4; ++i) {
     stored |= static_cast<std::uint32_t>(frame[covered + static_cast<std::size_t>(i)])
               << (8 * i);
   }
-  if (stored != Crc32(frame.data(), covered)) return std::nullopt;
+  if (!LW_ENSURE(stored == Crc32(frame.data(), covered))) return std::nullopt;
   std::vector<std::uint8_t> payload(frame.begin() + 6,
                                     frame.begin() + static_cast<long>(covered));
   return UnframedMessage{.version = *version, .payload = std::move(payload)};

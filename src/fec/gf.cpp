@@ -1,6 +1,9 @@
 #include "fec/gf.h"
 
 #include <cassert>
+#include <string>
+
+#include "common/check.h"
 
 namespace lightwave::fec {
 
@@ -22,6 +25,42 @@ Gf1024::Gf1024() {
     exp_[static_cast<std::size_t>(i + kGroupOrder)] = exp_[static_cast<std::size_t>(i)];
   }
   log_[0] = -1;
+  LW_CHECK_OK(SelfCheck()) << "GF(2^10) log/antilog tables";
+}
+
+common::Status Gf1024::CheckTables(const ExpTable& exp, const LogTable& log) {
+  if (exp[0] != 1) return common::Internal("exp[0] != 1");
+  for (int e = 0; e < kGroupOrder; ++e) {
+    const Element x = exp[static_cast<std::size_t>(e)];
+    if (x == 0 || x >= kFieldSize) {
+      return common::Internal("exp[" + std::to_string(e) + "] outside the group");
+    }
+    // Each step multiplies by alpha under the primitive polynomial.
+    if (e + 1 < kGroupOrder) {
+      std::uint32_t next = static_cast<std::uint32_t>(x) << 1;
+      if (next & kFieldSize) next ^= kPrimitivePoly;
+      if (exp[static_cast<std::size_t>(e + 1)] != static_cast<Element>(next)) {
+        return common::Internal("exp[" + std::to_string(e + 1) +
+                                "] breaks the alpha recurrence");
+      }
+    }
+    // log must invert exp exactly (together with the range check above this
+    // forces exp to enumerate all 1023 nonzero elements).
+    if (log[x] != e) {
+      return common::Internal("log[exp[" + std::to_string(e) + "]] != " +
+                              std::to_string(e));
+    }
+    // The duplicated upper half lets Mul skip the modulo.
+    if (exp[static_cast<std::size_t>(e + kGroupOrder)] != x) {
+      return common::Internal("duplicated half diverges at " + std::to_string(e));
+    }
+  }
+  if (log[0] != -1) return common::Internal("log[0] must be the -1 sentinel");
+  // The group wraps: alpha * exp[1022] == exp[0] == 1 (alpha has order 1023).
+  std::uint32_t wrap = static_cast<std::uint32_t>(exp[kGroupOrder - 1]) << 1;
+  if (wrap & kFieldSize) wrap ^= kPrimitivePoly;
+  if (wrap != 1) return common::Internal("alpha does not have order 1023");
+  return common::Status::Ok();
 }
 
 Gf1024::Element Gf1024::Mul(Element a, Element b) const {

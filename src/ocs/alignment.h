@@ -15,7 +15,7 @@ namespace lightwave::ocs {
 struct AlignmentConfig {
   /// Fraction of the measured error removed per control iteration (camera
   /// measurement + HV update).
-  double gain = 0.65;
+  double gain = 0.65;  // units: dimensionless loop fraction
   /// True: measure through the real image pipeline (render the 850 nm
   /// monitor spot, extract the centroid — §3.2.2). False (default): an
   /// abstract Gaussian measurement with `measurement_noise_std` whose noise

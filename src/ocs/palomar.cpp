@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
+#include "common/check.h"
 #include "telemetry/hub.h"
 
 namespace lightwave::ocs {
@@ -88,6 +90,7 @@ common::Status PalomarSwitch::RemapToSpare(bool north_side, int logical_port) {
     auto reconnected = Connect(north_logical, south);
     if (!reconnected.ok()) return reconnected.error();
   }
+  MaybeValidate("RemapToSpare");
   return common::Status::Ok();
 }
 
@@ -134,6 +137,7 @@ Result<Connection> PalomarSwitch::EstablishInternal(int north, int south) {
 Result<Connection> PalomarSwitch::Connect(int north, int south) {
   auto result = EstablishInternal(north, south);
   if (result.ok()) telemetry_.cumulative_switch_ms += last_alignment_ms_ + kCommandOverheadMs;
+  MaybeValidate("Connect");
   return result;
 }
 
@@ -147,6 +151,7 @@ Status PalomarSwitch::Disconnect(int north) {
   north_to_south_.erase(it);
   active_.erase(north);
   ++telemetry_.disconnects;
+  MaybeValidate("Disconnect");
   return Status::Ok();
 }
 
@@ -211,6 +216,7 @@ Result<ReconfigureReport> PalomarSwitch::Reconfigure(const std::map<int, int>& t
   ++telemetry_.reconfigurations;
   if (reconfig_counter_ != nullptr) reconfig_counter_->Inc();
   if (switch_duration_hist_ != nullptr) switch_duration_hist_->Observe(report.duration_ms);
+  MaybeValidate("Reconfigure");
   return report;
 }
 
@@ -243,6 +249,7 @@ bool PalomarSwitch::InjectMirrorFailure(bool north_side, int port) {
       auto it = south_to_north_.find(port);
       if (it != south_to_north_.end()) (void)Disconnect(it->second);
     }
+    MaybeValidate("InjectMirrorFailure");
     return false;
   }
   // Spare mirror mapped in; the path must be re-aligned. Re-establish any
@@ -259,6 +266,7 @@ bool PalomarSwitch::InjectMirrorFailure(bool north_side, int port) {
     (void)Disconnect(north_port);
     (void)Connect(north_port, south);
   }
+  MaybeValidate("InjectMirrorFailure");
   return true;
 }
 
@@ -266,6 +274,74 @@ bool PalomarSwitch::PortUsable(bool north_side, int port) const {
   assert(port >= 0 && port < kPalomarUsablePorts);
   return (north_side ? north_usable_ : south_usable_)[static_cast<std::size_t>(
       PhysicalPort(north_side, port))];
+}
+
+common::Status PalomarSwitch::ValidateInvariants() const {
+  // Bijectivity: the two direction maps must be exact mutual inverses.
+  if (north_to_south_.size() != south_to_north_.size()) {
+    return common::Internal("N->S and S->N maps differ in size");
+  }
+  if (active_.size() != north_to_south_.size()) {
+    return common::Internal("active-connection table out of sync with N->S map");
+  }
+  for (const auto& [north, south] : north_to_south_) {
+    if (north < 0 || north >= kPalomarUsablePorts || south < 0 ||
+        south >= kPalomarUsablePorts) {
+      return common::Internal("connection references out-of-range port");
+    }
+    auto inverse = south_to_north_.find(south);
+    if (inverse == south_to_north_.end() || inverse->second != north) {
+      return common::Internal("S->N map is not the inverse of N->S at north " +
+                              std::to_string(north));
+    }
+    auto conn = active_.find(north);
+    if (conn == active_.end() || conn->second.north != north ||
+        conn->second.south != south) {
+      return common::Internal("active table disagrees with N->S map at north " +
+                              std::to_string(north));
+    }
+    // Dead-mirror consistency: an active connection must never ride a port
+    // whose mirror chain is marked dead.
+    if (!north_usable_[static_cast<std::size_t>(PhysicalPort(true, north))] ||
+        !south_usable_[static_cast<std::size_t>(PhysicalPort(false, south))]) {
+      return common::Internal("active connection rides a dead mirror chain");
+    }
+  }
+  // Patch maps: logical -> physical must be injective, in range, and
+  // disjoint from the spare pools.
+  for (bool north_side : {true, false}) {
+    const auto& mapping = north_side ? north_physical_ : south_physical_;
+    const auto& spares = north_side ? north_spares_ : south_spares_;
+    std::set<int> seen;
+    for (int physical : mapping) {
+      if (physical < 0 || physical >= kPalomarPortCount) {
+        return common::Internal("physical patch position out of range");
+      }
+      if (!seen.insert(physical).second) {
+        return common::Internal("two logical ports patched to one physical position");
+      }
+    }
+    for (int spare : spares) {
+      if (spare < 0 || spare >= kPalomarPortCount || seen.contains(spare)) {
+        return common::Internal("spare pool overlaps the active patch map");
+      }
+    }
+  }
+  return common::Status::Ok();
+}
+
+void PalomarSwitch::MaybeValidate(const char* boundary) const {
+  if (!common::ValidationEnabled()) return;
+  LW_CHECK_OK(ValidateInvariants()) << "switch '" << name_ << "' after " << boundary;
+}
+
+void PalomarSwitch::TestOnlyCorruptMapping(int north, int south) {
+  north_to_south_[north] = south;
+}
+
+void PalomarSwitch::TestOnlyKillPortUnderConnection(bool north_side, int logical_port) {
+  auto& usable = north_side ? north_usable_ : south_usable_;
+  usable[static_cast<std::size_t>(PhysicalPort(north_side, logical_port))] = false;
 }
 
 std::vector<Connection> PalomarSwitch::SurveyConnections() const {

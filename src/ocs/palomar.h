@@ -103,6 +103,19 @@ class PalomarSwitch {
   /// monitoring).
   std::vector<Connection> SurveyConnections() const;
 
+  /// Structural audit of the whole switch state: N->S and S->N maps are
+  /// mutual inverses (bijectivity), the active-connection table agrees with
+  /// them, no active connection rides a dead mirror chain, logical->physical
+  /// patch maps are injective and disjoint from the spare pools. Runs
+  /// automatically at every transaction boundary when validation mode is on
+  /// (common::ValidationEnabled()); violations go through LW_CHECK_OK.
+  common::Status ValidateInvariants() const;
+
+  /// Test-only corruption hooks for the validator's negative tests: write
+  /// inconsistent state directly, bypassing the transactional API.
+  void TestOnlyCorruptMapping(int north, int south);
+  void TestOnlyKillPortUnderConnection(bool north_side, int logical_port);
+
   const SwitchTelemetry& telemetry() const { return telemetry_; }
   Chassis& chassis() { return chassis_; }
   const Chassis& chassis() const { return chassis_; }
@@ -120,6 +133,8 @@ class PalomarSwitch {
  private:
   common::Result<Connection> EstablishInternal(int north, int south);
   void NoteRejected();
+  /// Runs ValidateInvariants through LW_CHECK_OK when validation mode is on.
+  void MaybeValidate(const char* boundary) const;
 
   std::string name_;
   OpticalCore core_;

@@ -1,16 +1,20 @@
 #include "sim/event.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace lightwave::sim {
 
 void EventQueue::At(double when, Handler handler) {
-  assert(when >= now_);
+  // Monotone sim time is the contract every simulation result rests on:
+  // scheduling into the past would silently reorder causality, so it fails
+  // loudly in all build types.
+  LW_CHECK(when >= now_) << "event scheduled in the past: when=" << when
+                         << " now=" << now_;
   queue_.push(Entry{when, next_seq_++, std::move(handler)});
 }
 
 void EventQueue::After(double delay, Handler handler) {
-  assert(delay >= 0.0);
+  LW_CHECK(delay >= 0.0) << "negative delay " << delay;
   At(now_ + delay, std::move(handler));
 }
 
@@ -19,6 +23,7 @@ bool EventQueue::Step() {
   // Copy out before pop: the handler may schedule new events.
   Entry entry = queue_.top();
   queue_.pop();
+  LW_DCHECK(entry.when >= now_) << "queue produced an out-of-order timestamp";
   now_ = entry.when;
   entry.handler();
   return true;

@@ -1,0 +1,27 @@
+#include "telemetry/check_sink.h"
+
+#include <cstdio>
+
+#include "telemetry/hub.h"
+
+namespace lightwave::telemetry {
+
+namespace {
+
+common::CheckHandler MakeHandler(Hub* hub) {
+  return [hub](const common::CheckFailure& failure) {
+    hub->metrics()
+        .GetCounter("lightwave_check_failures_total",
+                    {{"kind", common::ToString(failure.kind)}})
+        .Inc();
+    if (failure.kind != common::CheckKind::kEnsure) {
+      std::fprintf(stderr, "%s\n", common::FormatCheckFailure(failure).c_str());
+    }
+  };
+}
+
+}  // namespace
+
+CheckTelemetrySink::CheckTelemetrySink(Hub* hub) : scoped_(MakeHandler(hub)) {}
+
+}  // namespace lightwave::telemetry

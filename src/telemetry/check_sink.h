@@ -1,0 +1,27 @@
+// Routes contract violations (common/check.h) into a telemetry Hub: each
+// failure increments `lightwave_check_failures_total{kind=...}` and fatal
+// kinds are additionally logged to stderr — but nothing aborts. This is the
+// "counter+log in sims" policy: a long availability simulation should
+// surface a violated invariant as a metric spike, not a dead process.
+#pragma once
+
+#include "common/check.h"
+
+namespace lightwave::telemetry {
+
+class Hub;
+
+/// RAII: installs the counting handler on construction, restores the
+/// previous handler on destruction. The hub must outlive the sink.
+class CheckTelemetrySink {
+ public:
+  explicit CheckTelemetrySink(Hub* hub);
+  ~CheckTelemetrySink() = default;
+  CheckTelemetrySink(const CheckTelemetrySink&) = delete;
+  CheckTelemetrySink& operator=(const CheckTelemetrySink&) = delete;
+
+ private:
+  common::ScopedCheckHandler scoped_;
+};
+
+}  // namespace lightwave::telemetry

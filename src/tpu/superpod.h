@@ -72,6 +72,18 @@ class Superpod {
   /// Wall-clock spent reconfiguring switches since construction.
   double TotalReconfigMs() const;
 
+  /// Test-only corruption hooks for the slice-accounting validator's
+  /// negative tests: write the slice tables directly, bypassing
+  /// InstallSlice/RemoveSlice.
+  void TestOnlySetCubeOwner(int cube_id, SliceId id) { cube_owner_[cube_id] = id; }
+  /// Duplicates an installed slice's record under a fresh id without
+  /// touching any switch: its cubes become double-booked.
+  SliceId TestOnlyDuplicateSliceRecord(SliceId id) {
+    InstalledSlice copy = slices_.at(id);
+    copy.id = next_slice_id_++;
+    return slices_.insert({copy.id, std::move(copy)}).first->first;
+  }
+
  private:
   WiringPlan plan_;
   std::vector<Cube> cubes_;

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "ctrl/messages.h"
 #include "ctrl/wire.h"
@@ -84,6 +85,83 @@ TEST(Fuzz, RandomMessagesRoundTripExactly) {
     EXPECT_EQ(decoded->transaction_id, request.transaction_id);
     EXPECT_EQ(decoded->target, request.target);
   }
+}
+
+TEST(Fuzz, MalformedFramesFireTheContractHandler) {
+  // Every unframe rejection path is an LW_ENSURE contract: the decode must
+  // fail AND the failure handler must fire, so corrupt frames surface in
+  // counters instead of vanishing silently. One crafted frame per rejection
+  // category, each asserted to report exactly once.
+  std::vector<lightwave::common::CheckFailure> failures;
+  common::ScopedCheckHandler guard(
+      [&failures](const common::CheckFailure& f) { failures.push_back(f); });
+  const auto fired_once = [&failures] {
+    const std::size_t n = failures.size();
+    failures.clear();
+    return n == 1;
+  };
+
+  const auto good = ctrl::FrameMessage({0xAA, 0xBB, 0xCC});
+  ASSERT_TRUE(ctrl::UnframeMessage(good).has_value());
+  EXPECT_TRUE(failures.empty()) << "a valid frame must not trip any contract";
+
+  // Header truncation: too short to even hold [version][length].
+  EXPECT_FALSE(ctrl::UnframeMessage({0x01, 0x02, 0x03}).has_value());
+  EXPECT_TRUE(fired_once());
+
+  // Version below kMinSupportedVersion.
+  const auto stale = ctrl::FrameMessage({0xAA}, ctrl::kMinSupportedVersion - 1);
+  EXPECT_FALSE(ctrl::UnframeMessage(stale).has_value());
+  EXPECT_TRUE(fired_once());
+
+  // Length field promising more payload than the frame carries.
+  auto overlong = good;
+  overlong[2] = 0xFF;  // length byte 0 (little-endian u32 at offset 2)
+  EXPECT_FALSE(ctrl::UnframeMessage(overlong).has_value());
+  EXPECT_TRUE(fired_once());
+
+  // Hostile length near UINT32_MAX: must reject via the (size_t-widened)
+  // bounds check, not wrap around and read out of bounds.
+  auto hostile = good;
+  hostile[2] = hostile[3] = hostile[4] = hostile[5] = 0xFF;
+  EXPECT_FALSE(ctrl::UnframeMessage(hostile).has_value());
+  EXPECT_TRUE(fired_once());
+
+  // Payload corruption caught by the CRC gate.
+  auto corrupt = good;
+  corrupt[6] ^= 0x01;
+  EXPECT_FALSE(ctrl::UnframeMessage(corrupt).has_value());
+  EXPECT_TRUE(fired_once());
+
+  // Truncated CRC trailer (fails the bounds check before the CRC compare).
+  auto clipped = good;
+  clipped.pop_back();
+  EXPECT_FALSE(ctrl::UnframeMessage(clipped).has_value());
+  EXPECT_TRUE(fired_once());
+
+  // All the rejections above were kEnsure: non-fatal by design.
+  EXPECT_EQ(lightwave::common::GetCheckStats().fatal_failures, 0u);
+}
+
+TEST(Fuzz, RandomJunkOnlyTripsEnsureContracts) {
+  // The randomized sweep from RandomBytesNeverDecode, repeated with a
+  // recording handler: junk input may fire LW_ENSURE freely but must never
+  // reach a fatal contract (LW_CHECK/LW_UNREACHABLE) inside the codec.
+  std::size_t ensure_count = 0;
+  common::ScopedCheckHandler guard([&ensure_count](const common::CheckFailure& f) {
+    ASSERT_EQ(f.kind, lightwave::common::CheckKind::kEnsure)
+        << "junk input reached a fatal contract: "
+        << lightwave::common::FormatCheckFailure(f);
+    ++ensure_count;
+  });
+  common::Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> junk(rng.UniformInt(64) + 1);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    EXPECT_FALSE(ctrl::UnframeMessage(junk).has_value());
+  }
+  // Every trial rejects through exactly one LW_ENSURE gate.
+  EXPECT_EQ(ensure_count, 500u);
 }
 
 // --- palomar random-operation stress ----------------------------------------------
