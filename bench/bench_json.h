@@ -1,0 +1,121 @@
+// Machine-readable results for the bench/ binaries. Every bench accepts
+// `--json=<path>`; when given, the timed cases recorded through JsonReporter
+// are written to `path` as a small JSON document:
+//
+//   {"bench": "fig10_ocs_loss",
+//    "cases": [{"name": "...", "params": "...", "wall_ms": 12.3,
+//               "bytes_per_sec": 0.0}, ...]}
+//
+// Without the flag every call is a no-op and the bench stays a plain stdout
+// tool. scripts/collect_bench.py aggregates the per-binary files.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lightwave::bench {
+
+/// Wall-clock stopwatch started at construction.
+class WallTimer {
+ public:
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+};
+
+class JsonReporter {
+ public:
+  /// Scans argv for `--json=<path>`; all other arguments are ignored, so
+  /// the flag composes with anything a bench might grow later.
+  JsonReporter(int argc, char** argv, std::string bench) : bench_(std::move(bench)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+    }
+  }
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+  ~JsonReporter() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one finished case. `bytes_per_sec` is 0 when the case has no
+  /// natural byte count (most figure replications).
+  void Add(std::string name, std::string params, double wall_ms,
+           double bytes_per_sec = 0.0) {
+    if (!enabled()) return;
+    cases_.push_back(Case{std::move(name), std::move(params), wall_ms, bytes_per_sec});
+  }
+
+  /// Runs `fn()` under the stopwatch and records it as one case. When
+  /// `bytes` is nonzero the case also reports a bytes/sec rate.
+  template <typename Fn>
+  void Time(std::string name, std::string params, Fn&& fn, double bytes = 0.0) {
+    const WallTimer timer;
+    fn();
+    const double wall_ms = timer.ms();
+    const double rate = (bytes > 0.0 && wall_ms > 0.0) ? bytes / (wall_ms / 1000.0) : 0.0;
+    Add(std::move(name), std::move(params), wall_ms, rate);
+  }
+
+  /// Writes the document now (also called by the destructor). Idempotent.
+  void Write() {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
+      path_.clear();
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"cases\": [", Escape(bench_).c_str());
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+      const Case& c = cases_[i];
+      std::fprintf(f,
+                   "%s\n  {\"name\": \"%s\", \"params\": \"%s\", \"wall_ms\": %.6f, "
+                   "\"bytes_per_sec\": %.3f}",
+                   i == 0 ? "" : ",", Escape(c.name).c_str(), Escape(c.params).c_str(),
+                   c.wall_ms, c.bytes_per_sec);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    path_.clear();
+  }
+
+ private:
+  struct Case {
+    std::string name;
+    std::string params;
+    double wall_ms = 0.0;
+    double bytes_per_sec = 0.0;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out.push_back('\\');
+        out.push_back(ch);
+      } else if (ch == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(ch);
+      }
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Case> cases_;
+};
+
+}  // namespace lightwave::bench

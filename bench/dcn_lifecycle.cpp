@@ -4,13 +4,16 @@
 // real switch objects through the control plane.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "core/dcn_fabric.h"
 
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "dcn_lifecycle");
+  bench::WallTimer total_timer;
   const int max_blocks = 24, ocs_count = 25;
   core::DcnFabric fabric(/*seed=*/11, max_blocks, ocs_count, /*link_gbps=*/400.0);
   common::Rng rng(5);
@@ -71,5 +74,6 @@ int main() {
   std::printf("%s", refresh.Render().c_str());
   std::printf("(backward compatibility across an order of magnitude of data rates — §6 —\n"
               "with hard rejection of parts that cannot inter-operate)\n");
+  json.Add("total", "blocks=" + std::to_string(max_blocks), total_timer.ms());
   return 0;
 }

@@ -5,6 +5,7 @@
 // reconfiguration-plan ablation for a shifting traffic matrix.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "core/tco.h"
 #include "core/topology_engineer.h"
@@ -14,7 +15,9 @@
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "dcn_spinefree");
+  bench::WallTimer total_timer;
   std::printf("=== spine-full vs spine-free: CapEx and power ===\n");
   Table tco({"fabric", "relative capex", "relative power"});
   for (const auto& row : core::DcnFabricComparison(64, 25600.0)) {
@@ -82,5 +85,6 @@ int main() {
   std::printf("%s", reconfig.Render().c_str());
   std::printf("(unchanged trunks ride through reconfiguration undisturbed — the OCS "
               "guarantee of §2.3)\n");
+  json.Add("total", "blocks=" + std::to_string(blocks), total_timer.ms());
   return 0;
 }

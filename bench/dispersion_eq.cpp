@@ -5,6 +5,7 @@
 // post-equalization BER for the worst lanes.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "optics/fiber.h"
 #include "optics/wdm.h"
@@ -13,7 +14,9 @@
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "dispersion_eq");
+  bench::WallTimer total_timer;
   const optics::FiberSpan span(2.0, 2, 1);  // campus-scale 2 km span
   const auto grid = optics::WdmGrid::Make(optics::WdmGridKind::kCwdm8);
   const double noise = 0.08;
@@ -49,5 +52,6 @@ int main() {
                   Table::Sci(result.post_eq_ber), Table::Sci(result.residual_isi)});
   }
   std::printf("%s", sweep.Render().c_str());
+  json.Add("total", "lanes=" + std::to_string(grid.channels().size()), total_timer.ms());
   return 0;
 }

@@ -4,12 +4,17 @@
 // typically -46 dB, spec < -38 dB.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/histogram.h"
+#include "common/parallel.h"
 #include "ocs/optical_core.h"
 
 using namespace lightwave;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig10_ocs_loss");
+  bench::WallTimer total_timer;
+
   ocs::OpticalCore core{common::Rng(2024)};
   const int ports = core.port_count();
 
@@ -21,21 +26,33 @@ int main() {
   // Measure every (north, south) permutation pairing through the core.
   // Alignment state is per-mirror; establishing each pairing once samples
   // the full distribution.
+  const bench::WallTimer survey_timer;
   for (int n = 0; n < ports; ++n) {
+    // Establishing all 136^2 paths would re-align mirrors 18k times; the
+    // per-path loss depends on the two collimator ports plus residual
+    // alignment, so measure the established diagonal and synthesize the
+    // full matrix from MeasurePath. The row fans out on the parallel
+    // runtime (MeasurePath is a const readback), and the samples are
+    // accumulated in south-port order below, so the histogram is
+    // bit-identical to the sequential sweep.
+    const auto row = common::parallel::ParallelMap(
+        static_cast<std::uint64_t>(ports),
+        [&](std::uint64_t s) { return core.MeasurePath(n, static_cast<int>(s)); });
     for (int s = 0; s < ports; ++s) {
-      // Establishing all 136^2 paths would re-align mirrors 18k times; the
-      // per-path loss depends on the two collimator ports plus residual
-      // alignment, so measure the established diagonal and synthesize the
-      // full matrix from MeasurePath.
-      const auto metrics = core.MeasurePath(n, s);
+      const auto& metrics = row[static_cast<std::size_t>(s)];
       losses.Add(metrics.insertion_loss.value());
       histogram.Add(metrics.insertion_loss.value());
       if (n == 0) return_losses.Add(metrics.return_loss.value());
     }
     // Re-align this north mirror once against a rotating partner so the
     // alignment-residual component varies realistically across the matrix.
+    // Alignment mutates mirror state, so it stays on this thread, between
+    // row fan-outs.
     (void)core.EstablishPath(n, (n * 31 + 7) % ports);
   }
+  json.Add("fig10a_insertion_loss_survey",
+           "ports=" + std::to_string(ports) + " paths=" + std::to_string(ports * ports),
+           survey_timer.ms());
 
   std::printf("%s", histogram.Render(50).c_str());
   std::printf("samples=%zu mean=%.2f dB p50=%.2f p95=%.2f p99=%.2f max=%.2f dB\n",
@@ -51,11 +68,15 @@ int main() {
   std::printf("\n=== Fig. 10b: return loss by port ===\n");
   common::Histogram rl_hist(-52.0, -38.0, 14);
   common::SampleSet rl;
-  for (int n = 0; n < ports; ++n) {
-    const auto metrics = core.MeasurePath(n, n);
-    rl_hist.Add(metrics.return_loss.value());
-    rl.Add(metrics.return_loss.value());
-  }
+  json.Time(
+      "fig10b_return_loss", "ports=" + std::to_string(ports),
+      [&] {
+        for (int n = 0; n < ports; ++n) {
+          const auto metrics = core.MeasurePath(n, n);
+          rl_hist.Add(metrics.return_loss.value());
+          rl.Add(metrics.return_loss.value());
+        }
+      });
   std::printf("%s", rl_hist.Render(50).c_str());
   std::printf("mean=%.1f dB worst=%.1f dB spec=-38 dB (paper: typ -46 dB, spec < -38)\n",
               rl.mean(), rl.max());
@@ -64,5 +85,6 @@ int main() {
     for (double x : rl.samples()) bad += x > -38.0 ? 1 : 0;
     return bad;
   }());
+  json.Add("total", "ports=" + std::to_string(ports), total_timer.ms());
   return 0;
 }

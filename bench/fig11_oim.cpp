@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/math.h"
 #include "common/table.h"
 #include "phy/ber_model.h"
@@ -17,7 +18,9 @@ using common::DbmPower;
 using common::Decibel;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig11_oim");
+  bench::WallTimer total_timer;
   // The 50G PAM4 lane of the first-generation 200G bidi link: sensitivity
   // -11 dBm at the KP4 threshold.
   const phy::BerModel model(optics::Modulation::kPam4, DbmPower{-11.0});
@@ -62,16 +65,21 @@ int main() {
 
   std::printf("=== Fig. 11b: Monte-Carlo (\"measured\") BER, MPI = -32 dB ===\n");
   Table mc({"Rx dBm", "MC w/o OIM", "MC w/ OIM", "analytic w/o OIM"});
-  for (double p : common::Linspace(-13.0, -8.0, 6)) {
-    phy::MonteCarloConfig config;
-    config.symbols = 3'000'000;
-    phy::MonteCarloChannel plain(model, Decibel{-32.0}, config);
-    config.oim_enabled = true;
-    phy::MonteCarloChannel mitigated(model, Decibel{-32.0}, config);
-    mc.AddRow({Table::Num(p, 1), Table::Sci(plain.Run(DbmPower{p}).Ber()),
-               Table::Sci(mitigated.Run(DbmPower{p}).Ber()),
-               Table::Sci(model.PreFecBer(DbmPower{p}, Decibel{-32.0}))});
-  }
+  json.Time(
+      "fig11b_monte_carlo", "symbols=3000000 points=6 mpi_db=-32",
+      [&] {
+        for (double p : common::Linspace(-13.0, -8.0, 6)) {
+          phy::MonteCarloConfig config;
+          config.symbols = 3'000'000;
+          phy::MonteCarloChannel plain(model, Decibel{-32.0}, config);
+          config.oim_enabled = true;
+          phy::MonteCarloChannel mitigated(model, Decibel{-32.0}, config);
+          mc.AddRow({Table::Num(p, 1), Table::Sci(plain.Run(DbmPower{p}).Ber()),
+                     Table::Sci(mitigated.Run(DbmPower{p}).Ber()),
+                     Table::Sci(model.PreFecBer(DbmPower{p}, Decibel{-32.0}))});
+        }
+      });
   std::printf("%s", mc.Render().c_str());
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/math.h"
 #include "common/table.h"
 #include "fec/concatenated.h"
@@ -15,7 +16,9 @@ using common::DbmPower;
 using common::Decibel;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig12_fec");
+  bench::WallTimer total_timer;
   const phy::BerModel model(optics::Modulation::kPam4, DbmPower{-11.0});
   const fec::ConcatenatedFec fec;
 
@@ -58,5 +61,6 @@ int main() {
   std::printf("paper: 1.6 dB at -32 dB MPI | measured: %.2f dB\n", gain.value());
   std::printf("inner SFEC latency at 200 Gb/s: %.1f ns (paper: < 20 ns)\n",
               fec.inner().LatencyNs(200.0));
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

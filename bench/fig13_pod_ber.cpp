@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bench_json.h"
 #include "common/histogram.h"
 #include "core/fabric_manager.h"
 #include "fec/concatenated.h"
@@ -14,7 +15,9 @@
 
 using namespace lightwave;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig13_pod_ber");
+  bench::WallTimer total_timer;
   core::FabricManager manager;
   // A full-pod slice exercises every OCS connection (the 16x16x16 shape).
   auto id = manager.CreateSlice(tpu::SliceShape{4, 4, 4});
@@ -22,7 +25,10 @@ int main() {
     std::printf("failed to install full-pod slice: %s\n", id.error().message.c_str());
     return 1;
   }
+  const bench::WallTimer survey_timer;
   const auto reports = manager.SurveyLinkQuality(optics::Cwdm4Bidi());
+  json.Add("pod_link_survey", "links=" + std::to_string(reports.size()),
+           survey_timer.ms());
   // Each OCS connection is one optical link carrying one bidi receiving
   // port per end; the OCS-side survey covers each link once per direction
   // convention, so total receiving ports = 2x connections = 6144.
@@ -64,11 +70,14 @@ int main() {
   std::printf("\n=== spare-port repair loop (qualification bar: 1.0 dB margin) ===\n");
   int below_bar = 0;
   for (const auto& r : reports) below_bar += r.margin_db < 1.0 ? 1 : 0;
+  const bench::WallTimer repair_timer;
   const auto summary =
       manager.RepairOutOfBudgetLinks(optics::Cwdm4Bidi(), {}, /*min_margin_db=*/1.0);
+  json.Add("repair_loop", "below_bar=" + std::to_string(below_bar), repair_timer.ms());
   std::printf("links below bar before: %d | re-patches attempted: %d | unrepairable: %d | "
               "still out of budget after: %d\n",
               below_bar, summary.repairs_attempted, summary.unrepairable,
               summary.still_out_of_budget);
+  json.Add("total", "links=" + std::to_string(reports.size()), total_timer.ms());
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "sim/availability.h"
 #include "tpu/wiring.h"
@@ -14,7 +15,9 @@
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig15_availability");
+  bench::WallTimer total_timer;
   std::printf("=== Fig. 15a: fabric availability vs OCS availability ===\n");
   struct Tech {
     const char* name;
@@ -66,16 +69,22 @@ int main() {
   std::printf("--- Monte-Carlo cross-check (20k trials per point) ---\n");
   Table mc({"slice TPUs", "server avail", "committed slices", "P[satisfied] MC",
             "P[static satisfied] MC"});
-  for (int m : {8, 16, 32}) {
-    for (double a : server_avail) {
-      const int committed = sim::CommittedSlicesReconfigurable(a, m);
-      const auto result = sim::SimulateAvailability(a, m, committed, 20000, 7 + m);
-      mc.AddRow({std::to_string(m * 64), Table::Percent(a, 1), std::to_string(committed),
-                 Table::Percent(result.reconfig_success_rate, 1),
-                 Table::Percent(result.static_success_rate, 1)});
-    }
-  }
+  json.Time(
+      "fig15_monte_carlo_crosscheck", "trials=20000 points=9",
+      [&] {
+        for (int m : {8, 16, 32}) {
+          for (double a : server_avail) {
+            const int committed = sim::CommittedSlicesReconfigurable(a, m);
+            const auto result = sim::SimulateAvailability(a, m, committed, 20000, 7 + m);
+            mc.AddRow({std::to_string(m * 64), Table::Percent(a, 1),
+                       std::to_string(committed),
+                       Table::Percent(result.reconfig_success_rate, 1),
+                       Table::Percent(result.static_success_rate, 1)});
+          }
+        }
+      });
   std::printf("%s", mc.Render().c_str());
   std::printf("(analytic commitment targets P[satisfied] >= 97%%)\n");
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

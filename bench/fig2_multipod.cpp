@@ -6,13 +6,16 @@
 // ring the lightwave DCN can set up.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "sim/multipod.h"
 
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig2_multipod");
+  bench::WallTimer total_timer;
   sim::MultipodTrainer trainer;
 
   std::printf("=== §2.2: ICI vs DCN bandwidth per TPU ===\n");
@@ -62,5 +65,6 @@ int main() {
   std::printf("%s", ablation.Render().c_str());
   std::printf("(reconfiguring the DCN into the collective's ring is the \"cooptimizing job\n"
               "placement and reconfiguration of the DCN level topology\" of §2.2.2)\n");
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

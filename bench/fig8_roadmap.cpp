@@ -3,6 +3,7 @@
 // improving energy efficiency, plus the custom bidi modules for the ML pods.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "optics/transceiver.h"
 #include "optics/wdm.h"
@@ -10,7 +11,9 @@
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig8_roadmap");
+  bench::WallTimer total_timer;
   std::printf("=== Fig. 8: WDM interconnect roadmap (DCN) ===\n");
   Table table({"module", "year", "form factor", "grid", "lanes", "modulation",
                "Gb/s", "fibers", "W", "pJ/bit"});
@@ -51,5 +54,6 @@ int main() {
                 roadmap[i].InteroperatesWith(roadmap[i - 1]) ? "ok" : "FAIL");
   }
   std::printf("\n");
+  json.Add("total", "modules=" + std::to_string(roadmap.size()), total_timer.ms());
   return 0;
 }

@@ -3,7 +3,10 @@
 // evaluation, and the collective/flow simulators.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/scheduler.h"
@@ -34,6 +37,22 @@ static void BM_RsEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_RsEncode);
 
+static void BM_RsEncodeInto(benchmark::State& state) {
+  // Scratch-API variant: caller-owned codeword buffer, zero allocations per
+  // call (the contrast with BM_RsEncode is the per-call vector).
+  const auto rs = fec::ReedSolomon::Kp4();
+  common::Rng rng(1);
+  std::vector<fec::Gf1024::Element> data(static_cast<std::size_t>(rs.k()));
+  for (auto& s : data) s = static_cast<fec::Gf1024::Element>(rng.UniformInt(1024));
+  std::vector<fec::Gf1024::Element> codeword(static_cast<std::size_t>(rs.n()));
+  for (auto _ : state) {
+    rs.EncodeInto(data, codeword);
+    benchmark::DoNotOptimize(codeword.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * rs.k() * 10 / 8);
+}
+BENCHMARK(BM_RsEncodeInto);
+
 static void BM_RsDecode(benchmark::State& state) {
   const auto rs = fec::ReedSolomon::Kp4();
   common::Rng rng(2);
@@ -51,6 +70,29 @@ static void BM_RsDecode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * rs.n() * 10 / 8);
 }
 BENCHMARK(BM_RsDecode)->Arg(0)->Arg(4)->Arg(15);
+
+static void BM_RsDecodeInPlace(benchmark::State& state) {
+  // Scratch-API variant: reusable decode workspace, zero allocations per
+  // call once the scratch is warm.
+  const auto rs = fec::ReedSolomon::Kp4();
+  common::Rng rng(2);
+  std::vector<fec::Gf1024::Element> data(static_cast<std::size_t>(rs.k()));
+  for (auto& s : data) s = static_cast<fec::Gf1024::Element>(rng.UniformInt(1024));
+  auto codeword = rs.Encode(data);
+  const int errors = static_cast<int>(state.range(0));
+  for (int e = 0; e < errors; ++e) {
+    codeword[static_cast<std::size_t>((e * 37 + 5) % rs.n())] ^=
+        static_cast<fec::Gf1024::Element>(0x111 + e);
+  }
+  fec::ReedSolomon::Scratch scratch;
+  std::vector<fec::Gf1024::Element> word(codeword.size());
+  for (auto _ : state) {
+    std::copy(codeword.begin(), codeword.end(), word.begin());
+    benchmark::DoNotOptimize(rs.DecodeInPlace(word, scratch));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * rs.n() * 10 / 8);
+}
+BENCHMARK(BM_RsDecodeInPlace)->Arg(0)->Arg(4)->Arg(15);
 
 static void BM_PalomarReconfigure(benchmark::State& state) {
   ocs::PalomarSwitch ocs(3);
@@ -189,4 +231,26 @@ static void BM_RsDecodeWithErasures(benchmark::State& state) {
 }
 BENCHMARK(BM_RsDecodeWithErasures);
 
-BENCHMARK_MAIN();
+// Same --json=<path> contract as the plain bench binaries (see
+// bench_json.h): translated into google-benchmark's JSON file reporter so
+// scripts/collect_bench.py can aggregate every binary uniformly.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (auto& arg : args) {
+    if (arg.rfind("--json=", 0) == 0) {
+      const std::string path = arg.substr(7);
+      arg = "--benchmark_out=" + path;
+      args.push_back("--benchmark_out_format=json");
+      break;
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& arg : args) argv2.push_back(arg.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,13 +5,16 @@
 // scalability compared to a 3D torus", and what it costs in radix.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "tpu/ndtorus.h"
 
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "ndtorus");
+  bench::WallTimer total_timer;
   std::printf("=== higher-dimensional tori at 4096 nodes ===\n");
   Table table({"torus", "dims", "bisection links", "diameter", "mean hops", "links/node",
                "all-reduce 1MB us", "all-reduce 4GB ms"});
@@ -36,5 +39,6 @@ int main() {
                   std::to_string(big.Diameter())});
   }
   std::printf("%s", scale.Render().c_str());
+  json.Add("total", "nodes=4096", total_timer.ms());
   return 0;
 }

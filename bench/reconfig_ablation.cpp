@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "ctrl/link_init.h"
 #include "sim/phase_reconfig.h"
@@ -17,7 +18,9 @@
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "reconfig_ablation");
+  bench::WallTimer total_timer;
   const std::vector<sim::TrainingPhase> phases = {
       {.workload = sim::Llm1(), .steps = 4},  // data-heavy -> 4x4x256
       {.workload = sim::Llm2(), .steps = 4},  // model-heavy -> 16x16x16
@@ -98,5 +101,7 @@ int main() {
                                           : Table::Num(d, 1) + " us"});
   }
   std::printf("%s", crossover.Render().c_str());
+  json.Add("total", "technologies=" + std::to_string(technologies.size()),
+           total_timer.ms());
   return 0;
 }

@@ -4,7 +4,11 @@
 // contiguous blocks. Also the §4.2.2 repair ablation: cube swap under
 // failures keeps jobs alive on the reconfigurable fabric only.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/scheduler.h"
 #include "tpu/superpod.h"
@@ -14,15 +18,21 @@ using common::Table;
 
 namespace {
 
-void RunComparison(const char* title, const core::WorkloadConfig& config) {
+constexpr core::AllocationPolicy kPolicies[] = {core::AllocationPolicy::kReconfigurable,
+                                                core::AllocationPolicy::kContiguous};
+
+struct SweepPoint {
+  const char* title;
+  core::WorkloadConfig config;
+};
+
+void PrintComparison(const char* title, const core::WorkloadResult* results) {
   std::printf("--- %s ---\n", title);
   Table table({"policy", "submitted", "accepted", "acceptance", "utilization", "repaired",
                "lost to failure"});
-  for (auto policy :
-       {core::AllocationPolicy::kReconfigurable, core::AllocationPolicy::kContiguous}) {
-    tpu::Superpod pod(99);
-    const auto result = core::SimulateWorkload(pod, policy, config);
-    table.AddRow({core::ToString(policy), std::to_string(result.submitted),
+  for (int p = 0; p < 2; ++p) {
+    const auto& result = results[p];
+    table.AddRow({core::ToString(kPolicies[p]), std::to_string(result.submitted),
                   std::to_string(result.accepted), Table::Percent(result.acceptance_rate, 1),
                   Table::Percent(result.utilization, 1), std::to_string(result.repaired),
                   std::to_string(result.lost_to_failure)});
@@ -32,41 +42,66 @@ void RunComparison(const char* title, const core::WorkloadConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "sched_efficiency");
+  bench::WallTimer total_timer;
   std::printf("=== scheduling efficiency: reconfigurable vs contiguous allocation ===\n");
 
   core::WorkloadConfig moderate;
   moderate.sim_hours = 3000.0;
   moderate.arrival_rate_per_hour = 1.4;
   moderate.mean_duration_hours = 8.0;
-  RunComparison("moderate load (~80% offered)", moderate);
 
   core::WorkloadConfig heavy = moderate;
   heavy.arrival_rate_per_hour = 2.5;
-  RunComparison("heavy load (oversubscribed)", heavy);
 
   core::WorkloadConfig large_jobs = moderate;
   large_jobs.size_menu_cubes = {4, 8, 8, 16, 16, 32};
   large_jobs.arrival_rate_per_hour = 0.6;
-  RunComparison("large-slice mix (the 4x-larger-slices regime of TPU v4)", large_jobs);
 
   core::WorkloadConfig with_failures = moderate;
   with_failures.cube_mtbf_hours = 1500.0;
   with_failures.cube_repair_hours = 24.0;
-  RunComparison("moderate load with cube failures (MTBF 1500 h/cube)", with_failures);
 
   // Production behaviour: jobs queue instead of being rejected; the metric
   // becomes wait time.
+  core::WorkloadConfig queue_config = heavy;
+  queue_config.queue_jobs = true;
+
+  const SweepPoint sweep[] = {
+      {"moderate load (~80% offered)", moderate},
+      {"heavy load (oversubscribed)", heavy},
+      {"large-slice mix (the 4x-larger-slices regime of TPU v4)", large_jobs},
+      {"moderate load with cube failures (MTBF 1500 h/cube)", with_failures},
+      {"queued jobs (production mode)", queue_config},
+  };
+  constexpr int kPoints = static_cast<int>(sizeof(sweep) / sizeof(sweep[0]));
+
+  // Each (workload, policy) combo simulates its own Superpod(99), so the
+  // whole sweep fans out on the parallel runtime; results are rendered in
+  // sweep order below, making the output identical to the sequential run.
+  const bench::WallTimer sweep_timer;
+  const auto results = common::parallel::ParallelMap(
+      static_cast<std::uint64_t>(kPoints) * 2, [&](std::uint64_t combo) {
+        const auto& point = sweep[combo / 2];
+        tpu::Superpod pod(99);
+        return core::SimulateWorkload(pod, kPolicies[combo % 2], point.config);
+      });
+  json.Add("workload_sweep",
+           "points=" + std::to_string(kPoints) +
+               " policies=2 sim_hours=" + std::to_string(moderate.sim_hours),
+           sweep_timer.ms());
+
+  for (int i = 0; i + 1 < kPoints; ++i) {
+    PrintComparison(sweep[i].title, &results[static_cast<std::size_t>(i) * 2]);
+  }
+
   std::printf("\n--- queued jobs (production mode): wait-time comparison ---\n");
   Table queued({"policy", "submitted", "ran", "from queue", "mean wait h", "max wait h",
                 "utilization"});
-  core::WorkloadConfig queue_config = heavy;
-  queue_config.queue_jobs = true;
-  for (auto policy :
-       {core::AllocationPolicy::kReconfigurable, core::AllocationPolicy::kContiguous}) {
-    tpu::Superpod pod(99);
-    const auto r = core::SimulateWorkload(pod, policy, queue_config);
-    queued.AddRow({core::ToString(policy), std::to_string(r.submitted),
+  for (int p = 0; p < 2; ++p) {
+    const auto& r = results[static_cast<std::size_t>(kPoints - 1) * 2 + p];
+    queued.AddRow({core::ToString(kPolicies[p]), std::to_string(r.submitted),
                    std::to_string(r.accepted), std::to_string(r.started_from_queue),
                    Table::Num(r.mean_wait_hours, 1), Table::Num(r.max_wait_hours, 1),
                    Table::Percent(r.utilization, 1)});
@@ -77,5 +112,6 @@ int main() {
               "the reconfigurable policy's acceptance/utilization advantage and its\n"
               "failure repairs (cube swap, impossible for the static fabric) are the\n"
               "mechanisms behind that fleet-level result.\n");
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

@@ -3,13 +3,16 @@
 // deployment footprint (OCS + fiber count halving with bidirectionality).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "core/tco.h"
 
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "table1_tco");
+  bench::WallTimer total_timer;
   std::printf("=== Table 1: fabric cost/power for a 4096-TPU superpod ===\n");
   Table table({"fabric", "relative cost", "relative power", "capex $M", "power kW"});
   for (const auto& row : core::SuperpodFabricComparison()) {
@@ -29,5 +32,6 @@ int main() {
   std::printf("%s", footprint.Render().c_str());
   std::printf("paper: bidi saves 50%% of OCS and fiber cost (96 -> 48 OCSes); CWDM8 "
               "halves again (-> 24)\n");
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "sim/llm_model.h"
 #include "tpu/slice.h"
@@ -13,7 +14,9 @@
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "table2_llm");
+  bench::WallTimer total_timer;
   const sim::LlmPerfModel model;
   const tpu::SliceShape baseline{4, 4, 4};  // 16x16x16 chips
 
@@ -64,5 +67,6 @@ int main() {
   std::printf("%s", landscape.Render().c_str());
   std::printf("(no one-size-fits-all: LLM0/LLM1 prefer asymmetric slices, LLM2 the "
               "symmetric one — §4.2.1)\n");
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

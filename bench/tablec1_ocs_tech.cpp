@@ -4,6 +4,7 @@
 // other technologies win (§6).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "ocs/technology.h"
 
@@ -33,7 +34,9 @@ void Rank(const char* title, const ocs::UseCaseRequirements& req) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "tablec1_ocs_tech");
+  bench::WallTimer total_timer;
   std::printf("=== Table C.1: OCS technology comparison ===\n");
   Table table({"technology", "cost", "ports", "switching", "IL dB", "drive V", "latching"});
   for (const auto& t : ocs::OcsTechnologies()) {
@@ -54,5 +57,6 @@ int main() {
   fast.max_insertion_loss_db = 6.0;
   Rank("fast-reconfiguration future use case (§6)", fast);
   std::printf("(nanosecond-class switching favors guided-wave/wavelength approaches)\n");
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "ctrl/controller.h"
 #include "ocs/palomar.h"
 #include "telemetry/hub.h"
@@ -77,7 +78,8 @@ double RunLoopSeconds(telemetry::Hub* hub) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "telemetry_overhead");
   // Warm up caches/allocator with a throwaway pass of each variant.
   (void)RunLoopSeconds(nullptr);
   telemetry::Hub warm;
@@ -112,5 +114,9 @@ int main() {
               static_cast<unsigned long long>(
                   hub.metrics().GetCounter("lightwave_ctrl_frames_sent_total").value()),
               hub.tracer().span_count());
+  const std::string params =
+      "iterations=" + std::to_string(kIterations) + " repeats=" + std::to_string(kRepeats);
+  json.Add("noop_sink", params, baseline * 1e3);
+  json.Add("live_hub", params, instrumented * 1e3);
   return overhead_pct < 5.0 ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 // shape is matched to the workload's communication pattern.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "sim/torus_traffic.h"
 
@@ -38,7 +39,9 @@ void Analyze(const tpu::SliceShape& shape, double bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "torus_traffic");
+  bench::WallTimer total_timer;
   std::printf("=== deterministic torus routing: traffic-pattern sensitivity ===\n");
   Analyze(tpu::SliceShape{2, 2, 2}, 64e6);   // 8x8x8 (512 chips)
   std::printf("\n");
@@ -47,5 +50,6 @@ int main() {
               "efficiency on any shape; adversarial permutations pay peak-link\n"
               "serialization — matching slice shape to the workload's pattern is what\n"
               "keeps the fabric in the efficient regime (§4.2.1).\n");
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

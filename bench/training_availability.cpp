@@ -5,6 +5,7 @@
 // deployment timeline: usable capacity during pod build-out.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "core/tco.h"
 #include "sim/training_run.h"
@@ -12,7 +13,9 @@
 using namespace lightwave;
 using common::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "training_availability");
+  bench::WallTimer total_timer;
   std::printf("=== month-long training run: goodput under cube failures ===\n");
   Table goodput({"slice", "cube MTBF h", "fabric", "failures", "swaps", "stall h",
                  "rollback steps", "goodput"});
@@ -67,5 +70,6 @@ int main() {
                   std::max(0.1, timeline.static_capacity_weeks));
   std::printf("(the TPU v3 pod \"could not be verified until all 1024 chips and cables\n"
               "were installed\"; modular lightwave deployment banks capacity every week)\n");
+  json.Add("total", "", total_timer.ms());
   return 0;
 }

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Aggregate per-binary bench JSON files into one machine-readable report.
+
+Every bench/ binary accepts `--json=<path>` and writes a small document:
+the plain benches emit {"bench": ..., "cases": [{name, params, wall_ms,
+bytes_per_sec}]} (see bench/bench_json.h); bench_micro emits the
+google-benchmark file-reporter format ({"context": ..., "benchmarks":
+[...]}) which this script normalizes into the same case shape.
+
+Usage:
+    scripts/collect_bench.py out/*.json -o BENCH_micro.json
+
+The aggregate is a stable, diffable document: benches sorted by name,
+cases kept in emission order. stdlib only; no pip deps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def normalize(path: Path) -> dict:
+    """Returns {"bench": name, "cases": [...]} for either input format."""
+    with path.open() as f:
+        doc = json.load(f)
+    if "cases" in doc:
+        # bench_json.h format: already in the canonical shape.
+        return {"bench": doc.get("bench", path.stem), "cases": doc["cases"]}
+    if "benchmarks" in doc:
+        # google-benchmark file reporter (bench_micro).
+        cases = []
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            real_time_ms = float(b.get("real_time", 0.0))
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit, 1e-6)
+            cases.append(
+                {
+                    "name": b.get("name", ""),
+                    "params": "iterations=" + str(b.get("iterations", 0)),
+                    "wall_ms": real_time_ms * scale,
+                    "bytes_per_sec": float(b.get("bytes_per_second", 0.0)),
+                }
+            )
+        return {"bench": "micro", "cases": cases}
+    raise ValueError(f"{path}: unrecognized bench JSON shape")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", type=Path, help="per-binary --json outputs")
+    parser.add_argument("-o", "--output", type=Path, required=True)
+    args = parser.parse_args(argv)
+
+    benches = []
+    for path in args.inputs:
+        try:
+            benches.append(normalize(path))
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"collect_bench: skipping {path}: {err}", file=sys.stderr)
+    if not benches:
+        print("collect_bench: no readable inputs", file=sys.stderr)
+        return 1
+    benches.sort(key=lambda b: b["bench"])
+
+    report = {
+        "schema": "lightwave-bench-v1",
+        "benches": benches,
+        "total_cases": sum(len(b["cases"]) for b in benches),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"collect_bench: wrote {args.output} "
+          f"({len(benches)} benches, {report['total_cases']} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,273 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace lightwave::common::parallel {
+
+namespace {
+
+std::atomic<PoolObserver*> g_observer{nullptr};
+
+/// True while the current thread is executing a chunk body; nested
+/// ParallelFor calls from such a thread run serially inline.
+thread_local bool t_in_region = false;
+
+/// Worker slot of the current thread inside a region's utilization vector:
+/// 0 for the region's calling thread, 1..N for pool workers.
+thread_local int t_worker_slot = 0;
+
+/// One ParallelFor invocation. Shared between the calling thread and the
+/// pool workers through a shared_ptr so late-dequeued runner tasks stay
+/// valid after the region completed.
+struct Region {
+  std::uint64_t n = 0;
+  std::uint64_t chunk_size = 0;
+  std::uint64_t chunks = 0;
+  const ChunkBody* body = nullptr;
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> done{0};
+  /// Slot per chunk; only the owning chunk writes it.
+  std::vector<std::exception_ptr> errors;
+  /// Slot per worker (0 = caller); each slot is written by one thread.
+  std::vector<std::uint64_t> chunks_per_worker;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+/// Claims and executes chunks until the region is drained. Returns once no
+/// chunk is left to claim.
+void RunChunks(Region& region) {
+  PoolObserver* const observer = g_observer.load(std::memory_order_acquire);
+  const bool outer = !t_in_region;
+  t_in_region = true;
+  for (;;) {
+    const std::uint64_t chunk = region.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= region.chunks) break;
+    const auto [begin, end] = ChunkBounds(region.n, region.chunk_size, chunk);
+    try {
+      (*region.body)(begin, end, chunk);
+    } catch (...) {
+      region.errors[static_cast<std::size_t>(chunk)] = std::current_exception();
+    }
+    region.chunks_per_worker[static_cast<std::size_t>(t_worker_slot)]++;
+    if (observer != nullptr) observer->OnChunkExecuted();
+    if (region.done.fetch_add(1, std::memory_order_acq_rel) + 1 == region.chunks) {
+      // Last chunk: wake the calling thread if it is already waiting.
+      std::lock_guard<std::mutex> lock(region.mu);
+      region.cv.notify_all();
+    }
+  }
+  if (outer) t_in_region = false;
+}
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) : threads_(threads) {
+    for (int i = 1; i < threads_; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    // Contract: nothing may execute after shutdown — the queue must have
+    // been fully drained by the joining workers.
+    LW_DCHECK(queue_.empty()) << "thread pool destroyed with queued tasks";
+  }
+
+  int threads() const { return threads_; }
+
+  void Submit(std::shared_ptr<Region> region, int runners) {
+    PoolObserver* const observer = g_observer.load(std::memory_order_acquire);
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      LW_CHECK(!stopped_) << "Submit after thread-pool shutdown";
+      for (int i = 0; i < runners; ++i) queue_.push_back(region);
+      depth = queue_.size();
+    }
+    cv_.notify_all();
+    if (observer != nullptr) observer->OnQueueDepth(depth);
+  }
+
+ private:
+  void WorkerLoop(int slot) {
+    t_worker_slot = slot;
+    for (;;) {
+      std::shared_ptr<Region> region;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopped_ && drained
+        region = std::move(queue_.front());
+        queue_.pop_front();
+        if (PoolObserver* observer = g_observer.load(std::memory_order_acquire)) {
+          observer->OnQueueDepth(queue_.size());
+        }
+      }
+      LW_DCHECK(region != nullptr) << "null region in pool queue";
+      RunChunks(*region);
+    }
+  }
+
+  const int threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Region>> queue_;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+};
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("LIGHTWAVE_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex& PoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& PoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+/// The process-wide pool, created on first use. Returns nullptr when the
+/// configured thread count is 1 (serial mode needs no pool).
+ThreadPool* GlobalPool() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  auto& slot = PoolSlot();
+  if (slot == nullptr) {
+    const int threads = DefaultThreads();
+    if (threads <= 1) return nullptr;
+    slot = std::make_unique<ThreadPool>(threads);
+  }
+  return slot.get();
+}
+
+/// Debug audit (LW_DCHECK): the chunk ranges partition [0, n) exactly —
+/// contiguous, non-overlapping, and jointly exhaustive.
+bool PartitionIsExact(std::uint64_t n, std::uint64_t chunk_size, std::uint64_t chunks) {
+  std::uint64_t cursor = 0;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const auto [begin, end] = ChunkBounds(n, chunk_size, c);
+    if (begin != cursor || end <= begin || end > n) return false;
+    cursor = end;
+  }
+  return cursor == n;
+}
+
+}  // namespace
+
+PoolObserver* SetPoolObserver(PoolObserver* observer) {
+  return g_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+int Threads() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  auto& slot = PoolSlot();
+  return slot != nullptr ? slot->threads() : DefaultThreads();
+}
+
+void SetThreads(int threads) {
+  LW_CHECK(threads >= 1) << "thread count must be >= 1";
+  LW_CHECK(!t_in_region) << "SetThreads from inside a parallel region";
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  auto& slot = PoolSlot();
+  slot.reset();  // joins existing workers
+  if (threads > 1) slot = std::make_unique<ThreadPool>(threads);
+}
+
+std::uint64_t NumChunks(std::uint64_t n, std::uint64_t chunk_size) {
+  if (n == 0) return 0;
+  if (chunk_size == 0) {
+    // Automatic policy: a fixed upper bound on chunk count, so the
+    // partition is identical on every machine.
+    chunk_size = (n + kDefaultMaxChunks - 1) / kDefaultMaxChunks;
+    if (chunk_size == 0) chunk_size = 1;
+  }
+  return (n + chunk_size - 1) / chunk_size;
+}
+
+std::pair<std::uint64_t, std::uint64_t> ChunkBounds(std::uint64_t n,
+                                                    std::uint64_t chunk_size,
+                                                    std::uint64_t chunk) {
+  if (chunk_size == 0) {
+    chunk_size = (n + kDefaultMaxChunks - 1) / kDefaultMaxChunks;
+    if (chunk_size == 0) chunk_size = 1;
+  }
+  const std::uint64_t begin = chunk * chunk_size;
+  const std::uint64_t end = begin + chunk_size < n ? begin + chunk_size : n;
+  return {begin, end};
+}
+
+void ParallelFor(std::uint64_t n, std::uint64_t chunk_size, const ChunkBody& body) {
+  if (n == 0) return;
+  const std::uint64_t chunks = NumChunks(n, chunk_size);
+  LW_DCHECK(PartitionIsExact(n, chunk_size, chunks))
+      << "chunk ranges must partition the input exactly";
+
+  ThreadPool* const pool = t_in_region ? nullptr : GlobalPool();
+  PoolObserver* const observer = g_observer.load(std::memory_order_acquire);
+  const int pool_threads = pool != nullptr ? pool->threads() : 1;
+  if (observer != nullptr && !t_in_region) {
+    observer->OnRegionBegin(n, chunks, pool_threads);
+  }
+
+  auto region = std::make_shared<Region>();
+  region->n = n;
+  region->chunk_size = chunk_size;
+  region->chunks = chunks;
+  region->body = &body;
+  region->errors.resize(static_cast<std::size_t>(chunks));
+  region->chunks_per_worker.assign(static_cast<std::size_t>(pool_threads), 0);
+
+  if (pool != nullptr && chunks > 1) {
+    // One runner per worker that could usefully participate; each runner
+    // claims chunks from the shared counter until the region drains.
+    const int runners =
+        static_cast<int>(std::min<std::uint64_t>(chunks - 1, pool_threads - 1));
+    pool->Submit(region, runners);
+  }
+  // The calling thread always participates (and is the whole show in serial
+  // or nested mode).
+  RunChunks(*region);
+  if (region->done.load(std::memory_order_acquire) != chunks) {
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->cv.wait(lock, [&] {
+      return region->done.load(std::memory_order_acquire) == chunks;
+    });
+  }
+
+  if (observer != nullptr && !t_in_region) {
+    observer->OnRegionEnd(region->chunks_per_worker);
+  }
+
+  // Deterministic error propagation: the lowest-indexed chunk failure wins,
+  // regardless of execution order.
+  for (auto& error : region->errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace lightwave::common::parallel

@@ -79,4 +79,14 @@ bool Rng::Bernoulli(double p) { return NextDouble() < p; }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::Stream(std::uint64_t seed, std::uint64_t stream) {
+  // Two splitmix rounds over the (seed, stream) pair decorrelate adjacent
+  // streams; the resulting 64-bit value seeds the regular constructor.
+  std::uint64_t x = seed;
+  std::uint64_t mixed = SplitMix64(x);
+  x = mixed ^ (stream + 0x9E3779B97F4A7C15ull);
+  mixed = SplitMix64(x);
+  return Rng(mixed);
+}
+
 }  // namespace lightwave::common

@@ -42,6 +42,14 @@ class Rng {
   /// device its own stream without correlation.
   Rng Fork();
 
+  /// Counter-based stream derivation for the parallel runtime: the state
+  /// depends only on (seed, stream), so chunk `c` of a parallel region can
+  /// build `Stream(seed, c)` with no shared RNG state between chunks — the
+  /// results are identical at any thread count. Stream 0 is NOT the same
+  /// generator as Rng(seed); a parallel driver either uses streams
+  /// everywhere or not at all.
+  static Rng Stream(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_gaussian_ = 0.0;

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "optics/link_budget.h"
 #include "phy/ber_model.h"
 #include "phy/oim.h"
@@ -71,53 +72,71 @@ std::vector<LinkQualityReport> FabricManager::SurveyLinkQuality(
     ber_hist = &metrics.GetHistogram("lightwave_fabric_link_ber_log10");
     loss_hist = &metrics.GetHistogram("lightwave_fabric_link_insertion_loss_db");
   }
-  std::vector<LinkQualityReport> reports;
   const phy::BerModel ber_model = phy::BerModel::ForTransceiver(transceiver);
   const phy::OimFilter oim;
-  for (int i = 0; i < pod_->ocs_count(); ++i) {
-    for (const auto& conn : pod_->ocs(i).SurveyConnections()) {
-      // Per-module manufacturing spread is a property of the transceivers on
-      // this link, so derive it deterministically from the link identity
-      // (stable across re-surveys; a re-patched OCS path keeps its modules).
-      common::Rng population(options.seed ^
-                             (static_cast<std::uint64_t>(i) * 1000003ull +
-                              static_cast<std::uint64_t>(conn.north) * 131ull +
-                              static_cast<std::uint64_t>(conn.south)));
-      optics::LinkBudget budget = optics::MakeSuperpodLink(
-          transceiver, conn.insertion_loss, conn.return_loss);
-      const optics::LinkAnalysis analysis = budget.Analyze();
-      const auto& worst = analysis.WorstLane();
-      // Per-module manufacturing spread plus the reserved end-of-life
-      // derating; both eat into the beginning-of-life margin.
-      // Manufacturing screens truncate the population tails (parts outside
-      // +/-2 sigma never ship), which is what keeps every field link inside
-      // the budget.
-      auto screened = [&](double sigma) {
-        return std::clamp(population.Gaussian(0.0, sigma), -2.0 * sigma, 2.0 * sigma);
-      };
-      const double spread = screened(options.tx_power_sigma_db) -
-                            std::abs(screened(options.sensitivity_sigma_db));
-      const common::DbmPower effective_rx =
-          worst.rx_power - common::Decibel{options.derating_db - spread};
-      LinkQualityReport report;
-      report.ocs_id = i;
-      report.north = conn.north;
-      report.south = conn.south;
-      report.insertion_loss_db = conn.insertion_loss.value();
-      report.rx_power_dbm = worst.rx_power.value();
-      report.mpi_db = analysis.mpi.value();
-      report.margin_db = (effective_rx - transceiver.rx_sensitivity).value();
-      report.pre_fec_ber =
-          transceiver.has_oim_dsp
-              ? ber_model.PreFecBerWithOim(effective_rx, analysis.mpi, oim)
-              : ber_model.PreFecBer(effective_rx, analysis.mpi);
-      if (margin_hist != nullptr) margin_hist->Observe(report.margin_db);
-      if (ber_hist != nullptr && report.pre_fec_ber > 0.0) {
-        ber_hist->Observe(std::log10(report.pre_fec_ber));
-      }
-      if (loss_hist != nullptr) loss_hist->Observe(report.insertion_loss_db);
-      reports.push_back(report);
+  // One parallel work item per OCS (the survey is read-only over the pod);
+  // per-OCS report vectors are concatenated in OCS order below, so the
+  // output is bit-identical to the sequential survey. The per-link RNG is
+  // derived from the link identity, not from a shared stream, which is
+  // what makes the fan-out safe.
+  const auto per_ocs = common::parallel::ParallelMap(
+      static_cast<std::uint64_t>(pod_->ocs_count()), [&](std::uint64_t ocs_index) {
+        const int i = static_cast<int>(ocs_index);
+        std::vector<LinkQualityReport> ocs_reports;
+        for (const auto& conn : pod_->ocs(i).SurveyConnections()) {
+          // Per-module manufacturing spread is a property of the transceivers
+          // on this link, so derive it deterministically from the link
+          // identity (stable across re-surveys; a re-patched OCS path keeps
+          // its modules).
+          common::Rng population(options.seed ^
+                                 (static_cast<std::uint64_t>(i) * 1000003ull +
+                                  static_cast<std::uint64_t>(conn.north) * 131ull +
+                                  static_cast<std::uint64_t>(conn.south)));
+          optics::LinkBudget budget = optics::MakeSuperpodLink(
+              transceiver, conn.insertion_loss, conn.return_loss);
+          const optics::LinkAnalysis analysis = budget.Analyze();
+          const auto& worst = analysis.WorstLane();
+          // Per-module manufacturing spread plus the reserved end-of-life
+          // derating; both eat into the beginning-of-life margin.
+          // Manufacturing screens truncate the population tails (parts
+          // outside +/-2 sigma never ship), which is what keeps every field
+          // link inside the budget.
+          auto screened = [&](double sigma) {
+            return std::clamp(population.Gaussian(0.0, sigma), -2.0 * sigma,
+                              2.0 * sigma);
+          };
+          const double spread = screened(options.tx_power_sigma_db) -
+                                std::abs(screened(options.sensitivity_sigma_db));
+          const common::DbmPower effective_rx =
+              worst.rx_power - common::Decibel{options.derating_db - spread};
+          LinkQualityReport report;
+          report.ocs_id = i;
+          report.north = conn.north;
+          report.south = conn.south;
+          report.insertion_loss_db = conn.insertion_loss.value();
+          report.rx_power_dbm = worst.rx_power.value();
+          report.mpi_db = analysis.mpi.value();
+          report.margin_db = (effective_rx - transceiver.rx_sensitivity).value();
+          report.pre_fec_ber =
+              transceiver.has_oim_dsp
+                  ? ber_model.PreFecBerWithOim(effective_rx, analysis.mpi, oim)
+                  : ber_model.PreFecBer(effective_rx, analysis.mpi);
+          ocs_reports.push_back(report);
+        }
+        return ocs_reports;
+      });
+  std::vector<LinkQualityReport> reports;
+  for (const auto& ocs_reports : per_ocs) {
+    reports.insert(reports.end(), ocs_reports.begin(), ocs_reports.end());
+  }
+  // Histograms are filled in survey order on this thread, after the
+  // parallel fan-out, so telemetry exports match the sequential survey.
+  for (const auto& report : reports) {
+    if (margin_hist != nullptr) margin_hist->Observe(report.margin_db);
+    if (ber_hist != nullptr && report.pre_fec_ber > 0.0) {
+      ber_hist->Observe(std::log10(report.pre_fec_ber));
     }
+    if (loss_hist != nullptr) loss_hist->Observe(report.insertion_loss_db);
   }
   span.Annotate("links", std::to_string(reports.size()));
   return reports;

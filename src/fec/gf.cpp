@@ -63,6 +63,18 @@ common::Status Gf1024::CheckTables(const ExpTable& exp, const LogTable& log) {
   return common::Status::Ok();
 }
 
+void Gf1024::BuildMulRow(Element a, MulRow& row) const {
+  row[0] = 0;
+  if (a == 0) {
+    row.fill(0);
+    return;
+  }
+  const int la = log_[a];
+  for (int x = 1; x < kFieldSize; ++x) {
+    row[static_cast<std::size_t>(x)] = exp_[static_cast<std::size_t>(la + log_[x])];
+  }
+}
+
 Gf1024::Element Gf1024::Mul(Element a, Element b) const {
   if (a == 0 || b == 0) return 0;
   return exp_[static_cast<std::size_t>(log_[a] + log_[b])];

@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.h"
+
 namespace lightwave::fec {
 
 using Element = Gf1024::Element;
+
+namespace {
+
+bool AllInField(std::span<const Element> word) {
+  return std::all_of(word.begin(), word.end(),
+                     [](Element s) { return s < Gf1024::kFieldSize; });
+}
+
+}  // namespace
 
 ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
   assert(n > k && k > 0 && n <= Gf1024::kGroupOrder);
@@ -25,74 +36,131 @@ ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
     }
     generator_ = std::move(next);
   }
+  // Log-domain copy for the flattened encoder multiply.
+  generator_log_.resize(generator_.size(), 0);
+  for (std::size_t j = 0; j < generator_.size(); ++j) {
+    if (generator_[j] == 0) {
+      generator_has_zero_ = true;
+      generator_log_[j] = -1;
+    } else {
+      generator_log_[j] = gf.Log(generator_[j]);
+    }
+  }
+  // Premultiplied alpha^j rows for the syndrome kernel.
+  syndrome_rows_.resize(static_cast<std::size_t>(parity));
+  for (int j = 1; j <= parity; ++j) {
+    gf.BuildMulRow(gf.AlphaPow(j), syndrome_rows_[static_cast<std::size_t>(j - 1)]);
+  }
+}
+
+void ReedSolomon::EncodeInto(std::span<const Element> data,
+                             std::span<Element> codeword) const {
+  LW_CHECK(static_cast<int>(data.size()) == k_) << "data length != k";
+  LW_CHECK(static_cast<int>(codeword.size()) == n_) << "codeword length != n";
+  LW_DCHECK(AllInField(data)) << "data symbol outside GF(2^10)";
+  const auto& gf = Gf1024::Instance();
+  const int parity = n_ - k_;
+  // LFSR division: remainder of data(x) * x^(n-k) by generator(x). The
+  // remainder lives in the parity tail of the codeword (low->high) and is
+  // reversed at the end so the codeword reads highest-degree first.
+  Element* const rem = codeword.data() + k_;
+  std::fill(rem, rem + parity, static_cast<Element>(0));
+  for (int i = 0; i < k_; ++i) {
+    const Element feedback =
+        static_cast<Element>(data[static_cast<std::size_t>(i)] ^ rem[parity - 1]);
+    if (feedback != 0 && !generator_has_zero_) {
+      // Flattened log-domain multiply: one exp read per tap.
+      const int lf = gf.Log(feedback);
+      for (int j = parity - 1; j > 0; --j) {
+        rem[j] = static_cast<Element>(rem[j - 1] ^ gf.ExpAt(lf + generator_log_[j]));
+      }
+      rem[0] = gf.ExpAt(lf + generator_log_[0]);
+    } else if (feedback != 0) {
+      // Degenerate generator with a zero coefficient: general path.
+      for (int j = parity - 1; j > 0; --j) {
+        rem[j] = static_cast<Element>(
+            rem[j - 1] ^ gf.Mul(feedback, generator_[static_cast<std::size_t>(j)]));
+      }
+      rem[0] = gf.Mul(feedback, generator_[0]);
+    } else {
+      for (int j = parity - 1; j > 0; --j) rem[j] = rem[j - 1];
+      rem[0] = 0;
+    }
+  }
+  std::reverse(rem, rem + parity);
+  if (codeword.data() != data.data()) {
+    std::copy(data.begin(), data.end(), codeword.begin());
+  }
 }
 
 std::vector<Element> ReedSolomon::Encode(const std::vector<Element>& data) const {
-  assert(static_cast<int>(data.size()) == k_);
-  const auto& gf = Gf1024::Instance();
-  const int parity = n_ - k_;
-  // LFSR division: remainder of data(x) * x^(n-k) by generator(x).
-  std::vector<Element> remainder(static_cast<std::size_t>(parity), 0);
-  for (int i = 0; i < k_; ++i) {
-    const Element feedback =
-        static_cast<Element>(data[static_cast<std::size_t>(i)] ^ remainder.back());
-    // Shift left by one.
-    for (int j = parity - 1; j > 0; --j) {
-      remainder[static_cast<std::size_t>(j)] = static_cast<Element>(
-          remainder[static_cast<std::size_t>(j - 1)] ^
-          gf.Mul(feedback, generator_[static_cast<std::size_t>(j)]));
-    }
-    remainder[0] = gf.Mul(feedback, generator_[0]);
-  }
-  std::vector<Element> codeword = data;
-  // Parity appended highest-degree first so that the codeword read as a
-  // polynomial is data(x)*x^(n-k) + remainder(x).
-  codeword.insert(codeword.end(), remainder.rbegin(), remainder.rend());
+  std::vector<Element> codeword(static_cast<std::size_t>(n_));
+  EncodeInto(data, codeword);
   return codeword;
 }
 
-std::vector<Element> ReedSolomon::Syndromes(const std::vector<Element>& received) const {
-  const auto& gf = Gf1024::Instance();
+void ReedSolomon::SyndromesInto(std::span<const Element> received,
+                                std::span<Element> out) const {
   const int parity = n_ - k_;
-  std::vector<Element> syndromes(static_cast<std::size_t>(parity), 0);
+  LW_DCHECK(static_cast<int>(received.size()) == n_);
+  LW_DCHECK(static_cast<int>(out.size()) == parity);
   // The codeword as a polynomial has its first symbol as the highest-degree
-  // coefficient: c(x) = sum received[i] * x^(n-1-i). S_j = c(alpha^j).
-  for (int j = 1; j <= parity; ++j) {
-    const Element a = gf.AlphaPow(j);
+  // coefficient: c(x) = sum received[i] * x^(n-1-i). S_j = c(alpha^j),
+  // evaluated by Horner with the premultiplied alpha^j row: one branch-free
+  // table read per symbol.
+  const Element* const r = received.data();
+  for (int j = 0; j < parity; ++j) {
+    const Gf1024::MulRow& row = syndrome_rows_[static_cast<std::size_t>(j)];
     Element acc = 0;
     for (int i = 0; i < n_; ++i) {
-      acc = static_cast<Element>(gf.Mul(acc, a) ^ received[static_cast<std::size_t>(i)]);
+      acc = static_cast<Element>(row[acc] ^ r[i]);
     }
-    syndromes[static_cast<std::size_t>(j - 1)] = acc;
+    out[static_cast<std::size_t>(j)] = acc;
   }
+}
+
+std::vector<Element> ReedSolomon::Syndromes(const std::vector<Element>& received) const {
+  std::vector<Element> syndromes(static_cast<std::size_t>(n_ - k_), 0);
+  SyndromesInto(received, syndromes);
   return syndromes;
 }
 
 bool ReedSolomon::IsCodeword(const std::vector<Element>& word) const {
   if (static_cast<int>(word.size()) != n_) return false;
+  if (!AllInField(word)) return false;
   const auto syn = Syndromes(word);
   return std::all_of(syn.begin(), syn.end(), [](Element s) { return s == 0; });
 }
 
-common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& received) const {
-  if (static_cast<int>(received.size()) != n_) {
+common::Result<int> ReedSolomon::DecodeInPlace(std::span<Element> word,
+                                               Scratch& s) const {
+  if (static_cast<int>(word.size()) != n_) {
     return common::InvalidArgument("received word length != n");
   }
+  if (!AllInField(word)) {
+    return common::InvalidArgument("received symbol outside GF(1024)");
+  }
   const auto& gf = Gf1024::Instance();
-  const auto syndromes = Syndromes(received);
-  const bool clean =
-      std::all_of(syndromes.begin(), syndromes.end(), [](Element s) { return s == 0; });
-  if (clean) {
-    return DecodeOutcome{.codeword = received, .corrected_symbols = 0};
+  const int two_t = n_ - k_;
+  s.syndromes.resize(static_cast<std::size_t>(two_t));
+  SyndromesInto(word, s.syndromes);
+  const auto& syndromes = s.syndromes;
+  if (std::all_of(syndromes.begin(), syndromes.end(), [](Element x) { return x == 0; })) {
+    return 0;
   }
 
-  // Berlekamp-Massey: find the error-locator polynomial sigma(x).
-  std::vector<Element> sigma = {1};
-  std::vector<Element> prev = {1};
+  // Berlekamp-Massey: find the error-locator polynomial sigma(x). All
+  // polynomial buffers come from the scratch; resize() reuses their
+  // retained capacity, so the loop does no per-iteration allocation.
+  auto& sigma = s.sigma;
+  auto& prev = s.prev;
+  auto& temp = s.temp;
+  sigma.assign(1, 1);
+  prev.assign(1, 1);
   Element prev_discrepancy = 1;
   int m = 1;
   int errors = 0;  // current LFSR length L
-  for (int i = 0; i < n_ - k_; ++i) {
+  for (int i = 0; i < two_t; ++i) {
     // Discrepancy d = S_i + sum_{j=1}^{L} sigma_j * S_{i-j}.
     Element d = syndromes[static_cast<std::size_t>(i)];
     for (int j = 1; j <= errors && j < static_cast<int>(sigma.size()); ++j) {
@@ -106,28 +174,24 @@ common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& re
       ++m;
       continue;
     }
+    const Element coef = gf.Div(d, prev_discrepancy);
+    const std::size_t needed = prev.size() + static_cast<std::size_t>(m);
     if (2 * errors <= i) {
-      std::vector<Element> temp = sigma;
-      // sigma = sigma - (d/prev_d) * x^m * prev
-      const Element coef = gf.Div(d, prev_discrepancy);
-      std::vector<Element> adjust(prev.size() + static_cast<std::size_t>(m), 0);
+      // sigma' = sigma - (d/prev_d) * x^m * prev, with prev <- old sigma.
+      temp.assign(sigma.begin(), sigma.end());
+      if (needed > sigma.size()) sigma.resize(needed, 0);
       for (std::size_t j = 0; j < prev.size(); ++j) {
-        adjust[j + static_cast<std::size_t>(m)] = gf.Mul(coef, prev[j]);
+        sigma[j + static_cast<std::size_t>(m)] ^= gf.Mul(coef, prev[j]);
       }
-      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
-      for (std::size_t j = 0; j < adjust.size(); ++j) sigma[j] ^= adjust[j];
       errors = i + 1 - errors;
-      prev = std::move(temp);
+      std::swap(prev, temp);
       prev_discrepancy = d;
       m = 1;
     } else {
-      const Element coef = gf.Div(d, prev_discrepancy);
-      std::vector<Element> adjust(prev.size() + static_cast<std::size_t>(m), 0);
+      if (needed > sigma.size()) sigma.resize(needed, 0);
       for (std::size_t j = 0; j < prev.size(); ++j) {
-        adjust[j + static_cast<std::size_t>(m)] = gf.Mul(coef, prev[j]);
+        sigma[j + static_cast<std::size_t>(m)] ^= gf.Mul(coef, prev[j]);
       }
-      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
-      for (std::size_t j = 0; j < adjust.size(); ++j) sigma[j] ^= adjust[j];
       ++m;
     }
   }
@@ -137,9 +201,10 @@ common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& re
     return common::Internal("uncorrectable: error count exceeds t");
   }
 
-  // Chien search over positions. Symbol received[i] has polynomial degree
+  // Chien search over positions. Symbol word[i] has polynomial degree
   // n-1-i; an error at degree e corresponds to locator root alpha^{-e}.
-  std::vector<int> error_positions;  // index into `received`
+  auto& error_positions = s.positions;  // index into `word`
+  error_positions.clear();
   for (int i = 0; i < n_; ++i) {
     const int degree = n_ - 1 - i;
     const Element x_inv = gf.AlphaPow(-degree);  // evaluate sigma(alpha^{-e})
@@ -155,7 +220,8 @@ common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& re
 
   // Forney: error values. Error evaluator omega(x) = [S(x) * sigma(x)]
   // mod x^{2t}, with S(x) = sum S_{j+1} x^j.
-  std::vector<Element> omega(static_cast<std::size_t>(n_ - k_), 0);
+  auto& omega = s.omega;
+  omega.assign(static_cast<std::size_t>(two_t), 0);
   for (std::size_t i = 0; i < omega.size(); ++i) {
     Element acc = 0;
     for (std::size_t j = 0; j <= i && j < sigma.size(); ++j) {
@@ -164,10 +230,10 @@ common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& re
     omega[i] = acc;
   }
   // Formal derivative of sigma.
-  std::vector<Element> sigma_prime;
+  auto& sigma_prime = s.sigma_prime;
+  sigma_prime.clear();
   for (std::size_t j = 1; j < sigma.size(); j += 2) sigma_prime.push_back(sigma[j]);
 
-  std::vector<Element> corrected = received;
   for (int pos : error_positions) {
     const int degree = n_ - 1 - pos;
     const Element x_inv = gf.AlphaPow(-degree);
@@ -188,18 +254,34 @@ common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& re
     // Error magnitude with first root alpha^1 and S(x) = sum S_{j+1} x^j:
     // e = omega(X^{-1}) / sigma'(X^{-1}).
     const Element magnitude = gf.Div(num, den);
-    corrected[static_cast<std::size_t>(pos)] ^= magnitude;
+    word[static_cast<std::size_t>(pos)] ^= magnitude;
   }
-  if (!IsCodeword(corrected)) {
+  // Verify the correction by recomputing the syndromes in place.
+  SyndromesInto(word, s.syndromes);
+  if (!std::all_of(s.syndromes.begin(), s.syndromes.end(),
+                   [](Element x) { return x == 0; })) {
     return common::Internal("uncorrectable: correction failed verification");
   }
-  return DecodeOutcome{.codeword = std::move(corrected), .corrected_symbols = num_errors};
+  return num_errors;
+}
+
+common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& received) const {
+  DecodeOutcome outcome;
+  outcome.codeword = received;
+  Scratch scratch;
+  auto corrected = DecodeInPlace(outcome.codeword, scratch);
+  if (!corrected.ok()) return corrected.error();
+  outcome.corrected_symbols = corrected.value();
+  return outcome;
 }
 
 common::Result<DecodeOutcome> ReedSolomon::DecodeWithErasures(
     const std::vector<Element>& received, const std::vector<int>& erasures) const {
   if (static_cast<int>(received.size()) != n_) {
     return common::InvalidArgument("received word length != n");
+  }
+  if (!AllInField(received)) {
+    return common::InvalidArgument("received symbol outside GF(1024)");
   }
   if (erasures.empty()) return Decode(received);
   const int two_t = n_ - k_;
@@ -253,8 +335,11 @@ common::Result<DecodeOutcome> ReedSolomon::DecodeWithErasures(
       std::vector<Element>(syndromes.begin(), syndromes.end()), gamma);
   std::vector<Element> u(xi.begin() + f, xi.end());  // length 2t - f
 
+  // Berlekamp-Massey over the modified syndromes; temp is hoisted out so
+  // the loop reuses its capacity instead of allocating per iteration.
   std::vector<Element> sigma = {1};
   std::vector<Element> prev = {1};
+  std::vector<Element> temp;
   Element prev_discrepancy = 1;
   int m = 1;
   int errors = 0;
@@ -271,21 +356,22 @@ common::Result<DecodeOutcome> ReedSolomon::DecodeWithErasures(
       continue;
     }
     const Element coef = gf.Div(d, prev_discrepancy);
-    std::vector<Element> adjust(prev.size() + static_cast<std::size_t>(m), 0);
-    for (std::size_t j = 0; j < prev.size(); ++j) {
-      adjust[j + static_cast<std::size_t>(m)] = gf.Mul(coef, prev[j]);
-    }
+    const std::size_t needed = prev.size() + static_cast<std::size_t>(m);
     if (2 * errors <= i) {
-      std::vector<Element> temp = sigma;
-      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
-      for (std::size_t j = 0; j < adjust.size(); ++j) sigma[j] ^= adjust[j];
+      temp.assign(sigma.begin(), sigma.end());
+      if (needed > sigma.size()) sigma.resize(needed, 0);
+      for (std::size_t j = 0; j < prev.size(); ++j) {
+        sigma[j + static_cast<std::size_t>(m)] ^= gf.Mul(coef, prev[j]);
+      }
       errors = i + 1 - errors;
-      prev = std::move(temp);
+      std::swap(prev, temp);
       prev_discrepancy = d;
       m = 1;
     } else {
-      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
-      for (std::size_t j = 0; j < adjust.size(); ++j) sigma[j] ^= adjust[j];
+      if (needed > sigma.size()) sigma.resize(needed, 0);
+      for (std::size_t j = 0; j < prev.size(); ++j) {
+        sigma[j + static_cast<std::size_t>(m)] ^= gf.Mul(coef, prev[j]);
+      }
       ++m;
     }
   }

@@ -4,9 +4,24 @@
 // the figure of merit used throughout §4.1.
 //
 // Decoder: syndrome computation, Berlekamp-Massey, Chien search, Forney.
+//
+// Hot-kernel design (this codec sits under every BER→FEC evaluation the
+// Monte-Carlo harness runs):
+//   - EncodeInto/DecodeInPlace are span-based and allocation-free; the
+//     decoder's Berlekamp-Massey/Chien/Forney working set lives in a
+//     caller-owned Scratch that amortizes to zero allocations when reused
+//     (one Scratch per worker thread under the parallel runtime).
+//   - Syndromes use premultiplied alpha^j rows (Gf1024::MulRow): one
+//     branch-free table read per symbol instead of two log/exp lookups
+//     plus zero checks.
+//   - The encoder's LFSR feedback multiply is flattened into the log
+//     domain: the generator coefficients are stored as logs, so each inner
+//     step is a single exp-table read.
+// The std::vector convenience wrappers delegate to the span kernels.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +36,26 @@ struct DecodeOutcome {
 
 class ReedSolomon {
  public:
+  using Element = Gf1024::Element;
+
+  /// Reusable decoder workspace. All buffers keep their capacity across
+  /// calls, so a reused Scratch makes DecodeInPlace allocation-free in
+  /// steady state. A Scratch is not thread-safe; give each worker its own.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class ReedSolomon;
+    std::vector<Element> syndromes;
+    std::vector<Element> sigma;
+    std::vector<Element> prev;
+    std::vector<Element> temp;
+    std::vector<Element> omega;
+    std::vector<Element> sigma_prime;
+    std::vector<int> positions;
+  };
+
   /// n = total symbols, k = data symbols; (n - k) must be even.
   ReedSolomon(int n, int k);
 
@@ -31,9 +66,23 @@ class ReedSolomon {
   int k() const { return k_; }
   int t() const { return (n_ - k_) / 2; }
 
+  /// Systematic encode into a caller-provided buffer: codeword = data
+  /// followed by (n-k) parity symbols. Requires data.size() == k,
+  /// codeword.size() == n, and every symbol < 1024. codeword[0..k) may
+  /// alias data. Never allocates.
+  void EncodeInto(std::span<const Element> data, std::span<Element> codeword) const;
+
   /// Systematic encode: returns data followed by (n-k) parity symbols.
   /// Requires data.size() == k and every symbol < 1024.
   std::vector<Gf1024::Element> Encode(const std::vector<Gf1024::Element>& data) const;
+
+  /// Decodes and corrects `word` (length n) in place using `scratch` for
+  /// all intermediate state; returns the number of corrected symbols.
+  /// Rejects words with out-of-field symbols (>= 1024). Fails when more
+  /// than t symbols are corrupted, leaving `word` with the partial
+  /// correction undone only on the verification path — treat `word` as
+  /// unspecified after a failure.
+  common::Result<int> DecodeInPlace(std::span<Element> word, Scratch& scratch) const;
 
   /// Decodes a received word of length n. Fails when more than t symbols are
   /// corrupted (decoder detects an uncorrectable pattern) — note that, as
@@ -54,8 +103,17 @@ class ReedSolomon {
  private:
   int n_;
   int k_;
-  std::vector<Gf1024::Element> generator_;  // generator polynomial, low->high
+  std::vector<Element> generator_;  // generator polynomial, low->high
+  /// Log-domain generator coefficients for the flattened encoder multiply;
+  /// only valid when generator_has_zero_ is false (never for KP4-like
+  /// codes, but a degenerate generator falls back to Gf1024::Mul).
+  std::vector<int> generator_log_;
+  bool generator_has_zero_ = false;
+  /// syndrome_rows_[j - 1][x] == Mul(alpha^j, x) for j = 1..2t.
+  std::vector<Gf1024::MulRow> syndrome_rows_;
 
+  /// out.size() == n - k. Requires every symbol of `received` < 1024.
+  void SyndromesInto(std::span<const Element> received, std::span<Element> out) const;
   std::vector<Gf1024::Element> Syndromes(const std::vector<Gf1024::Element>& received) const;
 };
 

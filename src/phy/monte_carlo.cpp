@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/parallel.h"
+
 namespace lightwave::phy {
 
 using common::DbmPower;
@@ -26,7 +28,6 @@ MonteCarloChannel::MonteCarloChannel(const BerModel& model, Decibel mpi,
     : model_(model), mpi_(mpi), config_(config) {}
 
 MonteCarloResult MonteCarloChannel::Run(DbmPower rx) {
-  common::Rng rng(config_.seed);
   const bool pam4 = model_.modulation() == optics::Modulation::kPam4;
   const int levels = pam4 ? 4 : 2;
   const double bits_per_symbol = pam4 ? 2.0 : 1.0;
@@ -41,40 +42,57 @@ MonteCarloResult MonteCarloChannel::Run(DbmPower rx) {
   const double pi_mw = p_mw * mpi_eff.linear();
   const int tones = std::max(1, config_.interferer_tones);
 
-  std::vector<double> phases(static_cast<std::size_t>(tones));
-  for (auto& p : phases) p = rng.Uniform(0.0, 2.0 * M_PI);
+  // Each chunk is a self-contained experiment: its own counter-based RNG
+  // stream and its own interferer phase state. The per-chunk error counts
+  // are summed in chunk order, so the total is byte-identical at any
+  // thread count.
+  const std::uint64_t chunk_symbols = std::max<std::uint64_t>(1, config_.symbols_per_chunk);
+  const std::uint64_t seed = config_.seed;
+  const std::uint64_t errors = common::parallel::ParallelReduce<std::uint64_t>(
+      config_.symbols, chunk_symbols, 0,
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t chunk) -> std::uint64_t {
+        common::Rng rng = common::Rng::Stream(seed, chunk);
+        std::vector<double> phases(static_cast<std::size_t>(tones));
+        for (auto& p : phases) p = rng.Uniform(0.0, 2.0 * M_PI);
+
+        std::uint64_t bit_errors = 0;
+        for (std::uint64_t s = begin; s < end; ++s) {
+          const int tx_level =
+              static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(levels)));
+          const double p_level = tx_level * d;
+
+          // Per-tone amplitude chosen so the aggregate beat variance equals
+          // the analytic model's kBeatVariance * p_level * p_int.
+          const double tone_amplitude =
+              std::sqrt(2.0 * kBeatVariance * p_level * pi_mw / tones);
+          double beat = 0.0;
+          for (auto& phase : phases) {
+            phase += rng.Gaussian(0.0, config_.phase_walk_std);
+            beat += tone_amplitude * std::cos(phase);
+          }
+          const double noise = rng.Gaussian(0.0, sigma_th);
+          const double received = p_level + beat + noise;
+
+          // Slicer: nearest level.
+          int rx_level = static_cast<int>(std::lround(received / d));
+          rx_level = std::max(0, std::min(levels - 1, rx_level));
+
+          if (rx_level != tx_level) {
+            if (pam4) {
+              bit_errors += static_cast<std::uint64_t>(
+                  HammingDistance2Bit(kGray[tx_level], kGray[rx_level]));
+            } else {
+              ++bit_errors;
+            }
+          }
+        }
+        return bit_errors;
+      },
+      [](std::uint64_t acc, std::uint64_t partial) { return acc + partial; });
 
   MonteCarloResult result;
   result.bits = config_.symbols * static_cast<std::uint64_t>(bits_per_symbol);
-  for (std::uint64_t s = 0; s < config_.symbols; ++s) {
-    const int tx_level = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(levels)));
-    const double p_level = tx_level * d;
-
-    // Per-tone amplitude chosen so the aggregate beat variance equals the
-    // analytic model's kBeatVariance * p_level * p_int.
-    const double tone_amplitude =
-        std::sqrt(2.0 * kBeatVariance * p_level * pi_mw / tones);
-    double beat = 0.0;
-    for (auto& phase : phases) {
-      phase += rng.Gaussian(0.0, config_.phase_walk_std);
-      beat += tone_amplitude * std::cos(phase);
-    }
-    const double noise = rng.Gaussian(0.0, sigma_th);
-    const double received = p_level + beat + noise;
-
-    // Slicer: nearest level.
-    int rx_level = static_cast<int>(std::lround(received / d));
-    rx_level = std::max(0, std::min(levels - 1, rx_level));
-
-    if (rx_level != tx_level) {
-      if (pam4) {
-        result.bit_errors += static_cast<std::uint64_t>(
-            HammingDistance2Bit(kGray[tx_level], kGray[rx_level]));
-      } else {
-        ++result.bit_errors;
-      }
-    }
-  }
+  result.bit_errors = errors;
   return result;
 }
 

@@ -20,6 +20,13 @@ namespace lightwave::phy {
 struct MonteCarloConfig {
   std::uint64_t symbols = 2'000'000;
   std::uint64_t seed = 0x1337;
+  /// Symbols per parallel chunk. Chunk `c` draws from the independent
+  /// counter-based stream common::Rng::Stream(seed, c) and starts its own
+  /// interferer phase state, so the result depends only on (seed, symbols,
+  /// symbols_per_chunk) — never on the thread count. Chunks are long
+  /// enough that each one's beat-phase walk reaches the stationary regime
+  /// the analytic model assumes.
+  std::uint64_t symbols_per_chunk = 1u << 16;
   /// Beat-phase random-walk step per symbol (radians); well below 2*pi keeps
   /// the interferer narrow-band (what the OIM notch assumes) while still
   /// decorrelating the beat over a multi-million-symbol run.
@@ -46,7 +53,9 @@ class MonteCarloChannel {
   /// interferer level relative to carrier.
   MonteCarloChannel(const BerModel& model, common::Decibel mpi, MonteCarloConfig config);
 
-  /// Runs the experiment at received power `rx`.
+  /// Runs the experiment at received power `rx`. Executes on the parallel
+  /// runtime (common/parallel.h): byte-identical for a given config at any
+  /// LIGHTWAVE_THREADS setting.
   MonteCarloResult Run(common::DbmPower rx);
 
  private:

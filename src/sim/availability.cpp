@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math.h"
+#include "common/parallel.h"
 #include "telemetry/hub.h"
 
 namespace lightwave::sim {
@@ -76,64 +77,92 @@ MonteCarloAvailability SimulateAvailability(double server_availability, int cube
                                             const PodAvailabilityConfig& config,
                                             telemetry::Hub* hub) {
   assert(trials > 0 && slices >= 0);
-  common::Rng rng(seed);
   const double p_cube = CubeAvailability(server_availability, config);
   const int groups = config.cubes / cubes_per_slice;
 
-  telemetry::Counter* trial_counter = nullptr;
-  telemetry::Counter* downtime_counter = nullptr;
-  telemetry::HistogramMetric* healthy_hist = nullptr;
-  telemetry::TimeSeries* healthy_series = nullptr;
+  // Trials run on the parallel runtime in fixed-size chunks; chunk `c`
+  // draws from the independent counter-based stream Rng::Stream(seed, c),
+  // so the fleet statistics depend only on (seed, trials) — never on the
+  // thread count. Per-chunk tallies are folded in chunk order.
+  constexpr std::uint64_t kTrialsPerChunk = 1024;
+
+  struct ChunkTally {
+    long long healthy_total = 0;
+    int reconfig_ok = 0;
+    int static_ok = 0;
+  };
+  // Per-trial healthy-cube counts, written by disjoint chunk ranges; only
+  // needed when telemetry asks for the per-trial series.
+  std::vector<int> healthy_per_trial;
+  if (hub != nullptr) healthy_per_trial.resize(static_cast<std::size_t>(trials));
+
+  const ChunkTally total = common::parallel::ParallelReduce<ChunkTally>(
+      static_cast<std::uint64_t>(trials), kTrialsPerChunk, ChunkTally{},
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t chunk) -> ChunkTally {
+        common::Rng rng = common::Rng::Stream(seed, chunk);
+        ChunkTally tally;
+        std::vector<bool> healthy(static_cast<std::size_t>(config.cubes));
+        for (std::uint64_t t = begin; t < end; ++t) {
+          int healthy_count = 0;
+          for (int c = 0; c < config.cubes; ++c) {
+            healthy[static_cast<std::size_t>(c)] = rng.Bernoulli(p_cube);
+            healthy_count += healthy[static_cast<std::size_t>(c)] ? 1 : 0;
+          }
+          tally.healthy_total += healthy_count;
+          if (hub != nullptr) {
+            healthy_per_trial[static_cast<std::size_t>(t)] = healthy_count;
+          }
+          // Reconfigurable: any healthy cubes compose.
+          if (healthy_count >= slices * cubes_per_slice) ++tally.reconfig_ok;
+          // Static: count fully-healthy contiguous groups.
+          int good_groups = 0;
+          for (int g = 0; g < groups; ++g) {
+            bool all = true;
+            for (int c = g * cubes_per_slice; c < (g + 1) * cubes_per_slice; ++c) {
+              if (!healthy[static_cast<std::size_t>(c)]) {
+                all = false;
+                break;
+              }
+            }
+            good_groups += all ? 1 : 0;
+          }
+          if (good_groups >= slices) ++tally.static_ok;
+        }
+        return tally;
+      },
+      [](ChunkTally acc, ChunkTally partial) {
+        acc.healthy_total += partial.healthy_total;
+        acc.reconfig_ok += partial.reconfig_ok;
+        acc.static_ok += partial.static_ok;
+        return acc;
+      });
+
   if (hub != nullptr) {
+    // Telemetry is replayed in trial order on this thread after the
+    // parallel phase, keeping exports byte-identical across thread counts
+    // (timestamps are the trial index — the model has no clock).
     auto& metrics = hub->metrics();
-    trial_counter = &metrics.GetCounter("lightwave_availability_trials_total");
+    auto& trial_counter = metrics.GetCounter("lightwave_availability_trials_total");
     // A trial in which the committed reconfigurable slices cannot all be
     // composed is a pod-level downtime event (the Fig. 15b failure mode).
-    downtime_counter = &metrics.GetCounter("lightwave_availability_downtime_events_total");
-    healthy_hist = &metrics.GetHistogram("lightwave_availability_healthy_cubes");
-    healthy_series = &metrics.GetTimeSeries("lightwave_availability_healthy_cubes_series");
+    auto& downtime_counter =
+        metrics.GetCounter("lightwave_availability_downtime_events_total");
+    auto& healthy_hist = metrics.GetHistogram("lightwave_availability_healthy_cubes");
+    auto& healthy_series =
+        metrics.GetTimeSeries("lightwave_availability_healthy_cubes_series");
+    for (int t = 0; t < trials; ++t) {
+      const int healthy_count = healthy_per_trial[static_cast<std::size_t>(t)];
+      trial_counter.Inc();
+      healthy_hist.Observe(healthy_count);
+      healthy_series.Record(static_cast<double>(t), healthy_count);
+      if (healthy_count < slices * cubes_per_slice) downtime_counter.Inc();
+    }
   }
 
   MonteCarloAvailability result;
-  long long healthy_total = 0;
-  int reconfig_ok = 0;
-  int static_ok = 0;
-  std::vector<bool> healthy(static_cast<std::size_t>(config.cubes));
-  for (int t = 0; t < trials; ++t) {
-    int healthy_count = 0;
-    for (int c = 0; c < config.cubes; ++c) {
-      healthy[static_cast<std::size_t>(c)] = rng.Bernoulli(p_cube);
-      healthy_count += healthy[static_cast<std::size_t>(c)] ? 1 : 0;
-    }
-    healthy_total += healthy_count;
-    if (hub != nullptr) {
-      trial_counter->Inc();
-      healthy_hist->Observe(healthy_count);
-      healthy_series->Record(static_cast<double>(t), healthy_count);
-    }
-    // Reconfigurable: any healthy cubes compose.
-    if (healthy_count >= slices * cubes_per_slice) {
-      ++reconfig_ok;
-    } else if (downtime_counter != nullptr) {
-      downtime_counter->Inc();
-    }
-    // Static: count fully-healthy contiguous groups.
-    int good_groups = 0;
-    for (int g = 0; g < groups; ++g) {
-      bool all = true;
-      for (int c = g * cubes_per_slice; c < (g + 1) * cubes_per_slice; ++c) {
-        if (!healthy[static_cast<std::size_t>(c)]) {
-          all = false;
-          break;
-        }
-      }
-      good_groups += all ? 1 : 0;
-    }
-    if (good_groups >= slices) ++static_ok;
-  }
-  result.mean_healthy_cubes = static_cast<double>(healthy_total) / trials;
-  result.reconfig_success_rate = static_cast<double>(reconfig_ok) / trials;
-  result.static_success_rate = static_cast<double>(static_ok) / trials;
+  result.mean_healthy_cubes = static_cast<double>(total.healthy_total) / trials;
+  result.reconfig_success_rate = static_cast<double>(total.reconfig_ok) / trials;
+  result.static_success_rate = static_cast<double>(total.static_ok) / trials;
   return result;
 }
 

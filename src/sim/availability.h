@@ -65,7 +65,10 @@ struct MonteCarloAvailability {
 /// slices of `cubes_per_slice` can be composed under each fabric. When a
 /// telemetry hub is given, records trial/downtime-event counters and the
 /// per-trial healthy-cube histogram (timestamps are the trial index — the
-/// model has no clock — keeping exports deterministic).
+/// model has no clock — keeping exports deterministic). Trials replicate on
+/// the parallel runtime (common/parallel.h) with one counter-based RNG
+/// stream per chunk: results and telemetry are byte-identical at any
+/// LIGHTWAVE_THREADS setting.
 MonteCarloAvailability SimulateAvailability(double server_availability, int cubes_per_slice,
                                             int slices, int trials, std::uint64_t seed,
                                             const PodAvailabilityConfig& config = {},

@@ -1,0 +1,66 @@
+#include "telemetry/parallel_sink.h"
+
+#include <string>
+
+#include "telemetry/hub.h"
+
+namespace lightwave::telemetry {
+
+namespace {
+
+// The span currently open for the calling thread's region. Regions do not
+// nest (the runtime serializes nested ParallelFor inline and only reports
+// the outermost), but distinct threads can each drive a region, so the open
+// span id is thread-local.
+thread_local std::uint64_t t_open_span = 0;
+thread_local bool t_span_open = false;
+
+}  // namespace
+
+ParallelTelemetrySink::ParallelTelemetrySink(Hub* hub)
+    : hub_(hub), previous_(common::parallel::SetPoolObserver(this)) {}
+
+ParallelTelemetrySink::~ParallelTelemetrySink() {
+  common::parallel::SetPoolObserver(previous_);
+}
+
+void ParallelTelemetrySink::OnRegionBegin(std::uint64_t items, std::uint64_t chunks,
+                                          int threads) {
+  if (hub_ == nullptr) return;
+  hub_->metrics().GetCounter("lightwave_parallel_regions_total").Inc();
+  t_open_span = hub_->tracer().Begin("parallel_region", hub_->Now());
+  t_span_open = true;
+  hub_->tracer().Annotate(t_open_span, "items", std::to_string(items));
+  hub_->tracer().Annotate(t_open_span, "chunks", std::to_string(chunks));
+  hub_->tracer().Annotate(t_open_span, "threads", std::to_string(threads));
+}
+
+void ParallelTelemetrySink::OnRegionEnd(
+    const std::vector<std::uint64_t>& chunks_per_worker) {
+  if (hub_ == nullptr || !t_span_open) return;
+  // Worker-utilization view: how the chunks spread over the caller (slot 0)
+  // and the pool workers. A heavily skewed spread means chunks are too
+  // coarse for the machine.
+  std::string shares;
+  for (std::size_t i = 0; i < chunks_per_worker.size(); ++i) {
+    if (i > 0) shares += ",";
+    shares += std::to_string(chunks_per_worker[i]);
+  }
+  hub_->tracer().Annotate(t_open_span, "chunks_per_worker", shares);
+  hub_->tracer().End(t_open_span, hub_->Now());
+  t_span_open = false;
+}
+
+void ParallelTelemetrySink::OnChunkExecuted() {
+  if (hub_ == nullptr) return;
+  hub_->metrics().GetCounter("lightwave_parallel_tasks_total").Inc();
+}
+
+void ParallelTelemetrySink::OnQueueDepth(std::size_t depth) {
+  if (hub_ == nullptr) return;
+  hub_->metrics()
+      .GetGauge("lightwave_parallel_queue_depth")
+      .Set(static_cast<double>(depth));
+}
+
+}  // namespace lightwave::telemetry

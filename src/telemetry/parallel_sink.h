@@ -1,0 +1,41 @@
+// Bridges the parallel runtime's observer hooks (common/parallel.h) into a
+// telemetry Hub, the same adapter pattern as CheckTelemetrySink:
+//   - lightwave_parallel_tasks_total          counter, one per executed chunk
+//   - lightwave_parallel_regions_total        counter, one per ParallelFor
+//   - lightwave_parallel_queue_depth          gauge, pool queue depth
+//   - "parallel_region" trace spans           per region, annotated with the
+//                                             item/chunk counts and the
+//                                             per-worker chunk shares (the
+//                                             worker-utilization view)
+// Counters and the gauge are recorded from worker threads (they are atomic);
+// spans open and close on the thread that called ParallelFor.
+#pragma once
+
+#include "common/parallel.h"
+
+namespace lightwave::telemetry {
+
+class Hub;
+
+/// RAII: installs itself as the process-wide pool observer on construction
+/// and restores the previous observer on destruction. The hub must outlive
+/// the sink; regions running concurrently with destruction must be avoided
+/// by the caller (quiesce before detaching).
+class ParallelTelemetrySink : public common::parallel::PoolObserver {
+ public:
+  explicit ParallelTelemetrySink(Hub* hub);
+  ~ParallelTelemetrySink() override;
+  ParallelTelemetrySink(const ParallelTelemetrySink&) = delete;
+  ParallelTelemetrySink& operator=(const ParallelTelemetrySink&) = delete;
+
+  void OnRegionBegin(std::uint64_t items, std::uint64_t chunks, int threads) override;
+  void OnRegionEnd(const std::vector<std::uint64_t>& chunks_per_worker) override;
+  void OnChunkExecuted() override;
+  void OnQueueDepth(std::size_t depth) override;
+
+ private:
+  Hub* hub_;
+  common::parallel::PoolObserver* previous_;
+};
+
+}  // namespace lightwave::telemetry

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <utility>
 
 #include "common/rng.h"
@@ -351,6 +352,95 @@ TEST(ReedSolomonErasures, EmptyErasureListMatchesPlainDecode) {
   ASSERT_TRUE(plain.ok());
   ASSERT_TRUE(with.ok());
   EXPECT_EQ(plain.value().codeword, with.value().codeword);
+}
+
+// --- scratch / span APIs ---------------------------------------------------------
+
+TEST(ReedSolomonScratch, EncodeIntoMatchesEncode) {
+  common::Rng rng(61);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  const auto reference = rs.Encode(data);
+  std::vector<Element> codeword(static_cast<std::size_t>(rs.n()), 0xFFF);
+  rs.EncodeInto(data, codeword);
+  EXPECT_EQ(codeword, reference);
+}
+
+TEST(ReedSolomonScratch, EncodeIntoAllowsAliasedDataPrefix) {
+  common::Rng rng(62);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  const auto reference = rs.Encode(data);
+  // Data already sitting in the codeword buffer's systematic prefix.
+  std::vector<Element> codeword(static_cast<std::size_t>(rs.n()), 0);
+  std::copy(data.begin(), data.end(), codeword.begin());
+  rs.EncodeInto(std::span<const Element>(codeword.data(), data.size()), codeword);
+  EXPECT_EQ(codeword, reference);
+}
+
+TEST(ReedSolomonScratch, DecodeInPlaceMatchesDecode) {
+  common::Rng rng(63);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  const auto original = rs.Encode(data);
+  auto corrupted = original;
+  for (int e = 0; e < 9; ++e) {
+    corrupted[static_cast<std::size_t>(e * 53 + 2)] ^= static_cast<Element>(0x2A + e);
+  }
+  const auto reference = rs.Decode(corrupted);
+  ASSERT_TRUE(reference.ok());
+
+  ReedSolomon::Scratch scratch;
+  auto word = corrupted;
+  const auto corrected = rs.DecodeInPlace(word, scratch);
+  ASSERT_TRUE(corrected.ok());
+  EXPECT_EQ(corrected.value(), reference.value().corrected_symbols);
+  EXPECT_EQ(word, original);
+}
+
+TEST(ReedSolomonScratch, ScratchReuseAcrossWords) {
+  common::Rng rng(64);
+  const auto rs = ReedSolomon::Kp4();
+  ReedSolomon::Scratch scratch;
+  // A clean word, a corrupted word, then an uncorrectable one, all through
+  // the same scratch: no state may leak between calls.
+  const auto original = rs.Encode(RandomData(rng, rs.k()));
+  auto word = original;
+  ASSERT_TRUE(rs.DecodeInPlace(word, scratch).ok());
+  EXPECT_EQ(word, original);
+
+  auto corrupted = original;
+  for (int e = 0; e < rs.t(); ++e) {
+    corrupted[static_cast<std::size_t>(e * 31 + 1)] ^= static_cast<Element>(1 + e);
+  }
+  const auto fixed = rs.DecodeInPlace(corrupted, scratch);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(fixed.value(), rs.t());
+  EXPECT_EQ(corrupted, original);
+
+  auto hopeless = original;
+  for (int e = 0; e < rs.t() + 8; ++e) {
+    hopeless[static_cast<std::size_t>(e * 17 + 3)] ^= static_cast<Element>(0x101 + e);
+  }
+  EXPECT_FALSE(rs.DecodeInPlace(hopeless, scratch).ok());
+
+  // And the scratch still works after a failure.
+  auto again = original;
+  again[5] ^= 0x1F;
+  ASSERT_TRUE(rs.DecodeInPlace(again, scratch).ok());
+  EXPECT_EQ(again, original);
+}
+
+TEST(ReedSolomonScratch, RejectsOutOfFieldSymbols) {
+  common::Rng rng(65);
+  const auto rs = ReedSolomon::Kp4();
+  const auto data = RandomData(rng, rs.k());
+  auto word = rs.Encode(data);
+  word[10] = 0x400;  // 1024: outside GF(2^10)
+  ReedSolomon::Scratch scratch;
+  EXPECT_FALSE(rs.DecodeInPlace(word, scratch).ok());
+  EXPECT_FALSE(rs.Decode(word).ok());
+  EXPECT_FALSE(rs.DecodeWithErasures(word, {10}).ok());
 }
 
 // --- inner code -----------------------------------------------------------------
