@@ -78,7 +78,9 @@ int main() {
 
   // Telemetry: each switch reports how it was exercised.
   std::uint64_t reconfigs = 0;
-  for (const auto& [id, t] : controller.CollectTelemetry()) reconfigs += t.reconfigurations;
+  for (const auto& [id, t] : controller.CollectTelemetry().replies) {
+    reconfigs += t.reconfigurations;
+  }
   std::printf("fleet telemetry: %llu reconfiguration transactions executed\n",
               static_cast<unsigned long long>(reconfigs));
   return 0;

@@ -23,14 +23,14 @@ int main() {
   const auto telemetry = fabric.CollectTelemetry();
   std::uint64_t reconfigs = 0, rejected = 0;
   double switch_ms = 0.0;
-  for (const auto& [id, t] : telemetry) {
+  for (const auto& [id, t] : telemetry.replies) {
     reconfigs += t.reconfigurations;
     rejected += t.rejected_commands;
     switch_ms += t.cumulative_switch_ms;
   }
   std::printf("[telemetry] %zu switches: %llu reconfig transactions, %llu rejected "
               "commands, %.0f ms total mirror time\n",
-              telemetry.size(), static_cast<unsigned long long>(reconfigs),
+              telemetry.replies.size(), static_cast<unsigned long long>(reconfigs),
               static_cast<unsigned long long>(rejected), switch_ms);
 
   // --- shift 2: link-quality surveys feed the anomaly detector ----------------

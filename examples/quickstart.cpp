@@ -51,12 +51,12 @@ int main() {
   const auto telemetry = fabric.CollectTelemetry();
   std::uint64_t connects = 0;
   double power = 0.0;
-  for (const auto& [id, t] : telemetry) {
+  for (const auto& [id, t] : telemetry.replies) {
     connects += t.connects;
     power += t.power_draw_w;
   }
   std::printf("telemetry: %zu OCSes report %llu cross-connects, %.0f W fabric power\n",
-              telemetry.size(), static_cast<unsigned long long>(connects), power);
+              telemetry.replies.size(), static_cast<unsigned long long>(connects), power);
 
   // Tear down; the fabric drains cleanly.
   (void)fabric.DestroySlice(slice.value());

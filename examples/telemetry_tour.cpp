@@ -45,7 +45,8 @@ int main() {
   // A control-plane sweep over every OCS agent; this is real wire-protocol
   // traffic, so the bus frame counters light up.
   const auto sweep = fabric.CollectTelemetry();
-  std::printf("control-plane sweep reached %zu OCSes\n", sweep.size());
+  std::printf("control-plane sweep reached %zu OCSes (%zu unreachable)\n",
+              sweep.replies.size(), sweep.failed.size());
 
   // A ten-day training run recording step/goodput series into the same hub,
   // timestamped by the simulation clock (hours), never wall-clock.

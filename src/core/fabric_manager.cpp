@@ -19,7 +19,7 @@ FabricManager::FabricManager(FabricManagerConfig config) : config_(config) {
   scheduler_ = std::make_unique<SliceScheduler>(*pod_, config.policy);
   bus_ = std::make_unique<ctrl::MessageBus>(config.seed ^ 0x5ca1ab1eULL);
   bus_->SetDropProbability(config.control_drop_probability);
-  controller_ = std::make_unique<ctrl::FabricController>(*bus_);
+  controller_ = std::make_unique<ctrl::FabricController>(*bus_, config.controller);
   for (int i = 0; i < pod_->ocs_count(); ++i) {
     agents_.push_back(std::make_unique<ctrl::OcsAgent>(pod_->ocs(i)));
     controller_->Register(i, agents_.back().get());
@@ -142,7 +142,7 @@ std::vector<LinkQualityReport> FabricManager::SurveyLinkQuality(
   return reports;
 }
 
-std::map<int, ctrl::TelemetryReply> FabricManager::CollectTelemetry() {
+ctrl::FabricTelemetrySweep FabricManager::CollectTelemetry() {
   return controller_->CollectTelemetry();
 }
 

@@ -30,6 +30,8 @@ struct FabricManagerConfig {
   /// Management-network loss injected into the control bus (retries cover
   /// it; see ctrl::FabricController).
   double control_drop_probability = 0.0;
+  /// Retry / backoff / circuit-breaker policy for the fabric controller.
+  ctrl::FabricControllerOptions controller;
 };
 
 struct LinkQualityReport {
@@ -79,8 +81,9 @@ class FabricManager {
       const optics::TransceiverSpec& transceiver,
       const LinkQualityOptions& options = {}) const;
 
-  /// Control-plane telemetry sweep over every OCS.
-  std::map<int, ctrl::TelemetryReply> CollectTelemetry();
+  /// Control-plane telemetry sweep over every OCS. Agents that never
+  /// answered are reported in `failed` instead of being silently dropped.
+  ctrl::FabricTelemetrySweep CollectTelemetry();
 
   /// Proactive link repair (§4.1.1 / §3.2.2): survey every path, re-patch
   /// out-of-budget links onto the OCS spare ports, and repeat until the pod

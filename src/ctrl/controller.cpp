@@ -1,16 +1,41 @@
 #include "ctrl/controller.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "ctrl/fault_injector.h"
 #include "telemetry/hub.h"
 
 namespace lightwave::ctrl {
+
+const char* ToString(FabricTxnOutcome outcome) {
+  switch (outcome) {
+    case FabricTxnOutcome::kApplied: return "applied";
+    case FabricTxnOutcome::kRolledBack: return "rolled_back";
+    case FabricTxnOutcome::kTorn: return "torn";
+  }
+  return "?";
+}
+
+const char* ToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
 
 void OcsAgent::AttachTelemetry(telemetry::Hub* hub) {
   malformed_counter_ =
       hub == nullptr
           ? nullptr
           : &hub->metrics().GetCounter("lightwave_ctrl_agent_malformed_frames_total");
+}
+
+void OcsAgent::SimulateRestart() {
+  last_applied_txn_.reset();
+  last_reply_ = ReconfigureReply{};
 }
 
 std::vector<std::uint8_t> OcsAgent::Handle(const std::vector<std::uint8_t>& frame) {
@@ -31,8 +56,12 @@ std::vector<std::uint8_t> OcsAgent::Handle(const std::vector<std::uint8_t>& fram
       // Idempotency: a retried transaction returns the recorded reply
       // instead of re-executing (re-execution would be harmless here but
       // would double-count telemetry).
-      if (request->transaction_id == last_applied_txn_) {
+      if (last_applied_txn_.has_value() &&
+          *last_applied_txn_ == request->transaction_id) {
         return Encode(last_reply_);
+      }
+      if (fault_injector_ != nullptr) {
+        fault_injector_->BeforeReconfigure(ocs_, request->target);
       }
       ReconfigureReply reply;
       reply.transaction_id = request->transaction_id;
@@ -102,7 +131,20 @@ std::vector<std::uint8_t> MessageBus::MaybeMangle(std::vector<std::uint8_t> fram
   *dropped = false;
   ++frames_sent_;
   if (sent_counter_ != nullptr) sent_counter_->Inc();
-  if (rng_.Bernoulli(drop_probability_)) {
+  // Loss sources, most-correlated first: a hard partition, a brownout window
+  // (the injector models bursts, not i.i.d. flips), then the classic
+  // independent per-frame loss.
+  bool eaten = false;
+  if (partition_after_.has_value()) {
+    if (*partition_after_ == 0) {
+      eaten = true;
+    } else {
+      --*partition_after_;
+    }
+  }
+  if (!eaten && fault_injector_ != nullptr && fault_injector_->OnFrame()) eaten = true;
+  if (!eaten && rng_.Bernoulli(drop_probability_)) eaten = true;
+  if (eaten) {
     ++frames_dropped_;
     if (dropped_counter_ != nullptr) dropped_counter_->Inc();
     *dropped = true;
@@ -122,6 +164,13 @@ std::vector<std::uint8_t> MessageBus::RoundTrip(OcsAgent& agent,
   bool dropped = false;
   auto delivered = MaybeMangle(std::move(frame), &dropped);
   if (dropped) return {};
+  if (fault_injector_ != nullptr && !fault_injector_->AgentUp(agent)) {
+    // The frame reached a fail-stopped agent process: it vanishes exactly
+    // like transport loss from the controller's point of view.
+    ++frames_dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->Inc();
+    return {};
+  }
   auto reply = agent.Handle(delivered);
   if (reply.empty()) return {};  // agent dropped a mangled frame
   auto returned = MaybeMangle(std::move(reply), &dropped);
@@ -138,14 +187,152 @@ void FabricController::AttachTelemetry(telemetry::Hub* hub) {
   hub_ = hub;
   if (hub == nullptr) {
     txn_counter_ = txn_failure_counter_ = retry_counter_ = nullptr;
-    txn_duration_hist_ = nullptr;
+    rollback_counter_ = torn_counter_ = breaker_trip_counter_ = nullptr;
+    telemetry_failure_counter_ = nullptr;
+    unhealthy_gauge_ = nullptr;
+    txn_duration_hist_ = backoff_hist_ = nullptr;
     return;
   }
   auto& metrics = hub->metrics();
   txn_counter_ = &metrics.GetCounter("lightwave_ctrl_transactions_total");
   txn_failure_counter_ = &metrics.GetCounter("lightwave_ctrl_transaction_failures_total");
   retry_counter_ = &metrics.GetCounter("lightwave_ctrl_retries_total");
+  rollback_counter_ = &metrics.GetCounter("lightwave_ctrl_rollbacks_total");
+  torn_counter_ = &metrics.GetCounter("lightwave_ctrl_torn_transactions_total");
+  breaker_trip_counter_ = &metrics.GetCounter("lightwave_ctrl_breaker_trips_total");
+  telemetry_failure_counter_ =
+      &metrics.GetCounter("lightwave_ctrl_telemetry_failures_total");
+  unhealthy_gauge_ = &metrics.GetGauge("lightwave_ctrl_agent_unhealthy");
   txn_duration_hist_ = &metrics.GetHistogram("lightwave_ctrl_transaction_duration_ms");
+  backoff_hist_ = &metrics.GetHistogram("lightwave_ctrl_backoff_delay_us");
+}
+
+double FabricController::NextBackoffUs(int attempt) {
+  const BackoffPolicy& policy = options_.backoff;
+  double delay = policy.base_us;
+  for (int i = 1; i < attempt && delay < policy.max_us; ++i) delay *= policy.multiplier;
+  delay = std::min(delay, policy.max_us);
+  if (policy.jitter > 0.0) {
+    delay *= backoff_rng_.Uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  if (backoff_hist_ != nullptr) backoff_hist_->Observe(delay);
+  return delay;
+}
+
+std::optional<ReconfigureReply> FabricController::ExchangeReconfigure(
+    OcsAgent& agent, const ReconfigureRequest& request, FabricTransactionResult* result,
+    int* attempts_used) {
+  const auto frame = Encode(request);
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++result->retries_used;
+      if (retry_counter_ != nullptr) retry_counter_->Inc();
+      result->backoff_us += NextBackoffUs(attempt);
+    }
+    auto reply_frame = bus_.RoundTrip(agent, frame);
+    if (reply_frame.empty()) continue;  // lost either direction; retry
+    auto reply = DecodeReconfigureReply(reply_frame);
+    if (!reply || reply->transaction_id != request.transaction_id) continue;
+    if (attempts_used != nullptr) *attempts_used = attempt + 1;
+    return reply;
+  }
+  if (attempts_used != nullptr) *attempts_used = options_.max_retries + 1;
+  return std::nullopt;
+}
+
+std::optional<std::map<int, int>> FabricController::SnapshotMapping(
+    OcsAgent& agent, FabricTransactionResult* result) {
+  const PortSurveyRequest request{.nonce = next_nonce_++};
+  const auto frame = Encode(request);
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++result->retries_used;
+      if (retry_counter_ != nullptr) retry_counter_->Inc();
+      result->backoff_us += NextBackoffUs(attempt);
+    }
+    auto reply_frame = bus_.RoundTrip(agent, frame);
+    if (reply_frame.empty()) continue;
+    auto reply = DecodePortSurveyReply(reply_frame);
+    if (!reply || reply->nonce != request.nonce) continue;
+    std::map<int, int> snapshot;
+    for (const auto& entry : reply->entries) snapshot[entry.north] = entry.south;
+    return snapshot;
+  }
+  return std::nullopt;
+}
+
+void FabricController::UpdateUnhealthyGauge() {
+  if (unhealthy_gauge_ == nullptr) return;
+  int open = 0;
+  for (const auto& [id, health] : health_) {
+    if (health.state != BreakerState::kClosed) ++open;
+  }
+  unhealthy_gauge_->Set(static_cast<double>(open));
+}
+
+void FabricController::NoteExhaustion(int ocs_id) {
+  AgentHealth& health = health_[ocs_id];
+  ++health.consecutive_exhaustions;
+  if (health.state == BreakerState::kHalfOpen ||
+      health.consecutive_exhaustions >= options_.breaker_threshold) {
+    if (health.state != BreakerState::kOpen && breaker_trip_counter_ != nullptr) {
+      breaker_trip_counter_->Inc();
+    }
+    health.state = BreakerState::kOpen;
+    health.cooldown_remaining = options_.breaker_cooldown;
+    UpdateUnhealthyGauge();
+  }
+}
+
+void FabricController::NoteContact(int ocs_id) {
+  AgentHealth& health = health_[ocs_id];
+  health.consecutive_exhaustions = 0;
+  if (health.state != BreakerState::kClosed) {
+    health.state = BreakerState::kClosed;
+    health.cooldown_remaining = 0;
+    UpdateUnhealthyGauge();
+  }
+}
+
+BreakerState FabricController::breaker_state(int ocs_id) const {
+  auto it = health_.find(ocs_id);
+  return it == health_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+FabricTransactionResult& FabricController::Fail(FabricTransactionResult& result,
+                                                std::string error) {
+  result.ok = false;
+  result.error = std::move(error);
+  if (txn_failure_counter_ != nullptr) txn_failure_counter_->Inc();
+  return result;
+}
+
+void FabricController::Rollback(const std::vector<const Planned*>& touched,
+                                FabricTransactionResult* result) {
+  if (touched.empty()) {
+    result->outcome = FabricTxnOutcome::kRolledBack;
+    return;
+  }
+  if (rollback_counter_ != nullptr) rollback_counter_->Inc();
+  telemetry::TraceSpan span(hub_, "rollback_topology");
+  if (hub_ != nullptr) span.Annotate("ocs_count", std::to_string(touched.size()));
+  // Reverse apply order, so the fabric unwinds the way it wound up.
+  for (auto it = touched.rbegin(); it != touched.rend(); ++it) {
+    const Planned& p = **it;
+    const ReconfigureRequest request{.transaction_id = next_txn_++, .target = p.snapshot};
+    auto reply = ExchangeReconfigure(*p.agent, request, result, nullptr);
+    if (reply.has_value() && reply->ok) {
+      result->rolled_back.push_back(p.ocs_id);
+    } else {
+      if (!reply.has_value()) NoteExhaustion(p.ocs_id);
+      result->torn.push_back(p.ocs_id);
+    }
+  }
+  std::sort(result->rolled_back.begin(), result->rolled_back.end());
+  std::sort(result->torn.begin(), result->torn.end());
+  result->outcome =
+      result->torn.empty() ? FabricTxnOutcome::kRolledBack : FabricTxnOutcome::kTorn;
+  if (!result->torn.empty() && torn_counter_ != nullptr) torn_counter_->Inc();
 }
 
 FabricTransactionResult FabricController::ApplyTopology(
@@ -154,70 +341,100 @@ FabricTransactionResult FabricController::ApplyTopology(
   if (hub_ != nullptr) txn_span.Annotate("ocs_count", std::to_string(targets.size()));
   if (txn_counter_ != nullptr) txn_counter_->Inc();
   FabricTransactionResult result;
+
+  // --- plan: resolve agents, gate on circuit breakers, snapshot every
+  // touched OCS before mutating anything -------------------------------------
+  std::vector<Planned> plan;
+  plan.reserve(targets.size());
   for (const auto& [ocs_id, target] : targets) {
-    telemetry::TraceSpan ocs_span(hub_, "reconfigure_ocs");
-    if (hub_ != nullptr) ocs_span.Annotate("ocs", std::to_string(ocs_id));
     auto it = agents_.find(ocs_id);
     if (it == agents_.end()) {
-      result.error = "no agent registered for ocs " + std::to_string(ocs_id);
-      if (txn_failure_counter_ != nullptr) txn_failure_counter_->Inc();
-      return result;
+      return Fail(result, "no agent registered for ocs " + std::to_string(ocs_id));
     }
-    const ReconfigureRequest request{.transaction_id = next_txn_++, .target = target};
-    bool delivered = false;
+    AgentHealth& health = health_[ocs_id];
+    if (health.state == BreakerState::kOpen) {
+      // Fail fast instead of burning the retry budget against a dead agent;
+      // after the cooldown the next transaction probes it (half-open).
+      if (--health.cooldown_remaining <= 0) health.state = BreakerState::kHalfOpen;
+      return Fail(result, "ocs " + std::to_string(ocs_id) +
+                              ": circuit breaker open; agent skipped");
+    }
+    auto snapshot = SnapshotMapping(*it->second, &result);
+    if (!snapshot.has_value()) {
+      NoteExhaustion(ocs_id);
+      return Fail(result, "ocs " + std::to_string(ocs_id) +
+                              ": snapshot survey exhausted retries");
+    }
+    plan.push_back(Planned{ocs_id, it->second, &target, *std::move(snapshot)});
+  }
+
+  // --- apply in id order; the first failure rolls back everything already
+  // touched (including the in-doubt OCS itself) -------------------------------
+  std::vector<const Planned*> touched;
+  for (const Planned& p : plan) {
+    telemetry::TraceSpan ocs_span(hub_, "reconfigure_ocs");
+    if (hub_ != nullptr) ocs_span.Annotate("ocs", std::to_string(p.ocs_id));
+    const ReconfigureRequest request{.transaction_id = next_txn_++, .target = *p.target};
     int attempts_used = 0;
-    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
-      attempts_used = attempt + 1;
-      if (attempt > 0) {
-        ++result.retries_used;
-        if (retry_counter_ != nullptr) retry_counter_->Inc();
-      }
-      auto reply_frame = bus_.RoundTrip(*it->second, Encode(request));
-      if (reply_frame.empty()) continue;  // lost either direction; retry
-      auto reply = DecodeReconfigureReply(reply_frame);
-      if (!reply || reply->transaction_id != request.transaction_id) continue;
-      result.replies[ocs_id] = *reply;
-      if (!reply->ok) {
-        result.error = "ocs " + std::to_string(ocs_id) + ": " + reply->error;
-        if (txn_failure_counter_ != nullptr) txn_failure_counter_->Inc();
-        return result;
-      }
-      // The duration lands in the latency histogram; annotating every span
-      // with it too would double the hot-path tracer cost for no new data.
-      if (txn_duration_hist_ != nullptr) txn_duration_hist_->Observe(reply->duration_ms);
-      delivered = true;
-      break;
-    }
+    auto reply = ExchangeReconfigure(*p.agent, request, &result, &attempts_used);
     // Retries are the anomaly worth reading off a trace; the clean case
     // stays annotation-free to keep the instrumented path cheap.
     if (hub_ != nullptr && attempts_used > 1) {
       ocs_span.Annotate("attempts", std::to_string(attempts_used));
     }
-    if (!delivered) {
-      result.error = "ocs " + std::to_string(ocs_id) + ": transport exhausted retries";
-      if (txn_failure_counter_ != nullptr) txn_failure_counter_->Inc();
-      return result;
+    if (!reply.has_value()) {
+      // Transport exhausted. The command may have landed with every reply
+      // lost, so this OCS is in doubt: roll it back along with its
+      // predecessors (restoring an untouched switch is a no-op reconfigure).
+      NoteExhaustion(p.ocs_id);
+      touched.push_back(&p);
+      Rollback(touched, &result);
+      return Fail(result, "ocs " + std::to_string(p.ocs_id) +
+                              ": transport exhausted retries");
     }
+    NoteContact(p.ocs_id);
+    result.replies[p.ocs_id] = *reply;
+    if (!reply->ok) {
+      // The switch rejected the target — or, after a mid-reconfigure mirror
+      // death, applied it partially. Either way it must be restored too.
+      touched.push_back(&p);
+      Rollback(touched, &result);
+      return Fail(result, "ocs " + std::to_string(p.ocs_id) + ": " + reply->error);
+    }
+    // The duration lands in the latency histogram; annotating every span
+    // with it too would double the hot-path tracer cost for no new data.
+    if (txn_duration_hist_ != nullptr) txn_duration_hist_->Observe(reply->duration_ms);
+    touched.push_back(&p);
   }
   result.ok = true;
+  result.outcome = FabricTxnOutcome::kApplied;
   txn_span.Annotate("ok", "true");
   return result;
 }
 
-std::map<int, TelemetryReply> FabricController::CollectTelemetry() {
-  std::map<int, TelemetryReply> out;
+FabricTelemetrySweep FabricController::CollectTelemetry() {
+  FabricTelemetrySweep sweep;
   for (auto& [ocs_id, agent] : agents_) {
     const TelemetryRequest request{.nonce = next_nonce_++};
-    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
-      auto reply_frame = bus_.RoundTrip(*agent, Encode(request));
+    const auto frame = Encode(request);
+    bool answered = false;
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      if (attempt > 0) (void)NextBackoffUs(attempt);
+      auto reply_frame = bus_.RoundTrip(*agent, frame);
       if (reply_frame.empty()) continue;
       auto reply = DecodeTelemetryReply(reply_frame);
       if (!reply || reply->nonce != request.nonce) continue;
-      out[ocs_id] = *reply;
+      sweep.replies[ocs_id] = *reply;
+      answered = true;
       break;
     }
+    if (!answered) {
+      sweep.failed[ocs_id] = "telemetry sweep exhausted " +
+                             std::to_string(options_.max_retries + 1) + " attempts";
+      if (telemetry_failure_counter_ != nullptr) telemetry_failure_counter_->Inc();
+    }
   }
-  return out;
+  return sweep;
 }
 
 }  // namespace lightwave::ctrl

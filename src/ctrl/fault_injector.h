@@ -1,0 +1,104 @@
+// Deterministic control-plane chaos (the paper's §3.3/§4.5 operational
+// failure modes, which the availability story depends on absorbing):
+//   - agent fail-stop/restart: the OCS agent process dies mid-conversation
+//     and later restarts with its volatile state (idempotency cache) gone;
+//   - bus brownout windows: the management network degrades in bursts, so
+//     loss is correlated across consecutive frames instead of i.i.d.;
+//   - mirror death mid-reconfigure: a MEMS mirror chain under a port of the
+//     incoming target fails while the switch is being driven to it, which
+//     can leave the switch partially applied (the rollback path's hard case).
+// Every decision comes from counter-based common::Rng streams derived from
+// one seed, so a chaos run replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/rng.h"
+
+namespace lightwave::telemetry {
+class Counter;
+class Hub;
+}  // namespace lightwave::telemetry
+
+namespace lightwave::ocs {
+class PalomarSwitch;
+}  // namespace lightwave::ocs
+
+namespace lightwave::ctrl {
+
+class OcsAgent;
+
+struct FaultProfile {
+  /// Per-round-trip probability that an up agent fail-stops.
+  double agent_fail_prob = 0.0;
+  /// Per-round-trip probability that a down agent restarts (and serves the
+  /// round trip that found it back up).
+  double agent_restart_prob = 0.0;
+  /// Whether a restart loses the agent's volatile idempotency cache (a real
+  /// process restart does; the switch hardware keeps its configuration).
+  bool restart_loses_state = true;
+
+  /// Per-frame probability that a brownout window opens while the bus is
+  /// clear.
+  double brownout_start_prob = 0.0;
+  /// Per-frame probability that an open window closes (geometric window
+  /// length with mean 1/brownout_end_prob frames).
+  double brownout_end_prob = 0.25;
+  /// Drop probability for frames inside a window (correlated loss).
+  double brownout_drop_prob = 0.9;
+
+  /// Per-executed-reconfigure probability that a mirror chain under one of
+  /// the target's ports dies mid-transaction.
+  double mirror_death_prob = 0.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultProfile profile);
+
+  /// Bus hook, called once per frame direction: advances the brownout
+  /// window state machine and returns true when the frame is eaten.
+  bool OnFrame();
+
+  /// Bus hook, called once per round trip: walks the agent's
+  /// fail-stop/restart chain and returns false while the agent is down.
+  bool AgentUp(OcsAgent& agent);
+
+  /// Agent hook, called before an executed reconfigure: maybe kills a
+  /// mirror under one of the target's ports (spares absorb early deaths;
+  /// an exhausted pool destroys the port).
+  void BeforeReconfigure(ocs::PalomarSwitch& ocs, const std::map<int, int>& target);
+
+  const FaultProfile& profile() const { return profile_; }
+  bool in_brownout() const { return brownout_; }
+  std::uint64_t fail_stops() const { return fail_stops_; }
+  std::uint64_t restarts() const { return restarts_; }
+  std::uint64_t brownouts() const { return brownouts_; }
+  std::uint64_t brownout_drops() const { return brownout_drops_; }
+  std::uint64_t mirror_deaths() const { return mirror_deaths_; }
+  std::uint64_t ports_destroyed() const { return ports_destroyed_; }
+
+  /// Mirrors the injected-fault counts into `hub` (nullptr detaches), so a
+  /// chaos run's telemetry shows cause (faults) next to effect (rollbacks).
+  void AttachTelemetry(telemetry::Hub* hub);
+
+ private:
+  FaultProfile profile_;
+  common::Rng agent_rng_;
+  common::Rng bus_rng_;
+  common::Rng mirror_rng_;
+  bool brownout_ = false;
+  std::map<const OcsAgent*, bool> down_;
+  std::uint64_t fail_stops_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t brownouts_ = 0;
+  std::uint64_t brownout_drops_ = 0;
+  std::uint64_t mirror_deaths_ = 0;
+  std::uint64_t ports_destroyed_ = 0;
+  telemetry::Counter* fail_stop_counter_ = nullptr;
+  telemetry::Counter* brownout_counter_ = nullptr;
+  telemetry::Counter* mirror_death_counter_ = nullptr;
+};
+
+}  // namespace lightwave::ctrl

@@ -46,8 +46,25 @@ void LinkInitFsm::OnLightPresent() {
 void LinkInitFsm::OnLightLost() {
   if (!light_) return;
   light_ = false;
-  // LOS hold-off: the link only drops if darkness persists.
-  los_pending_us_ = 0.0;
+  switch (state_) {
+    case LinkState::kUp:
+      // LOS hold-off: an established link only drops if darkness persists.
+      los_pending_us_ = 0.0;
+      break;
+    case LinkState::kSignalDetect:
+    case LinkState::kCdrLock:
+    case LinkState::kFecLock:
+      // Acquisition cannot survive darkness: the CDR/FEC lose whatever
+      // partial lock they had the moment light disappears, so progress
+      // resets immediately (no hold-off credit) and bring-up restarts —
+      // and is re-timed — from the next light-present edge.
+      Reset();
+      los_pending_us_ = -1.0;
+      break;
+    default:
+      los_pending_us_ = -1.0;
+      break;
+  }
 }
 
 void LinkInitFsm::Advance(double us) {

@@ -52,7 +52,10 @@ class LinkInitFsm {
 
   /// Light appeared at the receiver (OCS path established).
   void OnLightPresent();
-  /// Light disappeared (path torn / mid-switch).
+  /// Light disappeared (path torn / mid-switch). An up link rides glitches
+  /// shorter than the LOS hold-off; a link still acquiring loses its
+  /// partial CDR/FEC progress immediately and re-times bring-up from the
+  /// next light-present edge.
   void OnLightLost();
   /// Advances time; acquisition progresses only while light is present.
   void Advance(double us);

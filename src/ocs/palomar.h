@@ -79,6 +79,10 @@ class PalomarSwitch {
   std::optional<Connection> ConnectionOn(int north) const;
   std::vector<Connection> Connections() const;
   int ConnectionCount() const { return static_cast<int>(north_to_south_.size()); }
+  /// The complete current cross-connect map (logical north -> south); the
+  /// ground truth the control plane's snapshot/rollback machinery is judged
+  /// against in tests.
+  const std::map<int, int>& CurrentMapping() const { return north_to_south_; }
 
   /// Injects a mirror failure affecting the given port side. Returns true if
   /// the port survived (a spare mirror was mapped in). A destroyed port

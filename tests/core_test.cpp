@@ -357,9 +357,10 @@ TEST(FabricManagerTest, TelemetrySweepOverControlPlane) {
   FabricManager manager(config);
   ASSERT_TRUE(manager.CreateSlice(SliceShape{1, 1, 2}).ok());
   const auto telemetry = manager.CollectTelemetry();
-  EXPECT_EQ(telemetry.size(), 6u);
+  EXPECT_EQ(telemetry.replies.size(), 6u);
+  EXPECT_TRUE(telemetry.failed.empty());
   std::uint64_t total_connects = 0;
-  for (const auto& [id, t] : telemetry) total_connects += t.connects;
+  for (const auto& [id, t] : telemetry.replies) total_connects += t.connects;
   EXPECT_GT(total_connects, 0u);
 }
 

@@ -1,12 +1,14 @@
 // Unit tests for the control plane: wire primitives, frame envelope + CRC,
 // message round-trips, agent semantics (idempotent transactions), and the
-// fabric controller's retry behaviour over a lossy bus.
+// fabric controller's transactional apply/rollback, backoff, and
+// circuit-breaker behaviour over a lossy bus.
 #include <gtest/gtest.h>
 
 #include "ctrl/controller.h"
 #include "ctrl/messages.h"
 #include "ctrl/wire.h"
 #include "ocs/palomar.h"
+#include "telemetry/hub.h"
 
 namespace lightwave::ctrl {
 namespace {
@@ -188,6 +190,44 @@ TEST(Agent, RetriedTransactionIsIdempotent) {
   EXPECT_EQ(ocs.telemetry().reconfigurations, 1u);
 }
 
+TEST(Agent, TransactionIdZeroExecutes) {
+  // Regression: a zero-initialised cache key used to swallow the first
+  // request when its transaction id was 0, answering from the
+  // default-constructed last reply (ok=false, empty error) without ever
+  // executing the reconfigure.
+  ocs::PalomarSwitch ocs(64);
+  OcsAgent agent(ocs);
+  const ReconfigureRequest request{.transaction_id = 0, .target = {{0, 1}}};
+  const auto reply = DecodeReconfigureReply(agent.Handle(Encode(request)));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok) << reply->error;
+  EXPECT_EQ(reply->established, 1u);
+  EXPECT_EQ(ocs.telemetry().reconfigurations, 1u);
+  // Retrying txn 0 is idempotent like any other transaction.
+  const auto retry = DecodeReconfigureReply(agent.Handle(Encode(request)));
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_TRUE(retry->ok);
+  EXPECT_EQ(ocs.telemetry().reconfigurations, 1u);
+}
+
+TEST(Agent, RestartLosesCacheButReplayIsSafe) {
+  ocs::PalomarSwitch ocs(65);
+  OcsAgent agent(ocs);
+  const ReconfigureRequest request{.transaction_id = 5, .target = {{0, 1}}};
+  ASSERT_TRUE(DecodeReconfigureReply(agent.Handle(Encode(request)))->ok);
+  EXPECT_EQ(ocs.telemetry().reconfigurations, 1u);
+  agent.SimulateRestart();
+  // The idempotency cache is volatile state; after a restart the retry
+  // re-executes — harmlessly, because the switch already matches the target
+  // and leaves every connection undisturbed.
+  const auto replay = DecodeReconfigureReply(agent.Handle(Encode(request)));
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->ok);
+  EXPECT_EQ(replay->undisturbed, 1u);
+  EXPECT_EQ(ocs.telemetry().reconfigurations, 2u);
+  EXPECT_EQ(ocs.CurrentMapping(), (std::map<int, int>{{0, 1}}));
+}
+
 TEST(Agent, ReportsRejectedReconfigure) {
   ocs::PalomarSwitch ocs(52);
   OcsAgent agent(ocs);
@@ -306,6 +346,161 @@ TEST(Controller, FailsOnUnregisteredOcs) {
   EXPECT_FALSE(result.ok);
 }
 
+TEST(Controller, RollsBackOnPartialFailure) {
+  ocs::PalomarSwitch ocs_a(70), ocs_b(71);
+  OcsAgent agent_a(ocs_a), agent_b(ocs_b);
+  MessageBus bus(9);
+  FabricController controller(bus);
+  telemetry::Hub hub;
+  controller.AttachTelemetry(&hub);
+  controller.Register(0, &agent_a);
+  controller.Register(1, &agent_b);
+  // Seed ocs 0 with a pre-existing mapping — what the rollback must restore.
+  ASSERT_TRUE(controller.ApplyTopology({{0, {{5, 6}}}}).ok);
+  // ocs 1's target is non-bijective, so its agent rejects after ocs 0 has
+  // already been reconfigured.
+  const auto result =
+      controller.ApplyTopology({{0, {{0, 1}}}, {1, {{0, 1}, {2, 1}}}});
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.outcome, FabricTxnOutcome::kRolledBack);
+  EXPECT_EQ(result.rolled_back, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(result.torn.empty());
+  EXPECT_EQ(ocs_a.CurrentMapping(), (std::map<int, int>{{5, 6}}));
+  EXPECT_TRUE(ocs_b.CurrentMapping().empty());
+  EXPECT_TRUE(ocs_a.ValidateInvariants().ok());
+  EXPECT_TRUE(ocs_b.ValidateInvariants().ok());
+  EXPECT_EQ(hub.metrics().GetCounter("lightwave_ctrl_rollbacks_total").value(), 1u);
+  EXPECT_EQ(hub.metrics().GetCounter("lightwave_ctrl_torn_transactions_total").value(),
+            0u);
+}
+
+TEST(Controller, ReportsTornStateWhenRollbackPartitioned) {
+  ocs::PalomarSwitch ocs_a(72), ocs_b(73);
+  OcsAgent agent_a(ocs_a), agent_b(ocs_b);
+  MessageBus bus(10);
+  FabricControllerOptions options;
+  options.max_retries = 2;
+  FabricController controller(bus, options);
+  telemetry::Hub hub;
+  controller.AttachTelemetry(&hub);
+  controller.Register(0, &agent_a);
+  controller.Register(1, &agent_b);
+  // Frame budget: snapshot 0 (2 frames), snapshot 1 (2), apply 0 (2),
+  // apply 1 rejection (2), rollback of ocs 1 (2) — then the management
+  // network partitions away, so the rollback of ocs 0 can never land.
+  bus.PartitionAfter(10);
+  const auto result =
+      controller.ApplyTopology({{0, {{2, 3}}}, {1, {{0, 1}, {4, 1}}}});
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.outcome, FabricTxnOutcome::kTorn);
+  EXPECT_EQ(result.torn, (std::vector<int>{0}));
+  EXPECT_EQ(result.rolled_back, (std::vector<int>{1}));
+  EXPECT_GT(result.retries_used, 0);
+  // The torn switch is left at the target (the partition ate the restore),
+  // but it is *reported*, still bijective, and validator-clean.
+  EXPECT_EQ(ocs_a.CurrentMapping(), (std::map<int, int>{{2, 3}}));
+  EXPECT_TRUE(ocs_b.CurrentMapping().empty());
+  EXPECT_TRUE(ocs_a.ValidateInvariants().ok());
+  EXPECT_TRUE(ocs_b.ValidateInvariants().ok());
+  EXPECT_EQ(hub.metrics().GetCounter("lightwave_ctrl_torn_transactions_total").value(),
+            1u);
+}
+
+TEST(Controller, BackoffIsDeterministicGivenSeed) {
+  const auto run = [](std::uint64_t backoff_seed) {
+    ocs::PalomarSwitch ocs(74);
+    OcsAgent agent(ocs);
+    MessageBus bus(11);
+    bus.SetDropProbability(0.4);
+    FabricControllerOptions options;
+    options.max_retries = 30;
+    options.backoff_seed = backoff_seed;
+    FabricController controller(bus, options);
+    controller.Register(0, &agent);
+    return controller.ApplyTopology({{0, {{0, 1}, {2, 3}}}});
+  };
+  const auto first = run(1);
+  const auto second = run(1);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_GT(first.retries_used, 0);
+  EXPECT_GT(first.backoff_us, 0.0);
+  // Same seeds -> bit-identical retry count and backoff schedule.
+  EXPECT_EQ(first.retries_used, second.retries_used);
+  EXPECT_DOUBLE_EQ(first.backoff_us, second.backoff_us);
+  // A different backoff seed keeps the loss pattern (bus seed unchanged)
+  // but draws different jitter.
+  const auto reseeded = run(2);
+  EXPECT_EQ(reseeded.retries_used, first.retries_used);
+  EXPECT_NE(reseeded.backoff_us, first.backoff_us);
+}
+
+TEST(Controller, CollectTelemetryReportsUnreachableAgents) {
+  // Regression: exhausted agents used to vanish from the sweep with no
+  // trace; now they land in `failed` and bump a counter.
+  ocs::PalomarSwitch ocs_a(75), ocs_b(76);
+  OcsAgent agent_a(ocs_a), agent_b(ocs_b);
+  MessageBus bus(12);
+  bus.SetDropProbability(1.0);
+  FabricController controller(bus);
+  telemetry::Hub hub;
+  controller.AttachTelemetry(&hub);
+  controller.Register(0, &agent_a);
+  controller.Register(1, &agent_b);
+  const auto sweep = controller.CollectTelemetry();
+  EXPECT_TRUE(sweep.replies.empty());
+  ASSERT_EQ(sweep.failed.size(), 2u);
+  EXPECT_FALSE(sweep.failed.at(0).empty());
+  EXPECT_FALSE(sweep.failed.at(1).empty());
+  EXPECT_EQ(
+      hub.metrics().GetCounter("lightwave_ctrl_telemetry_failures_total").value(), 2u);
+}
+
+TEST(Controller, BreakerOpensHalfOpensAndCloses) {
+  ocs::PalomarSwitch ocs(77);
+  OcsAgent agent(ocs);
+  MessageBus bus(13);
+  bus.SetDropProbability(1.0);
+  FabricControllerOptions options;
+  options.max_retries = 1;
+  options.breaker_threshold = 3;
+  options.breaker_cooldown = 2;
+  FabricController controller(bus, options);
+  telemetry::Hub hub;
+  controller.AttachTelemetry(&hub);
+  controller.Register(0, &agent);
+  const std::map<int, std::map<int, int>> target = {{0, {{0, 1}}}};
+  for (int i = 0; i < 3; ++i) {
+    const auto result = controller.ApplyTopology(target);
+    EXPECT_FALSE(result.ok);
+    EXPECT_GT(result.retries_used, 0);
+  }
+  EXPECT_EQ(controller.breaker_state(0), BreakerState::kOpen);
+  EXPECT_EQ(hub.metrics().GetCounter("lightwave_ctrl_breaker_trips_total").value(), 1u);
+  EXPECT_EQ(hub.metrics().GetGauge("lightwave_ctrl_agent_unhealthy").value(), 1.0);
+  // Open: transactions fail fast without burning the retry budget.
+  auto fast = controller.ApplyTopology(target);
+  EXPECT_FALSE(fast.ok);
+  EXPECT_EQ(fast.retries_used, 0);
+  EXPECT_NE(fast.error.find("circuit breaker open"), std::string::npos);
+  EXPECT_EQ(controller.breaker_state(0), BreakerState::kOpen);
+  fast = controller.ApplyTopology(target);
+  EXPECT_FALSE(fast.ok);
+  EXPECT_EQ(controller.breaker_state(0), BreakerState::kHalfOpen);
+  // A failed half-open probe re-opens immediately (no three-strike grace).
+  const auto probe_fail = controller.ApplyTopology(target);
+  EXPECT_FALSE(probe_fail.ok);
+  EXPECT_GT(probe_fail.retries_used, 0);
+  EXPECT_EQ(controller.breaker_state(0), BreakerState::kOpen);
+  // Heal the bus; after the cooldown the next probe succeeds and closes.
+  bus.SetDropProbability(0.0);
+  (void)controller.ApplyTopology(target);  // cooldown 2 -> 1, fails fast
+  (void)controller.ApplyTopology(target);  // cooldown 1 -> 0, half-open
+  const auto recovered = controller.ApplyTopology(target);
+  EXPECT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(controller.breaker_state(0), BreakerState::kClosed);
+  EXPECT_EQ(hub.metrics().GetGauge("lightwave_ctrl_agent_unhealthy").value(), 0.0);
+}
+
 TEST(Controller, CollectsTelemetryFromAll) {
   ocs::PalomarSwitch ocs_a(62), ocs_b(63);
   (void)ocs_a.Connect(0, 1);
@@ -315,9 +510,10 @@ TEST(Controller, CollectsTelemetryFromAll) {
   controller.Register(0, &agent_a);
   controller.Register(1, &agent_b);
   const auto telemetry = controller.CollectTelemetry();
-  ASSERT_EQ(telemetry.size(), 2u);
-  EXPECT_EQ(telemetry.at(0).connects, 1u);
-  EXPECT_EQ(telemetry.at(1).connects, 0u);
+  ASSERT_EQ(telemetry.replies.size(), 2u);
+  EXPECT_TRUE(telemetry.failed.empty());
+  EXPECT_EQ(telemetry.replies.at(0).connects, 1u);
+  EXPECT_EQ(telemetry.replies.at(1).connects, 0u);
 }
 
 }  // namespace

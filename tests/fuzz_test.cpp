@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "ctrl/controller.h"
 #include "ctrl/messages.h"
 #include "ctrl/wire.h"
 #include "fec/reed_solomon.h"
@@ -65,6 +66,66 @@ TEST(Fuzz, TruncationsNeverCrash) {
   for (std::size_t len = 0; len < frame.size(); ++len) {
     std::vector<std::uint8_t> prefix(frame.begin(), frame.begin() + static_cast<long>(len));
     EXPECT_FALSE(ctrl::DecodePortSurveyReply(prefix).has_value()) << len;
+  }
+}
+
+TEST(Fuzz, TruncatedRepliesNeverDecodeOrCrash) {
+  // Every proper prefix of a valid ReconfigureReply / TelemetryReply frame
+  // must fail to decode cleanly — the controller's retry loop depends on
+  // truncated replies looking exactly like loss, never like a wrong decode.
+  ctrl::ReconfigureReply reconf;
+  reconf.transaction_id = 42;
+  reconf.ok = false;
+  reconf.error = "mirror chain dead under port 7";
+  reconf.established = 2;
+  reconf.duration_ms = 11.0;
+  const auto reconf_frame = ctrl::Encode(reconf);
+  for (std::size_t len = 0; len < reconf_frame.size(); ++len) {
+    std::vector<std::uint8_t> prefix(reconf_frame.begin(),
+                                     reconf_frame.begin() + static_cast<long>(len));
+    EXPECT_FALSE(ctrl::DecodeReconfigureReply(prefix).has_value()) << len;
+  }
+
+  ctrl::TelemetryReply telemetry;
+  telemetry.nonce = 17;
+  telemetry.connects = 12;
+  telemetry.power_draw_w = 104.5;
+  telemetry.chassis_operational = true;
+  const auto telemetry_frame = ctrl::Encode(telemetry);
+  for (std::size_t len = 0; len < telemetry_frame.size(); ++len) {
+    std::vector<std::uint8_t> prefix(telemetry_frame.begin(),
+                                     telemetry_frame.begin() + static_cast<long>(len));
+    EXPECT_FALSE(ctrl::DecodeTelemetryReply(prefix).has_value()) << len;
+  }
+}
+
+TEST(Fuzz, TransactionIdZeroCorpusExecutesOnFreshAgents) {
+  // Regression corpus for the idempotency-cache sentinel bug: a fresh agent
+  // must execute transaction id 0 (and then answer retries from the cache),
+  // for arbitrary valid targets.
+  common::Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    ocs::PalomarSwitch ocs(9000 + static_cast<std::uint64_t>(trial));
+    ctrl::OcsAgent agent(ocs);
+    ctrl::ReconfigureRequest request;
+    request.transaction_id = 0;
+    std::set<int> souths;
+    const int conns = 1 + static_cast<int>(rng.UniformInt(16));
+    for (int i = 0; i < conns; ++i) {
+      const int n = static_cast<int>(rng.UniformInt(ocs::kPalomarUsablePorts));
+      const int s = static_cast<int>(rng.UniformInt(ocs::kPalomarUsablePorts));
+      if (!request.target.contains(n) && !souths.contains(s)) {
+        request.target[n] = s;
+        souths.insert(s);
+      }
+    }
+    const auto reply = ctrl::DecodeReconfigureReply(agent.Handle(ctrl::Encode(request)));
+    ASSERT_TRUE(reply.has_value()) << trial;
+    EXPECT_TRUE(reply->ok) << trial << ": " << reply->error;
+    EXPECT_EQ(ocs.telemetry().reconfigurations, 1u) << trial;
+    const auto retry = ctrl::DecodeReconfigureReply(agent.Handle(ctrl::Encode(request)));
+    ASSERT_TRUE(retry.has_value()) << trial;
+    EXPECT_EQ(ocs.telemetry().reconfigurations, 1u) << trial;
   }
 }
 

@@ -82,6 +82,34 @@ TEST(LinkInit, ReacquisitionDuringAcquisitionIsNotAFlap) {
   EXPECT_EQ(fsm.flap_count(), 0u);  // never reached kUp
 }
 
+TEST(LinkInit, GlitchMidAcquisitionRestartsAcquisition) {
+  // Regression: acquisition progress used to survive dark intervals shorter
+  // than the LOS hold-off, so CDR "progress" earned before a blackout was
+  // credited after light returned and LastBringupUs undercounted the true
+  // bring-up time. A link still acquiring loses its partial lock the moment
+  // light disappears — only an *up* link rides glitches through the
+  // hold-off.
+  LinkInitTiming timing;
+  LinkInitFsm fsm(timing);
+  fsm.OnLightPresent();
+  fsm.Advance(timing.signal_detect_us + 0.9 * timing.cdr_lock_us);  // mid CDR
+  ASSERT_EQ(fsm.state(), LinkState::kCdrLock);
+  fsm.OnLightLost();
+  // No hold-off credit for acquisition: the partial lock is gone instantly.
+  EXPECT_EQ(fsm.state(), LinkState::kLossOfSignal);
+  fsm.Advance(timing.los_holdoff_us / 2.0);  // shorter than the hold-off
+  fsm.OnLightPresent();
+  // Bring-up restarts from scratch: one microsecond short of the full
+  // pipeline must not be up (the buggy FSM was already up here).
+  fsm.Advance(timing.TotalBringupUs() - 1.0);
+  EXPECT_FALSE(fsm.IsUp());
+  fsm.Advance(1.0);
+  EXPECT_TRUE(fsm.IsUp());
+  // And the measured bring-up is re-timed from the new light edge.
+  EXPECT_NEAR(fsm.LastBringupUs(), timing.TotalBringupUs(), 1e-9);
+  EXPECT_EQ(fsm.flap_count(), 0u);  // never reached kUp before the glitch
+}
+
 TEST(LinkInit, FastInitProfileIsMicrosecondClass) {
   const auto fast = FastInitTiming();
   EXPECT_LT(fast.TotalBringupUs(), 10.0);
