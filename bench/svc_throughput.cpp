@@ -1,0 +1,79 @@
+// Measures what durability costs the fleet-service front-end: the same
+// seeded slice-request stream is served twice — once with the write-ahead
+// journal and periodic snapshots on (the production configuration) and once
+// with journaling off (pure in-memory apply) — and the journaling overhead
+// must stay under 15%, the acceptance bar from the durability design: the
+// WAL append is a CRC32C + memcpy into an append-only device, far cheaper
+// than the fabric allocation it protects.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_json.h"
+#include "journal/storage.h"
+#include "svc/fleet_service.h"
+#include "svc/request_stream.h"
+#include "tpu/superpod.h"
+
+using namespace lightwave;
+
+namespace {
+
+constexpr std::uint64_t kCommands = 6000;
+constexpr int kRepeats = 5;
+constexpr std::uint64_t kStreamSeed = 77;
+constexpr std::uint64_t kPodSeed = 5;
+
+/// One full serve of the stream; returns wall seconds.
+double RunOnce(bool journaling) {
+  tpu::Superpod pod(kPodSeed);
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  svc::FleetServiceOptions options;
+  options.journaling = journaling;
+  svc::FleetService service(pod, core::AllocationPolicy::kReconfigurable, wal_storage,
+                            snapshot_storage, options);
+  if (!service.Recover().ok()) return -1.0;
+  const svc::RequestStream stream(kStreamSeed, kCommands);
+  const bench::WallTimer timer;
+  const auto served = service.Serve(stream);
+  const double seconds = timer.ms() / 1e3;
+  if (served.crashed || served.processed != kCommands) return -1.0;
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "svc_throughput");
+
+  double off_s = 1e30;
+  double on_s = 1e30;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    const double off = RunOnce(/*journaling=*/false);
+    const double on = RunOnce(/*journaling=*/true);
+    if (off < 0.0 || on < 0.0) {
+      std::printf("serve failed\n");
+      return 1;
+    }
+    off_s = std::min(off_s, off);
+    on_s = std::min(on_s, on);
+  }
+
+  const double off_rps = kCommands / off_s;
+  const double on_rps = kCommands / on_s;
+  const double overhead_pct = (on_s / off_s - 1.0) * 100.0;
+
+  std::printf("fleet service, %llu-command stream, best of %d runs\n",
+              static_cast<unsigned long long>(kCommands), kRepeats);
+  std::printf("  journaling off : %10.0f requests/s  (%7.2f ms)\n", off_rps, off_s * 1e3);
+  std::printf("  journaling on  : %10.0f requests/s  (%7.2f ms)\n", on_rps, on_s * 1e3);
+  std::printf("  overhead       : %+10.2f %%  (budget: < 15%%)\n", overhead_pct);
+
+  const std::string params = "commands=" + std::to_string(kCommands) +
+                             " repeats=" + std::to_string(kRepeats);
+  json.Add("journaling_off", params, off_s * 1e3);
+  json.Add("journaling_on", params, on_s * 1e3);
+  return overhead_pct < 15.0 ? 0 : 1;
+}

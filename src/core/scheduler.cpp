@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "ctrl/wire.h"
 #include "sim/event.h"
 #include "telemetry/hub.h"
 
@@ -176,6 +177,72 @@ Result<SliceId> SliceScheduler::RepairSlice(SliceId id) {
   return installed.value();
 }
 
+void SliceScheduler::ExportState(ctrl::WireWriter& writer) const {
+  writer.PutVarint(stats_.requests);
+  writer.PutVarint(stats_.accepted);
+  writer.PutVarint(stats_.rejected);
+  writer.PutVarint(stats_.repairs);
+  writer.PutVarint(pod_.slices().size());
+  for (const auto& [id, slice] : pod_.slices()) {
+    writer.PutU64(id);
+    const SliceShape& shape = slice.topology.shape();
+    writer.PutVarint(static_cast<std::uint64_t>(shape.a));
+    writer.PutVarint(static_cast<std::uint64_t>(shape.b));
+    writer.PutVarint(static_cast<std::uint64_t>(shape.c));
+    writer.PutVarint(slice.topology.cube_ids().size());
+    for (int cube : slice.topology.cube_ids()) {
+      writer.PutVarint(static_cast<std::uint64_t>(cube));
+    }
+  }
+  writer.PutU64(pod_.next_slice_id());
+}
+
+common::Status SliceScheduler::ImportState(ctrl::WireReader& reader) {
+  Stats stats;
+  auto requests = reader.GetVarint();
+  auto accepted = reader.GetVarint();
+  auto rejected = reader.GetVarint();
+  auto repairs = reader.GetVarint();
+  auto slice_count = reader.GetVarint();
+  if (!requests || !accepted || !rejected || !repairs || !slice_count) {
+    return common::Internal("scheduler state truncated");
+  }
+  stats.requests = *requests;
+  stats.accepted = *accepted;
+  stats.rejected = *rejected;
+  stats.repairs = *repairs;
+  for (std::uint64_t i = 0; i < *slice_count; ++i) {
+    auto id = reader.GetU64();
+    auto a = reader.GetVarint();
+    auto b = reader.GetVarint();
+    auto c = reader.GetVarint();
+    auto cube_count = reader.GetVarint();
+    if (!id || !a || !b || !c || !cube_count) {
+      return common::Internal("scheduler slice entry truncated");
+    }
+    std::vector<int> cubes;
+    cubes.reserve(static_cast<std::size_t>(*cube_count));
+    for (std::uint64_t j = 0; j < *cube_count; ++j) {
+      auto cube = reader.GetVarint();
+      if (!cube) return common::Internal("scheduler slice cube list truncated");
+      cubes.push_back(static_cast<int>(*cube));
+    }
+    const SliceShape shape{static_cast<int>(*a), static_cast<int>(*b),
+                           static_cast<int>(*c)};
+    auto topology = SliceTopology::Create(shape, std::move(cubes));
+    if (!topology.ok()) return topology.error();
+    auto installed = pod_.InstallSliceWithId(*id, topology.value());
+    if (!installed.ok()) return installed.error();
+  }
+  auto next_slice_id = reader.GetU64();
+  if (!next_slice_id) return common::Internal("scheduler state truncated");
+  pod_.SetNextSliceId(*next_slice_id);
+  stats_ = stats;
+  UpdateBusyGauge();
+  MaybeValidate("ImportState");
+  return Status::Ok();
+}
+
 common::Status SliceScheduler::ValidateInvariants() const {
   std::map<int, SliceId> owner;
   for (const auto& [id, slice] : pod_.slices()) {
@@ -252,11 +319,30 @@ WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
   // simulation clock, so instrumented runs stay deterministic.
   telemetry::Hub* hub = config.hub;
   telemetry::TimeSeries* busy_series = nullptr;
+  // Admission-control view: what the scheduler's own counters cannot see —
+  // jobs that waited in the backlog, jobs lost to failures, and the capacity
+  // the pod lost to unhealthy cubes — exported so the Prometheus text dump
+  // shows the §4.2.4 acceptance story, not just raw allocate outcomes.
+  telemetry::Counter* submitted_counter = nullptr;
+  telemetry::Counter* queued_counter = nullptr;
+  telemetry::Counter* lost_counter = nullptr;
+  telemetry::Gauge* backlog_gauge = nullptr;
+  telemetry::Gauge* lost_capacity_gauge = nullptr;
+  telemetry::Gauge* acceptance_gauge = nullptr;
   if (hub != nullptr) {
     hub->SetClock([&queue] { return queue.now(); });
     scheduler.AttachTelemetry(hub);
-    busy_series = &hub->metrics().GetTimeSeries(
-        "lightwave_core_busy_cubes_series", {{"policy", ToString(policy)}});
+    const telemetry::LabelSet labels{{"policy", ToString(policy)}};
+    busy_series =
+        &hub->metrics().GetTimeSeries("lightwave_core_busy_cubes_series", labels);
+    auto& metrics = hub->metrics();
+    submitted_counter = &metrics.GetCounter("lightwave_core_jobs_submitted_total", labels);
+    queued_counter = &metrics.GetCounter("lightwave_core_jobs_queued_total", labels);
+    lost_counter = &metrics.GetCounter("lightwave_core_jobs_lost_total", labels);
+    backlog_gauge = &metrics.GetGauge("lightwave_core_backlog_depth", labels);
+    lost_capacity_gauge =
+        &metrics.GetGauge("lightwave_core_lost_capacity_fraction", labels);
+    acceptance_gauge = &metrics.GetGauge("lightwave_core_acceptance_rate", labels);
   }
 
   WorkloadResult result;
@@ -318,11 +404,13 @@ WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
   };
   drain_backlog = [&] {
     while (!backlog.empty() && try_start(backlog.front())) backlog.pop_front();
+    if (backlog_gauge != nullptr) backlog_gauge->Set(static_cast<double>(backlog.size()));
   };
 
   std::function<void()> schedule_arrival = [&] {
     advance_integrals();
     ++result.submitted;
+    if (submitted_counter != nullptr) submitted_counter->Inc();
     const int size = config.size_menu_cubes[static_cast<std::size_t>(
         rng.UniformInt(config.size_menu_cubes.size()))];
     const SliceShape shape = MostCompactShape(size);
@@ -332,7 +420,13 @@ WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
     const PendingJob pending{shape, duration, queue.now()};
     // FIFO fairness: a job may only jump the queue when nothing is waiting.
     const bool started = (backlog.empty() || !config.queue_jobs) && try_start(pending);
-    if (!started && config.queue_jobs) backlog.push_back(pending);
+    if (!started && config.queue_jobs) {
+      backlog.push_back(pending);
+      if (queued_counter != nullptr) queued_counter->Inc();
+      if (backlog_gauge != nullptr) {
+        backlog_gauge->Set(static_cast<double>(backlog.size()));
+      }
+    }
     if (busy_series != nullptr) busy_series->Record(queue.now(), scheduler.BusyCubes());
     queue.After(rng.Exponential(config.arrival_rate_per_hour), schedule_arrival);
   };
@@ -365,6 +459,7 @@ WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
           slice_to_job[repaired.value()] = job;
         } else {
           ++result.lost_to_failure;
+          if (lost_counter != nullptr) lost_counter->Inc();
           job_to_slice.erase(job);
           (void)pod.RemoveSlice(*owner);
           drain_backlog();  // the dead job's cubes freed up
@@ -392,6 +487,11 @@ WorkloadResult SimulateWorkload(tpu::Superpod& pod, AllocationPolicy policy,
   result.utilization = available > 0.0 ? busy_integral / available : 0.0;
   result.mean_wait_hours = wait_count > 0 ? wait_sum / static_cast<double>(wait_count) : 0.0;
   result.left_in_queue = backlog.size();
+  if (lost_capacity_gauge != nullptr) {
+    const double offered = pod.cube_count() * config.sim_hours;
+    lost_capacity_gauge->Set(offered > 0.0 ? unhealthy_integral / offered : 0.0);
+  }
+  if (acceptance_gauge != nullptr) acceptance_gauge->Set(result.acceptance_rate);
   return result;
 }
 

@@ -22,6 +22,11 @@ class Gauge;
 class Hub;
 }  // namespace lightwave::telemetry
 
+namespace lightwave::ctrl {
+class WireReader;
+class WireWriter;
+}  // namespace lightwave::ctrl
+
 namespace lightwave::core {
 
 enum class AllocationPolicy { kReconfigurable, kContiguous };
@@ -59,6 +64,17 @@ class SliceScheduler {
   /// Starts mirroring allocation outcomes and the busy-cube gauge into
   /// `hub` (nullptr detaches). Series carry a `policy=<name>` label.
   void AttachTelemetry(telemetry::Hub* hub);
+
+  /// Durability hooks (journal snapshots): serializes the scheduler's
+  /// replayable state — allocation stats plus every installed slice (id,
+  /// shape, cube assignment) and the pod's slice-id counter — into `writer`.
+  /// The switch configurations are NOT serialized; ImportState rebuilds them
+  /// by reinstalling the slices, which is deterministic.
+  void ExportState(ctrl::WireWriter& writer) const;
+  /// Inverse of ExportState against a scheduler over a fresh pod of the same
+  /// geometry. Fails cleanly on truncated or malformed bytes and on slices
+  /// that no longer fit the pod.
+  common::Status ImportState(ctrl::WireReader& reader);
 
   /// Structural audit of slice accounting: every installed slice's cube
   /// list matches its shape, no cube is owned by two slices

@@ -299,6 +299,50 @@ BreakerState FabricController::breaker_state(int ocs_id) const {
   return it == health_.end() ? BreakerState::kClosed : it->second.state;
 }
 
+void FabricController::ExportState(WireWriter& writer) const {
+  writer.PutU64(next_txn_);
+  writer.PutU64(next_nonce_);
+  writer.PutVarint(health_.size());
+  for (const auto& [ocs_id, health] : health_) {
+    writer.PutVarint(static_cast<std::uint64_t>(ocs_id));
+    writer.PutU8(static_cast<std::uint8_t>(health.state));
+    writer.PutVarint(static_cast<std::uint64_t>(health.consecutive_exhaustions));
+    writer.PutVarint(static_cast<std::uint64_t>(health.cooldown_remaining));
+  }
+}
+
+common::Status FabricController::ImportState(WireReader& reader) {
+  auto next_txn = reader.GetU64();
+  auto next_nonce = reader.GetU64();
+  auto health_count = reader.GetVarint();
+  if (!next_txn || !next_nonce || !health_count) {
+    return common::Internal("controller state truncated");
+  }
+  std::map<int, AgentHealth> health;
+  for (std::uint64_t i = 0; i < *health_count; ++i) {
+    auto ocs_id = reader.GetVarint();
+    auto state = reader.GetU8();
+    auto exhaustions = reader.GetVarint();
+    auto cooldown = reader.GetVarint();
+    if (!ocs_id || !state || !exhaustions || !cooldown) {
+      return common::Internal("controller health entry truncated");
+    }
+    if (*state > static_cast<std::uint8_t>(BreakerState::kHalfOpen)) {
+      return common::Internal("controller state carries unknown breaker state " +
+                              std::to_string(*state));
+    }
+    health[static_cast<int>(*ocs_id)] =
+        AgentHealth{.state = static_cast<BreakerState>(*state),
+                    .consecutive_exhaustions = static_cast<int>(*exhaustions),
+                    .cooldown_remaining = static_cast<int>(*cooldown)};
+  }
+  next_txn_ = *next_txn;
+  next_nonce_ = *next_nonce;
+  health_ = std::move(health);
+  UpdateUnhealthyGauge();
+  return common::Status::Ok();
+}
+
 FabricTransactionResult& FabricController::Fail(FabricTransactionResult& result,
                                                 std::string error) {
   result.ok = false;

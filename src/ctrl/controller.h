@@ -230,6 +230,15 @@ class FabricController {
 
   const FabricControllerOptions& options() const { return options_; }
 
+  /// Durability hooks (journal snapshots): serializes the controller's
+  /// replayable state — transaction/nonce counters and per-agent breaker
+  /// health — into `writer`. Options, the agent registry, and telemetry
+  /// handles are reconstructed from code/config, not persisted.
+  void ExportState(WireWriter& writer) const;
+  /// Inverse of ExportState against a fresh controller with the same agents
+  /// registered. Fails cleanly on truncated or malformed bytes.
+  common::Status ImportState(WireReader& reader);
+
   /// Starts recording transaction spans (one per ApplyTopology, one child
   /// per OCS fan-out, one per rollback) and latency/retry/rollback metrics
   /// into `hub`.

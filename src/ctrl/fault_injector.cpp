@@ -16,6 +16,15 @@ constexpr std::uint64_t kBusStream = 1;
 constexpr std::uint64_t kMirrorStream = 2;
 }  // namespace
 
+const char* ToString(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kPreAppend: return "pre-append";
+    case CrashPoint::kPostAppendPreApply: return "post-append-pre-apply";
+    case CrashPoint::kMidApply: return "mid-apply";
+  }
+  return "unknown";
+}
+
 FaultInjector::FaultInjector(std::uint64_t seed, FaultProfile profile)
     : profile_(profile),
       agent_rng_(common::Rng::Stream(seed, kAgentStream)),
@@ -31,6 +40,29 @@ void FaultInjector::AttachTelemetry(telemetry::Hub* hub) {
   fail_stop_counter_ = &metrics.GetCounter("lightwave_fault_agent_failstops_total");
   brownout_counter_ = &metrics.GetCounter("lightwave_fault_brownouts_total");
   mirror_death_counter_ = &metrics.GetCounter("lightwave_fault_mirror_deaths_total");
+}
+
+void FaultInjector::ArmCrash(CrashPoint point, std::uint64_t visits) {
+  armed_crash_point_ = point;
+  armed_crash_visits_ = visits == 0 ? 1 : visits;
+}
+
+void FaultInjector::DisarmCrash() {
+  armed_crash_point_.reset();
+  armed_crash_visits_ = 0;
+}
+
+bool FaultInjector::ShouldCrash(CrashPoint point) {
+  ++crash_point_visits_[static_cast<std::size_t>(point)];
+  if (!armed_crash_point_.has_value() || *armed_crash_point_ != point) return false;
+  if (--armed_crash_visits_ > 0) return false;
+  armed_crash_point_.reset();
+  ++crashes_fired_;
+  return true;
+}
+
+std::uint64_t FaultInjector::crash_point_visits(CrashPoint point) const {
+  return crash_point_visits_[static_cast<std::size_t>(point)];
 }
 
 bool FaultInjector::OnFrame() {

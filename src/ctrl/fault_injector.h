@@ -11,8 +11,10 @@
 // one seed, so a chaos run replays bit-for-bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
 
 #include "common/rng.h"
 
@@ -53,6 +55,18 @@ struct FaultProfile {
   double mirror_death_prob = 0.0;
 };
 
+/// Where in the journaled command path a simulated process crash lands.
+/// The order encodes the durability contract: a crash before the append
+/// loses the command but never an acknowledgement (the client resubmits);
+/// a crash at or after the append loses only volatile state — recovery must
+/// re-apply the journaled command exactly once.
+enum class CrashPoint {
+  kPreAppend,          // command accepted but not yet journaled
+  kPostAppendPreApply, // journaled, nothing applied
+  kMidApply,           // journaled, state mutation half done
+};
+const char* ToString(CrashPoint point);
+
 class FaultInjector {
  public:
   FaultInjector(std::uint64_t seed, FaultProfile profile);
@@ -69,6 +83,21 @@ class FaultInjector {
   /// mirror under one of the target's ports (spares absorb early deaths;
   /// an exhausted pool destroys the port).
   void BeforeReconfigure(ocs::PalomarSwitch& ocs, const std::map<int, int>& target);
+
+  /// Arms a one-shot crash: the `visits`-th future visit to `point` (1 =
+  /// the very next one) makes ShouldCrash return true, then disarms. Visits
+  /// to other crash points are counted but do not consume the fuse, so a
+  /// crash can be dropped on an exact command boundary of a long trace.
+  void ArmCrash(CrashPoint point, std::uint64_t visits = 1);
+  void DisarmCrash();
+
+  /// Service hook, called at every crash point on the command path. Counts
+  /// the visit and returns true exactly when the armed fuse burns out — the
+  /// caller then abandons its volatile state, simulating the process dying.
+  bool ShouldCrash(CrashPoint point);
+
+  std::uint64_t crashes_fired() const { return crashes_fired_; }
+  std::uint64_t crash_point_visits(CrashPoint point) const;
 
   const FaultProfile& profile() const { return profile_; }
   bool in_brownout() const { return brownout_; }
@@ -96,6 +125,10 @@ class FaultInjector {
   std::uint64_t brownout_drops_ = 0;
   std::uint64_t mirror_deaths_ = 0;
   std::uint64_t ports_destroyed_ = 0;
+  std::optional<CrashPoint> armed_crash_point_;
+  std::uint64_t armed_crash_visits_ = 0;
+  std::uint64_t crashes_fired_ = 0;
+  std::array<std::uint64_t, 3> crash_point_visits_{};
   telemetry::Counter* fail_stop_counter_ = nullptr;
   telemetry::Counter* brownout_counter_ = nullptr;
   telemetry::Counter* mirror_death_counter_ = nullptr;

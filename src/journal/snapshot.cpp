@@ -1,0 +1,87 @@
+#include "journal/snapshot.h"
+
+#include <string>
+
+#include "journal/wal.h"
+
+namespace lightwave::journal {
+
+namespace {
+
+constexpr std::uint64_t kFixedBytes = 4 + 2 + 8 + 4;  // magic, version, seq, len
+
+void PutU16(std::uint16_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 2; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU32(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t ReadU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+common::Status SnapshotWriter::Write(Storage& storage, std::uint64_t last_included_seq,
+                                     const std::vector<std::uint8_t>& state) {
+  std::vector<std::uint8_t> blob;
+  blob.reserve(static_cast<std::size_t>(kFixedBytes) + state.size() + 4);
+  PutU32(kSnapshotMagic, &blob);
+  PutU16(kSnapshotVersion, &blob);
+  PutU64(last_included_seq, &blob);
+  PutU32(static_cast<std::uint32_t>(state.size()), &blob);
+  blob.insert(blob.end(), state.begin(), state.end());
+  PutU32(Crc32c(blob.data(), blob.size()), &blob);
+  storage.Truncate(0);
+  storage.Append(blob.data(), blob.size());
+  return common::Status::Ok();
+}
+
+common::Result<Snapshot> SnapshotReader::Read(const Storage& storage) {
+  const std::uint64_t total = storage.size();
+  if (total == 0) return common::NotFound("no snapshot present");
+  if (total < kFixedBytes + 4) {
+    return common::Internal("snapshot truncated: " + std::to_string(total) + " bytes");
+  }
+  std::vector<std::uint8_t> blob(static_cast<std::size_t>(total));
+  storage.ReadAt(0, blob.size(), blob.data());
+  const std::uint32_t stored_crc = ReadU32(blob.data() + blob.size() - 4);
+  if (Crc32c(blob.data(), blob.size() - 4) != stored_crc) {
+    return common::Internal("snapshot crc mismatch");
+  }
+  if (ReadU32(blob.data()) != kSnapshotMagic) {
+    return common::Internal("snapshot magic mismatch");
+  }
+  const std::uint16_t version = ReadU16(blob.data() + 4);
+  if (version != kSnapshotVersion) {
+    return common::Internal("unsupported snapshot version " + std::to_string(version));
+  }
+  Snapshot snapshot;
+  snapshot.last_included_seq = ReadU64(blob.data() + 6);
+  const std::uint32_t state_len = ReadU32(blob.data() + 14);
+  if (kFixedBytes + state_len + 4 != total) {
+    return common::Internal("snapshot length field disagrees with storage size");
+  }
+  snapshot.state.assign(blob.begin() + kFixedBytes, blob.end() - 4);
+  return snapshot;
+}
+
+}  // namespace lightwave::journal

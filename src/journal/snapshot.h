@@ -1,0 +1,52 @@
+// Snapshots: a point-in-time serialization of the control-plane state
+// (FabricController + SliceScheduler export their state through the hooks in
+// ctrl/controller.h and core/scheduler.h) tagged with the journal sequence
+// number it includes. Recovery = snapshot + WAL suffix; after a snapshot the
+// log prefix it covers is compacted away.
+//
+// On-device layout, little-endian:
+//
+//   [magic u32 "LWSN"][version u16][last_included_seq u64]
+//   [state length u32][state bytes][crc32c u32]
+//
+// The trailing CRC32C covers every preceding byte, so any single bit flip —
+// header, sequence tag, or state — is rejected as corrupt. Writes replace
+// the whole storage atomically (the simulated equivalent of writing
+// snapshot.tmp and renaming over the old file).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "journal/storage.h"
+
+namespace lightwave::journal {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4E53574Cu;  // "LWSN" LE
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+struct Snapshot {
+  std::uint64_t last_included_seq = 0;
+  std::vector<std::uint8_t> state;
+};
+
+class SnapshotWriter {
+ public:
+  /// Serializes and atomically replaces the snapshot in `storage`.
+  static common::Status Write(Storage& storage, std::uint64_t last_included_seq,
+                              const std::vector<std::uint8_t>& state);
+};
+
+class SnapshotReader {
+ public:
+  /// Loads the snapshot. kNotFound when the storage is empty (a fresh
+  /// deployment, or one that never reached its first snapshot); kInternal
+  /// when the bytes are truncated or corrupt — since snapshot writes are
+  /// atomic, that means media corruption, and callers surface it rather than
+  /// replaying a log whose prefix was already compacted away. Never crashes
+  /// on hostile bytes.
+  static common::Result<Snapshot> Read(const Storage& storage);
+};
+
+}  // namespace lightwave::journal

@@ -1,0 +1,60 @@
+// Durable byte device abstraction under the journal. The write-ahead log and
+// the snapshot store both talk to a Storage, so tests and the simulated
+// fleet service can model a crash precisely: every FleetService/controller
+// object is volatile and dies with the "process", while the Storage objects
+// survive and seed recovery — the same split a real deployment gets from
+// process memory vs fsynced files. MemStorage is the only implementation;
+// it is deterministic, hermetic, and cheap enough for crash-matrix tests
+// that re-run recovery at every record boundary.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace lightwave::journal {
+
+/// Append-only byte device with random reads and truncation (the subset of
+/// file semantics the journal needs). Appends are modeled as durable the
+/// moment they return, i.e. every append carries an implicit sync.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  virtual std::uint64_t size() const = 0;
+  virtual void Append(const std::uint8_t* data, std::size_t n) = 0;
+  /// Reads [offset, offset + n) into `out`. The caller must stay in bounds
+  /// (the journal always range-checks against size() first).
+  virtual void ReadAt(std::uint64_t offset, std::size_t n, std::uint8_t* out) const = 0;
+  /// Discards everything at and beyond `new_size` (torn-tail repair and log
+  /// compaction). Growing is not supported; new_size must be <= size().
+  virtual void Truncate(std::uint64_t new_size) = 0;
+};
+
+/// In-memory storage standing in for a durable file.
+class MemStorage final : public Storage {
+ public:
+  std::uint64_t size() const override { return bytes_.size(); }
+
+  void Append(const std::uint8_t* data, std::size_t n) override {
+    bytes_.insert(bytes_.end(), data, data + n);
+  }
+
+  void ReadAt(std::uint64_t offset, std::size_t n, std::uint8_t* out) const override {
+    std::memcpy(out, bytes_.data() + offset, n);
+  }
+
+  void Truncate(std::uint64_t new_size) override {
+    if (new_size < bytes_.size()) bytes_.resize(static_cast<std::size_t>(new_size));
+  }
+
+  /// Test hooks: direct access to the underlying bytes for corruption and
+  /// truncation sweeps (the torn-tail and fuzz suites).
+  std::vector<std::uint8_t>& bytes() { return bytes_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace lightwave::journal

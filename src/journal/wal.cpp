@@ -1,0 +1,218 @@
+#include "journal/wal.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "telemetry/hub.h"
+
+namespace lightwave::journal {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint32_t Crc32cRaw(std::uint32_t state, const std::uint8_t* data, std::size_t size) {
+  static const auto table = BuildCrc32cTable();
+  for (std::size_t i = 0; i < size; ++i) {
+    state = table[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+// Record header: [length u32][crc32c u32]; the length counts the sequence
+// field plus the payload, so the smallest legal record body is 8 bytes.
+constexpr std::uint64_t kHeaderBytes = 8;
+constexpr std::uint64_t kSeqBytes = 8;
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void PutU32(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+std::uint32_t Crc32cInit() { return 0xFFFFFFFFu; }
+
+std::uint32_t Crc32cExtend(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t size) {
+  return Crc32cRaw(state, data, size);
+}
+
+std::uint32_t Crc32cFinish(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t Crc32c(const std::uint8_t* data, std::size_t size) {
+  return Crc32cFinish(Crc32cExtend(Crc32cInit(), data, size));
+}
+
+WalScan Wal::Scan(const Storage& storage) {
+  WalScan scan;
+  const std::uint64_t total = storage.size();
+  std::uint64_t offset = 0;
+  // Every early return below is a torn tail: records up to `offset` are
+  // intact, the bytes from `offset` on are unusable. The scan reports the
+  // defect instead of crashing — hostile input is expected here (that is
+  // what a crash mid-append produces).
+  while (offset < total) {
+    const std::uint64_t remaining = total - offset;
+    if (remaining < kHeaderBytes + kSeqBytes) {
+      scan.tail = common::Internal("torn tail: truncated record header at offset " +
+                                   std::to_string(offset));
+      scan.valid_bytes = offset;
+      return scan;
+    }
+    std::array<std::uint8_t, kHeaderBytes> header{};
+    storage.ReadAt(offset, header.size(), header.data());
+    const std::uint64_t length = ReadU32(header.data());
+    const std::uint32_t stored_crc = ReadU32(header.data() + 4);
+    if (length < kSeqBytes || length > kMaxRecordBytes) {
+      scan.tail = common::Internal("torn tail: implausible record length " +
+                                   std::to_string(length) + " at offset " +
+                                   std::to_string(offset));
+      scan.valid_bytes = offset;
+      return scan;
+    }
+    if (length > remaining - kHeaderBytes) {
+      scan.tail = common::Internal("torn tail: record length " + std::to_string(length) +
+                                   " overruns the log at offset " + std::to_string(offset));
+      scan.valid_bytes = offset;
+      return scan;
+    }
+    std::vector<std::uint8_t> body(static_cast<std::size_t>(length));
+    storage.ReadAt(offset + kHeaderBytes, body.size(), body.data());
+    // The CRC covers the length field too: a bit flip that only changes the
+    // length cannot re-frame the log into a different valid record stream.
+    std::uint32_t crc = Crc32cExtend(Crc32cInit(), header.data(), 4);
+    crc = Crc32cFinish(Crc32cExtend(crc, body.data(), body.size()));
+    if (crc != stored_crc) {
+      scan.tail = common::Internal("torn tail: crc mismatch at offset " +
+                                   std::to_string(offset));
+      scan.valid_bytes = offset;
+      return scan;
+    }
+    const std::uint64_t seq = ReadU64(body.data());
+    if (!scan.records.empty() && seq != scan.records.back().seq + 1) {
+      scan.tail = common::Internal(
+          "torn tail: sequence discontinuity (" + std::to_string(scan.records.back().seq) +
+          " -> " + std::to_string(seq) + ") at offset " + std::to_string(offset));
+      scan.valid_bytes = offset;
+      return scan;
+    }
+    scan.records.push_back(WalRecord{
+        .seq = seq,
+        .payload = std::vector<std::uint8_t>(body.begin() + kSeqBytes, body.end())});
+    offset += kHeaderBytes + length;
+  }
+  scan.valid_bytes = offset;
+  return scan;
+}
+
+Wal::Wal(Storage& storage) : storage_(storage) {
+  recovery_scan_ = Scan(storage_);
+  if (recovery_scan_.valid_bytes < storage_.size()) {
+    tail_truncated_bytes_ = storage_.size() - recovery_scan_.valid_bytes;
+    reclaimed_bytes_ += tail_truncated_bytes_;
+    storage_.Truncate(recovery_scan_.valid_bytes);
+  }
+  if (!recovery_scan_.records.empty()) {
+    next_seq_ = recovery_scan_.records.back().seq + 1;
+  }
+}
+
+common::Result<std::uint64_t> Wal::Append(const std::vector<std::uint8_t>& payload) {
+  const std::uint64_t length = kSeqBytes + payload.size();
+  if (length > kMaxRecordBytes) {
+    return common::InvalidArgument("journal record of " + std::to_string(payload.size()) +
+                                   " bytes exceeds the " +
+                                   std::to_string(kMaxRecordBytes) + "-byte record limit");
+  }
+  const std::uint64_t seq = next_seq_++;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(static_cast<std::size_t>(kHeaderBytes + length));
+  PutU32(static_cast<std::uint32_t>(length), &frame);
+  std::vector<std::uint8_t> body;
+  body.reserve(static_cast<std::size_t>(length));
+  PutU64(seq, &body);
+  body.insert(body.end(), payload.begin(), payload.end());
+  std::uint32_t crc = Crc32cExtend(Crc32cInit(), frame.data(), 4);
+  crc = Crc32cFinish(Crc32cExtend(crc, body.data(), body.size()));
+  PutU32(crc, &frame);
+  frame.insert(frame.end(), body.begin(), body.end());
+  storage_.Append(frame.data(), frame.size());
+  ++appended_records_;
+  appended_bytes_ += frame.size();
+  if (append_counter_ != nullptr) append_counter_->Inc();
+  if (bytes_counter_ != nullptr) bytes_counter_->Inc(frame.size());
+  return seq;
+}
+
+common::Status Wal::Compact(std::uint64_t upto_seq) {
+  const WalScan scan = Scan(storage_);
+  LW_DCHECK(scan.tail.ok());  // appends always leave the log at a boundary
+  const std::uint64_t before = storage_.size();
+  if (scan.records.empty() || upto_seq >= scan.records.back().seq) {
+    storage_.Truncate(0);
+  } else if (upto_seq >= scan.records.front().seq) {
+    // Partial compaction: rewrite the suffix. Simulation-scale logs make the
+    // copy cheap; a production log would switch segments instead.
+    std::vector<WalRecord> keep;
+    for (const WalRecord& record : scan.records) {
+      if (record.seq > upto_seq) keep.push_back(record);
+    }
+    storage_.Truncate(0);
+    const std::uint64_t resume = next_seq_;
+    next_seq_ = keep.front().seq;
+    for (const WalRecord& record : keep) {
+      auto appended = Append(record.payload);
+      if (!appended.ok()) return appended.error();
+    }
+    next_seq_ = resume;
+  }
+  ++compactions_;
+  if (compaction_counter_ != nullptr) compaction_counter_->Inc();
+  if (before > storage_.size()) {
+    reclaimed_bytes_ += before - storage_.size();
+    if (reclaimed_counter_ != nullptr) reclaimed_counter_->Inc(before - storage_.size());
+  }
+  return common::Status::Ok();
+}
+
+void Wal::SetNextSeq(std::uint64_t next_seq) {
+  if (next_seq > next_seq_) next_seq_ = next_seq;
+}
+
+void Wal::AttachTelemetry(telemetry::Hub* hub) {
+  if (hub == nullptr) {
+    bytes_counter_ = append_counter_ = compaction_counter_ = reclaimed_counter_ = nullptr;
+    return;
+  }
+  auto& metrics = hub->metrics();
+  bytes_counter_ = &metrics.GetCounter("lightwave_journal_bytes_total");
+  append_counter_ = &metrics.GetCounter("lightwave_journal_appends_total");
+  compaction_counter_ = &metrics.GetCounter("lightwave_journal_compactions_total");
+  reclaimed_counter_ = &metrics.GetCounter("lightwave_journal_reclaimed_bytes_total");
+}
+
+}  // namespace lightwave::journal

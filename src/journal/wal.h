@@ -1,0 +1,120 @@
+// Write-ahead log: the event-sourced durability layer under the fleet
+// service (the paper's §3.2 availability story demands the management plane
+// survive CPE restarts without disturbing running slices; everything the
+// controller knows must therefore be reconstructible from durable state).
+//
+// Record framing, little-endian:
+//
+//   [length u32][crc32c u32][sequence u64][payload bytes]
+//
+// `length` counts the sequence field plus the payload (so length >= 8); the
+// CRC32C (Castagnoli) covers the length field, the sequence, and the payload,
+// so a bit flip anywhere in the record — including a lying length field — is
+// caught. A scan walks records from offset 0 and stops at the first frame
+// that is truncated, corrupt, oversized, or out of sequence: that is the
+// torn tail a crash mid-append leaves behind. The scan NEVER throws or
+// crashes on hostile bytes; it reports how far the log was valid and why it
+// stopped, and recovery truncates the tail and appends from there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "journal/storage.h"
+
+namespace lightwave::telemetry {
+class Counter;
+class Hub;
+}  // namespace lightwave::telemetry
+
+namespace lightwave::journal {
+
+/// CRC32C (Castagnoli polynomial, reflected, table-driven). Distinct from
+/// the wire format's IEEE CRC32 so a journal record accidentally fed to the
+/// frame decoder (or vice versa) cannot pass both gates.
+std::uint32_t Crc32c(const std::uint8_t* data, std::size_t size);
+/// Incremental form: extends `crc` (state from a previous call) over more
+/// bytes. Start from Crc32cInit() and finish with Crc32cFinish().
+std::uint32_t Crc32cInit();
+std::uint32_t Crc32cExtend(std::uint32_t state, const std::uint8_t* data, std::size_t size);
+std::uint32_t Crc32cFinish(std::uint32_t state);
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// What a scan found. `tail` is Ok when the log ends exactly at a record
+/// boundary; otherwise it describes the torn tail (which starts at
+/// `valid_bytes`). Records before the tear are always intact and returned.
+struct WalScan {
+  std::vector<WalRecord> records;
+  std::uint64_t valid_bytes = 0;
+  common::Status tail;
+};
+
+class Wal {
+ public:
+  /// Largest accepted record body (sequence + payload). Guards the scanner
+  /// against hostile length fields and the writer against runaway payloads.
+  static constexpr std::uint64_t kMaxRecordBytes = 1ull << 20;
+
+  /// Opening a log IS recovery: the constructor scans the storage, truncates
+  /// any torn tail so future appends land at a record boundary, and
+  /// positions the next sequence number after the last valid record. The
+  /// scan (including the tear diagnosis) stays readable via recovery_scan().
+  explicit Wal(Storage& storage);
+
+  /// Walks the records in `storage` without modifying it. Total: any byte
+  /// soup is safe input; the result's `tail` explains the first defect.
+  static WalScan Scan(const Storage& storage);
+
+  /// Appends one record and returns its sequence number. Fails only on an
+  /// oversized payload; the storage model itself cannot fail.
+  common::Result<std::uint64_t> Append(const std::vector<std::uint8_t>& payload);
+
+  /// Log compaction after a snapshot: drops every record with seq <=
+  /// `upto_seq` (typically all of them — the service snapshots at the
+  /// applied frontier). The sequence counter is NOT reset; exactly-once
+  /// replay keys on sequence numbers staying monotone across compactions.
+  common::Status Compact(std::uint64_t upto_seq);
+
+  /// Recovery hook: advances the sequence counter (never rewinds). Needed
+  /// when a snapshot proves sequence numbers beyond what the (compacted,
+  /// possibly empty) log itself shows.
+  void SetNextSeq(std::uint64_t next_seq);
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  const WalScan& recovery_scan() const { return recovery_scan_; }
+  /// Torn-tail bytes the constructor truncated to reach a record boundary.
+  std::uint64_t tail_truncated_bytes() const { return tail_truncated_bytes_; }
+  const Storage& storage() const { return storage_; }
+
+  std::uint64_t appended_records() const { return appended_records_; }
+  std::uint64_t appended_bytes() const { return appended_bytes_; }
+  std::uint64_t compactions() const { return compactions_; }
+  /// Bytes reclaimed by compaction plus torn-tail truncation.
+  std::uint64_t reclaimed_bytes() const { return reclaimed_bytes_; }
+
+  /// Mirrors append/compaction activity into `hub` (nullptr detaches):
+  /// lightwave_journal_bytes_total, appends, compactions, reclaimed bytes.
+  void AttachTelemetry(telemetry::Hub* hub);
+
+ private:
+  Storage& storage_;
+  WalScan recovery_scan_;
+  std::uint64_t tail_truncated_bytes_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t appended_records_ = 0;
+  std::uint64_t appended_bytes_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t reclaimed_bytes_ = 0;
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Counter* append_counter_ = nullptr;
+  telemetry::Counter* compaction_counter_ = nullptr;
+  telemetry::Counter* reclaimed_counter_ = nullptr;
+};
+
+}  // namespace lightwave::journal

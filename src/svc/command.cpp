@@ -1,0 +1,53 @@
+#include "svc/command.h"
+
+#include <string>
+
+#include "ctrl/wire.h"
+
+namespace lightwave::svc {
+
+const char* ToString(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kAdmit: return "admit";
+    case CommandKind::kResize: return "resize";
+    case CommandKind::kRelease: return "release";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> SliceCommand::Encode() const {
+  ctrl::WireWriter writer;
+  writer.PutVarint(command_id);
+  writer.PutU8(static_cast<std::uint8_t>(kind));
+  writer.PutVarint(job_id);
+  writer.PutVarint(static_cast<std::uint64_t>(shape.a));
+  writer.PutVarint(static_cast<std::uint64_t>(shape.b));
+  writer.PutVarint(static_cast<std::uint64_t>(shape.c));
+  return writer.Take();
+}
+
+common::Result<SliceCommand> SliceCommand::Decode(const std::vector<std::uint8_t>& bytes) {
+  ctrl::WireReader reader(bytes);
+  auto command_id = reader.GetVarint();
+  auto kind = reader.GetU8();
+  auto job_id = reader.GetVarint();
+  auto a = reader.GetVarint();
+  auto b = reader.GetVarint();
+  auto c = reader.GetVarint();
+  if (!command_id || !kind || !job_id || !a || !b || !c || !reader.AtEnd()) {
+    return common::Internal("slice command truncated or overlong");
+  }
+  if (*kind < static_cast<std::uint8_t>(CommandKind::kAdmit) ||
+      *kind > static_cast<std::uint8_t>(CommandKind::kRelease)) {
+    return common::Internal("unknown command kind " + std::to_string(*kind));
+  }
+  SliceCommand cmd;
+  cmd.command_id = *command_id;
+  cmd.kind = static_cast<CommandKind>(*kind);
+  cmd.job_id = *job_id;
+  cmd.shape = tpu::SliceShape{static_cast<int>(*a), static_cast<int>(*b),
+                              static_cast<int>(*c)};
+  return cmd;
+}
+
+}  // namespace lightwave::svc

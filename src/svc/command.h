@@ -1,0 +1,43 @@
+// The fleet service's command vocabulary: the three slice-lifecycle requests
+// the paper's cluster scheduler issues against the fabric (§4.2.4 — admit a
+// job onto a slice, re-shape it, release it). A command is what gets
+// journaled, so it carries exactly the event-sourcing essentials: a dense
+// client-assigned command id (the resubmission frontier), the kind, the job,
+// and the requested shape. Outcomes are never journaled — applying a command
+// against a given state is deterministic, so replay reproduces them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tpu/slice.h"
+
+namespace lightwave::svc {
+
+enum class CommandKind : std::uint8_t {
+  kAdmit = 1,
+  kResize = 2,
+  kRelease = 3,
+};
+const char* ToString(CommandKind kind);
+
+struct SliceCommand {
+  /// Dense from 1 in stream order; the service acks duplicates below its
+  /// frontier and rejects gaps, so a client can blindly resubmit after a
+  /// crash.
+  std::uint64_t command_id = 0;
+  CommandKind kind = CommandKind::kAdmit;
+  std::uint64_t job_id = 0;
+  /// Requested slice shape (admit and resize; ignored for release).
+  tpu::SliceShape shape;
+
+  /// Wire encoding WITHOUT framing — the WAL's record envelope supplies the
+  /// length prefix and checksum.
+  std::vector<std::uint8_t> Encode() const;
+  /// Fails cleanly on truncation or an unknown kind (a journal carrying
+  /// bytes this build cannot parse must stop recovery, not crash it).
+  static common::Result<SliceCommand> Decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace lightwave::svc

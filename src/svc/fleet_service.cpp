@@ -1,0 +1,292 @@
+#include "svc/fleet_service.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "ctrl/controller.h"
+#include "ctrl/wire.h"
+#include "telemetry/hub.h"
+
+namespace lightwave::svc {
+
+using common::Result;
+using common::Status;
+using ctrl::CrashPoint;
+
+FleetService::FleetService(tpu::Superpod& pod, core::AllocationPolicy policy,
+                           journal::Storage& wal_storage,
+                           journal::Storage& snapshot_storage,
+                           FleetServiceOptions options)
+    : pod_(pod),
+      scheduler_(pod, policy),
+      snapshot_storage_(snapshot_storage),
+      wal_(wal_storage),  // opening the log IS the WAL half of recovery
+      options_(options) {}
+
+Result<journal::RecoveryStats> FleetService::Recover() {
+  LW_CHECK(!recovered_) << "Recover must run exactly once, before serving";
+  recovered_ = true;
+  replaying_ = true;
+  auto recovery = journal::Replay(
+      snapshot_storage_, wal_,
+      [this](const journal::Snapshot& snapshot) {
+        Status restored = DeserializeState(snapshot.state);
+        if (restored.ok()) applied_seq_ = snapshot.last_included_seq;
+        return restored;
+      },
+      [this](const journal::WalRecord& record) -> Status {
+        auto cmd = SliceCommand::Decode(record.payload);
+        if (!cmd.ok()) return cmd.error();
+        ApplyCommand(cmd.value());
+        next_command_id_ = std::max(next_command_id_, cmd.value().command_id + 1);
+        applied_seq_ = record.seq;
+        ++commands_since_snapshot_;
+        return Status::Ok();
+      },
+      hub_);
+  replaying_ = false;
+  return recovery;
+}
+
+Status FleetService::Submit(const SliceCommand& cmd) {
+  LW_CHECK(recovered_) << "serve before Recover";
+  if (crashed_) return common::Unavailable("service crashed; recover a successor");
+  ++stats_.submitted;
+  const std::uint64_t expected =
+      queue_.empty() ? next_command_id_ : queue_.back().command_id + 1;
+  if (cmd.command_id < expected) {
+    // Already committed or already queued: acknowledge, don't re-enqueue.
+    // This is what makes blind resubmission after a crash safe.
+    ++stats_.duplicate_acks;
+    return Status::Ok();
+  }
+  if (cmd.command_id > expected) {
+    return common::InvalidArgument("command id gap: got " +
+                                   std::to_string(cmd.command_id) + ", expected " +
+                                   std::to_string(expected));
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    ++stats_.rejected_backpressure;
+    if (rejected_backpressure_counter_ != nullptr) rejected_backpressure_counter_->Inc();
+    return common::ResourceExhausted("admission queue full (" +
+                                     std::to_string(options_.queue_capacity) + ")");
+  }
+  queue_.push_back(cmd);
+  stats_.queue_peak = std::max(stats_.queue_peak, queue_.size());
+  if (queued_counter_ != nullptr) queued_counter_->Inc();
+  UpdateQueueGauge();
+  return Status::Ok();
+}
+
+bool FleetService::ProcessOne() {
+  if (crashed_ || queue_.empty()) return false;
+  const SliceCommand cmd = queue_.front();
+  // Write-ahead order: the three crash points bracket the append and the
+  // apply, and recovery's obligations follow from which side of the append
+  // the crash landed on (see the header comment).
+  if (CrashIf(CrashPoint::kPreAppend)) return false;
+  std::uint64_t seq = applied_seq_;
+  if (options_.journaling) {
+    auto appended = wal_.Append(cmd.Encode());
+    LW_CHECK(appended.ok()) << "journal append failed: " << appended.error().message;
+    seq = appended.value();
+  }
+  if (CrashIf(CrashPoint::kPostAppendPreApply)) return false;
+  queue_.pop_front();
+  ApplyCommand(cmd);
+  if (crashed_) return false;  // kMidApply fired inside the apply
+  next_command_id_ = cmd.command_id + 1;
+  applied_seq_ = seq;
+  ++stats_.processed;
+  UpdateQueueGauge();
+  MaybeSnapshot();
+  return true;
+}
+
+void FleetService::ApplyCommand(const SliceCommand& cmd) {
+  auto reject = [this] {
+    ++stats_.rejected_apply;
+    if (rejected_apply_counter_ != nullptr) rejected_apply_counter_->Inc();
+  };
+  switch (cmd.kind) {
+    case CommandKind::kAdmit: {
+      if (live_jobs_.contains(cmd.job_id)) {
+        if (CrashIf(CrashPoint::kMidApply)) return;
+        reject();
+        return;
+      }
+      auto allocated = scheduler_.Allocate(cmd.shape);
+      // The crash lands between the fabric mutation and the job-table
+      // update. The half-applied state is volatile and abandoned; replay
+      // redoes the whole command against the recovered state.
+      if (CrashIf(CrashPoint::kMidApply)) return;
+      if (!allocated.ok()) {
+        reject();
+        return;
+      }
+      live_jobs_[cmd.job_id] = allocated.value();
+      ++stats_.admitted;
+      if (admitted_counter_ != nullptr) admitted_counter_->Inc();
+      return;
+    }
+    case CommandKind::kRelease: {
+      auto it = live_jobs_.find(cmd.job_id);
+      if (it == live_jobs_.end()) {
+        if (CrashIf(CrashPoint::kMidApply)) return;
+        reject();
+        return;
+      }
+      if (CrashIf(CrashPoint::kMidApply)) return;
+      LW_CHECK_OK(scheduler_.Release(it->second))
+          << "job table referenced slice " << it->second;
+      live_jobs_.erase(it);
+      ++stats_.released;
+      return;
+    }
+    case CommandKind::kResize: {
+      auto it = live_jobs_.find(cmd.job_id);
+      if (it == live_jobs_.end()) {
+        if (CrashIf(CrashPoint::kMidApply)) return;
+        reject();
+        return;
+      }
+      // Make-before-break: allocate the new shape while the old slice still
+      // holds, so a resize the pod cannot fit rejects without disturbing
+      // the running job.
+      auto allocated = scheduler_.Allocate(cmd.shape);
+      if (CrashIf(CrashPoint::kMidApply)) return;
+      if (!allocated.ok()) {
+        reject();
+        return;
+      }
+      LW_CHECK_OK(scheduler_.Release(it->second))
+          << "job table referenced slice " << it->second;
+      it->second = allocated.value();
+      ++stats_.resized;
+      return;
+    }
+  }
+}
+
+bool FleetService::CrashIf(CrashPoint point) {
+  // Crash points model the serving path; replay re-applies committed
+  // commands and must never "die" again.
+  if (replaying_ || injector_ == nullptr) return false;
+  if (!injector_->ShouldCrash(point)) return false;
+  crashed_ = true;
+  ++stats_.crashes;
+  return true;
+}
+
+FleetService::ServeResult FleetService::Serve(const RequestStream& stream) {
+  ServeResult result;
+  while (!crashed_) {
+    // Refill from the stream at the resubmission frontier. Regenerating
+    // commands instead of remembering them is what a real client does after
+    // the service restarts: replay its own log of unacknowledged requests.
+    std::uint64_t next = queue_.empty() ? next_command_id_ : queue_.back().command_id + 1;
+    while (next <= stream.count() && queue_.size() < options_.queue_capacity) {
+      Status submitted = Submit(stream.Command(next - 1));
+      LW_CHECK(submitted.ok()) << submitted.error().message;
+      ++next;
+    }
+    if (queue_.empty()) break;  // stream exhausted and fully drained
+    if (!ProcessOne()) break;   // only a crash stops a non-empty queue
+    ++result.processed;
+  }
+  result.crashed = crashed_;
+  return result;
+}
+
+void FleetService::MaybeSnapshot() {
+  if (!options_.journaling || options_.snapshot_interval == 0) return;
+  if (++commands_since_snapshot_ < options_.snapshot_interval) return;
+  LW_CHECK_OK(TakeSnapshot()) << "snapshot failed";
+}
+
+Status FleetService::TakeSnapshot() {
+  // No crash point sits between the apply and this write, so snapshot +
+  // compaction are atomic under the crash model — mirroring a real
+  // write-to-temp-then-rename snapshot protocol.
+  Status written =
+      journal::SnapshotWriter::Write(snapshot_storage_, applied_seq_, SerializeState());
+  if (!written.ok()) return written;
+  commands_since_snapshot_ = 0;
+  ++stats_.snapshots;
+  if (snapshot_counter_ != nullptr) snapshot_counter_->Inc();
+  return wal_.Compact(applied_seq_);
+}
+
+std::vector<std::uint8_t> FleetService::SerializeState() const {
+  ctrl::WireWriter writer;
+  writer.PutU64(next_command_id_);
+  writer.PutVarint(live_jobs_.size());
+  for (const auto& [job_id, slice_id] : live_jobs_) {
+    writer.PutVarint(job_id);
+    writer.PutU64(slice_id);
+  }
+  scheduler_.ExportState(writer);
+  writer.PutU8(controller_ != nullptr ? 1 : 0);
+  if (controller_ != nullptr) controller_->ExportState(writer);
+  return writer.Take();
+}
+
+Status FleetService::DeserializeState(const std::vector<std::uint8_t>& bytes) {
+  ctrl::WireReader reader(bytes);
+  auto next_command_id = reader.GetU64();
+  auto job_count = reader.GetVarint();
+  if (!next_command_id || !job_count) return common::Internal("service state truncated");
+  std::map<std::uint64_t, tpu::SliceId> jobs;
+  for (std::uint64_t i = 0; i < *job_count; ++i) {
+    auto job_id = reader.GetVarint();
+    auto slice_id = reader.GetU64();
+    if (!job_id || !slice_id) return common::Internal("service job table truncated");
+    jobs[*job_id] = *slice_id;
+  }
+  if (Status imported = scheduler_.ImportState(reader); !imported.ok()) return imported;
+  auto has_controller = reader.GetU8();
+  if (!has_controller) return common::Internal("service state truncated");
+  if (*has_controller != 0) {
+    if (controller_ == nullptr) {
+      return common::FailedPrecondition(
+          "snapshot carries controller state but no controller is bound");
+    }
+    if (Status imported = controller_->ImportState(reader); !imported.ok()) {
+      return imported;
+    }
+  }
+  if (!reader.AtEnd()) return common::Internal("trailing bytes after service state");
+  next_command_id_ = *next_command_id;
+  live_jobs_ = std::move(jobs);
+  return Status::Ok();
+}
+
+void FleetService::UpdateQueueGauge() {
+  if (queue_gauge_ != nullptr) queue_gauge_->Set(static_cast<double>(queue_.size()));
+}
+
+void FleetService::AttachTelemetry(telemetry::Hub* hub) {
+  hub_ = hub;
+  wal_.AttachTelemetry(hub);
+  scheduler_.AttachTelemetry(hub);
+  if (hub == nullptr) {
+    admitted_counter_ = queued_counter_ = nullptr;
+    rejected_backpressure_counter_ = rejected_apply_counter_ = nullptr;
+    snapshot_counter_ = nullptr;
+    queue_gauge_ = nullptr;
+    return;
+  }
+  auto& metrics = hub->metrics();
+  admitted_counter_ = &metrics.GetCounter("lightwave_svc_admitted_total");
+  queued_counter_ = &metrics.GetCounter("lightwave_svc_queued_total");
+  rejected_backpressure_counter_ =
+      &metrics.GetCounter("lightwave_svc_rejected_total", {{"reason", "backpressure"}});
+  rejected_apply_counter_ =
+      &metrics.GetCounter("lightwave_svc_rejected_total", {{"reason", "apply"}});
+  snapshot_counter_ = &metrics.GetCounter("lightwave_svc_snapshots_total");
+  queue_gauge_ = &metrics.GetGauge("lightwave_svc_queue_depth");
+  UpdateQueueGauge();
+}
+
+}  // namespace lightwave::svc

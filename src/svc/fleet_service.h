@@ -1,0 +1,178 @@
+// Crash-recoverable fleet service front-end. Slice requests flow through a
+// bounded queue (backpressure: a full queue rejects, the client retries
+// later), and every dequeued command is journaled BEFORE it is applied —
+// write-ahead order is the entire durability argument:
+//
+//   crash before the append  -> the command was never acknowledged as
+//                               committed; the client resubmits it;
+//   crash after the append   -> the command is durable; recovery re-applies
+//                               it exactly once, keyed on its journal
+//                               sequence number.
+//
+// The service object itself is volatile — a simulated crash (armed through
+// ctrl::FaultInjector's crash points) abandons it, and a fresh service over
+// the SAME two Storage devices recovers: load the snapshot, replay the WAL
+// suffix, resume the stream from the committed frontier. Periodic snapshots
+// bound replay work; each snapshot compacts the log prefix it covers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scheduler.h"
+#include "ctrl/fault_injector.h"
+#include "journal/replay.h"
+#include "journal/snapshot.h"
+#include "journal/wal.h"
+#include "svc/command.h"
+#include "svc/request_stream.h"
+
+namespace lightwave::telemetry {
+class Counter;
+class Gauge;
+class Hub;
+}  // namespace lightwave::telemetry
+
+namespace lightwave::ctrl {
+class FabricController;
+}  // namespace lightwave::ctrl
+
+namespace lightwave::svc {
+
+struct FleetServiceOptions {
+  /// Bounded admission queue; a full queue rejects with kResourceExhausted.
+  std::size_t queue_capacity = 16;
+  /// Commands applied between snapshots (0 disables snapshotting; recovery
+  /// then replays the whole log).
+  std::uint64_t snapshot_interval = 64;
+  /// Bench knob: false skips the append, measuring the journaling overhead
+  /// against the same apply path. Crash recovery is meaningless without it.
+  bool journaling = true;
+};
+
+struct FleetServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t duplicate_acks = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t resized = 0;
+  std::uint64_t released = 0;
+  /// Commands journaled and applied whose outcome was a deterministic
+  /// rejection (no capacity, unknown job, duplicate job id).
+  std::uint64_t rejected_apply = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t crashes = 0;
+  std::size_t queue_peak = 0;
+};
+
+class FleetService {
+ public:
+  /// The pod and the two storages outlive the service. `wal_storage` and
+  /// `snapshot_storage` are the durable media a successor service recovers
+  /// from; everything else dies with this object.
+  FleetService(tpu::Superpod& pod, core::AllocationPolicy policy,
+               journal::Storage& wal_storage, journal::Storage& snapshot_storage,
+               FleetServiceOptions options = {});
+
+  /// Rebuilds state = snapshot + WAL suffix. Call exactly once, before
+  /// serving (a fresh deployment recovers to the empty state). Returns what
+  /// replay found; fails on corrupt snapshot/command bytes.
+  common::Result<journal::RecoveryStats> Recover();
+
+  /// Queue front-end. Duplicates below the committed frontier are
+  /// acknowledged OK without re-enqueueing (idempotent resubmission); a gap
+  /// above the expected next id is kInvalidArgument; a full queue is
+  /// kResourceExhausted.
+  common::Status Submit(const SliceCommand& cmd);
+
+  /// Dequeues and applies one command (journaling it first). Returns false
+  /// when the queue is empty or a crash point fired — check crashed().
+  bool ProcessOne();
+
+  struct ServeResult {
+    std::uint64_t processed = 0;
+    bool crashed = false;
+  };
+  /// Drives the whole stream: submit from the committed frontier, process,
+  /// repeat until the stream is exhausted and drained — or a crash fires.
+  ServeResult Serve(const RequestStream& stream);
+
+  /// True once a crash point fired; the object is then inert (every
+  /// Submit/ProcessOne refuses) and only good for inspecting stats.
+  bool crashed() const { return crashed_; }
+
+  /// Next command id the service expects to commit (the resubmission
+  /// frontier: everything below is applied and acknowledged).
+  std::uint64_t next_command_id() const { return next_command_id_; }
+  std::uint64_t applied_seq() const { return applied_seq_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t live_jobs() const { return live_jobs_.size(); }
+
+  /// Canonical bytes of the committed state: service frontier + job table +
+  /// scheduler (slices, stats, id counter) + bound controller state. Used
+  /// verbatim as the snapshot payload and, in tests, as the byte-identity
+  /// digest. Volatile service stats and the queue are deliberately excluded.
+  std::vector<std::uint8_t> SerializeState() const;
+
+  /// Includes `controller`'s replayable state in snapshots and digests
+  /// (nullptr detaches). Bind before Recover when the snapshot carries
+  /// controller state.
+  void BindController(ctrl::FabricController* controller) { controller_ = controller; }
+
+  /// Installs the crash-point hook (nullptr detaches). Crash points are
+  /// consulted on the serving path only, never during replay.
+  void SetFaultInjector(ctrl::FaultInjector* injector) { injector_ = injector; }
+
+  /// lightwave_svc_{admitted,queued,rejected,...}_total counters, the
+  /// queue-depth gauge, and the journal's own series (nullptr detaches).
+  void AttachTelemetry(telemetry::Hub* hub);
+
+  const FleetServiceStats& stats() const { return stats_; }
+  const journal::Wal& wal() const { return wal_; }
+  core::SliceScheduler& scheduler() { return scheduler_; }
+  const core::SliceScheduler& scheduler() const { return scheduler_; }
+  const FleetServiceOptions& options() const { return options_; }
+
+ private:
+  /// Applies one committed command to the scheduler/job table. Total and
+  /// deterministic: every outcome (including rejection) is a pure function
+  /// of the command and the current state. Visits the kMidApply crash point
+  /// exactly once per call on the serving path.
+  void ApplyCommand(const SliceCommand& cmd);
+  /// Consults the injector at `point`; true = the process just died.
+  bool CrashIf(ctrl::CrashPoint point);
+  void MaybeSnapshot();
+  common::Status TakeSnapshot();
+  common::Status DeserializeState(const std::vector<std::uint8_t>& bytes);
+  void UpdateQueueGauge();
+
+  tpu::Superpod& pod_;
+  core::SliceScheduler scheduler_;
+  journal::Storage& snapshot_storage_;
+  journal::Wal wal_;
+  FleetServiceOptions options_;
+  std::deque<SliceCommand> queue_;
+  std::map<std::uint64_t, tpu::SliceId> live_jobs_;
+  std::uint64_t next_command_id_ = 1;
+  std::uint64_t applied_seq_ = 0;
+  std::uint64_t commands_since_snapshot_ = 0;
+  bool recovered_ = false;
+  bool replaying_ = false;
+  bool crashed_ = false;
+  FleetServiceStats stats_;
+  ctrl::FabricController* controller_ = nullptr;
+  ctrl::FaultInjector* injector_ = nullptr;
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::Counter* admitted_counter_ = nullptr;
+  telemetry::Counter* queued_counter_ = nullptr;
+  telemetry::Counter* rejected_backpressure_counter_ = nullptr;
+  telemetry::Counter* rejected_apply_counter_ = nullptr;
+  telemetry::Counter* snapshot_counter_ = nullptr;
+  telemetry::Gauge* queue_gauge_ = nullptr;
+};
+
+}  // namespace lightwave::svc

@@ -1,0 +1,65 @@
+#include "svc/request_stream.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tpu/slice.h"
+
+namespace lightwave::svc {
+
+namespace {
+
+/// Most-compact shape for n cubes (same figure of merit the scheduler's
+/// workload generator uses: minimize max/min dimension).
+tpu::SliceShape CompactShape(int n) {
+  tpu::SliceShape best{1, 1, n};
+  double best_score = 1e18;
+  for (const auto& s : tpu::EnumerateCanonicalShapes(n)) {
+    const double score = static_cast<double>(std::max({s.a, s.b, s.c})) /
+                         std::min({s.a, s.b, s.c});
+    if (score < best_score) {
+      best_score = score;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RequestStream::RequestStream(std::uint64_t seed, std::uint64_t count,
+                             RequestStreamConfig config)
+    : seed_(seed), count_(count), config_(std::move(config)) {
+  LW_CHECK(!config_.size_menu_cubes.empty()) << "empty size menu";
+}
+
+SliceCommand RequestStream::Command(std::uint64_t index) const {
+  LW_CHECK(index < count_) << "stream index " << index << " out of range";
+  common::Rng rng = common::Rng::Stream(seed_, index);
+  SliceCommand cmd;
+  cmd.command_id = index + 1;
+
+  const double kind_draw = rng.NextDouble();
+  // The first command has no job to release or resize.
+  if (index == 0 || kind_draw < config_.admit_prob) {
+    cmd.kind = CommandKind::kAdmit;
+    // Admits mint job ids from their own command id, so ids are unique
+    // without the stream tracking state.
+    cmd.job_id = cmd.command_id;
+  } else {
+    cmd.kind = kind_draw < config_.admit_prob + config_.release_prob
+                   ? CommandKind::kRelease
+                   : CommandKind::kResize;
+    // Target some earlier command's job. It may never have been admitted,
+    // or be long released — the service rejects that deterministically.
+    cmd.job_id = rng.UniformInt(index) + 1;
+  }
+  if (cmd.kind != CommandKind::kRelease) {
+    const auto& menu = config_.size_menu_cubes;
+    cmd.shape = CompactShape(menu[static_cast<std::size_t>(rng.UniformInt(menu.size()))]);
+  }
+  return cmd;
+}
+
+}  // namespace lightwave::svc

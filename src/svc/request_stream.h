@@ -1,0 +1,43 @@
+// Seeded slice-request stream: the client side of the fleet service. Command
+// i is a pure function of (seed, i) via counter-based RNG streams, so the
+// stream needs no state, any suffix can be regenerated after a crash (the
+// resubmission path), and the crash-matrix test can replay the exact same
+// trace hundreds of times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/command.h"
+
+namespace lightwave::svc {
+
+struct RequestStreamConfig {
+  /// Slice sizes (in cubes) admits and resizes draw from, uniformly.
+  std::vector<int> size_menu_cubes = {1, 1, 1, 2, 2, 4};
+  /// Mix: P(admit) then P(release); the remainder resizes. Commands that
+  /// target a job that never existed or was already released are valid
+  /// stream entries — the service rejects them deterministically at apply.
+  double admit_prob = 0.55;
+  double release_prob = 0.30;
+};
+
+class RequestStream {
+ public:
+  RequestStream(std::uint64_t seed, std::uint64_t count,
+                RequestStreamConfig config = {});
+
+  std::uint64_t count() const { return count_; }
+
+  /// The i-th command (i in [0, count)); command ids are i + 1. Pure in
+  /// (seed, i) — calling it twice, or from two recovered processes, yields
+  /// identical bytes.
+  SliceCommand Command(std::uint64_t index) const;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t count_;
+  RequestStreamConfig config_;
+};
+
+}  // namespace lightwave::svc

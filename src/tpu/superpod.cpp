@@ -25,6 +25,14 @@ Superpod::Superpod(std::uint64_t seed, int cubes, int ocs_per_dim)
 }
 
 Result<SliceId> Superpod::InstallSlice(const SliceTopology& topology) {
+  return InstallSliceWithId(next_slice_id_, topology);
+}
+
+Result<SliceId> Superpod::InstallSliceWithId(SliceId slice_id,
+                                             const SliceTopology& topology) {
+  if (slices_.contains(slice_id)) {
+    return common::AlreadyExists("slice id " + std::to_string(slice_id) + " taken");
+  }
   for (int id : topology.cube_ids()) {
     if (id >= cube_count()) {
       return common::InvalidArgument("cube id out of range");
@@ -66,15 +74,19 @@ Result<SliceId> Superpod::InstallSlice(const SliceTopology& topology) {
     installed[ocs_id] = new_conns;
   }
 
-  const SliceId id = next_slice_id_++;
-  for (int cube_id : topology.cube_ids()) cube_owner_[cube_id] = id;
-  slices_.emplace(id, InstalledSlice{
-                          .id = id,
-                          .topology = topology,
-                          .connections = std::move(installed),
-                          .install_time_ms = install_ms,
-                      });
-  return id;
+  if (slice_id >= next_slice_id_) next_slice_id_ = slice_id + 1;
+  for (int cube_id : topology.cube_ids()) cube_owner_[cube_id] = slice_id;
+  slices_.emplace(slice_id, InstalledSlice{
+                                .id = slice_id,
+                                .topology = topology,
+                                .connections = std::move(installed),
+                                .install_time_ms = install_ms,
+                            });
+  return slice_id;
+}
+
+void Superpod::SetNextSliceId(SliceId next) {
+  if (next > next_slice_id_) next_slice_id_ = next;
 }
 
 Status Superpod::RemoveSlice(SliceId id) {

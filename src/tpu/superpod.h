@@ -51,6 +51,19 @@ class Superpod {
   /// an OCS rejects the reconfiguration.
   common::Result<SliceId> InstallSlice(const SliceTopology& topology);
 
+  /// Installs a slice under a caller-chosen id (recovery replay reinstalls
+  /// journaled slices under their original ids so job -> slice references
+  /// survive a restart). Same failure modes as InstallSlice, plus
+  /// kAlreadyExists when the id is taken. The id counter advances past `id`
+  /// so future InstallSlice calls never collide.
+  common::Result<SliceId> InstallSliceWithId(SliceId id, const SliceTopology& topology);
+
+  SliceId next_slice_id() const { return next_slice_id_; }
+  /// Recovery hook: advances the slice-id counter (never rewinds), so a
+  /// restored pod keeps minting fresh ids even when the latest slices were
+  /// released before the crash.
+  void SetNextSliceId(SliceId next);
+
   common::Status RemoveSlice(SliceId id);
 
   const std::map<SliceId, InstalledSlice>& slices() const { return slices_; }

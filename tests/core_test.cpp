@@ -12,6 +12,8 @@
 #include "core/topology_engineer.h"
 #include "optics/transceiver.h"
 #include "phy/ber_model.h"
+#include "telemetry/export.h"
+#include "telemetry/hub.h"
 
 namespace lightwave::core {
 namespace {
@@ -155,6 +157,42 @@ TEST(Scheduler, QueuedReconfigurableWaitsLessThanContiguous) {
   const auto contig = SimulateWorkload(pod_b, AllocationPolicy::kContiguous, config);
   EXPECT_LT(reconf.mean_wait_hours, contig.mean_wait_hours);
   EXPECT_GE(reconf.utilization, contig.utilization);
+}
+
+TEST(Scheduler, WorkloadSimExportsAdmissionView) {
+  // The admission-control view — jobs submitted/queued/lost, backlog depth,
+  // lost-capacity fraction, acceptance rate — must land on an attached hub
+  // so the Prometheus exporter can serve it.
+  WorkloadConfig config;
+  config.sim_hours = 400.0;
+  config.arrival_rate_per_hour = 1.6;  // overloaded: backlog and losses exist
+  config.mean_duration_hours = 8.0;
+  config.queue_jobs = true;
+  config.cube_mtbf_hours = 2000.0;
+  telemetry::Hub hub;
+  config.hub = &hub;
+  tpu::Superpod pod(23);
+  const auto result = SimulateWorkload(pod, AllocationPolicy::kReconfigurable, config);
+
+  const telemetry::LabelSet labels{{"policy", "reconfigurable"}};
+  auto& metrics = hub.metrics();
+  EXPECT_EQ(metrics.GetCounter("lightwave_core_jobs_submitted_total", labels).value(),
+            result.submitted);
+  EXPECT_GT(metrics.GetCounter("lightwave_core_jobs_queued_total", labels).value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("lightwave_core_jobs_lost_total", labels).value(),
+            result.lost_to_failure);
+  EXPECT_EQ(metrics.GetGauge("lightwave_core_backlog_depth", labels).value(),
+            static_cast<double>(result.left_in_queue));
+  EXPECT_NEAR(metrics.GetGauge("lightwave_core_acceptance_rate", labels).value(),
+              result.acceptance_rate, 1e-12);
+  const double lost_capacity =
+      metrics.GetGauge("lightwave_core_lost_capacity_fraction", labels).value();
+  EXPECT_GE(lost_capacity, 0.0);
+  EXPECT_LT(lost_capacity, 1.0);
+  // And the whole view survives the exporter's text rendering.
+  const std::string page = telemetry::ToPrometheus(metrics);
+  EXPECT_NE(page.find("lightwave_core_jobs_submitted_total"), std::string::npos);
+  EXPECT_NE(page.find("lightwave_core_lost_capacity_fraction"), std::string::npos);
 }
 
 TEST(Scheduler, WorkloadSimRepairsUnderFailures) {

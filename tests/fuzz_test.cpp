@@ -13,7 +13,12 @@
 #include "ctrl/messages.h"
 #include "ctrl/wire.h"
 #include "fec/reed_solomon.h"
+#include "journal/snapshot.h"
+#include "journal/storage.h"
+#include "journal/wal.h"
 #include "ocs/palomar.h"
+#include "svc/command.h"
+#include "tpu/slice.h"
 
 namespace lightwave {
 namespace {
@@ -223,6 +228,132 @@ TEST(Fuzz, RandomJunkOnlyTripsEnsureContracts) {
   }
   // Every trial rejects through exactly one LW_ENSURE gate.
   EXPECT_EQ(ensure_count, 500u);
+}
+
+// --- journal record framing fuzzing -------------------------------------------------
+
+journal::MemStorage JournalWith(int records, std::uint64_t seed) {
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  common::Rng rng(seed);
+  for (int i = 0; i < records; ++i) {
+    std::vector<std::uint8_t> payload(rng.UniformInt(48) + 1);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    LW_CHECK(wal.Append(payload).ok());
+  }
+  return storage;
+}
+
+TEST(Fuzz, JournalScanNeverCrashesOnRandomBytes) {
+  // Byte soup fed straight to the scanner: every outcome must be a clean
+  // diagnosis (zero or more valid records plus a tail error), never UB.
+  // Junk essentially never passes the CRC32C gate.
+  common::Rng rng(21);
+  int accepted_records = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    journal::MemStorage storage;
+    std::vector<std::uint8_t> junk(rng.UniformInt(96));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    storage.Append(junk.data(), junk.size());
+    const auto scan = journal::Wal::Scan(storage);
+    accepted_records += static_cast<int>(scan.records.size());
+    EXPECT_LE(scan.valid_bytes, junk.size());
+    if (!junk.empty()) {
+      EXPECT_FALSE(scan.tail.ok());
+    }
+    // Opening (and repairing) a WAL over the junk must also be safe, and
+    // must leave only the bytes the scan vouched for.
+    journal::Wal wal(storage);
+    EXPECT_EQ(storage.size(), scan.valid_bytes);
+    EXPECT_TRUE(wal.Append({0x5A}).ok());
+  }
+  EXPECT_EQ(accepted_records, 0);
+}
+
+TEST(Fuzz, JournalBitFlipsNeverYieldPhantomRecords) {
+  // Flip every bit of a small real log: the scan must never report MORE
+  // records than survive up to the flipped byte, and re-scanning must stay
+  // in-bounds. (A flip in record k's frame invalidates k and everything
+  // after; flips in the payload tail of the file can only shorten the log.)
+  const journal::MemStorage pristine = JournalWith(6, 31);
+  const auto baseline = journal::Wal::Scan(pristine);
+  ASSERT_EQ(baseline.records.size(), 6u);
+  ASSERT_TRUE(baseline.tail.ok());
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      journal::MemStorage mutated = pristine;
+      mutated.bytes()[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const auto scan = journal::Wal::Scan(mutated);
+      EXPECT_FALSE(scan.tail.ok()) << "flip at byte " << byte << " bit " << bit;
+      EXPECT_LT(scan.records.size(), 6u) << "flip at byte " << byte << " bit " << bit;
+      EXPECT_LE(scan.valid_bytes, mutated.size());
+      for (const auto& record : scan.records) {
+        // Surviving records are the untouched prefix, byte-for-byte.
+        EXPECT_EQ(record.payload, baseline.records[record.seq - 1].payload);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, JournalLyingLengthFieldsAreContained) {
+  // Craft frames whose length field lies — shorter than the body, longer
+  // than the storage, near UINT32_MAX. The scanner must stop at the frame
+  // boundary with a clean error, never read past the storage.
+  journal::MemStorage storage = JournalWith(2, 41);
+  const std::uint64_t good_size = storage.size();
+  for (std::uint32_t lie :
+       {0u, 1u, 7u, 0x000000FFu, 0x00FFFFFFu, 0xFFFFFFFFu,
+        static_cast<std::uint32_t>(journal::Wal::kMaxRecordBytes + 1)}) {
+    journal::MemStorage mutated = storage;
+    for (int i = 0; i < 4; ++i) {
+      mutated.bytes()[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(lie >> (8 * i));
+    }
+    const auto scan = journal::Wal::Scan(mutated);
+    EXPECT_TRUE(scan.records.empty()) << "lie " << lie;
+    EXPECT_FALSE(scan.tail.ok()) << "lie " << lie;
+    EXPECT_EQ(scan.valid_bytes, 0u) << "lie " << lie;
+    (void)good_size;
+  }
+}
+
+TEST(Fuzz, SnapshotReaderNeverCrashesOnRandomBytes) {
+  common::Rng rng(23);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    journal::MemStorage storage;
+    std::vector<std::uint8_t> junk(rng.UniformInt(96));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    storage.Append(junk.data(), junk.size());
+    const auto snapshot = journal::SnapshotReader::Read(storage);
+    if (snapshot.ok()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(Fuzz, SliceCommandDecodeNeverCrashesOnRandomBytes) {
+  // Commands come out of CRC-verified WAL records, so junk reaching Decode
+  // means the journal itself was corrupted — but decode must still fail
+  // closed (Result error, no UB) on arbitrary bytes and on every
+  // truncation of a real command.
+  common::Rng rng(25);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.UniformInt(32));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    (void)svc::SliceCommand::Decode(junk);
+  }
+  svc::SliceCommand cmd;
+  cmd.command_id = 712;
+  cmd.kind = svc::CommandKind::kAdmit;
+  cmd.job_id = 9;
+  cmd.shape = tpu::SliceShape{4, 2, 1};
+  const auto encoded = cmd.Encode();
+  ASSERT_TRUE(svc::SliceCommand::Decode(encoded).ok());
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    std::vector<std::uint8_t> prefix(encoded.begin(),
+                                     encoded.begin() + static_cast<long>(len));
+    EXPECT_FALSE(svc::SliceCommand::Decode(prefix).ok()) << len;
+  }
 }
 
 // --- palomar random-operation stress ----------------------------------------------

@@ -1,0 +1,321 @@
+// Durability-layer tests (CTest label `recovery`): WAL framing and torn-tail
+// tolerance at every truncation offset, compaction keeping sequence numbers
+// monotone, snapshot round-trip and corruption rejection, and replay's
+// exactly-once suffix semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "journal/replay.h"
+#include "journal/snapshot.h"
+#include "journal/storage.h"
+#include "journal/wal.h"
+#include "telemetry/hub.h"
+
+namespace lightwave {
+namespace {
+
+std::vector<std::uint8_t> Payload(int i) {
+  std::vector<std::uint8_t> bytes;
+  for (int j = 0; j <= i % 7; ++j) bytes.push_back(static_cast<std::uint8_t>(i + j));
+  return bytes;
+}
+
+journal::MemStorage LogWith(int records) {
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  for (int i = 0; i < records; ++i) {
+    auto seq = wal.Append(Payload(i));
+    EXPECT_TRUE(seq.ok());
+    EXPECT_EQ(seq.value(), static_cast<std::uint64_t>(i + 1));
+  }
+  return storage;
+}
+
+TEST(Wal, AppendScanRoundTrip) {
+  journal::MemStorage storage = LogWith(10);
+  const auto scan = journal::Wal::Scan(storage);
+  ASSERT_TRUE(scan.tail.ok()) << scan.tail.error().message;
+  ASSERT_EQ(scan.records.size(), 10u);
+  EXPECT_EQ(scan.valid_bytes, storage.size());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(scan.records[static_cast<std::size_t>(i)].seq,
+              static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(scan.records[static_cast<std::size_t>(i)].payload, Payload(i));
+  }
+}
+
+TEST(Wal, EveryTruncationOffsetScansCleanly) {
+  // Chop the log at EVERY byte length. The scan must never crash, must keep
+  // every record before the cut, and must report a torn tail unless the cut
+  // lands exactly on a record boundary.
+  const journal::MemStorage full = LogWith(8);
+  const auto boundaries = [&] {
+    std::vector<std::uint64_t> offs{0};
+    const auto scan = journal::Wal::Scan(full);
+    std::uint64_t off = 0;
+    for (const auto& rec : scan.records) {
+      off += 8 + 8 + rec.payload.size();  // header + seq + payload
+      offs.push_back(off);
+    }
+    return offs;
+  }();
+  for (std::uint64_t cut = 0; cut <= full.size(); ++cut) {
+    journal::MemStorage torn;
+    torn.bytes().assign(full.bytes().begin(),
+                        full.bytes().begin() + static_cast<long>(cut));
+    const auto scan = journal::Wal::Scan(torn);
+    const bool at_boundary =
+        std::find(boundaries.begin(), boundaries.end(), cut) != boundaries.end();
+    EXPECT_EQ(scan.tail.ok(), at_boundary) << "cut at " << cut;
+    EXPECT_LE(scan.valid_bytes, cut);
+    // Recovery through the constructor must leave an appendable log.
+    journal::Wal wal(torn);
+    EXPECT_EQ(torn.size(), wal.recovery_scan().valid_bytes);
+    EXPECT_EQ(wal.tail_truncated_bytes(), cut - wal.recovery_scan().valid_bytes);
+    auto appended = wal.Append({0xAB});
+    ASSERT_TRUE(appended.ok());
+    EXPECT_EQ(appended.value(), wal.recovery_scan().records.size() + 1);
+    EXPECT_TRUE(journal::Wal::Scan(torn).tail.ok());
+  }
+}
+
+TEST(Wal, EveryBitFlipIsCaught) {
+  // Flip every bit of a small log: the scan must stop at (or before) the
+  // damaged record and keep all records in front of it intact.
+  const journal::MemStorage full = LogWith(4);
+  const auto clean = journal::Wal::Scan(full);
+  for (std::size_t byte = 0; byte < full.bytes().size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      journal::MemStorage corrupt;
+      corrupt.bytes() = full.bytes();
+      corrupt.bytes()[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const auto scan = journal::Wal::Scan(corrupt);
+      EXPECT_FALSE(scan.tail.ok()) << "flip at byte " << byte << " bit " << bit;
+      ASSERT_LT(scan.records.size(), clean.records.size());
+      for (std::size_t i = 0; i < scan.records.size(); ++i) {
+        EXPECT_EQ(scan.records[i].seq, clean.records[i].seq);
+        EXPECT_EQ(scan.records[i].payload, clean.records[i].payload);
+      }
+    }
+  }
+}
+
+TEST(Wal, ImplausibleLengthStopsScan) {
+  journal::MemStorage storage = LogWith(1);
+  // A length field far beyond kMaxRecordBytes: the scanner must refuse to
+  // allocate or read it.
+  std::vector<std::uint8_t> bogus(16, 0xFF);
+  storage.Append(bogus.data(), bogus.size());
+  const auto scan = journal::Wal::Scan(storage);
+  EXPECT_FALSE(scan.tail.ok());
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_NE(scan.tail.error().message.find("implausible"), std::string::npos);
+}
+
+TEST(Wal, SequenceDiscontinuityStopsScan) {
+  // Build records 1..3 and 1..2 in separate logs, then splice log B's
+  // records after log A's: the seq jump (3 -> 1) must end the scan.
+  journal::MemStorage a = LogWith(3);
+  const journal::MemStorage b = LogWith(2);
+  a.bytes().insert(a.bytes().end(), b.bytes().begin(), b.bytes().end());
+  const auto scan = journal::Wal::Scan(a);
+  EXPECT_FALSE(scan.tail.ok());
+  EXPECT_EQ(scan.records.size(), 3u);
+  EXPECT_NE(scan.tail.error().message.find("discontinuity"), std::string::npos);
+}
+
+TEST(Wal, OversizedAppendRejected) {
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  std::vector<std::uint8_t> huge(journal::Wal::kMaxRecordBytes, 1);
+  auto appended = wal.Append(huge);  // + 8 seq bytes pushes it over the limit
+  EXPECT_FALSE(appended.ok());
+  EXPECT_EQ(storage.size(), 0u);
+  EXPECT_TRUE(wal.Append(std::vector<std::uint8_t>(100, 2)).ok());
+}
+
+TEST(Wal, FullCompactionKeepsSequenceCounterMonotone) {
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+  ASSERT_TRUE(wal.Compact(10).ok());
+  EXPECT_EQ(storage.size(), 0u);
+  // Exactly-once keying depends on this: post-compaction appends must NOT
+  // reuse sequence numbers the snapshot already covers.
+  auto appended = wal.Append({0x01});
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended.value(), 11u);
+  EXPECT_GT(wal.reclaimed_bytes(), 0u);
+}
+
+TEST(Wal, PartialCompactionKeepsSuffix) {
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+  ASSERT_TRUE(wal.Compact(6).ok());
+  const auto scan = journal::Wal::Scan(storage);
+  ASSERT_TRUE(scan.tail.ok());
+  ASSERT_EQ(scan.records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(scan.records[static_cast<std::size_t>(i)].seq,
+              static_cast<std::uint64_t>(7 + i));
+    EXPECT_EQ(scan.records[static_cast<std::size_t>(i)].payload, Payload(6 + i));
+  }
+  EXPECT_EQ(wal.Append({0x02}).value(), 11u);
+}
+
+TEST(Wal, SetNextSeqNeverRewinds) {
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  wal.SetNextSeq(100);
+  EXPECT_EQ(wal.next_seq(), 100u);
+  wal.SetNextSeq(5);
+  EXPECT_EQ(wal.next_seq(), 100u);
+  EXPECT_EQ(wal.Append({0x03}).value(), 100u);
+}
+
+TEST(Snapshot, RoundTrip) {
+  journal::MemStorage storage;
+  const std::vector<std::uint8_t> state{1, 2, 3, 4, 5};
+  ASSERT_TRUE(journal::SnapshotWriter::Write(storage, 42, state).ok());
+  auto read = journal::SnapshotReader::Read(storage);
+  ASSERT_TRUE(read.ok()) << read.error().message;
+  EXPECT_EQ(read.value().last_included_seq, 42u);
+  EXPECT_EQ(read.value().state, state);
+  // A rewrite replaces, never appends.
+  ASSERT_TRUE(journal::SnapshotWriter::Write(storage, 43, {9}).ok());
+  auto reread = journal::SnapshotReader::Read(storage);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().last_included_seq, 43u);
+  EXPECT_EQ(reread.value().state, std::vector<std::uint8_t>{9});
+}
+
+TEST(Snapshot, EmptyStorageIsNotFound) {
+  journal::MemStorage storage;
+  auto read = journal::SnapshotReader::Read(storage);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.error().code, common::Error::Code::kNotFound);
+}
+
+TEST(Snapshot, EveryBitFlipAndTruncationRejected) {
+  journal::MemStorage clean;
+  ASSERT_TRUE(journal::SnapshotWriter::Write(clean, 7, {10, 20, 30}).ok());
+  for (std::size_t byte = 0; byte < clean.bytes().size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      journal::MemStorage corrupt;
+      corrupt.bytes() = clean.bytes();
+      corrupt.bytes()[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      auto read = journal::SnapshotReader::Read(corrupt);
+      ASSERT_FALSE(read.ok()) << "flip at byte " << byte << " bit " << bit;
+      EXPECT_EQ(read.error().code, common::Error::Code::kInternal);
+    }
+  }
+  for (std::size_t cut = 1; cut < clean.bytes().size(); ++cut) {
+    journal::MemStorage truncated;
+    truncated.bytes().assign(clean.bytes().begin(),
+                             clean.bytes().begin() + static_cast<long>(cut));
+    EXPECT_FALSE(journal::SnapshotReader::Read(truncated).ok()) << cut;
+  }
+}
+
+TEST(Replay, SkipsRecordsTheSnapshotCovers) {
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  {
+    journal::Wal wal(wal_storage);
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+  }
+  ASSERT_TRUE(journal::SnapshotWriter::Write(snapshot_storage, 5, {0xAA}).ok());
+
+  journal::Wal wal(wal_storage);
+  std::vector<std::uint8_t> snapshot_state;
+  std::vector<std::uint64_t> applied;
+  auto recovery = journal::Replay(
+      snapshot_storage, wal,
+      [&](const journal::Snapshot& snap) {
+        snapshot_state = snap.state;
+        return common::Status::Ok();
+      },
+      [&](const journal::WalRecord& record) {
+        applied.push_back(record.seq);
+        return common::Status::Ok();
+      });
+  ASSERT_TRUE(recovery.ok()) << recovery.error().message;
+  EXPECT_TRUE(recovery.value().snapshot_loaded);
+  EXPECT_EQ(recovery.value().snapshot_seq, 5u);
+  EXPECT_EQ(recovery.value().records_skipped, 5u);
+  EXPECT_EQ(recovery.value().records_replayed, 3u);
+  EXPECT_TRUE(recovery.value().wal_clean);
+  EXPECT_EQ(snapshot_state, std::vector<std::uint8_t>{0xAA});
+  EXPECT_EQ(applied, (std::vector<std::uint64_t>{6, 7, 8}));
+}
+
+TEST(Replay, FastForwardsSeqPastCompactedLog) {
+  // Snapshot at seq 20, log fully compacted: the next append must be 21.
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  ASSERT_TRUE(journal::SnapshotWriter::Write(snapshot_storage, 20, {1}).ok());
+  journal::Wal wal(wal_storage);
+  auto recovery = journal::Replay(
+      snapshot_storage, wal, [](const journal::Snapshot&) { return common::Status::Ok(); },
+      [](const journal::WalRecord&) { return common::Status::Ok(); });
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_EQ(wal.next_seq(), 21u);
+  EXPECT_EQ(wal.Append({0x04}).value(), 21u);
+}
+
+TEST(Replay, ReportsTornTailAndRecordsMetrics) {
+  journal::MemStorage wal_storage = LogWith(5);
+  journal::MemStorage snapshot_storage;
+  wal_storage.bytes().resize(wal_storage.bytes().size() - 3);  // torn mid-record
+  journal::Wal wal(wal_storage);
+  telemetry::Hub hub;
+  std::uint64_t replayed = 0;
+  auto recovery = journal::Replay(
+      snapshot_storage, wal, [](const journal::Snapshot&) { return common::Status::Ok(); },
+      [&](const journal::WalRecord&) {
+        ++replayed;
+        return common::Status::Ok();
+      },
+      &hub);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_FALSE(recovery.value().snapshot_loaded);
+  EXPECT_FALSE(recovery.value().wal_clean);
+  EXPECT_GT(recovery.value().torn_bytes_discarded, 0u);
+  EXPECT_EQ(recovery.value().records_replayed, 4u);
+  EXPECT_EQ(replayed, 4u);
+  EXPECT_EQ(hub.metrics().GetCounter("lightwave_journal_recoveries_total").value(), 1u);
+  EXPECT_EQ(hub.metrics().GetHistogram("lightwave_journal_recovery_latency_ms").count(),
+            1u);
+}
+
+TEST(Replay, CorruptSnapshotIsAHardError) {
+  journal::MemStorage wal_storage = LogWith(2);
+  journal::MemStorage snapshot_storage;
+  ASSERT_TRUE(journal::SnapshotWriter::Write(snapshot_storage, 1, {5}).ok());
+  snapshot_storage.bytes()[6] ^= 0x40;
+  journal::Wal wal(wal_storage);
+  auto recovery = journal::Replay(
+      snapshot_storage, wal, [](const journal::Snapshot&) { return common::Status::Ok(); },
+      [](const journal::WalRecord&) { return common::Status::Ok(); });
+  ASSERT_FALSE(recovery.ok());
+  EXPECT_EQ(recovery.error().code, common::Error::Code::kInternal);
+}
+
+TEST(Crc32c, MatchesKnownVector) {
+  // RFC 3720 test vector: CRC32C over 32 zero bytes.
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(journal::Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // And the classic "123456789" check value.
+  const std::string digits = "123456789";
+  EXPECT_EQ(journal::Crc32c(reinterpret_cast<const std::uint8_t*>(digits.data()),
+                            digits.size()),
+            0xE3069283u);
+}
+
+}  // namespace
+}  // namespace lightwave

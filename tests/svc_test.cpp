@@ -1,0 +1,342 @@
+// Fleet-service crash-recovery tests (CTest label `recovery`). The
+// centerpiece is the crash matrix: a 200-command seeded trace, crashed at
+// EVERY command boundary under each of the three crash points, recovered,
+// and checked three ways — the recovered state is byte-identical to the
+// pre-crash committed state, no journaled command applies twice, and no
+// accepted-and-journaled command is lost. The matrix also runs under the
+// deterministic parallel runtime at 1/2/8 threads with identical results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/scheduler.h"
+#include "ctrl/controller.h"
+#include "ctrl/fault_injector.h"
+#include "ctrl/wire.h"
+#include "journal/storage.h"
+#include "svc/fleet_service.h"
+#include "svc/request_stream.h"
+#include "telemetry/hub.h"
+#include "tpu/superpod.h"
+
+namespace lightwave {
+namespace {
+
+using ctrl::CrashPoint;
+
+constexpr std::uint64_t kPodSeed = 91;
+constexpr std::uint64_t kStreamSeed = 2026;
+constexpr std::uint64_t kCommands = 200;
+// Small pod (8 cubes, 6 OCSes) so the 600-trial matrix stays fast; the
+// stream's size menu keeps capacity pressure (and thus apply rejections) in
+// the trace.
+constexpr int kPodCubes = 8;
+constexpr int kOcsPerDim = 2;
+
+svc::FleetServiceOptions MatrixOptions() {
+  svc::FleetServiceOptions options;
+  options.queue_capacity = 8;
+  options.snapshot_interval = 16;  // several snapshot/compaction cycles per run
+  return options;
+}
+
+std::unique_ptr<tpu::Superpod> FreshPod() {
+  return std::make_unique<tpu::Superpod>(kPodSeed, kPodCubes, kOcsPerDim);
+}
+
+const svc::RequestStream& Stream() {
+  static const svc::RequestStream stream(kStreamSeed, kCommands);
+  return stream;
+}
+
+/// Oracle digests: state bytes after committing exactly k commands, for
+/// every k in [0, kCommands], from one uneventful serial run.
+const std::vector<std::vector<std::uint8_t>>& OracleDigests() {
+  static const auto digests = [] {
+    std::vector<std::vector<std::uint8_t>> out;
+    auto pod = FreshPod();
+    journal::MemStorage wal_storage;
+    journal::MemStorage snapshot_storage;
+    svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                              wal_storage, snapshot_storage, MatrixOptions());
+    EXPECT_TRUE(service.Recover().ok());
+    out.push_back(service.SerializeState());
+    for (std::uint64_t i = 0; i < kCommands; ++i) {
+      EXPECT_TRUE(service.Submit(Stream().Command(i)).ok());
+      EXPECT_TRUE(service.ProcessOne());
+      out.push_back(service.SerializeState());
+    }
+    return out;
+  }();
+  return digests;
+}
+
+struct TrialResult {
+  bool crashed = false;
+  std::uint64_t committed_after_crash = 0;
+  std::vector<std::uint8_t> recovered_digest;
+  std::vector<std::uint8_t> final_digest;
+  bool recovery_ok = false;
+  bool invariants_ok = false;
+};
+
+/// One matrix cell: crash the k-th visit of `point`, recover a successor
+/// process over the same durable media, resume, finish the stream.
+TrialResult RunCrashTrial(CrashPoint point, std::uint64_t k) {
+  TrialResult result;
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  ctrl::FaultInjector injector(7, ctrl::FaultProfile{});
+
+  {
+    auto pod = FreshPod();
+    svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                              wal_storage, snapshot_storage, MatrixOptions());
+    service.SetFaultInjector(&injector);
+    if (!service.Recover().ok()) return result;
+    injector.ArmCrash(point, k);
+    auto served = service.Serve(Stream());
+    result.crashed = served.crashed;
+    // The pod and service die here; only the two storages survive.
+  }
+
+  auto pod = FreshPod();
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                            wal_storage, snapshot_storage, MatrixOptions());
+  service.SetFaultInjector(&injector);
+  auto recovery = service.Recover();
+  result.recovery_ok = recovery.ok();
+  if (!recovery.ok()) return result;
+  result.committed_after_crash = service.next_command_id() - 1;
+  result.recovered_digest = service.SerializeState();
+
+  auto served = service.Serve(Stream());
+  if (served.crashed) return result;
+  result.final_digest = service.SerializeState();
+
+  result.invariants_ok = service.scheduler().ValidateInvariants().ok();
+  for (int i = 0; result.invariants_ok && i < pod->ocs_count(); ++i) {
+    result.invariants_ok = pod->ocs(i).ValidateInvariants().ok();
+  }
+  return result;
+}
+
+void CheckTrial(CrashPoint point, std::uint64_t k, const TrialResult& result) {
+  SCOPED_TRACE("crash point " + std::string(ctrl::ToString(point)) + " at command " +
+               std::to_string(k));
+  ASSERT_TRUE(result.crashed);
+  ASSERT_TRUE(result.recovery_ok);
+  // Durability contract: a pre-append crash may lose only command k (never
+  // acknowledged as committed); at or after the append, command k is
+  // journaled and MUST survive.
+  const std::uint64_t expected_committed = point == CrashPoint::kPreAppend ? k - 1 : k;
+  EXPECT_EQ(result.committed_after_crash, expected_committed);
+  // Byte-identical to the committed pre-crash state: nothing applied twice
+  // (the oracle applied each command exactly once — a double apply would
+  // shift the scheduler's request counters and slice ids), nothing lost.
+  EXPECT_EQ(result.recovered_digest, OracleDigests()[expected_committed]);
+  // Resuming the stream from the frontier converges on the uneventful run.
+  EXPECT_EQ(result.final_digest, OracleDigests()[kCommands]);
+  EXPECT_TRUE(result.invariants_ok);
+}
+
+TEST(CrashMatrix, EveryBoundaryEveryCrashPoint) {
+  OracleDigests();  // build serially before fanning out
+  for (CrashPoint point : {CrashPoint::kPreAppend, CrashPoint::kPostAppendPreApply,
+                           CrashPoint::kMidApply}) {
+    // Trials are independent processes-in-miniature; run them through the
+    // deterministic parallel runtime (trial k uses only value-captured
+    // state).
+    auto results = common::parallel::ParallelMap(
+        kCommands, [&](std::uint64_t i) { return RunCrashTrial(point, i + 1); });
+    for (std::uint64_t i = 0; i < kCommands; ++i) {
+      CheckTrial(point, i + 1, results[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(CrashMatrix, DeterministicAcrossThreadCounts) {
+  OracleDigests();
+  const int original = common::parallel::Threads();
+  std::vector<std::vector<std::uint8_t>> digests;
+  for (int threads : {1, 2, 8}) {
+    common::parallel::SetThreads(threads);
+    auto results = common::parallel::ParallelMap(8, [&](std::uint64_t i) {
+      // A spread of boundaries across all three crash points.
+      const CrashPoint point = static_cast<CrashPoint>(i % 3);
+      return RunCrashTrial(point, 11 + 23 * i);
+    });
+    std::vector<std::uint8_t> combined;
+    for (const auto& r : results) {
+      EXPECT_TRUE(r.recovery_ok);
+      combined.insert(combined.end(), r.recovered_digest.begin(),
+                      r.recovered_digest.end());
+      combined.insert(combined.end(), r.final_digest.begin(), r.final_digest.end());
+    }
+    digests.push_back(std::move(combined));
+  }
+  common::parallel::SetThreads(original);
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(FleetService, ServesStreamAndSnapshotsCompactTheLog) {
+  auto pod = FreshPod();
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  telemetry::Hub hub;
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable, wal_storage,
+                            snapshot_storage, MatrixOptions());
+  service.AttachTelemetry(&hub);
+  ASSERT_TRUE(service.Recover().ok());
+  auto served = service.Serve(Stream());
+  EXPECT_FALSE(served.crashed);
+  EXPECT_EQ(served.processed, kCommands);
+  EXPECT_EQ(service.next_command_id(), kCommands + 1);
+  EXPECT_EQ(service.applied_seq(), kCommands);
+  const auto& stats = service.stats();
+  EXPECT_EQ(stats.processed, kCommands);
+  EXPECT_GT(stats.admitted, 0u);
+  EXPECT_GT(stats.released, 0u);
+  EXPECT_GT(stats.rejected_apply, 0u);
+  EXPECT_GT(stats.snapshots, 0u);
+  // Compaction after each snapshot keeps the log to the post-snapshot
+  // suffix.
+  EXPECT_LT(journal::Wal::Scan(wal_storage).records.size(), kCommands);
+  EXPECT_GT(service.wal().reclaimed_bytes(), 0u);
+  // The ISSUE's service metrics are visible on the hub.
+  auto& metrics = hub.metrics();
+  EXPECT_EQ(metrics.GetCounter("lightwave_svc_queued_total").value(), kCommands);
+  EXPECT_EQ(metrics.GetCounter("lightwave_svc_admitted_total").value(), stats.admitted);
+  EXPECT_EQ(metrics.GetCounter("lightwave_svc_rejected_total", {{"reason", "apply"}})
+                .value(),
+            stats.rejected_apply);
+  EXPECT_EQ(metrics.GetCounter("lightwave_journal_appends_total").value(), kCommands);
+  EXPECT_GT(metrics.GetCounter("lightwave_journal_bytes_total").value(), 0u);
+  EXPECT_EQ(metrics.GetGauge("lightwave_svc_queue_depth").value(), 0.0);
+}
+
+TEST(FleetService, BackpressureRejectsWhenQueueFull) {
+  auto pod = FreshPod();
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  svc::FleetServiceOptions options;
+  options.queue_capacity = 2;
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable, wal_storage,
+                            snapshot_storage, options);
+  ASSERT_TRUE(service.Recover().ok());
+  EXPECT_TRUE(service.Submit(Stream().Command(0)).ok());
+  EXPECT_TRUE(service.Submit(Stream().Command(1)).ok());
+  auto full = service.Submit(Stream().Command(2));
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.error().code, common::Error::Code::kResourceExhausted);
+  EXPECT_EQ(service.stats().rejected_backpressure, 1u);
+  // Draining one slot re-opens admission.
+  EXPECT_TRUE(service.ProcessOne());
+  EXPECT_TRUE(service.Submit(Stream().Command(2)).ok());
+}
+
+TEST(FleetService, DuplicateAndGapSubmissions) {
+  auto pod = FreshPod();
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable, wal_storage,
+                            snapshot_storage, MatrixOptions());
+  ASSERT_TRUE(service.Recover().ok());
+  ASSERT_TRUE(service.Submit(Stream().Command(0)).ok());
+  ASSERT_TRUE(service.ProcessOne());
+  // Resubmitting a committed command is acknowledged, not re-applied.
+  EXPECT_TRUE(service.Submit(Stream().Command(0)).ok());
+  EXPECT_EQ(service.stats().duplicate_acks, 1u);
+  EXPECT_EQ(service.applied_seq(), 1u);
+  // Skipping ahead is a client bug, reported as such.
+  auto gap = service.Submit(Stream().Command(5));
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.error().code, common::Error::Code::kInvalidArgument);
+}
+
+TEST(FleetService, ControllerStateRidesTheSnapshot) {
+  // Build a controller with non-trivial health state (a tripped breaker),
+  // bind it to the service, crash, and check the successor's controller
+  // recovered the same breaker/counter state through the snapshot.
+  auto make_world = [](ctrl::MessageBus& bus, std::vector<ocs::PalomarSwitch*> switches,
+                       std::vector<std::unique_ptr<ctrl::OcsAgent>>& agents) {
+    auto controller = std::make_unique<ctrl::FabricController>(bus, 1);
+    for (std::size_t i = 0; i < switches.size(); ++i) {
+      agents.push_back(std::make_unique<ctrl::OcsAgent>(*switches[i]));
+      controller->Register(static_cast<int>(i), agents.back().get());
+    }
+    return controller;
+  };
+
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  std::vector<std::uint8_t> exported_before;
+  {
+    auto pod = FreshPod();
+    ctrl::MessageBus bus(3);
+    std::vector<std::unique_ptr<ctrl::OcsAgent>> agents;
+    auto controller = make_world(bus, {&pod->ocs(0), &pod->ocs(1)}, agents);
+    // Trip agent 1's breaker by partitioning the bus mid-run.
+    bus.PartitionAfter(0);
+    for (int i = 0; i < 4; ++i) {
+      (void)controller->ApplyTopology({{1, {{0, 100}}}});
+    }
+    bus.HealPartition();
+    ASSERT_NE(controller->breaker_state(1), ctrl::BreakerState::kClosed);
+
+    svc::FleetServiceOptions options = MatrixOptions();
+    options.snapshot_interval = 1;  // snapshot every command
+    svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                              wal_storage, snapshot_storage, options);
+    service.BindController(controller.get());
+    ASSERT_TRUE(service.Recover().ok());
+    ASSERT_TRUE(service.Submit(Stream().Command(0)).ok());
+    ASSERT_TRUE(service.ProcessOne());
+    ctrl::WireWriter writer;
+    controller->ExportState(writer);
+    exported_before = writer.Take();
+  }
+
+  auto pod = FreshPod();
+  ctrl::MessageBus bus(3);
+  std::vector<std::unique_ptr<ctrl::OcsAgent>> agents;
+  auto controller = make_world(bus, {&pod->ocs(0), &pod->ocs(1)}, agents);
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable, wal_storage,
+                            snapshot_storage, MatrixOptions());
+  service.BindController(controller.get());
+  auto recovery = service.Recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.error().message;
+  EXPECT_TRUE(recovery.value().snapshot_loaded);
+  EXPECT_NE(controller->breaker_state(1), ctrl::BreakerState::kClosed);
+  ctrl::WireWriter writer;
+  controller->ExportState(writer);
+  EXPECT_EQ(writer.buffer(), exported_before);
+}
+
+TEST(FleetService, CrashPointVisitAccounting) {
+  auto pod = FreshPod();
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  ctrl::FaultInjector injector(7, ctrl::FaultProfile{});
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable, wal_storage,
+                            snapshot_storage, MatrixOptions());
+  service.SetFaultInjector(&injector);
+  ASSERT_TRUE(service.Recover().ok());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service.Submit(Stream().Command(i)).ok());
+    ASSERT_TRUE(service.ProcessOne());
+  }
+  // Every processed command visits each crash point exactly once — the
+  // matrix's "crash at command k" arithmetic depends on it.
+  EXPECT_EQ(injector.crash_point_visits(CrashPoint::kPreAppend), 10u);
+  EXPECT_EQ(injector.crash_point_visits(CrashPoint::kPostAppendPreApply), 10u);
+  EXPECT_EQ(injector.crash_point_visits(CrashPoint::kMidApply), 10u);
+  EXPECT_EQ(injector.crashes_fired(), 0u);
+}
+
+}  // namespace
+}  // namespace lightwave
