@@ -29,6 +29,15 @@ class WireWriter {
   void PutString(std::string_view s);
   void PutBytes(const std::uint8_t* data, std::size_t size);
 
+  /// Adopt `buffer` as the output, clearing its contents but keeping its
+  /// capacity — hot encode loops round-trip one buffer through Reset/Take
+  /// instead of allocating per message.
+  void Reset(std::vector<std::uint8_t> buffer) {
+    buffer_ = std::move(buffer);
+    buffer_.clear();
+  }
+  void Reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
+
   const std::vector<std::uint8_t>& buffer() const { return buffer_; }
   std::vector<std::uint8_t> Take() { return std::move(buffer_); }
 

@@ -1,0 +1,251 @@
+#include "fleet/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/check.h"
+#include "telemetry/hub.h"
+#include "telemetry/metrics.h"
+
+namespace lightwave::fleet {
+
+using common::Result;
+using common::Status;
+
+namespace {
+/// Journal-thread poll interval while admission is empty. The pipeline is
+/// notification-free on the offer side (admission has no cv), so the
+/// journal thread naps briefly between empty polls.
+constexpr auto kIdlePoll = std::chrono::microseconds(50);
+}  // namespace
+
+Shard::Shard(std::uint32_t shard_id, tpu::Superpod& pod, core::AllocationPolicy policy,
+             journal::Storage& wal_storage, journal::Storage& snapshot_storage,
+             ShardOptions options)
+    : shard_id_(shard_id),
+      options_([&options] {
+        // A popped batch must always fit the service queue, or sync pumping
+        // would drop commands already admitted from their tenant queues.
+        options.service.queue_capacity =
+            std::max(options.service.queue_capacity, options.batch_size);
+        return options;
+      }()),
+      service_(pod, policy, wal_storage, snapshot_storage, options_.service),
+      admission_(options_.admission) {
+  LW_CHECK(options_.batch_size > 0) << "zero batch size";
+  LW_CHECK(options_.pipeline_depth > 0) << "zero pipeline depth";
+}
+
+Shard::~Shard() { Stop(); }
+
+Result<journal::RecoveryStats> Shard::Recover() { return service_.Recover(); }
+
+Status Shard::Offer(const svc::SliceCommand& cmd) { return admission_.Offer(cmd); }
+
+std::size_t Shard::PumpOnce() {
+  LW_CHECK(!running()) << "sync pump while the pipeline is running";
+  auto batch = admission_.PopBatch(options_.batch_size);
+  if (batch.empty()) return 0;
+  for (const svc::SliceCommand& cmd : batch) {
+    // Duplicates ack Ok inside Submit; a gap (tenant relocated here with
+    // history missing, or client bug) is counted and dropped.
+    Status submitted = service_.Submit(cmd);
+    if (!submitted.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.pipeline_gaps;
+    }
+  }
+  const std::size_t applied = service_.ProcessBatch(batch.size());
+  ObserveBatch(applied);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.applied += applied;
+  }
+  return applied;
+}
+
+std::size_t Shard::PumpAll() {
+  std::size_t total = 0;
+  while (admission_.Depth() > 0 && !service_.crashed()) {
+    const std::size_t applied = PumpOnce();
+    total += applied;
+    if (applied == 0 && service_.crashed()) break;
+  }
+  return total;
+}
+
+Status Shard::SubmitControl(const svc::SliceCommand& cmd) {
+  LW_CHECK(!running()) << "control submit while the pipeline is running";
+  Status submitted = service_.Submit(cmd);
+  if (!submitted.ok()) return submitted;
+  // Apply everything ahead of it too — control commands see a drained queue.
+  while (service_.queue_depth() > 0 && !service_.crashed()) {
+    if (service_.ProcessBatch(service_.queue_depth()) == 0) break;
+  }
+  if (service_.crashed()) return common::Unavailable("shard crashed");
+  return Status::Ok();
+}
+
+void Shard::Start() {
+  LW_CHECK(!running()) << "pipeline already running";
+  stop_requested_.store(false, std::memory_order_release);
+  journal_done_ = false;
+  service_.SetPipelined(true);
+  running_.store(true, std::memory_order_release);
+  journal_thread_ = std::thread([this] { JournalLoop(); });
+  apply_thread_ = std::thread([this] { ApplyLoop(); });
+}
+
+void Shard::Stop() {
+  if (!running()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  journal_thread_.join();  // drains admission before exiting
+  {
+    std::lock_guard<std::mutex> lock(handoff_mu_);
+    journal_done_ = true;
+  }
+  handoff_cv_.notify_all();
+  apply_thread_.join();  // drains the handoff queue before exiting
+  service_.SetPipelined(false);
+  running_.store(false, std::memory_order_release);
+}
+
+void Shard::Drain() {
+  LW_CHECK(running()) << "drain without a running pipeline";
+  while (true) {
+    if (admission_.Depth() == 0) {
+      std::unique_lock<std::mutex> lock(handoff_mu_);
+      if (handoff_.empty() && !journal_busy_ && applying_ == 0) return;
+    }
+    std::this_thread::sleep_for(kIdlePoll);
+  }
+}
+
+std::vector<svc::SliceCommand> Shard::FilterPending(
+    std::vector<svc::SliceCommand> batch) {
+  std::vector<svc::SliceCommand> accepted;
+  accepted.reserve(batch.size());
+  // Overlay of frontiers advanced WITHIN this batch: CheckPending only sees
+  // state as of the last JournalBatch, but a batch routinely carries several
+  // consecutive commands of one tenant.
+  std::map<std::uint32_t, std::uint64_t> local_next;
+  std::uint64_t duplicates = 0;
+  std::uint64_t gaps = 0;
+  for (svc::SliceCommand& cmd : batch) {
+    auto it = local_next.find(cmd.tenant_id);
+    if (it == local_next.end()) {
+      switch (service_.CheckPending(cmd)) {
+        case svc::AdmitCheck::kAccept:
+          local_next[cmd.tenant_id] = cmd.command_id + 1;
+          accepted.push_back(std::move(cmd));
+          break;
+        case svc::AdmitCheck::kDuplicate: ++duplicates; break;
+        case svc::AdmitCheck::kGap: ++gaps; break;
+      }
+      continue;
+    }
+    if (cmd.command_id < it->second) {
+      ++duplicates;
+    } else if (cmd.command_id > it->second) {
+      ++gaps;
+    } else {
+      ++it->second;
+      accepted.push_back(std::move(cmd));
+    }
+  }
+  if (duplicates > 0 || gaps > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.pipeline_duplicates += duplicates;
+    stats_.pipeline_gaps += gaps;
+  }
+  return accepted;
+}
+
+void Shard::JournalLoop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(handoff_mu_);
+      journal_busy_ = true;
+    }
+    auto batch = admission_.PopBatch(options_.batch_size);
+    if (batch.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(handoff_mu_);
+        journal_busy_ = false;
+      }
+      if (stop_requested_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(kIdlePoll);
+      continue;
+    }
+    auto accepted = FilterPending(std::move(batch));
+    if (accepted.empty()) {
+      std::lock_guard<std::mutex> lock(handoff_mu_);
+      journal_busy_ = false;
+      continue;
+    }
+    auto appended = service_.JournalBatch(accepted);
+    LW_CHECK(appended.ok()) << "journal append failed: " << appended.error().message;
+    ObserveBatch(accepted.size());
+    {
+      std::unique_lock<std::mutex> lock(handoff_mu_);
+      handoff_cv_.wait(lock, [this] { return handoff_.size() < options_.pipeline_depth; });
+      handoff_.push_back(JournaledBatch{std::move(accepted), appended.value()});
+      journal_busy_ = false;
+    }
+    handoff_cv_.notify_all();
+  }
+}
+
+void Shard::ApplyLoop() {
+  while (true) {
+    JournaledBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(handoff_mu_);
+      handoff_cv_.wait(lock, [this] { return !handoff_.empty() || journal_done_; });
+      if (handoff_.empty()) return;  // journal_done_ and fully drained
+      batch = std::move(handoff_.front());
+      handoff_.pop_front();
+      ++applying_;
+    }
+    handoff_cv_.notify_all();  // freed a handoff slot for the journal thread
+    const std::size_t applied =
+        service_.ApplyJournaled(batch.commands, batch.first_seq);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.applied += applied;
+    }
+    {
+      std::lock_guard<std::mutex> lock(handoff_mu_);
+      --applying_;
+    }
+  }
+}
+
+void Shard::ObserveBatch(std::size_t commands) {
+  if (batch_histogram_ != nullptr) {
+    batch_histogram_->Observe(static_cast<double>(commands));
+  }
+}
+
+ShardStats Shard::stats() const {
+  LW_CHECK(!running()) << "stats while the pipeline is running (quiesce first)";
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ShardStats out = stats_;
+  out.batches = service_.stats().batches;
+  return out;
+}
+
+void Shard::AttachTelemetry(telemetry::Hub* hub) {
+  LW_CHECK(!running()) << "attach telemetry before starting the pipeline";
+  service_.AttachTelemetry(hub);
+  const std::string label = std::to_string(shard_id_);
+  admission_.AttachTelemetry(hub, label);
+  batch_histogram_ =
+      hub == nullptr
+          ? nullptr
+          : &hub->metrics().GetHistogram("lightwave_fleet_batch_commands",
+                                         {{"shard", label}});
+}
+
+}  // namespace lightwave::fleet

@@ -1,10 +1,15 @@
-// The fleet service's command vocabulary: the three slice-lifecycle requests
-// the paper's cluster scheduler issues against the fabric (§4.2.4 — admit a
-// job onto a slice, re-shape it, release it). A command is what gets
-// journaled, so it carries exactly the event-sourcing essentials: a dense
-// client-assigned command id (the resubmission frontier), the kind, the job,
-// and the requested shape. Outcomes are never journaled — applying a command
-// against a given state is deterministic, so replay reproduces them.
+// The fleet service's command vocabulary: the slice-lifecycle requests the
+// paper's cluster scheduler issues against the fabric (§4.2.4 — admit a job
+// onto a slice, re-shape it, release it), extended with the cross-shard
+// two-phase-commit verbs the fleet router uses when one logical job spans
+// several shard partitions (prepare a local reservation, then commit or
+// abort it once every participant has voted). A command is what gets
+// journaled, so it carries exactly the event-sourcing essentials: the
+// owning tenant, a dense per-tenant client-assigned command id (the
+// resubmission frontier), the kind, the job, the transaction (0 for plain
+// single-shard commands), and the requested shape. Outcomes are never
+// journaled — applying a command against a given state is deterministic, so
+// replay reproduces them.
 #pragma once
 
 #include <cstdint>
@@ -19,22 +24,40 @@ enum class CommandKind : std::uint8_t {
   kAdmit = 1,
   kResize = 2,
   kRelease = 3,
+  /// Two-phase commit, phase 1: tentatively allocate `shape` for
+  /// (tenant, job) and record the vote under `txn_id`. The reservation
+  /// holds capacity but is not yet a live job.
+  kPrepare = 4,
+  /// Phase 2, success: promote txn_id's reservation to the live job table
+  /// (releasing any slice the job already held — cross-shard resize).
+  kCommitTxn = 5,
+  /// Phase 2, failure: release txn_id's reservation (reverse-order
+  /// rollback, same discipline as ctrl::ApplyTopology).
+  kAbortTxn = 6,
 };
 const char* ToString(CommandKind kind);
 
 struct SliceCommand {
-  /// Dense from 1 in stream order; the service acks duplicates below its
-  /// frontier and rejects gaps, so a client can blindly resubmit after a
-  /// crash.
+  /// Dense from 1 per tenant in stream order; the service acks duplicates
+  /// below the tenant's frontier and rejects gaps, so a client can blindly
+  /// resubmit after a crash.
   std::uint64_t command_id = 0;
+  /// Owning tenant. The router hashes this to a shard; per-tenant quotas
+  /// and fairness key on it. Tenant 0 is the legacy single-tenant stream.
+  std::uint32_t tenant_id = 0;
   CommandKind kind = CommandKind::kAdmit;
   std::uint64_t job_id = 0;
-  /// Requested slice shape (admit and resize; ignored for release).
+  /// Cross-shard transaction id for the 2PC kinds; must be 0 otherwise.
+  std::uint64_t txn_id = 0;
+  /// Requested slice shape (admit/resize/prepare; ignored for the rest).
   tpu::SliceShape shape;
 
   /// Wire encoding WITHOUT framing — the WAL's record envelope supplies the
   /// length prefix and checksum.
   std::vector<std::uint8_t> Encode() const;
+  /// Overwrites `*out` with the encoding, reusing its capacity — the journal
+  /// batch path encodes thousands of commands through one scratch buffer.
+  void EncodeTo(std::vector<std::uint8_t>* out) const;
   /// Fails cleanly on truncation or an unknown kind (a journal carrying
   /// bytes this build cannot parse must stop recovery, not crash it).
   static common::Result<SliceCommand> Decode(const std::vector<std::uint8_t>& bytes);

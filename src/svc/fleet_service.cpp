@@ -14,6 +14,16 @@ using common::Result;
 using common::Status;
 using ctrl::CrashPoint;
 
+namespace {
+
+std::uint64_t FrontierOf(const std::map<std::uint32_t, std::uint64_t>& map,
+                         std::uint32_t tenant) {
+  auto it = map.find(tenant);
+  return it == map.end() ? 1 : it->second;
+}
+
+}  // namespace
+
 FleetService::FleetService(tpu::Superpod& pod, core::AllocationPolicy policy,
                            journal::Storage& wal_storage,
                            journal::Storage& snapshot_storage,
@@ -39,32 +49,66 @@ Result<journal::RecoveryStats> FleetService::Recover() {
         auto cmd = SliceCommand::Decode(record.payload);
         if (!cmd.ok()) return cmd.error();
         ApplyCommand(cmd.value());
-        next_command_id_ = std::max(next_command_id_, cmd.value().command_id + 1);
+        AdvanceCommitted(cmd.value());
         applied_seq_ = record.seq;
         ++commands_since_snapshot_;
         return Status::Ok();
       },
       hub_);
   replaying_ = false;
+  // The submit-side frontier resumes at the committed frontier; this copy is
+  // the only cross-stage transfer, and it happens before any thread starts.
+  pending_next_ = committed_next_;
   return recovery;
+}
+
+std::uint64_t FleetService::next_command_id(std::uint32_t tenant) const {
+  return FrontierOf(committed_next_, tenant);
+}
+
+std::vector<std::uint32_t> FleetService::tenants() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [tenant, next] : committed_next_) {
+    if (next > 1) out.push_back(tenant);
+  }
+  return out;
+}
+
+AdmitCheck FleetService::CheckPending(const SliceCommand& cmd) const {
+  const std::uint64_t expected = FrontierOf(pending_next_, cmd.tenant_id);
+  if (cmd.command_id < expected) return AdmitCheck::kDuplicate;
+  if (cmd.command_id > expected) return AdmitCheck::kGap;
+  return AdmitCheck::kAccept;
+}
+
+void FleetService::AdvancePending(const SliceCommand& cmd) {
+  std::uint64_t& next = pending_next_[cmd.tenant_id];
+  if (next == 0) next = 1;
+  next = std::max(next, cmd.command_id + 1);
+}
+
+void FleetService::AdvanceCommitted(const SliceCommand& cmd) {
+  std::uint64_t& next = committed_next_[cmd.tenant_id];
+  if (next == 0) next = 1;
+  next = std::max(next, cmd.command_id + 1);
 }
 
 Status FleetService::Submit(const SliceCommand& cmd) {
   LW_CHECK(recovered_) << "serve before Recover";
-  if (crashed_) return common::Unavailable("service crashed; recover a successor");
+  if (crashed()) return common::Unavailable("service crashed; recover a successor");
   ++stats_.submitted;
-  const std::uint64_t expected =
-      queue_.empty() ? next_command_id_ : queue_.back().command_id + 1;
-  if (cmd.command_id < expected) {
-    // Already committed or already queued: acknowledge, don't re-enqueue.
-    // This is what makes blind resubmission after a crash safe.
-    ++stats_.duplicate_acks;
-    return Status::Ok();
-  }
-  if (cmd.command_id > expected) {
-    return common::InvalidArgument("command id gap: got " +
-                                   std::to_string(cmd.command_id) + ", expected " +
-                                   std::to_string(expected));
+  switch (CheckPending(cmd)) {
+    case AdmitCheck::kDuplicate:
+      // Already committed or already queued: acknowledge, don't re-enqueue.
+      // This is what makes blind resubmission after a crash safe.
+      ++stats_.duplicate_acks;
+      return Status::Ok();
+    case AdmitCheck::kGap:
+      return common::InvalidArgument(
+          "command id gap for tenant " + std::to_string(cmd.tenant_id) + ": got " +
+          std::to_string(cmd.command_id) + ", expected " +
+          std::to_string(FrontierOf(pending_next_, cmd.tenant_id)));
+    case AdmitCheck::kAccept: break;
   }
   if (queue_.size() >= options_.queue_capacity) {
     ++stats_.rejected_backpressure;
@@ -73,35 +117,78 @@ Status FleetService::Submit(const SliceCommand& cmd) {
                                      std::to_string(options_.queue_capacity) + ")");
   }
   queue_.push_back(cmd);
+  AdvancePending(cmd);
   stats_.queue_peak = std::max(stats_.queue_peak, queue_.size());
   if (queued_counter_ != nullptr) queued_counter_->Inc();
   UpdateQueueGauge();
   return Status::Ok();
 }
 
-bool FleetService::ProcessOne() {
-  if (crashed_ || queue_.empty()) return false;
-  const SliceCommand cmd = queue_.front();
-  // Write-ahead order: the three crash points bracket the append and the
-  // apply, and recovery's obligations follow from which side of the append
-  // the crash landed on (see the header comment).
-  if (CrashIf(CrashPoint::kPreAppend)) return false;
-  std::uint64_t seq = applied_seq_;
+bool FleetService::ProcessOne() { return ProcessBatch(1) == 1; }
+
+std::size_t FleetService::ProcessBatch(std::size_t max_commands) {
+  if (crashed() || queue_.empty() || max_commands == 0) return 0;
+  const std::size_t n = std::min(max_commands, queue_.size());
+  std::vector<SliceCommand> batch(queue_.begin(),
+                                  queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  // Write-ahead order: the crash points bracket the append and the apply,
+  // and recovery's obligations follow from which side of the append the
+  // crash landed on (see the header comment). A batch is journaled
+  // atomically, so "committed" after a post-append crash means the WHOLE
+  // batch.
+  if (CrashIf(CrashPoint::kPreAppend)) return 0;
+  std::uint64_t first_seq = 0;
   if (options_.journaling) {
-    auto appended = wal_.Append(cmd.Encode());
+    auto appended = JournalBatch(batch);
     LW_CHECK(appended.ok()) << "journal append failed: " << appended.error().message;
-    seq = appended.value();
+    first_seq = appended.value();
   }
-  if (CrashIf(CrashPoint::kPostAppendPreApply)) return false;
-  queue_.pop_front();
-  ApplyCommand(cmd);
-  if (crashed_) return false;  // kMidApply fired inside the apply
-  next_command_id_ = cmd.command_id + 1;
-  applied_seq_ = seq;
-  ++stats_.processed;
+  if (CrashIf(CrashPoint::kPostAppendPreApply)) return 0;
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  const std::size_t applied = ApplyJournaled(batch, first_seq);
   UpdateQueueGauge();
-  MaybeSnapshot();
-  return true;
+  return applied;
+}
+
+Result<std::uint64_t> FleetService::JournalBatch(const std::vector<SliceCommand>& batch) {
+  if (!options_.journaling) {
+    for (const SliceCommand& cmd : batch) AdvancePending(cmd);
+    ++stats_.batches;
+    return std::uint64_t{0};
+  }
+  // Honor the compaction floor the apply stage published with its last
+  // snapshot (pipelined mode; inline mode compacts in TakeSnapshot).
+  const std::uint64_t floor = compact_floor_.load(std::memory_order_acquire);
+  if (floor > last_compacted_floor_) {
+    Status compacted = wal_.Compact(floor);
+    if (!compacted.ok()) return compacted.error();
+    last_compacted_floor_ = floor;
+  }
+  // The scratch vector (and each payload buffer inside it) keeps its
+  // capacity across batches: steady-state journaling allocates nothing.
+  payload_scratch_.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].EncodeTo(&payload_scratch_[i]);
+    AdvancePending(batch[i]);
+  }
+  auto appended = wal_.AppendBatch(payload_scratch_);
+  if (appended.ok()) ++stats_.batches;
+  return appended;
+}
+
+std::size_t FleetService::ApplyJournaled(const std::vector<SliceCommand>& batch,
+                                         std::uint64_t first_seq) {
+  std::size_t applied = 0;
+  for (const SliceCommand& cmd : batch) {
+    ApplyCommand(cmd);
+    if (crashed()) return applied;  // kMidApply fired inside the apply
+    AdvanceCommitted(cmd);
+    if (first_seq != 0) applied_seq_ = first_seq + applied;
+    ++applied;
+    ++stats_.processed;
+  }
+  MaybeSnapshot(applied);
+  return applied;
 }
 
 void FleetService::ApplyCommand(const SliceCommand& cmd) {
@@ -109,9 +196,11 @@ void FleetService::ApplyCommand(const SliceCommand& cmd) {
     ++stats_.rejected_apply;
     if (rejected_apply_counter_ != nullptr) rejected_apply_counter_->Inc();
   };
+  if (cmd.txn_id != 0) max_txn_seen_ = std::max(max_txn_seen_, cmd.txn_id);
+  const std::pair<std::uint32_t, std::uint64_t> job_key{cmd.tenant_id, cmd.job_id};
   switch (cmd.kind) {
     case CommandKind::kAdmit: {
-      if (live_jobs_.contains(cmd.job_id)) {
+      if (live_jobs_.contains(job_key)) {
         if (CrashIf(CrashPoint::kMidApply)) return;
         reject();
         return;
@@ -125,13 +214,13 @@ void FleetService::ApplyCommand(const SliceCommand& cmd) {
         reject();
         return;
       }
-      live_jobs_[cmd.job_id] = allocated.value();
+      live_jobs_[job_key] = allocated.value();
       ++stats_.admitted;
       if (admitted_counter_ != nullptr) admitted_counter_->Inc();
       return;
     }
     case CommandKind::kRelease: {
-      auto it = live_jobs_.find(cmd.job_id);
+      auto it = live_jobs_.find(job_key);
       if (it == live_jobs_.end()) {
         if (CrashIf(CrashPoint::kMidApply)) return;
         reject();
@@ -145,7 +234,7 @@ void FleetService::ApplyCommand(const SliceCommand& cmd) {
       return;
     }
     case CommandKind::kResize: {
-      auto it = live_jobs_.find(cmd.job_id);
+      auto it = live_jobs_.find(job_key);
       if (it == live_jobs_.end()) {
         if (CrashIf(CrashPoint::kMidApply)) return;
         reject();
@@ -166,7 +255,101 @@ void FleetService::ApplyCommand(const SliceCommand& cmd) {
       ++stats_.resized;
       return;
     }
+    case CommandKind::kPrepare: {
+      if (cmd.txn_id == 0 || prepared_.contains(cmd.txn_id) ||
+          decided_.contains(cmd.txn_id)) {
+        if (CrashIf(CrashPoint::kMidApply)) return;
+        reject();
+        return;
+      }
+      // The vote is a pure function of the state: yes iff the reservation
+      // places. A no-vote is RECORDED (not just rejected) so replay and the
+      // router's decision logic reproduce it.
+      auto allocated = scheduler_.Allocate(cmd.shape);
+      if (CrashIf(CrashPoint::kMidApply)) return;
+      prepared_[cmd.txn_id] =
+          PreparedTxn{.tenant_id = cmd.tenant_id,
+                      .job_id = cmd.job_id,
+                      .slice_id = allocated.ok() ? allocated.value() : 0,
+                      .vote_yes = allocated.ok()};
+      ++stats_.prepared;
+      if (!allocated.ok()) reject();
+      return;
+    }
+    case CommandKind::kCommitTxn: {
+      auto it = prepared_.find(cmd.txn_id);
+      if (it == prepared_.end()) {
+        // Unknown or already decided: duplicate delivery, reject-ack.
+        if (CrashIf(CrashPoint::kMidApply)) return;
+        reject();
+        return;
+      }
+      if (CrashIf(CrashPoint::kMidApply)) return;
+      if (!it->second.vote_yes) {
+        // A commit against a no-vote is a coordinator bug; record the only
+        // safe decision.
+        decided_[cmd.txn_id] = TxnDecision::kAborted;
+        prepared_.erase(it);
+        reject();
+        return;
+      }
+      const std::pair<std::uint32_t, std::uint64_t> txn_job{it->second.tenant_id,
+                                                           it->second.job_id};
+      if (auto live = live_jobs_.find(txn_job); live != live_jobs_.end()) {
+        // Cross-shard resize: the committed reservation replaces the job's
+        // old slice (make-before-break across shards).
+        LW_CHECK_OK(scheduler_.Release(live->second))
+            << "job table referenced slice " << live->second;
+        live->second = it->second.slice_id;
+        ++stats_.resized;
+      } else {
+        live_jobs_[txn_job] = it->second.slice_id;
+        ++stats_.admitted;
+        if (admitted_counter_ != nullptr) admitted_counter_->Inc();
+      }
+      decided_[cmd.txn_id] = TxnDecision::kCommitted;
+      prepared_.erase(it);
+      ++stats_.committed_txns;
+      return;
+    }
+    case CommandKind::kAbortTxn: {
+      auto it = prepared_.find(cmd.txn_id);
+      if (it == prepared_.end()) {
+        if (CrashIf(CrashPoint::kMidApply)) return;
+        reject();
+        return;
+      }
+      if (CrashIf(CrashPoint::kMidApply)) return;
+      // Reverse-order rollback: the reservation is released exactly as
+      // ctrl::ApplyTopology unwinds a failed transaction.
+      if (it->second.vote_yes) {
+        LW_CHECK_OK(scheduler_.Release(it->second.slice_id))
+            << "prepared txn referenced slice " << it->second.slice_id;
+      }
+      decided_[cmd.txn_id] = TxnDecision::kAborted;
+      prepared_.erase(it);
+      ++stats_.aborted_txns;
+      return;
+    }
   }
+}
+
+std::vector<std::uint64_t> FleetService::InDoubtTxns() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(prepared_.size());
+  for (const auto& [txn_id, txn] : prepared_) out.push_back(txn_id);
+  return out;
+}
+
+const PreparedTxn* FleetService::prepared_txn(std::uint64_t txn_id) const {
+  auto it = prepared_.find(txn_id);
+  return it == prepared_.end() ? nullptr : &it->second;
+}
+
+std::optional<TxnDecision> FleetService::txn_decision(std::uint64_t txn_id) const {
+  auto it = decided_.find(txn_id);
+  if (it == decided_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool FleetService::CrashIf(CrashPoint point) {
@@ -174,18 +357,18 @@ bool FleetService::CrashIf(CrashPoint point) {
   // commands and must never "die" again.
   if (replaying_ || injector_ == nullptr) return false;
   if (!injector_->ShouldCrash(point)) return false;
-  crashed_ = true;
+  crashed_.store(true, std::memory_order_release);
   ++stats_.crashes;
   return true;
 }
 
 FleetService::ServeResult FleetService::Serve(const RequestStream& stream) {
   ServeResult result;
-  while (!crashed_) {
+  while (!crashed()) {
     // Refill from the stream at the resubmission frontier. Regenerating
     // commands instead of remembering them is what a real client does after
     // the service restarts: replay its own log of unacknowledged requests.
-    std::uint64_t next = queue_.empty() ? next_command_id_ : queue_.back().command_id + 1;
+    std::uint64_t next = FrontierOf(pending_next_, 0);
     while (next <= stream.count() && queue_.size() < options_.queue_capacity) {
       Status submitted = Submit(stream.Command(next - 1));
       LW_CHECK(submitted.ok()) << submitted.error().message;
@@ -195,13 +378,14 @@ FleetService::ServeResult FleetService::Serve(const RequestStream& stream) {
     if (!ProcessOne()) break;   // only a crash stops a non-empty queue
     ++result.processed;
   }
-  result.crashed = crashed_;
+  result.crashed = crashed();
   return result;
 }
 
-void FleetService::MaybeSnapshot() {
+void FleetService::MaybeSnapshot(std::uint64_t commands_applied) {
   if (!options_.journaling || options_.snapshot_interval == 0) return;
-  if (++commands_since_snapshot_ < options_.snapshot_interval) return;
+  commands_since_snapshot_ += commands_applied;
+  if (commands_since_snapshot_ < options_.snapshot_interval) return;
   LW_CHECK_OK(TakeSnapshot()) << "snapshot failed";
 }
 
@@ -215,17 +399,43 @@ Status FleetService::TakeSnapshot() {
   commands_since_snapshot_ = 0;
   ++stats_.snapshots;
   if (snapshot_counter_ != nullptr) snapshot_counter_->Inc();
+  if (pipelined_) {
+    // The WAL belongs to the journal thread; publish the floor and let it
+    // compact on its next batch.
+    compact_floor_.store(applied_seq_, std::memory_order_release);
+    return Status::Ok();
+  }
+  last_compacted_floor_ = applied_seq_;
   return wal_.Compact(applied_seq_);
 }
 
 std::vector<std::uint8_t> FleetService::SerializeState() const {
   ctrl::WireWriter writer;
-  writer.PutU64(next_command_id_);
+  writer.PutVarint(committed_next_.size());
+  for (const auto& [tenant, next] : committed_next_) {
+    writer.PutVarint(tenant);
+    writer.PutU64(next);
+  }
   writer.PutVarint(live_jobs_.size());
-  for (const auto& [job_id, slice_id] : live_jobs_) {
-    writer.PutVarint(job_id);
+  for (const auto& [job_key, slice_id] : live_jobs_) {
+    writer.PutVarint(job_key.first);
+    writer.PutVarint(job_key.second);
     writer.PutU64(slice_id);
   }
+  writer.PutVarint(prepared_.size());
+  for (const auto& [txn_id, txn] : prepared_) {
+    writer.PutVarint(txn_id);
+    writer.PutVarint(txn.tenant_id);
+    writer.PutVarint(txn.job_id);
+    writer.PutU8(txn.vote_yes ? 1 : 0);
+    writer.PutU64(txn.slice_id);
+  }
+  writer.PutVarint(decided_.size());
+  for (const auto& [txn_id, decision] : decided_) {
+    writer.PutVarint(txn_id);
+    writer.PutU8(static_cast<std::uint8_t>(decision));
+  }
+  writer.PutVarint(max_txn_seen_);
   scheduler_.ExportState(writer);
   writer.PutU8(controller_ != nullptr ? 1 : 0);
   if (controller_ != nullptr) controller_->ExportState(writer);
@@ -234,16 +444,59 @@ std::vector<std::uint8_t> FleetService::SerializeState() const {
 
 Status FleetService::DeserializeState(const std::vector<std::uint8_t>& bytes) {
   ctrl::WireReader reader(bytes);
-  auto next_command_id = reader.GetU64();
+  auto tenant_count = reader.GetVarint();
+  if (!tenant_count) return common::Internal("service state truncated");
+  std::map<std::uint32_t, std::uint64_t> frontiers;
+  for (std::uint64_t i = 0; i < *tenant_count; ++i) {
+    auto tenant = reader.GetVarint();
+    auto next = reader.GetU64();
+    if (!tenant || !next) return common::Internal("service frontier table truncated");
+    frontiers[static_cast<std::uint32_t>(*tenant)] = *next;
+  }
   auto job_count = reader.GetVarint();
-  if (!next_command_id || !job_count) return common::Internal("service state truncated");
-  std::map<std::uint64_t, tpu::SliceId> jobs;
+  if (!job_count) return common::Internal("service state truncated");
+  std::map<std::pair<std::uint32_t, std::uint64_t>, tpu::SliceId> jobs;
   for (std::uint64_t i = 0; i < *job_count; ++i) {
+    auto tenant = reader.GetVarint();
     auto job_id = reader.GetVarint();
     auto slice_id = reader.GetU64();
-    if (!job_id || !slice_id) return common::Internal("service job table truncated");
-    jobs[*job_id] = *slice_id;
+    if (!tenant || !job_id || !slice_id) {
+      return common::Internal("service job table truncated");
+    }
+    jobs[{static_cast<std::uint32_t>(*tenant), *job_id}] = *slice_id;
   }
+  auto prepared_count = reader.GetVarint();
+  if (!prepared_count) return common::Internal("service state truncated");
+  std::map<std::uint64_t, PreparedTxn> prepared;
+  for (std::uint64_t i = 0; i < *prepared_count; ++i) {
+    auto txn_id = reader.GetVarint();
+    auto tenant = reader.GetVarint();
+    auto job_id = reader.GetVarint();
+    auto vote = reader.GetU8();
+    auto slice_id = reader.GetU64();
+    if (!txn_id || !tenant || !job_id || !vote || !slice_id) {
+      return common::Internal("service prepared-txn table truncated");
+    }
+    prepared[*txn_id] = PreparedTxn{.tenant_id = static_cast<std::uint32_t>(*tenant),
+                                    .job_id = *job_id,
+                                    .slice_id = *slice_id,
+                                    .vote_yes = *vote != 0};
+  }
+  auto decided_count = reader.GetVarint();
+  if (!decided_count) return common::Internal("service state truncated");
+  std::map<std::uint64_t, TxnDecision> decided;
+  for (std::uint64_t i = 0; i < *decided_count; ++i) {
+    auto txn_id = reader.GetVarint();
+    auto decision = reader.GetU8();
+    if (!txn_id || !decision ||
+        (*decision != static_cast<std::uint8_t>(TxnDecision::kCommitted) &&
+         *decision != static_cast<std::uint8_t>(TxnDecision::kAborted))) {
+      return common::Internal("service decided-txn table truncated");
+    }
+    decided[*txn_id] = static_cast<TxnDecision>(*decision);
+  }
+  auto max_txn = reader.GetVarint();
+  if (!max_txn) return common::Internal("service state truncated");
   if (Status imported = scheduler_.ImportState(reader); !imported.ok()) return imported;
   auto has_controller = reader.GetU8();
   if (!has_controller) return common::Internal("service state truncated");
@@ -257,8 +510,11 @@ Status FleetService::DeserializeState(const std::vector<std::uint8_t>& bytes) {
     }
   }
   if (!reader.AtEnd()) return common::Internal("trailing bytes after service state");
-  next_command_id_ = *next_command_id;
+  committed_next_ = std::move(frontiers);
   live_jobs_ = std::move(jobs);
+  prepared_ = std::move(prepared);
+  decided_ = std::move(decided);
+  max_txn_seen_ = *max_txn;
   return Status::Ok();
 }
 

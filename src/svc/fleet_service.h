@@ -1,7 +1,7 @@
-// Crash-recoverable fleet service front-end. Slice requests flow through a
-// bounded queue (backpressure: a full queue rejects, the client retries
-// later), and every dequeued command is journaled BEFORE it is applied —
-// write-ahead order is the entire durability argument:
+// Crash-recoverable, shard-embeddable fleet service engine. Slice requests
+// flow through a bounded queue (backpressure: a full queue rejects, the
+// client retries later), and every dequeued command is journaled BEFORE it
+// is applied — write-ahead order is the entire durability argument:
 //
 //   crash before the append  -> the command was never acknowledged as
 //                               committed; the client resubmits it;
@@ -14,11 +14,29 @@
 // the SAME two Storage devices recovers: load the snapshot, replay the WAL
 // suffix, resume the stream from the committed frontier. Periodic snapshots
 // bound replay work; each snapshot compacts the log prefix it covers.
+//
+// PR 6 made the engine multi-tenant and batch-oriented so fleet::Shard can
+// embed one per shard:
+//   - every command belongs to a tenant; duplicate/gap detection and the
+//     resubmission frontier are per tenant;
+//   - ProcessBatch journals a whole dequeued batch through one group-commit
+//     Wal::AppendBatch (ProcessOne is the batch-of-1 special case);
+//   - the journal stage (JournalBatch) and apply stage (ApplyJournaled) are
+//     exposed separately so a pipelined shard can run them on two threads —
+//     in pipelined mode the apply thread never touches the WAL: snapshots
+//     publish a compaction floor the journal thread honors on its next
+//     batch;
+//   - cross-shard transactions journal kPrepare/kCommitTxn/kAbortTxn, with
+//     reservations and decisions part of the durable state, so a router can
+//     resolve in-doubt transactions deterministically after any crash.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -58,16 +76,38 @@ struct FleetServiceStats {
   std::uint64_t duplicate_acks = 0;
   std::uint64_t rejected_backpressure = 0;
   std::uint64_t processed = 0;
+  /// Group-commit batches journaled (ProcessOne counts batches of 1).
+  std::uint64_t batches = 0;
   std::uint64_t admitted = 0;
   std::uint64_t resized = 0;
   std::uint64_t released = 0;
   /// Commands journaled and applied whose outcome was a deterministic
-  /// rejection (no capacity, unknown job, duplicate job id).
+  /// rejection (no capacity, unknown job, duplicate job id, bad txn).
   std::uint64_t rejected_apply = 0;
+  /// Cross-shard transaction verbs applied.
+  std::uint64_t prepared = 0;
+  std::uint64_t committed_txns = 0;
+  std::uint64_t aborted_txns = 0;
   std::uint64_t snapshots = 0;
   std::uint64_t crashes = 0;
   std::size_t queue_peak = 0;
 };
+
+/// A phase-1 reservation held for an undecided cross-shard transaction.
+struct PreparedTxn {
+  std::uint32_t tenant_id = 0;
+  std::uint64_t job_id = 0;
+  /// Valid only when `vote_yes`; the tentatively allocated slice.
+  tpu::SliceId slice_id = 0;
+  /// false = the shard could not place the shape (recorded so replay
+  /// reproduces the vote).
+  bool vote_yes = false;
+};
+
+enum class TxnDecision : std::uint8_t { kCommitted = 1, kAborted = 2 };
+
+/// Submit-side verdict on a command id against its tenant's frontier.
+enum class AdmitCheck { kAccept, kDuplicate, kGap };
 
 class FleetService {
  public:
@@ -83,39 +123,93 @@ class FleetService {
   /// replay found; fails on corrupt snapshot/command bytes.
   common::Result<journal::RecoveryStats> Recover();
 
-  /// Queue front-end. Duplicates below the committed frontier are
+  /// Queue front-end. Duplicates below the tenant's committed frontier are
   /// acknowledged OK without re-enqueueing (idempotent resubmission); a gap
-  /// above the expected next id is kInvalidArgument; a full queue is
-  /// kResourceExhausted.
+  /// above the tenant's expected next id is kInvalidArgument; a full queue
+  /// is kResourceExhausted.
   common::Status Submit(const SliceCommand& cmd);
 
   /// Dequeues and applies one command (journaling it first). Returns false
   /// when the queue is empty or a crash point fired — check crashed().
   bool ProcessOne();
 
+  /// Group commit: dequeues up to `max_commands`, journals them all through
+  /// ONE Wal::AppendBatch, then applies them in order. Crash points:
+  /// kPreAppend and kPostAppendPreApply fire once per batch (bracketing the
+  /// append), kMidApply once per applied command. Returns the number of
+  /// commands applied before any crash.
+  std::size_t ProcessBatch(std::size_t max_commands);
+
+  // --- pipelined-shard stage API (fleet::Shard) -----------------------------
+  //
+  // A pipelined shard calls JournalBatch from its journal thread and
+  // ApplyJournaled from its apply thread; the two touch disjoint state
+  // (WAL + pending frontiers vs scheduler + committed frontiers). Call
+  // SetPipelined(true) before starting the threads so snapshots publish
+  // compaction work to the journal thread instead of compacting inline.
+
+  /// Submit-side check of `cmd` against its tenant's pending frontier
+  /// (committed frontier + everything already accepted but not yet applied).
+  AdmitCheck CheckPending(const SliceCommand& cmd) const;
+
+  /// Journal stage: group-appends the batch (which must be per-tenant dense
+  /// against the pending frontiers) and advances them. Returns the first
+  /// record's sequence number. With journaling off, appends nothing and
+  /// returns 0 — ApplyJournaled(first_seq == 0) then leaves applied_seq()
+  /// untouched.
+  common::Result<std::uint64_t> JournalBatch(const std::vector<SliceCommand>& batch);
+
+  /// Apply stage: applies a journaled batch, advancing the per-tenant
+  /// committed frontiers and (when first_seq != 0) applied_seq. Takes the
+  /// periodic snapshot when the interval elapses. Returns commands applied
+  /// before any crash.
+  std::size_t ApplyJournaled(const std::vector<SliceCommand>& batch,
+                             std::uint64_t first_seq);
+
+  /// Pipelined mode: snapshots (apply thread) publish the compaction floor;
+  /// the journal thread compacts at its next JournalBatch. Off (default):
+  /// snapshots compact inline.
+  void SetPipelined(bool pipelined) { pipelined_ = pipelined; }
+
   struct ServeResult {
     std::uint64_t processed = 0;
     bool crashed = false;
   };
-  /// Drives the whole stream: submit from the committed frontier, process,
-  /// repeat until the stream is exhausted and drained — or a crash fires.
+  /// Drives a whole single-tenant stream: submit from the committed
+  /// frontier, process, repeat until the stream is exhausted and drained —
+  /// or a crash fires.
   ServeResult Serve(const RequestStream& stream);
 
   /// True once a crash point fired; the object is then inert (every
   /// Submit/ProcessOne refuses) and only good for inspecting stats.
-  bool crashed() const { return crashed_; }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
-  /// Next command id the service expects to commit (the resubmission
-  /// frontier: everything below is applied and acknowledged).
-  std::uint64_t next_command_id() const { return next_command_id_; }
+  /// Next command id the service expects to commit for `tenant` (the
+  /// resubmission frontier: everything below is applied and acknowledged).
+  std::uint64_t next_command_id(std::uint32_t tenant) const;
+  /// Legacy single-tenant accessor (tenant 0).
+  std::uint64_t next_command_id() const { return next_command_id(0); }
+  /// Tenants with a committed frontier above 1.
+  std::vector<std::uint32_t> tenants() const;
+
   std::uint64_t applied_seq() const { return applied_seq_; }
   std::size_t queue_depth() const { return queue_.size(); }
   std::uint64_t live_jobs() const { return live_jobs_.size(); }
 
-  /// Canonical bytes of the committed state: service frontier + job table +
-  /// scheduler (slices, stats, id counter) + bound controller state. Used
-  /// verbatim as the snapshot payload and, in tests, as the byte-identity
-  /// digest. Volatile service stats and the queue are deliberately excluded.
+  /// Cross-shard transaction introspection (router recovery): transactions
+  /// prepared on this shard but not yet decided, the recorded reservation,
+  /// the decision history, and the highest txn id this shard ever saw
+  /// (router id minting resumes above it).
+  std::vector<std::uint64_t> InDoubtTxns() const;
+  const PreparedTxn* prepared_txn(std::uint64_t txn_id) const;
+  std::optional<TxnDecision> txn_decision(std::uint64_t txn_id) const;
+  std::uint64_t max_txn_seen() const { return max_txn_seen_; }
+
+  /// Canonical bytes of the committed state: per-tenant frontiers + job
+  /// table + prepared/decided transactions + scheduler (slices, stats, id
+  /// counter) + bound controller state. Used verbatim as the snapshot
+  /// payload and, in tests, as the byte-identity digest. Volatile service
+  /// stats and the queue are deliberately excluded.
   std::vector<std::uint8_t> SerializeState() const;
 
   /// Includes `controller`'s replayable state in snapshots and digests
@@ -143,9 +237,13 @@ class FleetService {
   /// of the command and the current state. Visits the kMidApply crash point
   /// exactly once per call on the serving path.
   void ApplyCommand(const SliceCommand& cmd);
+  /// Advances the pending (submit-side) frontier past `cmd`.
+  void AdvancePending(const SliceCommand& cmd);
+  /// Advances the committed frontier past an applied `cmd`.
+  void AdvanceCommitted(const SliceCommand& cmd);
   /// Consults the injector at `point`; true = the process just died.
   bool CrashIf(ctrl::CrashPoint point);
-  void MaybeSnapshot();
+  void MaybeSnapshot(std::uint64_t commands_applied);
   common::Status TakeSnapshot();
   common::Status DeserializeState(const std::vector<std::uint8_t>& bytes);
   void UpdateQueueGauge();
@@ -156,13 +254,34 @@ class FleetService {
   journal::Wal wal_;
   FleetServiceOptions options_;
   std::deque<SliceCommand> queue_;
-  std::map<std::uint64_t, tpu::SliceId> live_jobs_;
-  std::uint64_t next_command_id_ = 1;
+
+  // --- journal-thread state (submit side) ----------------------------------
+  /// Per-tenant pending frontier: the next command id acceptable for
+  /// enqueue/journal. Starts at the committed frontier after Recover.
+  std::map<std::uint32_t, std::uint64_t> pending_next_;
+  std::uint64_t last_compacted_floor_ = 0;
+  /// Reusable encode buffers for JournalBatch (capacity persists across
+  /// batches so steady-state journaling is allocation-free).
+  std::vector<std::vector<std::uint8_t>> payload_scratch_;
+
+  // --- apply-thread state ---------------------------------------------------
+  /// Per-tenant committed frontier (absent tenant = 1).
+  std::map<std::uint32_t, std::uint64_t> committed_next_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, tpu::SliceId> live_jobs_;
+  std::map<std::uint64_t, PreparedTxn> prepared_;
+  std::map<std::uint64_t, TxnDecision> decided_;
+  std::uint64_t max_txn_seen_ = 0;
   std::uint64_t applied_seq_ = 0;
   std::uint64_t commands_since_snapshot_ = 0;
+
+  // --- shared between stages ------------------------------------------------
+  std::atomic<bool> crashed_{false};
+  /// Snapshot (apply thread) -> compaction (journal thread) handoff.
+  std::atomic<std::uint64_t> compact_floor_{0};
+
   bool recovered_ = false;
   bool replaying_ = false;
-  bool crashed_ = false;
+  bool pipelined_ = false;
   FleetServiceStats stats_;
   ctrl::FabricController* controller_ = nullptr;
   ctrl::FaultInjector* injector_ = nullptr;

@@ -1,0 +1,640 @@
+// Sharded fleet tests (CTest label `recovery`): the per-shard batch-boundary
+// crash matrix (group commit + multi-tenant streams, byte-identical
+// recovery), quota/fairness isolation, duplicate and gap handling across
+// batch and shard boundaries, circuit-breaker-driven re-hashing, cross-shard
+// two-phase commit with in-doubt resolution, exporter visibility of the
+// fleet metrics, and a pipelined (two-thread) shard stress run that must be
+// clean under TSan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/scheduler.h"
+#include "ctrl/controller.h"
+#include "ctrl/fault_injector.h"
+#include "fleet/admission.h"
+#include "fleet/router.h"
+#include "fleet/shard.h"
+#include "journal/storage.h"
+#include "svc/fleet_service.h"
+#include "svc/request_stream.h"
+#include "telemetry/export.h"
+#include "telemetry/hub.h"
+#include "tpu/superpod.h"
+
+namespace lightwave {
+namespace {
+
+using ctrl::CrashPoint;
+
+constexpr std::uint64_t kPodSeed = 91;
+constexpr std::uint64_t kStreamSeed = 4242;
+constexpr std::uint64_t kCommands = 200;
+constexpr std::size_t kBatch = 8;  // kCommands must divide evenly
+constexpr std::uint32_t kTenants = 5;
+constexpr int kPodCubes = 8;
+constexpr int kOcsPerDim = 2;
+
+svc::FleetServiceOptions MatrixOptions() {
+  svc::FleetServiceOptions options;
+  options.queue_capacity = kBatch;
+  options.snapshot_interval = 16;  // several snapshot/compaction cycles per run
+  return options;
+}
+
+std::unique_ptr<tpu::Superpod> FreshPod() {
+  return std::make_unique<tpu::Superpod>(kPodSeed, kPodCubes, kOcsPerDim);
+}
+
+/// Multi-tenant skewed trace: 5 tenants, Zipf 0.9, per-tenant dense ids.
+const svc::RequestStream& Stream() {
+  static const svc::RequestStream stream(kStreamSeed, kCommands, [] {
+    svc::RequestStreamConfig config;
+    config.tenant_count = kTenants;
+    config.zipf_skew = 0.9;
+    return config;
+  }());
+  return stream;
+}
+
+/// Drives the whole stream through group-commit batches of kBatch. Blind
+/// resubmission from index 0 every time: duplicates below a tenant's
+/// frontier ack without enqueueing, so the batch partition is identical on
+/// the first run and on every post-crash resume.
+void DriveBatched(svc::FleetService& service) {
+  for (std::uint64_t i = 0; i < Stream().count() && !service.crashed(); ++i) {
+    ASSERT_TRUE(service.Submit(Stream().Command(i)).ok());
+    if (service.queue_depth() == kBatch) service.ProcessBatch(kBatch);
+  }
+  while (!service.crashed() && service.queue_depth() > 0) {
+    if (service.ProcessBatch(kBatch) == 0) break;
+  }
+}
+
+std::uint64_t CommittedCount(const svc::FleetService& service) {
+  std::uint64_t total = 0;
+  for (std::uint32_t tenant : service.tenants()) {
+    total += service.next_command_id(tenant) - 1;
+  }
+  return total;
+}
+
+/// Oracle digests: state bytes after each committed batch boundary, from
+/// one uneventful batched run. Key = total committed commands.
+const std::map<std::uint64_t, std::vector<std::uint8_t>>& OracleDigests() {
+  static const auto digests = [] {
+    std::map<std::uint64_t, std::vector<std::uint8_t>> out;
+    auto pod = FreshPod();
+    journal::MemStorage wal_storage;
+    journal::MemStorage snapshot_storage;
+    svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                              wal_storage, snapshot_storage, MatrixOptions());
+    EXPECT_TRUE(service.Recover().ok());
+    out[0] = service.SerializeState();
+    for (std::uint64_t i = 0; i < Stream().count(); ++i) {
+      EXPECT_TRUE(service.Submit(Stream().Command(i)).ok());
+      if (service.queue_depth() == kBatch) {
+        EXPECT_EQ(service.ProcessBatch(kBatch), kBatch);
+        out[CommittedCount(service)] = service.SerializeState();
+      }
+    }
+    EXPECT_EQ(out.rbegin()->first, kCommands);
+    return out;
+  }();
+  return digests;
+}
+
+struct TrialResult {
+  bool crashed = false;
+  bool recovery_ok = false;
+  std::uint64_t committed_after_crash = 0;
+  std::vector<std::uint8_t> recovered_digest;
+  std::vector<std::uint8_t> final_digest;
+  bool invariants_ok = false;
+};
+
+/// One matrix cell: crash at the k-th visit of `point`, recover a successor
+/// over the same durable media, resume, finish the stream.
+TrialResult RunCrashTrial(CrashPoint point, std::uint64_t k) {
+  TrialResult result;
+  journal::MemStorage wal_storage;
+  journal::MemStorage snapshot_storage;
+  ctrl::FaultInjector injector(7, ctrl::FaultProfile{});
+
+  {
+    auto pod = FreshPod();
+    svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                              wal_storage, snapshot_storage, MatrixOptions());
+    service.SetFaultInjector(&injector);
+    if (!service.Recover().ok()) return result;
+    injector.ArmCrash(point, k);
+    DriveBatched(service);
+    result.crashed = service.crashed();
+    // The pod and service die here; only the two storages survive.
+  }
+
+  auto pod = FreshPod();
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable, wal_storage,
+                            snapshot_storage, MatrixOptions());
+  service.SetFaultInjector(&injector);
+  auto recovery = service.Recover();
+  result.recovery_ok = recovery.ok();
+  if (!recovery.ok()) return result;
+  result.committed_after_crash = CommittedCount(service);
+  result.recovered_digest = service.SerializeState();
+
+  DriveBatched(service);
+  if (service.crashed()) return result;
+  result.final_digest = service.SerializeState();
+  result.invariants_ok = service.scheduler().ValidateInvariants().ok();
+  return result;
+}
+
+void CheckTrial(CrashPoint point, std::uint64_t k, std::uint64_t expected_committed,
+                const TrialResult& result) {
+  SCOPED_TRACE("crash point " + std::string(ctrl::ToString(point)) + " visit " +
+               std::to_string(k));
+  ASSERT_TRUE(result.crashed);
+  ASSERT_TRUE(result.recovery_ok);
+  // Group-commit durability: a batch is journaled atomically, so a crash
+  // before the append loses the whole (unacknowledged) batch and a crash
+  // after it loses nothing — even mid-apply, where the remaining commands
+  // of the batch recover from the journal.
+  EXPECT_EQ(result.committed_after_crash, expected_committed);
+  EXPECT_EQ(result.recovered_digest, OracleDigests().at(expected_committed));
+  EXPECT_EQ(result.final_digest, OracleDigests().at(kCommands));
+  EXPECT_TRUE(result.invariants_ok);
+}
+
+TEST(FleetCrashMatrix, BatchBoundariesRecoverByteIdentical) {
+  OracleDigests();  // build serially before fanning out
+  const std::uint64_t batches = kCommands / kBatch;
+  // kPreAppend / kPostAppendPreApply fire once per batch.
+  for (CrashPoint point : {CrashPoint::kPreAppend, CrashPoint::kPostAppendPreApply}) {
+    auto results = common::parallel::ParallelMap(
+        batches, [&](std::uint64_t i) { return RunCrashTrial(point, i + 1); });
+    for (std::uint64_t v = 1; v <= batches; ++v) {
+      const std::uint64_t expected =
+          point == CrashPoint::kPreAppend ? (v - 1) * kBatch : v * kBatch;
+      CheckTrial(point, v, expected, results[static_cast<std::size_t>(v - 1)]);
+    }
+  }
+  // kMidApply fires once per applied command; the containing batch is
+  // already durable, so recovery completes it.
+  auto results = common::parallel::ParallelMap(kCommands, [&](std::uint64_t i) {
+    return RunCrashTrial(CrashPoint::kMidApply, i + 1);
+  });
+  for (std::uint64_t j = 1; j <= kCommands; ++j) {
+    const std::uint64_t expected = ((j + kBatch - 1) / kBatch) * kBatch;
+    CheckTrial(CrashPoint::kMidApply, j, expected,
+               results[static_cast<std::size_t>(j - 1)]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard harness: one pod + two storages + a Shard, rebuildable over the same
+// media (crash simulation).
+
+struct ShardHarness {
+  std::unique_ptr<tpu::Superpod> pod;
+  journal::MemStorage wal;
+  journal::MemStorage snapshot;
+  std::unique_ptr<fleet::Shard> shard;
+
+  explicit ShardHarness(std::uint32_t id, fleet::ShardOptions options = {},
+                        std::uint64_t pod_seed = kPodSeed) {
+    pod = std::make_unique<tpu::Superpod>(pod_seed, kPodCubes, kOcsPerDim);
+    shard = std::make_unique<fleet::Shard>(id, *pod, core::AllocationPolicy::kReconfigurable,
+                                           wal, snapshot, options);
+  }
+
+  /// Simulated crash: the shard and pod die; the storages survive.
+  void Reincarnate(std::uint32_t id, fleet::ShardOptions options = {},
+                   std::uint64_t pod_seed = kPodSeed) {
+    shard.reset();
+    pod = std::make_unique<tpu::Superpod>(pod_seed, kPodCubes, kOcsPerDim);
+    shard = std::make_unique<fleet::Shard>(id, *pod, core::AllocationPolicy::kReconfigurable,
+                                           wal, snapshot, options);
+  }
+};
+
+svc::SliceCommand Admit(std::uint32_t tenant, std::uint64_t id, int cubes = 1) {
+  svc::SliceCommand cmd;
+  cmd.command_id = id;
+  cmd.tenant_id = tenant;
+  cmd.kind = svc::CommandKind::kAdmit;
+  cmd.job_id = id;
+  cmd.shape = cubes == 8 ? tpu::SliceShape{2, 2, 2}
+              : cubes == 2 ? tpu::SliceShape{1, 1, 2}
+                           : tpu::SliceShape{1, 1, 1};
+  return cmd;
+}
+
+svc::SliceCommand Release(std::uint32_t tenant, std::uint64_t id, std::uint64_t job) {
+  svc::SliceCommand cmd;
+  cmd.command_id = id;
+  cmd.tenant_id = tenant;
+  cmd.kind = svc::CommandKind::kRelease;
+  cmd.job_id = job;
+  return cmd;
+}
+
+TEST(FleetAdmission, QuotaExhaustionMidBatchRetriesCleanly) {
+  fleet::ShardOptions options;
+  options.batch_size = kBatch;
+  options.admission.default_quota = fleet::TenantQuota{5.0, 5.0, 1.0};
+  ShardHarness h(0, options);
+  ASSERT_TRUE(h.shard->Recover().ok());
+
+  // Ten commands against a burst of five: the bucket dries up mid-batch.
+  std::uint64_t accepted = 0;
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    auto offered = h.shard->Offer(Admit(7, id));
+    if (id <= 5) {
+      EXPECT_TRUE(offered.ok());
+      ++accepted;
+    } else {
+      ASSERT_FALSE(offered.ok());
+      EXPECT_EQ(offered.error().code, common::Error::Code::kResourceExhausted);
+    }
+  }
+  EXPECT_EQ(h.shard->admission().stats().rejected_quota, 5u);
+  EXPECT_EQ(h.shard->PumpAll(), accepted);
+  EXPECT_EQ(h.shard->service().next_command_id(7), 6u);
+
+  // The client retries the REJECTED ids after a refill — same ids, so the
+  // dense per-tenant sequence heals with no gap and nothing applies twice.
+  h.shard->Tick(1.0);
+  for (std::uint64_t id = 6; id <= 10; ++id) {
+    EXPECT_TRUE(h.shard->Offer(Admit(7, id)).ok());
+  }
+  h.shard->PumpAll();
+  EXPECT_EQ(h.shard->service().next_command_id(7), 11u);
+  EXPECT_EQ(h.shard->service().stats().processed, 10u);
+  EXPECT_EQ(h.shard->service().stats().duplicate_acks, 0u);
+}
+
+TEST(FleetAdmission, MisbehavingTenantCannotStarveCompliantTenant) {
+  constexpr std::uint64_t kQuotaRate = 20;
+  constexpr int kRounds = 50;
+  fleet::ShardOptions options;
+  options.batch_size = 16;
+  options.admission.default_quota =
+      fleet::TenantQuota{static_cast<double>(kQuotaRate), static_cast<double>(kQuotaRate), 1.0};
+  options.admission.per_tenant_queue_capacity = 64;
+  ShardHarness h(0, options);
+  ASSERT_TRUE(h.shard->Recover().ok());
+
+  // Tenant 1 floods at 10x its quota; tenant 2 stays exactly at quota.
+  std::uint64_t next_id[2] = {1, 1};
+  std::uint64_t rejects[2] = {0, 0};
+  for (int round = 0; round < kRounds; ++round) {
+    h.shard->Tick(1.0);
+    for (std::uint64_t k = 0; k < 10 * kQuotaRate; ++k) {
+      if (h.shard->Offer(Admit(1, next_id[0])).ok()) {
+        ++next_id[0];
+      } else {
+        ++rejects[0];  // rejected command keeps its id for the retry
+      }
+    }
+    for (std::uint64_t k = 0; k < kQuotaRate; ++k) {
+      if (h.shard->Offer(Admit(2, next_id[1])).ok()) {
+        ++next_id[1];
+      } else {
+        ++rejects[1];
+      }
+    }
+    h.shard->PumpAll();
+  }
+  // The fairness contract of the ISSUE: the flood hurts only the flooder.
+  EXPECT_EQ(rejects[1], 0u);
+  EXPECT_GT(rejects[0], 0u);
+  EXPECT_EQ(h.shard->service().next_command_id(2), kQuotaRate * kRounds + 1);
+  // The flooder still gets its full quota-bounded share, nothing more.
+  EXPECT_LE(next_id[0] - 1, kQuotaRate * (kRounds + 1));
+  EXPECT_GE(next_id[0] - 1, kQuotaRate * kRounds);
+}
+
+TEST(FleetService, DuplicateStraddlingBatchBoundaryAppliesOnce) {
+  auto run = [](bool with_duplicates) {
+    auto pod = FreshPod();
+    journal::MemStorage wal_storage;
+    journal::MemStorage snapshot_storage;
+    svc::FleetServiceOptions options;
+    options.queue_capacity = 16;
+    svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                              wal_storage, snapshot_storage, options);
+    EXPECT_TRUE(service.Recover().ok());
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+      EXPECT_TRUE(service.Submit(Admit(3, id)).ok());
+    }
+    EXPECT_EQ(service.ProcessBatch(4), 4u);
+    if (with_duplicates) {
+      // A client that never saw batch 1's acks resubmits its tail along
+      // with new work: ids 3 and 4 straddle the committed batch boundary.
+      EXPECT_TRUE(service.Submit(Admit(3, 3)).ok());
+      EXPECT_TRUE(service.Submit(Admit(3, 4)).ok());
+    }
+    EXPECT_TRUE(service.Submit(Admit(3, 5)).ok());
+    EXPECT_TRUE(service.Submit(Release(3, 6, 2)).ok());
+    EXPECT_EQ(service.ProcessBatch(4), 2u);  // only the two new commands ran
+    if (with_duplicates) {
+      EXPECT_EQ(service.stats().duplicate_acks, 2u);
+    }
+    EXPECT_EQ(service.stats().processed, 6u);
+    EXPECT_EQ(service.next_command_id(3), 7u);
+    EXPECT_EQ(service.wal().batch_appends(), 2u);
+    return service.SerializeState();
+  };
+  // Byte-identity: the duplicate-laden run converges on the clean run.
+  EXPECT_EQ(run(true), run(false));
+}
+
+// ---------------------------------------------------------------------------
+// Router: hashing, health, relocation, 2PC.
+
+TEST(FleetRouter, ConsistentHashingIsStableAndCompleteOverTenants) {
+  ShardHarness a(0), b(1), c(2);
+  fleet::Router router;
+  router.AddShard(a.shard.get());
+  router.AddShard(b.shard.get());
+  router.AddShard(c.shard.get());
+  std::map<std::uint32_t, int> load;
+  for (std::uint32_t tenant = 0; tenant < 300; ++tenant) {
+    auto first = router.ShardFor(tenant);
+    ASSERT_TRUE(first.ok());
+    auto second = router.ShardFor(tenant);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first.value(), second.value());  // stable
+    ++load[first.value()];
+  }
+  // Every shard owns a non-trivial arc (virtual nodes smooth the ring).
+  for (std::uint32_t id : {0u, 1u, 2u}) EXPECT_GT(load[id], 30) << "shard " << id;
+  // Marking one shard unhealthy relocates ONLY its tenants.
+  std::map<std::uint32_t, std::uint32_t> before;
+  for (std::uint32_t tenant = 0; tenant < 300; ++tenant) {
+    before[tenant] = router.ShardFor(tenant).value();
+  }
+  router.SetShardHealth(1, false);
+  for (std::uint32_t tenant = 0; tenant < 300; ++tenant) {
+    auto after = router.ShardFor(tenant);
+    ASSERT_TRUE(after.ok());
+    EXPECT_NE(after.value(), 1u);
+    if (before[tenant] != 1) {
+      EXPECT_EQ(after.value(), before[tenant]);
+    }
+  }
+}
+
+TEST(FleetRouter, TenantGapDetectedAfterRelocation) {
+  ShardHarness a(0), b(1);
+  fleet::Router router;
+  router.AddShard(a.shard.get());
+  router.AddShard(b.shard.get());
+  ASSERT_TRUE(router.RecoverAll().ok());
+
+  // A tenant homed on shard 0 while both shards are healthy.
+  std::uint32_t tenant = 0;
+  while (router.ShardFor(tenant).value() != 0) ++tenant;
+
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(router.Submit(Admit(tenant, id)).ok());
+  }
+  router.PumpAll();
+  EXPECT_EQ(a.shard->service().next_command_id(tenant), 6u);
+
+  // Shard 0 goes unhealthy; the tenant re-hashes to shard 1, whose view of
+  // the tenant starts at command 1 — the tenant's id-6 resume surfaces as a
+  // GAP on the new shard (its history did not move), not as silent loss.
+  router.SetShardHealth(0, false);
+  ASSERT_EQ(router.ShardFor(tenant).value(), 1u);
+  ASSERT_TRUE(router.Submit(Admit(tenant, 6)).ok());
+  router.PumpAll();
+  EXPECT_EQ(b.shard->stats().pipeline_gaps, 1u);
+  EXPECT_EQ(b.shard->service().next_command_id(tenant), 1u);
+  EXPECT_GT(router.stats().rerouted, 0u);
+
+  // The tenant restarts its dense sequence against the new shard.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(router.Submit(Admit(tenant, id)).ok());
+  }
+  router.PumpAll();
+  EXPECT_EQ(b.shard->service().next_command_id(tenant), 4u);
+}
+
+TEST(FleetRouter, BreakerTripRehashesTenants) {
+  ShardHarness a(0), b(1);
+  fleet::Router router;
+  router.AddShard(a.shard.get());
+  router.AddShard(b.shard.get());
+
+  // Shard 0's fabric controller (PR 4): a partitioned control bus trips the
+  // circuit breaker on its OCS.
+  ctrl::MessageBus bus(3);
+  ctrl::FabricController controller(bus, 1);
+  ctrl::OcsAgent agent(a.pod->ocs(0));
+  controller.Register(0, &agent);
+
+  router.SyncBreaker(0, controller, 0);
+  EXPECT_TRUE(router.ShardHealthy(0));
+
+  std::uint32_t tenant = 0;
+  while (router.ShardFor(tenant).value() != 0) ++tenant;
+
+  bus.PartitionAfter(0);
+  for (int i = 0; i < 4; ++i) (void)controller.ApplyTopology({{0, {{0, 100}}}});
+  ASSERT_EQ(controller.breaker_state(0), ctrl::BreakerState::kOpen);
+
+  // The router reads the breaker and routes around the dark shard.
+  router.SyncBreaker(0, controller, 0);
+  EXPECT_FALSE(router.ShardHealthy(0));
+  EXPECT_EQ(router.ShardFor(tenant).value(), 1u);
+}
+
+TEST(FleetRouter, CrossShardAdmitCommitsEverywhereOrNowhere) {
+  ShardHarness a(0), b(1);
+  fleet::Router router;
+  router.AddShard(a.shard.get());
+  router.AddShard(b.shard.get());
+  ASSERT_TRUE(router.RecoverAll().ok());
+
+  // Commit path: both shards can place a cube -> unanimous yes.
+  auto committed = router.CrossShardAdmit(500, tpu::SliceShape{1, 1, 1}, {0, 1});
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(a.shard->service().live_jobs(), 1u);
+  EXPECT_EQ(b.shard->service().live_jobs(), 1u);
+  EXPECT_EQ(a.shard->service().txn_decision(committed.value()),
+            svc::TxnDecision::kCommitted);
+
+  // Abort path: fill shard 1's remaining 7 cubes, so it votes no; shard 0's
+  // yes-reservation must be rolled back, not leaked.
+  for (std::uint64_t id = 1; id <= 7; ++id) {
+    ASSERT_TRUE(b.shard->Offer(Admit(9, id)).ok());
+  }
+  b.shard->PumpAll();
+  ASSERT_EQ(b.shard->service().live_jobs(), 8u);
+  auto aborted = router.CrossShardAdmit(501, tpu::SliceShape{1, 1, 1}, {0, 1});
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.error().code, common::Error::Code::kResourceExhausted);
+  EXPECT_EQ(router.stats().txns_aborted, 1u);
+  EXPECT_EQ(a.shard->service().live_jobs(), 1u);
+  EXPECT_EQ(b.shard->service().live_jobs(), 8u);
+
+  // Free one cube on shard 1 and retry: succeeds only if the aborted
+  // reservation on shard 0 was actually released.
+  ASSERT_TRUE(b.shard->Offer(Release(9, 8, 1)).ok());
+  b.shard->PumpAll();
+  auto retried = router.CrossShardAdmit(502, tpu::SliceShape{1, 1, 1}, {0, 1});
+  ASSERT_TRUE(retried.ok()) << retried.error().message;
+  EXPECT_GT(retried.value(), committed.value());
+  EXPECT_EQ(a.shard->service().live_jobs(), 2u);
+  EXPECT_EQ(b.shard->service().live_jobs(), 8u);
+}
+
+TEST(FleetRouter, InDoubtTxnsResolveByPresumedAbortUnlessCommitRecorded) {
+  fleet::ShardOptions options;
+  ShardHarness a(0, options), b(1, options);
+  constexpr std::uint64_t kTxnAbort = 9;
+  constexpr std::uint64_t kTxnCommit = 10;
+  {
+    fleet::Router router;
+    router.AddShard(a.shard.get());
+    router.AddShard(b.shard.get());
+    ASSERT_TRUE(router.RecoverAll().ok());
+    // Hand-roll a coordinator crash: txn 9 prepared on both shards but
+    // never decided; txn 10 prepared on both and committed on shard 0 only.
+    auto control = [](std::uint64_t id, svc::CommandKind kind, std::uint64_t job,
+                      std::uint64_t txn) {
+      svc::SliceCommand cmd;
+      cmd.command_id = id;
+      cmd.tenant_id = fleet::kControlTenant;
+      cmd.kind = kind;
+      cmd.job_id = job;
+      cmd.txn_id = txn;
+      cmd.shape = tpu::SliceShape{1, 1, 2};
+      return cmd;
+    };
+    ASSERT_TRUE(a.shard->SubmitControl(control(1, svc::CommandKind::kPrepare, 70, kTxnAbort)).ok());
+    ASSERT_TRUE(b.shard->SubmitControl(control(1, svc::CommandKind::kPrepare, 70, kTxnAbort)).ok());
+    ASSERT_TRUE(a.shard->SubmitControl(control(2, svc::CommandKind::kPrepare, 71, kTxnCommit)).ok());
+    ASSERT_TRUE(b.shard->SubmitControl(control(2, svc::CommandKind::kPrepare, 71, kTxnCommit)).ok());
+    ASSERT_TRUE(a.shard->SubmitControl(control(3, svc::CommandKind::kCommitTxn, 71, kTxnCommit)).ok());
+    ASSERT_EQ(a.shard->service().InDoubtTxns().size(), 1u);
+    ASSERT_EQ(b.shard->service().InDoubtTxns().size(), 2u);
+    // Coordinator and shards crash here; the storages survive.
+  }
+  a.Reincarnate(0);
+  b.Reincarnate(1);
+  fleet::Router router;
+  router.AddShard(a.shard.get());
+  router.AddShard(b.shard.get());
+  auto recovered = router.RecoverAll();
+  ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+
+  // Txn 9 had no commit evidence anywhere -> presumed abort, reservations
+  // released on both shards. Txn 10 was committed on shard 0 -> shard 1's
+  // in-doubt branch completes the commit.
+  EXPECT_EQ(router.stats().resolved_abort, 1u);
+  EXPECT_EQ(router.stats().resolved_commit, 1u);
+  EXPECT_TRUE(a.shard->service().InDoubtTxns().empty());
+  EXPECT_TRUE(b.shard->service().InDoubtTxns().empty());
+  EXPECT_EQ(a.shard->service().txn_decision(kTxnAbort), svc::TxnDecision::kAborted);
+  EXPECT_EQ(b.shard->service().txn_decision(kTxnAbort), svc::TxnDecision::kAborted);
+  EXPECT_EQ(b.shard->service().txn_decision(kTxnCommit), svc::TxnDecision::kCommitted);
+  EXPECT_EQ(a.shard->service().live_jobs(), 1u);
+  EXPECT_EQ(b.shard->service().live_jobs(), 1u);
+
+  // The router's txn mint resumed above everything it recovered.
+  auto next = router.CrossShardAdmit(600, tpu::SliceShape{1, 1, 1}, {0, 1});
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(next.value(), kTxnCommit);
+}
+
+TEST(FleetTelemetry, FleetSeriesVisibleToExporters) {
+  telemetry::Hub hub;
+  fleet::ShardOptions options;
+  options.batch_size = 4;
+  options.admission.default_quota = fleet::TenantQuota{4.0, 4.0, 1.0};
+  ShardHarness h(0, options);
+  h.shard->AttachTelemetry(&hub);
+  ASSERT_TRUE(h.shard->Recover().ok());
+
+  std::uint64_t accepted = 0;
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    if (h.shard->Offer(Admit(2, id)).ok()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4u);
+  h.shard->PumpAll();
+
+  auto& metrics = hub.metrics();
+  EXPECT_EQ(metrics.GetCounter("lightwave_fleet_admitted_total", {{"shard", "0"}}).value(),
+            accepted);
+  EXPECT_EQ(metrics
+                .GetCounter("lightwave_fleet_rejected_total",
+                            {{"reason", "quota"}, {"shard", "0"}})
+                .value(),
+            4u);
+  EXPECT_EQ(metrics.GetGauge("lightwave_fleet_shard_queue_depth", {{"shard", "0"}}).value(),
+            0.0);
+  EXPECT_EQ(metrics.GetHistogram("lightwave_fleet_batch_commands", {{"shard", "0"}}).count(),
+            1u);
+
+  const std::string prom = telemetry::ToPrometheus(metrics);
+  EXPECT_NE(prom.find("lightwave_fleet_admitted_total"), std::string::npos);
+  EXPECT_NE(prom.find("lightwave_fleet_rejected_total"), std::string::npos);
+  EXPECT_NE(prom.find("reason=\"quota\""), std::string::npos);
+  EXPECT_NE(prom.find("lightwave_fleet_batch_commands"), std::string::npos);
+  EXPECT_NE(prom.find("lightwave_fleet_shard_queue_depth"), std::string::npos);
+}
+
+TEST(FleetPipeline, PipelinedShardAppliesExactlyOnceAndRecoversByteIdentical) {
+  constexpr std::uint64_t kPipelineCommands = 4000;
+  svc::RequestStreamConfig config;
+  config.tenant_count = 8;
+  config.zipf_skew = 0.7;
+  svc::RequestStream stream(77, kPipelineCommands, config);
+
+  fleet::ShardOptions options;
+  options.batch_size = 32;
+  options.pipeline_depth = 4;
+  options.service.snapshot_interval = 256;
+  options.admission.default_quota = fleet::TenantQuota{1e9, 1e9, 1.0};
+  options.admission.per_tenant_queue_capacity = kPipelineCommands;
+  ShardHarness h(0, options);
+  ASSERT_TRUE(h.shard->Recover().ok());
+
+  // Journal thread + apply thread run while this thread offers: the
+  // three-thread interleaving is what the TSan CI leg checks.
+  h.shard->Start();
+  for (std::uint64_t i = 0; i < kPipelineCommands; ++i) {
+    ASSERT_TRUE(h.shard->Offer(stream.Command(i)).ok());
+  }
+  h.shard->Drain();
+  h.shard->Stop();
+
+  const auto& stats = h.shard->service().stats();
+  EXPECT_EQ(stats.processed, kPipelineCommands);  // exactly once, none lost
+  EXPECT_EQ(h.shard->stats().pipeline_duplicates, 0u);
+  EXPECT_EQ(h.shard->stats().pipeline_gaps, 0u);
+  EXPECT_EQ(h.shard->service().applied_seq(), kPipelineCommands);
+  EXPECT_GT(stats.snapshots, 0u);
+  // Group commit actually grouped (far fewer appends than commands).
+  EXPECT_LT(h.shard->stats().batches, kPipelineCommands / 2);
+  EXPECT_TRUE(h.shard->service().scheduler().ValidateInvariants().ok());
+
+  // A successor recovers byte-identically from the pipelined run's media.
+  const auto final_digest = h.shard->service().SerializeState();
+  auto pod = FreshPod();
+  svc::FleetService successor(*pod, core::AllocationPolicy::kReconfigurable, h.wal,
+                              h.snapshot, options.service);
+  ASSERT_TRUE(successor.Recover().ok());
+  EXPECT_EQ(successor.SerializeState(), final_digest);
+}
+
+}  // namespace
+}  // namespace lightwave

@@ -342,18 +342,36 @@ TEST(Fuzz, SliceCommandDecodeNeverCrashesOnRandomBytes) {
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.UniformInt(256));
     (void)svc::SliceCommand::Decode(junk);
   }
+  // A command exercising every wire field (multi-tenant id spaces and the
+  // 2PC kinds included) must roundtrip exactly and reject every truncation.
   svc::SliceCommand cmd;
   cmd.command_id = 712;
-  cmd.kind = svc::CommandKind::kAdmit;
+  cmd.tenant_id = 0xFFFFFFFFu;  // the router's control tenant is a legal value
+  cmd.kind = svc::CommandKind::kPrepare;
   cmd.job_id = 9;
+  cmd.txn_id = (std::uint64_t{1} << 40) + 3;
   cmd.shape = tpu::SliceShape{4, 2, 1};
   const auto encoded = cmd.Encode();
-  ASSERT_TRUE(svc::SliceCommand::Decode(encoded).ok());
+  const auto decoded = svc::SliceCommand::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().command_id, cmd.command_id);
+  EXPECT_EQ(decoded.value().tenant_id, cmd.tenant_id);
+  EXPECT_EQ(decoded.value().kind, cmd.kind);
+  EXPECT_EQ(decoded.value().job_id, cmd.job_id);
+  EXPECT_EQ(decoded.value().txn_id, cmd.txn_id);
+  EXPECT_EQ(decoded.value().shape.a, cmd.shape.a);
   for (std::size_t len = 0; len < encoded.size(); ++len) {
     std::vector<std::uint8_t> prefix(encoded.begin(),
                                      encoded.begin() + static_cast<long>(len));
     EXPECT_FALSE(svc::SliceCommand::Decode(prefix).ok()) << len;
   }
+  // A kind byte past the 2PC range must fail closed. The kind sits right
+  // after the two leading varints: command_id=712 encodes in 2 bytes,
+  // tenant_id=0xFFFFFFFF in 5, so the kind is byte 7.
+  auto tampered = encoded;
+  ASSERT_EQ(tampered[7], static_cast<std::uint8_t>(svc::CommandKind::kPrepare));
+  tampered[7] = 200;
+  EXPECT_FALSE(svc::SliceCommand::Decode(tampered).ok());
 }
 
 // --- palomar random-operation stress ----------------------------------------------

@@ -48,6 +48,60 @@ TEST(Wal, AppendScanRoundTrip) {
   }
 }
 
+TEST(Wal, AppendBatchFramesBytesIdenticallyToSingleAppends) {
+  // Group commit is a pure amortization: N records through one AppendBatch
+  // must leave EXACTLY the bytes N single Appends leave, so Scan, torn-tail
+  // repair, and replay cannot tell the two apart.
+  journal::MemStorage single = LogWith(10);
+  journal::MemStorage batched;
+  journal::Wal wal(batched);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 10; ++i) payloads.push_back(Payload(i));
+  auto first = wal.AppendBatch(payloads);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 1u);
+  EXPECT_EQ(batched.bytes(), single.bytes());
+  EXPECT_EQ(wal.next_seq(), 11u);
+  EXPECT_EQ(wal.appended_records(), 10u);
+  EXPECT_EQ(wal.batch_appends(), 1u);
+  // A second batch continues the dense sequence.
+  auto second = wal.AppendBatch({Payload(10), Payload(11)});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 11u);
+  const auto scan = journal::Wal::Scan(batched);
+  ASSERT_TRUE(scan.tail.ok());
+  EXPECT_EQ(scan.records.size(), 12u);
+}
+
+TEST(Wal, AppendBatchRejectsWholeBatchOnOversizedPayload) {
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.push_back(Payload(0));
+  payloads.emplace_back(journal::Wal::kMaxRecordBytes, 0xAB);  // body > limit
+  auto appended = wal.AppendBatch(payloads);
+  ASSERT_FALSE(appended.ok());
+  // Nothing landed, no sequence number burned: the batch is all-or-nothing.
+  EXPECT_EQ(storage.size(), 0u);
+  EXPECT_EQ(wal.next_seq(), 1u);
+  EXPECT_FALSE(wal.AppendBatch({}).ok());
+}
+
+TEST(Wal, TornBatchTailRepairsLikeTornAppends) {
+  // Tear a batched log mid-way through its last record; the constructor must
+  // truncate back to the last whole record, exactly as with single appends.
+  journal::MemStorage storage;
+  {
+    journal::Wal wal(storage);
+    ASSERT_TRUE(wal.AppendBatch({Payload(0), Payload(1), Payload(2)}).ok());
+  }
+  storage.bytes().resize(storage.bytes().size() - 3);
+  journal::Wal reopened(storage);
+  EXPECT_GT(reopened.tail_truncated_bytes(), 0u);
+  EXPECT_EQ(reopened.recovery_scan().records.size(), 2u);
+  EXPECT_EQ(reopened.next_seq(), 3u);
+}
+
 TEST(Wal, EveryTruncationOffsetScansCleanly) {
   // Chop the log at EVERY byte length. The scan must never crash, must keep
   // every record before the cut, and must report a torn tail unless the cut
