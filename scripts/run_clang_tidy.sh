@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: repo-root .clang-tidy) over every .cpp under src/,
-# against a compile_commands.json generated into build-tidy/.
+# Runs clang-tidy (config: repo-root .clang-tidy, plus the per-directory
+# overrides in tests/.clang-tidy and bench/.clang-tidy) over every .cpp under
+# src/, tests/, and bench/, against a compile_commands.json generated into
+# build-tidy/. Files are linted in parallel (one clang-tidy process per TU,
+# nproc at a time).
 #
 # Usage: scripts/run_clang_tidy.sh [extra clang-tidy args...]
 #
@@ -24,19 +27,21 @@ cmake -B "${build_dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || {
   exit 1
 }
 
-mapfile -t sources < <(find src -name '*.cpp' | sort)
+mapfile -t sources < <(find src tests bench -name '*.cpp' | sort)
 if [[ "${#sources[@]}" -eq 0 ]]; then
-  echo "run_clang_tidy: no sources under src/" >&2
+  echo "run_clang_tidy: no sources under src/, tests/, or bench/" >&2
   exit 1
 fi
 
-echo "run_clang_tidy: checking ${#sources[@]} files with $("${tidy_bin}" --version | head -n 1)"
+jobs="$(nproc 2> /dev/null || echo 4)"
+echo "run_clang_tidy: checking ${#sources[@]} files (${jobs} jobs) with" \
+     "$("${tidy_bin}" --version | head -n 1)"
+
+# xargs exits 123 when any invocation fails; each TU lints independently so
+# one file's findings never mask another's.
 status=0
-for source in "${sources[@]}"; do
-  if ! "${tidy_bin}" -p "${build_dir}" --quiet "$@" "${source}"; then
-    status=1
-  fi
-done
+printf '%s\0' "${sources[@]}" |
+  xargs -0 -n 1 -P "${jobs}" "${tidy_bin}" -p "${build_dir}" --quiet "$@" || status=1
 
 if [[ "${status}" -eq 0 ]]; then
   echo "run_clang_tidy: clean"

@@ -3,15 +3,19 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace lightwave::common {
 
 namespace {
 
-std::mutex g_handler_mu;
-CheckHandler g_handler;  // empty = default behaviour
+/// Rank kCheckHandler (the highest): LW_CHECK can fire while ANY other lock
+/// is held, so the handler slot must be acquirable under everything.
+lw::Mutex g_handler_mu("check.handler", lw::rank::kCheckHandler);
+CheckHandler g_handler LW_GUARDED_BY(g_handler_mu);  // empty = default behaviour
 
 std::atomic<std::uint64_t> g_fatal_failures{0};
 std::atomic<std::uint64_t> g_ensure_failures{0};
@@ -59,7 +63,7 @@ void Report(const CheckFailure& failure) {
   }
   CheckHandler handler;
   {
-    std::lock_guard<std::mutex> lock(g_handler_mu);
+    lw::MutexLock lock(g_handler_mu);
     handler = g_handler;
   }
   if (handler) {
@@ -91,7 +95,7 @@ std::string FormatCheckFailure(const CheckFailure& failure) {
 }
 
 CheckHandler SetCheckHandler(CheckHandler handler) {
-  std::lock_guard<std::mutex> lock(g_handler_mu);
+  lw::MutexLock lock(g_handler_mu);
   std::swap(g_handler, handler);
   return handler;
 }

@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace lightwave::common::parallel {
 
@@ -40,8 +40,10 @@ struct Region {
   std::vector<std::exception_ptr> errors;
   /// Slot per worker (0 = caller); each slot is written by one thread.
   std::vector<std::uint64_t> chunks_per_worker;
-  std::mutex mu;
-  std::condition_variable cv;
+  /// Completion handshake only (`done` is the actual state, and it is
+  /// atomic): the mutex orders the final notify against the caller's wait.
+  lw::Mutex mu{"parallel.region", lw::rank::kParallelRegion};
+  lw::CondVar cv;
 };
 
 /// Claims and executes chunks until the region is drained. Returns once no
@@ -63,8 +65,8 @@ void RunChunks(Region& region) {
     if (observer != nullptr) observer->OnChunkExecuted();
     if (region.done.fetch_add(1, std::memory_order_acq_rel) + 1 == region.chunks) {
       // Last chunk: wake the calling thread if it is already waiting.
-      std::lock_guard<std::mutex> lock(region.mu);
-      region.cv.notify_all();
+      lw::MutexLock lock(region.mu);
+      region.cv.NotifyAll();
     }
   }
   if (outer) t_in_region = false;
@@ -80,13 +82,14 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      lw::MutexLock lock(mu_);
       stopped_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& w : workers_) w.join();
     // Contract: nothing may execute after shutdown — the queue must have
     // been fully drained by the joining workers.
+    lw::MutexLock lock(mu_);
     LW_DCHECK(queue_.empty()) << "thread pool destroyed with queued tasks";
   }
 
@@ -96,12 +99,12 @@ class ThreadPool {
     PoolObserver* const observer = g_observer.load(std::memory_order_acquire);
     std::size_t depth = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      lw::MutexLock lock(mu_);
       LW_CHECK(!stopped_) << "Submit after thread-pool shutdown";
       for (int i = 0; i < runners; ++i) queue_.push_back(region);
       depth = queue_.size();
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     if (observer != nullptr) observer->OnQueueDepth(depth);
   }
 
@@ -111,8 +114,8 @@ class ThreadPool {
     for (;;) {
       std::shared_ptr<Region> region;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+        lw::MutexLock lock(mu_);
+        while (!stopped_ && queue_.empty()) cv_.Wait(mu_);
         if (queue_.empty()) return;  // stopped_ && drained
         region = std::move(queue_.front());
         queue_.pop_front();
@@ -126,10 +129,10 @@ class ThreadPool {
   }
 
   const int threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Region>> queue_;
-  bool stopped_ = false;
+  lw::Mutex mu_{"parallel.pool", lw::rank::kPoolQueue};
+  lw::CondVar cv_;
+  std::deque<std::shared_ptr<Region>> queue_ LW_GUARDED_BY(mu_);
+  bool stopped_ LW_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -142,8 +145,8 @@ int DefaultThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-std::mutex& PoolMutex() {
-  static std::mutex mu;
+lw::Mutex& PoolMutex() {
+  static lw::Mutex mu("parallel.registry", lw::rank::kPoolRegistry);
   return mu;
 }
 
@@ -155,7 +158,7 @@ std::unique_ptr<ThreadPool>& PoolSlot() {
 /// The process-wide pool, created on first use. Returns nullptr when the
 /// configured thread count is 1 (serial mode needs no pool).
 ThreadPool* GlobalPool() {
-  std::lock_guard<std::mutex> lock(PoolMutex());
+  lw::MutexLock lock(PoolMutex());
   auto& slot = PoolSlot();
   if (slot == nullptr) {
     const int threads = DefaultThreads();
@@ -184,7 +187,7 @@ PoolObserver* SetPoolObserver(PoolObserver* observer) {
 }
 
 int Threads() {
-  std::lock_guard<std::mutex> lock(PoolMutex());
+  lw::MutexLock lock(PoolMutex());
   auto& slot = PoolSlot();
   return slot != nullptr ? slot->threads() : DefaultThreads();
 }
@@ -192,7 +195,7 @@ int Threads() {
 void SetThreads(int threads) {
   LW_CHECK(threads >= 1) << "thread count must be >= 1";
   LW_CHECK(!t_in_region) << "SetThreads from inside a parallel region";
-  std::lock_guard<std::mutex> lock(PoolMutex());
+  lw::MutexLock lock(PoolMutex());
   auto& slot = PoolSlot();
   slot.reset();  // joins existing workers
   if (threads > 1) slot = std::make_unique<ThreadPool>(threads);
@@ -253,10 +256,10 @@ void ParallelFor(std::uint64_t n, std::uint64_t chunk_size, const ChunkBody& bod
   // or nested mode).
   RunChunks(*region);
   if (region->done.load(std::memory_order_acquire) != chunks) {
-    std::unique_lock<std::mutex> lock(region->mu);
-    region->cv.wait(lock, [&] {
-      return region->done.load(std::memory_order_acquire) == chunks;
-    });
+    lw::MutexLock lock(region->mu);
+    while (region->done.load(std::memory_order_acquire) != chunks) {
+      region->cv.Wait(region->mu);
+    }
   }
 
   if (observer != nullptr && !t_in_region) {

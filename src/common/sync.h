@@ -1,0 +1,159 @@
+// Annotated synchronization vocabulary for the whole tree. Every mutex and
+// condition variable in lightwave code goes through these wrappers (enforced
+// by scripts/lint_locks.py; raw std primitives are allowed only inside this
+// header and sync.cpp), which buys two layers of verification on top of
+// TSan's dynamic racing:
+//
+//   1. COMPILE TIME — the types carry Clang thread-safety capabilities
+//      (common/thread_annotations.h), so `-Werror=thread-safety` on the
+//      clang CI leg rejects any guarded-member access outside its mutex and
+//      any lock-requiring method called without the lock, on every path,
+//      including ones no test executes.
+//
+//   2. RUN TIME (the lock-rank detector) — ordering bugs TSA cannot see.
+//      Each lw::Mutex optionally carries a RANK from the repo-wide lock
+//      hierarchy below (DESIGN.md §5.5 has the full table). While the
+//      detector is enabled, every thread tracks its held-lock stack and the
+//      process accumulates the observed acquired-before graph:
+//        - acquiring a ranked mutex while holding one of equal or higher
+//          rank trips LW_CHECK (rank order is strictly increasing inward);
+//        - acquiring any mutex that closes a cycle in the acquired-before
+//          graph trips LW_CHECK with BOTH lock sets — the current thread's
+//          held stack and the held stack recorded when the opposite edge
+//          was first observed — so an AB/BA inversion is caught the first
+//          time both orders have ever been seen, not only when the timing
+//          actually deadlocks;
+//        - re-entrant acquisition and unlocking a mutex the thread does not
+//          hold trip immediately (std::mutex makes both undefined).
+//      Default: enabled in Debug builds (!NDEBUG), disabled in optimized
+//      builds; the LIGHTWAVE_LOCK_RANK environment variable (0/1) overrides
+//      the default, and tests force it with ScopedDeadlockDetector.
+//
+// The namespace is deliberately the short `lw::` — sync primitives appear
+// on nearly every line of concurrent code and read as vocabulary, not as a
+// subsystem: `lw::MutexLock lock(mu_);`.
+#pragma once
+
+#include <cstdint>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace lw {
+
+/// Mutexes constructed without a rank skip the rank check (the cycle
+/// detector still covers them).
+inline constexpr int kNoRank = -1;
+
+/// The repo-wide lock hierarchy: ranks must be acquired in strictly
+/// increasing order, so outermost (coarsest) locks rank lowest and locks
+/// that may be taken under anything — the telemetry plane, the check
+/// handler — rank highest. DESIGN.md §5.5 is the authoritative table of
+/// which mutex guards what; keep the two in sync.
+namespace rank {
+inline constexpr int kFleetAdmission = 10;   // fleet::AdmissionQueue::mu_
+inline constexpr int kShardHandoff = 20;     // fleet::Shard::handoff_mu_
+inline constexpr int kShardStats = 30;       // fleet::Shard::stats_mu_
+inline constexpr int kPoolRegistry = 40;     // parallel global pool slot
+inline constexpr int kPoolQueue = 45;        // parallel ThreadPool::mu_
+inline constexpr int kParallelRegion = 48;   // parallel Region::mu
+inline constexpr int kTelemetryRegistry = 90;  // MetricsRegistry::mu_
+inline constexpr int kTracer = 91;             // Tracer::mu_
+inline constexpr int kTelemetrySeries = 92;    // Histogram/TimeSeries::mu_
+inline constexpr int kCheckHandler = 100;      // check.cpp handler slot
+}  // namespace rank
+
+/// Annotated exclusive mutex. Non-recursive (like std::mutex); Lock/Unlock
+/// feed the lock-rank detector, lock/unlock are BasicLockable aliases for
+/// CondVar. Mutexes are named for detector diagnostics — the name appears
+/// in both lock sets when a violation trips.
+class LW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() : Mutex("", kNoRank) {}
+  explicit Mutex(const char* name, int rank = kNoRank);
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LW_ACQUIRE();
+  void Unlock() LW_RELEASE();
+
+  /// BasicLockable interface (std::condition_variable_any inside
+  /// CondVar::Wait releases and reacquires through these, so the detector's
+  /// held stack stays exact across a wait).
+  void lock() LW_ACQUIRE() { Lock(); }
+  void unlock() LW_RELEASE() { Unlock(); }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  int rank_;
+  /// Stable detector id (monotone, never reused), assigned at construction.
+  std::uint64_t id_;
+};
+
+/// RAII lock scope, the only idiom for taking an lw::Mutex:
+///   lw::MutexLock lock(mu_);
+class LW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LW_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LW_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to lw::Mutex. No predicate overload on purpose:
+/// TSA cannot see capabilities inside a predicate lambda, so waits are
+/// written as explicit loops in the annotated caller —
+///   lw::MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires before returning.
+  void Wait(Mutex& mu) LW_REQUIRES(mu);
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// --- lock-rank detector controls ----------------------------------------
+
+/// True while the detector checks every acquire/release. Resolved on first
+/// query: Debug default on, NDEBUG default off, LIGHTWAVE_LOCK_RANK=0/1
+/// overrides (same pattern as common::ValidationEnabled()).
+bool DeadlockDetectorEnabled();
+void SetDeadlockDetectorEnabled(bool enabled);
+
+/// RAII detector toggle for tests (sync_test forces it on so the detector
+/// is exercised under every CI leg, including the NDEBUG sanitizer builds).
+class ScopedDeadlockDetector {
+ public:
+  explicit ScopedDeadlockDetector(bool enabled = true)
+      : previous_(DeadlockDetectorEnabled()) {
+    SetDeadlockDetectorEnabled(enabled);
+  }
+  ~ScopedDeadlockDetector() { SetDeadlockDetectorEnabled(previous_); }
+  ScopedDeadlockDetector(const ScopedDeadlockDetector&) = delete;
+  ScopedDeadlockDetector& operator=(const ScopedDeadlockDetector&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace lw

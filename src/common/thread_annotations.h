@@ -1,0 +1,56 @@
+// Clang thread-safety-analysis (TSA) attribute shims. The locking
+// discipline of the concurrent subsystems (telemetry plane, parallel
+// runtime, fleet shards) is declared in the types themselves — which mutex
+// guards which member, which private methods require a lock held — and the
+// clang CI leg compiles with -Werror=thread-safety so the declarations are
+// a gate, not documentation. GCC (the container's baked-in toolchain) sees
+// no-ops; the contracts still execute dynamically through the lock-rank
+// detector in common/sync.h.
+//
+// The macros mirror the capability vocabulary from the Clang TSA docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed LW_ to
+// match the repo's contract macros:
+//
+//   LW_GUARDED_BY(mu)     member: reads/writes require `mu` held
+//   LW_PT_GUARDED_BY(mu)  pointer member: the pointee requires `mu`
+//   LW_REQUIRES(mu)       function: caller must hold `mu`
+//   LW_EXCLUDES(mu)       function: caller must NOT hold `mu` (it locks it)
+//   LW_ACQUIRE(...)       function acquires the capability and keeps it
+//   LW_RELEASE(...)       function releases the capability
+//   LW_CAPABILITY(kind)   class is a lockable capability (lw::Mutex)
+//   LW_SCOPED_CAPABILITY  RAII class that acquires in ctor, releases in dtor
+#pragma once
+
+#if defined(__clang__)
+#define LW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LW_THREAD_ANNOTATION(x)  // no-op under GCC / MSVC
+#endif
+
+#define LW_CAPABILITY(x) LW_THREAD_ANNOTATION(capability(x))
+#define LW_SCOPED_CAPABILITY LW_THREAD_ANNOTATION(scoped_lockable)
+
+#define LW_GUARDED_BY(x) LW_THREAD_ANNOTATION(guarded_by(x))
+#define LW_PT_GUARDED_BY(x) LW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define LW_ACQUIRED_BEFORE(...) LW_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define LW_ACQUIRED_AFTER(...) LW_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define LW_REQUIRES(...) LW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define LW_REQUIRES_SHARED(...) \
+  LW_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define LW_ACQUIRE(...) LW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LW_ACQUIRE_SHARED(...) \
+  LW_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define LW_RELEASE(...) LW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define LW_RELEASE_SHARED(...) \
+  LW_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define LW_TRY_ACQUIRE(...) LW_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define LW_EXCLUDES(...) LW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define LW_ASSERT_CAPABILITY(x) LW_THREAD_ANNOTATION(assert_capability(x))
+#define LW_RETURN_CAPABILITY(x) LW_THREAD_ANNOTATION(lock_returned(x))
+
+#define LW_NO_THREAD_SAFETY_ANALYSIS LW_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -27,14 +27,14 @@ AdmissionQueue::TenantState& AdmissionQueue::StateFor(std::uint32_t tenant) {
 void AdmissionQueue::SetQuota(std::uint32_t tenant, TenantQuota quota) {
   LW_CHECK(quota.rate >= 0.0 && quota.burst > 0.0 && quota.weight > 0.0)
       << "malformed quota for tenant " << tenant;
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   TenantState& state = StateFor(tenant);
   state.quota = quota;
   state.tokens = quota.burst;
 }
 
 Status AdmissionQueue::Offer(const svc::SliceCommand& cmd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   ++stats_.offered;
   TenantState& state = StateFor(cmd.tenant_id);
   if (state.tokens < 1.0) {
@@ -62,14 +62,14 @@ Status AdmissionQueue::Offer(const svc::SliceCommand& cmd) {
 
 void AdmissionQueue::Tick(double seconds) {
   LW_CHECK(seconds >= 0.0) << "negative tick";
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   for (auto& [tenant, state] : tenants_) {
     state.tokens = std::min(state.quota.burst, state.tokens + state.quota.rate * seconds);
   }
 }
 
 std::vector<svc::SliceCommand> AdmissionQueue::PopBatch(std::size_t max_commands) {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   std::vector<svc::SliceCommand> out;
   if (max_commands == 0 || depth_ == 0) return out;
   out.reserve(std::min(max_commands, depth_));
@@ -113,24 +113,24 @@ std::vector<svc::SliceCommand> AdmissionQueue::PopBatch(std::size_t max_commands
 }
 
 std::size_t AdmissionQueue::Depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return depth_;
 }
 
 std::size_t AdmissionQueue::TenantDepth(std::uint32_t tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.queue.size();
 }
 
 AdmissionStats AdmissionQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return stats_;
 }
 
 void AdmissionQueue::AttachTelemetry(telemetry::Hub* hub,
                                      const std::string& shard_label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   if (hub == nullptr) {
     admitted_counter_ = rejected_quota_counter_ = nullptr;
     rejected_backpressure_counter_ = nullptr;

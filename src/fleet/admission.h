@@ -22,11 +22,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "svc/command.h"
 
 namespace lightwave::telemetry {
@@ -106,23 +107,26 @@ class AdmissionQueue {
   };
 
   /// Lookup-or-create under mu_.
-  TenantState& StateFor(std::uint32_t tenant);
-  void UpdateDepthGauge();
+  TenantState& StateFor(std::uint32_t tenant) LW_REQUIRES(mu_);
+  void UpdateDepthGauge() LW_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  /// Rank kFleetAdmission — the outermost lock of the fleet layer: held
+  /// while attaching telemetry series (registry, rank kTelemetryRegistry),
+  /// never while any other lw::Mutex is taken first.
+  mutable lw::Mutex mu_{"fleet.admission", lw::rank::kFleetAdmission};
   AdmissionOptions options_;
-  std::map<std::uint32_t, TenantState> tenants_;
+  std::map<std::uint32_t, TenantState> tenants_ LW_GUARDED_BY(mu_);
   /// DRR cursor: tenant id the next round resumes after (fairness across
   /// PopBatch calls).
-  std::uint32_t resume_after_ = 0;
-  bool has_resume_ = false;
-  std::size_t depth_ = 0;
-  AdmissionStats stats_;
+  std::uint32_t resume_after_ LW_GUARDED_BY(mu_) = 0;
+  bool has_resume_ LW_GUARDED_BY(mu_) = false;
+  std::size_t depth_ LW_GUARDED_BY(mu_) = 0;
+  AdmissionStats stats_ LW_GUARDED_BY(mu_);
 
-  telemetry::Counter* admitted_counter_ = nullptr;
-  telemetry::Counter* rejected_quota_counter_ = nullptr;
-  telemetry::Counter* rejected_backpressure_counter_ = nullptr;
-  telemetry::Gauge* depth_gauge_ = nullptr;
+  telemetry::Counter* admitted_counter_ LW_GUARDED_BY(mu_) = nullptr;
+  telemetry::Counter* rejected_quota_counter_ LW_GUARDED_BY(mu_) = nullptr;
+  telemetry::Counter* rejected_backpressure_counter_ LW_GUARDED_BY(mu_) = nullptr;
+  telemetry::Gauge* depth_gauge_ LW_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace lightwave::fleet

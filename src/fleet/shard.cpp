@@ -52,14 +52,14 @@ std::size_t Shard::PumpOnce() {
     // history missing, or client bug) is counted and dropped.
     Status submitted = service_.Submit(cmd);
     if (!submitted.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      lw::MutexLock lock(stats_mu_);
       ++stats_.pipeline_gaps;
     }
   }
   const std::size_t applied = service_.ProcessBatch(batch.size());
   ObserveBatch(applied);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    lw::MutexLock lock(stats_mu_);
     stats_.applied += applied;
   }
   return applied;
@@ -90,7 +90,10 @@ Status Shard::SubmitControl(const svc::SliceCommand& cmd) {
 void Shard::Start() {
   LW_CHECK(!running()) << "pipeline already running";
   stop_requested_.store(false, std::memory_order_release);
-  journal_done_ = false;
+  {
+    lw::MutexLock lock(handoff_mu_);
+    journal_done_ = false;
+  }
   service_.SetPipelined(true);
   running_.store(true, std::memory_order_release);
   journal_thread_ = std::thread([this] { JournalLoop(); });
@@ -102,10 +105,10 @@ void Shard::Stop() {
   stop_requested_.store(true, std::memory_order_release);
   journal_thread_.join();  // drains admission before exiting
   {
-    std::lock_guard<std::mutex> lock(handoff_mu_);
+    lw::MutexLock lock(handoff_mu_);
     journal_done_ = true;
   }
-  handoff_cv_.notify_all();
+  handoff_cv_.NotifyAll();
   apply_thread_.join();  // drains the handoff queue before exiting
   service_.SetPipelined(false);
   running_.store(false, std::memory_order_release);
@@ -115,7 +118,7 @@ void Shard::Drain() {
   LW_CHECK(running()) << "drain without a running pipeline";
   while (true) {
     if (admission_.Depth() == 0) {
-      std::unique_lock<std::mutex> lock(handoff_mu_);
+      lw::MutexLock lock(handoff_mu_);
       if (handoff_.empty() && !journal_busy_ && applying_ == 0) return;
     }
     std::this_thread::sleep_for(kIdlePoll);
@@ -155,7 +158,7 @@ std::vector<svc::SliceCommand> Shard::FilterPending(
     }
   }
   if (duplicates > 0 || gaps > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    lw::MutexLock lock(stats_mu_);
     stats_.pipeline_duplicates += duplicates;
     stats_.pipeline_gaps += gaps;
   }
@@ -165,13 +168,13 @@ std::vector<svc::SliceCommand> Shard::FilterPending(
 void Shard::JournalLoop() {
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(handoff_mu_);
+      lw::MutexLock lock(handoff_mu_);
       journal_busy_ = true;
     }
     auto batch = admission_.PopBatch(options_.batch_size);
     if (batch.empty()) {
       {
-        std::lock_guard<std::mutex> lock(handoff_mu_);
+        lw::MutexLock lock(handoff_mu_);
         journal_busy_ = false;
       }
       if (stop_requested_.load(std::memory_order_acquire)) return;
@@ -180,7 +183,7 @@ void Shard::JournalLoop() {
     }
     auto accepted = FilterPending(std::move(batch));
     if (accepted.empty()) {
-      std::lock_guard<std::mutex> lock(handoff_mu_);
+      lw::MutexLock lock(handoff_mu_);
       journal_busy_ = false;
       continue;
     }
@@ -188,12 +191,12 @@ void Shard::JournalLoop() {
     LW_CHECK(appended.ok()) << "journal append failed: " << appended.error().message;
     ObserveBatch(accepted.size());
     {
-      std::unique_lock<std::mutex> lock(handoff_mu_);
-      handoff_cv_.wait(lock, [this] { return handoff_.size() < options_.pipeline_depth; });
+      lw::MutexLock lock(handoff_mu_);
+      while (handoff_.size() >= options_.pipeline_depth) handoff_cv_.Wait(handoff_mu_);
       handoff_.push_back(JournaledBatch{std::move(accepted), appended.value()});
       journal_busy_ = false;
     }
-    handoff_cv_.notify_all();
+    handoff_cv_.NotifyAll();
   }
 }
 
@@ -201,22 +204,22 @@ void Shard::ApplyLoop() {
   while (true) {
     JournaledBatch batch;
     {
-      std::unique_lock<std::mutex> lock(handoff_mu_);
-      handoff_cv_.wait(lock, [this] { return !handoff_.empty() || journal_done_; });
+      lw::MutexLock lock(handoff_mu_);
+      while (handoff_.empty() && !journal_done_) handoff_cv_.Wait(handoff_mu_);
       if (handoff_.empty()) return;  // journal_done_ and fully drained
       batch = std::move(handoff_.front());
       handoff_.pop_front();
       ++applying_;
     }
-    handoff_cv_.notify_all();  // freed a handoff slot for the journal thread
+    handoff_cv_.NotifyAll();  // freed a handoff slot for the journal thread
     const std::size_t applied =
         service_.ApplyJournaled(batch.commands, batch.first_seq);
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      lw::MutexLock lock(stats_mu_);
       stats_.applied += applied;
     }
     {
-      std::lock_guard<std::mutex> lock(handoff_mu_);
+      lw::MutexLock lock(handoff_mu_);
       --applying_;
     }
   }
@@ -230,7 +233,7 @@ void Shard::ObserveBatch(std::size_t commands) {
 
 ShardStats Shard::stats() const {
   LW_CHECK(!running()) << "stats while the pipeline is running (quiesce first)";
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  lw::MutexLock lock(stats_mu_);
   ShardStats out = stats_;
   out.batches = service_.stats().batches;
   return out;

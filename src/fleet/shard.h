@@ -25,14 +25,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "fleet/admission.h"
 #include "svc/fleet_service.h"
 
@@ -139,22 +139,28 @@ class Shard {
 
   // Pipeline machinery. The handoff queue is the ONLY shared mutable state
   // between the two loops (the service's stage split handles the rest).
-  std::mutex handoff_mu_;
-  std::condition_variable handoff_cv_;
-  std::deque<JournaledBatch> handoff_;
-  bool journal_done_ = false;
+  // handoff_mu_ (rank kShardHandoff) nests inside admission's mu_ never —
+  // PopBatch completes before the handoff lock is taken — and stats_mu_
+  // (rank kShardStats) is always innermost of the two.
+  lw::Mutex handoff_mu_{"fleet.shard.handoff", lw::rank::kShardHandoff};
+  lw::CondVar handoff_cv_;
+  std::deque<JournaledBatch> handoff_ LW_GUARDED_BY(handoff_mu_);
+  bool journal_done_ LW_GUARDED_BY(handoff_mu_) = false;
   /// True while the journal thread holds a popped-but-not-yet-handed-off
   /// batch (Drain must not declare quiescence in that window).
-  bool journal_busy_ = false;
-  std::size_t applying_ = 0;  // batches popped but not yet fully applied
+  bool journal_busy_ LW_GUARDED_BY(handoff_mu_) = false;
+  /// Batches popped but not yet fully applied.
+  std::size_t applying_ LW_GUARDED_BY(handoff_mu_) = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::thread journal_thread_;
   std::thread apply_thread_;
 
-  mutable std::mutex stats_mu_;
-  ShardStats stats_;
+  mutable lw::Mutex stats_mu_{"fleet.shard.stats", lw::rank::kShardStats};
+  ShardStats stats_ LW_GUARDED_BY(stats_mu_);
 
+  /// Resolved once in AttachTelemetry, before Start(); the loops read it
+  /// without locking.
   telemetry::HistogramMetric* batch_histogram_ = nullptr;
 };
 

@@ -29,6 +29,13 @@
 //   - cross-shard transactions journal kPrepare/kCommitTxn/kAbortTxn, with
 //     reservations and decisions part of the durable state, so a router can
 //     resolve in-doubt transactions deterministically after any crash.
+//
+// Concurrency contract: this class holds NO locks of its own. The stage
+// split above is a data-partition argument (journal-thread state vs
+// apply-thread state, with the compaction floor as the one atomic handoff),
+// not a mutex discipline — the owning fleet::Shard serializes everything
+// else with its annotated lw::Mutex set (see common/sync.h and DESIGN.md
+// §5.5 for the process-wide lock hierarchy).
 #pragma once
 
 #include <atomic>

@@ -12,28 +12,28 @@ void Gauge::Add(double delta) {
 }
 
 void HistogramMetric::Observe(double x) {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   samples_.Add(x);
   sum_ += x;
 }
 
 std::size_t HistogramMetric::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return samples_.count();
 }
 
 double HistogramMetric::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return sum_;
 }
 
 double HistogramMetric::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return samples_.Percentile(p);
 }
 
 common::SampleSet HistogramMetric::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return samples_;
 }
 
@@ -42,7 +42,7 @@ TimeSeries::TimeSeries(std::size_t capacity) : capacity_(std::max<std::size_t>(c
 }
 
 void TimeSeries::Record(double t, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(Sample{t, value});
   } else {
@@ -53,7 +53,7 @@ void TimeSeries::Record(double t, double value) {
 }
 
 std::vector<TimeSeries::Sample> TimeSeries::Samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   std::vector<Sample> out;
   out.reserve(ring_.size());
   // `head_` is the oldest retained sample once the ring has wrapped.
@@ -64,7 +64,7 @@ std::vector<TimeSeries::Sample> TimeSeries::Samples() const {
 }
 
 std::uint64_t TimeSeries::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return recorded_;
 }
 
@@ -78,10 +78,9 @@ LabelSet Normalize(LabelSet labels) {
 }  // namespace
 
 template <typename T, typename... Args>
-T& MetricsRegistry::GetOrCreate(Family<T>& family, const std::string& name,
-                                LabelSet labels, Args&&... args) {
+T& MetricsRegistry::GetOrCreateLocked(Family<T>& family, const std::string& name,
+                                      LabelSet labels, Args&&... args) {
   SeriesKey key{name, Normalize(std::move(labels))};
-  std::lock_guard<std::mutex> lock(mu_);
   auto it = family.find(key);
   if (it == family.end()) {
     it = family.emplace(std::move(key), std::make_unique<T>(std::forward<Args>(args)...))
@@ -91,9 +90,8 @@ T& MetricsRegistry::GetOrCreate(Family<T>& family, const std::string& name,
 }
 
 template <typename T>
-std::vector<std::pair<MetricsRegistry::SeriesKey, const T*>> MetricsRegistry::Snapshot(
-    const Family<T>& family) const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<std::pair<MetricsRegistry::SeriesKey, const T*>>
+MetricsRegistry::SnapshotLocked(const Family<T>& family) const {
   std::vector<std::pair<SeriesKey, const T*>> out;
   out.reserve(family.size());
   for (const auto& [key, series] : family) out.emplace_back(key, series.get());
@@ -101,40 +99,48 @@ std::vector<std::pair<MetricsRegistry::SeriesKey, const T*>> MetricsRegistry::Sn
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name, LabelSet labels) {
-  return GetOrCreate(counters_, name, std::move(labels));
+  lw::MutexLock lock(mu_);
+  return GetOrCreateLocked(counters_, name, std::move(labels));
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, LabelSet labels) {
-  return GetOrCreate(gauges_, name, std::move(labels));
+  lw::MutexLock lock(mu_);
+  return GetOrCreateLocked(gauges_, name, std::move(labels));
 }
 
 HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name, LabelSet labels) {
-  return GetOrCreate(histograms_, name, std::move(labels));
+  lw::MutexLock lock(mu_);
+  return GetOrCreateLocked(histograms_, name, std::move(labels));
 }
 
 TimeSeries& MetricsRegistry::GetTimeSeries(const std::string& name, LabelSet labels,
                                            std::size_t capacity) {
-  return GetOrCreate(timeseries_, name, std::move(labels), capacity);
+  lw::MutexLock lock(mu_);
+  return GetOrCreateLocked(timeseries_, name, std::move(labels), capacity);
 }
 
 std::vector<std::pair<MetricsRegistry::SeriesKey, const Counter*>>
 MetricsRegistry::Counters() const {
-  return Snapshot(counters_);
+  lw::MutexLock lock(mu_);
+  return SnapshotLocked(counters_);
 }
 
 std::vector<std::pair<MetricsRegistry::SeriesKey, const Gauge*>> MetricsRegistry::Gauges()
     const {
-  return Snapshot(gauges_);
+  lw::MutexLock lock(mu_);
+  return SnapshotLocked(gauges_);
 }
 
 std::vector<std::pair<MetricsRegistry::SeriesKey, const HistogramMetric*>>
 MetricsRegistry::Histograms() const {
-  return Snapshot(histograms_);
+  lw::MutexLock lock(mu_);
+  return SnapshotLocked(histograms_);
 }
 
 std::vector<std::pair<MetricsRegistry::SeriesKey, const TimeSeries*>>
 MetricsRegistry::TimeSeriesAll() const {
-  return Snapshot(timeseries_);
+  lw::MutexLock lock(mu_);
+  return SnapshotLocked(timeseries_);
 }
 
 }  // namespace lightwave::telemetry

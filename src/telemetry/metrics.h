@@ -16,12 +16,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace lightwave::telemetry {
 
@@ -65,9 +66,9 @@ class HistogramMetric {
   common::SampleSet Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  common::SampleSet samples_;
-  double sum_ = 0.0;
+  mutable lw::Mutex mu_{"telemetry.histogram", lw::rank::kTelemetrySeries};
+  common::SampleSet samples_ LW_GUARDED_BY(mu_);
+  double sum_ LW_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Ring-buffered (time, value) samples. Timestamps come from the caller's
@@ -94,11 +95,11 @@ class TimeSeries {
   std::uint64_t recorded() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Sample> ring_;
-  std::size_t capacity_;
-  std::size_t head_ = 0;  // next write slot once the ring is full
-  std::uint64_t recorded_ = 0;
+  mutable lw::Mutex mu_{"telemetry.timeseries", lw::rank::kTelemetrySeries};
+  std::vector<Sample> ring_ LW_GUARDED_BY(mu_);
+  std::size_t capacity_;  // immutable after construction
+  std::size_t head_ LW_GUARDED_BY(mu_) = 0;  // next write slot once the ring is full
+  std::uint64_t recorded_ LW_GUARDED_BY(mu_) = 0;
 };
 
 /// Thread-safe, deterministic-iteration registry of all metric families.
@@ -132,17 +133,21 @@ class MetricsRegistry {
   template <typename T>
   using Family = std::map<SeriesKey, std::unique_ptr<T>>;
 
+  /// Lookup-or-create / snapshot bodies; the public entry points take the
+  /// lock and these run under it (the compile-time contract on the family
+  /// maps below).
   template <typename T, typename... Args>
-  T& GetOrCreate(Family<T>& family, const std::string& name, LabelSet labels,
-                 Args&&... args);
+  T& GetOrCreateLocked(Family<T>& family, const std::string& name, LabelSet labels,
+                       Args&&... args) LW_REQUIRES(mu_);
   template <typename T>
-  std::vector<std::pair<SeriesKey, const T*>> Snapshot(const Family<T>& family) const;
+  std::vector<std::pair<SeriesKey, const T*>> SnapshotLocked(const Family<T>& family)
+      const LW_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  Family<Counter> counters_;
-  Family<Gauge> gauges_;
-  Family<HistogramMetric> histograms_;
-  Family<TimeSeries> timeseries_;
+  mutable lw::Mutex mu_{"telemetry.registry", lw::rank::kTelemetryRegistry};
+  Family<Counter> counters_ LW_GUARDED_BY(mu_);
+  Family<Gauge> gauges_ LW_GUARDED_BY(mu_);
+  Family<HistogramMetric> histograms_ LW_GUARDED_BY(mu_);
+  Family<TimeSeries> timeseries_ LW_GUARDED_BY(mu_);
 };
 
 }  // namespace lightwave::telemetry

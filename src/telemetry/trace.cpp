@@ -5,7 +5,7 @@
 namespace lightwave::telemetry {
 
 std::uint64_t Tracer::Begin(std::string name, double start_time) {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   SpanRecord span;
   span.id = spans_.size() + 1;
   span.parent_id = open_stack_.empty() ? 0 : open_stack_.back();
@@ -18,13 +18,13 @@ std::uint64_t Tracer::Begin(std::string name, double start_time) {
 }
 
 void Tracer::Annotate(std::uint64_t id, std::string key, std::string value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].attributes.emplace_back(std::move(key), std::move(value));
 }
 
 void Tracer::End(std::uint64_t id, double end_time) {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   if (id == 0 || id > spans_.size()) return;
   SpanRecord& span = spans_[id - 1];
   if (!span.open) return;
@@ -35,22 +35,22 @@ void Tracer::End(std::uint64_t id, double end_time) {
 }
 
 std::vector<SpanRecord> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return spans_;
 }
 
 std::size_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::size_t Tracer::open_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   return open_stack_.size();
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  lw::MutexLock lock(mu_);
   spans_.clear();
   open_stack_.clear();
 }

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace lightwave::telemetry {
 
@@ -42,9 +44,9 @@ class Tracer {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;   // index = id - 1
-  std::vector<std::uint64_t> open_stack_;
+  mutable lw::Mutex mu_{"telemetry.tracer", lw::rank::kTracer};
+  std::vector<SpanRecord> spans_ LW_GUARDED_BY(mu_);  // index = id - 1
+  std::vector<std::uint64_t> open_stack_ LW_GUARDED_BY(mu_);
 };
 
 }  // namespace lightwave::telemetry
