@@ -5,10 +5,12 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "fec/concatenated.h"
 #include "core/scheduler.h"
 #include "ctrl/messages.h"
 #include "fec/reed_solomon.h"
@@ -228,8 +230,73 @@ static void BM_RsDecodeWithErasures(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(rs.DecodeWithErasures(codeword, erasures));
   }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * rs.n() * 10 / 8);
 }
 BENCHMARK(BM_RsDecodeWithErasures);
+
+static void BM_RsEncodeMany(benchmark::State& state) {
+  // Batch SoA kernel over one full tile of codewords (fec/rs_batch.h);
+  // contrast bytes_per_second with BM_RsEncodeInto for the vectorization
+  // win. The ISSUE acceptance bar is >= 3x per codeword.
+  const auto rs = fec::ReedSolomon::Kp4();
+  common::Rng rng(1);
+  const int count = fec::batch::kLaneWidth;
+  std::vector<fec::Gf1024::Element> data(static_cast<std::size_t>(count * rs.k()));
+  for (auto& s : data) s = static_cast<fec::Gf1024::Element>(rng.UniformInt(1024));
+  std::vector<fec::Gf1024::Element> words(static_cast<std::size_t>(count * rs.n()));
+  fec::ReedSolomon::BatchScratch scratch;
+  for (auto _ : state) {
+    rs.EncodeMany(data, words, scratch);
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * count * rs.k() * 10 / 8);
+}
+BENCHMARK(BM_RsEncodeMany);
+
+static void BM_RsDecodeMany(benchmark::State& state) {
+  // Batch decode of a full tile; Arg = errors per codeword (0 stays on the
+  // all-vectorized syndrome sweep, >0 adds the per-lane scalar BM tail).
+  const auto rs = fec::ReedSolomon::Kp4();
+  common::Rng rng(2);
+  const int count = fec::batch::kLaneWidth;
+  std::vector<fec::Gf1024::Element> data(static_cast<std::size_t>(rs.k()));
+  std::vector<fec::Gf1024::Element> clean(static_cast<std::size_t>(count * rs.n()));
+  for (int w = 0; w < count; ++w) {
+    for (auto& s : data) s = static_cast<fec::Gf1024::Element>(rng.UniformInt(1024));
+    std::span<fec::Gf1024::Element> word(clean.data() + static_cast<std::size_t>(w) * rs.n(),
+                                         static_cast<std::size_t>(rs.n()));
+    std::copy(data.begin(), data.end(), word.begin());
+    rs.EncodeInto(word.first(static_cast<std::size_t>(rs.k())), word);
+    const int errors = static_cast<int>(state.range(0));
+    for (int e = 0; e < errors; ++e) {
+      word[static_cast<std::size_t>((e * 37 + 5 + w) % rs.n())] ^=
+          static_cast<fec::Gf1024::Element>(0x111 + e);
+    }
+  }
+  std::vector<fec::Gf1024::Element> words(clean.size());
+  std::vector<int> corrected(static_cast<std::size_t>(count));
+  fec::ReedSolomon::BatchScratch scratch;
+  for (auto _ : state) {
+    std::copy(clean.begin(), clean.end(), words.begin());
+    rs.DecodeMany(words, corrected, scratch);
+    benchmark::DoNotOptimize(corrected.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * count * rs.n() * 10 / 8);
+}
+BENCHMARK(BM_RsDecodeMany)->Arg(0)->Arg(4)->Arg(15);
+
+static void BM_FerSweep(benchmark::State& state) {
+  // The end-to-end Monte-Carlo harness: batch kernels + interleaver +
+  // geometric-gap BSC + parallel reduce, 256 frames per call at an
+  // operating point (4e-3) with a real scalar-decode tail.
+  const fec::ConcatenatedFec fecc;
+  for (auto _ : state) {
+    common::Rng rng(5);
+    benchmark::DoNotOptimize(fecc.MeasureFrameErrorRate(4e-3, false, 256, rng));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 256 * 544 * 10 / 8);
+}
+BENCHMARK(BM_FerSweep);
 
 // Same --json=<path> contract as the plain bench binaries (see
 // bench_json.h): translated into google-benchmark's JSON file reporter so

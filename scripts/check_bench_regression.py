@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate RS-kernel throughput against the committed bench baseline.
+
+Compares the freshly-aggregated bench report (collect_bench.py output,
+schema lightwave-bench-v1) against the committed BENCH_micro.json and fails
+when any watched case regresses by more than the tolerance.
+
+CI runners and developer machines differ in absolute speed, so raw wall_ms
+comparisons would be pure noise. Instead every watched case is normalized by
+the run's own median wall_ms over the watched set ("how expensive is this
+case relative to its siblings in the same run"), and the gate compares those
+shape ratios: a genuine regression slows one kernel relative to the rest,
+while a slow runner slows everything and cancels out. A uniform slowdown of
+the whole watched set is invisible by design — the gate protects kernel
+shape, not machine speed.
+
+Usage:
+    scripts/check_bench_regression.py --baseline BENCH_micro.json \
+        --current build/BENCH_micro.json [--tolerance 0.25]
+
+stdlib only; no pip deps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+# The RS codec cases the gate watches: the scalar kernels (they must not
+# regress when batch code rides alongside) and the batch kernels (the point
+# of the exercise). Substring match against case names so google-benchmark
+# arg suffixes (BM_RsDecodeMany/0) stay covered.
+WATCHED_PREFIXES = (
+    "BM_RsEncode",
+    "BM_RsDecode",
+    "BM_RsEncodeMany",
+    "BM_RsDecodeMany",
+)
+
+
+def watched_cases(report: dict) -> dict[str, float]:
+    """name -> wall_ms for every watched case in a lightwave-bench-v1 doc."""
+    out: dict[str, float] = {}
+    for bench in report.get("benches", []):
+        for case in bench.get("cases", []):
+            name = case.get("name", "")
+            if not name.startswith(WATCHED_PREFIXES):
+                continue
+            wall_ms = float(case.get("wall_ms", 0.0))
+            if wall_ms > 0.0:
+                out[name] = wall_ms
+    return out
+
+
+def normalized(cases: dict[str, float]) -> dict[str, float]:
+    median = statistics.median(cases.values())
+    return {name: wall_ms / median for name, wall_ms in cases.items()}
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max allowed relative slowdown of a case's normalized cost (0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = watched_cases(json.loads(args.baseline.read_text()))
+    current = watched_cases(json.loads(args.current.read_text()))
+    if not baseline or not current:
+        print("check_bench_regression: no watched cases found", file=sys.stderr)
+        return 1
+
+    shared = sorted(set(baseline) & set(current))
+    if len(shared) < 3:
+        # A median over one or two cases cannot anchor a shape comparison.
+        print(
+            f"check_bench_regression: only {len(shared)} shared watched cases; "
+            "need >= 3 for a meaningful median",
+            file=sys.stderr,
+        )
+        return 1
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"check_bench_regression: cases missing from current run: {missing}",
+              file=sys.stderr)
+        return 1
+
+    base_norm = normalized({n: baseline[n] for n in shared})
+    cur_norm = normalized({n: current[n] for n in shared})
+
+    failures = []
+    print(f"{'case':<28} {'base':>8} {'cur':>8} {'ratio':>7}")
+    for name in shared:
+        ratio = cur_norm[name] / base_norm[name]
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            failures.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:<28} {base_norm[name]:>8.3f} {cur_norm[name]:>8.3f} {ratio:>7.3f}{flag}")
+
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(
+            f"check_bench_regression: {len(failures)} case(s) beyond "
+            f"{args.tolerance:.0%} (worst: {worst[0]} at {worst[1]:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_bench_regression: {len(shared)} cases within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,14 +1,53 @@
 #include "fec/concatenated.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/math.h"
+#include "common/parallel.h"
+#include "fec/interleaver.h"
 
 namespace lightwave::fec {
 namespace {
 
 constexpr int kSymbolBits = Gf1024::kBits;
+
+/// Frames per parallel chunk of the Monte-Carlo sweep: two full SoA tiles.
+/// Fixed (never derived from the thread count) so the chunk partition — and
+/// with it every Rng::Stream draw — is identical on any machine.
+constexpr int kMcChunkFrames = 2 * batch::kLaneWidth;
+
+/// Exact binary-symmetric channel over every bit of `symbols`: each of the
+/// 10 bits of each symbol flips independently with probability p. Sampled
+/// with geometric gap draws — O(bits * p) RNG draws instead of one Bernoulli
+/// per bit, which would dominate the runtime now that the RS kernels are
+/// vectorized. The flipped-bit distribution is exactly iid Bernoulli(p).
+void FlipBscBits(std::span<Gf1024::Element> symbols, double p, common::Rng& rng) {
+  if (p <= 0.0) return;
+  if (p >= 1.0) {
+    for (auto& s : symbols) s ^= static_cast<Gf1024::Element>(Gf1024::kFieldSize - 1);
+    return;
+  }
+  const auto total_bits = static_cast<std::uint64_t>(symbols.size()) * kSymbolBits;
+  const double log1mp = std::log1p(-p);
+  std::uint64_t pos = 0;
+  while (true) {
+    // Gap to the next flipped bit: Geometric(p) counting clean bits, so
+    // P(gap = 0) = p and consecutive flips are possible.
+    const double u = rng.NextDouble();
+    const double gap = std::floor(std::log1p(-u) / log1mp);
+    if (gap >= static_cast<double>(total_bits)) return;  // beyond any index
+    pos += static_cast<std::uint64_t>(gap);
+    if (pos >= total_bits) return;
+    symbols[static_cast<std::size_t>(pos / kSymbolBits)] ^=
+        static_cast<Gf1024::Element>(1u << (pos % kSymbolBits));
+    ++pos;
+  }
+}
 
 /// log of binomial pmf term for numerical stability at tiny p.
 double LogBinomialTerm(int n, int i, double p) {
@@ -69,34 +108,60 @@ double ConcatenatedFec::MeasureFrameErrorRate(double channel_ber, bool inner_ena
                                               int frames, common::Rng& rng) const {
   assert(frames > 0);
   const double outer_input = inner_enabled ? inner_.Transfer(channel_ber) : channel_ber;
-  int failures = 0;
+  // One draw seeds the whole sweep; each chunk then derives its own
+  // counter-based stream, so the result — and the caller's generator state
+  // afterwards — is byte-identical at any LIGHTWAVE_THREADS.
+  const std::uint64_t sweep_seed = rng.NextU64();
+  const int n = outer_.n();
   const int k = outer_.k();
-  std::vector<Gf1024::Element> data(static_cast<std::size_t>(k));
-  for (int f = 0; f < frames; ++f) {
-    for (auto& symbol : data) {
-      symbol = static_cast<Gf1024::Element>(rng.UniformInt(Gf1024::kFieldSize));
-    }
-    auto codeword = outer_.Encode(data);
-    // Binary-symmetric channel on each of the 10 bits of every symbol.
-    for (auto& symbol : codeword) {
-      for (int b = 0; b < kSymbolBits; ++b) {
-        if (rng.Bernoulli(outer_input)) symbol ^= static_cast<Gf1024::Element>(1 << b);
-      }
-    }
-    const auto outcome = outer_.Decode(codeword);
-    if (!outcome.ok()) {
-      ++failures;
-      continue;
-    }
-    // Check data integrity (guards against miscorrection).
-    for (int i = 0; i < k; ++i) {
-      if (outcome.value().codeword[static_cast<std::size_t>(i)] !=
-          data[static_cast<std::size_t>(i)]) {
-        ++failures;
-        break;
-      }
-    }
-  }
+  const std::int64_t failures = common::parallel::ParallelReduce<std::int64_t>(
+      static_cast<std::uint64_t>(frames), kMcChunkFrames, std::int64_t{0},
+      [&](std::uint64_t begin, std::uint64_t end, std::uint64_t chunk) -> std::int64_t {
+        common::Rng stream = common::Rng::Stream(sweep_seed, chunk);
+        ReedSolomon::BatchScratch scratch;
+        std::vector<Gf1024::Element> data;
+        std::vector<Gf1024::Element> words;
+        std::vector<Gf1024::Element> tx;
+        std::vector<int> corrected;
+        std::int64_t chunk_failures = 0;
+        std::uint64_t f = begin;
+        while (f < end) {
+          const int group = static_cast<int>(
+              std::min<std::uint64_t>(end - f, batch::kLaneWidth));
+          const auto gk = static_cast<std::size_t>(group) * static_cast<std::size_t>(k);
+          const auto gn = static_cast<std::size_t>(group) * static_cast<std::size_t>(n);
+          data.resize(gk);
+          words.resize(gn);
+          tx.resize(gn);
+          corrected.assign(static_cast<std::size_t>(group), 0);
+          for (auto& symbol : data) {
+            symbol = static_cast<Gf1024::Element>(stream.UniformInt(Gf1024::kFieldSize));
+          }
+          outer_.EncodeMany(data, words, scratch);
+          // Transmission order: the frames leave through the block
+          // interleaver, take BSC noise on the wire, and come back.
+          const BlockInterleaver interleaver(group, n);
+          interleaver.InterleaveInto(words, tx);
+          FlipBscBits(tx, outer_input, stream);
+          interleaver.DeinterleaveInto(tx, words);
+          outer_.DecodeMany(words, corrected, scratch);
+          for (int w = 0; w < group; ++w) {
+            if (corrected[static_cast<std::size_t>(w)] == ReedSolomon::kDecodeFailed) {
+              ++chunk_failures;
+              continue;
+            }
+            // Check data integrity (guards against miscorrection).
+            const auto dw = static_cast<std::ptrdiff_t>(w) * k;
+            if (!std::equal(data.begin() + dw, data.begin() + dw + k,
+                            words.begin() + static_cast<std::ptrdiff_t>(w) * n)) {
+              ++chunk_failures;
+            }
+          }
+          f += static_cast<std::uint64_t>(group);
+        }
+        return chunk_failures;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
   return static_cast<double>(failures) / frames;
 }
 

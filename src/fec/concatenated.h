@@ -44,6 +44,14 @@ class ConcatenatedFec {
   /// binary-symmetric channel at `channel_ber` (after the inner transfer if
   /// enabled) and decodes with the real RS codec. Returns the observed frame
   /// error rate.
+  ///
+  /// Runs as a chunked parallel sweep over the batch RS kernels: frames are
+  /// encoded/decoded batch::kLaneWidth at a time, pass through a
+  /// BlockInterleaver in transmission order, and take exact BSC noise via
+  /// geometric gap sampling. One NextU64() draw from `rng` seeds the sweep;
+  /// every chunk derives a counter-based Rng::Stream, so the result and the
+  /// caller's generator state are byte-identical at any LIGHTWAVE_THREADS
+  /// setting (including 1) and under any batch dispatch path.
   double MeasureFrameErrorRate(double channel_ber, bool inner_enabled, int frames,
                                common::Rng& rng) const;
 

@@ -75,6 +75,12 @@ void Gf1024::BuildMulRow(Element a, MulRow& row) const {
   }
 }
 
+void Gf1024::BuildMulPlanes(Element a, MulPlanes& planes) const {
+  for (int b = 0; b < kBits; ++b) {
+    planes[static_cast<std::size_t>(b)] = Mul(a, static_cast<Element>(1 << b));
+  }
+}
+
 Gf1024::Element Gf1024::Mul(Element a, Element b) const {
   if (a == 0 || b == 0) return 0;
   return exp_[static_cast<std::size_t>(log_[a] + log_[b])];

@@ -8,29 +8,45 @@ BlockInterleaver::BlockInterleaver(int depth, int width) : depth_(depth), width_
   assert(depth >= 1 && width >= 1);
 }
 
-std::vector<Gf1024::Element> BlockInterleaver::Interleave(
-    const std::vector<Gf1024::Element>& input) const {
+void BlockInterleaver::InterleaveInto(std::span<const Gf1024::Element> input,
+                                      std::span<Gf1024::Element> output) const {
   assert(input.size() == BlockSymbols());
-  std::vector<Gf1024::Element> out(input.size());
+  assert(output.size() == BlockSymbols());
+  assert(input.data() + input.size() <= output.data() ||
+         output.data() + output.size() <= input.data());
   std::size_t k = 0;
   for (int col = 0; col < width_; ++col) {
     for (int row = 0; row < depth_; ++row) {
-      out[k++] = input[static_cast<std::size_t>(row) * width_ + col];
+      output[k++] = input[static_cast<std::size_t>(row) * width_ + col];
     }
   }
+}
+
+void BlockInterleaver::DeinterleaveInto(std::span<const Gf1024::Element> input,
+                                        std::span<Gf1024::Element> output) const {
+  assert(input.size() == BlockSymbols());
+  assert(output.size() == BlockSymbols());
+  assert(input.data() + input.size() <= output.data() ||
+         output.data() + output.size() <= input.data());
+  std::size_t k = 0;
+  for (int col = 0; col < width_; ++col) {
+    for (int row = 0; row < depth_; ++row) {
+      output[static_cast<std::size_t>(row) * width_ + col] = input[k++];
+    }
+  }
+}
+
+std::vector<Gf1024::Element> BlockInterleaver::Interleave(
+    const std::vector<Gf1024::Element>& input) const {
+  std::vector<Gf1024::Element> out(input.size());
+  InterleaveInto(input, out);
   return out;
 }
 
 std::vector<Gf1024::Element> BlockInterleaver::Deinterleave(
     const std::vector<Gf1024::Element>& input) const {
-  assert(input.size() == BlockSymbols());
   std::vector<Gf1024::Element> out(input.size());
-  std::size_t k = 0;
-  for (int col = 0; col < width_; ++col) {
-    for (int row = 0; row < depth_; ++row) {
-      out[static_cast<std::size_t>(row) * width_ + col] = input[k++];
-    }
-  }
+  DeinterleaveInto(input, out);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "fec/gf.h"
@@ -34,6 +35,19 @@ class BlockInterleaver {
   /// Exact inverse of Interleave.
   std::vector<Gf1024::Element> Deinterleave(
       const std::vector<Gf1024::Element>& input) const;
+
+  /// Allocation-free Interleave into a caller-provided buffer. Both spans
+  /// must be BlockSymbols() long and must not overlap. Note that for
+  /// depth == batch::kLaneWidth and width == n, the column-major output is
+  /// exactly the SoA tile layout the batch RS kernels consume — the Monte-
+  /// Carlo harness transposes through this call.
+  void InterleaveInto(std::span<const Gf1024::Element> input,
+                      std::span<Gf1024::Element> output) const;
+
+  /// Allocation-free exact inverse of InterleaveInto; same size/aliasing
+  /// requirements.
+  void DeinterleaveInto(std::span<const Gf1024::Element> input,
+                        std::span<Gf1024::Element> output) const;
 
   /// Worst-case symbols of one row hit by a channel burst of `burst` symbols.
   int WorstPerRowHits(int burst) const;

@@ -51,6 +51,31 @@ ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
   for (int j = 1; j <= parity; ++j) {
     gf.BuildMulRow(gf.AlphaPow(j), syndrome_rows_[static_cast<std::size_t>(j - 1)]);
   }
+  // Pre-broadcast bit-plane tables for the batch kernels: every plane value
+  // is repeated kLaneWidth times so the vector paths read whole registers
+  // straight from memory.
+  static_assert(batch::kPlaneBits == Gf1024::kBits);
+  const int lanes = batch::kLaneWidth;
+  const int bits = batch::kPlaneBits;
+  Gf1024::MulPlanes planes;
+  encoder_planes_.resize(static_cast<std::size_t>(parity) * bits * lanes);
+  for (int j = 0; j < parity; ++j) {
+    gf.BuildMulPlanes(generator_[static_cast<std::size_t>(j)], planes);
+    for (int b = 0; b < bits; ++b) {
+      Element* row = encoder_planes_.data() +
+                     (static_cast<std::size_t>(j) * bits + static_cast<std::size_t>(b)) * lanes;
+      std::fill(row, row + lanes, planes[static_cast<std::size_t>(b)]);
+    }
+  }
+  syndrome_planes_.resize(static_cast<std::size_t>(parity) * bits * lanes);
+  for (int j = 0; j < parity; ++j) {
+    gf.BuildMulPlanes(gf.AlphaPow(j + 1), planes);
+    for (int b = 0; b < bits; ++b) {
+      Element* row = syndrome_planes_.data() +
+                     (static_cast<std::size_t>(j) * bits + static_cast<std::size_t>(b)) * lanes;
+      std::fill(row, row + lanes, planes[static_cast<std::size_t>(b)]);
+    }
+  }
 }
 
 void ReedSolomon::EncodeInto(std::span<const Element> data,
@@ -140,10 +165,15 @@ common::Result<int> ReedSolomon::DecodeInPlace(std::span<Element> word,
   if (!AllInField(word)) {
     return common::InvalidArgument("received symbol outside GF(1024)");
   }
+  s.syndromes.resize(static_cast<std::size_t>(n_ - k_));
+  SyndromesInto(word, s.syndromes);
+  return DecodeWithComputedSyndromes(word, s);
+}
+
+common::Result<int> ReedSolomon::DecodeWithComputedSyndromes(std::span<Element> word,
+                                                             Scratch& s) const {
   const auto& gf = Gf1024::Instance();
   const int two_t = n_ - k_;
-  s.syndromes.resize(static_cast<std::size_t>(two_t));
-  SyndromesInto(word, s.syndromes);
   const auto& syndromes = s.syndromes;
   if (std::all_of(syndromes.begin(), syndromes.end(), [](Element x) { return x == 0; })) {
     return 0;
@@ -263,6 +293,168 @@ common::Result<int> ReedSolomon::DecodeInPlace(std::span<Element> word,
     return common::Internal("uncorrectable: correction failed verification");
   }
   return num_errors;
+}
+
+void ReedSolomon::EncodeMany(std::span<const Element> data, std::span<Element> codewords,
+                             BatchScratch& scratch) const {
+  LW_CHECK(data.size() % static_cast<std::size_t>(k_) == 0) << "data length % k != 0";
+  const std::size_t count = data.size() / static_cast<std::size_t>(k_);
+  LW_CHECK(codewords.size() == count * static_cast<std::size_t>(n_))
+      << "codewords length != count * n";
+  for (std::size_t w = 0; w < count; ++w) {
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(w * static_cast<std::size_t>(k_)),
+              data.begin() + static_cast<std::ptrdiff_t>((w + 1) * static_cast<std::size_t>(k_)),
+              codewords.begin() + static_cast<std::ptrdiff_t>(w * static_cast<std::size_t>(n_)));
+  }
+  EncodeManyInPlace(codewords, scratch);
+}
+
+void ReedSolomon::EncodeManyInPlace(std::span<Element> codewords,
+                                    BatchScratch& scratch) const {
+  LW_CHECK(codewords.size() % static_cast<std::size_t>(n_) == 0)
+      << "codewords length % n != 0";
+  const int count = static_cast<int>(codewords.size() / static_cast<std::size_t>(n_));
+  const int lanes = batch::kLaneWidth;
+  const int parity = n_ - k_;
+  scratch.tile.resize(static_cast<std::size_t>(k_) * lanes);
+  scratch.rem_tile.resize(static_cast<std::size_t>(parity) * lanes);
+  int w = 0;
+  for (; w + lanes <= count; w += lanes) {
+    Element* block = codewords.data() + static_cast<std::size_t>(w) * n_;
+    // Transpose the systematic prefixes into the SoA tile.
+    for (int i = 0; i < k_; ++i) {
+      Element* row = scratch.tile.data() + static_cast<std::size_t>(i) * lanes;
+      for (int l = 0; l < lanes; ++l) {
+        row[l] = block[static_cast<std::size_t>(l) * n_ + i];
+        LW_DCHECK(row[l] < Gf1024::kFieldSize) << "data symbol outside GF(2^10)";
+      }
+    }
+    batch::EncodeTile(scratch.tile.data(), k_, parity, encoder_planes_.data(),
+                      scratch.rem_tile.data());
+    // Remainder rows are low->high; the codeword tail reads highest-degree
+    // first (the scalar kernel's std::reverse).
+    for (int j = 0; j < parity; ++j) {
+      const Element* row = scratch.rem_tile.data() + static_cast<std::size_t>(j) * lanes;
+      for (int l = 0; l < lanes; ++l) {
+        block[static_cast<std::size_t>(l) * n_ + k_ + (parity - 1 - j)] = row[l];
+      }
+    }
+  }
+  for (; w < count; ++w) {  // ragged tail: scalar kernel, same bits
+    std::span<Element> word(codewords.data() + static_cast<std::size_t>(w) * n_,
+                            static_cast<std::size_t>(n_));
+    EncodeInto(word.first(static_cast<std::size_t>(k_)), word);
+  }
+}
+
+void ReedSolomon::DecodeMany(std::span<Element> words, std::span<int> corrected,
+                             BatchScratch& scratch) const {
+  DecodeManyWithErasures(words, {}, corrected, scratch);
+}
+
+void ReedSolomon::DecodeManyWithErasures(std::span<Element> words,
+                                         const std::vector<std::vector<int>>& erasures,
+                                         std::span<int> corrected,
+                                         BatchScratch& scratch) const {
+  LW_CHECK(words.size() % static_cast<std::size_t>(n_) == 0) << "words length % n != 0";
+  const int count = static_cast<int>(words.size() / static_cast<std::size_t>(n_));
+  LW_CHECK(static_cast<int>(corrected.size()) == count) << "corrected length != count";
+  LW_CHECK(erasures.empty() || static_cast<int>(erasures.size()) == count)
+      << "erasures length != count";
+  const int lanes = batch::kLaneWidth;
+  const int two_t = n_ - k_;
+  scratch.tile.resize(static_cast<std::size_t>(n_) * lanes);
+  scratch.syn_tile.resize(static_cast<std::size_t>(two_t) * lanes);
+
+  const auto erasures_of = [&](int word_index) -> const std::vector<int>* {
+    if (erasures.empty()) return nullptr;
+    const auto& e = erasures[static_cast<std::size_t>(word_index)];
+    return e.empty() ? nullptr : &e;
+  };
+  // Scalar fallback for one word, identical to the public per-word calls.
+  const auto decode_one = [&](int word_index) {
+    Element* word = words.data() + static_cast<std::size_t>(word_index) * n_;
+    const std::vector<int>* erased = erasures_of(word_index);
+    if (erased == nullptr) {
+      const auto result = DecodeInPlace({word, static_cast<std::size_t>(n_)}, scratch.scalar);
+      corrected[static_cast<std::size_t>(word_index)] =
+          result.ok() ? result.value() : kDecodeFailed;
+      return;
+    }
+    scratch.word_copy.assign(word, word + n_);
+    const auto outcome = DecodeWithErasures(scratch.word_copy, *erased);
+    if (outcome.ok()) {
+      std::copy(outcome.value().codeword.begin(), outcome.value().codeword.end(), word);
+      corrected[static_cast<std::size_t>(word_index)] = outcome.value().corrected_symbols;
+    } else {
+      corrected[static_cast<std::size_t>(word_index)] = kDecodeFailed;
+    }
+  };
+
+  int w = 0;
+  for (; w + lanes <= count; w += lanes) {
+    const Element* block = words.data() + static_cast<std::size_t>(w) * n_;
+    bool lane_valid[batch::kLaneWidth];
+    for (int l = 0; l < lanes; ++l) lane_valid[l] = true;
+    for (int i = 0; i < n_; ++i) {
+      Element* row = scratch.tile.data() + static_cast<std::size_t>(i) * lanes;
+      for (int l = 0; l < lanes; ++l) {
+        const Element v = block[static_cast<std::size_t>(l) * n_ + i];
+        row[l] = v;
+        if (v >= Gf1024::kFieldSize) lane_valid[l] = false;
+      }
+    }
+    batch::SyndromeTile(scratch.tile.data(), n_, two_t, syndrome_planes_.data(),
+                        scratch.syn_tile.data());
+    for (int l = 0; l < lanes; ++l) {
+      const int word_index = w + l;
+      if (!lane_valid[l]) {
+        // The scalar calls reject out-of-field words before touching them.
+        corrected[static_cast<std::size_t>(word_index)] = kDecodeFailed;
+        continue;
+      }
+      bool clean = true;
+      for (int j = 0; j < two_t; ++j) {
+        if (scratch.syn_tile[static_cast<std::size_t>(j) * lanes + static_cast<std::size_t>(l)] !=
+            0) {
+          clean = false;
+          break;
+        }
+      }
+      const std::vector<int>* erased = erasures_of(word_index);
+      if (clean && erased != nullptr) {
+        // DecodeWithErasures validates the erasure list before its own
+        // zero-syndrome early-out; replicate that order.
+        bool valid = static_cast<int>(erased->size()) <= two_t;
+        for (int pos : *erased) {
+          if (pos < 0 || pos >= n_) valid = false;
+        }
+        corrected[static_cast<std::size_t>(word_index)] = valid ? 0 : kDecodeFailed;
+        continue;
+      }
+      if (clean) {
+        corrected[static_cast<std::size_t>(word_index)] = 0;
+        continue;
+      }
+      if (erased != nullptr) {
+        decode_one(word_index);
+        continue;
+      }
+      // Slow path, reusing the tile's syndromes instead of recomputing.
+      scratch.scalar.syndromes.resize(static_cast<std::size_t>(two_t));
+      for (int j = 0; j < two_t; ++j) {
+        scratch.scalar.syndromes[static_cast<std::size_t>(j)] =
+            scratch.syn_tile[static_cast<std::size_t>(j) * lanes + static_cast<std::size_t>(l)];
+      }
+      const auto result = DecodeWithComputedSyndromes(
+          {words.data() + static_cast<std::size_t>(word_index) * n_,
+           static_cast<std::size_t>(n_)},
+          scratch.scalar);
+      corrected[static_cast<std::size_t>(word_index)] =
+          result.ok() ? result.value() : kDecodeFailed;
+    }
+  }
+  for (; w < count; ++w) decode_one(w);  // ragged tail
 }
 
 common::Result<DecodeOutcome> ReedSolomon::Decode(const std::vector<Element>& received) const {

@@ -26,6 +26,7 @@
 
 #include "common/result.h"
 #include "fec/gf.h"
+#include "fec/rs_batch.h"
 
 namespace lightwave::fec {
 
@@ -56,6 +57,28 @@ class ReedSolomon {
     std::vector<int> positions;
   };
 
+  /// Reusable workspace for the batch kernels: the SoA staging tiles plus a
+  /// scalar Scratch for per-lane slow paths. Buffers keep their capacity, so
+  /// a reused BatchScratch makes the batch calls allocation-free in steady
+  /// state. Not thread-safe; give each worker its own.
+  class BatchScratch {
+   public:
+    BatchScratch() = default;
+
+   private:
+    friend class ReedSolomon;
+    std::vector<Element> tile;      // SoA staging: up to n rows of kLaneWidth
+    std::vector<Element> rem_tile;  // (n - k) remainder rows
+    std::vector<Element> syn_tile;  // (n - k) syndrome rows
+    std::vector<Element> word_copy;
+    Scratch scalar;
+  };
+
+  /// DecodeMany/DecodeManyWithErasures per-word result for a word whose
+  /// decode failed (uncorrectable pattern or invalid symbols); treat such a
+  /// word's content as unspecified, exactly like a failed DecodeInPlace.
+  static constexpr int kDecodeFailed = -1;
+
   /// n = total symbols, k = data symbols; (n - k) must be even.
   ReedSolomon(int n, int k);
 
@@ -75,6 +98,42 @@ class ReedSolomon {
   /// Systematic encode: returns data followed by (n-k) parity symbols.
   /// Requires data.size() == k and every symbol < 1024.
   std::vector<Gf1024::Element> Encode(const std::vector<Gf1024::Element>& data) const;
+
+  /// Batch encode, bit-exact with EncodeInto on every word: `data` holds
+  /// `count` codeword-major blocks of k symbols, `codewords` receives
+  /// `count` blocks of n (so count = data.size() / k). Full
+  /// batch::kLaneWidth tiles go through the vectorized SoA kernels; the
+  /// ragged tail uses the scalar kernel. `data` must not overlap
+  /// `codewords` (data already resident in the codeword buffer is the
+  /// EncodeManyInPlace case).
+  void EncodeMany(std::span<const Element> data, std::span<Element> codewords,
+                  BatchScratch& scratch) const;
+
+  /// Batch encode with the data aliasing the codeword buffer: each of the
+  /// count = codewords.size() / n words already carries its k data symbols
+  /// in positions [0, k); the (n-k) parity tails are filled in. Bit-exact
+  /// with the aliased EncodeInto call on every word.
+  void EncodeManyInPlace(std::span<Element> codewords, BatchScratch& scratch) const;
+
+  /// Batch decode-and-correct in place: `words` holds count =
+  /// words.size() / n received words; corrected[w] receives the corrected
+  /// symbol count, or kDecodeFailed where DecodeInPlace would have failed.
+  /// The syndrome sweep runs vectorized over SoA tiles; words with nonzero
+  /// syndromes fall back per lane to the scalar Berlekamp-Massey path (fed
+  /// the already-computed syndromes). Bit-exact with per-word DecodeInPlace:
+  /// same corrected counts, same final word bytes, including after failures.
+  void DecodeMany(std::span<Element> words, std::span<int> corrected,
+                  BatchScratch& scratch) const;
+
+  /// Batch errors-and-erasures decode in place: erasures[w] flags the known
+  /// unreliable positions of word w (empty = plain decode). Clean words
+  /// short-circuit through the vectorized syndrome sweep; flagged words
+  /// with nonzero syndromes take the scalar DecodeWithErasures path.
+  /// Bit-exact with the scalar calls; a failed word keeps its received
+  /// bytes and gets kDecodeFailed.
+  void DecodeManyWithErasures(std::span<Element> words,
+                              const std::vector<std::vector<int>>& erasures,
+                              std::span<int> corrected, BatchScratch& scratch) const;
 
   /// Decodes and corrects `word` (length n) in place using `scratch` for
   /// all intermediate state; returns the number of corrected symbols.
@@ -111,10 +170,23 @@ class ReedSolomon {
   bool generator_has_zero_ = false;
   /// syndrome_rows_[j - 1][x] == Mul(alpha^j, x) for j = 1..2t.
   std::vector<Gf1024::MulRow> syndrome_rows_;
+  /// Pre-broadcast bit-plane tables for the batch kernels (fec/rs_batch.h):
+  /// encoder_planes_[((j * kPlaneBits) + b) * kLaneWidth + lane] ==
+  /// Mul(generator_[j], 1 << b) repeated across lanes; syndrome_planes_
+  /// likewise for alpha^{j+1}, j in [0, 2t).
+  std::vector<Element> encoder_planes_;
+  std::vector<Element> syndrome_planes_;
 
   /// out.size() == n - k. Requires every symbol of `received` < 1024.
   void SyndromesInto(std::span<const Element> received, std::span<Element> out) const;
   std::vector<Gf1024::Element> Syndromes(const std::vector<Gf1024::Element>& received) const;
+
+  /// The decoder tail shared by DecodeInPlace and the batch slow path:
+  /// expects s.syndromes already filled for `word` (however they were
+  /// computed) and `word` pre-validated; runs the all-zero early-out then
+  /// Berlekamp-Massey / Chien / Forney.
+  common::Result<int> DecodeWithComputedSyndromes(std::span<Element> word,
+                                                  Scratch& s) const;
 };
 
 }  // namespace lightwave::fec
