@@ -18,6 +18,17 @@ Usage:
     scripts/check_bench_regression.py --baseline BENCH_micro.json \
         --current build/BENCH_micro.json [--tolerance 0.25]
 
+A second, independent mode gates the file-backed journaling overhead from a
+SINGLE run (no committed baseline needed — the baseline case rode along in
+the same run, so machine speed divides out exactly):
+
+    scripts/check_bench_regression.py --svc BENCH_svc.json [--svc-tolerance 0.15]
+
+reads the `recovery` bench's cases and fails when the group-commit or
+periodic sync policy costs more than the tolerance over the same run's
+journaling-off case. every_append is printed for reference, never gated:
+one fsync per command prices the device, not the journal.
+
 stdlib only; no pip deps.
 """
 
@@ -60,17 +71,86 @@ def normalized(cases: dict[str, float]) -> dict[str, float]:
     return {name: wall_ms / median for name, wall_ms in cases.items()}
 
 
+def svc_cases(report: dict) -> dict[str, float]:
+    """name -> wall_ms for the recovery bench's file-backed serve cases."""
+    out: dict[str, float] = {}
+    for bench in report.get("benches", []):
+        if bench.get("bench") != "recovery":
+            continue
+        for case in bench.get("cases", []):
+            name = case.get("name", "")
+            wall_ms = float(case.get("wall_ms", 0.0))
+            if name.startswith("file_journaling_") and wall_ms > 0.0:
+                out[name.removeprefix("file_journaling_")] = wall_ms
+    return out
+
+
+def check_svc_overhead(report_path: Path, tolerance: float) -> int:
+    cases = svc_cases(json.loads(report_path.read_text()))
+    baseline = cases.get("off")
+    if baseline is None:
+        print("check_bench_regression: no file_journaling_off case in report",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'policy':<14} {'wall_ms':>9} {'overhead':>9}")
+    print(f"{'off':<14} {baseline:>9.2f} {'baseline':>9}")
+    for policy in ("group_commit", "periodic"):
+        wall_ms = cases.get(policy)
+        if wall_ms is None:
+            print(f"check_bench_regression: missing file_journaling_{policy}",
+                  file=sys.stderr)
+            return 1
+        overhead = wall_ms / baseline - 1.0
+        flag = ""
+        if overhead > tolerance:
+            failures.append((policy, overhead))
+            flag = "  << OVER BUDGET"
+        print(f"{policy:<14} {wall_ms:>9.2f} {overhead:>+8.1%}{flag}")
+    if "every_append" in cases:
+        # Different command count/batch: its wall_ms is not baseline-comparable.
+        print(f"{'every_append':<14} {cases['every_append']:>9.2f} {'(report)':>9}")
+
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(
+            f"check_bench_regression: journaling overhead beyond {tolerance:.0%} "
+            f"(worst: {worst[0]} at {worst[1]:+.1%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_bench_regression: sync-policy overhead within {tolerance:.0%}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", type=Path, required=True)
-    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument("--baseline", type=Path)
+    parser.add_argument("--current", type=Path)
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
         help="max allowed relative slowdown of a case's normalized cost (0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--svc",
+        type=Path,
+        help="single-run mode: gate file-backed journaling overhead in this report",
+    )
+    parser.add_argument(
+        "--svc-tolerance",
+        type=float,
+        default=0.15,
+        help="max journaling overhead over the same run's baseline (0.15 = 15%%)",
+    )
     args = parser.parse_args(argv)
+
+    if args.svc is not None:
+        return check_svc_overhead(args.svc, args.svc_tolerance)
+    if args.baseline is None or args.current is None:
+        parser.error("--baseline and --current are required without --svc")
 
     baseline = watched_cases(json.loads(args.baseline.read_text()))
     current = watched_cases(json.loads(args.current.read_text()))

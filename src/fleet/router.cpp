@@ -203,6 +203,9 @@ Result<journal::RecoveryStats> Router::RecoverAll() {
     aggregate.records_skipped += stats.records_skipped;
     aggregate.torn_bytes_discarded += stats.torn_bytes_discarded;
     aggregate.wal_clean = aggregate.wal_clean && stats.wal_clean;
+    aggregate.tail_truncations += stats.tail_truncations;
+    aggregate.tail_corruptions += stats.tail_corruptions;
+    if (aggregate.tail_note.empty()) aggregate.tail_note = stats.tail_note;
   }
   // Resume the control-plane mints above everything any shard ever saw.
   for (auto& [id, shard] : shards_) {

@@ -31,7 +31,14 @@ common::Result<RecoveryStats> Replay(const Storage& snapshot_storage, Wal& wal,
   stats.records_scanned = scan.records.size();
   stats.torn_bytes_discarded = wal.tail_truncated_bytes();
   stats.wal_clean = scan.tail.ok();
-  if (!stats.wal_clean) stats.tail_note = scan.tail.error().message;
+  if (!stats.wal_clean) {
+    stats.tail_note = scan.tail.error().message;
+    if (scan.tail_kind == WalTailKind::kCorrupt) {
+      stats.tail_corruptions = 1;
+    } else {
+      stats.tail_truncations = 1;
+    }
+  }
   for (const WalRecord& record : scan.records) {
     if (record.seq <= stats.snapshot_seq) {
       ++stats.records_skipped;
@@ -46,6 +53,14 @@ common::Result<RecoveryStats> Replay(const Storage& snapshot_storage, Wal& wal,
   if (hub != nullptr) {
     auto& metrics = hub->metrics();
     metrics.GetCounter("lightwave_journal_recoveries_total").Inc();
+    if (stats.tail_truncations > 0) {
+      metrics.GetCounter("lightwave_journal_tail_truncated_total")
+          .Inc(stats.tail_truncations);
+    }
+    if (stats.tail_corruptions > 0) {
+      metrics.GetCounter("lightwave_journal_tail_corrupt_total")
+          .Inc(stats.tail_corruptions);
+    }
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();

@@ -34,6 +34,16 @@ struct RecoveryStats {
   /// Tear diagnosis when !wal_clean (informational; a torn tail is an
   /// expected crash artifact, not a replay failure).
   std::string tail_note;
+  /// The split tear diagnosis (summed across shards by Router::RecoverAll):
+  /// `tail_truncations` counts clean mid-sync-window EOFs — an incomplete
+  /// final record, the EXPECTED artifact of a crash mid-append or of the
+  /// kGroupCommit/kPeriodic policies losing an unsynced tail; it pages
+  /// nobody. `tail_corruptions` counts damage to bytes that were supposedly
+  /// stable (CRC mismatch, implausible length, sequence discontinuity) —
+  /// that one is an alarm. Mirrored to telemetry as
+  /// lightwave_journal_tail_{truncated,corrupt}_total.
+  std::uint64_t tail_truncations = 0;
+  std::uint64_t tail_corruptions = 0;
 };
 
 using SnapshotApplier = std::function<common::Status(const Snapshot&)>;

@@ -50,8 +50,11 @@ common::Status SnapshotWriter::Write(Storage& storage, std::uint64_t last_includ
   PutU32(static_cast<std::uint32_t>(state.size()), &blob);
   blob.insert(blob.end(), state.begin(), state.end());
   PutU32(Crc32c(blob.data(), blob.size()), &blob);
-  storage.Truncate(0);
-  storage.Append(blob.data(), blob.size());
+  // Atomic + durable: over FileStorage this stages into a temp file and
+  // renames, so a crash mid-write leaves the PREVIOUS snapshot intact —
+  // never a half-written one (which Read would reject as corrupt, a hard
+  // recovery error).
+  storage.ReplaceContents(blob.data(), blob.size());
   return common::Status::Ok();
 }
 

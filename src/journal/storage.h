@@ -3,32 +3,68 @@
 // fleet service can model a crash precisely: every FleetService/controller
 // object is volatile and dies with the "process", while the Storage objects
 // survive and seed recovery — the same split a real deployment gets from
-// process memory vs fsynced files. MemStorage is the only implementation;
-// it is deterministic, hermetic, and cheap enough for crash-matrix tests
-// that re-run recovery at every record boundary.
+// process memory vs fsynced files. MemStorage is the hermetic in-memory
+// implementation the crash-matrix tests re-run recovery against at every
+// record boundary; FileStorage (journal/file_storage.h) is the same
+// contract over a real POSIX fd, and FaultyStorage
+// (journal/faulty_storage.h) wraps either to model torn writes and lost
+// sync windows.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
+#include "common/check.h"
+
 namespace lightwave::journal {
 
-/// Append-only byte device with random reads and truncation (the subset of
-/// file semantics the journal needs). Appends are modeled as durable the
-/// moment they return, i.e. every append carries an implicit sync.
+/// Append-only byte device with random reads, truncation, and an explicit
+/// durability boundary (the subset of file semantics the journal needs).
+///
+/// Durability model: bytes an Append returns with are WRITTEN but not
+/// necessarily DURABLE — durable_size() tracks the frontier a crash cannot
+/// take back, and Sync() asks the device to advance it (subject to the
+/// device's sync policy; see FileStorage). MemStorage has no volatile
+/// layer, so its appends are durable the moment they return. Truncation is
+/// always durable: torn-tail repair must not resurrect after a crash.
 class Storage {
  public:
   virtual ~Storage() = default;
 
   virtual std::uint64_t size() const = 0;
   virtual void Append(const std::uint8_t* data, std::size_t n) = 0;
-  /// Reads [offset, offset + n) into `out`. The caller must stay in bounds
-  /// (the journal always range-checks against size() first).
+  /// Reads [offset, offset + n) into `out`. The range must be within
+  /// size(); implementations enforce the contract (debug-fatal) and never
+  /// read out of bounds even when it is violated.
   virtual void ReadAt(std::uint64_t offset, std::size_t n, std::uint8_t* out) const = 0;
   /// Discards everything at and beyond `new_size` (torn-tail repair and log
-  /// compaction). Growing is not supported; new_size must be <= size().
+  /// compaction), durably. Growing is not supported; new_size must be
+  /// <= size() — implementations enforce this with LW_CHECK.
   virtual void Truncate(std::uint64_t new_size) = 0;
+
+  /// Asks the device to make everything appended so far durable. The
+  /// default is a no-op for devices whose appends are already durable;
+  /// FileStorage interprets it through its sync policy (one fsync per
+  /// Wal append boundary under kGroupCommit, elapsed-interval check under
+  /// kPeriodic).
+  virtual void Sync() {}
+
+  /// The durable frontier: bytes below it survive any crash. Devices with
+  /// no volatile layer report size().
+  virtual std::uint64_t durable_size() const { return size(); }
+
+  /// Atomically replaces the whole content with `data` (durable on return).
+  /// Snapshot writes and WAL compaction go through this so a crash can
+  /// never observe a half-replaced device: FileStorage implements it as
+  /// write-to-temp + fsync + rename (the old content wins until the
+  /// rename); the default (safe for in-memory devices, where no crash can
+  /// land mid-call) is truncate + append + sync.
+  virtual void ReplaceContents(const std::uint8_t* data, std::size_t n) {
+    Truncate(0);
+    if (n > 0) Append(data, n);
+    Sync();
+  }
 };
 
 /// In-memory storage standing in for a durable file.
@@ -41,11 +77,24 @@ class MemStorage final : public Storage {
   }
 
   void ReadAt(std::uint64_t offset, std::size_t n, std::uint8_t* out) const override {
+    // Hot path (every scan record): debug-fatal on a contract break, but
+    // never memcpy out of range even when a custom handler continues.
+    LW_DCHECK(offset <= bytes_.size() && n <= bytes_.size() - offset)
+        << "ReadAt [" << offset << ", " << offset + n << ") out of range (size "
+        << bytes_.size() << ")";
+    if (offset > bytes_.size() || n > bytes_.size() - offset) return;
     std::memcpy(out, bytes_.data() + offset, n);
   }
 
   void Truncate(std::uint64_t new_size) override {
+    LW_CHECK(new_size <= bytes_.size())
+        << "Truncate to " << new_size << " would grow the device (size "
+        << bytes_.size() << "); growing is not supported";
     if (new_size < bytes_.size()) bytes_.resize(static_cast<std::size_t>(new_size));
+  }
+
+  void ReplaceContents(const std::uint8_t* data, std::size_t n) override {
+    bytes_.assign(data, data + n);
   }
 
   /// Test hooks: direct access to the underlying bytes for corruption and

@@ -92,6 +92,15 @@ std::uint32_t Crc32c(const std::uint8_t* data, std::size_t size) {
   return Crc32cFinish(Crc32cExtend(Crc32cInit(), data, size));
 }
 
+const char* ToString(WalTailKind kind) {
+  switch (kind) {
+    case WalTailKind::kClean: return "clean";
+    case WalTailKind::kTruncated: return "truncated";
+    case WalTailKind::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
 WalScan Wal::Scan(const Storage& storage) {
   WalScan scan;
   const std::uint64_t total = storage.size();
@@ -99,12 +108,16 @@ WalScan Wal::Scan(const Storage& storage) {
   // Every early return below is a torn tail: records up to `offset` are
   // intact, the bytes from `offset` on are unusable. The scan reports the
   // defect instead of crashing — hostile input is expected here (that is
-  // what a crash mid-append produces).
+  // what a crash mid-append produces). The tail_kind split: an INCOMPLETE
+  // final record (header or body cut off by EOF, zero-filled tail) is the
+  // expected shape of a crash mid-append or inside an open sync window,
+  // while a structurally complete but damaged record is corruption.
   while (offset < total) {
     const std::uint64_t remaining = total - offset;
     if (remaining < kHeaderBytes + kSeqBytes) {
       scan.tail = common::Internal("torn tail: truncated record header at offset " +
                                    std::to_string(offset));
+      scan.tail_kind = WalTailKind::kTruncated;
       scan.valid_bytes = offset;
       return scan;
     }
@@ -112,16 +125,29 @@ WalScan Wal::Scan(const Storage& storage) {
     storage.ReadAt(offset, header.size(), header.data());
     const std::uint64_t length = ReadU32(header.data());
     const std::uint32_t stored_crc = ReadU32(header.data() + 4);
+    if (length == 0 && stored_crc == 0) {
+      // A zero-filled tail: some filesystems extend a file with zero pages
+      // on a crash between the size update and the data flush. No record
+      // ever frames as all-zeros (length >= 8), so this is a truncation
+      // artifact, not damage to committed bytes.
+      scan.tail = common::Internal("torn tail: zero-filled tail at offset " +
+                                   std::to_string(offset));
+      scan.tail_kind = WalTailKind::kTruncated;
+      scan.valid_bytes = offset;
+      return scan;
+    }
     if (length < kSeqBytes || length > kMaxRecordBytes) {
       scan.tail = common::Internal("torn tail: implausible record length " +
                                    std::to_string(length) + " at offset " +
                                    std::to_string(offset));
+      scan.tail_kind = WalTailKind::kCorrupt;
       scan.valid_bytes = offset;
       return scan;
     }
     if (length > remaining - kHeaderBytes) {
       scan.tail = common::Internal("torn tail: record length " + std::to_string(length) +
                                    " overruns the log at offset " + std::to_string(offset));
+      scan.tail_kind = WalTailKind::kTruncated;
       scan.valid_bytes = offset;
       return scan;
     }
@@ -134,6 +160,7 @@ WalScan Wal::Scan(const Storage& storage) {
     if (crc != stored_crc) {
       scan.tail = common::Internal("torn tail: crc mismatch at offset " +
                                    std::to_string(offset));
+      scan.tail_kind = WalTailKind::kCorrupt;
       scan.valid_bytes = offset;
       return scan;
     }
@@ -142,6 +169,7 @@ WalScan Wal::Scan(const Storage& storage) {
       scan.tail = common::Internal(
           "torn tail: sequence discontinuity (" + std::to_string(scan.records.back().seq) +
           " -> " + std::to_string(seq) + ") at offset " + std::to_string(offset));
+      scan.tail_kind = WalTailKind::kCorrupt;
       scan.valid_bytes = offset;
       return scan;
     }
@@ -159,12 +187,16 @@ Wal::Wal(Storage& storage) : storage_(storage) {
   if (recovery_scan_.valid_bytes < storage_.size()) {
     tail_truncated_bytes_ = storage_.size() - recovery_scan_.valid_bytes;
     reclaimed_bytes_ += tail_truncated_bytes_;
+    // Durable under every sync policy: the repaired tail must not
+    // resurrect after the next crash.
     storage_.Truncate(recovery_scan_.valid_bytes);
   }
   if (!recovery_scan_.records.empty()) {
     next_seq_ = recovery_scan_.records.back().seq + 1;
   }
 }
+
+Wal::~Wal() { StopBackgroundCompaction(); }
 
 void Wal::FrameRecord(std::uint64_t seq, const std::vector<std::uint8_t>& payload,
                       std::vector<std::uint8_t>* out) const {
@@ -197,7 +229,14 @@ common::Result<std::uint64_t> Wal::Append(const std::vector<std::uint8_t>& paylo
   const std::uint64_t seq = next_seq_++;
   std::vector<std::uint8_t> frame;
   FrameRecord(seq, payload, &frame);
-  storage_.Append(frame.data(), frame.size());
+  if (background_compaction()) {
+    lw::MutexLock lock(compact_mu_);
+    storage_.Append(frame.data(), frame.size());
+    storage_.Sync();
+  } else {
+    storage_.Append(frame.data(), frame.size());
+    storage_.Sync();
+  }
   ++appended_records_;
   appended_bytes_ += frame.size();
   if (append_counter_ != nullptr) append_counter_->Inc();
@@ -221,7 +260,16 @@ common::Result<std::uint64_t> Wal::AppendBatch(
   const std::uint64_t first_seq = next_seq_;
   batch_scratch_.clear();
   for (const auto& payload : payloads) FrameRecord(next_seq_++, payload, &batch_scratch_);
-  storage_.Append(batch_scratch_.data(), batch_scratch_.size());
+  // One device append, one sync: the whole batch commits at one fsync
+  // boundary (this Sync is where kGroupCommit pays its single fsync).
+  if (background_compaction()) {
+    lw::MutexLock lock(compact_mu_);
+    storage_.Append(batch_scratch_.data(), batch_scratch_.size());
+    storage_.Sync();
+  } else {
+    storage_.Append(batch_scratch_.data(), batch_scratch_.size());
+    storage_.Sync();
+  }
   appended_records_ += payloads.size();
   appended_bytes_ += batch_scratch_.size();
   ++batch_appends_;
@@ -230,33 +278,59 @@ common::Result<std::uint64_t> Wal::AppendBatch(
   return first_seq;
 }
 
+std::uint64_t Wal::CutOffset(std::uint64_t limit, std::uint64_t upto_seq) const {
+  std::uint64_t offset = 0;
+  while (offset + kHeaderBytes + kSeqBytes <= limit) {
+    std::array<std::uint8_t, kHeaderBytes + kSeqBytes> head{};
+    storage_.ReadAt(offset, head.size(), head.data());
+    const std::uint64_t length = ReadU32(head.data());
+    const std::uint64_t seq = ReadU64(head.data() + kHeaderBytes);
+    // Appends always leave the prefix boundary-valid; a malformed frame
+    // here means the walk itself is off the rails, so stop compacting
+    // rather than rewrite garbage.
+    LW_DCHECK(length >= kSeqBytes && offset + kHeaderBytes + length <= limit)
+        << "compaction walked off a record boundary at offset " << offset;
+    if (length < kSeqBytes || offset + kHeaderBytes + length > limit) break;
+    if (seq > upto_seq) break;
+    offset += kHeaderBytes + length;
+  }
+  return offset;
+}
+
 common::Status Wal::Compact(std::uint64_t upto_seq) {
+  if (background_compaction()) {
+    // Off the serve path: record the floor and let the worker do the
+    // rewrite. Floors are monotone (snapshots only move forward), so
+    // coalescing concurrent requests into the max is lossless.
+    lw::MutexLock lock(compact_mu_);
+    has_pending_ = true;
+    if (upto_seq > pending_floor_) pending_floor_ = upto_seq;
+    compact_cv_.NotifyAll();
+    return common::Status::Ok();
+  }
+  CompactNow(upto_seq);
+  return common::Status::Ok();
+}
+
+void Wal::CompactNow(std::uint64_t upto_seq) {
   const std::uint64_t before = storage_.size();
-  if (before != 0 && upto_seq >= next_seq_ - 1) {
-    // The floor covers every appended record (the common snapshot cadence):
-    // drop the log without rescanning it — the last appended sequence is
-    // next_seq_ - 1 by construction.
-    storage_.Truncate(0);
-  } else if (before != 0) {
-    WalScan scan = Scan(storage_);
-    LW_DCHECK(scan.tail.ok());  // appends always leave the log at a boundary
-    if (upto_seq >= scan.records.front().seq) {
-      // Partial compaction: rewrite the suffix. Simulation-scale logs make
-      // the copy cheap; a production log would switch segments instead.
-      std::vector<std::vector<std::uint8_t>> keep;
-      std::uint64_t keep_first_seq = 0;
-      for (WalRecord& record : scan.records) {
-        if (record.seq > upto_seq) {
-          if (keep.empty()) keep_first_seq = record.seq;
-          keep.push_back(std::move(record.payload));
-        }
-      }
+  if (before != 0) {
+    if (upto_seq >= next_seq_ - 1) {
+      // The floor covers every appended record (the common snapshot
+      // cadence): drop the log without rescanning it — the last appended
+      // sequence is next_seq_ - 1 by construction. Truncation is durable.
       storage_.Truncate(0);
-      const std::uint64_t resume = next_seq_;
-      next_seq_ = keep_first_seq;
-      auto appended = AppendBatch(keep);
-      if (!appended.ok()) return appended.error();
-      next_seq_ = resume;
+    } else {
+      const std::uint64_t cut = CutOffset(before, upto_seq);
+      if (cut > 0) {
+        // Rewrite = keep the raw suffix bytes verbatim (framing is
+        // position-independent) and install them atomically: over files
+        // the old log stays intact until the rename, so a crash at any
+        // byte of the rewrite recovers from the uncompacted log.
+        std::vector<std::uint8_t> keep(static_cast<std::size_t>(before - cut));
+        if (!keep.empty()) storage_.ReadAt(cut, keep.size(), keep.data());
+        storage_.ReplaceContents(keep.data(), keep.size());
+      }
     }
   }
   ++compactions_;
@@ -265,7 +339,77 @@ common::Status Wal::Compact(std::uint64_t upto_seq) {
     reclaimed_bytes_ += before - storage_.size();
     if (reclaimed_counter_ != nullptr) reclaimed_counter_->Inc(before - storage_.size());
   }
-  return common::Status::Ok();
+}
+
+void Wal::StartBackgroundCompaction() {
+  if (compactor_.joinable()) return;
+  {
+    lw::MutexLock lock(compact_mu_);
+    stop_compactor_ = false;
+  }
+  compactor_ = std::thread([this] { CompactorLoop(); });
+}
+
+void Wal::StopBackgroundCompaction() {
+  if (!compactor_.joinable()) return;
+  {
+    lw::MutexLock lock(compact_mu_);
+    stop_compactor_ = true;
+  }
+  compact_cv_.NotifyAll();
+  compactor_.join();
+}
+
+void Wal::WaitForCompaction() {
+  if (!compactor_.joinable()) return;
+  lw::MutexLock lock(compact_mu_);
+  while (has_pending_ || compacting_) compact_cv_.Wait(compact_mu_);
+}
+
+void Wal::CompactorLoop() {
+  while (true) {
+    std::uint64_t floor = 0;
+    {
+      lw::MutexLock lock(compact_mu_);
+      while (!has_pending_ && !stop_compactor_) compact_cv_.Wait(compact_mu_);
+      if (!has_pending_) return;  // stop requested and fully drained
+      floor = pending_floor_;
+      has_pending_ = false;
+      pending_floor_ = 0;
+      compacting_ = true;
+    }
+    // Freeze the prefix, then scan it WITHOUT the lock: appends only add
+    // bytes past the freeze point and never move existing ones, and
+    // concurrent reads below the frontier are safe on both storage kinds.
+    // The serve path only ever blocks for the brief install below.
+    std::uint64_t frozen = 0;
+    {
+      lw::MutexLock lock(compact_mu_);
+      frozen = storage_.size();
+    }
+    const std::uint64_t cut = CutOffset(frozen, floor);
+    {
+      lw::MutexLock lock(compact_mu_);
+      const std::uint64_t before = storage_.size();
+      if (cut > 0) {
+        // Keep everything after the cut, including records appended while
+        // the scan ran (their seqs are all > floor by monotonicity).
+        std::vector<std::uint8_t> keep(static_cast<std::size_t>(before - cut));
+        if (!keep.empty()) storage_.ReadAt(cut, keep.size(), keep.data());
+        storage_.ReplaceContents(keep.data(), keep.size());
+      }
+      ++compactions_;
+      if (compaction_counter_ != nullptr) compaction_counter_->Inc();
+      if (before > storage_.size()) {
+        reclaimed_bytes_ += before - storage_.size();
+        if (reclaimed_counter_ != nullptr) {
+          reclaimed_counter_->Inc(before - storage_.size());
+        }
+      }
+      compacting_ = false;
+    }
+    compact_cv_.NotifyAll();
+  }
 }
 
 void Wal::SetNextSeq(std::uint64_t next_seq) {

@@ -13,15 +13,37 @@
 // caught. A scan walks records from offset 0 and stops at the first frame
 // that is truncated, corrupt, oversized, or out of sequence: that is the
 // torn tail a crash mid-append leaves behind. The scan NEVER throws or
-// crashes on hostile bytes; it reports how far the log was valid and why it
-// stopped, and recovery truncates the tail and appends from there.
+// crashes on hostile bytes; it reports how far the log was valid, why it
+// stopped, and WHICH KIND of defect it hit — a clean truncation (the
+// expected artifact of a crash inside a sync window or mid-append) vs
+// genuine corruption of bytes that were supposedly durable (bit rot, a
+// misdirected write) — and recovery truncates the tail and appends from
+// there.
+//
+// Durability boundary: every Append/AppendBatch ends with a Storage::Sync()
+// — the commit point. Over FileStorage that is where the sync policy bites
+// (kGroupCommit = one fsync per batch right here; kEveryAppend already
+// synced inside the storage; kPeriodic may decline). Over MemStorage it is
+// a no-op.
+//
+// Compaction runs in one of two modes. Inline (default): Compact() rewrites
+// the log on the calling thread via Storage::ReplaceContents — atomic over
+// files (write-to-temp + rename), so a crash at any byte of the rewrite
+// leaves the OLD log intact. Background (StartBackgroundCompaction):
+// Compact() just records the floor and returns; a dedicated thread scans
+// the frozen prefix without blocking appends and installs the compacted
+// log under a brief lock — compaction is off the serve path entirely. The
+// crash rule is the same in both modes: the old log wins until the rename.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "journal/storage.h"
 
 namespace lightwave::telemetry {
@@ -46,13 +68,34 @@ struct WalRecord {
   std::vector<std::uint8_t> payload;
 };
 
+/// How a scan's tail diagnosis classifies the first defect. The
+/// distinction drives telemetry (RecoveryStats splits the counters): a
+/// truncation is the EXPECTED artifact of a crash mid-append or inside an
+/// open sync window (kGroupCommit/kPeriodic lose the unsynced tail by
+/// design), while corruption means bytes that should have been stable were
+/// damaged — an alarm, not business as usual.
+enum class WalTailKind : std::uint8_t {
+  /// The log ends exactly at a record boundary.
+  kClean,
+  /// The final record is incomplete: a partial header, a body cut short by
+  /// EOF, or a zero-filled tail. Everything before it is intact.
+  kTruncated,
+  /// A structurally complete record is damaged (CRC mismatch, implausible
+  /// length with the full header present, sequence discontinuity).
+  kCorrupt,
+};
+
+const char* ToString(WalTailKind kind);
+
 /// What a scan found. `tail` is Ok when the log ends exactly at a record
 /// boundary; otherwise it describes the torn tail (which starts at
-/// `valid_bytes`). Records before the tear are always intact and returned.
+/// `valid_bytes`) and `tail_kind` classifies it. Records before the tear
+/// are always intact and returned.
 struct WalScan {
   std::vector<WalRecord> records;
   std::uint64_t valid_bytes = 0;
   common::Status tail;
+  WalTailKind tail_kind = WalTailKind::kClean;
 };
 
 class Wal {
@@ -67,22 +110,31 @@ class Wal {
   /// scan (including the tear diagnosis) stays readable via recovery_scan().
   explicit Wal(Storage& storage);
 
+  /// Joins the background compactor (completing any pending request) if it
+  /// was started.
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
   /// Walks the records in `storage` without modifying it. Total: any byte
   /// soup is safe input; the result's `tail` explains the first defect.
   static WalScan Scan(const Storage& storage);
 
-  /// Appends one record and returns its sequence number. Fails only on an
-  /// oversized payload; the storage model itself cannot fail.
+  /// Appends one record and returns its sequence number. The record is
+  /// synced (per the storage's policy) before this returns — the commit
+  /// boundary. Fails only on an oversized payload.
   common::Result<std::uint64_t> Append(const std::vector<std::uint8_t>& payload);
 
   /// Group commit: frames every payload as a consecutive record and hands
-  /// the whole batch to the storage in ONE Append — the device-call and
-  /// buffer-churn cost is paid once per batch instead of once per record.
-  /// Record framing is byte-identical to N single Appends (Scan cannot tell
-  /// them apart), so torn-tail repair and replay are unchanged; a crash mid
-  /// batch-append tears at most the batch's own bytes. Returns the sequence
-  /// number of the FIRST record; the rest follow densely. An oversized
-  /// payload fails the whole batch before any byte reaches the storage.
+  /// the whole batch to the storage in ONE Append followed by ONE Sync —
+  /// the device-call, fsync, and buffer-churn cost is paid once per batch
+  /// instead of once per record. Record framing is byte-identical to N
+  /// single Appends (Scan cannot tell them apart), so torn-tail repair and
+  /// replay are unchanged; a crash mid batch-append tears at most the
+  /// batch's own bytes. Returns the sequence number of the FIRST record;
+  /// the rest follow densely. An oversized payload fails the whole batch
+  /// before any byte reaches the storage.
   common::Result<std::uint64_t> AppendBatch(
       const std::vector<std::vector<std::uint8_t>>& payloads);
 
@@ -90,7 +142,27 @@ class Wal {
   /// `upto_seq` (typically all of them — the service snapshots at the
   /// applied frontier). The sequence counter is NOT reset; exactly-once
   /// replay keys on sequence numbers staying monotone across compactions.
+  /// Inline mode rewrites the log here (atomically — see ReplaceContents);
+  /// background mode records the floor and returns immediately.
   common::Status Compact(std::uint64_t upto_seq);
+
+  /// Moves compaction off the serve path: after this, Compact() only
+  /// enqueues the floor and a dedicated thread does the rewrite — scanning
+  /// the frozen log prefix WITHOUT blocking appends, then installing the
+  /// compacted log (atomic rename over files) under a brief lock. Safe to
+  /// call once, before or between serving; appenders may keep appending
+  /// throughout.
+  void StartBackgroundCompaction();
+
+  /// Drains any pending compaction, then joins the thread. Idempotent;
+  /// also called by the destructor.
+  void StopBackgroundCompaction();
+
+  bool background_compaction() const { return compactor_.joinable(); }
+
+  /// Blocks until no compaction is pending or running (test/ops hook; a
+  /// no-op when background compaction is off).
+  void WaitForCompaction();
 
   /// Recovery hook: advances the sequence counter (never rewinds). Needed
   /// when a snapshot proves sequence numbers beyond what the (compacted,
@@ -113,16 +185,28 @@ class Wal {
 
   /// Mirrors append/compaction activity into `hub` (nullptr detaches):
   /// lightwave_journal_bytes_total, appends, compactions, reclaimed bytes.
+  /// Attach before StartBackgroundCompaction (the worker caches the
+  /// counter pointers).
   void AttachTelemetry(telemetry::Hub* hub);
 
  private:
-  Storage& storage_;
-  WalScan recovery_scan_;
-  std::uint64_t tail_truncated_bytes_ = 0;
   /// Frames one record into `out` (shared by Append and AppendBatch so the
   /// two paths cannot drift).
   void FrameRecord(std::uint64_t seq, const std::vector<std::uint8_t>& payload,
                    std::vector<std::uint8_t>* out) const;
+  /// The actual rewrite. Inline mode calls it on the Compact() caller;
+  /// background mode calls it on the worker (which holds compact_mu_ only
+  /// around the storage mutation, not the scan).
+  void CompactNow(std::uint64_t upto_seq);
+  /// Walks frames over storage bytes [0, limit) and returns the offset of
+  /// the first record with seq > upto_seq (== limit when none). The prefix
+  /// must be boundary-valid (appends always leave it so).
+  std::uint64_t CutOffset(std::uint64_t limit, std::uint64_t upto_seq) const;
+  void CompactorLoop();
+
+  Storage& storage_;
+  WalScan recovery_scan_;
+  std::uint64_t tail_truncated_bytes_ = 0;
 
   std::uint64_t next_seq_ = 1;
   std::uint64_t appended_records_ = 0;
@@ -136,6 +220,23 @@ class Wal {
   telemetry::Counter* append_counter_ = nullptr;
   telemetry::Counter* compaction_counter_ = nullptr;
   telemetry::Counter* reclaimed_counter_ = nullptr;
+
+  // --- background compaction ------------------------------------------------
+  // While the compactor runs, every storage mutation (the append path's
+  // write+sync, the worker's install) happens under compact_mu_; the
+  // worker's SCAN of the frozen prefix runs without it (appends only add
+  // bytes past the freeze point, and concurrent ReadAt below it is safe on
+  // both storage kinds). The counters the worker updates (compactions_,
+  // reclaimed_bytes_) are written under the lock too; readers quiesce via
+  // WaitForCompaction() first. With the compactor off, none of this locks
+  // (the Wal keeps its documented externally-serialized contract).
+  mutable lw::Mutex compact_mu_{"journal.wal.compact", lw::rank::kWalCompact};
+  lw::CondVar compact_cv_;
+  std::thread compactor_;
+  bool stop_compactor_ LW_GUARDED_BY(compact_mu_) = false;
+  bool has_pending_ LW_GUARDED_BY(compact_mu_) = false;
+  std::uint64_t pending_floor_ LW_GUARDED_BY(compact_mu_) = 0;
+  bool compacting_ LW_GUARDED_BY(compact_mu_) = false;
 };
 
 }  // namespace lightwave::journal

@@ -6,6 +6,8 @@
 #include <limits>
 #include <memory>
 
+#include "common/check.h"
+
 namespace lightwave::sim {
 
 DcnTopology::DcnTopology(DcnKind kind, int blocks, double uplink_gbps)
@@ -71,7 +73,24 @@ DcnTopology DcnTopology::EngineeredMesh(int blocks, double uplink_gbps,
     for (int b = 0; b < blocks; ++b) row += topo.trunk_[static_cast<std::size_t>(a) * blocks + b];
     return row;
   };
-  for (int iter = 0; iter < 25; ++iter) {
+  // Convergence-driven: a fixed iteration count both under-converges large
+  // skewed fabrics and wastes work on small ones. The residual is the worst
+  // relative row-sum deviation from the port budget; the symmetric Sinkhorn
+  // update contracts it, so terminate when it is numerically converged and
+  // cap the iterations as a backstop for pathological inputs.
+  constexpr int kMaxFitIterations = 200;
+  constexpr double kFitTolerance = 1e-10;
+  const auto fit_residual = [&] {
+    double worst = 0.0;
+    for (int a = 0; a < blocks; ++a) {
+      const double row = row_sum(a);
+      if (row > 0.0) worst = std::max(worst, std::abs(row - uplink_gbps) / uplink_gbps);
+    }
+    return worst;
+  };
+  const double initial_residual = fit_residual();
+  double residual = initial_residual;
+  for (int iter = 0; iter < kMaxFitIterations && residual > kFitTolerance; ++iter) {
     std::vector<double> factor(static_cast<std::size_t>(blocks), 1.0);
     for (int a = 0; a < blocks; ++a) {
       const double row = row_sum(a);
@@ -83,7 +102,14 @@ DcnTopology DcnTopology::EngineeredMesh(int blocks, double uplink_gbps,
             factor[static_cast<std::size_t>(a)] * factor[static_cast<std::size_t>(b)];
       }
     }
+    residual = fit_residual();
   }
+  // The fit must end converged or at least never diverged past where it
+  // started (the iteration cap only exists for inputs the contraction
+  // argument does not cover).
+  LW_DCHECK(residual <= kFitTolerance || residual <= initial_residual)
+      << "proportional fit diverged: residual " << residual << " from "
+      << initial_residual;
   std::vector<double> clamp(static_cast<std::size_t>(blocks), 1.0);
   for (int a = 0; a < blocks; ++a) {
     const double row = row_sum(a);

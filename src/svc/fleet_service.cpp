@@ -59,6 +59,11 @@ Result<journal::RecoveryStats> FleetService::Recover() {
   // The submit-side frontier resumes at the committed frontier; this copy is
   // the only cross-stage transfer, and it happens before any thread starts.
   pending_next_ = committed_next_;
+  // Start the compactor only once recovery is done: replay must see the log
+  // exactly as the crash left it, and the worker thread would race it.
+  if (recovery.ok() && options_.background_compaction) {
+    wal_.StartBackgroundCompaction();
+  }
   return recovery;
 }
 

@@ -76,6 +76,12 @@ struct FleetServiceOptions {
   /// Bench knob: false skips the append, measuring the journaling overhead
   /// against the same apply path. Crash recovery is meaningless without it.
   bool journaling = true;
+  /// Moves WAL compaction off the serve path entirely: snapshots only
+  /// record the compaction floor, and the Wal's background thread rewrites
+  /// the log (atomic rename over FileStorage — the old log wins until the
+  /// rename) while appends continue. Started after Recover(); off by
+  /// default so the crash matrix keeps its single-threaded determinism.
+  bool background_compaction = false;
 };
 
 struct FleetServiceStats {

@@ -8,12 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/parallel.h"
+#include "journal/file_storage.h"
+#include "storage_test_util.h"
 #include "core/scheduler.h"
 #include "ctrl/controller.h"
 #include "ctrl/fault_injector.h"
@@ -590,6 +594,166 @@ TEST(FleetTelemetry, FleetSeriesVisibleToExporters) {
   EXPECT_NE(prom.find("reason=\"quota\""), std::string::npos);
   EXPECT_NE(prom.find("lightwave_fleet_batch_commands"), std::string::npos);
   EXPECT_NE(prom.find("lightwave_fleet_shard_queue_depth"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// File-backed fleet recovery: Router::RecoverAll over real files, identical
+// at every thread count, with the tail diagnoses summed across shards.
+
+constexpr int kFleetShards = 8;
+constexpr std::uint64_t kFleetCommands = 400;
+
+fleet::ShardOptions FileFleetOptions() {
+  fleet::ShardOptions options;
+  options.batch_size = kBatch;
+  options.service.snapshot_interval = 16;
+  options.admission.default_quota = fleet::TenantQuota{1e9, 1e9, 1.0};
+  options.admission.per_tenant_queue_capacity = kFleetCommands;
+  return options;
+}
+
+/// A fleet of file-backed shards over one TempDir, rebuildable over the same
+/// files (the fleet-wide crash simulation).
+struct FileFleet {
+  std::vector<std::unique_ptr<tpu::Superpod>> pods;
+  std::vector<std::unique_ptr<journal::FileStorage>> stores;
+  std::vector<std::unique_ptr<fleet::Shard>> shards;
+  fleet::Router router;
+
+  FileFleet(const testutil::TempDir& tmp, int shard_count,
+            fleet::ShardOptions options) {
+    for (int s = 0; s < shard_count; ++s) {
+      auto wal = journal::FileStorage::Open(WalPath(tmp, s));
+      auto snapshot = journal::FileStorage::Open(SnapPath(tmp, s));
+      EXPECT_TRUE(wal.ok() && snapshot.ok());
+      if (!wal.ok() || !snapshot.ok()) return;
+      pods.push_back(std::make_unique<tpu::Superpod>(
+          kPodSeed + static_cast<std::uint64_t>(s), kPodCubes, kOcsPerDim));
+      shards.push_back(std::make_unique<fleet::Shard>(
+          static_cast<std::uint32_t>(s), *pods.back(),
+          core::AllocationPolicy::kReconfigurable, *wal.value(), *snapshot.value(),
+          options));
+      stores.push_back(std::move(wal.value()));
+      stores.push_back(std::move(snapshot.value()));
+      router.AddShard(shards.back().get());
+    }
+  }
+
+  static std::string WalPath(const testutil::TempDir& tmp, int s) {
+    return tmp.Path("shard" + std::to_string(s) + ".wal");
+  }
+  static std::string SnapPath(const testutil::TempDir& tmp, int s) {
+    return tmp.Path("shard" + std::to_string(s) + ".snap");
+  }
+
+  std::vector<std::uint8_t> Digest() const {
+    std::vector<std::uint8_t> combined;
+    for (const auto& shard : shards) {
+      const auto bytes = shard->service().SerializeState();
+      combined.insert(combined.end(), bytes.begin(), bytes.end());
+    }
+    return combined;
+  }
+};
+
+/// The multi-shard trace: enough tenants that every shard owns a few arcs.
+const svc::RequestStream& FleetFileStream() {
+  static const svc::RequestStream stream(kStreamSeed + 1, kFleetCommands, [] {
+    svc::RequestStreamConfig config;
+    config.tenant_count = 24;
+    config.zipf_skew = 0.7;
+    return config;
+  }());
+  return stream;
+}
+
+TEST(FleetRouter, FileBackedRecoverAllDeterministicAcrossThreadCounts) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  // One fleet lifetime builds the durable media, then dies.
+  {
+    FileFleet fleet(tmp, kFleetShards, FileFleetOptions());
+    ASSERT_TRUE(fleet.router.RecoverAll().ok());
+    for (std::uint64_t i = 0; i < kFleetCommands; ++i) {
+      ASSERT_TRUE(fleet.router.Submit(FleetFileStream().Command(i)).ok());
+      if (i % 64 == 63) fleet.router.PumpAll();
+    }
+    while (fleet.router.PumpAll() > 0) {
+    }
+  }
+  // Recover the fleet at 1, 2, and 8 threads: byte-identical state and
+  // identical aggregate stats every time (thread count is a performance
+  // knob, never a semantic one).
+  const int original = common::parallel::Threads();
+  std::vector<std::vector<std::uint8_t>> digests;
+  std::vector<std::uint64_t> replayed;
+  for (int threads : {1, 2, 8}) {
+    common::parallel::SetThreads(threads);
+    FileFleet fleet(tmp, kFleetShards, FileFleetOptions());
+    auto recovery = fleet.router.RecoverAll();
+    ASSERT_TRUE(recovery.ok()) << "threads=" << threads;
+    EXPECT_TRUE(recovery.value().wal_clean);
+    EXPECT_EQ(recovery.value().tail_truncations, 0u);
+    EXPECT_EQ(recovery.value().tail_corruptions, 0u);
+    digests.push_back(fleet.Digest());
+    replayed.push_back(recovery.value().records_replayed);
+  }
+  common::parallel::SetThreads(original);
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+  EXPECT_EQ(replayed[0], replayed[1]);
+  EXPECT_EQ(replayed[0], replayed[2]);
+}
+
+TEST(FleetRouter, RecoverAllSumsTailDiagnosesAcrossShards) {
+  // Two shards of damage, two diagnoses: shard 0's wal gets a flipped bit
+  // inside a durable record (CORRUPTION — the alarm), shard 1's wal is cut
+  // mid-record (TRUNCATION — the expected crash artifact). The fleet
+  // aggregate must report exactly one of each, and recovery still succeeds
+  // with the healthy prefixes.
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  fleet::ShardOptions options = FileFleetOptions();
+  options.service.snapshot_interval = 1u << 30;  // keep every record in the wal
+  {
+    FileFleet fleet(tmp, 2, options);
+    ASSERT_TRUE(fleet.router.RecoverAll().ok());
+    for (std::uint64_t id = 1; id <= 10; ++id) {
+      for (std::uint32_t shard = 0; shard < 2; ++shard) {
+        ASSERT_TRUE(fleet.shards[shard]->Offer(Admit(40 + shard, id)).ok());
+      }
+      fleet.router.PumpAll();
+    }
+  }
+  {
+    // Flip one payload bit in shard 0's second record.
+    std::fstream f(FileFleet::WalPath(tmp, 0),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    ASSERT_GT(static_cast<std::int64_t>(f.tellg()), 60);
+    f.seekp(60);
+    char byte;
+    f.seekg(60);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(60);
+    f.write(&byte, 1);
+  }
+  {
+    // Cut shard 1's wal three bytes short (every record frame is larger, so
+    // the cut is always strictly inside the final record).
+    const std::string path = FileFleet::WalPath(tmp, 1);
+    const auto size = std::filesystem::file_size(path);
+    ASSERT_GT(size, 3u);
+    std::filesystem::resize_file(path, size - 3);
+  }
+  FileFleet fleet(tmp, 2, options);
+  auto recovery = fleet.router.RecoverAll();
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_FALSE(recovery.value().wal_clean);
+  EXPECT_EQ(recovery.value().tail_corruptions, 1u);
+  EXPECT_EQ(recovery.value().tail_truncations, 1u);
+  EXPECT_FALSE(recovery.value().tail_note.empty());
 }
 
 TEST(FleetPipeline, PipelinedShardAppliesExactlyOnceAndRecoversByteIdentical) {

@@ -6,13 +6,22 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
+#include "journal/faulty_storage.h"
+#include "journal/file_storage.h"
 #include "journal/replay.h"
 #include "journal/snapshot.h"
 #include "journal/storage.h"
 #include "journal/wal.h"
+#include "storage_test_util.h"
 #include "telemetry/hub.h"
 
 namespace lightwave {
@@ -358,6 +367,542 @@ TEST(Replay, CorruptSnapshotIsAHardError) {
       [](const journal::WalRecord&) { return common::Status::Ok(); });
   ASSERT_FALSE(recovery.ok());
   EXPECT_EQ(recovery.error().code, common::Error::Code::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Storage contract (the PR 9 bugfixes): Truncate may not grow, ReadAt may
+// not read out of range — enforced, not silently tolerated.
+
+/// Installs a recording handler so a tripped contract does not abort; the
+/// guarded implementations must then still stay memory-safe.
+class CheckRecorder {
+ public:
+  CheckRecorder()
+      : scoped_([this](const common::CheckFailure& failure) {
+          ++failures_;
+          last_ = common::FormatCheckFailure(failure);
+        }) {}
+  int failures() const { return failures_; }
+  const std::string& last() const { return last_; }
+
+ private:
+  int failures_ = 0;
+  std::string last_;
+  common::ScopedCheckHandler scoped_;
+};
+
+TEST(StorageContract, TruncateGrowTripsCheckAndDoesNotGrow) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  journal::MemStorage mem;
+  auto file = journal::FileStorage::Open(tmp.Path("grow.log"));
+  ASSERT_TRUE(file.ok());
+  const std::uint8_t bytes[4] = {1, 2, 3, 4};
+  for (journal::Storage* storage :
+       std::initializer_list<journal::Storage*>{&mem, file.value().get()}) {
+    storage->Append(bytes, sizeof(bytes));
+    CheckRecorder recorder;
+    storage->Truncate(10);  // growing is not supported
+    EXPECT_EQ(recorder.failures(), 1) << recorder.last();
+    EXPECT_EQ(storage->size(), 4u);  // and the device did not grow
+    storage->Truncate(1);  // shrinking still works
+    EXPECT_EQ(storage->size(), 1u);
+  }
+}
+
+TEST(StorageContract, ReadAtOutOfRangeTripsDcheckAndStaysInBounds) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  journal::MemStorage mem;
+  auto file = journal::FileStorage::Open(tmp.Path("oob.log"));
+  ASSERT_TRUE(file.ok());
+  const std::uint8_t bytes[4] = {1, 2, 3, 4};
+  for (journal::Storage* storage :
+       std::initializer_list<journal::Storage*>{&mem, file.value().get()}) {
+    storage->Append(bytes, sizeof(bytes));
+    CheckRecorder recorder;
+    std::uint8_t out[16] = {0xAA, 0xAA, 0xAA, 0xAA};
+    storage->ReadAt(2, 8, out);  // overruns size() == 4
+    if (common::kDchecksEnabled) {
+      EXPECT_EQ(recorder.failures(), 1) << recorder.last();
+    }
+    // Whether or not the dcheck fired (NDEBUG), no out-of-range byte may
+    // have been copied: the guarded read leaves the buffer untouched.
+    EXPECT_EQ(out[0], 0xAA);
+    // Offset past the end entirely, and an offset+n overflow candidate.
+    storage->ReadAt(100, 1, out);
+    EXPECT_EQ(out[0], 0xAA);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FileStorage: the Storage contract over a real fd.
+
+TEST(FileStorage, AppendReadAndReopenPersistence) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::string path = tmp.Path("wal.log");
+  {
+    auto storage = journal::FileStorage::Open(path);
+    ASSERT_TRUE(storage.ok());
+    journal::Wal wal(*storage.value());
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+  }
+  // A fresh process: reopen and recover.
+  auto reopened = journal::FileStorage::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  journal::Wal wal(*reopened.value());
+  ASSERT_TRUE(wal.recovery_scan().tail.ok());
+  ASSERT_EQ(wal.recovery_scan().records.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(wal.recovery_scan().records[static_cast<std::size_t>(i)].payload,
+              Payload(i));
+  }
+  EXPECT_EQ(wal.next_seq(), 9u);
+}
+
+TEST(FileStorage, SyncPolicyGovernsTheDurableFrontier) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  // kEveryAppend: durable the moment Append returns.
+  journal::FileStorageOptions every;
+  every.policy = journal::SyncPolicy::kEveryAppend;
+  auto ea = journal::FileStorage::Open(tmp.Path("every.log"), every);
+  ASSERT_TRUE(ea.ok());
+  ea.value()->Append(bytes, sizeof(bytes));
+  EXPECT_EQ(ea.value()->durable_size(), 8u);
+  EXPECT_GE(ea.value()->fsync_count(), 1u);
+
+  // kGroupCommit: written != durable until the explicit Sync (the Wal's
+  // append boundary), which costs exactly one fsync.
+  journal::FileStorageOptions group;
+  group.policy = journal::SyncPolicy::kGroupCommit;
+  auto gc = journal::FileStorage::Open(tmp.Path("group.log"), group);
+  ASSERT_TRUE(gc.ok());
+  gc.value()->Append(bytes, sizeof(bytes));
+  gc.value()->Append(bytes, sizeof(bytes));
+  EXPECT_EQ(gc.value()->size(), 16u);
+  EXPECT_EQ(gc.value()->durable_size(), 0u);
+  EXPECT_EQ(gc.value()->fsync_count(), 0u);
+  gc.value()->Sync();
+  EXPECT_EQ(gc.value()->durable_size(), 16u);
+  EXPECT_EQ(gc.value()->fsync_count(), 1u);
+
+  // kPeriodic with a far-future interval: Sync declines until forced.
+  journal::FileStorageOptions periodic;
+  periodic.policy = journal::SyncPolicy::kPeriodic;
+  periodic.periodic_interval = std::chrono::milliseconds(3600 * 1000);
+  auto pd = journal::FileStorage::Open(tmp.Path("periodic.log"), periodic);
+  ASSERT_TRUE(pd.ok());
+  pd.value()->Append(bytes, sizeof(bytes));
+  pd.value()->Sync();
+  EXPECT_EQ(pd.value()->durable_size(), 0u) << "interval not elapsed; Sync must decline";
+  pd.value()->SyncNow();
+  EXPECT_EQ(pd.value()->durable_size(), 8u);
+}
+
+TEST(FileStorage, TruncateIsDurableUnderEveryPolicy) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  journal::FileStorageOptions options;
+  options.policy = journal::SyncPolicy::kGroupCommit;
+  auto storage = journal::FileStorage::Open(tmp.Path("trunc.log"), options);
+  ASSERT_TRUE(storage.ok());
+  const std::uint8_t bytes[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  storage.value()->Append(bytes, sizeof(bytes));
+  storage.value()->Truncate(3);
+  EXPECT_EQ(storage.value()->size(), 3u);
+  // Torn-tail repair must survive the next crash: the truncation itself is
+  // synced even though the append never was.
+  EXPECT_EQ(storage.value()->durable_size(), 3u);
+}
+
+TEST(FileStorage, ReplaceContentsIsAtomicAndOpenDiscardsStaleTmp) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::string path = tmp.Path("replace.log");
+  {
+    auto storage = journal::FileStorage::Open(path);
+    ASSERT_TRUE(storage.ok());
+    const std::uint8_t old_bytes[4] = {1, 1, 1, 1};
+    storage.value()->Append(old_bytes, sizeof(old_bytes));
+    const std::uint8_t new_bytes[6] = {2, 2, 2, 2, 2, 2};
+    storage.value()->ReplaceContents(new_bytes, sizeof(new_bytes));
+    EXPECT_EQ(storage.value()->size(), 6u);
+    EXPECT_EQ(storage.value()->durable_size(), 6u);
+    std::uint8_t out[6] = {};
+    storage.value()->ReadAt(0, 6, out);
+    EXPECT_EQ(out[0], 2);
+  }
+  // A crashed rewrite leaves a stale tmp beside the log; Open must discard
+  // it (the old log wins) instead of ever confusing it for the data.
+  {
+    std::ofstream stale(journal::ReplaceTmpPath(path), std::ios::binary);
+    stale << "garbage from a dead compaction";
+  }
+  auto reopened = journal::FileStorage::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->size(), 6u);
+  EXPECT_FALSE(std::filesystem::exists(journal::ReplaceTmpPath(path)));
+}
+
+TEST(FileStorage, EveryTruncationOffsetScansCleanly) {
+  // The MemStorage torn-tail sweep, re-run against real files: for every
+  // prefix length of a valid log, recovery must yield exactly the records
+  // whose frames fit the prefix, with no crash and no misparse.
+  journal::MemStorage oracle = LogWith(6);
+  const auto full = journal::Wal::Scan(oracle);
+  ASSERT_TRUE(full.tail.ok());
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  std::vector<std::uint64_t> boundaries;  // frame-end offsets
+  {
+    std::uint64_t off = 0;
+    for (const auto& record : full.records) {
+      off += 16 + record.payload.size();
+      boundaries.push_back(off);
+    }
+  }
+  const std::string path = tmp.Path("sweep.log");
+  for (std::uint64_t cut = 0; cut <= oracle.size(); ++cut) {
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(reinterpret_cast<const char*>(oracle.bytes().data()),
+              static_cast<std::streamsize>(cut));
+    }
+    auto storage = journal::FileStorage::Open(path);
+    ASSERT_TRUE(storage.ok());
+    journal::Wal wal(*storage.value());
+    const std::size_t expect =
+        static_cast<std::size_t>(std::count_if(boundaries.begin(), boundaries.end(),
+                                               [&](std::uint64_t b) { return b <= cut; }));
+    ASSERT_EQ(wal.recovery_scan().records.size(), expect) << "cut=" << cut;
+    // Repair truncated to the last boundary, durably.
+    EXPECT_EQ(storage.value()->size(), expect == 0 ? 0 : boundaries[expect - 1]);
+    EXPECT_EQ(storage.value()->durable_size(), storage.value()->size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStorage: crash realism — lost sync windows and torn final appends.
+
+TEST(FaultyStorage, CrashDropsTheUnsyncedTail) {
+  journal::MemStorage base = LogWith(3);
+  const std::uint64_t durable = base.size();
+  journal::FaultyStorage faulty(base, journal::FaultyStorage::SyncMode::kNever);
+  journal::Wal wal(faulty);
+  ASSERT_TRUE(wal.Append(Payload(3)).ok());
+  ASSERT_TRUE(wal.Append(Payload(4)).ok());
+  EXPECT_EQ(faulty.durable_size(), durable) << "kNever must ignore the Wal's syncs";
+  faulty.Crash();
+  journal::Wal recovered(base);
+  ASSERT_TRUE(recovered.recovery_scan().tail.ok());
+  EXPECT_EQ(recovered.recovery_scan().records.size(), 3u);
+  EXPECT_EQ(recovered.next_seq(), 4u);
+}
+
+TEST(FaultyStorage, SyncModesAdvanceTheFrontierAsDocumented) {
+  journal::MemStorage base_on_append;
+  journal::FaultyStorage on_append(base_on_append,
+                                   journal::FaultyStorage::SyncMode::kOnAppend);
+  const std::uint8_t bytes[4] = {7, 7, 7, 7};
+  on_append.Append(bytes, sizeof(bytes));
+  EXPECT_EQ(on_append.durable_size(), 4u);
+
+  journal::MemStorage base_on_sync;
+  journal::FaultyStorage on_sync(base_on_sync, journal::FaultyStorage::SyncMode::kOnSync);
+  on_sync.Append(bytes, sizeof(bytes));
+  EXPECT_EQ(on_sync.durable_size(), 0u);
+  on_sync.Sync();
+  EXPECT_EQ(on_sync.durable_size(), 4u);
+}
+
+TEST(FaultyStorage, TearAtEveryByteOfTheFinalAppend) {
+  // The satellite sweep, against BOTH storage kinds: a crash k bytes into
+  // the final append must recover all prior records for every k, classify
+  // the tail as a truncation (never corruption), and recover everything
+  // when k covers the whole frame.
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  for (const bool file_backed : {false, true}) {
+    // Probe one run to learn the final frame size.
+    std::uint64_t final_frame = 0;
+    {
+      journal::MemStorage probe;
+      journal::FaultyStorage faulty(probe, journal::FaultyStorage::SyncMode::kNever);
+      journal::Wal wal(faulty);
+      for (int i = 0; i < 5; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+      final_frame = faulty.final_append_bytes();
+    }
+    ASSERT_GT(final_frame, 0u);
+    for (std::uint64_t k = 0; k <= final_frame; ++k) {
+      journal::MemStorage mem;
+      std::unique_ptr<journal::FileStorage> file;
+      journal::Storage* base = &mem;
+      if (file_backed) {
+        auto opened = journal::FileStorage::Open(
+            tmp.Path("tear_" + std::to_string(k) + ".log"));
+        ASSERT_TRUE(opened.ok());
+        file = std::move(opened.value());
+        base = file.get();
+      }
+      journal::FaultyStorage faulty(*base, journal::FaultyStorage::SyncMode::kNever);
+      {
+        journal::Wal wal(faulty);
+        for (int i = 0; i < 5; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+      }
+      faulty.CrashTearingFinalAppend(k);
+      journal::Wal recovered(*base);
+      const auto& scan = recovered.recovery_scan();
+      if (k == final_frame) {
+        EXPECT_TRUE(scan.tail.ok()) << "k=" << k;
+        EXPECT_EQ(scan.records.size(), 5u);
+      } else {
+        EXPECT_EQ(scan.records.size(), 4u) << "k=" << k;
+        if (k == 0) {
+          EXPECT_TRUE(scan.tail.ok()) << "k=0 ends at a boundary";
+        } else {
+          EXPECT_EQ(scan.tail_kind, journal::WalTailKind::kTruncated)
+              << "k=" << k << ": a torn append is a truncation, not corruption";
+        }
+      }
+      EXPECT_EQ(recovered.next_seq(), scan.records.size() + 1);
+    }
+  }
+}
+
+TEST(FaultyStorage, SyncedBytesNeverTearAway) {
+  // Under kOnSync the Wal's per-append sync makes each record durable; a
+  // tear request clamped to the frontier must not lose any of them.
+  journal::MemStorage base;
+  journal::FaultyStorage faulty(base, journal::FaultyStorage::SyncMode::kOnSync);
+  {
+    journal::Wal wal(faulty);
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+  }
+  faulty.CrashTearingFinalAppend(0);  // would drop the final append...
+  journal::Wal recovered(base);
+  // ...but it was synced, so nothing tears.
+  EXPECT_EQ(recovered.recovery_scan().records.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Tail-kind classification: clean EOF mid-sync-window vs genuine corruption.
+
+TEST(Wal, TailKindSplitsTruncationFromCorruption) {
+  // Truncation: cut mid-record.
+  journal::MemStorage torn = LogWith(4);
+  torn.bytes().resize(torn.bytes().size() - 3);
+  auto scan = journal::Wal::Scan(torn);
+  ASSERT_FALSE(scan.tail.ok());
+  EXPECT_EQ(scan.tail_kind, journal::WalTailKind::kTruncated);
+
+  // Truncation: zero-filled tail (filesystem extended the file with zero
+  // pages on crash).
+  journal::MemStorage zeros = LogWith(4);
+  const std::size_t valid = zeros.bytes().size();
+  zeros.bytes().resize(valid + 32, 0);
+  scan = journal::Wal::Scan(zeros);
+  ASSERT_FALSE(scan.tail.ok());
+  EXPECT_EQ(scan.tail_kind, journal::WalTailKind::kTruncated);
+  EXPECT_EQ(scan.valid_bytes, valid);
+  EXPECT_EQ(scan.records.size(), 4u);
+
+  // Corruption: a bit flip inside a complete record (CRC mismatch).
+  journal::MemStorage flipped = LogWith(4);
+  flipped.bytes()[20] ^= 0x10;
+  scan = journal::Wal::Scan(flipped);
+  ASSERT_FALSE(scan.tail.ok());
+  EXPECT_EQ(scan.tail_kind, journal::WalTailKind::kCorrupt);
+
+  // Corruption: implausible length with the full header present.
+  journal::MemStorage lying = LogWith(1);
+  lying.bytes()[0] = 0xFF;
+  lying.bytes()[1] = 0xFF;
+  lying.bytes()[2] = 0xFF;
+  lying.bytes()[3] = 0xFF;
+  scan = journal::Wal::Scan(lying);
+  ASSERT_FALSE(scan.tail.ok());
+  EXPECT_EQ(scan.tail_kind, journal::WalTailKind::kCorrupt);
+}
+
+TEST(Replay, SplitsTailCountersByKindAndRecordsMetrics) {
+  // Truncated tail -> tail_truncations, not corruptions.
+  {
+    journal::MemStorage wal_storage = LogWith(5);
+    journal::MemStorage snapshot_storage;
+    wal_storage.bytes().resize(wal_storage.bytes().size() - 3);
+    journal::Wal wal(wal_storage);
+    telemetry::Hub hub;
+    auto recovery = journal::Replay(
+        snapshot_storage, wal, [](const journal::Snapshot&) { return common::Status::Ok(); },
+        [](const journal::WalRecord&) { return common::Status::Ok(); }, &hub);
+    ASSERT_TRUE(recovery.ok());
+    EXPECT_EQ(recovery.value().tail_truncations, 1u);
+    EXPECT_EQ(recovery.value().tail_corruptions, 0u);
+    EXPECT_EQ(hub.metrics().GetCounter("lightwave_journal_tail_truncated_total").value(),
+              1u);
+    EXPECT_EQ(hub.metrics().GetCounter("lightwave_journal_tail_corrupt_total").value(),
+              0u);
+  }
+  // Corrupt tail (bit flip) -> tail_corruptions.
+  {
+    journal::MemStorage wal_storage = LogWith(5);
+    journal::MemStorage snapshot_storage;
+    wal_storage.bytes()[20] ^= 0x10;
+    journal::Wal wal(wal_storage);
+    telemetry::Hub hub;
+    auto recovery = journal::Replay(
+        snapshot_storage, wal, [](const journal::Snapshot&) { return common::Status::Ok(); },
+        [](const journal::WalRecord&) { return common::Status::Ok(); }, &hub);
+    ASSERT_TRUE(recovery.ok());
+    EXPECT_EQ(recovery.value().tail_truncations, 0u);
+    EXPECT_EQ(recovery.value().tail_corruptions, 1u);
+    EXPECT_EQ(hub.metrics().GetCounter("lightwave_journal_tail_corrupt_total").value(),
+              1u);
+  }
+  // A clean log counts in neither bucket.
+  {
+    journal::MemStorage wal_storage = LogWith(5);
+    journal::MemStorage snapshot_storage;
+    journal::Wal wal(wal_storage);
+    auto recovery = journal::Replay(
+        snapshot_storage, wal, [](const journal::Snapshot&) { return common::Status::Ok(); },
+        [](const journal::WalRecord&) { return common::Status::Ok(); });
+    ASSERT_TRUE(recovery.ok());
+    EXPECT_EQ(recovery.value().tail_truncations, 0u);
+    EXPECT_EQ(recovery.value().tail_corruptions, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction: atomic installs and the background path.
+
+TEST(Wal, PartialCompactionSurvivesReopenOnFiles) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::string path = tmp.Path("compact.log");
+  {
+    auto storage = journal::FileStorage::Open(path);
+    ASSERT_TRUE(storage.ok());
+    journal::Wal wal(*storage.value());
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+    ASSERT_TRUE(wal.Compact(4).ok());
+    EXPECT_EQ(wal.next_seq(), 9u);
+  }
+  auto reopened = journal::FileStorage::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  journal::Wal wal(*reopened.value());
+  const auto& scan = wal.recovery_scan();
+  ASSERT_TRUE(scan.tail.ok());
+  ASSERT_EQ(scan.records.size(), 4u);
+  EXPECT_EQ(scan.records.front().seq, 5u);
+  EXPECT_EQ(scan.records.back().seq, 8u);
+  EXPECT_FALSE(std::filesystem::exists(journal::ReplaceTmpPath(path)));
+}
+
+TEST(Wal, BackgroundCompactionDropsThePrefixOffTheServePath) {
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  wal.StartBackgroundCompaction();
+  EXPECT_TRUE(wal.background_compaction());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+  ASSERT_TRUE(wal.Compact(6).ok());  // returns immediately; the worker rewrites
+  wal.WaitForCompaction();
+  auto scan = journal::Wal::Scan(storage);
+  ASSERT_TRUE(scan.tail.ok());
+  ASSERT_EQ(scan.records.size(), 4u);
+  EXPECT_EQ(scan.records.front().seq, 7u);
+  EXPECT_GE(wal.compactions(), 1u);
+  EXPECT_GT(wal.reclaimed_bytes(), 0u);
+  // Appends continue seamlessly after the install.
+  ASSERT_TRUE(wal.Append(Payload(10)).ok());
+  scan = journal::Wal::Scan(storage);
+  ASSERT_TRUE(scan.tail.ok());
+  EXPECT_EQ(scan.records.back().seq, 11u);
+  wal.StopBackgroundCompaction();
+}
+
+TEST(Wal, BackgroundCompactionRacesAppendsSafely) {
+  // Appends keep flowing while the worker scans and installs; every record
+  // above the last floor must survive, in sequence, at every interleaving
+  // the scheduler produces (TSan covers the data-race side on CI).
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  auto storage = journal::FileStorage::Open(tmp.Path("race.log"));
+  ASSERT_TRUE(storage.ok());
+  journal::Wal wal(*storage.value());
+  wal.StartBackgroundCompaction();
+  std::uint64_t floor = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::vector<std::uint8_t>> batch;
+    for (int i = 0; i < 8; ++i) batch.push_back(Payload(round * 8 + i));
+    ASSERT_TRUE(wal.AppendBatch(batch).ok());
+    floor = wal.next_seq() - 5;  // keep a small suffix live
+    ASSERT_TRUE(wal.Compact(floor).ok());
+  }
+  wal.WaitForCompaction();
+  const auto scan = journal::Wal::Scan(wal.storage());
+  ASSERT_TRUE(scan.tail.ok());
+  ASSERT_FALSE(scan.records.empty());
+  EXPECT_GT(scan.records.front().seq, 0u);
+  EXPECT_LE(scan.records.front().seq, floor + 1);
+  EXPECT_EQ(scan.records.back().seq, wal.next_seq() - 1);
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    EXPECT_EQ(scan.records[i].seq, scan.records[i - 1].seq + 1);
+  }
+  wal.StopBackgroundCompaction();
+}
+
+TEST(Wal, CrashMidBackgroundCompactionOldLogWins) {
+  // Model the crash window between "worker wrote the tmp file" and "worker
+  // renamed it": the tmp exists, the log is untouched. Reopen must recover
+  // the FULL uncompacted log and discard the tmp.
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::string path = tmp.Path("midcompact.log");
+  {
+    auto storage = journal::FileStorage::Open(path);
+    ASSERT_TRUE(storage.ok());
+    journal::Wal wal(*storage.value());
+    for (int i = 0; i < 6; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+  }
+  {
+    // The dead compactor's tmp: a plausible-looking but never-renamed file.
+    std::ofstream stale(journal::ReplaceTmpPath(path), std::ios::binary);
+    stale << "compacted bytes that never got installed";
+  }
+  auto reopened = journal::FileStorage::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  journal::Wal wal(*reopened.value());
+  ASSERT_TRUE(wal.recovery_scan().tail.ok());
+  EXPECT_EQ(wal.recovery_scan().records.size(), 6u) << "the old log wins until the rename";
+  EXPECT_FALSE(std::filesystem::exists(journal::ReplaceTmpPath(path)));
+}
+
+TEST(Snapshot, WriteIsAtomicOverFiles) {
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  const std::string path = tmp.Path("snap");
+  auto storage = journal::FileStorage::Open(path);
+  ASSERT_TRUE(storage.ok());
+  const std::vector<std::uint8_t> state_a = {1, 2, 3};
+  const std::vector<std::uint8_t> state_b = {4, 5, 6, 7};
+  ASSERT_TRUE(journal::SnapshotWriter::Write(*storage.value(), 10, state_a).ok());
+  ASSERT_TRUE(journal::SnapshotWriter::Write(*storage.value(), 20, state_b).ok());
+  auto snapshot = journal::SnapshotReader::Read(*storage.value());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().last_included_seq, 20u);
+  EXPECT_EQ(snapshot.value().state, state_b);
+  EXPECT_EQ(storage.value()->durable_size(), storage.value()->size());
+  // Reopen: the rename committed.
+  auto reopened = journal::FileStorage::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  auto again = journal::SnapshotReader::Read(*reopened.value());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().last_included_seq, 20u);
 }
 
 TEST(Crc32c, MatchesKnownVector) {

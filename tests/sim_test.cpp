@@ -3,7 +3,11 @@
 // availability math (Fig. 15), traffic matrices, and the DCN flow simulator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "sim/availability.h"
 #include "sim/collective.h"
@@ -392,6 +396,119 @@ TEST(Dcn, TrunksSymmetric) {
     for (int b = 0; b < 8; ++b) {
       EXPECT_DOUBLE_EQ(topo.TrunkCapacity(a, b), topo.TrunkCapacity(b, a));
     }
+  }
+}
+
+/// Reference construction for the proportional-fit regression test: the
+/// identical EngineeredMesh pipeline with the fit frozen at a fixed blind
+/// iteration count (the historical behavior before the convergence-driven
+/// termination). Returns the dense trunk matrix.
+std::vector<double> ReferenceEngineeredTrunks(int blocks, double uplink_gbps,
+                                              const TrafficMatrix& forecast,
+                                              double uniform_floor_fraction,
+                                              int fit_iterations) {
+  const double floor_per_trunk = uplink_gbps * uniform_floor_fraction / (blocks - 1);
+  std::vector<double> alloc(static_cast<std::size_t>(blocks) * blocks, 0.0);
+  for (int a = 0; a < blocks; ++a) {
+    const double row = forecast.RowSum(a);
+    const double budget = uplink_gbps * (1.0 - uniform_floor_fraction);
+    for (int b = 0; b < blocks; ++b) {
+      if (a == b) continue;
+      const double share = row > 0.0 ? forecast.at(a, b) / row : 1.0 / (blocks - 1);
+      alloc[static_cast<std::size_t>(a) * blocks + b] = floor_per_trunk + budget * share;
+    }
+  }
+  std::vector<double> trunk(static_cast<std::size_t>(blocks) * blocks, 0.0);
+  for (int a = 0; a < blocks; ++a) {
+    for (int b = a + 1; b < blocks; ++b) {
+      const double sym = std::max(alloc[static_cast<std::size_t>(a) * blocks + b],
+                                  alloc[static_cast<std::size_t>(b) * blocks + a]);
+      trunk[static_cast<std::size_t>(a) * blocks + b] = sym;
+      trunk[static_cast<std::size_t>(b) * blocks + a] = sym;
+    }
+  }
+  auto row_sum = [&](int a) {
+    double row = 0.0;
+    for (int b = 0; b < blocks; ++b) row += trunk[static_cast<std::size_t>(a) * blocks + b];
+    return row;
+  };
+  for (int iter = 0; iter < fit_iterations; ++iter) {
+    std::vector<double> factor(static_cast<std::size_t>(blocks), 1.0);
+    for (int a = 0; a < blocks; ++a) {
+      const double row = row_sum(a);
+      if (row > 0.0) factor[static_cast<std::size_t>(a)] = std::sqrt(uplink_gbps / row);
+    }
+    for (int a = 0; a < blocks; ++a) {
+      for (int b = 0; b < blocks; ++b) {
+        trunk[static_cast<std::size_t>(a) * blocks + b] *=
+            factor[static_cast<std::size_t>(a)] * factor[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  std::vector<double> clamp(static_cast<std::size_t>(blocks), 1.0);
+  for (int a = 0; a < blocks; ++a) {
+    const double row = row_sum(a);
+    if (row > uplink_gbps) clamp[static_cast<std::size_t>(a)] = uplink_gbps / row;
+  }
+  for (int a = 0; a < blocks; ++a) {
+    for (int b = 0; b < blocks; ++b) {
+      trunk[static_cast<std::size_t>(a) * blocks + b] *=
+          std::min(clamp[static_cast<std::size_t>(a)], clamp[static_cast<std::size_t>(b)]);
+    }
+  }
+  return trunk;
+}
+
+TEST(Dcn, EngineeredMeshFitConvergesAndMatchesReference) {
+  // Regression for the convergence-driven proportional fit: where the old
+  // fixed-25-iteration loop had already converged, the new termination rule
+  // must land on the same trunks (no behavior change on healthy inputs) —
+  // and it must actually CONVERGE: every block's row sum ends within
+  // tolerance of the full port budget, not merely close.
+  const double uplink = 1000.0;
+  for (const std::uint64_t seed : {13ull, 29ull, 47ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    common::Rng rng(seed);
+    const int n = 12;
+    const auto demand = HotspotTraffic(n, n * 400.0, 4, 0.5, rng);
+    const auto topo = DcnTopology::EngineeredMesh(n, uplink, demand);
+    const auto reference = ReferenceEngineeredTrunks(n, uplink, demand, 0.2, 25);
+    // Pin against the historical output: the termination change may only
+    // refine the tail of the fit (sub-1e-3 of a trunk), never redesign the
+    // topology. (On slow-mixing inputs 25 iterations stopped ~1e-5 short of
+    // the fixed point — that residual is the bug being fixed, so exact
+    // equality is deliberately NOT required.)
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (a == b) continue;
+        EXPECT_NEAR(topo.TrunkCapacity(a, b),
+                    reference[static_cast<std::size_t>(a) * n + b], 1e-3 * uplink)
+            << "trunk " << a << "->" << b;
+      }
+    }
+    // And it must end MORE converged than the blind loop, never less: the
+    // worst row-sum deviation from the port budget shrinks (or ties).
+    auto worst_residual = [&](auto&& trunk_at) {
+      double worst = 0.0;
+      for (int a = 0; a < n; ++a) {
+        double row = 0.0;
+        for (int b = 0; b < n; ++b) {
+          if (a != b) row += trunk_at(a, b);
+        }
+        worst = std::max(worst, std::abs(row - uplink) / uplink);
+        // The clamp still binds: no block oversubscribes its ports.
+        EXPECT_LE(row, uplink * (1.0 + 1e-6)) << "block " << a << " oversubscribes";
+      }
+      return worst;
+    };
+    const double new_residual =
+        worst_residual([&](int a, int b) { return topo.TrunkCapacity(a, b); });
+    const double old_residual = worst_residual([&](int a, int b) {
+      return reference[static_cast<std::size_t>(a) * n + b];
+    });
+    EXPECT_LE(new_residual, old_residual + 1e-12);
+    // Converged outright: every block ends within a hair of full budget use.
+    EXPECT_LT(new_residual, 1e-6);
   }
 }
 

@@ -1,0 +1,35 @@
+// Shared tmpdir scaffolding for the file-backed durability tests
+// (journal_test, svc_test, fleet_test): a per-test temporary directory for
+// FileStorage devices, removed recursively on destruction.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace lightwave::testutil {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/lw_storage_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    dir_ = dir == nullptr ? "" : dir;
+  }
+  ~TempDir() {
+    if (!dir_.empty()) {
+      std::error_code ec;  // best-effort; never throw from a test teardown
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  bool ok() const { return !dir_.empty(); }
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace lightwave::testutil

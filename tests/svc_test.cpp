@@ -7,11 +7,17 @@
 // deterministic parallel runtime at 1/2/8 threads with identical results.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/parallel.h"
+#include "journal/faulty_storage.h"
+#include "journal/file_storage.h"
+#include "storage_test_util.h"
 #include "core/scheduler.h"
 #include "ctrl/controller.h"
 #include "ctrl/fault_injector.h"
@@ -181,6 +187,257 @@ TEST(CrashMatrix, DeterministicAcrossThreadCounts) {
   common::parallel::SetThreads(original);
   EXPECT_EQ(digests[0], digests[1]);
   EXPECT_EQ(digests[0], digests[2]);
+}
+
+// ---------------------------------------------------------------------------
+// File-backed durability: the same crash matrix over real files, plus the
+// power-cut cases only FaultyStorage can model (torn final append, lost
+// sync window).
+
+/// One FILE-BACKED matrix cell: the same protocol as RunCrashTrial, but the
+/// two storages are real files that outlive the crashed "process" (whose
+/// fds close with it) and are REOPENED by the successor — the recovery path
+/// production would take.
+TrialResult RunFileCrashTrial(CrashPoint point, std::uint64_t k,
+                              const std::string& wal_path,
+                              const std::string& snap_path) {
+  TrialResult result;
+  ctrl::FaultInjector injector(7, ctrl::FaultProfile{});
+  const journal::FileStorageOptions file_options;  // kGroupCommit default
+
+  {
+    auto wal_storage = journal::FileStorage::Open(wal_path, file_options);
+    auto snapshot_storage = journal::FileStorage::Open(snap_path, file_options);
+    if (!wal_storage.ok() || !snapshot_storage.ok()) return result;
+    auto pod = FreshPod();
+    svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                              *wal_storage.value(), *snapshot_storage.value(),
+                              MatrixOptions());
+    service.SetFaultInjector(&injector);
+    if (!service.Recover().ok()) return result;
+    injector.ArmCrash(point, k);
+    result.crashed = service.Serve(Stream()).crashed;
+    // Process death: fds close, files stay.
+  }
+
+  auto wal_storage = journal::FileStorage::Open(wal_path, file_options);
+  auto snapshot_storage = journal::FileStorage::Open(snap_path, file_options);
+  if (!wal_storage.ok() || !snapshot_storage.ok()) return result;
+  auto pod = FreshPod();
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                            *wal_storage.value(), *snapshot_storage.value(),
+                            MatrixOptions());
+  service.SetFaultInjector(&injector);
+  auto recovery = service.Recover();
+  result.recovery_ok = recovery.ok();
+  if (!recovery.ok()) return result;
+  result.committed_after_crash = service.next_command_id() - 1;
+  result.recovered_digest = service.SerializeState();
+
+  auto served = service.Serve(Stream());
+  if (served.crashed) return result;
+  result.final_digest = service.SerializeState();
+  result.invariants_ok = service.scheduler().ValidateInvariants().ok();
+  for (int i = 0; result.invariants_ok && i < pod->ocs_count(); ++i) {
+    result.invariants_ok = pod->ocs(i).ValidateInvariants().ok();
+  }
+  return result;
+}
+
+TEST(CrashMatrixFile, EveryBoundaryEveryCrashPointOnRealFiles) {
+  OracleDigests();  // build serially before fanning out
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  for (CrashPoint point : {CrashPoint::kPreAppend, CrashPoint::kPostAppendPreApply,
+                           CrashPoint::kMidApply}) {
+    auto results =
+        common::parallel::ParallelMap(kCommands, [&](std::uint64_t i) {
+          const std::string stem = "p" + std::to_string(static_cast<int>(point)) +
+                                   "_" + std::to_string(i);
+          return RunFileCrashTrial(point, i + 1, tmp.Path(stem + ".wal"),
+                                   tmp.Path(stem + ".snap"));
+        });
+    for (std::uint64_t i = 0; i < kCommands; ++i) {
+      CheckTrial(point, i + 1, results[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+/// Copies `image` over the file at `path` (the restore step of the tear
+/// sweep: every tear offset starts from the same captured device image).
+void RestoreImage(const std::string& path, const std::vector<std::uint8_t>& image) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(image.data()),
+          static_cast<std::streamsize>(image.size()));
+}
+
+std::vector<std::uint8_t> CaptureImage(const journal::FileStorage& storage) {
+  std::vector<std::uint8_t> image(storage.size());
+  if (!image.empty()) storage.ReadAt(0, image.size(), image.data());
+  return image;
+}
+
+TEST(CrashMatrixFile, TearingTheFinalAppendAtEveryByte) {
+  // A power cut can stop the final append at ANY byte. For representative
+  // command boundaries (first command, right after a snapshot/compaction
+  // cycle, mid-run, last command — none a multiple of the snapshot interval,
+  // so the final append is a plain record), tear at every byte k of that
+  // append and require: recovery yields exactly the previous boundary,
+  // byte-identical to the oracle; a partial tear is diagnosed as a clean
+  // TRUNCATION (never corruption); resubmission converges on the oracle.
+  OracleDigests();
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  for (const std::uint64_t boundary : {1ull, 17ull, 50ull, 157ull, 200ull}) {
+    SCOPED_TRACE("boundary " + std::to_string(boundary));
+    // Run the first boundary-1 commands once; capture both device images.
+    std::vector<std::uint8_t> wal_image;
+    std::vector<std::uint8_t> snap_image;
+    const std::string stem = "b" + std::to_string(boundary);
+    {
+      auto wal_storage = journal::FileStorage::Open(tmp.Path(stem + "_prefix.wal"));
+      auto snapshot_storage = journal::FileStorage::Open(tmp.Path(stem + "_prefix.snap"));
+      ASSERT_TRUE(wal_storage.ok() && snapshot_storage.ok());
+      auto pod = FreshPod();
+      svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                                *wal_storage.value(), *snapshot_storage.value(),
+                                MatrixOptions());
+      ASSERT_TRUE(service.Recover().ok());
+      for (std::uint64_t i = 0; i + 1 < boundary; ++i) {
+        ASSERT_TRUE(service.Submit(Stream().Command(i)).ok());
+        ASSERT_TRUE(service.ProcessOne());
+      }
+      wal_image = CaptureImage(*wal_storage.value());
+      snap_image = CaptureImage(*snapshot_storage.value());
+    }
+    // Discover the final append's frame size by running command `boundary`
+    // once through a FaultyStorage observer.
+    std::uint64_t frame = 0;
+    {
+      RestoreImage(tmp.Path("probe.wal"), wal_image);
+      RestoreImage(tmp.Path("probe.snap"), snap_image);
+      auto wal_storage = journal::FileStorage::Open(tmp.Path("probe.wal"));
+      auto snapshot_storage = journal::FileStorage::Open(tmp.Path("probe.snap"));
+      ASSERT_TRUE(wal_storage.ok() && snapshot_storage.ok());
+      journal::FaultyStorage faulty(*wal_storage.value(),
+                                    journal::FaultyStorage::SyncMode::kNever);
+      auto pod = FreshPod();
+      svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable, faulty,
+                                *snapshot_storage.value(), MatrixOptions());
+      ASSERT_TRUE(service.Recover().ok());
+      ASSERT_TRUE(service.Submit(Stream().Command(boundary - 1)).ok());
+      ASSERT_TRUE(service.ProcessOne());
+      frame = faulty.final_append_bytes();
+    }
+    ASSERT_GT(frame, 0u);
+    for (std::uint64_t keep = 0; keep <= frame; ++keep) {
+      SCOPED_TRACE("keep " + std::to_string(keep) + " of " + std::to_string(frame));
+      const std::string wal_path = tmp.Path("tear.wal");
+      const std::string snap_path = tmp.Path("tear.snap");
+      RestoreImage(wal_path, wal_image);
+      RestoreImage(snap_path, snap_image);
+      {
+        auto wal_storage = journal::FileStorage::Open(wal_path);
+        auto snapshot_storage = journal::FileStorage::Open(snap_path);
+        ASSERT_TRUE(wal_storage.ok() && snapshot_storage.ok());
+        journal::FaultyStorage faulty(*wal_storage.value(),
+                                      journal::FaultyStorage::SyncMode::kNever);
+        auto pod = FreshPod();
+        svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                                  faulty, *snapshot_storage.value(), MatrixOptions());
+        ASSERT_TRUE(service.Recover().ok());
+        ASSERT_TRUE(service.Submit(Stream().Command(boundary - 1)).ok());
+        ASSERT_TRUE(service.ProcessOne());
+        faulty.CrashTearingFinalAppend(keep);
+      }
+      // The successor process.
+      auto wal_storage = journal::FileStorage::Open(wal_path);
+      auto snapshot_storage = journal::FileStorage::Open(snap_path);
+      ASSERT_TRUE(wal_storage.ok() && snapshot_storage.ok());
+      auto pod = FreshPod();
+      svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                                *wal_storage.value(), *snapshot_storage.value(),
+                                MatrixOptions());
+      auto recovery = service.Recover();
+      ASSERT_TRUE(recovery.ok());
+      const std::uint64_t expected = keep == frame ? boundary : boundary - 1;
+      EXPECT_EQ(service.next_command_id() - 1, expected);
+      EXPECT_EQ(service.SerializeState(), OracleDigests()[expected]);
+      // Tail diagnosis: a tear strictly inside the append is a TRUNCATION
+      // (the expected crash artifact); at either boundary the log is clean.
+      if (keep == 0 || keep == frame) {
+        EXPECT_TRUE(recovery.value().wal_clean);
+        EXPECT_EQ(recovery.value().tail_truncations, 0u);
+      } else {
+        EXPECT_EQ(recovery.value().tail_truncations, 1u);
+        EXPECT_GT(recovery.value().torn_bytes_discarded, 0u);
+      }
+      EXPECT_EQ(recovery.value().tail_corruptions, 0u)
+          << "a torn append must never read as corruption";
+      // Resubmission converges (spot-checked: the full-stream resume is the
+      // expensive half of the trial).
+      if (keep == 0 || keep == frame || keep == frame / 2) {
+        auto served = service.Serve(Stream());
+        ASSERT_FALSE(served.crashed);
+        EXPECT_EQ(service.SerializeState(), OracleDigests()[kCommands]);
+      }
+    }
+  }
+}
+
+TEST(FleetServiceFile, PeriodicPolicyLosesOnlyTheOpenSyncWindow) {
+  // kPeriodic with a never-elapsing interval: appends are never fsynced, so
+  // a power cut takes back EVERYTHING since the last durable event — which
+  // is the snapshot/compaction cycle (snapshots replace atomically and
+  // compaction truncates durably, under every policy). Commands past the
+  // last snapshot vanish; the snapshot itself must survive.
+  OracleDigests();
+  testutil::TempDir tmp;
+  ASSERT_TRUE(tmp.ok());
+  journal::FileStorageOptions periodic;
+  periodic.policy = journal::SyncPolicy::kPeriodic;
+  periodic.periodic_interval = std::chrono::milliseconds(3600 * 1000);
+  constexpr std::uint64_t kRun = 40;          // snapshots at 16 and 32
+  constexpr std::uint64_t kLastSnapshot = 32;  // MatrixOptions interval = 16
+  {
+    auto wal_storage = journal::FileStorage::Open(tmp.Path("window.wal"), periodic);
+    auto snapshot_storage = journal::FileStorage::Open(tmp.Path("window.snap"));
+    ASSERT_TRUE(wal_storage.ok() && snapshot_storage.ok());
+    journal::FaultyStorage faulty(*wal_storage.value(),
+                                  journal::FaultyStorage::SyncMode::kNever);
+    auto pod = FreshPod();
+    svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable, faulty,
+                              *snapshot_storage.value(), MatrixOptions());
+    ASSERT_TRUE(service.Recover().ok());
+    for (std::uint64_t i = 0; i < kRun; ++i) {
+      ASSERT_TRUE(service.Submit(Stream().Command(i)).ok());
+      ASSERT_TRUE(service.ProcessOne());
+    }
+    // The appends after the last compaction were never fsynced under
+    // kPeriodic (only the compactions' durable truncates were).
+    EXPECT_LT(wal_storage.value()->fsync_count(), 5u);
+    faulty.Crash();
+  }
+  auto wal_storage = journal::FileStorage::Open(tmp.Path("window.wal"), periodic);
+  auto snapshot_storage = journal::FileStorage::Open(tmp.Path("window.snap"));
+  ASSERT_TRUE(wal_storage.ok() && snapshot_storage.ok());
+  auto pod = FreshPod();
+  svc::FleetService service(*pod, core::AllocationPolicy::kReconfigurable,
+                            *wal_storage.value(), *snapshot_storage.value(),
+                            MatrixOptions());
+  auto recovery = service.Recover();
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery.value().snapshot_loaded) << "the snapshot survived the cut";
+  EXPECT_EQ(service.next_command_id() - 1, kLastSnapshot);
+  EXPECT_EQ(service.SerializeState(), OracleDigests()[kLastSnapshot]);
+  // The window loss is a CLEAN truncation story: the log rolls back to a
+  // record boundary, so nothing reads as torn, let alone corrupt.
+  EXPECT_TRUE(recovery.value().wal_clean);
+  EXPECT_EQ(recovery.value().tail_corruptions, 0u);
+  // Resubmitting the stream replays the lost window and converges.
+  auto served = service.Serve(Stream());
+  ASSERT_FALSE(served.crashed);
+  EXPECT_EQ(service.SerializeState(), OracleDigests()[kCommands]);
 }
 
 TEST(FleetService, ServesStreamAndSnapshotsCompactTheLog) {
