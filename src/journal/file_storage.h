@@ -26,10 +26,12 @@
 // the old log wins until the rename). Open() removes a stale tmp file, so
 // a crashed rewrite cannot be mistaken for the log.
 //
-// Threading: mutations follow the Storage contract (externally serialized
-// — the Wal's background compactor takes its own lock around them), while
-// concurrent ReadAt of already-written bytes is safe (pread does not move
-// the file offset).
+// Threading: ALL access follows the Storage contract (externally
+// serialized — the Wal's background compactor takes its own lock around
+// every storage call, reads included). ReadAt consults the mutable size
+// bookkeeping, so even a read of already-written bytes races a concurrent
+// Append; callers that want lock-free scanning must copy the bytes out
+// under their serialization first (see Wal::CompactorLoop).
 #pragma once
 
 #include <chrono>

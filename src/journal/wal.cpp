@@ -126,13 +126,32 @@ WalScan Wal::Scan(const Storage& storage) {
     const std::uint64_t length = ReadU32(header.data());
     const std::uint32_t stored_crc = ReadU32(header.data() + 4);
     if (length == 0 && stored_crc == 0) {
-      // A zero-filled tail: some filesystems extend a file with zero pages
-      // on a crash between the size update and the data flush. No record
-      // ever frames as all-zeros (length >= 8), so this is a truncation
-      // artifact, not damage to committed bytes.
-      scan.tail = common::Internal("torn tail: zero-filled tail at offset " +
-                                   std::to_string(offset));
-      scan.tail_kind = WalTailKind::kTruncated;
+      // A zero header is never a legal frame (length >= 8). Some
+      // filesystems extend a file with zero pages on a crash between the
+      // size update and the data flush — but that artifact zeroes every
+      // byte to EOF and only lands above the durable frontier. A zeroed
+      // header INSIDE the durable prefix followed by nonzero bytes means
+      // stable bytes were damaged: that is the corruption alarm, not the
+      // expected truncation artifact.
+      bool rest_zero = true;
+      std::vector<std::uint8_t> rest(static_cast<std::size_t>(remaining - kHeaderBytes));
+      if (!rest.empty()) storage.ReadAt(offset + kHeaderBytes, rest.size(), rest.data());
+      for (const std::uint8_t byte : rest) {
+        if (byte != 0) {
+          rest_zero = false;
+          break;
+        }
+      }
+      if (offset >= storage.durable_size() || rest_zero) {
+        scan.tail = common::Internal("torn tail: zero-filled tail at offset " +
+                                     std::to_string(offset));
+        scan.tail_kind = WalTailKind::kTruncated;
+      } else {
+        scan.tail = common::Internal(
+            "torn tail: zeroed record header amid nonzero durable bytes at offset " +
+            std::to_string(offset));
+        scan.tail_kind = WalTailKind::kCorrupt;
+      }
       scan.valid_bytes = offset;
       return scan;
     }
@@ -278,13 +297,12 @@ common::Result<std::uint64_t> Wal::AppendBatch(
   return first_seq;
 }
 
-std::uint64_t Wal::CutOffset(std::uint64_t limit, std::uint64_t upto_seq) const {
+std::uint64_t Wal::CutOffset(const std::uint8_t* data, std::uint64_t limit,
+                             std::uint64_t upto_seq) {
   std::uint64_t offset = 0;
   while (offset + kHeaderBytes + kSeqBytes <= limit) {
-    std::array<std::uint8_t, kHeaderBytes + kSeqBytes> head{};
-    storage_.ReadAt(offset, head.size(), head.data());
-    const std::uint64_t length = ReadU32(head.data());
-    const std::uint64_t seq = ReadU64(head.data() + kHeaderBytes);
+    const std::uint64_t length = ReadU32(data + offset);
+    const std::uint64_t seq = ReadU64(data + offset + kHeaderBytes);
     // Appends always leave the prefix boundary-valid; a malformed frame
     // here means the walk itself is off the rails, so stop compacting
     // rather than rewrite garbage.
@@ -321,15 +339,16 @@ void Wal::CompactNow(std::uint64_t upto_seq) {
       // sequence is next_seq_ - 1 by construction. Truncation is durable.
       storage_.Truncate(0);
     } else {
-      const std::uint64_t cut = CutOffset(before, upto_seq);
+      std::vector<std::uint8_t> log(static_cast<std::size_t>(before));
+      storage_.ReadAt(0, log.size(), log.data());
+      const std::uint64_t cut = CutOffset(log.data(), before, upto_seq);
       if (cut > 0) {
         // Rewrite = keep the raw suffix bytes verbatim (framing is
         // position-independent) and install them atomically: over files
         // the old log stays intact until the rename, so a crash at any
         // byte of the rewrite recovers from the uncompacted log.
-        std::vector<std::uint8_t> keep(static_cast<std::size_t>(before - cut));
-        if (!keep.empty()) storage_.ReadAt(cut, keep.size(), keep.data());
-        storage_.ReplaceContents(keep.data(), keep.size());
+        storage_.ReplaceContents(log.data() + cut,
+                                 static_cast<std::size_t>(before - cut));
       }
     }
   }
@@ -378,16 +397,26 @@ void Wal::CompactorLoop() {
       pending_floor_ = 0;
       compacting_ = true;
     }
-    // Freeze the prefix, then scan it WITHOUT the lock: appends only add
-    // bytes past the freeze point and never move existing ones, and
-    // concurrent reads below the frontier are safe on both storage kinds.
-    // The serve path only ever blocks for the brief install below.
+    // Freeze the prefix and COPY it out under the lock, then walk the copy
+    // without it. The storage itself is never read unlocked: ReadAt
+    // consults mutable size bookkeeping on FileStorage and the backing
+    // vector on MemStorage, both of which a concurrent Append mutates.
+    // The copy is one bulk read — cheaper than the fsync every append
+    // already pays under this lock — so the serve path only blocks for
+    // that and the brief install below, never for the record walk.
     std::uint64_t frozen = 0;
     {
       lw::MutexLock lock(compact_mu_);
       frozen = storage_.size();
     }
-    const std::uint64_t cut = CutOffset(frozen, floor);
+    // Allocate off the lock; appends only grow the storage, so [0, frozen)
+    // stays readable when we re-take it.
+    std::vector<std::uint8_t> prefix(static_cast<std::size_t>(frozen));
+    {
+      lw::MutexLock lock(compact_mu_);
+      if (frozen > 0) storage_.ReadAt(0, prefix.size(), prefix.data());
+    }
+    const std::uint64_t cut = CutOffset(prefix.data(), frozen, floor);
     {
       lw::MutexLock lock(compact_mu_);
       const std::uint64_t before = storage_.size();
@@ -417,15 +446,28 @@ void Wal::SetNextSeq(std::uint64_t next_seq) {
 }
 
 void Wal::AttachTelemetry(telemetry::Hub* hub) {
-  if (hub == nullptr) {
-    bytes_counter_ = append_counter_ = compaction_counter_ = reclaimed_counter_ = nullptr;
-    return;
+  telemetry::Counter* bytes = nullptr;
+  telemetry::Counter* appends = nullptr;
+  telemetry::Counter* compactions = nullptr;
+  telemetry::Counter* reclaimed = nullptr;
+  if (hub != nullptr) {
+    // Resolve the counters before taking compact_mu_ (GetCounter locks the
+    // registry; keep the two locks unnested).
+    auto& metrics = hub->metrics();
+    bytes = &metrics.GetCounter("lightwave_journal_bytes_total");
+    appends = &metrics.GetCounter("lightwave_journal_appends_total");
+    compactions = &metrics.GetCounter("lightwave_journal_compactions_total");
+    reclaimed = &metrics.GetCounter("lightwave_journal_reclaimed_bytes_total");
   }
-  auto& metrics = hub->metrics();
-  bytes_counter_ = &metrics.GetCounter("lightwave_journal_bytes_total");
-  append_counter_ = &metrics.GetCounter("lightwave_journal_appends_total");
-  compaction_counter_ = &metrics.GetCounter("lightwave_journal_compactions_total");
-  reclaimed_counter_ = &metrics.GetCounter("lightwave_journal_reclaimed_bytes_total");
+  // The background worker dereferences the compaction counters under
+  // compact_mu_; swapping under the same lock makes attach/detach safe
+  // while it runs. The append-path counters are serve-path state, already
+  // covered by the Wal's external-serialization contract.
+  lw::MutexLock lock(compact_mu_);
+  bytes_counter_ = bytes;
+  append_counter_ = appends;
+  compaction_counter_ = compactions;
+  reclaimed_counter_ = reclaimed;
 }
 
 }  // namespace lightwave::journal

@@ -30,10 +30,12 @@
 // the log on the calling thread via Storage::ReplaceContents — atomic over
 // files (write-to-temp + rename), so a crash at any byte of the rewrite
 // leaves the OLD log intact. Background (StartBackgroundCompaction):
-// Compact() just records the floor and returns; a dedicated thread scans
-// the frozen prefix without blocking appends and installs the compacted
-// log under a brief lock — compaction is off the serve path entirely. The
-// crash rule is the same in both modes: the old log wins until the rename.
+// Compact() just records the floor and returns; a dedicated thread copies
+// the frozen prefix out under a brief lock, walks the copy unlocked, and
+// installs the compacted log under the lock again — the record walk is off
+// the serve path, which only ever blocks for the bulk copy and the
+// install. The crash rule is the same in both modes: the old log wins
+// until the rename.
 #pragma once
 
 #include <cstdint>
@@ -147,11 +149,11 @@ class Wal {
   common::Status Compact(std::uint64_t upto_seq);
 
   /// Moves compaction off the serve path: after this, Compact() only
-  /// enqueues the floor and a dedicated thread does the rewrite — scanning
-  /// the frozen log prefix WITHOUT blocking appends, then installing the
-  /// compacted log (atomic rename over files) under a brief lock. Safe to
-  /// call once, before or between serving; appenders may keep appending
-  /// throughout.
+  /// enqueues the floor and a dedicated thread does the rewrite — copying
+  /// the frozen log prefix out under a brief lock, walking the copy
+  /// without blocking appends, then installing the compacted log (atomic
+  /// rename over files) under the lock again. Safe to call once, before or
+  /// between serving; appenders may keep appending throughout.
   void StartBackgroundCompaction();
 
   /// Drains any pending compaction, then joins the thread. Idempotent;
@@ -185,8 +187,8 @@ class Wal {
 
   /// Mirrors append/compaction activity into `hub` (nullptr detaches):
   /// lightwave_journal_bytes_total, appends, compactions, reclaimed bytes.
-  /// Attach before StartBackgroundCompaction (the worker caches the
-  /// counter pointers).
+  /// Safe to call while the background compactor runs (the pointer swap
+  /// synchronizes with the worker under compact_mu_).
   void AttachTelemetry(telemetry::Hub* hub);
 
  private:
@@ -194,14 +196,17 @@ class Wal {
   /// two paths cannot drift).
   void FrameRecord(std::uint64_t seq, const std::vector<std::uint8_t>& payload,
                    std::vector<std::uint8_t>* out) const;
-  /// The actual rewrite. Inline mode calls it on the Compact() caller;
-  /// background mode calls it on the worker (which holds compact_mu_ only
-  /// around the storage mutation, not the scan).
+  /// The actual rewrite, inline mode only (runs on the Compact() caller
+  /// under the Wal's external serialization; the background worker has its
+  /// own copy-then-install loop).
   void CompactNow(std::uint64_t upto_seq);
-  /// Walks frames over storage bytes [0, limit) and returns the offset of
-  /// the first record with seq > upto_seq (== limit when none). The prefix
-  /// must be boundary-valid (appends always leave it so).
-  std::uint64_t CutOffset(std::uint64_t limit, std::uint64_t upto_seq) const;
+  /// Walks frames over `data[0, limit)` and returns the offset of the
+  /// first record with seq > upto_seq (== limit when none). The prefix
+  /// must be boundary-valid (appends always leave it so). Pure buffer
+  /// walk: callers copy the bytes out of the storage first, so the walk
+  /// never races a concurrent append.
+  static std::uint64_t CutOffset(const std::uint8_t* data, std::uint64_t limit,
+                                 std::uint64_t upto_seq);
   void CompactorLoop();
 
   Storage& storage_;
@@ -222,14 +227,17 @@ class Wal {
   telemetry::Counter* reclaimed_counter_ = nullptr;
 
   // --- background compaction ------------------------------------------------
-  // While the compactor runs, every storage mutation (the append path's
-  // write+sync, the worker's install) happens under compact_mu_; the
-  // worker's SCAN of the frozen prefix runs without it (appends only add
-  // bytes past the freeze point, and concurrent ReadAt below it is safe on
-  // both storage kinds). The counters the worker updates (compactions_,
-  // reclaimed_bytes_) are written under the lock too; readers quiesce via
-  // WaitForCompaction() first. With the compactor off, none of this locks
-  // (the Wal keeps its documented externally-serialized contract).
+  // While the compactor runs, every storage ACCESS (the append path's
+  // write+sync, the worker's prefix copy and install) happens under
+  // compact_mu_ — ReadAt is not safe against a concurrent Append on either
+  // storage kind (FileStorage consults mutable size bookkeeping;
+  // MemStorage's backing vector can reallocate), so the worker copies the
+  // frozen prefix out under the lock and walks the COPY without it. The
+  // counters the worker updates (compactions_, reclaimed_bytes_, and the
+  // telemetry pointers AttachTelemetry swaps) are written under the lock
+  // too; readers quiesce via WaitForCompaction() first. With the compactor
+  // off, only AttachTelemetry locks (the Wal keeps its documented
+  // externally-serialized contract).
   mutable lw::Mutex compact_mu_{"journal.wal.compact", lw::rank::kWalCompact};
   lw::CondVar compact_cv_;
   std::thread compactor_;

@@ -728,6 +728,40 @@ TEST(Wal, TailKindSplitsTruncationFromCorruption) {
   EXPECT_EQ(scan.tail_kind, journal::WalTailKind::kCorrupt);
 }
 
+TEST(Wal, ZeroedHeaderInsideDurablePrefixIsCorruption) {
+  // A device zeroing header bytes that were already durable (MemStorage:
+  // durable_size == size) must raise the corruption alarm — the bytes
+  // after the zeroed header are nonzero, so this is not the filesystem
+  // zero-extension artifact.
+  journal::MemStorage damaged = LogWith(4);
+  for (std::size_t i = 0; i < 8; ++i) damaged.bytes()[i] = 0;
+  const auto scan = journal::Wal::Scan(damaged);
+  ASSERT_FALSE(scan.tail.ok());
+  EXPECT_EQ(scan.tail_kind, journal::WalTailKind::kCorrupt);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST(Wal, ZeroedHeaderAboveDurableFrontierIsTruncation) {
+  // Above the durable frontier nothing was ever promised: a zeroed header
+  // there is the expected crash artifact even when stray nonzero bytes
+  // follow it (a torn page mix), so it must NOT count as corruption.
+  journal::MemStorage mem;
+  {
+    journal::Wal wal(mem);
+    for (int i = 0; i < 2; ++i) ASSERT_TRUE(wal.Append(Payload(i)).ok());
+  }
+  journal::FaultyStorage faulty(mem);  // frontier pinned at the current size
+  for (int i = 0; i < 8; ++i) mem.bytes().push_back(0);
+  mem.bytes().push_back(0xAB);
+  mem.bytes().push_back(0xCD);
+  const auto scan = journal::Wal::Scan(faulty);
+  ASSERT_FALSE(scan.tail.ok());
+  EXPECT_EQ(scan.tail_kind, journal::WalTailKind::kTruncated);
+  EXPECT_EQ(scan.valid_bytes, faulty.durable_size());
+  EXPECT_EQ(scan.records.size(), 2u);
+}
+
 TEST(Replay, SplitsTailCountersByKindAndRecordsMetrics) {
   // Truncated tail -> tail_truncations, not corruptions.
   {
@@ -854,6 +888,27 @@ TEST(Wal, BackgroundCompactionRacesAppendsSafely) {
     EXPECT_EQ(scan.records[i].seq, scan.records[i - 1].seq + 1);
   }
   wal.StopBackgroundCompaction();
+}
+
+TEST(Wal, AttachTelemetryWhileBackgroundCompactorRuns) {
+  // Attaching (and detaching) telemetry mid-flight must synchronize with
+  // the worker's counter updates — TSan on CI checks the data-race side.
+  journal::MemStorage storage;
+  journal::Wal wal(storage);
+  wal.StartBackgroundCompaction();
+  telemetry::Hub hub;
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(wal.Append(Payload(round)).ok());
+    ASSERT_TRUE(wal.Compact(wal.next_seq() - 2).ok());
+    wal.AttachTelemetry(round % 2 == 0 ? &hub : nullptr);
+  }
+  wal.AttachTelemetry(&hub);
+  ASSERT_TRUE(wal.Append(Payload(10)).ok());
+  ASSERT_TRUE(wal.Compact(wal.next_seq() - 1).ok());
+  wal.WaitForCompaction();
+  wal.StopBackgroundCompaction();
+  EXPECT_GT(hub.metrics().GetCounter("lightwave_journal_appends_total").value(), 0u);
+  EXPECT_GT(hub.metrics().GetCounter("lightwave_journal_compactions_total").value(), 0u);
 }
 
 TEST(Wal, CrashMidBackgroundCompactionOldLogWins) {
