@@ -1,0 +1,151 @@
+// Collective-backend ablation for the LLM performance model (ROADMAP item
+// 2): re-runs the Table 2 shape sweep and the Fig. 2 multipod scaling sweep
+// under each collective backend — the paper's bidirectional ICI ring, a
+// double-binary-tree, and SwitchML-style in-network aggregation — and asks
+// where the optimal slice shape moves. The ring column reproduces Table 2
+// exactly (the backend is byte-identical to the legacy path) and is gated
+// by scripts/check_bench_regression.py --llm against the committed
+// BENCH_llm.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/table.h"
+#include "sim/collective_backend.h"
+#include "sim/llm_model.h"
+#include "sim/multipod.h"
+#include "tpu/slice.h"
+
+using namespace lightwave;
+using common::Table;
+
+namespace {
+
+const std::vector<sim::CollectiveBackendKind> kKinds = {
+    sim::CollectiveBackendKind::kRing,
+    sim::CollectiveBackendKind::kTree,
+    sim::CollectiveBackendKind::kInNetwork,
+};
+
+/// In-network pool sized for the DCN: at 102.4 Tb/s uplink and a ~101 us
+/// switch round trip the bandwidth-delay product is ~1.3 GB, so the
+/// ICI-tuned default pool (128 x 1 KB) would idle the link waiting for
+/// round trips. 2048 x 1 MB covers the BDP with headroom.
+sim::InNetworkConfig DcnPool() {
+  sim::InNetworkConfig config;
+  config.pool_slots = 2048;
+  config.slot_bytes = 1 << 20;
+  return config;
+}
+
+std::string FmtUs(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", us);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "llm_backends");
+
+  // --- Table 2 per backend ------------------------------------------------------
+  std::printf("=== Table 2 shape sweep per collective backend ===\n");
+  Table table2({"backend", "model", "best shape", "step ms", "speedup vs 16x16x16",
+                "MP comm ms"});
+  const tpu::SliceShape baseline{4, 4, 4};  // 16x16x16 chips
+  for (const auto kind : kKinds) {
+    sim::LlmCalibration cal;
+    cal.collective_backend = sim::MakeCollectiveBackend(kind);
+    const sim::LlmPerfModel model(cal);
+    for (const auto& spec : {sim::Llm0(), sim::Llm1(), sim::Llm2()}) {
+      bench::WallTimer timer;
+      const auto ranked = model.RankShapes(spec, 64);
+      const auto& best = ranked.front();
+      const double baseline_us = model.StepTime(spec, baseline).total_us;
+      const double speedup = baseline_us / best.breakdown.total_us;
+      table2.AddRow({sim::ToString(kind), spec.name, best.shape.ToString(),
+                     Table::Num(best.breakdown.total_us / 1e3, 1), Table::Factor(speedup),
+                     Table::Num(best.breakdown.mp_comm_us / 1e3, 1)});
+      json.Add("table2/" + std::string(sim::ToString(kind)) + "/" + spec.name,
+               "shape=" + best.shape.ToString() +
+                   " step_us=" + FmtUs(best.breakdown.total_us) +
+                   " baseline_us=" + FmtUs(baseline_us),
+               timer.ms());
+    }
+  }
+  std::printf("%s", table2.Render().c_str());
+  std::printf("(the optimum is pinned by the compute mismatch penalty, not the\n"
+              "collective: all three backends pick the same per-workload shape)\n\n");
+
+  // --- Fig. 2 multipod sweep per backend ----------------------------------------
+  std::printf("=== Fig. 2 multipod scaling per DCN backend (LLM1) ===\n");
+  Table scaling({"backend", "pods", "DCN all-reduce ms", "exposed ms", "step ms"});
+  const sim::MultipodTrainer trainer;
+  for (const auto kind : kKinds) {
+    for (int pods : {2, 4, 8, 16, 32, 64}) {
+      bench::WallTimer timer;
+      sim::MultipodConfig config;
+      config.pods = pods;
+      config.dcn_backend = sim::MakeCollectiveBackend(kind, DcnPool());
+      const auto step = trainer.StepTime(sim::Llm1(), config);
+      scaling.AddRow({sim::ToString(kind), std::to_string(pods),
+                      Table::Num(step.dcn_allreduce_us / 1e3, 1),
+                      Table::Num(step.dcn_exposed_us / 1e3, 1),
+                      Table::Num(step.total_us / 1e3, 1)});
+      json.Add("multipod/" + std::string(sim::ToString(kind)) +
+                   "/pods=" + std::to_string(pods),
+               "dcn_us=" + FmtUs(step.dcn_allreduce_us) +
+                   " exposed_us=" + FmtUs(step.dcn_exposed_us) +
+                   " total_us=" + FmtUs(step.total_us),
+               timer.ms());
+    }
+  }
+  std::printf("%s", scaling.Render().c_str());
+  std::printf("(ring/tree DCN time grows with the pod count; in-network aggregation\n"
+              "stays flat — the SwitchML worker-count-independence property at the\n"
+              "DCN level. At the default 60%% overlap budget every backend still\n"
+              "hides under compute, so step times tie; the pool ablation below\n"
+              "shows when they do not)\n\n");
+
+  // --- in-network pool/loss ablation --------------------------------------------
+  std::printf("=== in-network ablation: slot pool and packet loss (8 pods) ===\n");
+  Table ablation({"pool slots", "slot KB", "drop p", "DCN all-reduce ms"});
+  struct PoolPoint {
+    int slots;
+    double slot_bytes;
+    double drop;
+  };
+  const std::vector<PoolPoint> points = {
+      {128, 1024.0, 0.0},      // ICI-tuned default: slot-starved at DCN RTT
+      {2048, 1024.0, 0.0},     // more slots, still far below the BDP
+      {128, 1 << 20, 0.0},     // bigger packets close most of the gap
+      {2048, 1 << 20, 0.0},    // BDP-sized pool: link-bound
+      {2048, 1 << 20, 1e-3},   // SwitchML-style loss recovery penalty
+      {2048, 1 << 20, 1e-2},
+  };
+  for (const auto& point : points) {
+    bench::WallTimer timer;
+    sim::InNetworkConfig pool;
+    pool.pool_slots = point.slots;
+    pool.slot_bytes = point.slot_bytes;
+    pool.drop_probability = point.drop;
+    sim::MultipodConfig config;
+    config.pods = 8;
+    config.dcn_backend =
+        sim::MakeCollectiveBackend(sim::CollectiveBackendKind::kInNetwork, pool);
+    const auto step = trainer.StepTime(sim::Llm1(), config);
+    ablation.AddRow({std::to_string(point.slots), Table::Num(point.slot_bytes / 1024.0, 0),
+                     Table::Num(point.drop, 3),
+                     Table::Num(step.dcn_allreduce_us / 1e3, 1)});
+    json.Add("innetwork_pool/slots=" + std::to_string(point.slots) +
+                 "/kb=" + std::to_string(static_cast<int>(point.slot_bytes / 1024.0)) +
+                 "/p=" + Table::Num(point.drop, 3),
+             "dcn_us=" + FmtUs(step.dcn_allreduce_us), timer.ms());
+  }
+  std::printf("%s", ablation.Render().c_str());
+  std::printf("(the bounded switch pool gates pipeline depth: a pool below the\n"
+              "bandwidth-delay product idles the uplink between round trips)\n");
+  return 0;
+}

@@ -29,6 +29,15 @@ periodic sync policy costs more than the tolerance over the same run's
 journaling-off case. every_append is printed for reference, never gated:
 one fsync per command prices the device, not the journal.
 
+A third mode gates the LLM model outputs in the llm_backends bench. The
+ring-backend Table 2 column is a deterministic model output (the ring
+backend is byte-identical to the legacy closed form), so the optimal shape
+must match the committed baseline exactly and the step times to 1e-9
+relative — machine speed plays no role:
+
+    scripts/check_bench_regression.py --llm-baseline BENCH_llm.json \
+        --llm-current build/BENCH_llm.json
+
 stdlib only; no pip deps.
 """
 
@@ -124,6 +133,70 @@ def check_svc_overhead(report_path: Path, tolerance: float) -> int:
     return 0
 
 
+def llm_ring_cases(report: dict) -> dict[str, dict[str, str]]:
+    """name -> parsed params for the llm_backends ring Table 2 column."""
+    out: dict[str, dict[str, str]] = {}
+    for bench in report.get("benches", []):
+        if bench.get("bench") != "llm_backends":
+            continue
+        for case in bench.get("cases", []):
+            name = case.get("name", "")
+            if not name.startswith("table2/ring/"):
+                continue
+            params = dict(
+                kv.split("=", 1) for kv in case.get("params", "").split() if "=" in kv
+            )
+            out[name] = params
+    return out
+
+
+def check_llm_outputs(baseline_path: Path, current_path: Path) -> int:
+    baseline = llm_ring_cases(json.loads(baseline_path.read_text()))
+    current = llm_ring_cases(json.loads(current_path.read_text()))
+    if not baseline:
+        print("check_bench_regression: no table2/ring cases in baseline", file=sys.stderr)
+        return 1
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"check_bench_regression: llm cases missing from current run: {missing}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'case':<20} {'shape':>10} {'step_us':>22}")
+    for name in sorted(baseline):
+        base, cur = baseline[name], current[name]
+        problems = []
+        if base.get("shape") != cur.get("shape"):
+            problems.append(f"shape {base.get('shape')} -> {cur.get('shape')}")
+        for field in ("step_us", "baseline_us"):
+            try:
+                b, c = float(base[field]), float(cur[field])
+            except (KeyError, ValueError):
+                problems.append(f"{field} unreadable")
+                continue
+            if abs(c - b) > abs(b) * 1e-9:
+                problems.append(f"{field} {b!r} -> {c!r}")
+        flag = ""
+        if problems:
+            failures.append((name, "; ".join(problems)))
+            flag = "  << DRIFT"
+        print(f"{name:<20} {cur.get('shape', '?'):>10} {cur.get('step_us', '?'):>22}{flag}")
+
+    if failures:
+        for name, what in failures:
+            print(f"check_bench_regression: {name}: {what}", file=sys.stderr)
+        print(
+            "check_bench_regression: ring-backend Table 2 outputs drifted from the "
+            "committed baseline (the ring backend must stay byte-identical to the "
+            "legacy path; regenerate BENCH_llm.json only for intentional model changes)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_bench_regression: {len(baseline)} llm cases match the baseline")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path)
@@ -145,8 +218,22 @@ def main(argv: list[str]) -> int:
         default=0.15,
         help="max journaling overhead over the same run's baseline (0.15 = 15%%)",
     )
+    parser.add_argument(
+        "--llm-baseline",
+        type=Path,
+        help="committed BENCH_llm.json to pin the ring-backend Table 2 column against",
+    )
+    parser.add_argument(
+        "--llm-current",
+        type=Path,
+        help="freshly-aggregated BENCH_llm.json to check (requires --llm-baseline)",
+    )
     args = parser.parse_args(argv)
 
+    if (args.llm_baseline is None) != (args.llm_current is None):
+        parser.error("--llm-baseline and --llm-current must be given together")
+    if args.llm_baseline is not None:
+        return check_llm_outputs(args.llm_baseline, args.llm_current)
     if args.svc is not None:
         return check_svc_overhead(args.svc, args.svc_tolerance)
     if args.baseline is None or args.current is None:

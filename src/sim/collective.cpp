@@ -1,14 +1,16 @@
 #include "sim/collective.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "tpu/cube.h"
 
 namespace lightwave::sim {
 
 CollectiveCost RingAllReduce(double bytes, int n, double link_gbps, double hop_latency_us) {
-  assert(n >= 1 && bytes >= 0.0 && link_gbps > 0.0);
+  LW_CHECK(n >= 1) << "ring of " << n << " members";
+  LW_CHECK(bytes >= 0.0) << "negative payload " << bytes;
+  LW_CHECK(link_gbps > 0.0) << "non-positive link rate " << link_gbps;
   if (n == 1) return {};
   CollectiveCost cost;
   // 2(n-1) steps each moving bytes/n; both ring directions are used, so the
@@ -22,7 +24,9 @@ CollectiveCost RingAllReduce(double bytes, int n, double link_gbps, double hop_l
 
 CollectiveCost RingReduceScatter(double bytes, int n, double link_gbps,
                                  double hop_latency_us) {
-  assert(n >= 1 && bytes >= 0.0 && link_gbps > 0.0);
+  LW_CHECK(n >= 1) << "ring of " << n << " members";
+  LW_CHECK(bytes >= 0.0) << "negative payload " << bytes;
+  LW_CHECK(link_gbps > 0.0) << "non-positive link rate " << link_gbps;
   if (n == 1) return {};
   CollectiveCost cost;
   const double gbytes_per_us = 2.0 * link_gbps / 8.0 / 1e6;

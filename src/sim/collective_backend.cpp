@@ -1,0 +1,245 @@
+#include "sim/collective_backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "telemetry/hub.h"
+#include "telemetry/metrics.h"
+
+namespace lightwave::sim {
+namespace {
+
+/// Per-direction link rate in GB per us (Gb/s -> GB/us).
+double GbytesPerUs(double link_gbps) { return link_gbps / 8.0 / 1e6; }
+
+/// ceil(log2(n)) for n >= 1: tree depth of a double binary tree over n.
+int TreeLevels(int n) {
+  int levels = 0;
+  for (int span = 1; span < n; span <<= 1) ++levels;
+  return levels;
+}
+
+void CheckCollectiveArgs(int members, double bytes, const CollectiveLinkProfile& link) {
+  LW_CHECK(members >= 1) << "collective over " << members << " members";
+  LW_CHECK(bytes >= 0.0) << "negative payload " << bytes;
+  LW_CHECK(link.link_gbps > 0.0) << "non-positive link rate " << link.link_gbps;
+  LW_CHECK(link.hop_latency_us >= 0.0) << "negative hop latency " << link.hop_latency_us;
+}
+
+}  // namespace
+
+const char* ToString(CollectiveBackendKind kind) {
+  switch (kind) {
+    case CollectiveBackendKind::kRing:
+      return "ring";
+    case CollectiveBackendKind::kTree:
+      return "tree";
+    case CollectiveBackendKind::kInNetwork:
+      return "innetwork";
+  }
+  return "unknown";
+}
+
+void CollectiveBackend::AttachTelemetry(telemetry::Hub* hub) {
+  if (hub == nullptr) {
+    calls_ = nullptr;
+    time_us_ = nullptr;
+    return;
+  }
+  const telemetry::LabelSet labels = {{"backend", name()}};
+  calls_ = &hub->metrics().GetCounter("lightwave_sim_collectives_total", labels);
+  time_us_ = &hub->metrics().GetHistogram("lightwave_sim_collective_us", labels);
+}
+
+void CollectiveBackend::Record(const CollectiveCost& cost) const {
+  if (calls_ != nullptr) calls_->Inc();
+  if (time_us_ != nullptr) time_us_->Observe(cost.time_us);
+}
+
+// --- ring ------------------------------------------------------------------------
+
+CollectiveCost RingBackend::AllReduceCost(int members, double bytes,
+                                          const CollectiveLinkProfile& link) const {
+  // Delegates to the legacy closed form: the injected-ring path must stay
+  // byte-identical to the pre-backend model.
+  const auto cost = RingAllReduce(bytes, members, link.link_gbps, link.hop_latency_us);
+  Record(cost);
+  return cost;
+}
+
+double RingBackend::SimulateAllReduce(EventQueue& queue, int members, double bytes,
+                                      const CollectiveLinkProfile& link) const {
+  CheckCollectiveArgs(members, bytes, link);
+  const double start = queue.now();
+  if (members > 1) {
+    // 2(n-1) steps, each moving bytes/n with both ring directions in use.
+    const double step_us =
+        (bytes / members / 1e9) / (2.0 * GbytesPerUs(link.link_gbps)) +
+        link.hop_latency_us;
+    const int steps = 2 * (members - 1);
+    int left = steps;
+    std::function<void()> advance = [&queue, &advance, &left, step_us] {
+      if (left-- > 0) queue.After(step_us, advance);
+    };
+    queue.After(0.0, advance);
+    queue.Run();
+  }
+  return queue.now() - start;
+}
+
+// --- tree ------------------------------------------------------------------------
+
+CollectiveCost TreeBackend::AllReduceCost(int members, double bytes,
+                                          const CollectiveLinkProfile& link) const {
+  CheckCollectiveArgs(members, bytes, link);
+  CollectiveCost cost;
+  if (members > 1) {
+    // Reduce up ceil(log2 n) levels, broadcast back down. Each member
+    // sends the full vector once up and once down (2x the ring's
+    // 2*(n-1)/n bandwidth-optimal volume for large n), one link direction
+    // active per phase; the two overlaid binary trees split the payload so
+    // interior-node links never serialize both halves.
+    const int levels = TreeLevels(members);
+    cost.bandwidth_term_us = 2.0 * (bytes / 1e9) / GbytesPerUs(link.link_gbps);
+    cost.latency_term_us = 2.0 * levels * link.hop_latency_us;
+    cost.time_us = cost.bandwidth_term_us + cost.latency_term_us;
+  }
+  Record(cost);
+  return cost;
+}
+
+double TreeBackend::SimulateAllReduce(EventQueue& queue, int members, double bytes,
+                                      const CollectiveLinkProfile& link) const {
+  CheckCollectiveArgs(members, bytes, link);
+  const double start = queue.now();
+  if (members > 1) {
+    // One event per tree level in each of the reduce and broadcast phases;
+    // the payload share of a level is the full per-phase volume divided by
+    // the levels it pipelines across.
+    const int levels = TreeLevels(members);
+    const int steps = 2 * levels;
+    const double step_us =
+        (bytes / 1e9) / GbytesPerUs(link.link_gbps) / levels + link.hop_latency_us;
+    int left = steps;
+    std::function<void()> advance = [&queue, &advance, &left, step_us] {
+      if (left-- > 0) queue.After(step_us, advance);
+    };
+    queue.After(0.0, advance);
+    queue.Run();
+  }
+  return queue.now() - start;
+}
+
+// --- in-network (SwitchML-style) -------------------------------------------------
+
+InNetworkBackend::InNetworkBackend(InNetworkConfig config) : config_(config) {
+  LW_CHECK(config_.pool_slots >= 1) << "switch pool of " << config_.pool_slots;
+  LW_CHECK(config_.slot_bytes > 0.0) << "slot payload " << config_.slot_bytes;
+  LW_CHECK(config_.drop_probability >= 0.0 && config_.drop_probability < 1.0)
+      << "drop probability " << config_.drop_probability;
+  LW_CHECK(config_.switch_latency_us >= 0.0);
+}
+
+CollectiveCost InNetworkBackend::AllReduceCost(int members, double bytes,
+                                               const CollectiveLinkProfile& link) const {
+  CheckCollectiveArgs(members, bytes, link);
+  CollectiveCost cost;
+  // Every member streams its packets in parallel and the switch aggregates
+  // them in lockstep, so nothing below depends on `members` — the SwitchML
+  // worker-count-independence property. Per packet: serialization S
+  // (inflated by the expected retransmissions, a round trip surviving with
+  // probability (1-p)^2), then a round trip R through the switch. A packet
+  // may start once the member link is free AND one of the `pool_slots`
+  // pool slots has been released by an earlier packet's round trip:
+  //   C_k = max(k*S, C_{k-W}) + S + R.
+  const double packets = std::ceil(bytes / config_.slot_bytes);
+  if (members > 1 && packets > 0.0) {
+    const double keep = 1.0 - config_.drop_probability;
+    const double retry = 1.0 / (keep * keep);
+    const double S = (config_.slot_bytes / 1e9) / GbytesPerUs(link.link_gbps) * retry;
+    const double R = 2.0 * link.hop_latency_us + config_.switch_latency_us;
+    const double W = config_.pool_slots;
+    double total;
+    if ((W - 1.0) * S >= R) {
+      // Link-bound: a slot always frees before the link finishes the next
+      // serialization; the pipeline streams at line rate.
+      total = packets * S + R;
+    } else {
+      // Slot-bound: every W-th packet stalls for the outstanding round
+      // trip. Closed form of the recurrence above at k = packets-1.
+      const double q = std::floor((packets - 1.0) / W);
+      const double m = packets - 1.0 - q * W;
+      total = (m + 1.0) * S + R + q * (S + R);
+    }
+    cost.bandwidth_term_us = packets * S;
+    cost.latency_term_us = total - cost.bandwidth_term_us;
+    cost.time_us = total;
+  }
+  Record(cost);
+  return cost;
+}
+
+double InNetworkBackend::SimulateAllReduce(EventQueue& queue, int members, double bytes,
+                                           const CollectiveLinkProfile& link) const {
+  CheckCollectiveArgs(members, bytes, link);
+  const double start = queue.now();
+  const auto total_packets = static_cast<long long>(std::ceil(bytes / config_.slot_bytes));
+  if (members > 1 && total_packets > 0) {
+    // Genuine sliding-window simulation of one member's stream (all
+    // members are in lockstep): the link serializes one packet at a time,
+    // at most `pool_slots` packets are outstanding between transmit and
+    // aggregate return, and retransmissions inflate serialization by the
+    // expected-tries factor (kept deterministic so the validator pins the
+    // closed form exactly).
+    const double keep = 1.0 - config_.drop_probability;
+    const double S = (config_.slot_bytes / 1e9) / GbytesPerUs(link.link_gbps) /
+                     (keep * keep);
+    const double R = 2.0 * link.hop_latency_us + config_.switch_latency_us;
+    long long next = 0;       // packets handed to the link so far
+    long long in_flight = 0;  // transmitted or serializing, not yet acked
+    bool link_busy = false;
+    std::function<void()> start_if_possible;
+    std::function<void()> tx_done = [&] {
+      link_busy = false;
+      queue.After(R, [&] {
+        --in_flight;
+        start_if_possible();
+      });
+      start_if_possible();
+    };
+    start_if_possible = [&] {
+      if (next >= total_packets || link_busy || in_flight >= config_.pool_slots) return;
+      link_busy = true;
+      ++in_flight;
+      ++next;
+      queue.After(S, tx_done);
+    };
+    queue.After(0.0, start_if_possible);
+    queue.Run();
+  }
+  return queue.now() - start;
+}
+
+// --- registry --------------------------------------------------------------------
+
+const CollectiveBackend& DefaultCollectiveBackend() {
+  static const RingBackend* const kRing = new RingBackend;
+  return *kRing;
+}
+
+std::shared_ptr<const CollectiveBackend> MakeCollectiveBackend(CollectiveBackendKind kind,
+                                                               InNetworkConfig config) {
+  switch (kind) {
+    case CollectiveBackendKind::kRing:
+      return std::make_shared<RingBackend>();
+    case CollectiveBackendKind::kTree:
+      return std::make_shared<TreeBackend>();
+    case CollectiveBackendKind::kInNetwork:
+      return std::make_shared<InNetworkBackend>(config);
+  }
+  LW_UNREACHABLE() << "collective backend kind";
+  return nullptr;
+}
+
+}  // namespace lightwave::sim

@@ -1,0 +1,156 @@
+// Pluggable collective backends (ROADMAP item 2). The paper's Table 2
+// "shape matters" result assumes every all-reduce is a ring whose cost
+// scales with torus circumference; SwitchML-style in-network aggregation
+// breaks that assumption (allreduce time independent of worker count), and
+// tree collectives trade bandwidth for logarithmic latency. A
+// CollectiveBackend abstracts the all-reduce cost model so the LLM
+// performance model (sim/llm_model.h) and the multipod trainer
+// (sim/multipod.h) can re-run the paper's shape sweeps under each
+// algorithm and ask where the optimal slice shape moves.
+//
+// Mirroring sim/collective.h's analytic-vs-simulated pairing, every
+// backend provides both the analytic closed form (`AllReduceCost`) and an
+// event-driven validator (`SimulateAllReduce`) on sim::EventQueue; tests
+// pin the two against each other. All costs are pure functions of their
+// inputs — no clocks, no RNG — so sweeps are deterministic and the default
+// ring backend is byte-identical to the legacy RingAllReduce path.
+#pragma once
+
+#include <memory>
+
+#include "sim/collective.h"
+#include "sim/event.h"
+
+namespace lightwave::telemetry {
+class Counter;
+class HistogramMetric;
+class Hub;
+}  // namespace lightwave::telemetry
+
+namespace lightwave::sim {
+
+/// The link a collective runs over, from one member's point of view.
+/// `link_gbps` is the per-direction rate of the member's link (ring and
+/// tree backends may use both directions; the in-network backend streams
+/// up one direction while aggregates return on the other).
+struct CollectiveLinkProfile {
+  double link_gbps = 400.0;
+  double hop_latency_us = 0.5;
+};
+
+enum class CollectiveBackendKind { kRing, kTree, kInNetwork };
+
+const char* ToString(CollectiveBackendKind kind);
+
+class CollectiveBackend {
+ public:
+  virtual ~CollectiveBackend() = default;
+
+  virtual CollectiveBackendKind kind() const = 0;
+  /// Stable lowercase label ("ring", "tree", "innetwork"); used as the
+  /// telemetry `backend` label and in bench output.
+  const char* name() const { return ToString(kind()); }
+
+  /// Analytic all-reduce of `bytes` across `members` participants.
+  /// Contracts: members >= 1, bytes >= 0, link.link_gbps > 0. A
+  /// single-member collective is free.
+  virtual CollectiveCost AllReduceCost(int members, double bytes,
+                                       const CollectiveLinkProfile& link) const = 0;
+
+  /// Event-driven validation of the same algorithm on `queue`: schedules
+  /// the backend's transfer events and returns the completion time in us
+  /// (relative to queue.now() at entry). Used by tests to cross-check the
+  /// closed forms; intended for test-sized transfers.
+  virtual double SimulateAllReduce(EventQueue& queue, int members, double bytes,
+                                   const CollectiveLinkProfile& link) const = 0;
+
+  /// Registers this backend's series (`lightwave_sim_collectives_total`,
+  /// `lightwave_sim_collective_us`, both labeled backend=name()) with the
+  /// hub and records every subsequent AllReduceCost call. Pass nullptr to
+  /// detach. Not synchronized: attach before handing the backend to
+  /// concurrent users.
+  void AttachTelemetry(telemetry::Hub* hub);
+
+ protected:
+  /// Called by implementations on every analytic cost evaluation.
+  void Record(const CollectiveCost& cost) const;
+
+ private:
+  telemetry::Counter* calls_ = nullptr;
+  telemetry::HistogramMetric* time_us_ = nullptr;
+};
+
+/// The legacy path: wraps sim::RingAllReduce, so costs are byte-identical
+/// to what LlmPerfModel/MultipodTrainer computed before backends existed.
+class RingBackend : public CollectiveBackend {
+ public:
+  CollectiveBackendKind kind() const override { return CollectiveBackendKind::kRing; }
+  CollectiveCost AllReduceCost(int members, double bytes,
+                               const CollectiveLinkProfile& link) const override;
+  double SimulateAllReduce(EventQueue& queue, int members, double bytes,
+                           const CollectiveLinkProfile& link) const override;
+};
+
+/// Double-binary-tree all-reduce (the NCCL-style tree): reduce up one
+/// tree, broadcast down, with the payload split over two overlaid trees so
+/// every node is interior in at most one. Latency is logarithmic —
+/// 2*ceil(log2 n) hops instead of the ring's 2*(n-1) — but each member
+/// moves ~2x the bytes of the bandwidth-optimal ring over one link
+/// direction per phase.
+class TreeBackend : public CollectiveBackend {
+ public:
+  CollectiveBackendKind kind() const override { return CollectiveBackendKind::kTree; }
+  CollectiveCost AllReduceCost(int members, double bytes,
+                               const CollectiveLinkProfile& link) const override;
+  double SimulateAllReduce(EventQueue& queue, int members, double bytes,
+                           const CollectiveLinkProfile& link) const override;
+};
+
+/// SwitchML-style in-network aggregation: every member streams its vector
+/// to a switch that aggregates in a bounded pool of slots and multicasts
+/// results back. Members proceed in parallel, so the time is independent
+/// of the member count; the bounded slot pool gates pipeline depth (too
+/// few outstanding slots and the link idles waiting for round trips), and
+/// lost packets are retransmitted per the SwitchML recovery design.
+struct InNetworkConfig {
+  /// Aggregation slots the switch pool grants this job. The pipeline can
+  /// keep at most this many packets in flight per member.
+  int pool_slots = 128;
+  /// Payload bytes aggregated per slot round-trip (the SwitchML packet
+  /// vector size).
+  double slot_bytes = 1024.0;
+  /// Independent per-packet drop probability in each direction. A slot's
+  /// round trip succeeds with probability (1-p)^2; failures retransmit,
+  /// inflating the expected serialization cost by 1/(1-p)^2.
+  double drop_probability = 0.0;
+  /// Switch aggregation-pipeline latency added to each slot round trip.
+  double switch_latency_us = 1.0;
+};
+
+class InNetworkBackend : public CollectiveBackend {
+ public:
+  explicit InNetworkBackend(InNetworkConfig config = {});
+
+  CollectiveBackendKind kind() const override {
+    return CollectiveBackendKind::kInNetwork;
+  }
+  CollectiveCost AllReduceCost(int members, double bytes,
+                               const CollectiveLinkProfile& link) const override;
+  double SimulateAllReduce(EventQueue& queue, int members, double bytes,
+                           const CollectiveLinkProfile& link) const override;
+
+  const InNetworkConfig& config() const { return config_; }
+
+ private:
+  InNetworkConfig config_;
+};
+
+/// Process-wide ring backend used when no backend is injected (the
+/// byte-identical legacy default). Never has telemetry attached.
+const CollectiveBackend& DefaultCollectiveBackend();
+
+/// Convenience factory for sweeps; `config` only applies to kInNetwork.
+std::shared_ptr<const CollectiveBackend> MakeCollectiveBackend(
+    CollectiveBackendKind kind, InNetworkConfig config = {});
+
+}  // namespace lightwave::sim

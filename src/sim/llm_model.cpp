@@ -1,8 +1,10 @@
 #include "sim/llm_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
+#include "sim/collective_backend.h"
 
 namespace lightwave::sim {
 namespace {
@@ -22,7 +24,7 @@ LlmSpec MakeSpec(std::string name, double params_b, double global_batch, int lay
 }
 
 double MismatchRatio(int have, int inherent) {
-  assert(have > 0 && inherent > 0);
+  LW_DCHECK(have > 0 && inherent > 0);
   return have > inherent ? static_cast<double>(have) / inherent
                          : static_cast<double>(inherent) / have;
 }
@@ -55,7 +57,9 @@ LlmStepBreakdown LlmPerfModel::StepTime(const LlmSpec& spec,
   const int Z = shape.ChipDim(tpu::Dim::kZ);
   const int N = X * Y * Z;
   const int D = Y * Z;  // replicas = pipeline groups x data groups
-  assert(N > 0);
+  LW_CHECK(N > 0) << "empty slice " << shape.ToString();
+  const CollectiveBackend& backend =
+      cal_.collective_backend ? *cal_.collective_backend : DefaultCollectiveBackend();
 
   // --- parallelism mismatch ---------------------------------------------------
   out.mismatch_penalty =
@@ -78,9 +82,9 @@ LlmStepBreakdown LlmPerfModel::StepTime(const LlmSpec& spec,
     const double seq_per_replica = spec.global_batch / D;
     const double act_bytes =
         2.0 * seq_per_replica * spec.seq_len * spec.hidden;  // bf16 activations
-    const double per_layer = RingAllReduce(act_bytes, X, cal_.ici.bandwidth_gbps,
-                                           MeanHopLatencyUs(rings[0], cal_.ici))
-                                 .time_us;
+    const CollectiveLinkProfile profile{cal_.ici.bandwidth_gbps,
+                                        MeanHopLatencyUs(rings[0], cal_.ici)};
+    const double per_layer = backend.AllReduceCost(X, act_bytes, profile).time_us;
     out.mp_comm_us = cal_.mp_collectives_per_layer * spec.layers * per_layer;
   }
 
@@ -96,7 +100,8 @@ LlmStepBreakdown LlmPerfModel::StepTime(const LlmSpec& spec,
     const double hop = std::max(MeanHopLatencyUs(rings[1], cal_.ici),
                                 MeanHopLatencyUs(rings[2], cal_.ici));
     const double dp_bw = cal_.ici.bandwidth_gbps * std::max(1, active_dims);
-    const double t_dp = RingAllReduce(grad_bytes, D, dp_bw, hop).time_us;
+    const double t_dp =
+        backend.AllReduceCost(D, grad_bytes, CollectiveLinkProfile{dp_bw, hop}).time_us;
     out.dp_comm_exposed_us = std::max(0.0, t_dp - cal_.dp_overlap * out.compute_us);
   }
 

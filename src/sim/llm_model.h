@@ -11,13 +11,15 @@
 //     pipelines bubble, surplus data parallelism idles replicas),
 //   - model-parallel communication: per-layer tensor-parallel all-reduces
 //     across the first torus dimension (real ring-collective cost on the
-//     slice's electrical/optical hop mix),
+//     slice's electrical/optical hop mix by default; the calibration can
+//     inject a tree or in-network CollectiveBackend instead),
 //   - data-parallel communication: gradient all-reduce over the dim-2/3
 //     sub-torus, mostly overlapped with the backward pass.
 // The published LLM0..LLM2 workloads are provided as presets; the penalty
 // exponents are calibrated against Table 2 (see EXPERIMENTS.md).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,8 @@
 #include "tpu/slice.h"
 
 namespace lightwave::sim {
+
+class CollectiveBackend;
 
 struct LlmSpec {
   std::string name;
@@ -59,6 +63,11 @@ struct LlmCalibration {
   /// backward pass.
   double dp_overlap = 0.85;
   IciLinkSpec ici;
+  /// Collective algorithm for both the tensor-parallel per-layer
+  /// all-reduces and the data-parallel gradient all-reduce
+  /// (sim/collective_backend.h). Null selects the process-wide ring
+  /// backend, which is byte-identical to the pre-backend closed forms.
+  std::shared_ptr<const CollectiveBackend> collective_backend;
 };
 
 struct LlmStepBreakdown {

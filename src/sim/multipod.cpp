@@ -1,15 +1,18 @@
 #include "sim/multipod.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "sim/collective.h"
+#include "sim/collective_backend.h"
 #include "tpu/wiring.h"
 
 namespace lightwave::sim {
 
 double MultipodTrainer::PodRingBandwidthGbps(const MultipodConfig& config) {
-  assert(config.pods >= 2);
+  LW_CHECK(config.pods >= 2) << "pod ring of " << config.pods;
+  LW_CHECK(config.dcn_gbps_per_pod > 0.0)
+      << "non-positive DCN uplink " << config.dcn_gbps_per_pod;
   switch (config.dcn_mode) {
     case MultipodConfig::DcnMode::kUniformMesh:
       // Uplink spread over every other pod; a ring uses only the two
@@ -26,7 +29,7 @@ double MultipodTrainer::PodRingBandwidthGbps(const MultipodConfig& config) {
 
 MultipodStep MultipodTrainer::StepTime(const LlmSpec& spec,
                                        const MultipodConfig& config) const {
-  assert(config.pods >= 1);
+  LW_CHECK(config.pods >= 1) << "training across " << config.pods << " pods";
   MultipodStep step;
 
   // Each pod runs the workload's best shape with its share of the batch.
@@ -41,13 +44,24 @@ MultipodStep MultipodTrainer::StepTime(const LlmSpec& spec,
 
   if (config.pods > 1) {
     // Cross-pod data parallelism: each pod all-reduces the full bf16
-    // gradient over the DCN ring of pods (Fig. 2c).
+    // gradient over the DCN (Fig. 2c).
     const double grad_bytes = 2.0 * spec.params_billion * 1e9;
-    const double ring_gbps = PodRingBandwidthGbps(config);
-    const auto cost =
-        RingAllReduce(grad_bytes, config.pods, ring_gbps / 2.0, config.dcn_hop_us);
-    // RingAllReduce assumes both directions of a link; the DCN trunk pair is
-    // already expressed as total ring bandwidth, hence the /2 above.
+    const CollectiveBackend& backend =
+        config.dcn_backend ? *config.dcn_backend : DefaultCollectiveBackend();
+    CollectiveLinkProfile profile;
+    profile.hop_latency_us = config.dcn_hop_us;
+    if (backend.kind() == CollectiveBackendKind::kInNetwork) {
+      // The aggregation switch sits above the pods: each pod streams its
+      // whole uplink into it, independent of how `dcn_mode` would have
+      // trunked a pod-to-pod topology.
+      profile.link_gbps = config.dcn_gbps_per_pod;
+    } else {
+      // The ring cost model assumes both directions of a link; the DCN
+      // trunk pair is already expressed as total ring bandwidth, hence
+      // the /2 (unchanged from the pre-backend path).
+      profile.link_gbps = PodRingBandwidthGbps(config) / 2.0;
+    }
+    const auto cost = backend.AllReduceCost(config.pods, grad_bytes, profile);
     step.dcn_allreduce_us = cost.time_us;
     step.dcn_exposed_us =
         std::max(0.0, cost.time_us - config.dcn_overlap * step.intra_pod_us);

@@ -9,10 +9,14 @@
 // part of the cross-pod gradient all-reduce adds to every step.
 #pragma once
 
+#include <memory>
+
 #include "sim/llm_model.h"
 #include "tpu/slice.h"
 
 namespace lightwave::sim {
+
+class CollectiveBackend;
 
 struct MultipodConfig {
   int pods = 4;
@@ -33,6 +37,13 @@ struct MultipodConfig {
                    // needs (co-optimized placement + topology, §2.2.2)
   };
   DcnMode dcn_mode = DcnMode::kEngineered;
+  /// Collective algorithm for the cross-pod gradient all-reduce
+  /// (sim/collective_backend.h). Null selects the ring backend
+  /// (byte-identical to the pre-backend path). Ring and tree backends run
+  /// over the trunks `dcn_mode` provides between neighbouring pods; an
+  /// in-network backend streams each pod's full uplink into the
+  /// aggregation switch instead, so `dcn_mode` does not constrain it.
+  std::shared_ptr<const CollectiveBackend> dcn_backend;
 };
 
 struct MultipodStep {

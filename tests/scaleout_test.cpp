@@ -2,6 +2,9 @@
 // (§2.2.2) and the phase-reconfiguration study (§6).
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/check.h"
 #include "sim/multipod.h"
 #include "sim/phase_reconfig.h"
 
@@ -80,6 +83,29 @@ TEST(Multipod, ThroughputConsistent) {
   const auto step = trainer.StepTime(Llm0(), config);
   EXPECT_NEAR(step.throughput_seq_per_s, Llm0().global_batch / (step.total_us * 1e-6),
               1e-6);
+}
+
+TEST(Multipod, RingBandwidthContractsRejectBadConfigs) {
+  // multipod.cpp's contracts route through the pluggable handler instead of
+  // assert(); a recording handler observes them without aborting. The
+  // engineered mode keeps the continued execution well-defined after the
+  // handler returns.
+  std::vector<common::CheckFailure> failures;
+  common::ScopedCheckHandler scoped(
+      [&](const common::CheckFailure& f) { failures.push_back(f); });
+  MultipodConfig config;
+  config.dcn_mode = MultipodConfig::DcnMode::kEngineered;
+  config.pods = 1;  // a ring needs at least two pods
+  MultipodTrainer::PodRingBandwidthGbps(config);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].kind, common::CheckKind::kCheck);
+
+  failures.clear();
+  config.pods = 4;
+  config.dcn_gbps_per_pod = -1.0;  // non-positive uplink rate
+  MultipodTrainer::PodRingBandwidthGbps(config);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].kind, common::CheckKind::kCheck);
 }
 
 // --- phase reconfiguration -----------------------------------------------------

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "sim/availability.h"
 #include "sim/collective.h"
 #include "sim/dcn_flow.h"
@@ -165,6 +166,68 @@ TEST(Collective, BiggerSliceSameDataNotSlowerPerByte) {
   const auto small = TorusAllReduce(tpu::SliceShape{2, 2, 2}, 1e9);
   const auto large = TorusAllReduce(tpu::SliceShape{4, 4, 4}, 1e9);
   EXPECT_LT(large.bandwidth_term_us, small.bandwidth_term_us * 1.5);
+}
+
+TEST(Collective, TwoMemberRingClosedForm) {
+  // n=2 degenerates to one exchange each way: 2*(1/2)*bytes at ring rate
+  // plus two hop latencies.
+  const auto cost = RingAllReduce(1e9, 2, 400.0, 1.0);
+  EXPECT_DOUBLE_EQ(cost.bandwidth_term_us, 1.0 / (2.0 * 400.0 / 8.0 / 1e6));
+  EXPECT_DOUBLE_EQ(cost.latency_term_us, 2.0);
+  EXPECT_DOUBLE_EQ(cost.time_us, cost.bandwidth_term_us + cost.latency_term_us);
+}
+
+TEST(Collective, ZeroBytesIsLatencyOnly) {
+  const auto ar = RingAllReduce(0.0, 8, 400.0, 1.0);
+  EXPECT_DOUBLE_EQ(ar.bandwidth_term_us, 0.0);
+  EXPECT_DOUBLE_EQ(ar.time_us, ar.latency_term_us);
+  EXPECT_DOUBLE_EQ(ar.latency_term_us, 14.0);
+  const auto rs = RingReduceScatter(0.0, 8, 400.0, 1.0);
+  EXPECT_DOUBLE_EQ(rs.bandwidth_term_us, 0.0);
+  EXPECT_DOUBLE_EQ(rs.latency_term_us, 7.0);
+}
+
+TEST(Collective, SingleCubeRingsWrapOpticallyOnce) {
+  // A 1x1x1 slice still closes each 4-chip dimension through the OCS: one
+  // optical wrap hop, three electrical hops per ring.
+  const auto rings = RingsOf(tpu::SliceShape{1, 1, 1});
+  ASSERT_EQ(rings.size(), 3u);
+  for (const auto& ring : rings) {
+    EXPECT_EQ(ring.length_chips, 4);
+    EXPECT_EQ(ring.optical_hops, 1);
+    EXPECT_EQ(ring.electrical_hops, 3);
+  }
+}
+
+TEST(Collective, TorusAllReduceMatchesEventSimAcrossShapes) {
+  // The analytic form and the event-driven validator must agree to the
+  // pinned tolerance over a spread of shapes, including degenerate ones.
+  for (const auto& shape :
+       {tpu::SliceShape{1, 1, 1}, tpu::SliceShape{1, 1, 64}, tpu::SliceShape{2, 1, 8},
+        tpu::SliceShape{4, 4, 4}, tpu::SliceShape{2, 4, 8}}) {
+    const double bytes = 64e6;
+    const auto analytic = TorusAllReduce(shape, bytes);
+    const double simulated = SimulateTorusAllReduce(shape, bytes);
+    EXPECT_NEAR(simulated, analytic.time_us, analytic.time_us * 0.01)
+        << shape.ToString();
+  }
+}
+
+TEST(Collective, ContractsRejectBadArguments) {
+  // collective.cpp's contracts fire through the pluggable handler instead
+  // of assert(); a recording handler observes them without aborting.
+  std::vector<common::CheckFailure> failures;
+  common::ScopedCheckHandler scoped(
+      [&](const common::CheckFailure& f) { failures.push_back(f); });
+  RingAllReduce(1e6, 0, 400.0, 1.0);  // n < 1
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].kind, common::CheckKind::kCheck);
+  failures.clear();
+  RingAllReduce(1e6, 8, -400.0, 1.0);  // non-positive link rate
+  ASSERT_EQ(failures.size(), 1u);
+  failures.clear();
+  RingReduceScatter(-1.0, 8, 400.0, 1.0);  // negative payload
+  ASSERT_EQ(failures.size(), 1u);
 }
 
 // --- llm model -------------------------------------------------------------------
